@@ -1,0 +1,341 @@
+// Package codephage's root benchmark harness regenerates the paper's
+// evaluation: one benchmark per Figure 8 donor/recipient row (the full
+// pipeline: error discovery input in hand, then donor analysis, check
+// excision, insertion point identification, translation, validation,
+// and DIODE residual re-scans), plus the ablation benchmarks for the
+// design choices DESIGN.md calls out (D2: solver cache and
+// disjointness prefilter; D3: the Figure 5 rewrite rules).
+//
+// Run with: go test -bench=. -benchmem
+package codephage
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"codephage/internal/apps"
+	"codephage/internal/bitvec"
+	"codephage/internal/figure8"
+	"codephage/internal/hachoir"
+	"codephage/internal/phage"
+	"codephage/internal/smt"
+	"codephage/internal/taint"
+	"codephage/internal/vm"
+)
+
+// benchRow runs one Figure 8 row repeatedly. The error-triggering
+// input is discovered once outside the timed loop (the paper's
+// generation times likewise exclude DIODE's initial discovery).
+func benchRow(b *testing.B, recipient, target, donor string) {
+	tgt, err := apps.TargetByID(recipient, target)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := figure8.NewTransfer(tgt, donor, phage.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := tr.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.UsedChecks() < 1 {
+			b.Fatal("no checks transferred")
+		}
+	}
+}
+
+// BenchmarkFigure8 has one sub-benchmark per table row.
+func BenchmarkFigure8(b *testing.B) {
+	for _, tgt := range apps.Targets() {
+		for _, donor := range tgt.Donors {
+			name := fmt.Sprintf("%s_%s_from_%s",
+				tgt.Recipient, sanitize(tgt.ID), donor)
+			tgt, donor := tgt, donor
+			b.Run(name, func(b *testing.B) {
+				benchRow(b, tgt.Recipient, tgt.ID, donor)
+			})
+		}
+	}
+}
+
+func sanitize(s string) string {
+	r := strings.NewReplacer(".", "_", "@", "_", "/", "_")
+	return r.Replace(s)
+}
+
+// TestFigure8Table prints the regenerated Figure 8 (also recorded in
+// EXPERIMENTS.md). It lives here so `go test` at the module root
+// reproduces the headline table.
+func TestFigure8Table(t *testing.T) {
+	rows := figure8.AllRows(phage.Options{})
+	t.Logf("\n%s", figure8.FormatTable(rows))
+	for _, r := range rows {
+		if r.Err != nil {
+			t.Errorf("%s/%s <- %s failed: %v", r.Recipient, r.Target, r.Donor, r.Err)
+		}
+	}
+}
+
+// ---- Ablation D2: the solver query cache and the input-byte
+// disjointness prefilter (paper §3.3: together an order of magnitude
+// in translation time). Measured on the translation-heavy CWebP <-
+// viewnior row, which exercises the division-based check.
+
+func benchAblationSolver(b *testing.B, disableCache, disablePrefilter bool) {
+	tgt, err := apps.TargetByID("cwebp", "jpegdec.c@248")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := figure8.NewTransfer(tgt, "viewnior", phage.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		solver := smt.New()
+		solver.DisableCache = disableCache
+		solver.DisablePrefilter = disablePrefilter
+		tr.Opts.Solver = solver
+		if _, err := tr.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation(b *testing.B) {
+	b.Run("SolverCacheAndPrefilter_on", func(b *testing.B) {
+		benchAblationSolver(b, false, false)
+	})
+	b.Run("SolverCache_off", func(b *testing.B) {
+		benchAblationSolver(b, true, false)
+	})
+	b.Run("SolverPrefilter_off", func(b *testing.B) {
+		benchAblationSolver(b, false, true)
+	})
+	b.Run("SolverBoth_off", func(b *testing.B) {
+		benchAblationSolver(b, true, true)
+	})
+
+	// Ablation D3: the Figure 5 bit-manipulation rewrite rules. With
+	// them disabled the recorded donor conditions keep their raw
+	// shift/mask/or structure, which the equivalence queries then have
+	// to chew through.
+	b.Run("RewriteRules_on", func(b *testing.B) {
+		benchRewriteAblation(b, false)
+	})
+	b.Run("RewriteRules_off", func(b *testing.B) {
+		benchRewriteAblation(b, true)
+	})
+}
+
+func benchRewriteAblation(b *testing.B, noSimplify bool) {
+	tgt, err := apps.TargetByID("cwebp", "jpegdec.c@248")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := figure8.NewTransfer(tgt, "feh", phage.Options{NoSimplify: noSimplify})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestRewriteRulesShrinkExcisedChecks quantifies ablation D3 directly:
+// the Figure 5 rules must shrink the excised FEH check (the paper's
+// Section 2 expression collapses from dozens of operations to four).
+func TestRewriteRulesShrinkExcisedChecks(t *testing.T) {
+	tgt, err := apps.TargetByID("cwebp", "jpegdec.c@248")
+	if err != nil {
+		t.Fatal(err)
+	}
+	errIn, err := figure8.ErrorInputFor(tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	donorApp, _ := apps.ByName("feh")
+	donor, err := apps.BuildDonorBinary(donorApp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dis := hDissect(t, "mjpg", tgt.Seed)
+	relevant := dis.DiffFields(tgt.Seed, errIn)
+	// Record once with and once without the Figure 5 rules.
+	sizes := map[bool]int{}
+	for _, noSimplify := range []bool{false, true} {
+		disc, err := phage.DiscoverChecks(donor, tgt.Seed, errIn, dis, relevant, noSimplify)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(disc.Checks) == 0 {
+			t.Fatal("no checks")
+		}
+		sizes[noSimplify] = disc.Checks[0].Cond.OpCount()
+	}
+	if sizes[false] >= sizes[true] {
+		t.Errorf("Figure 5 rules do not shrink the check: with=%d without=%d",
+			sizes[false], sizes[true])
+	}
+	t.Logf("excised check size: %d ops with Figure 5 rules, %d without",
+		sizes[false], sizes[true])
+}
+
+// hDissect dissects an input with the named format dissector.
+func hDissect(tb testing.TB, format string, input []byte) *hachoir.Dissection {
+	tb.Helper()
+	d, ok := hachoir.ByName(format)
+	if !ok {
+		tb.Fatalf("no dissector %q", format)
+	}
+	dis, err := d.Dissect(input)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return dis
+}
+
+// TestSolverCacheEffect quantifies ablation D2's cache: repeated
+// equivalence queries during a transfer must hit the cache.
+func TestSolverCacheEffect(t *testing.T) {
+	tgt, err := apps.TargetByID("dillo", "png.c@203")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := figure8.NewTransfer(tgt, "feh", phage.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	solver := smt.New()
+	tr.Opts.Solver = solver
+	if _, err := tr.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := solver.Stats
+	t.Logf("solver stats: %+v", st)
+	if st.Queries == 0 {
+		t.Fatal("no solver queries issued")
+	}
+	if st.CacheHits == 0 && st.Prefiltered == 0 {
+		t.Error("neither the cache nor the prefilter fired during a full transfer")
+	}
+}
+
+// TestFirstFlippedBranchSuffices verifies the paper's observation that
+// the transferred check always comes from the first flipped branch.
+func TestFirstFlippedBranchSuffices(t *testing.T) {
+	rows := figure8.AllRows(phage.Options{})
+	for _, r := range rows {
+		if r.Err != nil {
+			continue
+		}
+		if !r.FirstCheck {
+			t.Errorf("%s/%s <- %s used a non-first flipped branch", r.Recipient, r.Target, r.Donor)
+		}
+	}
+}
+
+// BenchmarkPipelineStages isolates the pipeline's phases on the
+// Section 2 workload.
+func BenchmarkPipelineStages(b *testing.B) {
+	tgt, err := apps.TargetByID("cwebp", "jpegdec.c@248")
+	if err != nil {
+		b.Fatal(err)
+	}
+	errIn, err := figure8.ErrorInputFor(tgt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	recipient, _ := apps.ByName("cwebp")
+	recipientMod, err := apps.Build(recipient)
+	if err != nil {
+		b.Fatal(err)
+	}
+	donorApp, _ := apps.ByName("feh")
+	donor, err := apps.BuildDonorBinary(donorApp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dis := hDissect(b, "mjpg", tgt.Seed)
+	relevant := dis.DiffFields(tgt.Seed, errIn)
+
+	b.Run("DonorCheckDiscovery", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			d, err := phage.DiscoverChecks(donor, tgt.Seed, errIn, dis, relevant, false)
+			if err != nil || len(d.Checks) == 0 {
+				b.Fatalf("%v / %d checks", err, len(d.Checks))
+			}
+		}
+	})
+	disc, _ := phage.DiscoverChecks(donor, tgt.Seed, errIn, dis, relevant, false)
+	fields := disc.Checks[0].Cond.Fields()
+	b.Run("InsertionPointAnalysis", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			a, err := phage.AnalyzeInsertionPoints(recipientMod, tgt.Seed, dis, fields, relevant)
+			if err != nil || len(a.Points) == 0 {
+				b.Fatalf("%v / %d points", err, len(a.Points))
+			}
+		}
+	})
+	analysis, _ := phage.AnalyzeInsertionPoints(recipientMod, tgt.Seed, dis, fields, relevant)
+	_, _, stable := analysis.Candidates()
+	b.Run("RewriteTranslation", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			solver := smt.New()
+			tr := phage.Rewrite(disc.Checks[0].Cond, stable[len(stable)-1].Names, solver)
+			if tr == nil {
+				b.Fatal("rewrite failed")
+			}
+		}
+	})
+}
+
+// BenchmarkTaintTracking measures the execution monitor's overhead.
+func BenchmarkTaintTracking(b *testing.B) {
+	app, _ := apps.ByName("cwebp")
+	mod, err := apps.Build(app)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seed := apps.SeedMJPG()
+	b.Run("Plain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if r := vm.New(mod, seed).Run(); !r.OK() {
+				b.Fatal(r.Trap)
+			}
+		}
+	})
+	b.Run("Tainted", func(b *testing.B) {
+		dis := hDissect(b, "mjpg", seed)
+		for i := 0; i < b.N; i++ {
+			v := vm.New(mod, seed)
+			v.Tracer = taint.NewTracker(mod, taint.Options{Labels: dis})
+			if r := v.Run(); !r.OK() {
+				b.Fatal(r.Trap)
+			}
+		}
+	})
+}
+
+// BenchmarkSimplify measures the Figure 5 rule engine on the paper's
+// endianness-conversion pattern.
+func BenchmarkSimplify(b *testing.B) {
+	f := bitvec.Field("/start_frame/content/height", 16, 4)
+	lo := bitvec.And(f, bitvec.Const(16, 0x00FF))
+	hi := bitvec.LShr(bitvec.And(f, bitvec.Const(16, 0xFF00)), bitvec.Const(16, 8))
+	read := bitvec.Or(bitvec.Shl(hi, bitvec.Const(16, 8)), lo)
+	check := bitvec.Ule(bitvec.Mul(bitvec.ZExt(64, read), bitvec.ZExt(64, read)), bitvec.Const(64, 536870911))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if bitvec.Simplify(check).OpCount() > 4 {
+			b.Fatal("did not collapse")
+		}
+	}
+}

@@ -1,0 +1,101 @@
+// Command codephage runs the full horizontal code transfer pipeline
+// for one Figure 8 error, against one donor or every donor the
+// catalogue lists for it.
+//
+// Usage:
+//
+//	codephage -recipient dillo -target png.c@203 [-donor feh]
+//	          [-mode exit|return0] [-o patched.mc] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"codephage/internal/apps"
+	"codephage/internal/figure8"
+	"codephage/internal/phage"
+)
+
+func main() {
+	recipient := flag.String("recipient", "", "recipient application name")
+	target := flag.String("target", "", "error identifier (e.g. png.c@203)")
+	donor := flag.String("donor", "", "donor application (default: every catalogued donor)")
+	mode := flag.String("mode", "exit", "patch reaction: exit or return0")
+	out := flag.String("o", "", "write the final patched source here")
+	verbose := flag.Bool("v", false, "print excised and translated checks")
+	report := flag.Bool("report", false, "print the full transfer report and patch diff")
+	flag.Parse()
+
+	if *recipient == "" || *target == "" {
+		fmt.Fprintln(os.Stderr, "usage: codephage -recipient <app> -target <id> [-donor <app>] [-mode exit|return0] [-o patched.mc]")
+		fmt.Fprintln(os.Stderr, "\navailable targets:")
+		for _, t := range apps.Targets() {
+			fmt.Fprintf(os.Stderr, "  -recipient %-12s -target %-24s donors: %v\n", t.Recipient, t.ID, t.Donors)
+		}
+		os.Exit(2)
+	}
+	tgt, err := apps.TargetByID(*recipient, *target)
+	if err != nil {
+		fatal(err)
+	}
+	opts := phage.Options{}
+	switch *mode {
+	case "exit":
+	case "return0":
+		opts.ExitMode = phage.ReturnZero
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+
+	donors := tgt.Donors
+	if *donor != "" {
+		donors = []string{*donor}
+	}
+	failed := false
+	for _, dn := range donors {
+		row := figure8.RunRow(tgt, dn, opts)
+		if row.Err != nil {
+			fmt.Printf("%s/%s <- %s: FAILED: %v\n", tgt.Recipient, tgt.ID, dn, row.Err)
+			failed = true
+			continue
+		}
+		fmt.Printf("%s/%s <- %s: %d patch(es) in %s\n",
+			tgt.Recipient, tgt.ID, dn, row.UsedChecks, row.GenTime.Round(1e6))
+		fmt.Printf("  relevant branches: %d, flipped: %s, insertion points: %s, check size: %s\n",
+			row.Relevant, row.FlippedString(), row.InsertString(), row.SizeString())
+		for i, pr := range row.Result.Rounds {
+			fmt.Printf("  patch %d (before %s line %d):\n    %s\n",
+				i+1, pr.InsertFn, pr.InsertLine, pr.PatchText)
+			if *verbose {
+				fmt.Printf("    excised:    %s\n", pr.ExcisedCheck)
+				fmt.Printf("    translated: %s\n", pr.TranslatedCheck)
+			}
+		}
+		if row.OverflowOK != nil {
+			fmt.Printf("  overflow-freedom proven by SMT: %v\n", *row.OverflowOK)
+		}
+		if *report {
+			rec, _ := apps.ByName(tgt.Recipient)
+			fmt.Println()
+			fmt.Print(row.Result.Report(tgt.Recipient, dn))
+			fmt.Println("patch diff:")
+			fmt.Print(phage.Diff(rec.Source, row.Result.FinalSource))
+		}
+		if *out != "" && dn == donors[len(donors)-1] {
+			if err := os.WriteFile(*out, []byte(row.Result.FinalSource), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("  wrote patched source to %s\n", *out)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "codephage:", err)
+	os.Exit(1)
+}

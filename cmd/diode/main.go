@@ -1,0 +1,67 @@
+// Command diode runs the integer-overflow discovery pipeline against a
+// benchmark recipient: it taints allocation-site size expressions,
+// searches for field values that wrap them, and writes a confirmed
+// error-triggering input.
+//
+// Usage:
+//
+//	diode -app cwebp [-fn read_jpeg] [-o error.bin]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"codephage/internal/apps"
+	"codephage/internal/diode"
+	"codephage/internal/hachoir"
+)
+
+func main() {
+	appName := flag.String("app", "", "benchmark application name (see apps registry)")
+	fn := flag.String("fn", "", "restrict to allocation sites in this function")
+	out := flag.String("o", "", "write the error-triggering input here")
+	flag.Parse()
+	if *appName == "" {
+		fmt.Fprintln(os.Stderr, "usage: diode -app <name> [-fn <function>] [-o error.bin]")
+		os.Exit(2)
+	}
+	app, err := apps.ByName(*appName)
+	if err != nil {
+		fatal(err)
+	}
+	mod, err := apps.Build(app)
+	if err != nil {
+		fatal(err)
+	}
+	seed := apps.SeedFor(app.Formats[0])
+	d, _ := hachoir.ByName(app.Formats[0])
+	dis, err := d.Dissect(seed)
+	if err != nil {
+		fatal(err)
+	}
+	finding, err := diode.Discover(mod, seed, dis, diode.Options{VulnFn: *fn})
+	if err != nil {
+		fatal(err)
+	}
+	if finding == nil {
+		fmt.Println("no integer overflow found")
+		return
+	}
+	fmt.Println(finding)
+	fmt.Printf("size expression: %s\n", finding.SizeExpr)
+	fmt.Printf("field assignment: %v\n", finding.Fields)
+	fmt.Printf("confirming trap: %v\n", finding.Trap)
+	if *out != "" {
+		if err := os.WriteFile(*out, finding.Input, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote error-triggering input to %s (%d bytes)\n", *out, len(finding.Input))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "diode:", err)
+	os.Exit(1)
+}

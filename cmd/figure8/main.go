@@ -1,0 +1,41 @@
+// Command figure8 reproduces the paper's Figure 8: it runs the full
+// Code Phage pipeline for all 18 donor/recipient pairs and prints the
+// results table.
+//
+// Usage:
+//
+//	figure8 [-patches]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"codephage/internal/figure8"
+	"codephage/internal/phage"
+)
+
+func main() {
+	patches := flag.Bool("patches", false, "also print each generated patch")
+	flag.Parse()
+
+	rows := figure8.AllRows(phage.Options{})
+	fmt.Print(figure8.FormatTable(rows))
+	failed := 0
+	for _, r := range rows {
+		if r.Err != nil {
+			failed++
+			continue
+		}
+		if *patches {
+			for i, p := range r.Patches {
+				fmt.Printf("# %s/%s <- %s patch %d: %s\n", r.Recipient, r.Target, r.Donor, i+1, p)
+			}
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "figure8: %d row(s) failed\n", failed)
+		os.Exit(1)
+	}
+}

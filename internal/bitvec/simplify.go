@@ -1,0 +1,571 @@
+package bitvec
+
+// This file implements the symbolic expression optimisations of
+// Section 3.2: constant folding, algebraic identities, and the
+// Figure 5 bit-manipulation rewrite rules that disentangle adjacent
+// input bytes combined by shift/mask/or sequences (endianness
+// conversion, SSE-style packing). The central mechanism is the
+// reduction of shift/mask/or patterns to Extract/Concat form, where
+// byte-reassembly is a local structural rule:
+//
+//	ShrinkH(8,Shl(8,[b1,b2]))   => b2      (Extract of Concat)
+//	ShrinkL(8,Shr(8,[b1,b2]))   => b1      (Extract of Concat)
+//	BvOrH(b1,Shr(8,[b2,b3]))    => [b1,b2] (Or-disentangle to Concat)
+//	BvOrL(b1,Shl(8,[b2,b3]))    => [b3,b1] (Or-disentangle to Concat)
+//
+// and similar rules for the other 8/16/32/64-bit combinations.
+
+// rewriteBudget bounds the number of rewrite steps per Simplify call to
+// guarantee termination even if a rule pair were to oscillate.
+const rewriteBudget = 4096
+
+// Simplify returns a simplified expression equivalent to e. The input
+// is never mutated; subtrees may be shared between input and output.
+func Simplify(e *Expr) *Expr {
+	budget := rewriteBudget
+	return simplify(e, &budget)
+}
+
+func simplify(e *Expr, budget *int) *Expr {
+	if e.Op.IsLeaf() {
+		return e
+	}
+	ops := e.Operands()
+	newOps := make([]*Expr, len(ops))
+	changed := false
+	for i, o := range ops {
+		newOps[i] = simplify(o, budget)
+		if newOps[i] != o {
+			changed = true
+		}
+	}
+	n := e
+	if changed {
+		n = rebuild(e, newOps)
+	}
+	for *budget > 0 {
+		m, ok := simplifyNode(n)
+		if !ok {
+			return n
+		}
+		*budget--
+		n = simplify(m, budget)
+	}
+	return n
+}
+
+// rebuild clones node e with the given operands.
+func rebuild(e *Expr, ops []*Expr) *Expr {
+	c := *e
+	switch len(ops) {
+	case 1:
+		c.X = ops[0]
+	case 2:
+		c.X, c.Y = ops[0], ops[1]
+	case 3:
+		c.X, c.Y, c.Y2 = ops[0], ops[1], ops[2]
+	}
+	return &c
+}
+
+func constOf(e *Expr) (uint64, bool) {
+	if e.Op == OpConst {
+		return e.Val, true
+	}
+	return 0, false
+}
+
+func allConst(e *Expr) bool {
+	if e.Op == OpConst {
+		return true
+	}
+	if e.Op.IsLeaf() {
+		return false
+	}
+	for _, o := range e.Operands() {
+		if !allConst(o) {
+			return false
+		}
+	}
+	return true
+}
+
+// zeroMask returns the set of bits of e that are provably zero.
+func zeroMask(e *Expr) uint64 {
+	m := Mask(e.W)
+	switch e.Op {
+	case OpConst:
+		return ^e.Val & m
+	case OpZExt:
+		low := zeroMask(e.X)
+		return (^Mask(e.X.W) & m) | low
+	case OpConcat:
+		return (zeroMask(e.X)<<e.Y.W | zeroMask(e.Y)) & m
+	case OpAnd:
+		return (zeroMask(e.X) | zeroMask(e.Y)) & m
+	case OpOr:
+		return zeroMask(e.X) & zeroMask(e.Y)
+	case OpXor:
+		return zeroMask(e.X) & zeroMask(e.Y)
+	case OpShl:
+		if k, ok := constOf(e.Y); ok {
+			if k >= uint64(e.W) {
+				return m
+			}
+			return (zeroMask(e.X)<<k | Mask(uint8(k))) & m
+		}
+	case OpLShr:
+		if k, ok := constOf(e.Y); ok {
+			if k >= uint64(e.W) {
+				return m
+			}
+			hi := ^(m >> k) & m
+			return (zeroMask(e.X) >> k) | hi
+		}
+	case OpExtr:
+		return (zeroMask(e.X) >> e.Lo) & m
+	case OpBool, OpLNot:
+		return 0
+	}
+	return 0
+}
+
+// trailingKnownZeros returns the number of low bits of e provably zero.
+func trailingKnownZeros(e *Expr) uint8 {
+	z := zeroMask(e)
+	var n uint8
+	for n < e.W && z&(uint64(1)<<n) != 0 {
+		n++
+	}
+	return n
+}
+
+// leadingKnownZeros returns the number of high bits of e provably zero.
+func leadingKnownZeros(e *Expr) uint8 {
+	z := zeroMask(e)
+	var n uint8
+	for n < e.W && z&(uint64(1)<<(e.W-1-n)) != 0 {
+		n++
+	}
+	return n
+}
+
+// isLowMask reports whether c is a contiguous mask of the low k bits
+// within width w, returning k.
+func isLowMask(c uint64, w uint8) (uint8, bool) {
+	for k := uint8(1); k < w; k++ {
+		if c == Mask(k) {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// isHighMask reports whether c selects exactly bits [k, w-1], returning k.
+func isHighMask(c uint64, w uint8) (uint8, bool) {
+	for k := uint8(1); k < w; k++ {
+		if c == (Mask(w) &^ Mask(k)) {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// simplifyNode applies a single rewrite at the root of e. It assumes
+// the operands are already simplified. It returns the rewritten node
+// and whether a rewrite fired.
+func simplifyNode(e *Expr) (*Expr, bool) {
+	// Constant folding covers every operation uniformly.
+	if !e.Op.IsLeaf() && allConst(e) {
+		v, err := Eval(e, MapEnv{})
+		if err == nil {
+			return Const(e.W, v), true
+		}
+	}
+
+	// Canonicalise constants to the right operand of commutative ops.
+	switch e.Op {
+	case OpAdd, OpMul, OpAnd, OpOr, OpXor:
+		if e.X.Op == OpConst && e.Y.Op != OpConst {
+			return bin(e.Op, e.W, e.Y, e.X), true
+		}
+	}
+
+	switch e.Op {
+	case OpZExt:
+		if e.X.Op == OpZExt {
+			return ZExt(e.W, e.X.X), true
+		}
+	case OpSExt:
+		if e.X.Op == OpSExt {
+			return SExt(e.W, e.X.X), true
+		}
+		if e.X.Op == OpZExt { // zero-extended value is non-negative
+			return ZExt(e.W, e.X.X), true
+		}
+	case OpBool:
+		if e.X.Op == OpZExt {
+			return BoolOf(e.X.X), true
+		}
+	case OpLNot:
+		if e.X.Op == OpZExt {
+			return LNot(e.X.X), true
+		}
+	case OpExtr:
+		if n, ok := simplifyExtract(e); ok {
+			return n, true
+		}
+	case OpConcat:
+		if n, ok := simplifyConcat(e); ok {
+			return n, true
+		}
+	case OpAnd:
+		if n, ok := simplifyAnd(e); ok {
+			return n, true
+		}
+	case OpOr:
+		if n, ok := simplifyOr(e); ok {
+			return n, true
+		}
+	case OpXor:
+		if c, ok := constOf(e.Y); ok && c == 0 {
+			return e.X, true
+		}
+		if Equal(e.X, e.Y) {
+			return Const(e.W, 0), true
+		}
+	case OpAdd:
+		if c, ok := constOf(e.Y); ok && c == 0 {
+			return e.X, true
+		}
+	case OpSub:
+		if c, ok := constOf(e.Y); ok && c == 0 {
+			return e.X, true
+		}
+		if Equal(e.X, e.Y) {
+			return Const(e.W, 0), true
+		}
+	case OpMul:
+		if c, ok := constOf(e.Y); ok {
+			switch c {
+			case 0:
+				return Const(e.W, 0), true
+			case 1:
+				return e.X, true
+			}
+		}
+	case OpUDiv:
+		if c, ok := constOf(e.Y); ok && c == 1 {
+			return e.X, true
+		}
+	case OpShl, OpLShr, OpAShr:
+		if n, ok := simplifyShift(e); ok {
+			return n, true
+		}
+	case OpEq:
+		if Equal(e.X, e.Y) {
+			return Bool1(true), true
+		}
+		if c, ok := constOf(e.Y); ok && c == 0 {
+			return LNot(e.X), true
+		}
+	case OpNe:
+		if Equal(e.X, e.Y) {
+			return Bool1(false), true
+		}
+		if c, ok := constOf(e.Y); ok && c == 0 {
+			return BoolOf(e.X), true
+		}
+	case OpUle, OpSle:
+		if Equal(e.X, e.Y) {
+			return Bool1(true), true
+		}
+	case OpUlt, OpSlt:
+		if Equal(e.X, e.Y) {
+			return Bool1(false), true
+		}
+	case OpIte:
+		if c, ok := constOf(e.X); ok {
+			if c != 0 {
+				return e.Y, true
+			}
+			return e.Y2, true
+		}
+		if Equal(e.Y, e.Y2) {
+			return e.Y, true
+		}
+	}
+	return e, false
+}
+
+// simplifyExtract handles Extract-of-{Extract,Concat,ZExt,Shl,LShr,And}.
+// These rules implement the Shrink rules of Figure 5: extracting the
+// top or bottom byte of a concatenation of independent bytes yields the
+// byte itself, disentangling adjacent input fields.
+func simplifyExtract(e *Expr) (*Expr, bool) {
+	hi, lo, x := e.Hi, e.Lo, e.X
+	switch x.Op {
+	case OpExtr:
+		return Extract(hi+x.Lo, lo+x.Lo, x.X), true
+	case OpConcat:
+		bw := x.Y.W
+		switch {
+		case hi < bw:
+			return Extract(hi, lo, x.Y), true
+		case lo >= bw:
+			return Extract(hi-bw, lo-bw, x.X), true
+		default:
+			return Concat(Extract(hi-bw, 0, x.X), Extract(bw-1, lo, x.Y)), true
+		}
+	case OpZExt:
+		xw := x.X.W
+		switch {
+		case hi < xw:
+			return Extract(hi, lo, x.X), true
+		case lo >= xw:
+			return Const(e.W, 0), true
+		default:
+			return ZExt(e.W, Extract(xw-1, lo, x.X)), true
+		}
+	case OpShl:
+		if k64, ok := constOf(x.Y); ok && k64 < uint64(x.W) {
+			k := uint8(k64)
+			switch {
+			case lo >= k:
+				return Extract(hi-k, lo-k, x.X), true
+			case hi < k:
+				return Const(e.W, 0), true
+			default:
+				return Concat(Extract(hi-k, 0, x.X), Const(k-lo, 0)), true
+			}
+		}
+	case OpLShr:
+		if k64, ok := constOf(x.Y); ok && k64 < uint64(x.W) {
+			k := uint8(k64)
+			switch {
+			case int(hi)+int(k) < int(x.X.W):
+				return Extract(hi+k, lo+k, x.X), true
+			case int(lo)+int(k) >= int(x.X.W):
+				return Const(e.W, 0), true
+			default:
+				return ZExt(e.W, Extract(x.X.W-1, lo+k, x.X)), true
+			}
+		}
+	case OpAnd:
+		if c, ok := constOf(x.Y); ok {
+			seg := (c >> lo) & Mask(e.W)
+			if seg == Mask(e.W) {
+				return Extract(hi, lo, x.X), true
+			}
+			if seg == 0 {
+				return Const(e.W, 0), true
+			}
+		}
+	case OpOr:
+		// Extract from an Or where one side is zero over the range.
+		if (zeroMask(x.X)>>lo)&Mask(e.W) == Mask(e.W) {
+			return Extract(hi, lo, x.Y), true
+		}
+		if (zeroMask(x.Y)>>lo)&Mask(e.W) == Mask(e.W) {
+			return Extract(hi, lo, x.X), true
+		}
+	}
+	return e, false
+}
+
+// simplifyConcat flattens concatenation trees, merges adjacent
+// constants, re-assembles contiguous extracts of the same base
+// (the inverse Shrink rule), and converts a leading zero constant
+// into a zero extension.
+func simplifyConcat(e *Expr) (*Expr, bool) {
+	parts := flattenConcat(e)
+	changed := false
+
+	// Merge adjacent parts.
+	for i := 0; i+1 < len(parts); {
+		a, b := parts[i], parts[i+1]
+		if m, ok := mergeParts(a, b); ok {
+			parts[i] = m
+			parts = append(parts[:i+1], parts[i+2:]...)
+			changed = true
+			if i > 0 {
+				i--
+			}
+			continue
+		}
+		i++
+	}
+
+	// Leading zero constant becomes ZExt.
+	if len(parts) >= 2 {
+		if c, ok := constOf(parts[0]); ok && c == 0 {
+			rest := buildConcat(parts[1:])
+			return ZExt(e.W, rest), true
+		}
+	}
+	if len(parts) == 1 {
+		return parts[0], true
+	}
+	if !changed {
+		return e, false
+	}
+	return buildConcat(parts), true
+}
+
+// flattenConcat returns the parts of a concat tree, high bits first.
+// Zero extensions are split into an explicit zero constant plus the
+// inner value so adjacent extracts can merge across them.
+func flattenConcat(e *Expr) []*Expr {
+	switch e.Op {
+	case OpConcat:
+		return append(flattenConcat(e.X), flattenConcat(e.Y)...)
+	case OpZExt:
+		return append([]*Expr{Const(e.W-e.X.W, 0)}, flattenConcat(e.X)...)
+	}
+	return []*Expr{e}
+}
+
+func buildConcat(parts []*Expr) *Expr {
+	r := parts[len(parts)-1]
+	for i := len(parts) - 2; i >= 0; i-- {
+		r = Concat(parts[i], r)
+	}
+	return r
+}
+
+// mergeParts merges two adjacent concat parts (a above b) when they are
+// both constants or contiguous extracts of the same base expression.
+func mergeParts(a, b *Expr) (*Expr, bool) {
+	if ca, ok := constOf(a); ok {
+		if cb, ok := constOf(b); ok && int(a.W)+int(b.W) <= 64 {
+			return Const(a.W+b.W, ca<<b.W|cb), true
+		}
+	}
+	ah, al, ax, ok := asExtract(a)
+	if !ok {
+		return nil, false
+	}
+	bh, bl, bx, ok := asExtract(b)
+	if !ok {
+		return nil, false
+	}
+	if Equal(ax, bx) && al == bh+1 {
+		return Extract(ah, bl, ax), true
+	}
+	return nil, false
+}
+
+// asExtract views e as Extract(hi, lo, base), treating a bare
+// expression as the full-range extract of itself.
+func asExtract(e *Expr) (hi, lo uint8, base *Expr, ok bool) {
+	if e.Op == OpExtr {
+		return e.Hi, e.Lo, e.X, true
+	}
+	if e.Op.IsLeaf() && e.Op != OpConst {
+		return e.W - 1, 0, e, true
+	}
+	return 0, 0, nil, false
+}
+
+// simplifyAnd implements mask-selection rules: a low mask becomes a
+// zero-extended truncation, and a high mask becomes a shifted extract,
+// exposing the byte structure to the Extract/Concat rules.
+func simplifyAnd(e *Expr) (*Expr, bool) {
+	c, ok := constOf(e.Y)
+	if !ok {
+		if Equal(e.X, e.Y) {
+			return e.X, true
+		}
+		return e, false
+	}
+	switch c {
+	case 0:
+		return Const(e.W, 0), true
+	case Mask(e.W):
+		return e.X, true
+	}
+	if k, ok := isLowMask(c, e.W); ok {
+		return ZExt(e.W, Extract(k-1, 0, e.X)), true
+	}
+	if k, ok := isHighMask(c, e.W); ok {
+		return Concat(Extract(e.W-1, k, e.X), Const(k, 0)), true
+	}
+	// Drop mask bits that are already known zero.
+	if z := zeroMask(e.X); c&^z != c&Mask(e.W) {
+		return And(e.X, Const(e.W, c&^z)), true
+	}
+	return e, false
+}
+
+// simplifyOr implements the BvOr rules of Figure 5: an Or of two
+// expressions with disjoint known-nonzero ranges is a concatenation,
+// which disentangles bytes or'd into a shifted word.
+func simplifyOr(e *Expr) (*Expr, bool) {
+	if c, ok := constOf(e.Y); ok {
+		switch c {
+		case 0:
+			return e.X, true
+		case Mask(e.W):
+			return Const(e.W, Mask(e.W)), true
+		}
+	}
+	if Equal(e.X, e.Y) {
+		return e.X, true
+	}
+	// Disentangle: X occupies high bits, Y low bits (or vice versa).
+	if n, ok := orToConcat(e.W, e.X, e.Y); ok {
+		return n, true
+	}
+	if n, ok := orToConcat(e.W, e.Y, e.X); ok {
+		return n, true
+	}
+	return e, false
+}
+
+// orToConcat rewrites hiPart | loPart as
+// Concat(Extract(hiPart high bits), Extract(loPart low bits)) when
+// hiPart's low k bits and loPart's high w-k bits are provably zero.
+func orToConcat(w uint8, hiPart, loPart *Expr) (*Expr, bool) {
+	k := trailingKnownZeros(hiPart)
+	if k == 0 || k >= w {
+		return nil, false
+	}
+	if leadingKnownZeros(loPart) < w-k {
+		return nil, false
+	}
+	return Concat(Extract(w-1, k, hiPart), Extract(k-1, 0, loPart)), true
+}
+
+// simplifyShift normalises shifts by constants. A left shift by a
+// constant becomes a concatenation with low zero bits; a logical right
+// shift becomes a zero-extended extract. This puts the Figure 5 shift
+// patterns into Extract/Concat form where the local rules fire.
+func simplifyShift(e *Expr) (*Expr, bool) {
+	k64, ok := constOf(e.Y)
+	if !ok {
+		return e, false
+	}
+	if k64 == 0 {
+		return e.X, true
+	}
+	if k64 >= uint64(e.W) {
+		if e.Op == OpAShr {
+			return e, false // sign replication: leave symbolic
+		}
+		return Const(e.W, 0), true
+	}
+	k := uint8(k64)
+	switch e.Op {
+	case OpShl:
+		return Concat(Extract(e.W-1-k, 0, e.X), Const(k, 0)), true
+	case OpLShr:
+		return ZExt(e.W, Extract(e.W-1, k, e.X)), true
+	case OpAShr:
+		// Arithmetic shift of a value whose sign bit is known zero is
+		// a logical shift.
+		if zeroMask(e.X)&(uint64(1)<<(e.W-1)) != 0 {
+			return LShr(e.X, e.Y), true
+		}
+	}
+	return e, false
+}

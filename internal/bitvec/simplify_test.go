@@ -1,0 +1,213 @@
+package bitvec
+
+import "testing"
+
+// b1, b2, b3 are independent raw input bytes as used in Figure 5.
+var (
+	b1 = Field("@0", 8, 0)
+	b2 = Field("@1", 8, 1)
+	b3 = Field("@2", 8, 2)
+)
+
+func TestFig5ShrinkHighByte(t *testing.T) {
+	// ShrinkH(8, Shl(8, [b1,b2])) => b2: shifting the 16-bit pair left
+	// by 8 and keeping the top byte selects the low byte.
+	e := Extract(15, 8, Shl(Concat(b1, b2), Const(16, 8)))
+	s := Simplify(e)
+	if !Equal(s, b2) {
+		t.Errorf("ShrinkH(Shl([b1,b2])) = %s, want b2", s)
+	}
+}
+
+func TestFig5ShrinkLowByte(t *testing.T) {
+	// ShrinkL(8, Shr(8, [b1,b2])) => b1.
+	e := Extract(7, 0, LShr(Concat(b1, b2), Const(16, 8)))
+	s := Simplify(e)
+	if !Equal(s, b1) {
+		t.Errorf("ShrinkL(Shr([b1,b2])) = %s, want b1", s)
+	}
+}
+
+func TestFig5BvOrHigh(t *testing.T) {
+	// BvOrH(b1, Shr(8,[b2,b3])) => [b1,b2]: or b1 into the top byte of
+	// the right-shifted pair.
+	shifted := LShr(Concat(b2, b3), Const(16, 8)) // = [0, b2]
+	e := Or(Shl(ZExt(16, b1), Const(16, 8)), shifted)
+	s := Simplify(e)
+	want := Concat(b1, b2)
+	if !Equal(s, want) {
+		t.Errorf("BvOrH = %s, want %s", s, want)
+	}
+}
+
+func TestFig5BvOrLow(t *testing.T) {
+	// BvOrL(b1, Shl(8,[b2,b3])) => [b3,b1].
+	shifted := Shl(Concat(b2, b3), Const(16, 8)) // = [b3, 0]
+	e := Or(shifted, ZExt(16, b1))
+	s := Simplify(e)
+	want := Concat(b3, b1)
+	if !Equal(s, want) {
+		t.Errorf("BvOrL = %s, want %s", s, want)
+	}
+}
+
+func TestEndiannessConversionCollapses(t *testing.T) {
+	// The classic big-endian 16-bit read:
+	//   (u16)(lo_byte) | ((u16)hi_byte << 8)
+	// where hi/lo bytes are extracted from the same 16-bit field via
+	// mask-and-shift, as in the paper's CWebP example. After
+	// simplification the whole dance must collapse to the field itself.
+	f := Field("/start_frame/content/height", 16, 4)
+	loByte := And(f, Const(16, 0x00FF))                     // low byte of field
+	hiByte := LShr(And(f, Const(16, 0xFF00)), Const(16, 8)) // high byte
+	read := Or(Shl(hiByte, Const(16, 8)), loByte)
+	s := Simplify(read)
+	if !Equal(s, f) {
+		t.Errorf("endianness round-trip = %s, want the bare field", s)
+	}
+}
+
+func TestByteSwapIsNotCollapsed(t *testing.T) {
+	// Swapping the two bytes of a field is NOT the identity; the
+	// simplifier must not pretend it is.
+	f := Field("w", 16, 0)
+	swapped := Or(Shl(And(f, Const(16, 0x00FF)), Const(16, 8)),
+		LShr(And(f, Const(16, 0xFF00)), Const(16, 8)))
+	s := Simplify(swapped)
+	if Equal(s, f) {
+		t.Error("byte swap simplified to identity")
+	}
+	env := MapEnv{Fields: map[string]uint64{"w": 0xABCD}}
+	if got := evalOK(t, s, env); got != 0xCDAB {
+		t.Errorf("byte swap = %#x, want 0xCDAB", got)
+	}
+}
+
+func TestConstantFolding(t *testing.T) {
+	e := Add(Mul(Const(32, 6), Const(32, 7)), Const(32, 1))
+	s := Simplify(e)
+	if s.Op != OpConst || s.Val != 43 {
+		t.Errorf("fold = %s, want Constant(43)", s)
+	}
+}
+
+func TestIdentities(t *testing.T) {
+	x := Field("x", 32, 0)
+	cases := []struct {
+		name string
+		e    *Expr
+		want *Expr
+	}{
+		{"add0", Add(x, Const(32, 0)), x},
+		{"add0-left", Add(Const(32, 0), x), x},
+		{"sub0", Sub(x, Const(32, 0)), x},
+		{"subself", Sub(x, x), Const(32, 0)},
+		{"mul1", Mul(x, Const(32, 1)), x},
+		{"mul0", Mul(x, Const(32, 0)), Const(32, 0)},
+		{"div1", UDiv(x, Const(32, 1)), x},
+		{"and-ones", And(x, Const(32, 0xFFFFFFFF)), x},
+		{"and0", And(x, Const(32, 0)), Const(32, 0)},
+		{"andself", And(x, x), x},
+		{"or0", Or(x, Const(32, 0)), x},
+		{"orself", Or(x, x), x},
+		{"xor0", Xor(x, Const(32, 0)), x},
+		{"xorself", Xor(x, x), Const(32, 0)},
+		{"shl0", Shl(x, Const(32, 0)), x},
+		{"eq-self", Eq(x, x), Bool1(true)},
+		{"ne-self", Ne(x, x), Bool1(false)},
+		{"ule-self", Ule(x, x), Bool1(true)},
+		{"ult-self", Ult(x, x), Bool1(false)},
+		{"ite-true", Ite(Bool1(true), x, Const(32, 9)), x},
+		{"ite-same", Ite(BoolOf(Field("c", 8, 9)), x, x), x},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if s := Simplify(c.e); !Equal(s, c.want) {
+				t.Errorf("Simplify(%s) = %s, want %s", c.e, s, c.want)
+			}
+		})
+	}
+}
+
+func TestExtractRules(t *testing.T) {
+	x := Field("x", 32, 0)
+	cases := []struct {
+		name string
+		e    *Expr
+		want *Expr
+	}{
+		{"extr-extr", Extract(7, 4, Extract(15, 0, x)), Extract(7, 4, x)},
+		{"extr-zext-low", Extract(7, 0, ZExt(64, x)), Extract(7, 0, x)},
+		{"extr-zext-high", Extract(63, 32, ZExt(64, x)), Const(32, 0)},
+		{"extr-and-ones", Extract(7, 0, And(x, Const(32, 0xFF))), Extract(7, 0, x)},
+		{"extr-and-zero", Extract(15, 8, And(x, Const(32, 0xFF))), Const(8, 0)},
+		{"concat-reassemble", Concat(Extract(15, 8, x), Extract(7, 0, x)), Extract(15, 0, x)},
+		{"concat-zero-high", Concat(Const(16, 0), Extract(15, 0, x)), ZExt(32, Extract(15, 0, x))},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if s := Simplify(c.e); !Equal(s, c.want) {
+				t.Errorf("Simplify(%s) = %s, want %s", c.e, s, c.want)
+			}
+		})
+	}
+}
+
+func TestAndMaskBecomesExtract(t *testing.T) {
+	f := Field("f", 16, 0)
+	// f & 0xFF00 keeps the high byte in place: Concat(Extract(15,8,f), 0).
+	s := Simplify(And(f, Const(16, 0xFF00)))
+	want := Concat(Extract(15, 8, f), Const(8, 0))
+	if !Equal(s, want) {
+		t.Errorf("high mask = %s, want %s", s, want)
+	}
+	// f & 0x00FF zero-extends the low byte.
+	s = Simplify(And(f, Const(16, 0x00FF)))
+	want = ZExt(16, Extract(7, 0, f))
+	if !Equal(s, want) {
+		t.Errorf("low mask = %s, want %s", s, want)
+	}
+}
+
+func TestSimplifyReducesOpCount(t *testing.T) {
+	// The paper's excised checks shrink dramatically; verify the
+	// machinery on a representative shift/mask tangle.
+	f := Field("h", 16, 0)
+	lo := And(f, Const(16, 0x00FF))
+	hi := LShr(And(f, Const(16, 0xFF00)), Const(16, 8))
+	val := Or(Shl(hi, Const(16, 8)), lo)
+	e := Ule(Mul(ZExt(64, val), ZExt(64, val)), Const(64, 536870911))
+	before := e.OpCount()
+	after := Simplify(e).OpCount()
+	if after >= before {
+		t.Errorf("OpCount did not shrink: %d -> %d", before, after)
+	}
+	if after > 4 {
+		t.Errorf("expected collapse to ~4 ops, got %d: %s", after, Simplify(e))
+	}
+}
+
+func TestZeroMask(t *testing.T) {
+	if z := zeroMask(Const(8, 0xF0)); z != 0x0F {
+		t.Errorf("zeroMask(0xF0) = %#x, want 0x0F", z)
+	}
+	z := zeroMask(ZExt(16, Field("b", 8, 0)))
+	if z != 0xFF00 {
+		t.Errorf("zeroMask(ZExt16(byte)) = %#x, want 0xFF00", z)
+	}
+	z = zeroMask(Concat(Field("b", 8, 0), Const(8, 0)))
+	if z != 0x00FF {
+		t.Errorf("zeroMask(Concat(b, 0)) = %#x, want 0x00FF", z)
+	}
+}
+
+func TestTrailingLeadingKnownZeros(t *testing.T) {
+	e := Concat(Field("b", 8, 0), Const(8, 0))
+	if k := trailingKnownZeros(e); k != 8 {
+		t.Errorf("trailingKnownZeros = %d, want 8", k)
+	}
+	e2 := ZExt(16, Field("b", 8, 0))
+	if k := leadingKnownZeros(e2); k != 8 {
+		t.Errorf("leadingKnownZeros = %d, want 8", k)
+	}
+}

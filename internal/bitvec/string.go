@@ -1,0 +1,43 @@
+package bitvec
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the expression in the paper's notation, e.g.
+//
+//	ULessEqual(32,Mul(64,ToSize(64,HachField(16,'/start_frame/content/width')),...),Constant(536870911))
+//
+// Operation nodes print their result width as the first argument;
+// constants print their value; fields print width and quoted path.
+func (e *Expr) String() string {
+	var sb strings.Builder
+	e.write(&sb)
+	return sb.String()
+}
+
+func (e *Expr) write(sb *strings.Builder) {
+	switch e.Op {
+	case OpConst:
+		fmt.Fprintf(sb, "Constant(%d)", e.Val)
+		return
+	case OpField:
+		fmt.Fprintf(sb, "HachField(%d,'%s')", e.W, e.Name)
+		return
+	case OpRef:
+		fmt.Fprintf(sb, "Ref(%d,%s)", e.W, e.Name)
+		return
+	case OpExtr:
+		fmt.Fprintf(sb, "Extract(%d,%d,", e.Hi, e.Lo)
+		e.X.write(sb)
+		sb.WriteByte(')')
+		return
+	}
+	fmt.Fprintf(sb, "%s(%d", e.Op.Name(), e.W)
+	for _, o := range e.Operands() {
+		sb.WriteByte(',')
+		o.write(sb)
+	}
+	sb.WriteByte(')')
+}

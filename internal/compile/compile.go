@@ -1,0 +1,162 @@
+// Package compile lowers checked MiniC programs to MVX bytecode,
+// laying out stack frames and the globals region, and emitting the
+// debug tables (variables, types, line numbers) that Code Phage's
+// recipient-side data structure traversal consumes.
+package compile
+
+import (
+	"fmt"
+
+	"codephage/internal/ir"
+	"codephage/internal/minic"
+)
+
+// globalGap is the redzone between globals so that out-of-bounds
+// accesses to one static buffer cannot silently land in the next.
+const globalGap = 16
+
+// Compile lowers a checked program into an executable module.
+func Compile(name string, prog *minic.Program) (*ir.Module, error) {
+	c := &compiler{
+		prog:  prog,
+		mod:   &ir.Module{Name: name},
+		types: map[string]int32{},
+	}
+	if err := c.run(); err != nil {
+		return nil, err
+	}
+	if err := c.mod.Validate(); err != nil {
+		return nil, fmt.Errorf("compile: internal error: %w", err)
+	}
+	return c.mod, nil
+}
+
+// CompileSource parses, checks and compiles MiniC source in one step.
+func CompileSource(name, src string) (*ir.Module, error) {
+	file, err := minic.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	prog, err := minic.Check(file)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	return Compile(name, prog)
+}
+
+type compiler struct {
+	prog  *minic.Program
+	mod   *ir.Module
+	types map[string]int32 // type key -> debug type index
+}
+
+func (c *compiler) run() error {
+	c.layoutGlobals()
+	entry := int32(-1)
+	for i, fd := range c.prog.Funcs {
+		fc := &funcCompiler{c: c, decl: fd}
+		f, err := fc.compile()
+		if err != nil {
+			return err
+		}
+		c.mod.Funcs = append(c.mod.Funcs, f)
+		if fd.Name == "main" {
+			entry = int32(i)
+		}
+	}
+	if entry < 0 {
+		return fmt.Errorf("compile: %s: no main function", c.mod.Name)
+	}
+	c.mod.Entry = entry
+	return nil
+}
+
+func (c *compiler) layoutGlobals() {
+	var off int32
+	for _, g := range c.prog.Globals {
+		a := g.Type.Align()
+		off = roundUp(off, a)
+		g.Off = off
+		size := g.Type.Size()
+		c.mod.GlobalBlocks = append(c.mod.GlobalBlocks, ir.GlobalBlock{Off: off, Size: size})
+		c.mod.GlobalVars = append(c.mod.GlobalVars, ir.VarInfo{
+			Name: g.Name, Type: c.typeIndex(g.Type), Off: off,
+		})
+		off += size + globalGap
+	}
+	c.mod.Globals = make([]byte, off)
+	for _, g := range c.prog.Globals {
+		if !g.HasInit {
+			continue
+		}
+		it, _ := minic.IsInt(g.Type)
+		writeLE(c.mod.Globals[g.Off:], g.InitVal, int(it.Bits)/8)
+	}
+}
+
+func writeLE(dst []byte, v uint64, n int) {
+	for i := 0; i < n; i++ {
+		dst[i] = byte(v >> (8 * i))
+	}
+}
+
+func roundUp(v, a int32) int32 {
+	if a <= 1 {
+		return v
+	}
+	return (v + a - 1) / a * a
+}
+
+// typeIndex interns a semantic type into the debug type table.
+func (c *compiler) typeIndex(t minic.Type) int32 {
+	key := typeKeyOf(t)
+	if idx, ok := c.types[key]; ok {
+		return idx
+	}
+	// Reserve the slot first so recursive struct pointers terminate.
+	idx := int32(len(c.mod.Types))
+	c.mod.Types = append(c.mod.Types, ir.TypeInfo{})
+	c.types[key] = idx
+
+	var info ir.TypeInfo
+	switch tt := t.(type) {
+	case *minic.VoidType:
+		info = ir.TypeInfo{Kind: ir.KVoid}
+	case *minic.IntType:
+		info = ir.TypeInfo{
+			Kind: ir.KInt, Size: tt.Size(),
+			Signed: tt.Signed, W: ir.Width(tt.Bits), Name: tt.String(),
+		}
+	case *minic.PtrType:
+		info = ir.TypeInfo{Kind: ir.KPtr, Size: 8, Elem: c.typeIndex(tt.Elem)}
+	case *minic.ArrayType:
+		info = ir.TypeInfo{
+			Kind: ir.KArray, Size: tt.Size(),
+			Elem: c.typeIndex(tt.Elem), Count: tt.N,
+		}
+	case *minic.StructType:
+		info = ir.TypeInfo{Kind: ir.KStruct, Name: tt.Name, Size: tt.Size()}
+		for _, f := range tt.Fields {
+			info.Fields = append(info.Fields, ir.FieldInfo{
+				Name: f.Name, Type: c.typeIndex(f.Type), Off: f.Off,
+			})
+		}
+	default:
+		panic(fmt.Sprintf("compile: unknown type %T", t))
+	}
+	c.mod.Types[idx] = info
+	return idx
+}
+
+func typeKeyOf(t minic.Type) string { return t.String() }
+
+// widthOf returns the MVX width of a scalar type (pointers are 64-bit).
+func widthOf(t minic.Type) ir.Width {
+	switch tt := t.(type) {
+	case *minic.IntType:
+		return ir.Width(tt.Bits)
+	case *minic.PtrType:
+		return ir.W64
+	}
+	panic(fmt.Sprintf("compile: no scalar width for %s", t))
+}

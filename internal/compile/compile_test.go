@@ -1,0 +1,183 @@
+package compile
+
+import (
+	"strings"
+	"testing"
+
+	"codephage/internal/ir"
+)
+
+func mustCompile(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	m, err := CompileSource("test", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestCompileRequiresMain(t *testing.T) {
+	_, err := CompileSource("t", `void f() { }`)
+	if err == nil || !strings.Contains(err.Error(), "main") {
+		t.Fatalf("err = %v, want missing main", err)
+	}
+}
+
+func TestDebugInfoEmission(t *testing.T) {
+	m := mustCompile(t, `
+struct Img { u32 w; u32 h; u8* data; };
+u32 counter = 7;
+u8 table[16];
+u32 f(Img* im, u32 x) {
+	u32 local = x + 1;
+	return local + im->w;
+}
+void main() { Img i; i.w = 1; out((u64)f(&i, 2)); }
+`)
+	// Globals with types and offsets.
+	if len(m.GlobalVars) != 2 {
+		t.Fatalf("globals = %d, want 2", len(m.GlobalVars))
+	}
+	if m.GlobalVars[0].Name != "counter" {
+		t.Errorf("global 0 = %q", m.GlobalVars[0].Name)
+	}
+	// counter initialized to 7 (little-endian) in the globals image.
+	if m.Globals[m.GlobalVars[0].Off] != 7 {
+		t.Error("global initializer not written")
+	}
+	// Global blocks carry bounds for memcheck.
+	if len(m.GlobalBlocks) != 2 || m.GlobalBlocks[1].Size != 16 {
+		t.Errorf("global blocks = %+v", m.GlobalBlocks)
+	}
+
+	f, _ := m.FuncByName("f")
+	if f == nil {
+		t.Fatal("function f missing")
+	}
+	// Vars: im, x (params) + local.
+	if len(f.Vars) != 3 {
+		t.Fatalf("f vars = %d, want 3", len(f.Vars))
+	}
+	byName := map[string]ir.VarInfo{}
+	for _, v := range f.Vars {
+		byName[v.Name] = v
+	}
+	if byName["local"].Line == 0 {
+		t.Error("local has no declaration line")
+	}
+	// The type table must contain the struct with its fields.
+	foundStruct := false
+	for _, ti := range m.Types {
+		if ti.Kind == ir.KStruct && ti.Name == "Img" {
+			foundStruct = true
+			if len(ti.Fields) != 3 || ti.Fields[2].Name != "data" || ti.Fields[2].Off != 8 {
+				t.Errorf("Img fields = %+v", ti.Fields)
+			}
+			if ti.Size != 16 {
+				t.Errorf("Img size = %d", ti.Size)
+			}
+		}
+	}
+	if !foundStruct {
+		t.Error("struct Img missing from debug type table")
+	}
+}
+
+func TestTypeTableInterning(t *testing.T) {
+	m := mustCompile(t, `
+u32 a;
+u32 b;
+u32* p;
+u32* q;
+void main() { }
+`)
+	// u32 and u32* must each appear once.
+	count := map[string]int{}
+	for _, ti := range m.Types {
+		switch {
+		case ti.Kind == ir.KInt && ti.W == ir.W32 && !ti.Signed:
+			count["u32"]++
+		case ti.Kind == ir.KPtr:
+			count["ptr"]++
+		}
+	}
+	if count["u32"] != 1 || count["ptr"] != 1 {
+		t.Errorf("type table not interned: %v", count)
+	}
+}
+
+func TestRecursiveStructPointerType(t *testing.T) {
+	m := mustCompile(t, `
+struct Node { u32 val; Node* next; };
+void main() {
+	Node n;
+	n.val = 1;
+	n.next = &n;
+	out((u64)n.next->val);
+}
+`)
+	// The Node type references a pointer whose Elem is Node itself.
+	var nodeIdx int32 = -1
+	for i, ti := range m.Types {
+		if ti.Kind == ir.KStruct && ti.Name == "Node" {
+			nodeIdx = int32(i)
+		}
+	}
+	if nodeIdx < 0 {
+		t.Fatal("Node type missing")
+	}
+	next := m.Types[nodeIdx].Fields[1]
+	if m.Types[next.Type].Kind != ir.KPtr || m.Types[m.Types[next.Type].Elem].Name != "Node" {
+		t.Error("recursive pointer type not closed")
+	}
+}
+
+func TestLineTable(t *testing.T) {
+	m := mustCompile(t, `void main() {
+	u32 a = 1;
+	u32 b = 2;
+	out((u64)(a + b));
+}
+`)
+	f := m.Funcs[m.Entry]
+	seen := map[int32]bool{}
+	for _, in := range f.Code {
+		seen[in.Line] = true
+	}
+	for _, want := range []int32{2, 3, 4} {
+		if !seen[want] {
+			t.Errorf("line %d missing from line table", want)
+		}
+	}
+}
+
+func TestGlobalRedzones(t *testing.T) {
+	m := mustCompile(t, `
+u8 a[4];
+u8 b[4];
+void main() { }
+`)
+	if len(m.GlobalBlocks) != 2 {
+		t.Fatal("want 2 global blocks")
+	}
+	gap := m.GlobalBlocks[1].Off - (m.GlobalBlocks[0].Off + m.GlobalBlocks[0].Size)
+	if gap < globalGap {
+		t.Errorf("redzone gap = %d, want >= %d", gap, globalGap)
+	}
+}
+
+func TestFrameLayoutAlignment(t *testing.T) {
+	m := mustCompile(t, `
+void f(u8 a, u64 b, u16 c) {
+	out((u64)a + b + (u64)c);
+}
+void main() { f(1, 2, 3); }
+`)
+	f, _ := m.FuncByName("f")
+	if f.Params[1].Off%8 != 0 {
+		t.Errorf("u64 param at offset %d, want 8-aligned", f.Params[1].Off)
+	}
+	if f.FrameSize%8 != 0 {
+		t.Errorf("frame size %d not 8-aligned", f.FrameSize)
+	}
+}

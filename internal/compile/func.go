@@ -1,0 +1,468 @@
+package compile
+
+import (
+	"fmt"
+
+	"codephage/internal/ir"
+	"codephage/internal/minic"
+)
+
+type funcCompiler struct {
+	c    *compiler
+	decl *minic.FuncDecl
+	f    *ir.Function
+	line int32
+	// Loop context for break/continue: continue jumps to the loop
+	// head, break targets are backpatched at loop end.
+	loopHeads  []int32
+	loopBreaks [][]int32
+}
+
+func (fc *funcCompiler) compile() (*ir.Function, error) {
+	d := fc.decl
+	fc.f = &ir.Function{Name: d.Name}
+	if _, isVoid := d.RetType.(*minic.VoidType); !isVoid {
+		fc.f.RetW = widthOf(d.RetType)
+	}
+
+	// Frame layout: params first, then locals, all naturally aligned.
+	var off int32
+	place := func(sym *minic.Symbol) {
+		a := sym.Type.Align()
+		off = roundUp(off, a)
+		sym.Off = off
+		off += sym.Type.Size()
+	}
+	for _, p := range d.ParamSyms {
+		place(p)
+		fc.f.Params = append(fc.f.Params, ir.Param{Off: p.Off, W: widthOf(p.Type)})
+	}
+	for _, l := range d.Locals {
+		if l.Kind == minic.SymParam {
+			continue
+		}
+		place(l)
+	}
+	fc.f.FrameSize = roundUp(off, 8)
+
+	// Debug variable table.
+	for _, l := range d.Locals {
+		fc.f.Vars = append(fc.f.Vars, ir.VarInfo{
+			Name: l.Name, Type: fc.c.typeIndex(l.Type), Off: l.Off,
+			Line: int32(l.Line),
+		})
+	}
+
+	fc.genBlock(d.Body)
+	// Implicit return at the end (void functions may fall off the end;
+	// value-returning functions return 0, as C permits for main).
+	zero := fc.newReg()
+	fc.emit(ir.Instr{Op: ir.ConstOp, W: ir.W64, Dst: zero, Imm: 0})
+	fc.emit(ir.Instr{Op: ir.Ret, A: zero})
+	if fc.f.NumRegs == 0 {
+		fc.f.NumRegs = 1
+	}
+	return fc.f, nil
+}
+
+func (fc *funcCompiler) newReg() ir.Reg {
+	r := ir.Reg(fc.f.NumRegs)
+	fc.f.NumRegs++
+	return r
+}
+
+func (fc *funcCompiler) emit(in ir.Instr) int32 {
+	in.Line = fc.line
+	fc.f.Code = append(fc.f.Code, in)
+	return int32(len(fc.f.Code) - 1)
+}
+
+func (fc *funcCompiler) here() int32 { return int32(len(fc.f.Code)) }
+
+func (fc *funcCompiler) setLine(line int) {
+	if line > 0 {
+		fc.line = int32(line)
+	}
+}
+
+func (fc *funcCompiler) constReg(w ir.Width, v uint64) ir.Reg {
+	r := fc.newReg()
+	fc.emit(ir.Instr{Op: ir.ConstOp, W: w, Dst: r, Imm: v & w.Mask()})
+	return r
+}
+
+func (fc *funcCompiler) genBlock(b *minic.Block) {
+	for _, s := range b.Stmts {
+		fc.genStmt(s)
+	}
+}
+
+func (fc *funcCompiler) genStmt(s minic.Stmt) {
+	fc.setLine(s.Pos())
+	switch st := s.(type) {
+	case *minic.Block:
+		fc.genBlock(st)
+	case *minic.DeclStmt:
+		if st.Decl.Init != nil {
+			val := fc.genExpr(st.Decl.Init)
+			addr := fc.newReg()
+			fc.emit(ir.Instr{Op: ir.FrameAddr, Dst: addr, Imm: uint64(st.Decl.Sym.Off)})
+			fc.emit(ir.Instr{Op: ir.Store, W: widthOf(st.Decl.Sym.Type), A: addr, B: val})
+		}
+	case *minic.AssignStmt:
+		addr := fc.genAddr(st.LHS)
+		val := fc.genExpr(st.RHS)
+		fc.emit(ir.Instr{Op: ir.Store, W: widthOf(st.LHS.Type()), A: addr, B: val})
+	case *minic.IfStmt:
+		cond := fc.genCond(st.Cond)
+		br := fc.emit(ir.Instr{Op: ir.Br, A: cond})
+		fc.f.Code[br].Target = fc.here()
+		fc.genBlock(st.Then)
+		if st.Else == nil {
+			fc.f.Code[br].Target2 = fc.here()
+			return
+		}
+		jend := fc.emit(ir.Instr{Op: ir.Jmp})
+		fc.f.Code[br].Target2 = fc.here()
+		fc.genStmt(st.Else)
+		fc.f.Code[jend].Target = fc.here()
+	case *minic.WhileStmt:
+		top := fc.here()
+		cond := fc.genCond(st.Cond)
+		br := fc.emit(ir.Instr{Op: ir.Br, A: cond})
+		fc.f.Code[br].Target = fc.here()
+		fc.loopHeads = append(fc.loopHeads, top)
+		fc.loopBreaks = append(fc.loopBreaks, nil)
+		fc.genBlock(st.Body)
+		fc.emit(ir.Instr{Op: ir.Jmp, Target: top})
+		end := fc.here()
+		fc.f.Code[br].Target2 = end
+		for _, b := range fc.loopBreaks[len(fc.loopBreaks)-1] {
+			fc.f.Code[b].Target = end
+		}
+		fc.loopHeads = fc.loopHeads[:len(fc.loopHeads)-1]
+		fc.loopBreaks = fc.loopBreaks[:len(fc.loopBreaks)-1]
+	case *minic.BreakStmt:
+		j := fc.emit(ir.Instr{Op: ir.Jmp})
+		fc.loopBreaks[len(fc.loopBreaks)-1] = append(fc.loopBreaks[len(fc.loopBreaks)-1], j)
+	case *minic.ContinueStmt:
+		fc.emit(ir.Instr{Op: ir.Jmp, Target: fc.loopHeads[len(fc.loopHeads)-1]})
+	case *minic.ReturnStmt:
+		if st.E == nil {
+			zero := fc.constReg(ir.W64, 0)
+			fc.emit(ir.Instr{Op: ir.Ret, A: zero})
+			return
+		}
+		v := fc.genExpr(st.E)
+		fc.emit(ir.Instr{Op: ir.Ret, A: v})
+	case *minic.ExprStmt:
+		if st.E != nil {
+			fc.genExpr(st.E)
+		}
+	default:
+		panic(fmt.Sprintf("compile: unknown statement %T", s))
+	}
+}
+
+// genCond evaluates a scalar condition to a register (nonzero = true).
+func (fc *funcCompiler) genCond(e minic.Expr) ir.Reg { return fc.genExpr(e) }
+
+// genExpr evaluates an expression for its value.
+func (fc *funcCompiler) genExpr(e minic.Expr) ir.Reg {
+	fc.setLine(e.Pos())
+	switch ee := e.(type) {
+	case *minic.NumLit:
+		return fc.constReg(widthOf(ee.Type()), ee.Val)
+	case *minic.Ident:
+		addr := fc.genAddr(ee)
+		dst := fc.newReg()
+		fc.emit(ir.Instr{Op: ir.Load, W: widthOf(ee.Type()), Dst: dst, A: addr})
+		return dst
+	case *minic.Unary:
+		return fc.genUnary(ee)
+	case *minic.Binary:
+		return fc.genBinary(ee)
+	case *minic.Call:
+		return fc.genCall(ee)
+	case *minic.Index, *minic.Member:
+		addr := fc.genAddr(e)
+		dst := fc.newReg()
+		fc.emit(ir.Instr{Op: ir.Load, W: widthOf(e.Type()), Dst: dst, A: addr})
+		return dst
+	case *minic.Cast:
+		return fc.genCast(ee)
+	case *minic.SizeOf:
+		return fc.constReg(ir.W32, ee.Size)
+	}
+	panic(fmt.Sprintf("compile: unknown expression %T", e))
+}
+
+func (fc *funcCompiler) genUnary(e *minic.Unary) ir.Reg {
+	switch e.Op {
+	case minic.TMinus:
+		x := fc.genExpr(e.X)
+		w := widthOf(e.Type())
+		zero := fc.constReg(w, 0)
+		dst := fc.newReg()
+		fc.emit(ir.Instr{Op: ir.Sub, W: w, Dst: dst, A: zero, B: x})
+		return dst
+	case minic.TTilde:
+		x := fc.genExpr(e.X)
+		w := widthOf(e.Type())
+		ones := fc.constReg(w, ^uint64(0))
+		dst := fc.newReg()
+		fc.emit(ir.Instr{Op: ir.Xor, W: w, Dst: dst, A: x, B: ones})
+		return dst
+	case minic.TBang:
+		x := fc.genExpr(e.X)
+		w := widthOf(e.X.Type())
+		zero := fc.constReg(w, 0)
+		dst := fc.newReg()
+		fc.emit(ir.Instr{Op: ir.Eq, W: w, Dst: dst, A: x, B: zero})
+		return dst
+	case minic.TStar:
+		addr := fc.genExpr(e.X)
+		dst := fc.newReg()
+		fc.emit(ir.Instr{Op: ir.Load, W: widthOf(e.Type()), Dst: dst, A: addr})
+		return dst
+	case minic.TAmp:
+		return fc.genAddr(e.X)
+	}
+	panic("compile: bad unary op")
+}
+
+func (fc *funcCompiler) genBinary(e *minic.Binary) ir.Reg {
+	if e.Op == minic.TAndAnd || e.Op == minic.TOrOr {
+		return fc.genShortCircuit(e)
+	}
+
+	// Pointer arithmetic: scale the integer operand by the element size.
+	if pt, isPtr := minic.IsPtr(e.Type()); isPtr && (e.Op == minic.TPlus || e.Op == minic.TMinus) {
+		var ptrE, intE minic.Expr
+		if _, ok := minic.IsPtr(e.X.Type()); ok {
+			ptrE, intE = e.X, e.Y
+		} else {
+			ptrE, intE = e.Y, e.X
+		}
+		p := fc.genExpr(ptrE)
+		i := fc.genExpr(intE)
+		size := fc.constReg(ir.W64, uint64(pt.Elem.Size()))
+		scaled := fc.newReg()
+		fc.emit(ir.Instr{Op: ir.Mul, W: ir.W64, Dst: scaled, A: i, B: size})
+		dst := fc.newReg()
+		op := ir.Add
+		if e.Op == minic.TMinus {
+			op = ir.Sub
+		}
+		fc.emit(ir.Instr{Op: op, W: ir.W64, Dst: dst, A: p, B: scaled})
+		return dst
+	}
+
+	x := fc.genExpr(e.X)
+	y := fc.genExpr(e.Y)
+	dst := fc.newReg()
+
+	// Comparisons operate at the operand width; everything else at the
+	// result width.
+	signed := false
+	var opw ir.Width
+	if e.Op == minic.TEq || e.Op == minic.TNe || e.Op == minic.TLt ||
+		e.Op == minic.TLe || e.Op == minic.TGt || e.Op == minic.TGe {
+		opw = widthOf(e.X.Type())
+		if it, ok := minic.IsInt(e.X.Type()); ok {
+			signed = it.Signed
+		}
+	} else {
+		opw = widthOf(e.Type())
+		if it, ok := minic.IsInt(e.Type()); ok {
+			signed = it.Signed
+		}
+	}
+
+	var op ir.Op
+	var swap bool
+	switch e.Op {
+	case minic.TPlus:
+		op = ir.Add
+	case minic.TMinus:
+		op = ir.Sub
+	case minic.TStar:
+		op = ir.Mul
+	case minic.TSlash:
+		op = ir.UDiv
+		if signed {
+			op = ir.SDiv
+		}
+	case minic.TPercent:
+		op = ir.URem
+		if signed {
+			op = ir.SRem
+		}
+	case minic.TAmp:
+		op = ir.And
+	case minic.TPipe:
+		op = ir.Or
+	case minic.TCaret:
+		op = ir.Xor
+	case minic.TShl:
+		op = ir.Shl
+	case minic.TShr:
+		op = ir.LShr
+		if signed {
+			op = ir.AShr
+		}
+	case minic.TEq:
+		op = ir.Eq
+	case minic.TNe:
+		op = ir.Ne
+	case minic.TLt:
+		op = ir.ULt
+		if signed {
+			op = ir.SLt
+		}
+	case minic.TLe:
+		op = ir.ULe
+		if signed {
+			op = ir.SLe
+		}
+	case minic.TGt:
+		op, swap = ir.ULt, true
+		if signed {
+			op = ir.SLt
+		}
+	case minic.TGe:
+		op, swap = ir.ULe, true
+		if signed {
+			op = ir.SLe
+		}
+	default:
+		panic("compile: bad binary op")
+	}
+	if swap {
+		x, y = y, x
+	}
+	fc.emit(ir.Instr{Op: op, W: opw, Dst: dst, A: x, B: y})
+	return dst
+}
+
+// genShortCircuit lowers && and || with branches, producing 0 or 1.
+// The intermediate branches are conditional branch sites visible to
+// the taint tracker, exactly like compiled C short-circuit code.
+func (fc *funcCompiler) genShortCircuit(e *minic.Binary) ir.Reg {
+	// Result slot in a register written on both paths via moves.
+	dst := fc.newReg()
+	x := fc.genExpr(e.X)
+	brX := fc.emit(ir.Instr{Op: ir.Br, A: x})
+
+	evalY := func() {
+		y := fc.genExpr(e.Y)
+		w := widthOf(e.Y.Type())
+		zero := fc.constReg(w, 0)
+		fc.emit(ir.Instr{Op: ir.Ne, W: w, Dst: dst, A: y, B: zero})
+	}
+
+	if e.Op == minic.TAndAnd {
+		// x true -> evaluate y; x false -> result 0.
+		fc.f.Code[brX].Target = fc.here()
+		evalY()
+		jend := fc.emit(ir.Instr{Op: ir.Jmp})
+		fc.f.Code[brX].Target2 = fc.here()
+		fc.emit(ir.Instr{Op: ir.ConstOp, W: ir.W32, Dst: dst, Imm: 0})
+		fc.f.Code[jend].Target = fc.here()
+	} else {
+		// x true -> result 1; x false -> evaluate y.
+		fc.f.Code[brX].Target = fc.here()
+		fc.emit(ir.Instr{Op: ir.ConstOp, W: ir.W32, Dst: dst, Imm: 1})
+		jend := fc.emit(ir.Instr{Op: ir.Jmp})
+		fc.f.Code[brX].Target2 = fc.here()
+		evalY()
+		fc.f.Code[jend].Target = fc.here()
+	}
+	return dst
+}
+
+func (fc *funcCompiler) genCall(e *minic.Call) ir.Reg {
+	args := make([]ir.Reg, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = fc.genExpr(a)
+	}
+	dst := fc.newReg()
+	if e.Sym == nil {
+		fc.emit(ir.Instr{Op: ir.CallB, Dst: dst, Builtin: ir.Builtin(e.Builtin), Args: args})
+	} else {
+		fc.emit(ir.Instr{Op: ir.Call, Dst: dst, Fn: e.Sym.FnIndex, Args: args})
+	}
+	return dst
+}
+
+func (fc *funcCompiler) genCast(e *minic.Cast) ir.Reg {
+	// Array-to-pointer decay: the value is the array's address.
+	if _, isArr := e.X.Type().(*minic.ArrayType); isArr {
+		return fc.genAddr(e.X)
+	}
+	x := fc.genExpr(e.X)
+	from := widthOf(e.X.Type())
+	to := widthOf(e.Type())
+	dst := fc.newReg()
+	switch {
+	case to == from:
+		fc.emit(ir.Instr{Op: ir.Mov, W: to, Dst: dst, A: x})
+	case to < from:
+		fc.emit(ir.Instr{Op: ir.Trunc, W: to, SrcW: from, Dst: dst, A: x})
+	default:
+		op := ir.ZExt
+		if it, ok := minic.IsInt(e.X.Type()); ok && it.Signed {
+			op = ir.SExt
+		}
+		fc.emit(ir.Instr{Op: op, W: to, SrcW: from, Dst: dst, A: x})
+	}
+	return dst
+}
+
+// genAddr evaluates an lvalue to its address.
+func (fc *funcCompiler) genAddr(e minic.Expr) ir.Reg {
+	fc.setLine(e.Pos())
+	switch ee := e.(type) {
+	case *minic.Ident:
+		dst := fc.newReg()
+		if ee.Sym.Kind == minic.SymGlobal {
+			fc.emit(ir.Instr{Op: ir.GlobalAddr, Dst: dst, Imm: uint64(ee.Sym.Off)})
+		} else {
+			fc.emit(ir.Instr{Op: ir.FrameAddr, Dst: dst, Imm: uint64(ee.Sym.Off)})
+		}
+		return dst
+	case *minic.Unary:
+		if ee.Op == minic.TStar {
+			return fc.genExpr(ee.X)
+		}
+	case *minic.Index:
+		var base ir.Reg
+		if _, isArr := ee.X.Type().(*minic.ArrayType); isArr {
+			base = fc.genAddr(ee.X)
+		} else {
+			base = fc.genExpr(ee.X)
+		}
+		idx := fc.genExpr(ee.I)
+		size := fc.constReg(ir.W64, uint64(ee.Type().Size()))
+		scaled := fc.newReg()
+		fc.emit(ir.Instr{Op: ir.Mul, W: ir.W64, Dst: scaled, A: idx, B: size})
+		dst := fc.newReg()
+		fc.emit(ir.Instr{Op: ir.Add, W: ir.W64, Dst: dst, A: base, B: scaled})
+		return dst
+	case *minic.Member:
+		var base ir.Reg
+		if ee.Arrow {
+			base = fc.genExpr(ee.X)
+		} else {
+			base = fc.genAddr(ee.X)
+		}
+		if ee.Field.Off == 0 {
+			return base
+		}
+		off := fc.constReg(ir.W64, uint64(ee.Field.Off))
+		dst := fc.newReg()
+		fc.emit(ir.Instr{Op: ir.Add, W: ir.W64, Dst: dst, A: base, B: off})
+		return dst
+	}
+	panic(fmt.Sprintf("compile: not an lvalue: %T", e))
+}

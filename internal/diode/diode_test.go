@@ -1,0 +1,250 @@
+package diode
+
+import (
+	"testing"
+
+	"codephage/internal/apps"
+	"codephage/internal/bitvec"
+	"codephage/internal/hachoir"
+	"codephage/internal/smt"
+	"codephage/internal/vm"
+)
+
+func dissect(t *testing.T, format string, input []byte) *hachoir.Dissection {
+	t.Helper()
+	d, ok := hachoir.ByName(format)
+	if !ok {
+		t.Fatalf("no dissector %q", format)
+	}
+	dis, err := d.Dissect(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dis
+}
+
+func TestWidenDetectsWrap(t *testing.T) {
+	w := bitvec.Field("w", 16, 0)
+	h := bitvec.Field("h", 16, 2)
+	size := bitvec.Mul(bitvec.Mul(bitvec.ZExt(32, w), bitvec.ZExt(32, h)), bitvec.Const(32, 4))
+	wide := Widen(size)
+	env := bitvec.MapEnv{Fields: map[string]uint64{"w": 0xFFFF, "h": 0xFFFF}}
+	nv, err := bitvec.Eval(size, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wv, err := bitvec.Eval(wide, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(0xFFFF) * 0xFFFF * 4
+	if wv != want {
+		t.Errorf("wide = %d, want %d", wv, want)
+	}
+	if nv == wv {
+		t.Error("narrow evaluation did not wrap")
+	}
+	if nv != want&0xFFFFFFFF {
+		t.Errorf("narrow = %d, want %d", nv, want&0xFFFFFFFF)
+	}
+}
+
+func TestWidenAgreesWhenNoWrap(t *testing.T) {
+	w := bitvec.Field("w", 16, 0)
+	size := bitvec.Add(bitvec.ZExt(32, w), bitvec.Const(32, 3))
+	wide := Widen(size)
+	for _, v := range []uint64{0, 1, 100, 0xFFFF} {
+		env := bitvec.MapEnv{Fields: map[string]uint64{"w": v}}
+		nv, _ := bitvec.Eval(size, env)
+		wv, _ := bitvec.Eval(wide, env)
+		if nv != wv {
+			t.Errorf("w=%d: narrow %d != wide %d without overflow", v, nv, wv)
+		}
+	}
+}
+
+func TestOverflowCondSatisfiableForVulnerableSize(t *testing.T) {
+	w := bitvec.Field("w", 32, 0)
+	h := bitvec.Field("h", 32, 4)
+	size := bitvec.Mul(bitvec.Mul(w, h), bitvec.Const(32, 4))
+	cond := OverflowCond(size, 1<<20)
+	s := smt.New()
+	ok, m, err := s.Sat(cond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("overflow condition unsatisfiable for w*h*4")
+	}
+	// Verify the model actually wraps.
+	env := bitvec.MapEnv{Fields: map[string]uint64(m)}
+	nv, _ := bitvec.Eval(size, env)
+	wv, _ := bitvec.Eval(Widen(size), env)
+	if nv == wv || nv == 0 || nv >= 1<<20 {
+		t.Errorf("model does not satisfy the goal: narrow=%d wide=%d", nv, wv)
+	}
+}
+
+func TestOverflowCondUnsatisfiableUnderGuard(t *testing.T) {
+	// With both dimensions bounded (the mtpaint-style per-dimension
+	// check), the product cannot overflow. Small widths keep the UNSAT
+	// multiplier proof within the SAT budget: w, h are 8-bit, bounded
+	// by 100, size is w*h*4 at 16 bits (max 40000 < 2^16).
+	w := bitvec.Field("w", 8, 0)
+	h := bitvec.Field("h", 8, 1)
+	size := bitvec.Mul(bitvec.Mul(bitvec.ZExt(16, w), bitvec.ZExt(16, h)), bitvec.Const(16, 4))
+	guard := bitvec.And(
+		bitvec.Ule(w, bitvec.Const(8, 100)),
+		bitvec.Ule(h, bitvec.Const(8, 100)))
+	cond := bitvec.And(guard, OverflowCond(size, 1<<20))
+	s := smt.New()
+	ok, m, err := s.Sat(cond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatalf("overflow possible under the guard: model %v", m)
+	}
+	// Without the guard the same size expression overflows.
+	ok, _, err = s.Sat(OverflowCond(size, 1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("unguarded 16-bit w*h*4 must overflow")
+	}
+}
+
+func TestDiscoverCWebPOverflow(t *testing.T) {
+	app, err := apps.ByName("cwebp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := apps.Build(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := apps.SeedMJPG()
+	dis := dissect(t, "mjpg", seed)
+	f, err := Discover(mod, seed, dis, Options{VulnFn: "read_jpeg"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f == nil {
+		t.Fatal("DIODE found no overflow in cwebp (there is one)")
+	}
+	if f.FnName != "read_jpeg" {
+		t.Errorf("site in %s, want read_jpeg", f.FnName)
+	}
+	if f.Trap == nil || (f.Trap.Kind != vm.TrapOOBWrite && f.Trap.Kind != vm.TrapOOBRead) {
+		t.Errorf("confirming trap = %v, want OOB", f.Trap)
+	}
+	if f.Narrow >= f.Wide {
+		t.Errorf("no wrap: narrow=%d wide=%d", f.Narrow, f.Wide)
+	}
+	// The error input must still be a valid MJPG the donors survive.
+	for _, dn := range []string{"feh", "mtpaint", "viewnior"} {
+		donor, _ := apps.ByName(dn)
+		dm, err := apps.Build(donor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := vm.New(dm, f.Input).Run()
+		if !r.OK() {
+			t.Errorf("donor %s crashes on the DIODE input: %v", dn, r.Trap)
+		}
+	}
+}
+
+func TestDiscoverAllOverflowTargets(t *testing.T) {
+	for _, tgt := range apps.Targets() {
+		if tgt.Kind != apps.Overflow {
+			continue
+		}
+		tgt := tgt
+		t.Run(tgt.Recipient+"/"+tgt.ID, func(t *testing.T) {
+			app, err := apps.ByName(tgt.Recipient)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mod, err := apps.Build(app)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dis := dissect(t, tgt.Format, tgt.Seed)
+			f, err := Discover(mod, tgt.Seed, dis, Options{VulnFn: tgt.VulnFn})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if f == nil {
+				t.Fatalf("no overflow found at %s", tgt.VulnFn)
+			}
+			if f.FnName != tgt.VulnFn {
+				t.Errorf("found site in %s, want %s", f.FnName, tgt.VulnFn)
+			}
+		})
+	}
+}
+
+func TestDiscoverFindsNothingInDonor(t *testing.T) {
+	// feh's IMAGE_DIMENSIONS_OK makes its allocation sizes safe; DIODE
+	// must come up empty.
+	donor, err := apps.ByName("feh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := apps.Build(donor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := apps.SeedMJPG()
+	dis := dissect(t, "mjpg", seed)
+	f, err := Discover(mod, seed, dis, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != nil {
+		t.Fatalf("DIODE claims an overflow in feh: %v", f)
+	}
+}
+
+func TestMutateFields(t *testing.T) {
+	seed := apps.SeedMJPG()
+	dis := dissect(t, "mjpg", seed)
+	out := MutateFields(seed, dis, map[string]uint64{
+		"/start_frame/content/width":  0xABCD,
+		"/start_frame/content/height": 0x1234,
+	})
+	vals := dis.FieldValues(out)
+	if vals["/start_frame/content/width"] != 0xABCD {
+		t.Errorf("width = %#x", vals["/start_frame/content/width"])
+	}
+	if vals["/start_frame/content/height"] != 0x1234 {
+		t.Errorf("height = %#x", vals["/start_frame/content/height"])
+	}
+	// Untouched fields preserved.
+	if vals["/start_frame/components"] != 3 {
+		t.Errorf("components = %d, want 3", vals["/start_frame/components"])
+	}
+	// Original input unmodified.
+	if dis.FieldValues(seed)["/start_frame/content/width"] != 100 {
+		t.Error("MutateFields modified its input")
+	}
+}
+
+func TestTaintedAllocSites(t *testing.T) {
+	app, _ := apps.ByName("dillo")
+	mod, err := apps.Build(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := apps.SeedMPNG()
+	dis := dissect(t, "mpng", seed)
+	allocs, res := TaintedAllocSites(mod, seed, dis, 0)
+	if !res.OK() {
+		t.Fatalf("seed run trapped: %v", res.Trap)
+	}
+	if len(allocs) != 2 {
+		t.Fatalf("tainted alloc sites = %d, want 2 (png.c and fltkimagebuf)", len(allocs))
+	}
+}

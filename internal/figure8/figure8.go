@@ -1,0 +1,216 @@
+// Package figure8 reproduces the paper's evaluation: it drives the
+// complete Code Phage pipeline for every donor/recipient row of
+// Figure 8, collecting the table's columns (generation time, relevant
+// and flipped branch counts, used checks, candidate insertion point
+// arithmetic X−Y−Z=W, and excised→translated check sizes).
+package figure8
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"codephage/internal/apps"
+	"codephage/internal/diode"
+	"codephage/internal/fuzz"
+	"codephage/internal/hachoir"
+	"codephage/internal/phage"
+)
+
+// Row is one Figure 8 table row.
+type Row struct {
+	Recipient string
+	Target    string
+	Donor     string
+	Kind      apps.ErrorKind
+
+	GenTime    time.Duration
+	Relevant   int
+	Flipped    []int // per transferred patch
+	UsedChecks int
+	Insert     [][4]int // per patch: X, Y, Z, W
+	CheckSizes [][2]int // per patch: excised ops -> translated ops
+	Patches    []string
+	FirstCheck bool  // every used check was the first flipped branch
+	OverflowOK *bool // SMT overflow-freedom verdict (overflow rows)
+	Result     *phage.Result
+	Err        error
+}
+
+// ErrorInputFor obtains the error-triggering input for a target: from
+// the registry CVE-style catalogue, by fuzzing (OOB), or from DIODE
+// (integer overflows), mirroring the paper's methodology (§4.1).
+func ErrorInputFor(tgt *apps.Target) ([]byte, error) {
+	if tgt.Error != nil {
+		return tgt.Error, nil
+	}
+	recipient, err := apps.ByName(tgt.Recipient)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := apps.Build(recipient)
+	if err != nil {
+		return nil, err
+	}
+	d, ok := hachoir.ByName(tgt.Format)
+	if !ok {
+		return nil, fmt.Errorf("figure8: no dissector %q", tgt.Format)
+	}
+	dis, err := d.Dissect(tgt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	switch tgt.Kind {
+	case apps.Overflow:
+		f, err := diode.Discover(mod, tgt.Seed, dis, diode.Options{VulnFn: tgt.VulnFn})
+		if err != nil {
+			return nil, err
+		}
+		if f == nil {
+			return nil, fmt.Errorf("figure8: DIODE found no overflow at %s/%s", tgt.Recipient, tgt.ID)
+		}
+		return f.Input, nil
+	default:
+		if c := fuzz.Find(mod, tgt.Seed, dis, fuzz.Options{}); c != nil {
+			return c.Input, nil
+		}
+		return nil, fmt.Errorf("figure8: fuzzing found no error at %s/%s", tgt.Recipient, tgt.ID)
+	}
+}
+
+// NewTransfer assembles the phage.Transfer for one table row.
+func NewTransfer(tgt *apps.Target, donorName string, opts phage.Options) (*phage.Transfer, error) {
+	recipient, err := apps.ByName(tgt.Recipient)
+	if err != nil {
+		return nil, err
+	}
+	donorApp, err := apps.ByName(donorName)
+	if err != nil {
+		return nil, err
+	}
+	donorBin, err := apps.BuildDonorBinary(donorApp)
+	if err != nil {
+		return nil, err
+	}
+	errIn, err := ErrorInputFor(tgt)
+	if err != nil {
+		return nil, err
+	}
+	vulnFn := ""
+	if tgt.Kind == apps.Overflow {
+		vulnFn = tgt.VulnFn
+	}
+	return &phage.Transfer{
+		RecipientName: tgt.Recipient,
+		RecipientSrc:  recipient.Source,
+		Donor:         donorBin,
+		DonorName:     donorName,
+		Format:        tgt.Format,
+		Seed:          tgt.Seed,
+		Error:         errIn,
+		Regression:    apps.RegressionSuite(tgt.Format),
+		VulnFn:        vulnFn,
+		Opts:          opts,
+	}, nil
+}
+
+// RunRow executes one donor/recipient pair end to end.
+func RunRow(tgt *apps.Target, donorName string, opts phage.Options) *Row {
+	row := &Row{Recipient: tgt.Recipient, Target: tgt.ID, Donor: donorName, Kind: tgt.Kind}
+	tr, err := NewTransfer(tgt, donorName, opts)
+	if err != nil {
+		row.Err = err
+		return row
+	}
+	res, err := tr.Run()
+	if err != nil {
+		row.Err = err
+		return row
+	}
+	row.Result = res
+	row.GenTime = res.GenTime
+	row.UsedChecks = res.UsedChecks()
+	row.FirstCheck = true
+	row.OverflowOK = res.OverflowFreeProven
+	for _, pr := range res.Rounds {
+		if row.Relevant == 0 {
+			row.Relevant = pr.RelevantSites
+		}
+		row.Flipped = append(row.Flipped, pr.FlippedSites)
+		row.Insert = append(row.Insert, [4]int{
+			pr.CandidatePoints, pr.UnstablePoints, pr.Untranslatable, pr.ViablePoints,
+		})
+		row.CheckSizes = append(row.CheckSizes, [2]int{pr.ExcisedOps, pr.TranslatedOps})
+		row.Patches = append(row.Patches, pr.PatchText)
+		if pr.CheckIndex != 0 {
+			row.FirstCheck = false
+		}
+	}
+	return row
+}
+
+// AllRows runs every donor/recipient pair of the target catalogue —
+// the complete Figure 8 experiment.
+func AllRows(opts phage.Options) []*Row {
+	var rows []*Row
+	for _, tgt := range apps.Targets() {
+		for _, donor := range tgt.Donors {
+			rows = append(rows, RunRow(tgt, donor, opts))
+		}
+	}
+	return rows
+}
+
+// FlippedString renders the flipped-branch column ("5" or "[1,1]").
+func (r *Row) FlippedString() string { return bracketed(r.Flipped) }
+
+// InsertString renders the insertion point column ("38-2-31=5 …").
+func (r *Row) InsertString() string {
+	parts := make([]string, len(r.Insert))
+	for i, s := range r.Insert {
+		parts[i] = fmt.Sprintf("%d-%d-%d=%d", s[0], s[1], s[2], s[3])
+	}
+	return strings.Join(parts, " ")
+}
+
+// SizeString renders the check size column ("57->4" or "[(18->1),(18->1)]").
+func (r *Row) SizeString() string {
+	if len(r.CheckSizes) == 1 {
+		return fmt.Sprintf("%d->%d", r.CheckSizes[0][0], r.CheckSizes[0][1])
+	}
+	parts := make([]string, len(r.CheckSizes))
+	for i, s := range r.CheckSizes {
+		parts[i] = fmt.Sprintf("(%d->%d)", s[0], s[1])
+	}
+	return "[" + strings.Join(parts, ",") + "]"
+}
+
+func bracketed(vals []int) string {
+	if len(vals) == 1 {
+		return fmt.Sprintf("%d", vals[0])
+	}
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = fmt.Sprintf("%d", v)
+	}
+	return "[" + strings.Join(parts, ",") + "]"
+}
+
+// FormatTable renders rows in the layout of Figure 8.
+func FormatTable(rows []*Row) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-12s %-24s %-12s %9s %9s %9s %7s %-16s %s\n",
+		"Recipient", "Target", "Donor", "Time", "Relevant", "Flipped", "Checks", "Insertion Pts", "Check Size")
+	for _, r := range rows {
+		if r.Err != nil {
+			fmt.Fprintf(&sb, "%-12s %-24s %-12s FAILED: %v\n", r.Recipient, r.Target, r.Donor, r.Err)
+			continue
+		}
+		fmt.Fprintf(&sb, "%-12s %-24s %-12s %9s %9d %9s %7d %-16s %s\n",
+			r.Recipient, r.Target, r.Donor,
+			r.GenTime.Round(time.Millisecond),
+			r.Relevant, r.FlippedString(), r.UsedChecks,
+			r.InsertString(), r.SizeString())
+	}
+	return sb.String()
+}

@@ -1,0 +1,199 @@
+package figure8
+
+import (
+	"testing"
+
+	"codephage/internal/apps"
+	"codephage/internal/phage"
+	"codephage/internal/vm"
+)
+
+// TestFigure8AllRows is the headline experiment: every donor/recipient
+// pair of the paper's Figure 8 must produce a validated transfer.
+func TestFigure8AllRows(t *testing.T) {
+	rows := AllRows(phage.Options{})
+	if len(rows) != 18 {
+		t.Fatalf("rows = %d, want 18", len(rows))
+	}
+	t.Logf("\n%s", FormatTable(rows))
+	for _, r := range rows {
+		r := r
+		t.Run(r.Recipient+"/"+r.Target+"<-"+r.Donor, func(t *testing.T) {
+			if r.Err != nil {
+				t.Fatalf("transfer failed: %v", r.Err)
+			}
+			if r.UsedChecks < 1 {
+				t.Fatal("no checks transferred")
+			}
+			// Paper: the transferred checks always came from the first
+			// flipped branch.
+			if !r.FirstCheck {
+				t.Error("a used check was not the first flipped branch")
+			}
+			// W >= 1 for every patch.
+			for _, ins := range r.Insert {
+				if ins[3] < 1 {
+					t.Errorf("no viable insertion points: %v", ins)
+				}
+				if ins[0]-ins[1]-ins[2] != ins[3] {
+					t.Errorf("X-Y-Z != W: %v", ins)
+				}
+			}
+			// Check-size reduction: the translated check must not grow.
+			for _, cs := range r.CheckSizes {
+				if cs[1] > cs[0] {
+					t.Errorf("translated check larger than excised: %d -> %d", cs[0], cs[1])
+				}
+			}
+			// The patched recipient must survive the error input and
+			// keep processing the regression suite.
+			tgt, err := apps.TargetByID(r.Recipient, r.Target)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, pr := range r.Result.Rounds {
+				run := vm.New(r.Result.FinalModule, pr.ErrorInput).Run()
+				if !run.OK() {
+					t.Errorf("patched recipient traps on a round's error input: %v", run.Trap)
+				}
+			}
+			for i, input := range apps.RegressionSuite(tgt.Format) {
+				run := vm.New(r.Result.FinalModule, input).Run()
+				if !run.OK() || run.ExitCode != 0 {
+					t.Errorf("patched recipient broke regression input %d: exit %d trap %v",
+						i, run.ExitCode, run.Trap)
+				}
+			}
+		})
+	}
+}
+
+// TestMultiPatchRecursion checks that at least one overflow target
+// needs multiple recursive patches (the paper's [X1,…,Xn] rows) and
+// that single-check donors finish in one round.
+func TestMultiPatchRecursion(t *testing.T) {
+	tgt, err := apps.TargetByID("dillo", "png.c@203")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// mtpaint bounds each dimension separately: eliminating the
+	// width-driven overflow leaves a height-driven residual error, so
+	// DIODE re-discovery must force a second patch.
+	row := RunRow(tgt, "mtpaint", phage.Options{})
+	if row.Err != nil {
+		t.Fatalf("dillo<-mtpaint failed: %v", row.Err)
+	}
+	if row.UsedChecks < 2 {
+		t.Errorf("dillo<-mtpaint used %d checks; the per-dimension donor check needs >= 2 (paper row [1,1])", row.UsedChecks)
+	}
+	// feh's IMAGE_DIMENSIONS_OK bounds the width*height product in one
+	// check: one patch covers every overflow at the site.
+	row = RunRow(tgt, "feh", phage.Options{})
+	if row.Err != nil {
+		t.Fatalf("dillo<-feh failed: %v", row.Err)
+	}
+	if row.UsedChecks != 1 {
+		t.Errorf("dillo<-feh used %d checks, want 1 (product-based donor check)", row.UsedChecks)
+	}
+}
+
+// TestUnstablePointFiltering: recipients whose reading code is shared
+// by several callers produce unstable points that must be filtered.
+func TestUnstablePointFiltering(t *testing.T) {
+	rows := AllRows(phage.Options{})
+	sawUnstable := false
+	for _, r := range rows {
+		if r.Err != nil {
+			continue
+		}
+		for _, ins := range r.Insert {
+			if ins[1] > 0 {
+				sawUnstable = true
+			}
+		}
+	}
+	if !sawUnstable {
+		t.Error("no unstable points filtered anywhere; the filter is untested by the workload")
+	}
+}
+
+// TestOverflowFreedomVerdicts: where the SMT argument completes, the
+// verdict must agree with DIODE's residual scan (which found nothing
+// by the end of each transfer).
+func TestOverflowFreedomVerdicts(t *testing.T) {
+	tgt, err := apps.TargetByID("cwebp", "jpegdec.c@248")
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := RunRow(tgt, "mtpaint", phage.Options{})
+	if row.Err != nil {
+		t.Fatalf("cwebp<-mtpaint failed: %v", row.Err)
+	}
+	if row.OverflowOK != nil && !*row.OverflowOK {
+		t.Error("SMT claims overflow still possible, but DIODE found no residual error")
+	}
+}
+
+// TestReturnZeroStrategy reproduces §4.5's alternate strategy: the
+// Wireshark divide-by-zero patch returns 0 instead of exiting,
+// enabling continued execution.
+func TestReturnZeroStrategy(t *testing.T) {
+	tgt, err := apps.TargetByID("wireshark14", "packet-dcp-etsi.c@258")
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := RunRow(tgt, "wireshark18", phage.Options{ExitMode: phage.ReturnZero})
+	if row.Err != nil {
+		t.Fatalf("return-zero transfer failed: %v", row.Err)
+	}
+	run := vm.New(row.Result.FinalModule, row.Result.Rounds[0].ErrorInput).Run()
+	if !run.OK() {
+		t.Fatalf("patched wireshark still traps: %v", run.Trap)
+	}
+	for _, p := range row.Patches {
+		if !contains(p, "return 0;") {
+			t.Errorf("patch does not use the return-0 strategy: %s", p)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(s) > 0 && indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestRawModeTransfer exercises the paper's raw mode: no dissector,
+// every input byte its own label. The Wireshark transfer still works —
+// the donor's read of the length field matches the recipient's read of
+// the same two raw bytes.
+func TestRawModeTransfer(t *testing.T) {
+	tgt, err := apps.TargetByID("wireshark14", "packet-dcp-etsi.c@258")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewTransfer(tgt, "wireshark18", phage.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Format = "raw"
+	res, err := tr.Run()
+	if err != nil {
+		t.Fatalf("raw-mode transfer failed: %v", err)
+	}
+	run := vm.New(res.FinalModule, tr.Error).Run()
+	if !run.OK() {
+		t.Fatalf("raw-mode patched wireshark still traps: %v", run.Trap)
+	}
+	// The excised check references raw byte labels, not field paths.
+	if !contains(res.Rounds[0].ExcisedCheck, "@7") && !contains(res.Rounds[0].ExcisedCheck, "@8") {
+		t.Errorf("raw-mode excised check has no byte labels: %s", res.Rounds[0].ExcisedCheck)
+	}
+}

@@ -1,0 +1,123 @@
+package fuzz
+
+import (
+	"testing"
+
+	"codephage/internal/apps"
+	"codephage/internal/hachoir"
+	"codephage/internal/vm"
+)
+
+func dissect(t *testing.T, format string, input []byte) *hachoir.Dissection {
+	t.Helper()
+	d, ok := hachoir.ByName(format)
+	if !ok {
+		t.Fatalf("no dissector %q", format)
+	}
+	dis, err := d.Dissect(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dis
+}
+
+func TestFuzzFindsJasPerOOB(t *testing.T) {
+	app, _ := apps.ByName("jasper")
+	mod, err := apps.Build(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := apps.SeedMJ2K()
+	crash := Find(mod, seed, dissect(t, "mj2k", seed), Options{})
+	if crash == nil {
+		t.Fatal("fuzzing found no crash in jasper (the off-by-one exists)")
+	}
+	if crash.Trap.Kind != vm.TrapOOBWrite && crash.Trap.Kind != vm.TrapOOBRead {
+		t.Errorf("trap = %v, want OOB", crash.Trap.Kind)
+	}
+}
+
+func TestFuzzFindsGif2tiffOOB(t *testing.T) {
+	app, _ := apps.ByName("gif2tiff")
+	mod, err := apps.Build(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := apps.SeedMGIF()
+	crash := Find(mod, seed, dissect(t, "mgif", seed), Options{})
+	if crash == nil {
+		t.Fatal("fuzzing found no crash in gif2tiff")
+	}
+}
+
+func TestFuzzFindsWiresharkDivZero(t *testing.T) {
+	app, _ := apps.ByName("wireshark14")
+	mod, err := apps.Build(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := apps.SeedMPKT()
+	crash := Find(mod, seed, dissect(t, "mpkt", seed), Options{})
+	if crash == nil {
+		t.Fatal("fuzzing found no crash in wireshark14")
+	}
+	if crash.Trap.Kind != vm.TrapDivZero {
+		t.Errorf("trap = %v, want divide by zero", crash.Trap.Kind)
+	}
+}
+
+func TestFuzzFindsNothingInDonors(t *testing.T) {
+	// The donors carry the checks; field-corner fuzzing must not crash
+	// them.
+	for _, name := range []string{"openjpeg", "magick9", "wireshark18"} {
+		app, _ := apps.ByName(name)
+		mod, err := apps.Build(app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var seed []byte
+		switch name {
+		case "openjpeg":
+			seed = apps.SeedMJ2K()
+		case "magick9":
+			seed = apps.SeedMGIF()
+		default:
+			seed = apps.SeedMPKT()
+		}
+		format := apps.Donors()[0].Formats[0]
+		_ = format
+		dis := hachoir.Detect(seed)
+		if crash := Find(mod, seed, dis, Options{MaxRandom: 500}); crash != nil {
+			t.Errorf("fuzzing crashed donor %s: %v (input %v)", name, crash.Trap, crash.Input)
+		}
+	}
+}
+
+func TestDeriveSeedFromErrorInput(t *testing.T) {
+	// The Wireshark methodology: start from the CVE error input and
+	// derive a benign seed.
+	app, _ := apps.ByName("wireshark14")
+	mod, err := apps.Build(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errIn := (&hachoir.MPKT{Proto: 1, PLen: 0, Seq: 2, Payload: make([]byte, 32)}).Encode()
+	seed := DeriveSeed(mod, errIn, dissect(t, "mpkt", errIn), Options{})
+	if seed == nil {
+		t.Fatal("no seed derived")
+	}
+	r := vm.New(mod, seed).Run()
+	if !r.OK() || r.ExitCode != 0 {
+		t.Fatalf("derived seed does not process cleanly: exit %d trap %v", r.ExitCode, r.Trap)
+	}
+}
+
+func TestDeriveSeedAlreadyBenign(t *testing.T) {
+	app, _ := apps.ByName("wireshark14")
+	mod, _ := apps.Build(app)
+	seed := apps.SeedMPKT()
+	got := DeriveSeed(mod, seed, dissect(t, "mpkt", seed), Options{})
+	if got == nil {
+		t.Fatal("benign input rejected")
+	}
+}

@@ -1,0 +1,344 @@
+package hachoir
+
+// The six mini formats. Layouts are fixed-offset with one
+// variable-length payload, which keeps dissection simple while
+// preserving what matters to Code Phage: multi-byte fields, mixed
+// endianness, and header fields (width/height/factors/lengths) that
+// downstream size computations depend on.
+
+// ---- MJPG: mini JPEG (big-endian), read by cwebp, feh, mtpaint,
+// viewnior. Field paths follow the paper's /start_frame/content/*.
+
+// MJPG describes a mini-JPEG input.
+type MJPG struct {
+	Version    uint8
+	Precision  uint8
+	Height     uint16
+	Width      uint16
+	Components uint8
+	HSamp      uint8
+	VSamp      uint8
+	Data       []byte
+}
+
+// Encode serializes the image.
+func (m *MJPG) Encode() []byte {
+	out := []byte("MJPG")
+	out = append(out, m.Version, m.Precision)
+	out = appendBE16(out, m.Height)
+	out = appendBE16(out, m.Width)
+	out = append(out, m.Components, m.HSamp, m.VSamp)
+	out = appendBE32(out, uint32(len(m.Data)))
+	return append(out, m.Data...)
+}
+
+type mjpgDissector struct{}
+
+func (mjpgDissector) Name() string  { return "mjpg" }
+func (mjpgDissector) Magic() string { return "MJPG" }
+
+func (mjpgDissector) Dissect(input []byte) (*Dissection, error) {
+	if err := checkLen(input, 17, "mjpg"); err != nil {
+		return nil, err
+	}
+	d := newDissection("mjpg", len(input))
+	d.add("/version", 4, 1, true)
+	d.add("/start_frame/precision", 5, 1, true)
+	d.add("/start_frame/content/height", 6, 2, true)
+	d.add("/start_frame/content/width", 8, 2, true)
+	d.add("/start_frame/components", 10, 1, true)
+	d.add("/start_frame/h_samp", 11, 1, true)
+	d.add("/start_frame/v_samp", 12, 1, true)
+	d.add("/scan/length", 13, 4, true)
+	return d, nil
+}
+
+// ---- MPNG: mini PNG (big-endian), read by dillo, feh, mtpaint,
+// viewnior.
+
+// MPNG describes a mini-PNG input.
+type MPNG struct {
+	Width  uint32
+	Height uint32
+	Depth  uint8
+	Color  uint8 // 0 = gray (1 ch), 2 = rgb (3 ch), 6 = rgba (4 ch)
+	Data   []byte
+}
+
+// Channels returns the channel count implied by the color type.
+func (m *MPNG) Channels() uint32 {
+	switch m.Color {
+	case 2:
+		return 3
+	case 6:
+		return 4
+	}
+	return 1
+}
+
+// Encode serializes the image.
+func (m *MPNG) Encode() []byte {
+	out := []byte("MPNG")
+	out = appendBE32(out, m.Width)
+	out = appendBE32(out, m.Height)
+	out = append(out, m.Depth, m.Color)
+	out = appendBE32(out, uint32(len(m.Data)))
+	return append(out, m.Data...)
+}
+
+type mpngDissector struct{}
+
+func (mpngDissector) Name() string  { return "mpng" }
+func (mpngDissector) Magic() string { return "MPNG" }
+
+func (mpngDissector) Dissect(input []byte) (*Dissection, error) {
+	if err := checkLen(input, 18, "mpng"); err != nil {
+		return nil, err
+	}
+	d := newDissection("mpng", len(input))
+	d.add("/ihdr/width", 4, 4, true)
+	d.add("/ihdr/height", 8, 4, true)
+	d.add("/ihdr/depth", 12, 1, true)
+	d.add("/ihdr/color", 13, 1, true)
+	d.add("/idat/length", 14, 4, true)
+	return d, nil
+}
+
+// ---- MGIF: mini GIF (little-endian), read by gif2tiff and the
+// ImageMagick 6.5.2-9 donor.
+
+// MGIF describes a mini-GIF input.
+type MGIF struct {
+	ScreenW     uint16
+	ScreenH     uint16
+	Flags       uint8
+	Left, Top   uint16
+	Width       uint16
+	Height      uint16
+	LZWCodeSize uint8
+	Data        []byte
+}
+
+// Encode serializes the image.
+func (m *MGIF) Encode() []byte {
+	out := []byte("MGIF")
+	out = appendLE16(out, m.ScreenW)
+	out = appendLE16(out, m.ScreenH)
+	out = append(out, m.Flags)
+	out = appendLE16(out, m.Left)
+	out = appendLE16(out, m.Top)
+	out = appendLE16(out, m.Width)
+	out = appendLE16(out, m.Height)
+	out = append(out, m.LZWCodeSize)
+	out = appendLE16(out, uint16(len(m.Data)))
+	return append(out, m.Data...)
+}
+
+type mgifDissector struct{}
+
+func (mgifDissector) Name() string  { return "mgif" }
+func (mgifDissector) Magic() string { return "MGIF" }
+
+func (mgifDissector) Dissect(input []byte) (*Dissection, error) {
+	if err := checkLen(input, 20, "mgif"); err != nil {
+		return nil, err
+	}
+	d := newDissection("mgif", len(input))
+	d.add("/screen/width", 4, 2, false)
+	d.add("/screen/height", 6, 2, false)
+	d.add("/screen/flags", 8, 1, false)
+	d.add("/image/left", 9, 2, false)
+	d.add("/image/top", 11, 2, false)
+	d.add("/image/width", 13, 2, false)
+	d.add("/image/height", 15, 2, false)
+	d.add("/image/lzw_code_size", 17, 1, false)
+	d.add("/image/data_len", 18, 2, false)
+	return d, nil
+}
+
+// ---- MTIF: mini TIFF (little-endian), read by Display, feh,
+// viewnior.
+
+// MTIF describes a mini-TIFF input.
+type MTIF struct {
+	Width           uint32
+	Height          uint32
+	BitsPerSample   uint16
+	SamplesPerPixel uint16
+	Data            []byte
+}
+
+// Encode serializes the image.
+func (m *MTIF) Encode() []byte {
+	out := []byte("MTIF")
+	out = appendLE32(out, m.Width)
+	out = appendLE32(out, m.Height)
+	out = appendLE16(out, m.BitsPerSample)
+	out = appendLE16(out, m.SamplesPerPixel)
+	out = appendLE32(out, uint32(len(m.Data)))
+	return append(out, m.Data...)
+}
+
+type mtifDissector struct{}
+
+func (mtifDissector) Name() string  { return "mtif" }
+func (mtifDissector) Magic() string { return "MTIF" }
+
+func (mtifDissector) Dissect(input []byte) (*Dissection, error) {
+	if err := checkLen(input, 20, "mtif"); err != nil {
+		return nil, err
+	}
+	d := newDissection("mtif", len(input))
+	d.add("/ifd/width", 4, 4, false)
+	d.add("/ifd/height", 8, 4, false)
+	d.add("/ifd/bits_per_sample", 12, 2, false)
+	d.add("/ifd/samples_per_pixel", 14, 2, false)
+	d.add("/strip/length", 16, 4, false)
+	return d, nil
+}
+
+// ---- MSWF: mini SWF (little-endian container) with an embedded
+// big-endian mini-JPEG, read by swfplay and gnash.
+
+// MSWF describes a mini-SWF input.
+type MSWF struct {
+	Version    uint8
+	FrameW     uint16
+	FrameH     uint16
+	JPEGHeight uint16
+	JPEGWidth  uint16
+	Components uint8
+	HSamp      uint8
+	VSamp      uint8
+	JPEGData   []byte
+}
+
+// Encode serializes the movie.
+func (m *MSWF) Encode() []byte {
+	out := []byte("MSWF")
+	out = append(out, m.Version)
+	out = appendLE16(out, m.FrameW)
+	out = appendLE16(out, m.FrameH)
+	out = appendLE32(out, uint32(7+len(m.JPEGData)))
+	out = appendBE16(out, m.JPEGHeight)
+	out = appendBE16(out, m.JPEGWidth)
+	out = append(out, m.Components, m.HSamp, m.VSamp)
+	return append(out, m.JPEGData...)
+}
+
+type mswfDissector struct{}
+
+func (mswfDissector) Name() string  { return "mswf" }
+func (mswfDissector) Magic() string { return "MSWF" }
+
+func (mswfDissector) Dissect(input []byte) (*Dissection, error) {
+	if err := checkLen(input, 20, "mswf"); err != nil {
+		return nil, err
+	}
+	d := newDissection("mswf", len(input))
+	d.add("/header/version", 4, 1, false)
+	d.add("/header/frame_width", 5, 2, false)
+	d.add("/header/frame_height", 7, 2, false)
+	d.add("/jpeg/length", 9, 4, false)
+	d.add("/jpeg/height", 13, 2, true)
+	d.add("/jpeg/width", 15, 2, true)
+	d.add("/jpeg/components", 17, 1, true)
+	d.add("/jpeg/h_samp", 18, 1, true)
+	d.add("/jpeg/v_samp", 19, 1, true)
+	return d, nil
+}
+
+// ---- MPKT: mini network packet (big-endian, DCP-ETSI-like), read by
+// both Wireshark versions.
+
+// MPKT describes a mini packet-capture input.
+type MPKT struct {
+	Proto   uint16
+	Flags   uint8
+	PLen    uint16 // payload length field — zero triggers the div0 bug
+	Seq     uint16
+	Payload []byte
+}
+
+// Encode serializes the packet.
+func (m *MPKT) Encode() []byte {
+	out := []byte("MPKT")
+	out = appendBE16(out, m.Proto)
+	out = append(out, m.Flags)
+	out = appendBE16(out, m.PLen)
+	out = appendBE16(out, m.Seq)
+	return append(out, m.Payload...)
+}
+
+type mpktDissector struct{}
+
+func (mpktDissector) Name() string  { return "mpkt" }
+func (mpktDissector) Magic() string { return "MPKT" }
+
+func (mpktDissector) Dissect(input []byte) (*Dissection, error) {
+	if err := checkLen(input, 11, "mpkt"); err != nil {
+		return nil, err
+	}
+	d := newDissection("mpkt", len(input))
+	d.add("/eth/proto", 4, 2, true)
+	d.add("/dcp/flags", 6, 1, true)
+	d.add("/dcp/plen", 7, 2, true)
+	d.add("/dcp/seq", 9, 2, true)
+	return d, nil
+}
+
+// ---- MJ2K: mini JPEG-2000 (big-endian), read by jasper and openjpeg.
+// The tile grid is given as tiles_x × tiles_y; each start-of-tile
+// record carries a tile number that must index inside the grid.
+
+// MJ2K describes a mini-JPEG2000 input.
+type MJ2K struct {
+	TilesX uint8
+	TilesY uint8
+	Width  uint16
+	Height uint16
+	TileNo uint16
+	Data   []byte
+}
+
+// Encode serializes the image.
+func (m *MJ2K) Encode() []byte {
+	out := []byte("MJ2K")
+	out = append(out, m.TilesX, m.TilesY)
+	out = appendBE16(out, m.Width)
+	out = appendBE16(out, m.Height)
+	out = appendBE16(out, m.TileNo)
+	out = appendBE16(out, uint16(len(m.Data)))
+	return append(out, m.Data...)
+}
+
+type mj2kDissector struct{}
+
+func (mj2kDissector) Name() string  { return "mj2k" }
+func (mj2kDissector) Magic() string { return "MJ2K" }
+
+func (mj2kDissector) Dissect(input []byte) (*Dissection, error) {
+	if err := checkLen(input, 14, "mj2k"); err != nil {
+		return nil, err
+	}
+	d := newDissection("mj2k", len(input))
+	d.add("/siz/tiles_x", 4, 1, true)
+	d.add("/siz/tiles_y", 5, 1, true)
+	d.add("/siz/width", 6, 2, true)
+	d.add("/siz/height", 8, 2, true)
+	d.add("/sot/tileno", 10, 2, true)
+	d.add("/sot/length", 12, 2, true)
+	return d, nil
+}
+
+func appendBE16(b []byte, v uint16) []byte { return append(b, byte(v>>8), byte(v)) }
+
+func appendBE32(b []byte, v uint32) []byte {
+	return append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func appendLE16(b []byte, v uint16) []byte { return append(b, byte(v), byte(v>>8)) }
+
+func appendLE32(b []byte, v uint32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}

@@ -1,0 +1,225 @@
+// Package hachoir maps input byte ranges to symbolic field paths, the
+// role the Hachoir dissector library plays for Code Phage. Six mini
+// input formats are supported — MJPG, MPNG, MGIF, MTIF, MSWF, MPKT —
+// simplified analogues of the paper's JPEG, PNG, GIF, TIFF, SWF and
+// network-capture inputs, with the same mixed endianness and
+// multi-byte field structure. A raw mode labels every byte with its
+// offset for inputs no dissector understands.
+package hachoir
+
+import (
+	"fmt"
+
+	"codephage/internal/bitvec"
+)
+
+// Field is one dissected input field.
+type Field struct {
+	Path      string
+	Off       int
+	Size      int // bytes, 1..8
+	BigEndian bool
+}
+
+// Expr returns the symbolic bitvector expression denoting the field.
+func (f *Field) Expr() *bitvec.Expr {
+	return bitvec.Field(f.Path, uint8(f.Size*8), f.Off)
+}
+
+// Dissection is the field map of one concrete input.
+type Dissection struct {
+	Format string
+	Fields []Field
+	Len    int
+
+	byOff map[int]int // byte offset -> field index
+}
+
+func newDissection(format string, n int) *Dissection {
+	return &Dissection{Format: format, Len: n, byOff: map[int]int{}}
+}
+
+func (d *Dissection) add(path string, off, size int, be bool) {
+	idx := len(d.Fields)
+	d.Fields = append(d.Fields, Field{Path: path, Off: off, Size: size, BigEndian: be})
+	for i := 0; i < size; i++ {
+		d.byOff[off+i] = idx
+	}
+}
+
+// FieldAt returns the field covering the byte offset, if any.
+func (d *Dissection) FieldAt(off int) (*Field, bool) {
+	if d == nil {
+		return nil, false
+	}
+	idx, ok := d.byOff[off]
+	if !ok {
+		return nil, false
+	}
+	return &d.Fields[idx], true
+}
+
+// FieldByPath returns the named field, if present.
+func (d *Dissection) FieldByPath(path string) (*Field, bool) {
+	if d == nil {
+		return nil, false
+	}
+	for i := range d.Fields {
+		if d.Fields[i].Path == path {
+			return &d.Fields[i], true
+		}
+	}
+	return nil, false
+}
+
+// ByteExpr returns the symbolic expression for one input byte: an
+// extract of the covering field, or a raw byte label ("@off") when no
+// field covers the offset (raw mode behaviour).
+func (d *Dissection) ByteExpr(off int) *bitvec.Expr {
+	f, ok := d.FieldAt(off)
+	if !ok {
+		return bitvec.Field(bitvec.RawByteName(off), 8, off)
+	}
+	if f.Size == 1 {
+		return f.Expr()
+	}
+	w := uint8(f.Size * 8)
+	i := uint8(off - f.Off)
+	fe := f.Expr()
+	if f.BigEndian {
+		hi := w - 1 - 8*i
+		return bitvec.Extract(hi, hi-7, fe)
+	}
+	return bitvec.Extract(8*i+7, 8*i, fe)
+}
+
+// FieldValues evaluates every dissected field against the input bytes,
+// producing the environment used by DIODE and patch validation.
+func (d *Dissection) FieldValues(input []byte) map[string]uint64 {
+	out := map[string]uint64{}
+	for _, f := range d.Fields {
+		var v uint64
+		for i := 0; i < f.Size; i++ {
+			b := byte(0)
+			if f.Off+i < len(input) {
+				b = input[f.Off+i]
+			}
+			if f.BigEndian {
+				v = v<<8 | uint64(b)
+			} else {
+				v |= uint64(b) << (8 * i)
+			}
+		}
+		out[f.Path] = v
+	}
+	return out
+}
+
+// DiffFields returns the byte offsets of fields whose values differ
+// between two inputs of the same format — the "relevant bytes" that
+// Code Phage restricts its analysis to.
+func (d *Dissection) DiffFields(a, b []byte) map[int]bool {
+	va, vb := d.FieldValues(a), d.FieldValues(b)
+	rel := map[int]bool{}
+	for _, f := range d.Fields {
+		if va[f.Path] != vb[f.Path] {
+			for i := 0; i < f.Size; i++ {
+				rel[f.Off+i] = true
+			}
+		}
+	}
+	// Bytes not covered by any field differ positionally.
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	for off := 0; off < n; off++ {
+		if _, covered := d.FieldAt(off); covered {
+			continue
+		}
+		var ba, bb byte
+		if off < len(a) {
+			ba = a[off]
+		}
+		if off < len(b) {
+			bb = b[off]
+		}
+		if ba != bb {
+			rel[off] = true
+		}
+	}
+	return rel
+}
+
+// Raw returns the raw-mode dissection: one 1-byte field per offset.
+func Raw(input []byte) *Dissection {
+	d := newDissection("raw", len(input))
+	for i := range input {
+		d.add(bitvec.RawByteName(i), i, 1, true)
+	}
+	return d
+}
+
+// Dissector parses a concrete input of one format into a field map.
+type Dissector interface {
+	Name() string
+	Magic() string
+	Dissect(input []byte) (*Dissection, error)
+}
+
+// rawDissector exposes raw mode through the registry ("raw"): every
+// input byte becomes its own 1-byte field, the fallback the paper uses
+// when no format dissector applies (e.g. inputs from error-finding
+// tools over unknown formats).
+type rawDissector struct{}
+
+func (rawDissector) Name() string  { return "raw" }
+func (rawDissector) Magic() string { return "" }
+func (rawDissector) Dissect(input []byte) (*Dissection, error) {
+	return Raw(input), nil
+}
+
+var registry = []Dissector{
+	mjpgDissector{},
+	mpngDissector{},
+	mgifDissector{},
+	mtifDissector{},
+	mswfDissector{},
+	mpktDissector{},
+	mj2kDissector{},
+	rawDissector{},
+}
+
+// Dissectors returns the registered dissectors.
+func Dissectors() []Dissector { return registry }
+
+// ByName returns the named dissector.
+func ByName(name string) (Dissector, bool) {
+	for _, d := range registry {
+		if d.Name() == name {
+			return d, true
+		}
+	}
+	return nil, false
+}
+
+// Detect finds the dissector whose magic matches the input and runs
+// it. It falls back to raw mode for unknown formats.
+func Detect(input []byte) *Dissection {
+	for _, d := range registry {
+		m := d.Magic()
+		if len(m) > 0 && len(input) >= len(m) && string(input[:len(m)]) == m {
+			if dis, err := d.Dissect(input); err == nil {
+				return dis
+			}
+		}
+	}
+	return Raw(input)
+}
+
+func checkLen(input []byte, n int, format string) error {
+	if len(input) < n {
+		return fmt.Errorf("hachoir: %s input truncated: %d < %d bytes", format, len(input), n)
+	}
+	return nil
+}

@@ -1,0 +1,189 @@
+package hachoir
+
+import (
+	"testing"
+
+	"codephage/internal/bitvec"
+)
+
+func TestAllFormatsRoundTrip(t *testing.T) {
+	cases := []struct {
+		name  string
+		input []byte
+		field string
+		want  uint64
+	}{
+		{"mjpg", (&MJPG{Version: 1, Height: 80, Width: 100, Components: 3}).Encode(),
+			"/start_frame/content/width", 100},
+		{"mpng", (&MPNG{Width: 640, Height: 480, Depth: 8, Color: 2}).Encode(),
+			"/ihdr/height", 480},
+		{"mgif", (&MGIF{ScreenW: 10, ScreenH: 20, Width: 30, Height: 40, LZWCodeSize: 8}).Encode(),
+			"/image/lzw_code_size", 8},
+		{"mtif", (&MTIF{Width: 111, Height: 222, BitsPerSample: 8, SamplesPerPixel: 3}).Encode(),
+			"/ifd/width", 111},
+		{"mswf", (&MSWF{Version: 5, FrameW: 1, FrameH: 2, JPEGHeight: 33, JPEGWidth: 44, Components: 3}).Encode(),
+			"/jpeg/width", 44},
+		{"mpkt", (&MPKT{Proto: 7, PLen: 512, Seq: 9}).Encode(),
+			"/dcp/plen", 512},
+		{"mj2k", (&MJ2K{TilesX: 2, TilesY: 3, Width: 64, Height: 48, TileNo: 5}).Encode(),
+			"/sot/tileno", 5},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			d, ok := ByName(c.name)
+			if !ok {
+				t.Fatalf("dissector %q missing", c.name)
+			}
+			dis, err := d.Dissect(c.input)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vals := dis.FieldValues(c.input)
+			if vals[c.field] != c.want {
+				t.Errorf("%s = %d, want %d", c.field, vals[c.field], c.want)
+			}
+			f, ok := dis.FieldByPath(c.field)
+			if !ok {
+				t.Fatalf("field %s missing", c.field)
+			}
+			// Reassembling the field from its per-byte expressions must
+			// yield the bare field expression.
+			var whole *bitvec.Expr
+			for i := 0; i < f.Size; i++ {
+				be := dis.ByteExpr(f.Off + i)
+				if f.BigEndian {
+					if whole == nil {
+						whole = be
+					} else {
+						whole = bitvec.Concat(whole, be)
+					}
+				} else {
+					if whole == nil {
+						whole = be
+					} else {
+						whole = bitvec.Concat(be, whole)
+					}
+				}
+			}
+			if !bitvec.Equal(bitvec.Simplify(whole), f.Expr()) {
+				t.Errorf("byte reassembly = %s, want %s", bitvec.Simplify(whole), f.Expr())
+			}
+		})
+	}
+}
+
+func TestDetect(t *testing.T) {
+	img := (&MJPG{Height: 1, Width: 1, Components: 1}).Encode()
+	dis := Detect(img)
+	if dis.Format != "mjpg" {
+		t.Errorf("Detect = %s, want mjpg", dis.Format)
+	}
+	dis = Detect([]byte("XXXXunknown format bytes"))
+	if dis.Format != "raw" {
+		t.Errorf("Detect unknown = %s, want raw", dis.Format)
+	}
+}
+
+func TestRawMode(t *testing.T) {
+	input := []byte{10, 20, 30}
+	dis := Raw(input)
+	if len(dis.Fields) != 3 {
+		t.Fatalf("raw fields = %d, want 3", len(dis.Fields))
+	}
+	e := dis.ByteExpr(1)
+	if e.Op != bitvec.OpField || e.Name != "@1" || e.W != 8 {
+		t.Errorf("raw byte expr = %s", e)
+	}
+	vals := dis.FieldValues(input)
+	if vals["@2"] != 30 {
+		t.Errorf("@2 = %d, want 30", vals["@2"])
+	}
+}
+
+func TestByteExprUncoveredOffset(t *testing.T) {
+	img := (&MJPG{Height: 1, Width: 1, Components: 1, Data: []byte{9}}).Encode()
+	d, _ := ByName("mjpg")
+	dis, err := d.Dissect(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The payload byte is not covered by a header field: raw label.
+	e := dis.ByteExpr(17)
+	if e.Op != bitvec.OpField || e.Name != "@17" {
+		t.Errorf("uncovered byte expr = %s", e)
+	}
+	// Magic bytes are likewise uncovered.
+	if _, covered := dis.FieldAt(0); covered {
+		t.Error("magic byte reported as dissected field")
+	}
+}
+
+func TestDiffFields(t *testing.T) {
+	a := (&MJPG{Height: 80, Width: 100, Components: 3}).Encode()
+	b := (&MJPG{Height: 90, Width: 100, Components: 3}).Encode()
+	d, _ := ByName("mjpg")
+	dis, _ := d.Dissect(a)
+	rel := dis.DiffFields(a, b)
+	// Only the two height bytes (offsets 6,7) differ.
+	if len(rel) != 2 || !rel[6] || !rel[7] {
+		t.Errorf("relevant = %v, want {6,7}", rel)
+	}
+	// Identical inputs: nothing relevant.
+	if len(dis.DiffFields(a, a)) != 0 {
+		t.Error("identical inputs produced relevant bytes")
+	}
+}
+
+func TestDiffFieldsUncoveredBytes(t *testing.T) {
+	a := (&MPKT{PLen: 4, Payload: []byte{1, 2, 3}}).Encode()
+	b := (&MPKT{PLen: 4, Payload: []byte{1, 9, 3}}).Encode()
+	d, _ := ByName("mpkt")
+	dis, _ := d.Dissect(a)
+	rel := dis.DiffFields(a, b)
+	if len(rel) != 1 {
+		t.Errorf("relevant = %v, want exactly the differing payload byte", rel)
+	}
+}
+
+func TestTruncatedInputs(t *testing.T) {
+	for _, d := range Dissectors() {
+		if d.Name() == "raw" {
+			continue // raw mode accepts any input by design
+		}
+		if _, err := d.Dissect([]byte(d.Magic())); err == nil {
+			t.Errorf("%s accepted a truncated input", d.Name())
+		}
+	}
+}
+
+func TestLittleEndianByteExpr(t *testing.T) {
+	img := (&MGIF{Width: 0xABCD}).Encode()
+	d, _ := ByName("mgif")
+	dis, err := d.Dissect(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := dis.FieldByPath("/image/width")
+	// LE: first byte is the least significant.
+	lo := dis.ByteExpr(f.Off)
+	if lo.Op != bitvec.OpExtr || lo.Lo != 0 || lo.Hi != 7 {
+		t.Errorf("LE first byte = %s, want Extract(7,0,...)", lo)
+	}
+	hi := dis.ByteExpr(f.Off + 1)
+	if hi.Op != bitvec.OpExtr || hi.Lo != 8 || hi.Hi != 15 {
+		t.Errorf("LE second byte = %s, want Extract(15,8,...)", hi)
+	}
+}
+
+func TestMPNGChannels(t *testing.T) {
+	cases := []struct {
+		color uint8
+		want  uint32
+	}{{0, 1}, {2, 3}, {6, 4}, {99, 1}}
+	for _, c := range cases {
+		m := &MPNG{Color: c.color}
+		if got := m.Channels(); got != c.want {
+			t.Errorf("Channels(color=%d) = %d, want %d", c.color, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package ir
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// imageMagic guards serialized module images.
+const imageMagic = "MVX1"
+
+// Save serializes the module as a binary image.
+func (m *Module) Save(w io.Writer) error {
+	if _, err := io.WriteString(w, imageMagic); err != nil {
+		return err
+	}
+	return gob.NewEncoder(w).Encode(m)
+}
+
+// LoadModule deserializes a module image written by Save and
+// validates it.
+func LoadModule(r io.Reader) (*Module, error) {
+	magic := make([]byte, len(imageMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, fmt.Errorf("ir: reading image magic: %w", err)
+	}
+	if string(magic) != imageMagic {
+		return nil, fmt.Errorf("ir: bad image magic %q", magic)
+	}
+	var m Module
+	if err := gob.NewDecoder(r).Decode(&m); err != nil {
+		return nil, fmt.Errorf("ir: decoding image: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// Bytes serializes the module to a byte slice.
+func (m *Module) Bytes() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// FromBytes deserializes a module image from a byte slice.
+func FromBytes(b []byte) (*Module, error) {
+	return LoadModule(bytes.NewReader(b))
+}
+
+// Disasm renders a human-readable listing of the function.
+func (f *Function) Disasm() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func %s (regs=%d frame=%d ret=w%d)\n",
+		f.Name, f.NumRegs, f.FrameSize, f.RetW)
+	for pc := range f.Code {
+		fmt.Fprintf(&sb, "  %4d: %s\n", pc, f.Code[pc].String())
+	}
+	return sb.String()
+}
+
+// String renders one instruction.
+func (in *Instr) String() string {
+	switch in.Op {
+	case Nop:
+		return "nop"
+	case ConstOp:
+		return fmt.Sprintf("r%d = const.w%d %d", in.Dst, in.W, in.Imm)
+	case Mov:
+		return fmt.Sprintf("r%d = mov r%d", in.Dst, in.A)
+	case ZExt, SExt, Trunc:
+		return fmt.Sprintf("r%d = %s.w%d<-w%d r%d", in.Dst, in.Op, in.W, in.SrcW, in.A)
+	case Load:
+		return fmt.Sprintf("r%d = load.w%d [r%d]", in.Dst, in.W, in.A)
+	case Store:
+		return fmt.Sprintf("store.w%d [r%d] = r%d", in.W, in.A, in.B)
+	case FrameAddr:
+		return fmt.Sprintf("r%d = frameaddr %d", in.Dst, int64(in.Imm))
+	case GlobalAddr:
+		return fmt.Sprintf("r%d = globaladdr %d", in.Dst, int64(in.Imm))
+	case Call:
+		return fmt.Sprintf("r%d = call f%d %v", in.Dst, in.Fn, in.Args)
+	case CallB:
+		return fmt.Sprintf("r%d = callb %s %v", in.Dst, in.Builtin, in.Args)
+	case Jmp:
+		return fmt.Sprintf("jmp %d", in.Target)
+	case Br:
+		return fmt.Sprintf("br r%d ? %d : %d", in.A, in.Target, in.Target2)
+	case Ret:
+		return fmt.Sprintf("ret r%d", in.A)
+	}
+	if in.Op.IsBinary() {
+		return fmt.Sprintf("r%d = %s.w%d r%d, r%d", in.Dst, in.Op, in.W, in.A, in.B)
+	}
+	return fmt.Sprintf("%s ?", in.Op)
+}

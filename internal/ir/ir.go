@@ -1,0 +1,374 @@
+// Package ir defines MVX, the register-based bytecode that MiniC
+// programs compile to and the VM executes. MVX stands in for the
+// paper's x86/VEX substrate: donor applications are distributed as
+// serialized, stripped MVX images (no variable names, no types, no line
+// table), while recipients keep full debug information, mirroring the
+// asymmetry Code Phage exploits (binary donors, debuggable recipients).
+package ir
+
+import "fmt"
+
+// Width is an operation width in bits.
+type Width uint8
+
+// Operation widths.
+const (
+	W8  Width = 8
+	W16 Width = 16
+	W32 Width = 32
+	W64 Width = 64
+)
+
+// Mask returns the value mask for the width.
+func (w Width) Mask() uint64 {
+	if w >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << w) - 1
+}
+
+// Bytes returns the width in bytes.
+func (w Width) Bytes() int32 { return int32(w) / 8 }
+
+// Op is an MVX opcode.
+type Op uint8
+
+// MVX opcodes.
+const (
+	Nop Op = iota
+
+	// Data movement.
+	ConstOp // Dst = Imm (masked to W)
+	Mov     // Dst = A
+
+	// Arithmetic and logic; operands and result masked to W.
+	Add
+	Sub
+	Mul
+	UDiv // traps on zero divisor
+	SDiv // traps on zero divisor
+	URem
+	SRem
+	And
+	Or
+	Xor
+	Shl // shift amounts >= W yield 0
+	LShr
+	AShr
+
+	// Comparisons: Dst = 0 or 1; operands compared at width W.
+	Eq
+	Ne
+	ULt
+	ULe
+	SLt
+	SLe
+
+	// Width conversions from SrcW to W.
+	ZExt
+	SExt
+	Trunc
+
+	// Memory. Load: Dst = mem[A] (width W). Store: mem[A] = B (width W).
+	Load
+	Store
+
+	// Address formation.
+	FrameAddr  // Dst = fp + Imm
+	GlobalAddr // Dst = globals base + Imm
+
+	// Control flow.
+	Call  // Dst = Funcs[Fn](Args...)
+	CallB // Dst = builtin(Builtin, Args...)
+	Jmp   // pc = Target
+	Br    // pc = Target if A != 0 else Target2
+	Ret   // return A (if function returns a value)
+)
+
+var opNames = [...]string{
+	Nop: "nop", ConstOp: "const", Mov: "mov",
+	Add: "add", Sub: "sub", Mul: "mul",
+	UDiv: "udiv", SDiv: "sdiv", URem: "urem", SRem: "srem",
+	And: "and", Or: "or", Xor: "xor",
+	Shl: "shl", LShr: "lshr", AShr: "ashr",
+	Eq: "eq", Ne: "ne", ULt: "ult", ULe: "ule", SLt: "slt", SLe: "sle",
+	ZExt: "zext", SExt: "sext", Trunc: "trunc",
+	Load: "load", Store: "store",
+	FrameAddr: "frameaddr", GlobalAddr: "globaladdr",
+	Call: "call", CallB: "callb", Jmp: "jmp", Br: "br", Ret: "ret",
+}
+
+// String returns the opcode mnemonic.
+func (op Op) String() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// IsBinary reports whether the opcode is a two-operand ALU operation.
+func (op Op) IsBinary() bool { return op >= Add && op <= SLe }
+
+// IsCmp reports whether the opcode is a comparison.
+func (op Op) IsCmp() bool { return op >= Eq && op <= SLe }
+
+// Builtin identifies a VM-provided runtime function.
+type Builtin uint8
+
+// Builtins. The in_* family reads the program input stream; the taint
+// tracker assigns per-byte labels at these calls (the VM is the taint
+// source, like Valgrind's file-descriptor interception).
+const (
+	BInvalid Builtin = iota
+	BInU8            // u8  in_u8()
+	BInU16BE         // u16 in_u16be()
+	BInU16LE         // u16 in_u16le()
+	BInU32BE         // u32 in_u32be()
+	BInU32LE         // u32 in_u32le()
+	BInSeek          // void in_seek(u32 off)
+	BInPos           // u32 in_pos()
+	BInLen           // u32 in_len()
+	BInEOF           // u32 in_eof()
+	BAlloc           // u8* alloc(u32 n) — allocation site, bounds-checked block
+	BFree            // void free(u8* p)
+	BExit            // void exit(i32 code)
+	BOut             // void out(u64 v) — appends v to the program output
+	BAbort           // void abort() — unconditional trap
+)
+
+var builtinNames = [...]string{
+	BInU8: "in_u8", BInU16BE: "in_u16be", BInU16LE: "in_u16le",
+	BInU32BE: "in_u32be", BInU32LE: "in_u32le",
+	BInSeek: "in_seek", BInPos: "in_pos", BInLen: "in_len", BInEOF: "in_eof",
+	BAlloc: "alloc", BFree: "free", BExit: "exit", BOut: "out", BAbort: "abort",
+}
+
+// String returns the builtin's MiniC-visible name.
+func (b Builtin) String() string {
+	if int(b) < len(builtinNames) && builtinNames[b] != "" {
+		return builtinNames[b]
+	}
+	return fmt.Sprintf("builtin(%d)", uint8(b))
+}
+
+// Reg is a virtual register index within a function.
+type Reg int32
+
+// Instr is a single MVX instruction.
+type Instr struct {
+	Op      Op
+	W       Width // operation width
+	SrcW    Width // conversion source width (ZExt/SExt/Trunc)
+	Dst     Reg
+	A, B    Reg
+	Imm     uint64
+	Target  int32 // Jmp/Br taken target (instruction index)
+	Target2 int32 // Br fall-through target
+	Fn      int32 // Call callee index
+	Builtin Builtin
+	Args    []Reg
+	Line    int32 // source line; 0 when stripped
+}
+
+// Param describes a function parameter's frame slot.
+type Param struct {
+	Off int32 // frame offset where the VM stores the argument
+	W   Width // value width
+}
+
+// Function is a compiled MiniC function.
+type Function struct {
+	Name      string // empty when stripped
+	NumRegs   int32
+	FrameSize int32
+	Params    []Param
+	RetW      Width // 0 for void
+	Code      []Instr
+	Vars      []VarInfo // debug: locals and params; nil when stripped
+}
+
+// VarInfo is debug information for one variable (local or global).
+type VarInfo struct {
+	Name string
+	Type int32 // index into Module.Types
+	Off  int32 // frame offset (locals) or globals-region offset
+	Line int32 // declaration line (scope begins here); 0 for globals
+}
+
+// TypeKind classifies a debug type entry.
+type TypeKind uint8
+
+// Debug type kinds.
+const (
+	KVoid TypeKind = iota
+	KInt
+	KPtr
+	KArray
+	KStruct
+)
+
+// FieldInfo is a struct member in the debug type table.
+type FieldInfo struct {
+	Name string
+	Type int32
+	Off  int32
+}
+
+// TypeInfo is one entry of the debug type table, the DWARF stand-in
+// that the recipient-side data structure traversal (Figure 6) walks.
+type TypeInfo struct {
+	Kind   TypeKind
+	Name   string // struct name, if any
+	Size   int32  // size in bytes
+	Signed bool   // KInt
+	W      Width  // KInt
+	Elem   int32  // KPtr/KArray element type
+	Count  int32  // KArray length
+	Fields []FieldInfo
+}
+
+// GlobalBlock records the extent of one global variable so the VM can
+// bounds-check accesses to statically allocated buffers (gif2tiff-style
+// overflows). This is runtime allocation metadata, not symbolic debug
+// information, so stripping keeps it.
+type GlobalBlock struct {
+	Off  int32
+	Size int32
+}
+
+// Module is a complete compiled program image.
+type Module struct {
+	Name         string
+	Funcs        []*Function
+	Entry        int32 // index of main
+	Globals      []byte
+	GlobalBlocks []GlobalBlock
+	GlobalVars   []VarInfo  // nil when stripped
+	Types        []TypeInfo // nil when stripped
+	Stripped     bool
+}
+
+// FuncByName returns the function with the given name, or nil.
+func (m *Module) FuncByName(name string) (*Function, int) {
+	for i, f := range m.Funcs {
+		if f.Name == name {
+			return f, i
+		}
+	}
+	return nil, -1
+}
+
+// Strip removes all symbolic information: names, debug variables,
+// types, and the line table. The result models a stripped binary —
+// exactly what Code Phage requires of donors.
+func (m *Module) Strip() {
+	m.Stripped = true
+	m.GlobalVars = nil
+	m.Types = nil
+	for i, f := range m.Funcs {
+		f.Name = fmt.Sprintf("f%d", i)
+		f.Vars = nil
+		for j := range f.Code {
+			f.Code[j].Line = 0
+		}
+	}
+}
+
+// Clone returns a deep copy of the module.
+func (m *Module) Clone() *Module {
+	c := *m
+	c.Funcs = make([]*Function, len(m.Funcs))
+	for i, f := range m.Funcs {
+		nf := *f
+		nf.Params = append([]Param(nil), f.Params...)
+		nf.Code = make([]Instr, len(f.Code))
+		for j, in := range f.Code {
+			in.Args = append([]Reg(nil), in.Args...)
+			nf.Code[j] = in
+		}
+		nf.Vars = append([]VarInfo(nil), f.Vars...)
+		c.Funcs[i] = &nf
+	}
+	c.Globals = append([]byte(nil), m.Globals...)
+	c.GlobalVars = append([]VarInfo(nil), m.GlobalVars...)
+	c.Types = append([]TypeInfo(nil), m.Types...)
+	return &c
+}
+
+// Validate checks structural invariants: register and jump-target
+// ranges, parameter consistency, entry point presence.
+func (m *Module) Validate() error {
+	if m.Entry < 0 || int(m.Entry) >= len(m.Funcs) {
+		return fmt.Errorf("ir: entry index %d out of range", m.Entry)
+	}
+	for fi, f := range m.Funcs {
+		n := int32(len(f.Code))
+		if n == 0 {
+			return fmt.Errorf("ir: function %d (%s) has no code", fi, f.Name)
+		}
+		for pc, in := range f.Code {
+			bad := func(format string, args ...interface{}) error {
+				prefix := fmt.Sprintf("ir: %s+%d: ", f.Name, pc)
+				return fmt.Errorf(prefix+format, args...)
+			}
+			checkReg := func(r Reg) error {
+				if r < 0 || int32(r) >= f.NumRegs {
+					return bad("register %d out of range (NumRegs=%d)", r, f.NumRegs)
+				}
+				return nil
+			}
+			switch in.Op {
+			case Jmp:
+				if in.Target < 0 || in.Target >= n {
+					return bad("jump target %d out of range", in.Target)
+				}
+			case Br:
+				if in.Target < 0 || in.Target >= n || in.Target2 < 0 || in.Target2 >= n {
+					return bad("branch targets %d/%d out of range", in.Target, in.Target2)
+				}
+				if err := checkReg(in.A); err != nil {
+					return err
+				}
+			case Call:
+				if in.Fn < 0 || int(in.Fn) >= len(m.Funcs) {
+					return bad("call target %d out of range", in.Fn)
+				}
+				callee := m.Funcs[in.Fn]
+				if len(in.Args) != len(callee.Params) {
+					return bad("call to %s with %d args, want %d",
+						callee.Name, len(in.Args), len(callee.Params))
+				}
+				for _, a := range in.Args {
+					if err := checkReg(a); err != nil {
+						return err
+					}
+				}
+			case CallB:
+				for _, a := range in.Args {
+					if err := checkReg(a); err != nil {
+						return err
+					}
+				}
+			case Ret:
+				if f.RetW != 0 {
+					if err := checkReg(in.A); err != nil {
+						return err
+					}
+				}
+			}
+			if in.Op.IsBinary() {
+				if err := checkReg(in.A); err != nil {
+					return err
+				}
+				if err := checkReg(in.B); err != nil {
+					return err
+				}
+			}
+		}
+		last := f.Code[n-1].Op
+		if last != Ret && last != Jmp && last != Br {
+			return fmt.Errorf("ir: function %s does not end in a terminator", f.Name)
+		}
+	}
+	return nil
+}

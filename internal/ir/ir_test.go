@@ -1,0 +1,222 @@
+package ir
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleModule() *Module {
+	f := &Function{
+		Name: "main", NumRegs: 3, FrameSize: 8, RetW: W32,
+		Code: []Instr{
+			{Op: ConstOp, W: W32, Dst: 0, Imm: 1, Line: 2},
+			{Op: ConstOp, W: W32, Dst: 1, Imm: 2, Line: 3},
+			{Op: Add, W: W32, Dst: 2, A: 0, B: 1, Line: 3},
+			{Op: Ret, A: 2, Line: 4},
+		},
+		Vars: []VarInfo{{Name: "x", Type: 0, Off: 0, Line: 2}},
+	}
+	return &Module{
+		Name:         "sample",
+		Funcs:        []*Function{f},
+		Entry:        0,
+		Globals:      []byte{1, 2, 3, 4},
+		GlobalVars:   []VarInfo{{Name: "g", Type: 0, Off: 0}},
+		GlobalBlocks: []GlobalBlock{{Off: 0, Size: 4}},
+		Types:        []TypeInfo{{Kind: KInt, Size: 4, W: W32, Name: "u32"}},
+	}
+}
+
+func TestWidthHelpers(t *testing.T) {
+	if W8.Mask() != 0xFF || W64.Mask() != ^uint64(0) {
+		t.Error("mask values wrong")
+	}
+	if W32.Bytes() != 4 {
+		t.Errorf("W32.Bytes() = %d", W32.Bytes())
+	}
+}
+
+func TestValidateAcceptsSample(t *testing.T) {
+	if err := sampleModule().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Module)
+		want   string
+	}{
+		{"bad entry", func(m *Module) { m.Entry = 7 }, "entry"},
+		{"empty function", func(m *Module) { m.Funcs[0].Code = nil }, "no code"},
+		{"bad register", func(m *Module) { m.Funcs[0].Code[2].A = 99 }, "register"},
+		{"bad jump", func(m *Module) {
+			m.Funcs[0].Code[0] = Instr{Op: Jmp, Target: 99}
+		}, "jump target"},
+		{"bad branch", func(m *Module) {
+			m.Funcs[0].Code[0] = Instr{Op: Br, A: 0, Target: 0, Target2: 99}
+		}, "branch targets"},
+		{"bad call", func(m *Module) {
+			m.Funcs[0].Code[0] = Instr{Op: Call, Fn: 9}
+		}, "call target"},
+		{"arg count", func(m *Module) {
+			m.Funcs[0].Params = []Param{{Off: 0, W: W32}}
+			m.Funcs[0].Code[0] = Instr{Op: Call, Fn: 0, Args: nil}
+		}, "args"},
+		{"no terminator", func(m *Module) {
+			m.Funcs[0].Code = m.Funcs[0].Code[:3]
+		}, "terminator"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			m := sampleModule()
+			c.mutate(m)
+			err := m.Validate()
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("Validate = %v, want error containing %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	m := sampleModule()
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadModule(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "sample" || len(back.Funcs) != 1 || back.Funcs[0].Name != "main" {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	if len(back.Globals) != 4 || back.Globals[2] != 3 {
+		t.Error("globals lost")
+	}
+	if len(back.Types) != 1 || back.Types[0].W != W32 {
+		t.Error("types lost")
+	}
+}
+
+func TestLoadRejectsBadMagic(t *testing.T) {
+	if _, err := LoadModule(bytes.NewReader([]byte("NOPE????"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := LoadModule(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty image accepted")
+	}
+}
+
+func TestLoadValidates(t *testing.T) {
+	m := sampleModule()
+	m.Funcs[0].Code[2].A = 99 // corrupt
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadModule(&buf); err == nil {
+		t.Fatal("corrupt image accepted")
+	}
+}
+
+func TestStrip(t *testing.T) {
+	m := sampleModule()
+	m.Strip()
+	if !m.Stripped || m.Types != nil || m.GlobalVars != nil {
+		t.Error("debug info survived Strip")
+	}
+	if m.Funcs[0].Name != "f0" {
+		t.Errorf("function name = %q, want f0", m.Funcs[0].Name)
+	}
+	if m.Funcs[0].Vars != nil {
+		t.Error("variable info survived Strip")
+	}
+	for _, in := range m.Funcs[0].Code {
+		if in.Line != 0 {
+			t.Error("line numbers survived Strip")
+		}
+	}
+	if len(m.GlobalBlocks) != 1 {
+		t.Error("GlobalBlocks must survive Strip (runtime metadata)")
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClone(t *testing.T) {
+	m := sampleModule()
+	c := m.Clone()
+	c.Funcs[0].Code[0].Imm = 99
+	c.Globals[0] = 99
+	c.Funcs[0].Name = "evil"
+	if m.Funcs[0].Code[0].Imm == 99 || m.Globals[0] == 99 || m.Funcs[0].Name == "evil" {
+		t.Fatal("Clone shares state with the original")
+	}
+}
+
+func TestFuncByName(t *testing.T) {
+	m := sampleModule()
+	f, idx := m.FuncByName("main")
+	if f == nil || idx != 0 {
+		t.Fatalf("FuncByName(main) = %v, %d", f, idx)
+	}
+	f, idx = m.FuncByName("nope")
+	if f != nil || idx != -1 {
+		t.Fatal("FuncByName(nope) found something")
+	}
+}
+
+func TestDisasm(t *testing.T) {
+	m := sampleModule()
+	text := m.Funcs[0].Disasm()
+	for _, want := range []string{"func main", "const", "add", "ret"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("disasm missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestInstrStrings(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: Nop}, "nop"},
+		{Instr{Op: ConstOp, W: W32, Dst: 1, Imm: 7}, "r1 = const.w32 7"},
+		{Instr{Op: Mov, Dst: 1, A: 2}, "r1 = mov r2"},
+		{Instr{Op: ZExt, W: W64, SrcW: W32, Dst: 1, A: 2}, "r1 = zext.w64<-w32 r2"},
+		{Instr{Op: Load, W: W8, Dst: 1, A: 2}, "r1 = load.w8 [r2]"},
+		{Instr{Op: Store, W: W16, A: 1, B: 2}, "store.w16 [r1] = r2"},
+		{Instr{Op: Br, A: 3, Target: 5, Target2: 9}, "br r3 ? 5 : 9"},
+		{Instr{Op: Jmp, Target: 4}, "jmp 4"},
+		{Instr{Op: CallB, Dst: 0, Builtin: BAlloc}, "r0 = callb alloc []"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestOpAndBuiltinNames(t *testing.T) {
+	if Add.String() != "add" || UDiv.String() != "udiv" {
+		t.Error("op names wrong")
+	}
+	if !Add.IsBinary() || ConstOp.IsBinary() {
+		t.Error("IsBinary wrong")
+	}
+	if !Eq.IsCmp() || Add.IsCmp() {
+		t.Error("IsCmp wrong")
+	}
+	if BInU16BE.String() != "in_u16be" {
+		t.Error("builtin name wrong")
+	}
+	if Op(200).String() == "" || Builtin(200).String() == "" {
+		t.Error("unknown names must not be empty")
+	}
+}

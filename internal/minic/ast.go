@@ -1,0 +1,300 @@
+package minic
+
+// The AST. The parser produces syntactic nodes; the checker annotates
+// expressions with types, resolves identifiers to symbols, and inserts
+// explicit Cast nodes for every implicit conversion so that code
+// generation never re-derives conversion rules.
+
+// Node is implemented by all AST nodes.
+type Node interface{ Pos() int }
+
+// TypeExpr is a syntactic type reference resolved by the checker.
+type TypeExpr struct {
+	Line   int
+	Name   string // "u32", "void", or a struct name
+	Stars  int    // pointer depth
+	ArrayN int64  // -1 if not an array
+}
+
+// Pos implements Node.
+func (t *TypeExpr) Pos() int { return t.Line }
+
+// File is a parsed translation unit.
+type File struct {
+	Structs []*StructDecl
+	Globals []*VarDecl
+	Funcs   []*FuncDecl
+}
+
+// StructDecl declares a struct type.
+type StructDecl struct {
+	Line   int
+	Name   string
+	Fields []*FieldDecl
+}
+
+// Pos implements Node.
+func (d *StructDecl) Pos() int { return d.Line }
+
+// FieldDecl is one struct field or function parameter.
+type FieldDecl struct {
+	Line int
+	Name string
+	Type *TypeExpr
+}
+
+// Pos implements Node.
+func (d *FieldDecl) Pos() int { return d.Line }
+
+// VarDecl declares a global or local variable.
+type VarDecl struct {
+	Line int
+	Name string
+	Type *TypeExpr
+	Init Expr // nil if none
+
+	Sym *Symbol // filled by the checker
+}
+
+// Pos implements Node.
+func (d *VarDecl) Pos() int { return d.Line }
+
+// FuncDecl declares a function.
+type FuncDecl struct {
+	Line   int
+	Name   string
+	Ret    *TypeExpr
+	Params []*FieldDecl
+	Body   *Block
+
+	RetType   Type      // filled by the checker
+	ParamSyms []*Symbol // filled by the checker
+	Locals    []*Symbol // all locals incl. params, in declaration order
+}
+
+// Pos implements Node.
+func (d *FuncDecl) Pos() int { return d.Line }
+
+// SymKind classifies symbols.
+type SymKind uint8
+
+// Symbol kinds.
+const (
+	SymLocal SymKind = iota
+	SymParam
+	SymGlobal
+	SymFunc
+)
+
+// Symbol is a resolved named entity.
+type Symbol struct {
+	Name string
+	Kind SymKind
+	Type Type
+	Line int
+
+	// Filled by the compiler back end.
+	Off     int32 // frame offset (locals/params) or globals offset
+	FnIndex int32 // SymFunc: function index
+
+	// Global initializer value (integers only).
+	InitVal uint64
+	HasInit bool
+}
+
+// Stmt is a statement node.
+type Stmt interface{ Node }
+
+// Block is a brace-delimited statement list.
+type Block struct {
+	Line  int
+	Stmts []Stmt
+}
+
+// Pos implements Node.
+func (s *Block) Pos() int { return s.Line }
+
+// DeclStmt is a local variable declaration.
+type DeclStmt struct{ Decl *VarDecl }
+
+// Pos implements Node.
+func (s *DeclStmt) Pos() int { return s.Decl.Line }
+
+// AssignStmt assigns RHS to the lvalue LHS.
+type AssignStmt struct {
+	Line int
+	LHS  Expr
+	RHS  Expr
+}
+
+// Pos implements Node.
+func (s *AssignStmt) Pos() int { return s.Line }
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Line int
+	Cond Expr
+	Then *Block
+	Else Stmt // *Block, *IfStmt, or nil
+}
+
+// Pos implements Node.
+func (s *IfStmt) Pos() int { return s.Line }
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Line int
+	Cond Expr
+	Body *Block
+}
+
+// Pos implements Node.
+func (s *WhileStmt) Pos() int { return s.Line }
+
+// BreakStmt exits the innermost enclosing loop.
+type BreakStmt struct{ Line int }
+
+// Pos implements Node.
+func (s *BreakStmt) Pos() int { return s.Line }
+
+// ContinueStmt jumps to the next iteration of the enclosing loop.
+type ContinueStmt struct{ Line int }
+
+// Pos implements Node.
+func (s *ContinueStmt) Pos() int { return s.Line }
+
+// ReturnStmt returns from the enclosing function.
+type ReturnStmt struct {
+	Line int
+	E    Expr // nil for void
+}
+
+// Pos implements Node.
+func (s *ReturnStmt) Pos() int { return s.Line }
+
+// ExprStmt evaluates an expression for its effects (calls).
+type ExprStmt struct {
+	Line int
+	E    Expr
+}
+
+// Pos implements Node.
+func (s *ExprStmt) Pos() int { return s.Line }
+
+// Expr is an expression node. Type() is valid after checking.
+type Expr interface {
+	Node
+	Type() Type
+}
+
+type typed struct{ T Type }
+
+// Type returns the checked type of the expression.
+func (t *typed) Type() Type { return t.T }
+
+// NumLit is an integer literal.
+type NumLit struct {
+	typed
+	Line int
+	Val  uint64
+}
+
+// Pos implements Node.
+func (e *NumLit) Pos() int { return e.Line }
+
+// Ident is a variable reference.
+type Ident struct {
+	typed
+	Line int
+	Name string
+	Sym  *Symbol // filled by the checker
+}
+
+// Pos implements Node.
+func (e *Ident) Pos() int { return e.Line }
+
+// Unary is a prefix operation: - ~ ! * &.
+type Unary struct {
+	typed
+	Line int
+	Op   TokKind
+	X    Expr
+}
+
+// Pos implements Node.
+func (e *Unary) Pos() int { return e.Line }
+
+// Binary is an infix operation.
+type Binary struct {
+	typed
+	Line int
+	Op   TokKind
+	X, Y Expr
+}
+
+// Pos implements Node.
+func (e *Binary) Pos() int { return e.Line }
+
+// Call invokes a user function or builtin by name.
+type Call struct {
+	typed
+	Line int
+	Name string
+	Args []Expr
+
+	Sym     *Symbol // user function, or nil for builtins
+	Builtin uint8   // ir.Builtin value when Sym is nil
+}
+
+// Pos implements Node.
+func (e *Call) Pos() int { return e.Line }
+
+// Index is x[i] over a pointer or array.
+type Index struct {
+	typed
+	Line int
+	X    Expr
+	I    Expr
+}
+
+// Pos implements Node.
+func (e *Index) Pos() int { return e.Line }
+
+// Member is x.f or x->f.
+type Member struct {
+	typed
+	Line  int
+	X     Expr
+	Name  string
+	Arrow bool
+
+	Field *StructField // filled by the checker
+}
+
+// Pos implements Node.
+func (e *Member) Pos() int { return e.Line }
+
+// Cast converts X to the target type. Explicit casts come from source;
+// the checker also inserts implicit casts (Implicit = true).
+type Cast struct {
+	typed
+	Line     int
+	To       *TypeExpr // nil for checker-inserted casts
+	X        Expr
+	Implicit bool
+}
+
+// Pos implements Node.
+func (e *Cast) Pos() int { return e.Line }
+
+// SizeOf is sizeof(type); it folds to a u32 constant (32-bit model).
+type SizeOf struct {
+	typed
+	Line int
+	Of   *TypeExpr
+
+	Size uint64 // filled by the checker
+}
+
+// Pos implements Node.
+func (e *SizeOf) Pos() int { return e.Line }

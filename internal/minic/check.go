@@ -1,0 +1,869 @@
+package minic
+
+import (
+	"fmt"
+	"sort"
+
+	"codephage/internal/ir"
+)
+
+// Program is a checked translation unit ready for code generation.
+type Program struct {
+	File    *File
+	Structs map[string]*StructType
+	Globals []*Symbol
+	Funcs   []*FuncDecl
+}
+
+// builtinSig describes a VM builtin's MiniC signature.
+type builtinSig struct {
+	id     ir.Builtin
+	params []Type
+	ret    Type
+}
+
+var builtins = map[string]builtinSig{
+	"in_u8":    {ir.BInU8, nil, U8},
+	"in_u16be": {ir.BInU16BE, nil, U16},
+	"in_u16le": {ir.BInU16LE, nil, U16},
+	"in_u32be": {ir.BInU32BE, nil, U32},
+	"in_u32le": {ir.BInU32LE, nil, U32},
+	"in_seek":  {ir.BInSeek, []Type{U32}, Void},
+	"in_pos":   {ir.BInPos, nil, U32},
+	"in_len":   {ir.BInLen, nil, U32},
+	"in_eof":   {ir.BInEOF, nil, U32},
+	"alloc":    {ir.BAlloc, []Type{U32}, &PtrType{U8}},
+	"free":     {ir.BFree, []Type{&PtrType{U8}}, Void},
+	"exit":     {ir.BExit, []Type{I32}, Void},
+	"out":      {ir.BOut, []Type{U64}, Void},
+	"abort":    {ir.BAbort, nil, Void},
+}
+
+type checker struct {
+	prog      *Program
+	funcs     map[string]*Symbol
+	scopes    []map[string]*Symbol
+	cur       *FuncDecl
+	loopDepth int
+	errs      []error
+}
+
+// Check resolves names, computes struct layouts, types every
+// expression, and inserts implicit conversion nodes.
+func Check(f *File) (*Program, error) {
+	c := &checker{
+		prog:  &Program{File: f, Structs: map[string]*StructType{}},
+		funcs: map[string]*Symbol{},
+	}
+	c.declareStructs(f.Structs)
+	c.declareGlobals(f.Globals)
+	c.declareFuncs(f.Funcs)
+	for _, fd := range f.Funcs {
+		c.checkFunc(fd)
+	}
+	if len(c.errs) > 0 {
+		return nil, joinErrors(c.errs)
+	}
+	return c.prog, nil
+}
+
+func joinErrors(errs []error) error {
+	if len(errs) == 1 {
+		return errs[0]
+	}
+	msg := errs[0].Error()
+	for _, e := range errs[1:] {
+		msg += "\n" + e.Error()
+	}
+	return fmt.Errorf("%s", msg)
+}
+
+func (c *checker) errf(line int, format string, args ...interface{}) {
+	c.errs = append(c.errs, fmt.Errorf("line %d: %s", line, fmt.Sprintf(format, args...)))
+}
+
+func (c *checker) declareStructs(decls []*StructDecl) {
+	// Pass 1: register names so pointer fields may refer to any struct.
+	for _, d := range decls {
+		if _, dup := c.prog.Structs[d.Name]; dup {
+			c.errf(d.Line, "duplicate struct %q", d.Name)
+			continue
+		}
+		c.prog.Structs[d.Name] = &StructType{Name: d.Name}
+	}
+	// Pass 2: resolve field types and lay out, in dependency order.
+	done := map[string]bool{}
+	var resolve func(d *StructDecl, stack map[string]bool)
+	byName := map[string]*StructDecl{}
+	for _, d := range decls {
+		byName[d.Name] = d
+	}
+	resolve = func(d *StructDecl, stack map[string]bool) {
+		if done[d.Name] {
+			return
+		}
+		if stack[d.Name] {
+			c.errf(d.Line, "struct %q embeds itself by value", d.Name)
+			done[d.Name] = true
+			return
+		}
+		stack[d.Name] = true
+		st := c.prog.Structs[d.Name]
+		for _, fd := range d.Fields {
+			// Value embedding of another struct requires its layout first.
+			if fd.Type.Stars == 0 && fd.Type.ArrayN < 0 {
+				if dep, ok := byName[fd.Type.Name]; ok {
+					resolve(dep, stack)
+				}
+			}
+			t := c.resolveType(fd.Type)
+			if t == nil {
+				continue
+			}
+			if _, isVoid := t.(*VoidType); isVoid {
+				c.errf(fd.Line, "field %q has void type", fd.Name)
+				continue
+			}
+			if st.Field(fd.Name) != nil {
+				c.errf(fd.Line, "duplicate field %q in struct %q", fd.Name, d.Name)
+				continue
+			}
+			st.Fields = append(st.Fields, StructField{Name: fd.Name, Type: t})
+		}
+		layoutStruct(st)
+		delete(stack, d.Name)
+		done[d.Name] = true
+	}
+	for _, d := range decls {
+		resolve(d, map[string]bool{})
+	}
+}
+
+// resolveType turns a syntactic type into a semantic one.
+func (c *checker) resolveType(te *TypeExpr) Type {
+	var base Type
+	switch {
+	case te.Name == "void":
+		base = Void
+	case namedIntTypes[te.Name] != nil:
+		base = namedIntTypes[te.Name]
+	default:
+		st, ok := c.prog.Structs[te.Name]
+		if !ok {
+			c.errf(te.Line, "unknown type %q", te.Name)
+			return nil
+		}
+		base = st
+	}
+	for i := 0; i < te.Stars; i++ {
+		base = &PtrType{Elem: base}
+	}
+	if te.ArrayN >= 0 {
+		if te.ArrayN == 0 || te.ArrayN > 1<<24 {
+			c.errf(te.Line, "invalid array length %d", te.ArrayN)
+			return nil
+		}
+		base = &ArrayType{Elem: base, N: int32(te.ArrayN)}
+	}
+	if _, isVoid := base.(*VoidType); isVoid && (te.Stars > 0 || te.ArrayN >= 0) {
+		c.errf(te.Line, "void cannot be an element type")
+		return nil
+	}
+	return base
+}
+
+func (c *checker) declareGlobals(decls []*VarDecl) {
+	seen := map[string]bool{}
+	for _, d := range decls {
+		if seen[d.Name] {
+			c.errf(d.Line, "duplicate global %q", d.Name)
+			continue
+		}
+		seen[d.Name] = true
+		t := c.resolveType(d.Type)
+		if t == nil {
+			continue
+		}
+		if _, isVoid := t.(*VoidType); isVoid {
+			c.errf(d.Line, "global %q has void type", d.Name)
+			continue
+		}
+		sym := &Symbol{Name: d.Name, Kind: SymGlobal, Type: t, Line: d.Line}
+		if d.Init != nil {
+			it, isInt := IsInt(t)
+			if !isInt {
+				c.errf(d.Line, "global %q: only integer globals may have initializers", d.Name)
+			} else if v, ok := c.constEval(d.Init); ok {
+				sym.InitVal = v & maskOf(it.Bits)
+				sym.HasInit = true
+			} else {
+				c.errf(d.Line, "global %q: initializer is not a constant expression", d.Name)
+			}
+		}
+		d.Sym = sym
+		c.prog.Globals = append(c.prog.Globals, sym)
+	}
+}
+
+func maskOf(bits uint8) uint64 {
+	if bits >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << bits) - 1
+}
+
+func (c *checker) declareFuncs(decls []*FuncDecl) {
+	for i, d := range decls {
+		if _, dup := c.funcs[d.Name]; dup {
+			c.errf(d.Line, "duplicate function %q", d.Name)
+			continue
+		}
+		if _, isBuiltin := builtins[d.Name]; isBuiltin {
+			c.errf(d.Line, "function %q shadows a builtin", d.Name)
+			continue
+		}
+		ret := c.resolveType(d.Ret)
+		if ret == nil {
+			continue
+		}
+		switch ret.(type) {
+		case *IntType, *PtrType, *VoidType:
+		default:
+			c.errf(d.Line, "function %q returns unsupported type %s", d.Name, ret)
+			continue
+		}
+		d.RetType = ret
+		sym := &Symbol{Name: d.Name, Kind: SymFunc, Type: ret, Line: d.Line, FnIndex: int32(i)}
+		c.funcs[d.Name] = sym
+		c.prog.Funcs = append(c.prog.Funcs, d)
+	}
+}
+
+func (c *checker) pushScope() { c.scopes = append(c.scopes, map[string]*Symbol{}) }
+func (c *checker) popScope()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) declare(sym *Symbol) {
+	top := c.scopes[len(c.scopes)-1]
+	if _, dup := top[sym.Name]; dup {
+		c.errf(sym.Line, "duplicate declaration of %q", sym.Name)
+		return
+	}
+	top[sym.Name] = sym
+	c.cur.Locals = append(c.cur.Locals, sym)
+}
+
+func (c *checker) lookup(name string) *Symbol {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if s, ok := c.scopes[i][name]; ok {
+			return s
+		}
+	}
+	for _, g := range c.prog.Globals {
+		if g.Name == name {
+			return g
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkFunc(d *FuncDecl) {
+	c.cur = d
+	c.pushScope()
+	defer c.popScope()
+	for _, pd := range d.Params {
+		t := c.resolveType(pd.Type)
+		if t == nil {
+			continue
+		}
+		switch t.(type) {
+		case *IntType, *PtrType:
+		default:
+			c.errf(pd.Line, "parameter %q has unsupported type %s", pd.Name, t)
+			continue
+		}
+		sym := &Symbol{Name: pd.Name, Kind: SymParam, Type: t, Line: pd.Line}
+		c.declare(sym)
+		d.ParamSyms = append(d.ParamSyms, sym)
+	}
+	c.checkBlock(d.Body)
+}
+
+func (c *checker) checkBlock(b *Block) {
+	c.pushScope()
+	defer c.popScope()
+	for _, s := range b.Stmts {
+		c.checkStmt(s)
+	}
+}
+
+func (c *checker) checkStmt(s Stmt) {
+	switch st := s.(type) {
+	case *Block:
+		c.checkBlock(st)
+	case *DeclStmt:
+		d := st.Decl
+		t := c.resolveType(d.Type)
+		if t == nil {
+			return
+		}
+		if _, isVoid := t.(*VoidType); isVoid {
+			c.errf(d.Line, "variable %q has void type", d.Name)
+			return
+		}
+		sym := &Symbol{Name: d.Name, Kind: SymLocal, Type: t, Line: d.Line}
+		d.Sym = sym
+		if d.Init != nil {
+			switch t.(type) {
+			case *StructType, *ArrayType:
+				c.errf(d.Line, "cannot initialize aggregate type %s", t)
+				return
+			}
+			init := c.checkExpr(d.Init)
+			if init != nil {
+				d.Init = c.convert(init, t, d.Line)
+			}
+		}
+		c.declare(sym)
+	case *AssignStmt:
+		lhs := c.checkExpr(st.LHS)
+		rhs := c.checkExpr(st.RHS)
+		if lhs == nil || rhs == nil {
+			return
+		}
+		if !c.isLvalue(lhs) {
+			c.errf(st.Line, "left side of assignment is not assignable")
+			return
+		}
+		switch lhs.Type().(type) {
+		case *StructType, *ArrayType:
+			c.errf(st.Line, "cannot assign aggregate type %s; assign fields instead", lhs.Type())
+			return
+		}
+		st.LHS = lhs
+		st.RHS = c.convert(rhs, lhs.Type(), st.Line)
+	case *IfStmt:
+		st.Cond = c.checkCond(st.Cond)
+		c.checkBlock(st.Then)
+		if st.Else != nil {
+			c.checkStmt(st.Else)
+		}
+	case *WhileStmt:
+		st.Cond = c.checkCond(st.Cond)
+		c.loopDepth++
+		c.checkBlock(st.Body)
+		c.loopDepth--
+	case *BreakStmt:
+		if c.loopDepth == 0 {
+			c.errf(st.Line, "break outside a loop")
+		}
+	case *ContinueStmt:
+		if c.loopDepth == 0 {
+			c.errf(st.Line, "continue outside a loop")
+		}
+	case *ReturnStmt:
+		ret := c.cur.RetType
+		if st.E == nil {
+			if _, isVoid := ret.(*VoidType); !isVoid {
+				c.errf(st.Line, "missing return value in %q", c.cur.Name)
+			}
+			return
+		}
+		if _, isVoid := ret.(*VoidType); isVoid {
+			c.errf(st.Line, "void function %q returns a value", c.cur.Name)
+			return
+		}
+		e := c.checkExpr(st.E)
+		if e != nil {
+			st.E = c.convert(e, ret, st.Line)
+		}
+	case *ExprStmt:
+		st.E = c.checkExpr(st.E)
+	default:
+		panic(fmt.Sprintf("minic: unknown statement %T", s))
+	}
+}
+
+// checkCond types a condition expression (int or pointer).
+func (c *checker) checkCond(e Expr) Expr {
+	ce := c.checkExpr(e)
+	if ce == nil {
+		return e
+	}
+	ce = c.decay(ce)
+	switch ce.Type().(type) {
+	case *IntType, *PtrType:
+		return ce
+	}
+	c.errf(e.Pos(), "condition has non-scalar type %s", ce.Type())
+	return ce
+}
+
+// isLvalue reports whether e designates a storage location.
+func (c *checker) isLvalue(e Expr) bool {
+	switch ee := e.(type) {
+	case *Ident:
+		return ee.Sym != nil && ee.Sym.Kind != SymFunc
+	case *Index:
+		return true
+	case *Member:
+		return true
+	case *Unary:
+		return ee.Op == TStar
+	}
+	return false
+}
+
+// decay converts array-typed expressions to pointers to their first
+// element, as in C.
+func (c *checker) decay(e Expr) Expr {
+	at, ok := e.Type().(*ArrayType)
+	if !ok {
+		return e
+	}
+	cast := &Cast{Line: e.Pos(), X: e, Implicit: true}
+	cast.T = &PtrType{Elem: at.Elem}
+	return cast
+}
+
+// convert coerces e to type to, inserting an implicit cast, or reports
+// an error.
+func (c *checker) convert(e Expr, to Type, line int) Expr {
+	e = c.decay(e)
+	from := e.Type()
+	if SameType(from, to) {
+		return e
+	}
+	if _, fi := IsInt(from); fi {
+		if _, ti := IsInt(to); ti {
+			cast := &Cast{Line: line, X: e, Implicit: true}
+			cast.T = to
+			return cast
+		}
+	}
+	// Literal 0 converts to any pointer (null).
+	if lit, isLit := e.(*NumLit); isLit && lit.Val == 0 {
+		if _, isPtr := IsPtr(to); isPtr {
+			cast := &Cast{Line: line, X: e, Implicit: true}
+			cast.T = to
+			return cast
+		}
+	}
+	c.errf(line, "cannot convert %s to %s", from, to)
+	return e
+}
+
+func (c *checker) checkExpr(e Expr) Expr {
+	switch ee := e.(type) {
+	case *NumLit:
+		ee.T = literalType(ee.Val)
+		return ee
+	case *Ident:
+		sym := c.lookup(ee.Name)
+		if sym == nil {
+			c.errf(ee.Line, "undefined: %q", ee.Name)
+			return nil
+		}
+		ee.Sym = sym
+		ee.T = sym.Type
+		return ee
+	case *Unary:
+		return c.checkUnary(ee)
+	case *Binary:
+		return c.checkBinary(ee)
+	case *Call:
+		return c.checkCall(ee)
+	case *Index:
+		return c.checkIndex(ee)
+	case *Member:
+		return c.checkMember(ee)
+	case *Cast:
+		return c.checkCast(ee)
+	case *SizeOf:
+		t := c.resolveType(ee.Of)
+		if t == nil {
+			return nil
+		}
+		ee.Size = uint64(t.Size())
+		ee.T = U32 // 32-bit data model: sizeof is u32
+		return ee
+	}
+	panic(fmt.Sprintf("minic: unknown expression %T", e))
+}
+
+// literalType assigns C-like types to integer literals.
+func literalType(v uint64) Type {
+	switch {
+	case v < 1<<31:
+		return I32
+	case v < 1<<32:
+		return U32
+	case v < 1<<63:
+		return I64
+	default:
+		return U64
+	}
+}
+
+func (c *checker) checkUnary(e *Unary) Expr {
+	x := c.checkExpr(e.X)
+	if x == nil {
+		return nil
+	}
+	switch e.Op {
+	case TMinus, TTilde:
+		x = c.decay(x)
+		it, ok := IsInt(x.Type())
+		if !ok {
+			c.errf(e.Line, "operator %s requires an integer operand, got %s", e.Op, x.Type())
+			return nil
+		}
+		p := promote(it)
+		e.X = c.convert(x, p, e.Line)
+		e.T = p
+		return e
+	case TBang:
+		x = c.decay(x)
+		switch x.Type().(type) {
+		case *IntType, *PtrType:
+		default:
+			c.errf(e.Line, "operator ! requires a scalar operand, got %s", x.Type())
+			return nil
+		}
+		e.X = x
+		e.T = I32
+		return e
+	case TStar:
+		x = c.decay(x)
+		pt, ok := IsPtr(x.Type())
+		if !ok {
+			c.errf(e.Line, "cannot dereference non-pointer %s", x.Type())
+			return nil
+		}
+		e.X = x
+		e.T = pt.Elem
+		return e
+	case TAmp:
+		if !c.isLvalue(x) {
+			c.errf(e.Line, "cannot take the address of this expression")
+			return nil
+		}
+		e.X = x
+		e.T = &PtrType{Elem: x.Type()}
+		return e
+	}
+	panic("minic: bad unary op")
+}
+
+func (c *checker) checkBinary(e *Binary) Expr {
+	if e.Op == TAndAnd || e.Op == TOrOr {
+		e.X = c.checkCond(e.X)
+		e.Y = c.checkCond(e.Y)
+		e.T = I32
+		return e
+	}
+	x := c.checkExpr(e.X)
+	y := c.checkExpr(e.Y)
+	if x == nil || y == nil {
+		return nil
+	}
+	x, y = c.decay(x), c.decay(y)
+
+	xp, xIsPtr := IsPtr(x.Type())
+	yp, yIsPtr := IsPtr(y.Type())
+	xi, xIsInt := IsInt(x.Type())
+	yi, yIsInt := IsInt(y.Type())
+
+	switch e.Op {
+	case TPlus, TMinus:
+		switch {
+		case xIsPtr && yIsInt:
+			e.X, e.Y = x, c.convert(y, I64, e.Line)
+			e.T = xp
+			return e
+		case yIsPtr && xIsInt && e.Op == TPlus:
+			e.X, e.Y = c.convert(x, I64, e.Line), y
+			e.T = yp
+			return e
+		}
+		fallthrough
+	case TStar, TSlash, TPercent, TAmp, TPipe, TCaret:
+		if !xIsInt || !yIsInt {
+			c.errf(e.Line, "operator %s requires integer operands, got %s and %s", e.Op, x.Type(), y.Type())
+			return nil
+		}
+		ct := commonType(xi, yi)
+		e.X = c.convert(x, ct, e.Line)
+		e.Y = c.convert(y, ct, e.Line)
+		e.T = ct
+		return e
+	case TShl, TShr:
+		if !xIsInt || !yIsInt {
+			c.errf(e.Line, "shift requires integer operands, got %s and %s", x.Type(), y.Type())
+			return nil
+		}
+		pt := promote(xi)
+		e.X = c.convert(x, pt, e.Line)
+		e.Y = c.convert(y, pt, e.Line)
+		e.T = pt
+		return e
+	case TEq, TNe, TLt, TLe, TGt, TGe:
+		switch {
+		case xIsInt && yIsInt:
+			ct := commonType(xi, yi)
+			e.X = c.convert(x, ct, e.Line)
+			e.Y = c.convert(y, ct, e.Line)
+		case xIsPtr && yIsPtr && (e.Op == TEq || e.Op == TNe):
+			if !SameType(xp, yp) {
+				c.errf(e.Line, "comparing distinct pointer types %s and %s", xp, yp)
+				return nil
+			}
+			e.X, e.Y = x, y
+		case xIsPtr && (e.Op == TEq || e.Op == TNe):
+			e.X, e.Y = x, c.convert(y, xp, e.Line)
+		case yIsPtr && (e.Op == TEq || e.Op == TNe):
+			e.X, e.Y = c.convert(x, yp, e.Line), y
+		default:
+			c.errf(e.Line, "invalid comparison between %s and %s", x.Type(), y.Type())
+			return nil
+		}
+		e.T = I32
+		return e
+	}
+	panic("minic: bad binary op")
+}
+
+func (c *checker) checkCall(e *Call) Expr {
+	// Builtin?
+	if sig, ok := builtins[e.Name]; ok {
+		if len(e.Args) != len(sig.params) {
+			c.errf(e.Line, "%s takes %d argument(s), got %d", e.Name, len(sig.params), len(e.Args))
+			return nil
+		}
+		for i, a := range e.Args {
+			ca := c.checkExpr(a)
+			if ca == nil {
+				return nil
+			}
+			e.Args[i] = c.convert(ca, sig.params[i], e.Line)
+		}
+		e.Builtin = uint8(sig.id)
+		e.T = sig.ret
+		return e
+	}
+	sym, ok := c.funcs[e.Name]
+	if !ok {
+		c.errf(e.Line, "undefined function %q", e.Name)
+		return nil
+	}
+	var decl *FuncDecl
+	for _, fd := range c.prog.Funcs {
+		if fd.Name == e.Name {
+			decl = fd
+			break
+		}
+	}
+	if decl == nil {
+		c.errf(e.Line, "undefined function %q", e.Name)
+		return nil
+	}
+	if len(e.Args) != len(decl.Params) {
+		c.errf(e.Line, "%s takes %d argument(s), got %d", e.Name, len(decl.Params), len(e.Args))
+		return nil
+	}
+	for i, a := range e.Args {
+		ca := c.checkExpr(a)
+		if ca == nil {
+			return nil
+		}
+		// Parameter types: resolve from the declaration (ParamSyms may
+		// not be populated yet if the callee is checked later).
+		pt := c.resolveType(decl.Params[i].Type)
+		if pt == nil {
+			return nil
+		}
+		e.Args[i] = c.convert(ca, pt, e.Line)
+	}
+	e.Sym = sym
+	e.T = decl.RetType
+	if e.T == nil {
+		e.T = c.resolveType(decl.Ret)
+	}
+	return e
+}
+
+func (c *checker) checkIndex(e *Index) Expr {
+	x := c.checkExpr(e.X)
+	i := c.checkExpr(e.I)
+	if x == nil || i == nil {
+		return nil
+	}
+	var elem Type
+	switch t := x.Type().(type) {
+	case *ArrayType:
+		elem = t.Elem
+	case *PtrType:
+		elem = t.Elem
+	default:
+		c.errf(e.Line, "cannot index %s", x.Type())
+		return nil
+	}
+	if _, ok := IsInt(i.Type()); !ok {
+		c.errf(e.Line, "array index must be an integer, got %s", i.Type())
+		return nil
+	}
+	e.X = x
+	e.I = c.convert(i, I64, e.Line)
+	e.T = elem
+	return e
+}
+
+func (c *checker) checkMember(e *Member) Expr {
+	x := c.checkExpr(e.X)
+	if x == nil {
+		return nil
+	}
+	var st *StructType
+	if e.Arrow {
+		pt, ok := IsPtr(x.Type())
+		if !ok {
+			c.errf(e.Line, "-> on non-pointer %s", x.Type())
+			return nil
+		}
+		st, ok = pt.Elem.(*StructType)
+		if !ok {
+			c.errf(e.Line, "-> on pointer to non-struct %s", pt.Elem)
+			return nil
+		}
+	} else {
+		var ok bool
+		st, ok = x.Type().(*StructType)
+		if !ok {
+			c.errf(e.Line, ". on non-struct %s", x.Type())
+			return nil
+		}
+	}
+	f := st.Field(e.Name)
+	if f == nil {
+		c.errf(e.Line, "struct %s has no field %q", st.Name, e.Name)
+		return nil
+	}
+	e.X = x
+	e.Field = f
+	e.T = f.Type
+	return e
+}
+
+func (c *checker) checkCast(e *Cast) Expr {
+	x := c.checkExpr(e.X)
+	if x == nil {
+		return nil
+	}
+	x = c.decay(x)
+	to := c.resolveType(e.To)
+	if to == nil {
+		return nil
+	}
+	from := x.Type()
+	ok := false
+	switch to.(type) {
+	case *IntType:
+		switch from.(type) {
+		case *IntType, *PtrType:
+			ok = true
+		}
+	case *PtrType:
+		switch from.(type) {
+		case *IntType, *PtrType:
+			ok = true
+		}
+	}
+	if !ok {
+		c.errf(e.Line, "invalid cast from %s to %s", from, to)
+		return nil
+	}
+	e.X = x
+	e.T = to
+	return e
+}
+
+// constEval folds constant integer expressions (for global
+// initializers). Only literals, sizeof, casts and pure arithmetic.
+func (c *checker) constEval(e Expr) (uint64, bool) {
+	switch ee := e.(type) {
+	case *NumLit:
+		return ee.Val, true
+	case *SizeOf:
+		t := c.resolveType(ee.Of)
+		if t == nil {
+			return 0, false
+		}
+		return uint64(t.Size()), true
+	case *Unary:
+		x, ok := c.constEval(ee.X)
+		if !ok {
+			return 0, false
+		}
+		switch ee.Op {
+		case TMinus:
+			return -x, true
+		case TTilde:
+			return ^x, true
+		case TBang:
+			if x == 0 {
+				return 1, true
+			}
+			return 0, true
+		}
+	case *Binary:
+		x, okX := c.constEval(ee.X)
+		y, okY := c.constEval(ee.Y)
+		if !okX || !okY {
+			return 0, false
+		}
+		switch ee.Op {
+		case TPlus:
+			return x + y, true
+		case TMinus:
+			return x - y, true
+		case TStar:
+			return x * y, true
+		case TSlash:
+			if y != 0 {
+				return x / y, true
+			}
+		case TPercent:
+			if y != 0 {
+				return x % y, true
+			}
+		case TShl:
+			if y < 64 {
+				return x << y, true
+			}
+			return 0, true
+		case TShr:
+			if y < 64 {
+				return x >> y, true
+			}
+			return 0, true
+		case TAmp:
+			return x & y, true
+		case TPipe:
+			return x | y, true
+		case TCaret:
+			return x ^ y, true
+		}
+	case *Cast:
+		return c.constEval(ee.X)
+	}
+	return 0, false
+}
+
+// SortedGlobalNames returns the global names in sorted order (test aid).
+func (p *Program) SortedGlobalNames() []string {
+	names := make([]string, len(p.Globals))
+	for i, g := range p.Globals {
+		names[i] = g.Name
+	}
+	sort.Strings(names)
+	return names
+}

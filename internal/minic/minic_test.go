@@ -1,0 +1,314 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustCheck(t *testing.T, src string) *Program {
+	t.Helper()
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	p, err := Check(f)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return p
+}
+
+func checkErr(t *testing.T, src, wantSub string) {
+	t.Helper()
+	f, err := Parse(src)
+	if err == nil {
+		_, err = Check(f)
+	}
+	if err == nil {
+		t.Fatalf("expected error containing %q, got none", wantSub)
+	}
+	if !strings.Contains(err.Error(), wantSub) {
+		t.Fatalf("error = %q, want substring %q", err, wantSub)
+	}
+}
+
+func TestLexerTokens(t *testing.T) {
+	l := NewLexer(`x = 0x1F + 42; // comment
+	/* block
+	   comment */ y <<= `)
+	var kinds []TokKind
+	var vals []uint64
+	for {
+		tok, err := l.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tok.Kind == TEOF {
+			break
+		}
+		kinds = append(kinds, tok.Kind)
+		if tok.Kind == TNum {
+			vals = append(vals, tok.Val)
+		}
+	}
+	want := []TokKind{TIdent, TAssign, TNum, TPlus, TNum, TSemi, TIdent, TShl, TAssign}
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("kinds[%d] = %v, want %v", i, kinds[i], want[i])
+		}
+	}
+	if vals[0] != 0x1F || vals[1] != 42 {
+		t.Fatalf("vals = %v", vals)
+	}
+}
+
+func TestLexerLineNumbers(t *testing.T) {
+	l := NewLexer("a\nb\n\nc")
+	lines := []int{}
+	for {
+		tok, err := l.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tok.Kind == TEOF {
+			break
+		}
+		lines = append(lines, tok.Line)
+	}
+	if lines[0] != 1 || lines[1] != 2 || lines[2] != 4 {
+		t.Fatalf("lines = %v, want [1 2 4]", lines)
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	for _, bad := range []string{"$", "/* unterminated", "0x", "18446744073709551616"} {
+		l := NewLexer(bad)
+		_, err := l.Next()
+		if err == nil {
+			t.Errorf("lexing %q: expected error", bad)
+		}
+	}
+}
+
+func TestParseFullProgram(t *testing.T) {
+	p := mustCheck(t, `
+struct Img { u32 w; u32 h; u8* data; };
+u32 counter = 0;
+u8 table[256];
+
+u32 load(Img* im) {
+	u32 w = in_u16be();
+	u32 h = in_u16be();
+	if (w > 16384 || h > 16384) {
+		return 0;
+	}
+	im->w = w;
+	im->h = h;
+	im->data = alloc(w * h);
+	return 1;
+}
+
+void main() {
+	Img im;
+	if (!load(&im)) {
+		exit(1);
+	}
+	out(im.w);
+}
+`)
+	if len(p.Funcs) != 2 {
+		t.Fatalf("funcs = %d, want 2", len(p.Funcs))
+	}
+	st := p.Structs["Img"]
+	if st == nil {
+		t.Fatal("struct Img missing")
+	}
+	if st.Size() != 16 {
+		t.Errorf("sizeof(Img) = %d, want 16 (4+4+8)", st.Size())
+	}
+	if f := st.Field("data"); f == nil || f.Off != 8 {
+		t.Errorf("data field offset = %v", f)
+	}
+}
+
+func TestPromotionTypes(t *testing.T) {
+	p := mustCheck(t, `
+void main() {
+	u16 a = 1;
+	u16 b = 2;
+	u32 c = (u32)(a * b);
+	u64 d = (u64)a * (u64)b;
+	out(d + (u64)c);
+}
+`)
+	_ = p
+}
+
+func TestCommonTypeRules(t *testing.T) {
+	cases := []struct {
+		a, b *IntType
+		want string
+	}{
+		{U16, U16, "i32"}, // both promote
+		{U32, I32, "u32"}, // same width, unsigned wins
+		{I64, U32, "i64"}, // wider wins
+		{U64, I32, "u64"},
+		{I8, I8, "i32"},
+	}
+	for _, c := range cases {
+		got := commonType(c.a, c.b)
+		if got.String() != c.want {
+			t.Errorf("commonType(%s, %s) = %s, want %s", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestStructLayoutPadding(t *testing.T) {
+	p := mustCheck(t, `
+struct P { u8 a; u32 b; u8 c; u64 d; };
+void main() { }
+`)
+	st := p.Structs["P"]
+	offs := []int32{}
+	for _, f := range st.Fields {
+		offs = append(offs, f.Off)
+	}
+	want := []int32{0, 4, 8, 16}
+	for i := range want {
+		if offs[i] != want[i] {
+			t.Fatalf("offsets = %v, want %v", offs, want)
+		}
+	}
+	if st.Size() != 24 {
+		t.Errorf("size = %d, want 24", st.Size())
+	}
+}
+
+func TestNestedStructValue(t *testing.T) {
+	p := mustCheck(t, `
+struct Inner { u32 x; };
+struct Outer { Inner i; u32 y; };
+void main() {
+	Outer o;
+	o.i.x = 1;
+	o.y = 2;
+	out((u64)(o.i.x + o.y));
+}
+`)
+	if p.Structs["Outer"].Size() != 8 {
+		t.Errorf("Outer size = %d, want 8", p.Structs["Outer"].Size())
+	}
+}
+
+func TestCheckerErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"undefined var", `void main() { out(x); }`, "undefined"},
+		{"undefined func", `void main() { frob(); }`, "undefined function"},
+		{"dup global", "u32 a;\nu32 a;\nvoid main() { }", "duplicate global"},
+		{"dup func", "void f() { }\nvoid f() { }\nvoid main() { }", "duplicate function"},
+		{"dup field", `struct S { u32 a; u32 a; }; void main() { }`, "duplicate field"},
+		{"dup local", `void main() { u32 a; u32 a; }`, "duplicate declaration"},
+		{"shadow builtin", `u32 alloc(u32 n) { return n; } void main() { }`, "shadows a builtin"},
+		{"bad deref", `void main() { u32 a; out(*a); }`, "dereference"},
+		{"bad member", `void main() { u32 a; out(a.x); }`, "non-struct"},
+		{"unknown field", `struct S { u32 a; }; void main() { S s; out(s.b); }`, "no field"},
+		{"void var", `void main() { void v; }`, "void type"},
+		{"arg count", `u32 f(u32 a) { return a; } void main() { out(f()); }`, "argument"},
+		{"assign rvalue", `void main() { 1 = 2; }`, "not assignable"},
+		{"struct assign", `struct S { u32 a; }; void main() { S x; S y; x = y; }`, "aggregate"},
+		{"recursive struct", `struct S { S s; }; void main() { }`, "embeds itself"},
+		{"ptr arith mismatch", `struct S { u32 a; }; void main() { S* p; u32* q; if (p == q) { } }`, "distinct pointer"},
+		{"non-const global", `u32 g = in_u8(); void main() { }`, "constant"},
+		{"missing return value", `u32 f() { return; } void main() { }`, "missing return value"},
+		{"void returns value", `void f() { return 1; } void main() { }`, "returns a value"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			checkErr(t, c.src, c.want)
+		})
+	}
+	// "no main" is a compile-stage error, handled in package compile;
+	// verify check passes without main.
+	mustCheck(t, `void f() { }`)
+}
+
+func TestParserErrors(t *testing.T) {
+	cases := []string{
+		`void main() { if 1 { } }`,
+		`void main() { u32 }`,
+		`struct S { u32 a }; void main() { }`,
+		`void main( { }`,
+		`void main() { x + ; }`,
+		`void main() { return 1 }`,
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+func TestCastParsing(t *testing.T) {
+	mustCheck(t, `
+struct Img { u32 w; };
+void main() {
+	u64 x = 5;
+	u32 y = (u32)x;
+	Img* p = (Img*)alloc(sizeof(Img));
+	u8* q = (u8*)p;
+	u64 addr = (u64)q;
+	out(addr - addr + (u64)y);
+}
+`)
+}
+
+func TestParenVsCastDisambiguation(t *testing.T) {
+	// (width) is a parenthesised expression, not a cast, because width
+	// is a variable, not a struct name.
+	mustCheck(t, `
+void main() {
+	u32 width = 3;
+	u32 x = (width) * 2;
+	out(x);
+}
+`)
+}
+
+func TestConstEval(t *testing.T) {
+	p := mustCheck(t, `
+u32 a = 1 + 2 * 3;
+u32 b = (1 << 16) - 1;
+u32 c = ~0 & 0xFF;
+u32 d = sizeof(u64) * 8;
+void main() { }
+`)
+	vals := map[string]uint64{}
+	for _, g := range p.Globals {
+		vals[g.Name] = g.InitVal
+	}
+	if vals["a"] != 7 || vals["b"] != 0xFFFF || vals["c"] != 0xFF || vals["d"] != 64 {
+		t.Fatalf("global inits = %v", vals)
+	}
+}
+
+func TestElseIfChain(t *testing.T) {
+	mustCheck(t, `
+void main() {
+	u32 x = in_u8();
+	if (x == 1) { out(1); }
+	else if (x == 2) { out(2); }
+	else { out(3); }
+}
+`)
+}
+
+func TestBreakContinueOutsideLoop(t *testing.T) {
+	checkErr(t, `void main() { break; }`, "outside a loop")
+	checkErr(t, `void main() { continue; }`, "outside a loop")
+	mustCheck(t, `void main() { while (1) { break; } }`)
+}

@@ -1,0 +1,410 @@
+package minic
+
+import (
+	"fmt"
+)
+
+// Parser builds an AST from MiniC source.
+type Parser struct {
+	lex     *Lexer
+	buf     []Token // lookahead buffer
+	structs map[string]bool
+}
+
+// Parse parses a MiniC translation unit.
+func Parse(src string) (*File, error) {
+	p := &Parser{lex: NewLexer(src), structs: map[string]bool{}}
+	return p.file()
+}
+
+func (p *Parser) peekN(n int) Token {
+	for len(p.buf) <= n {
+		t, err := p.lex.Next()
+		if err != nil {
+			panic(parseError{err})
+		}
+		p.buf = append(p.buf, t)
+	}
+	return p.buf[n]
+}
+
+func (p *Parser) peek() Token { return p.peekN(0) }
+
+func (p *Parser) next() Token {
+	t := p.peekN(0)
+	p.buf = p.buf[1:]
+	return t
+}
+
+type parseError struct{ err error }
+
+func (p *Parser) errf(line int, format string, args ...interface{}) {
+	panic(parseError{fmt.Errorf("line %d: %s", line, fmt.Sprintf(format, args...))})
+}
+
+func (p *Parser) expect(k TokKind) Token {
+	t := p.next()
+	if t.Kind != k {
+		p.errf(t.Line, "expected %s, found %s", k, t)
+	}
+	return t
+}
+
+func (p *Parser) expectKeyword(kw string) Token {
+	t := p.next()
+	if t.Kind != TKeyword || t.Text != kw {
+		p.errf(t.Line, "expected %q, found %s", kw, t)
+	}
+	return t
+}
+
+func (p *Parser) file() (f *File, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if pe, ok := r.(parseError); ok {
+				f, err = nil, pe.err
+				return
+			}
+			panic(r)
+		}
+	}()
+	f = &File{}
+	for p.peek().Kind != TEOF {
+		t := p.peek()
+		if t.Kind == TKeyword && t.Text == "struct" && p.peekN(2).Kind == TLBrace {
+			f.Structs = append(f.Structs, p.structDecl())
+			continue
+		}
+		// Global variable or function: Type Ident ...
+		typ := p.typeExpr()
+		name := p.expect(TIdent)
+		if p.peek().Kind == TLParen {
+			f.Funcs = append(f.Funcs, p.funcDecl(typ, name))
+		} else {
+			f.Globals = append(f.Globals, p.globalVar(typ, name))
+		}
+	}
+	return f, nil
+}
+
+func (p *Parser) structDecl() *StructDecl {
+	kw := p.expectKeyword("struct")
+	name := p.expect(TIdent)
+	p.structs[name.Text] = true
+	d := &StructDecl{Line: kw.Line, Name: name.Text}
+	p.expect(TLBrace)
+	for p.peek().Kind != TRBrace {
+		ft := p.typeExpr()
+		fn := p.expect(TIdent)
+		if p.peek().Kind == TLBrack {
+			p.next()
+			n := p.expect(TNum)
+			p.expect(TRBrack)
+			ft.ArrayN = int64(n.Val)
+		}
+		p.expect(TSemi)
+		d.Fields = append(d.Fields, &FieldDecl{Line: fn.Line, Name: fn.Text, Type: ft})
+	}
+	p.expect(TRBrace)
+	p.expect(TSemi)
+	return d
+}
+
+// typeExpr parses a base type followed by pointer stars.
+func (p *Parser) typeExpr() *TypeExpr {
+	t := p.next()
+	var name string
+	switch {
+	case t.Kind == TKeyword && (namedIntTypes[t.Text] != nil || t.Text == "void"):
+		name = t.Text
+	case t.Kind == TKeyword && t.Text == "struct":
+		// allow optional "struct Name" spelling
+		n := p.expect(TIdent)
+		name = n.Text
+	case t.Kind == TIdent:
+		name = t.Text
+	default:
+		p.errf(t.Line, "expected a type, found %s", t)
+	}
+	te := &TypeExpr{Line: t.Line, Name: name, ArrayN: -1}
+	for p.peek().Kind == TStar {
+		p.next()
+		te.Stars++
+	}
+	return te
+}
+
+// startsType reports whether the token at offset i begins a type.
+func (p *Parser) startsType(i int) bool {
+	t := p.peekN(i)
+	if t.Kind == TKeyword && (namedIntTypes[t.Text] != nil || t.Text == "void" || t.Text == "struct") {
+		return true
+	}
+	return t.Kind == TIdent && p.structs[t.Text]
+}
+
+func (p *Parser) globalVar(typ *TypeExpr, name Token) *VarDecl {
+	d := &VarDecl{Line: name.Line, Name: name.Text, Type: typ}
+	if p.peek().Kind == TLBrack {
+		p.next()
+		n := p.expect(TNum)
+		p.expect(TRBrack)
+		typ.ArrayN = int64(n.Val)
+	}
+	if p.peek().Kind == TAssign {
+		p.next()
+		d.Init = p.expr()
+	}
+	p.expect(TSemi)
+	return d
+}
+
+func (p *Parser) funcDecl(ret *TypeExpr, name Token) *FuncDecl {
+	d := &FuncDecl{Line: name.Line, Name: name.Text, Ret: ret}
+	p.expect(TLParen)
+	if p.peek().Kind != TRParen {
+		for {
+			pt := p.typeExpr()
+			pn := p.expect(TIdent)
+			d.Params = append(d.Params, &FieldDecl{Line: pn.Line, Name: pn.Text, Type: pt})
+			if p.peek().Kind != TComma {
+				break
+			}
+			p.next()
+		}
+	}
+	p.expect(TRParen)
+	d.Body = p.block()
+	return d
+}
+
+func (p *Parser) block() *Block {
+	lb := p.expect(TLBrace)
+	b := &Block{Line: lb.Line}
+	for p.peek().Kind != TRBrace {
+		b.Stmts = append(b.Stmts, p.stmt())
+	}
+	p.expect(TRBrace)
+	return b
+}
+
+func (p *Parser) stmt() Stmt {
+	t := p.peek()
+	switch {
+	case t.Kind == TLBrace:
+		return p.block()
+	case t.Kind == TKeyword && t.Text == "if":
+		return p.ifStmt()
+	case t.Kind == TKeyword && t.Text == "while":
+		return p.whileStmt()
+	case t.Kind == TKeyword && t.Text == "return":
+		p.next()
+		s := &ReturnStmt{Line: t.Line}
+		if p.peek().Kind != TSemi {
+			s.E = p.expr()
+		}
+		p.expect(TSemi)
+		return s
+	case t.Kind == TKeyword && t.Text == "break":
+		p.next()
+		p.expect(TSemi)
+		return &BreakStmt{Line: t.Line}
+	case t.Kind == TKeyword && t.Text == "continue":
+		p.next()
+		p.expect(TSemi)
+		return &ContinueStmt{Line: t.Line}
+	case p.isDeclStart():
+		return p.declStmt()
+	}
+	// Expression or assignment statement.
+	e := p.expr()
+	if p.peek().Kind == TAssign {
+		eq := p.next()
+		rhs := p.expr()
+		p.expect(TSemi)
+		return &AssignStmt{Line: eq.Line, LHS: e, RHS: rhs}
+	}
+	p.expect(TSemi)
+	return &ExprStmt{Line: t.Line, E: e}
+}
+
+// isDeclStart distinguishes declarations from expression statements:
+// a type keyword, or a known struct name followed by '*' or an
+// identifier, starts a declaration.
+func (p *Parser) isDeclStart() bool {
+	t := p.peek()
+	if t.Kind == TKeyword && (namedIntTypes[t.Text] != nil || t.Text == "struct" || t.Text == "void") {
+		return true
+	}
+	if t.Kind == TIdent && p.structs[t.Text] {
+		n := p.peekN(1)
+		return n.Kind == TStar || n.Kind == TIdent
+	}
+	return false
+}
+
+func (p *Parser) declStmt() Stmt {
+	typ := p.typeExpr()
+	name := p.expect(TIdent)
+	d := &VarDecl{Line: name.Line, Name: name.Text, Type: typ}
+	if p.peek().Kind == TLBrack {
+		p.next()
+		n := p.expect(TNum)
+		p.expect(TRBrack)
+		typ.ArrayN = int64(n.Val)
+	}
+	if p.peek().Kind == TAssign {
+		p.next()
+		d.Init = p.expr()
+	}
+	p.expect(TSemi)
+	return &DeclStmt{Decl: d}
+}
+
+func (p *Parser) ifStmt() Stmt {
+	kw := p.expectKeyword("if")
+	p.expect(TLParen)
+	cond := p.expr()
+	p.expect(TRParen)
+	s := &IfStmt{Line: kw.Line, Cond: cond, Then: p.block()}
+	if t := p.peek(); t.Kind == TKeyword && t.Text == "else" {
+		p.next()
+		if n := p.peek(); n.Kind == TKeyword && n.Text == "if" {
+			s.Else = p.ifStmt()
+		} else {
+			s.Else = p.block()
+		}
+	}
+	return s
+}
+
+func (p *Parser) whileStmt() Stmt {
+	kw := p.expectKeyword("while")
+	p.expect(TLParen)
+	cond := p.expr()
+	p.expect(TRParen)
+	return &WhileStmt{Line: kw.Line, Cond: cond, Body: p.block()}
+}
+
+// Operator precedence (higher binds tighter).
+func precOf(k TokKind) int {
+	switch k {
+	case TOrOr:
+		return 1
+	case TAndAnd:
+		return 2
+	case TPipe:
+		return 3
+	case TCaret:
+		return 4
+	case TAmp:
+		return 5
+	case TEq, TNe:
+		return 6
+	case TLt, TLe, TGt, TGe:
+		return 7
+	case TShl, TShr:
+		return 8
+	case TPlus, TMinus:
+		return 9
+	case TStar, TSlash, TPercent:
+		return 10
+	}
+	return 0
+}
+
+func (p *Parser) expr() Expr { return p.binExpr(1) }
+
+func (p *Parser) binExpr(minPrec int) Expr {
+	lhs := p.unary()
+	for {
+		t := p.peek()
+		prec := precOf(t.Kind)
+		if prec < minPrec || prec == 0 {
+			return lhs
+		}
+		p.next()
+		rhs := p.binExpr(prec + 1)
+		lhs = &Binary{Line: t.Line, Op: t.Kind, X: lhs, Y: rhs}
+	}
+}
+
+func (p *Parser) unary() Expr {
+	t := p.peek()
+	switch t.Kind {
+	case TMinus, TTilde, TBang, TStar, TAmp:
+		p.next()
+		return &Unary{Line: t.Line, Op: t.Kind, X: p.unary()}
+	case TLParen:
+		// Cast: '(' Type ')' unary.
+		if p.startsType(1) {
+			p.next()
+			te := p.typeExpr()
+			p.expect(TRParen)
+			return &Cast{Line: t.Line, To: te, X: p.unary()}
+		}
+	}
+	return p.postfix()
+}
+
+func (p *Parser) postfix() Expr {
+	e := p.primary()
+	for {
+		t := p.peek()
+		switch t.Kind {
+		case TLBrack:
+			p.next()
+			idx := p.expr()
+			p.expect(TRBrack)
+			e = &Index{Line: t.Line, X: e, I: idx}
+		case TDot:
+			p.next()
+			n := p.expect(TIdent)
+			e = &Member{Line: t.Line, X: e, Name: n.Text}
+		case TArrow:
+			p.next()
+			n := p.expect(TIdent)
+			e = &Member{Line: t.Line, X: e, Name: n.Text, Arrow: true}
+		default:
+			return e
+		}
+	}
+}
+
+func (p *Parser) primary() Expr {
+	t := p.next()
+	switch t.Kind {
+	case TNum:
+		return &NumLit{Line: t.Line, Val: t.Val}
+	case TKeyword:
+		if t.Text == "sizeof" {
+			p.expect(TLParen)
+			te := p.typeExpr()
+			p.expect(TRParen)
+			return &SizeOf{Line: t.Line, Of: te}
+		}
+	case TIdent:
+		if p.peek().Kind == TLParen {
+			p.next()
+			c := &Call{Line: t.Line, Name: t.Text}
+			if p.peek().Kind != TRParen {
+				for {
+					c.Args = append(c.Args, p.expr())
+					if p.peek().Kind != TComma {
+						break
+					}
+					p.next()
+				}
+			}
+			p.expect(TRParen)
+			return c
+		}
+		return &Ident{Line: t.Line, Name: t.Text}
+	case TLParen:
+		e := p.expr()
+		p.expect(TRParen)
+		return e
+	}
+	p.errf(t.Line, "unexpected %s in expression", t)
+	return nil
+}

@@ -1,0 +1,325 @@
+// Package minic implements the front end of the MiniC language: lexer,
+// parser, type checker and constant folder. MiniC is the C-like source
+// language the benchmark applications are written in; Code Phage
+// generates source-level patches in MiniC and recompiles recipients,
+// mirroring the paper's C patch generation.
+//
+// MiniC models a 32-bit machine: sizeof yields u32 and alloc takes a
+// u32 size, so buffer-size computations overflow at 32 bits exactly as
+// in the paper's subject programs.
+package minic
+
+import "fmt"
+
+// TokKind classifies tokens.
+type TokKind uint8
+
+// Token kinds.
+const (
+	TEOF TokKind = iota
+	TIdent
+	TNum
+	TKeyword
+
+	// Punctuation and operators.
+	TLParen
+	TRParen
+	TLBrace
+	TRBrace
+	TLBrack
+	TRBrack
+	TSemi
+	TComma
+	TDot
+	TArrow // ->
+	TAssign
+	TPlus
+	TMinus
+	TStar
+	TSlash
+	TPercent
+	TAmp
+	TPipe
+	TCaret
+	TTilde
+	TBang
+	TShl
+	TShr
+	TEq
+	TNe
+	TLt
+	TLe
+	TGt
+	TGe
+	TAndAnd
+	TOrOr
+)
+
+var kindNames = map[TokKind]string{
+	TEOF: "end of file", TIdent: "identifier", TNum: "number", TKeyword: "keyword",
+	TLParen: "(", TRParen: ")", TLBrace: "{", TRBrace: "}",
+	TLBrack: "[", TRBrack: "]", TSemi: ";", TComma: ",", TDot: ".",
+	TArrow: "->", TAssign: "=", TPlus: "+", TMinus: "-", TStar: "*",
+	TSlash: "/", TPercent: "%", TAmp: "&", TPipe: "|", TCaret: "^",
+	TTilde: "~", TBang: "!", TShl: "<<", TShr: ">>",
+	TEq: "==", TNe: "!=", TLt: "<", TLe: "<=", TGt: ">", TGe: ">=",
+	TAndAnd: "&&", TOrOr: "||",
+}
+
+func (k TokKind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("tok(%d)", uint8(k))
+}
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokKind
+	Text string
+	Val  uint64 // TNum value
+	Line int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TIdent, TKeyword:
+		return t.Text
+	case TNum:
+		return fmt.Sprintf("%d", t.Val)
+	}
+	return t.Kind.String()
+}
+
+var keywords = map[string]bool{
+	"struct": true, "if": true, "else": true, "while": true,
+	"return": true, "sizeof": true, "break": true, "continue": true,
+	"u8": true, "u16": true, "u32": true, "u64": true,
+	"i8": true, "i16": true, "i32": true, "i64": true,
+	"void": true,
+}
+
+// Lexer turns MiniC source into tokens.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+// NewLexer returns a lexer over src. Lines are 1-based.
+func NewLexer(src string) *Lexer { return &Lexer{src: src, line: 1} }
+
+func (l *Lexer) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("line %d: %s", l.line, fmt.Sprintf(format, args...))
+}
+
+func (l *Lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *Lexer) skipSpace() error {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.peek2() == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.peek2() == '*':
+			l.pos += 2
+			for {
+				if l.pos+1 >= len(l.src) {
+					return l.errf("unterminated block comment")
+				}
+				if l.src[l.pos] == '*' && l.src[l.pos+1] == '/' {
+					l.pos += 2
+					break
+				}
+				if l.src[l.pos] == '\n' {
+					l.line++
+				}
+				l.pos++
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || (c >= '0' && c <= '9') }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpace(); err != nil {
+		return Token{}, err
+	}
+	line := l.line
+	if l.pos >= len(l.src) {
+		return Token{Kind: TEOF, Line: line}, nil
+	}
+	c := l.src[l.pos]
+
+	switch {
+	case isIdentStart(c):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		kind := TIdent
+		if keywords[text] {
+			kind = TKeyword
+		}
+		return Token{Kind: kind, Text: text, Line: line}, nil
+
+	case isDigit(c):
+		start := l.pos
+		base := uint64(10)
+		if c == '0' && (l.peek2() == 'x' || l.peek2() == 'X') {
+			base = 16
+			l.pos += 2
+			start = l.pos
+			for l.pos < len(l.src) && isHex(l.src[l.pos]) {
+				l.pos++
+			}
+			if l.pos == start {
+				return Token{}, l.errf("malformed hex literal")
+			}
+		} else {
+			for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+				l.pos++
+			}
+		}
+		text := l.src[start:l.pos]
+		var v uint64
+		for i := 0; i < len(text); i++ {
+			d := hexVal(text[i])
+			if v > (^uint64(0)-uint64(d))/base {
+				return Token{}, l.errf("integer literal %q overflows u64", text)
+			}
+			v = v*base + uint64(d)
+		}
+		return Token{Kind: TNum, Text: text, Val: v, Line: line}, nil
+	}
+
+	two := func(k TokKind) (Token, error) {
+		l.pos += 2
+		return Token{Kind: k, Line: line}, nil
+	}
+	one := func(k TokKind) (Token, error) {
+		l.pos++
+		return Token{Kind: k, Line: line}, nil
+	}
+
+	switch c {
+	case '(':
+		return one(TLParen)
+	case ')':
+		return one(TRParen)
+	case '{':
+		return one(TLBrace)
+	case '}':
+		return one(TRBrace)
+	case '[':
+		return one(TLBrack)
+	case ']':
+		return one(TRBrack)
+	case ';':
+		return one(TSemi)
+	case ',':
+		return one(TComma)
+	case '.':
+		return one(TDot)
+	case '+':
+		return one(TPlus)
+	case '*':
+		return one(TStar)
+	case '/':
+		return one(TSlash)
+	case '%':
+		return one(TPercent)
+	case '^':
+		return one(TCaret)
+	case '~':
+		return one(TTilde)
+	case '-':
+		if l.peek2() == '>' {
+			return two(TArrow)
+		}
+		return one(TMinus)
+	case '=':
+		if l.peek2() == '=' {
+			return two(TEq)
+		}
+		return one(TAssign)
+	case '!':
+		if l.peek2() == '=' {
+			return two(TNe)
+		}
+		return one(TBang)
+	case '<':
+		switch l.peek2() {
+		case '=':
+			return two(TLe)
+		case '<':
+			return two(TShl)
+		}
+		return one(TLt)
+	case '>':
+		switch l.peek2() {
+		case '=':
+			return two(TGe)
+		case '>':
+			return two(TShr)
+		}
+		return one(TGt)
+	case '&':
+		if l.peek2() == '&' {
+			return two(TAndAnd)
+		}
+		return one(TAmp)
+	case '|':
+		if l.peek2() == '|' {
+			return two(TOrOr)
+		}
+		return one(TPipe)
+	}
+	return Token{}, l.errf("unexpected character %q", c)
+}
+
+func isHex(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+func hexVal(c byte) int {
+	switch {
+	case isDigit(c):
+		return int(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10
+	default:
+		return int(c-'A') + 10
+	}
+}

@@ -1,0 +1,233 @@
+package minic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Type is a MiniC semantic type.
+type Type interface {
+	// Size is the storage size in bytes.
+	Size() int32
+	// Align is the required alignment in bytes.
+	Align() int32
+	String() string
+}
+
+// IntType is a fixed-width integer type.
+type IntType struct {
+	Bits   uint8
+	Signed bool
+}
+
+// Size implements Type.
+func (t *IntType) Size() int32 { return int32(t.Bits) / 8 }
+
+// Align implements Type.
+func (t *IntType) Align() int32 { return t.Size() }
+
+func (t *IntType) String() string {
+	if t.Signed {
+		return fmt.Sprintf("i%d", t.Bits)
+	}
+	return fmt.Sprintf("u%d", t.Bits)
+}
+
+// PtrType is a pointer type. Pointers are 8 bytes (the VM address
+// space is 64-bit even though the data model is 32-bit, like x32).
+type PtrType struct{ Elem Type }
+
+// Size implements Type.
+func (t *PtrType) Size() int32 { return 8 }
+
+// Align implements Type.
+func (t *PtrType) Align() int32 { return 8 }
+
+func (t *PtrType) String() string { return t.Elem.String() + "*" }
+
+// ArrayType is a fixed-length array.
+type ArrayType struct {
+	Elem Type
+	N    int32
+}
+
+// Size implements Type.
+func (t *ArrayType) Size() int32 { return t.Elem.Size() * t.N }
+
+// Align implements Type.
+func (t *ArrayType) Align() int32 { return t.Elem.Align() }
+
+func (t *ArrayType) String() string { return fmt.Sprintf("%s[%d]", t.Elem, t.N) }
+
+// StructField is a laid-out struct member.
+type StructField struct {
+	Name string
+	Type Type
+	Off  int32
+}
+
+// StructType is a struct with computed layout.
+type StructType struct {
+	Name   string
+	Fields []StructField
+	size   int32
+	align  int32
+}
+
+// Size implements Type.
+func (t *StructType) Size() int32 { return t.size }
+
+// Align implements Type.
+func (t *StructType) Align() int32 { return t.align }
+
+func (t *StructType) String() string { return "struct " + t.Name }
+
+// Field returns the named field, or nil.
+func (t *StructType) Field(name string) *StructField {
+	for i := range t.Fields {
+		if t.Fields[i].Name == name {
+			return &t.Fields[i]
+		}
+	}
+	return nil
+}
+
+// VoidType is the void function return type.
+type VoidType struct{}
+
+// Size implements Type.
+func (t *VoidType) Size() int32 { return 0 }
+
+// Align implements Type.
+func (t *VoidType) Align() int32 { return 1 }
+
+func (t *VoidType) String() string { return "void" }
+
+// Predeclared types.
+var (
+	U8   = &IntType{8, false}
+	U16  = &IntType{16, false}
+	U32  = &IntType{32, false}
+	U64  = &IntType{64, false}
+	I8   = &IntType{8, true}
+	I16  = &IntType{16, true}
+	I32  = &IntType{32, true}
+	I64  = &IntType{64, true}
+	Void = &VoidType{}
+)
+
+var namedIntTypes = map[string]*IntType{
+	"u8": U8, "u16": U16, "u32": U32, "u64": U64,
+	"i8": I8, "i16": I16, "i32": I32, "i64": I64,
+}
+
+// IsInt reports whether t is an integer type, returning it.
+func IsInt(t Type) (*IntType, bool) {
+	it, ok := t.(*IntType)
+	return it, ok
+}
+
+// IsPtr reports whether t is a pointer type, returning it.
+func IsPtr(t Type) (*PtrType, bool) {
+	pt, ok := t.(*PtrType)
+	return pt, ok
+}
+
+// SameType reports structural type identity.
+func SameType(a, b Type) bool {
+	switch at := a.(type) {
+	case *IntType:
+		bt, ok := b.(*IntType)
+		return ok && at.Bits == bt.Bits && at.Signed == bt.Signed
+	case *PtrType:
+		bt, ok := b.(*PtrType)
+		return ok && SameType(at.Elem, bt.Elem)
+	case *ArrayType:
+		bt, ok := b.(*ArrayType)
+		return ok && at.N == bt.N && SameType(at.Elem, bt.Elem)
+	case *StructType:
+		bt, ok := b.(*StructType)
+		return ok && at == bt // structs are nominal
+	case *VoidType:
+		_, ok := b.(*VoidType)
+		return ok
+	}
+	return false
+}
+
+// layoutStruct computes field offsets, size and alignment.
+func layoutStruct(t *StructType) {
+	var off, align int32 = 0, 1
+	for i := range t.Fields {
+		f := &t.Fields[i]
+		a := f.Type.Align()
+		if a > align {
+			align = a
+		}
+		off = roundUp(off, a)
+		f.Off = off
+		off += f.Type.Size()
+	}
+	t.size = roundUp(off, align)
+	if t.size == 0 {
+		t.size = 1
+	}
+	t.align = align
+}
+
+func roundUp(v, a int32) int32 {
+	if a <= 1 {
+		return v
+	}
+	return (v + a - 1) / a * a
+}
+
+// promote applies C-style integer promotion: integer types narrower
+// than 32 bits promote to i32 (all their values are representable).
+func promote(t *IntType) *IntType {
+	if t.Bits < 32 {
+		return I32
+	}
+	return t
+}
+
+// commonType implements the usual arithmetic conversions on promoted
+// operands: the wider width wins; at equal width unsigned wins.
+func commonType(a, b *IntType) *IntType {
+	a, b = promote(a), promote(b)
+	if a.Bits == b.Bits {
+		if a.Signed == b.Signed {
+			return a
+		}
+		return &IntType{a.Bits, false}
+	}
+	if a.Bits > b.Bits {
+		return a
+	}
+	return b
+}
+
+// typeKey returns a canonical string for interning in the debug table.
+func typeKey(t Type) string {
+	var sb strings.Builder
+	writeTypeKey(&sb, t)
+	return sb.String()
+}
+
+func writeTypeKey(sb *strings.Builder, t Type) {
+	switch tt := t.(type) {
+	case *IntType:
+		sb.WriteString(tt.String())
+	case *PtrType:
+		writeTypeKey(sb, tt.Elem)
+		sb.WriteByte('*')
+	case *ArrayType:
+		writeTypeKey(sb, tt.Elem)
+		fmt.Fprintf(sb, "[%d]", tt.N)
+	case *StructType:
+		sb.WriteString("struct ")
+		sb.WriteString(tt.Name)
+	case *VoidType:
+		sb.WriteString("void")
+	}
+}

@@ -1,0 +1,477 @@
+package phage
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"codephage/internal/bitvec"
+	"codephage/internal/ir"
+)
+
+// This file implements binary patch generation — the capability §1.2
+// sketches ("given appropriate binary patching capability, it would be
+// straightforward to generate binary patches, including hot patches
+// for running applications"). The translated check is compiled
+// directly to MVX instructions and spliced into the recipient image
+// before the insertion point; no source or recompilation is needed.
+// Recipient debug information (which Code Phage requires anyway for
+// the data structure traversal) resolves the Ref paths to frame and
+// global addresses.
+
+// BinaryPatch splices the compiled check into a clone of the module,
+// in the named function immediately before the first instruction of
+// the given source line. The patch evaluates the translated check and,
+// when it fails, exits with -1 (ExitOnFail) or returns 0 (ReturnZero).
+func BinaryPatch(mod *ir.Module, fnName string, line int32, translated *bitvec.Expr, mode ExitMode) (*ir.Module, error) {
+	out := mod.Clone()
+	f, fnIdx := out.FuncByName(fnName)
+	if f == nil {
+		return nil, fmt.Errorf("phage: no function %q in module", fnName)
+	}
+	_ = fnIdx
+	pc := int32(-1)
+	for i := range f.Code {
+		if f.Code[i].Line == line {
+			pc = int32(i)
+			break
+		}
+	}
+	if pc < 0 {
+		return nil, fmt.Errorf("phage: line %d has no code in %s", line, fnName)
+	}
+
+	g := &binGen{mod: out, f: f}
+	condReg, err := g.gen(bitvec.BoolOf(translated))
+	if err != nil {
+		return nil, err
+	}
+	// Guard: br cond -> continue : action.
+	brIdx := g.emit(ir.Instr{Op: ir.Br, A: condReg, Line: line})
+	g.patch[brIdx].Target2 = brIdx + 1 // fall through to the action
+	switch mode {
+	case ReturnZero:
+		zero := g.constReg(ir.W64, 0)
+		g.emit(ir.Instr{Op: ir.Ret, A: zero, Line: line})
+	default:
+		code := g.constReg(ir.W32, uint64(0xFFFFFFFF)) // -1
+		dst := g.newReg()
+		g.emit(ir.Instr{Op: ir.CallB, Builtin: ir.BExit, Dst: dst,
+			Args: []ir.Reg{code}, Line: line})
+		// exit halts; a terminator keeps the validator satisfied.
+		zero := g.constReg(ir.W64, 0)
+		g.emit(ir.Instr{Op: ir.Ret, A: zero, Line: line})
+	}
+	n := int32(len(g.patch))
+	g.patch[brIdx].Target = n // continue past the patch
+
+	// Splice and relocate. Patch-internal targets are relative to the
+	// patch start; existing targets at or beyond the insertion point
+	// shift by the patch length, except branches back to exactly the
+	// insertion point, which now re-enter the guard (matching a
+	// source-level insertion before the statement inside a loop).
+	for i := range g.patch {
+		in := &g.patch[i]
+		switch in.Op {
+		case ir.Jmp, ir.Br:
+			in.Target += pc
+			if in.Op == ir.Br {
+				in.Target2 += pc
+			}
+		}
+	}
+	reloc := func(t int32) int32 {
+		if t > pc {
+			return t + n
+		}
+		return t
+	}
+	for i := range f.Code {
+		in := &f.Code[i]
+		switch in.Op {
+		case ir.Jmp:
+			in.Target = reloc(in.Target)
+		case ir.Br:
+			in.Target = reloc(in.Target)
+			in.Target2 = reloc(in.Target2)
+		}
+	}
+	newCode := make([]ir.Instr, 0, len(f.Code)+int(n))
+	newCode = append(newCode, f.Code[:pc]...)
+	newCode = append(newCode, g.patch...)
+	newCode = append(newCode, f.Code[pc:]...)
+	f.Code = newCode
+
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("phage: binary patch produced invalid module: %w", err)
+	}
+	return out, nil
+}
+
+// binGen emits MVX instructions for a translated expression. Values
+// are held zero-extended in their container width; sub-container
+// widths are masked after every operation (the same discipline as the
+// MiniC renderer).
+type binGen struct {
+	mod   *ir.Module
+	f     *ir.Function
+	patch []ir.Instr
+}
+
+func (g *binGen) emit(in ir.Instr) int32 {
+	g.patch = append(g.patch, in)
+	return int32(len(g.patch) - 1)
+}
+
+func (g *binGen) newReg() ir.Reg {
+	r := ir.Reg(g.f.NumRegs)
+	g.f.NumRegs++
+	return r
+}
+
+func (g *binGen) constReg(w ir.Width, v uint64) ir.Reg {
+	r := g.newReg()
+	g.emit(ir.Instr{Op: ir.ConstOp, W: w, Dst: r, Imm: v & w.Mask()})
+	return r
+}
+
+func container(w uint8) ir.Width {
+	switch {
+	case w <= 8:
+		return ir.W8
+	case w <= 16:
+		return ir.W16
+	case w <= 32:
+		return ir.W32
+	default:
+		return ir.W64
+	}
+}
+
+// maskTo masks reg down to w bits when w is not a container width.
+func (g *binGen) maskTo(r ir.Reg, w uint8) ir.Reg {
+	cw := container(w)
+	if uint8(cw) == w {
+		return r
+	}
+	m := g.constReg(cw, bitvec.Mask(w))
+	dst := g.newReg()
+	g.emit(ir.Instr{Op: ir.And, W: cw, Dst: dst, A: r, B: m})
+	return dst
+}
+
+func (g *binGen) gen(e *bitvec.Expr) (ir.Reg, error) {
+	cw := container(e.W)
+	switch e.Op {
+	case bitvec.OpConst:
+		return g.constReg(cw, e.Val), nil
+	case bitvec.OpRef:
+		return g.genRef(e)
+	case bitvec.OpField:
+		return 0, fmt.Errorf("phage: untranslated field %q in binary patch", e.Name)
+	}
+
+	x, err := g.gen(e.X)
+	if err != nil {
+		return 0, err
+	}
+	switch e.Op {
+	case bitvec.OpNot:
+		ones := g.constReg(cw, ^uint64(0))
+		dst := g.newReg()
+		g.emit(ir.Instr{Op: ir.Xor, W: cw, Dst: dst, A: x, B: ones})
+		return g.maskTo(dst, e.W), nil
+	case bitvec.OpNeg:
+		zero := g.constReg(cw, 0)
+		dst := g.newReg()
+		g.emit(ir.Instr{Op: ir.Sub, W: cw, Dst: dst, A: zero, B: x})
+		return g.maskTo(dst, e.W), nil
+	case bitvec.OpZExt:
+		return x, nil // already zero-extended in its container
+	case bitvec.OpSExt:
+		if uint8(container(e.X.W)) != e.X.W || uint8(cw) != e.W {
+			return 0, ErrUnrenderable{e.Op}
+		}
+		dst := g.newReg()
+		g.emit(ir.Instr{Op: ir.SExt, W: cw, SrcW: container(e.X.W), Dst: dst, A: x})
+		return dst, nil
+	case bitvec.OpBool:
+		zero := g.constReg(container(e.X.W), 0)
+		dst := g.newReg()
+		g.emit(ir.Instr{Op: ir.Ne, W: container(e.X.W), Dst: dst, A: x, B: zero})
+		return dst, nil
+	case bitvec.OpLNot:
+		zero := g.constReg(container(e.X.W), 0)
+		dst := g.newReg()
+		g.emit(ir.Instr{Op: ir.Eq, W: container(e.X.W), Dst: dst, A: x, B: zero})
+		return dst, nil
+	case bitvec.OpExtr:
+		sh := g.constReg(ir.W64, uint64(e.Lo))
+		shifted := g.newReg()
+		g.emit(ir.Instr{Op: ir.LShr, W: ir.W64, Dst: shifted, A: x, B: sh})
+		m := g.constReg(ir.W64, bitvec.Mask(e.W))
+		dst := g.newReg()
+		g.emit(ir.Instr{Op: ir.And, W: ir.W64, Dst: dst, A: shifted, B: m})
+		return dst, nil
+	}
+
+	y, err := g.gen(e.Y)
+	if err != nil {
+		return 0, err
+	}
+	bin := func(op ir.Op) (ir.Reg, error) {
+		dst := g.newReg()
+		g.emit(ir.Instr{Op: op, W: cw, Dst: dst, A: x, B: y})
+		return g.maskTo(dst, e.W), nil
+	}
+	cmp := func(op ir.Op) (ir.Reg, error) {
+		ow := container(e.X.W)
+		if (op == ir.SLt || op == ir.SLe) && uint8(ow) != e.X.W {
+			return 0, ErrUnrenderable{e.Op}
+		}
+		dst := g.newReg()
+		g.emit(ir.Instr{Op: op, W: ow, Dst: dst, A: x, B: y})
+		return dst, nil
+	}
+	switch e.Op {
+	case bitvec.OpAdd:
+		return bin(ir.Add)
+	case bitvec.OpSub:
+		return bin(ir.Sub)
+	case bitvec.OpMul:
+		return bin(ir.Mul)
+	case bitvec.OpUDiv:
+		return bin(ir.UDiv)
+	case bitvec.OpURem:
+		return bin(ir.URem)
+	case bitvec.OpSDiv:
+		if uint8(cw) != e.W {
+			return 0, ErrUnrenderable{e.Op}
+		}
+		return bin(ir.SDiv)
+	case bitvec.OpSRem:
+		if uint8(cw) != e.W {
+			return 0, ErrUnrenderable{e.Op}
+		}
+		return bin(ir.SRem)
+	case bitvec.OpAnd:
+		return bin(ir.And)
+	case bitvec.OpOr:
+		return bin(ir.Or)
+	case bitvec.OpXor:
+		return bin(ir.Xor)
+	case bitvec.OpShl:
+		return bin(ir.Shl)
+	case bitvec.OpLShr:
+		return bin(ir.LShr)
+	case bitvec.OpAShr:
+		if uint8(cw) != e.W {
+			return 0, ErrUnrenderable{e.Op}
+		}
+		return bin(ir.AShr)
+	case bitvec.OpConcat:
+		// x:high, y:low at container width.
+		xw := g.newReg()
+		g.emit(ir.Instr{Op: ir.ZExt, W: cw, SrcW: container(e.X.W), Dst: xw, A: x})
+		sh := g.constReg(cw, uint64(e.Y.W))
+		shifted := g.newReg()
+		g.emit(ir.Instr{Op: ir.Shl, W: cw, Dst: shifted, A: xw, B: sh})
+		yw := g.newReg()
+		g.emit(ir.Instr{Op: ir.ZExt, W: cw, SrcW: container(e.Y.W), Dst: yw, A: y})
+		dst := g.newReg()
+		g.emit(ir.Instr{Op: ir.Or, W: cw, Dst: dst, A: shifted, B: yw})
+		return g.maskTo(dst, e.W), nil
+	case bitvec.OpEq:
+		return cmp(ir.Eq)
+	case bitvec.OpNe:
+		return cmp(ir.Ne)
+	case bitvec.OpUlt:
+		return cmp(ir.ULt)
+	case bitvec.OpUle:
+		return cmp(ir.ULe)
+	case bitvec.OpSlt:
+		return cmp(ir.SLt)
+	case bitvec.OpSle:
+		return cmp(ir.SLe)
+	}
+	return 0, ErrUnrenderable{e.Op}
+}
+
+// genRef resolves a recipient path to loads through the debug tables.
+func (g *binGen) genRef(e *bitvec.Expr) (ir.Reg, error) {
+	node, rest, err := parsePath(e.Name)
+	if err != nil {
+		return 0, err
+	}
+	if rest != "" {
+		return 0, fmt.Errorf("phage: trailing %q in path %q", rest, e.Name)
+	}
+	addr, typeIdx, err := g.addrOf(node)
+	if err != nil {
+		return 0, err
+	}
+	ti := &g.mod.Types[typeIdx]
+	if ti.Kind != ir.KInt {
+		return 0, fmt.Errorf("phage: path %q does not end at a scalar", e.Name)
+	}
+	dst := g.newReg()
+	g.emit(ir.Instr{Op: ir.Load, W: ti.W, Dst: dst, A: addr})
+	return dst, nil
+}
+
+// pathNode is a parsed recipient path.
+type pathNode struct {
+	kind  byte // 'v' var, 'd' deref, 'f' field, 'i' index
+	name  string
+	index int64
+	base  *pathNode
+}
+
+// parsePath parses the path grammar the traversal emits:
+//
+//	path   := base suffix*
+//	base   := ident | '(' '*' path ')'
+//	suffix := '.' ident | '->' ident | '[' num ']'
+func parsePath(s string) (*pathNode, string, error) {
+	var base *pathNode
+	switch {
+	case strings.HasPrefix(s, "(*"):
+		inner, rest, err := parsePath(s[2:])
+		if err != nil {
+			return nil, "", err
+		}
+		if !strings.HasPrefix(rest, ")") {
+			return nil, "", fmt.Errorf("phage: missing ')' in path %q", s)
+		}
+		base = &pathNode{kind: 'd', base: inner}
+		s = rest[1:]
+	default:
+		i := 0
+		for i < len(s) && (s[i] == '_' || s[i] >= 'a' && s[i] <= 'z' ||
+			s[i] >= 'A' && s[i] <= 'Z' || i > 0 && s[i] >= '0' && s[i] <= '9') {
+			i++
+		}
+		if i == 0 {
+			return nil, "", fmt.Errorf("phage: bad path %q", s)
+		}
+		base = &pathNode{kind: 'v', name: s[:i]}
+		s = s[i:]
+	}
+	for {
+		switch {
+		case strings.HasPrefix(s, "->"):
+			base = &pathNode{kind: 'd', base: base}
+			s = s[2:]
+			name, rest := takeIdent(s)
+			if name == "" {
+				return nil, "", fmt.Errorf("phage: missing field after -> in path")
+			}
+			base = &pathNode{kind: 'f', name: name, base: base}
+			s = rest
+		case strings.HasPrefix(s, "."):
+			name, rest := takeIdent(s[1:])
+			if name == "" {
+				return nil, "", fmt.Errorf("phage: missing field after . in path")
+			}
+			base = &pathNode{kind: 'f', name: name, base: base}
+			s = rest
+		case strings.HasPrefix(s, "["):
+			end := strings.IndexByte(s, ']')
+			if end < 0 {
+				return nil, "", fmt.Errorf("phage: missing ']' in path")
+			}
+			idx, err := strconv.ParseInt(s[1:end], 10, 64)
+			if err != nil {
+				return nil, "", err
+			}
+			base = &pathNode{kind: 'i', index: idx, base: base}
+			s = s[end+1:]
+		default:
+			return base, s, nil
+		}
+	}
+}
+
+func takeIdent(s string) (string, string) {
+	i := 0
+	for i < len(s) && (s[i] == '_' || s[i] >= 'a' && s[i] <= 'z' ||
+		s[i] >= 'A' && s[i] <= 'Z' || i > 0 && s[i] >= '0' && s[i] <= '9') {
+		i++
+	}
+	return s[:i], s[i:]
+}
+
+// addrOf emits instructions computing the address denoted by the path
+// node, returning the address register and the type index of the
+// addressed storage.
+func (g *binGen) addrOf(n *pathNode) (ir.Reg, int32, error) {
+	switch n.kind {
+	case 'v':
+		for _, v := range g.f.Vars {
+			if v.Name == n.name {
+				dst := g.newReg()
+				g.emit(ir.Instr{Op: ir.FrameAddr, Dst: dst, Imm: uint64(v.Off)})
+				return dst, v.Type, nil
+			}
+		}
+		for _, v := range g.mod.GlobalVars {
+			if v.Name == n.name {
+				dst := g.newReg()
+				g.emit(ir.Instr{Op: ir.GlobalAddr, Dst: dst, Imm: uint64(v.Off)})
+				return dst, v.Type, nil
+			}
+		}
+		return 0, 0, fmt.Errorf("phage: unknown variable %q in path", n.name)
+	case 'd':
+		addr, typeIdx, err := g.addrOf(n.base)
+		if err != nil {
+			return 0, 0, err
+		}
+		ti := &g.mod.Types[typeIdx]
+		if ti.Kind != ir.KPtr {
+			return 0, 0, fmt.Errorf("phage: dereference of non-pointer in path")
+		}
+		dst := g.newReg()
+		g.emit(ir.Instr{Op: ir.Load, W: ir.W64, Dst: dst, A: addr})
+		return dst, ti.Elem, nil
+	case 'f':
+		addr, typeIdx, err := g.addrOf(n.base)
+		if err != nil {
+			return 0, 0, err
+		}
+		ti := &g.mod.Types[typeIdx]
+		if ti.Kind != ir.KStruct {
+			return 0, 0, fmt.Errorf("phage: field access on non-struct in path")
+		}
+		for _, fld := range ti.Fields {
+			if fld.Name == n.name {
+				if fld.Off == 0 {
+					return addr, fld.Type, nil
+				}
+				off := g.constReg(ir.W64, uint64(fld.Off))
+				dst := g.newReg()
+				g.emit(ir.Instr{Op: ir.Add, W: ir.W64, Dst: dst, A: addr, B: off})
+				return dst, fld.Type, nil
+			}
+		}
+		return 0, 0, fmt.Errorf("phage: no field %q in path", n.name)
+	case 'i':
+		addr, typeIdx, err := g.addrOf(n.base)
+		if err != nil {
+			return 0, 0, err
+		}
+		ti := &g.mod.Types[typeIdx]
+		if ti.Kind != ir.KArray {
+			return 0, 0, fmt.Errorf("phage: index of non-array in path")
+		}
+		elem := &g.mod.Types[ti.Elem]
+		if n.index == 0 {
+			return addr, ti.Elem, nil
+		}
+		off := g.constReg(ir.W64, uint64(n.index)*uint64(elem.Size))
+		dst := g.newReg()
+		g.emit(ir.Instr{Op: ir.Add, W: ir.W64, Dst: dst, A: addr, B: off})
+		return dst, ti.Elem, nil
+	}
+	return 0, 0, fmt.Errorf("phage: bad path node")
+}

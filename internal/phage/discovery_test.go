@@ -1,0 +1,240 @@
+package phage
+
+import (
+	"testing"
+
+	"codephage/internal/bitvec"
+	"codephage/internal/compile"
+	"codephage/internal/hachoir"
+	"codephage/internal/ir"
+	"codephage/internal/smt"
+)
+
+// compileMod compiles MiniC source for tests.
+func compileMod(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	m, err := compile.CompileSource("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// A tiny donor: rejects inputs whose first byte exceeds 10.
+const toyDonorSrc = `
+void main() {
+	u32 v = (u32)in_u8();
+	u32 w = (u32)in_u8();
+	if (v > 10) {
+		exit(1);
+	}
+	out((u64)(v + w));
+	exit(0);
+}
+`
+
+func TestDiscoverChecksFlipAndPolarity(t *testing.T) {
+	donor := compileMod(t, toyDonorSrc)
+	donor.Strip()
+	seed := []byte{5, 1}
+	errIn := []byte{200, 1}
+	dis := hachoir.Raw(seed)
+	d, err := DiscoverChecks(donor, seed, errIn, dis, map[int]bool{0: true}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.FlippedSites != 1 || len(d.Checks) != 1 {
+		t.Fatalf("flipped = %d, checks = %d, want 1/1", d.FlippedSites, len(d.Checks))
+	}
+	ck := d.Checks[0]
+	// Seed does NOT take the v > 10 branch, so the excised check is the
+	// negation: it must hold (nonzero) on the seed and fail on the error.
+	if ck.SeedTaken {
+		t.Error("seed should not take the rejection branch")
+	}
+	evalWith := func(v uint64) uint64 {
+		env := bitvec.MapEnv{Fields: map[string]uint64{"@0": v, "@1": 1}}
+		got, err := bitvec.Eval(ck.Cond, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	if evalWith(5) == 0 {
+		t.Error("check fails on the seed value")
+	}
+	if evalWith(200) != 0 {
+		t.Error("check holds on the error value")
+	}
+	if ck.Raw == nil {
+		t.Error("raw condition missing")
+	}
+}
+
+func TestDiscoverChecksRelevantFiltering(t *testing.T) {
+	donor := compileMod(t, toyDonorSrc)
+	seed := []byte{5, 1}
+	errIn := []byte{200, 1}
+	dis := hachoir.Raw(seed)
+	// With only byte 1 relevant, the v > 10 branch is filtered out.
+	d, err := DiscoverChecks(donor, seed, errIn, dis, map[int]bool{1: true}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.FlippedSites != 0 {
+		t.Fatalf("flipped = %d, want 0 after relevance filtering", d.FlippedSites)
+	}
+}
+
+func TestDiscoverChecksOrderedByExecution(t *testing.T) {
+	donor := compileMod(t, `
+void main() {
+	u32 a = (u32)in_u8();
+	u32 b = (u32)in_u8();
+	if (a > 100) {
+		exit(1);
+	}
+	if (b > 100) {
+		exit(1);
+	}
+	exit(0);
+}
+`)
+	seed := []byte{1, 1}
+	errIn := []byte{200, 200} // flips both branches? No: first exits.
+	dis := hachoir.Raw(seed)
+	d, err := DiscoverChecks(donor, seed, errIn, dis, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the first branch executes on the error input (it exits), so
+	// exactly one flip, and it is the a-branch.
+	if len(d.Checks) != 1 {
+		t.Fatalf("checks = %d, want 1", len(d.Checks))
+	}
+	deps := d.Checks[0].Cond.ByteDeps()
+	if len(deps) != 1 || deps[0] != 0 {
+		t.Errorf("first check depends on %v, want byte 0", deps)
+	}
+}
+
+func TestDiscoverChecksDonorCrashRejected(t *testing.T) {
+	donor := compileMod(t, `
+void main() {
+	u32 v = (u32)in_u8();
+	u32 x = 100 / v; /* traps on zero */
+	out((u64)x);
+}
+`)
+	seed := []byte{5}
+	errIn := []byte{0}
+	dis := hachoir.Raw(seed)
+	if _, err := DiscoverChecks(donor, seed, errIn, dis, nil, false); err == nil {
+		t.Fatal("donor crash on error input must be reported")
+	}
+}
+
+func TestSelectDonors(t *testing.T) {
+	good := compileMod(t, toyDonorSrc)
+	crasher := compileMod(t, `
+void main() {
+	u32 v = (u32)in_u8();
+	out((u64)(100 / (v - 200)));  /* traps when byte 0 == 200 */
+}
+`)
+	seed := []byte{5, 1}
+	errIn := []byte{200, 1}
+	selected := SelectDonors([]*ir.Module{good, crasher}, seed, errIn)
+	if len(selected) != 1 || selected[0] != good {
+		t.Fatalf("selected %d donors, want only the surviving one", len(selected))
+	}
+}
+
+func TestRewriteDecomposition(t *testing.T) {
+	solver := smt.New()
+	w := bitvec.Field("w", 16, 0)
+	h := bitvec.Field("h", 16, 2)
+	names := []Name{
+		{Path: "img.w", W: 32, Expr: bitvec.ZExt(32, w)},
+		{Path: "img.h", W: 32, Expr: bitvec.ZExt(32, h)},
+	}
+	// w + h has no single recipient value: decomposition required.
+	e := bitvec.Add(bitvec.ZExt(32, w), bitvec.ZExt(32, h))
+	tr := Rewrite(e, names, solver)
+	if tr == nil {
+		t.Fatal("rewrite failed")
+	}
+	if tr.Op != bitvec.OpAdd || tr.X.Op != bitvec.OpRef || tr.Y.Op != bitvec.OpRef {
+		t.Fatalf("translated = %s, want Add(Ref, Ref)", tr)
+	}
+}
+
+func TestRewriteCastBridging(t *testing.T) {
+	solver := smt.New()
+	w := bitvec.Field("w", 16, 0)
+	names := []Name{{Path: "img.w", W: 32, Expr: bitvec.ZExt(32, w)}}
+	// A 64-bit use of the field must match through a widening cast.
+	e := bitvec.ZExt(64, w)
+	tr := Rewrite(e, names, solver)
+	if tr == nil {
+		t.Fatal("rewrite failed")
+	}
+	if tr.Op != bitvec.OpZExt || tr.X.Op != bitvec.OpRef || tr.X.Name != "img.w" {
+		t.Fatalf("translated = %s, want ZExt(Ref(img.w))", tr)
+	}
+	// A 8-bit use must match through a truncation.
+	e8 := bitvec.Trunc(8, w)
+	tr8 := Rewrite(e8, names, solver)
+	if tr8 == nil {
+		t.Fatal("narrow rewrite failed")
+	}
+}
+
+func TestRewriteFailsWithoutValues(t *testing.T) {
+	solver := smt.New()
+	w := bitvec.Field("w", 16, 0)
+	h := bitvec.Field("h", 16, 2)
+	names := []Name{{Path: "img.w", W: 32, Expr: bitvec.ZExt(32, w)}}
+	// h is not available anywhere: the rewrite must fail, not invent.
+	e := bitvec.Add(bitvec.ZExt(32, w), bitvec.ZExt(32, h))
+	if tr := Rewrite(e, names, solver); tr != nil {
+		t.Fatalf("rewrite fabricated a translation: %s", tr)
+	}
+}
+
+func TestRewriteConstantsTranslateDirectly(t *testing.T) {
+	solver := smt.New()
+	e := bitvec.Const(32, 42)
+	tr := Rewrite(e, nil, solver)
+	if tr == nil || tr.Op != bitvec.OpConst || tr.Val != 42 {
+		t.Fatalf("constant rewrite = %v", tr)
+	}
+}
+
+func TestRewriteEquivalentComputationRecognised(t *testing.T) {
+	// The JasPer scenario: the recipient stores the product tw*th; the
+	// donor check recomputes it. The solver must equate them.
+	solver := smt.New()
+	tx := bitvec.Field("tx", 8, 0)
+	ty := bitvec.Field("ty", 8, 1)
+	product := bitvec.Mul(bitvec.ZExt(32, tx), bitvec.ZExt(32, ty))
+	names := []Name{{Path: "dec->numtiles", W: 32, Expr: product}}
+	tr := Rewrite(bitvec.Mul(bitvec.ZExt(32, tx), bitvec.ZExt(32, ty)), names, solver)
+	if tr == nil || tr.Op != bitvec.OpRef || tr.Name != "dec->numtiles" {
+		t.Fatalf("translated = %v, want Ref(dec->numtiles)", tr)
+	}
+}
+
+func TestCheckHolds(t *testing.T) {
+	w := bitvec.Field("w", 16, 0)
+	names := []Name{{Path: "img.w", W: 32, Expr: bitvec.ZExt(32, w)}}
+	translated := bitvec.Ule(bitvec.Ref("img.w", 32), bitvec.Const(32, 100))
+	ok, err := CheckHolds(translated, map[string]uint64{"w": 50}, names)
+	if err != nil || !ok {
+		t.Fatalf("CheckHolds(50) = %v, %v", ok, err)
+	}
+	ok, err = CheckHolds(translated, map[string]uint64{"w": 500}, names)
+	if err != nil || ok {
+		t.Fatalf("CheckHolds(500) = %v, %v", ok, err)
+	}
+}

@@ -1,0 +1,348 @@
+package phage
+
+import (
+	"fmt"
+	"sort"
+
+	"codephage/internal/bitvec"
+	"codephage/internal/hachoir"
+	"codephage/internal/ir"
+	"codephage/internal/taint"
+	"codephage/internal/vm"
+)
+
+// Name is one data-structure traversal result (Figure 6): a recipient
+// program path and the symbolic expression of the value it stores.
+type Name struct {
+	Path string
+	W    uint8
+	Expr *bitvec.Expr
+}
+
+// Point is one candidate insertion point: a source line of a recipient
+// function that execution reaches with all of the check's input fields
+// already read; the patch is inserted immediately before the line.
+type Point struct {
+	Fn     int32
+	FnName string
+	Line   int32
+	Names  []Name
+	Stable bool // false: different executions saw different values
+	Execs  int
+}
+
+// InsertionAnalysis is the result of the recipient-side run.
+type InsertionAnalysis struct {
+	Points []Point
+}
+
+// Candidates returns the total number of candidate points (Figure 8's
+// X), the unstable count (Y), and the stable points.
+func (a *InsertionAnalysis) Candidates() (total, unstable int, stable []*Point) {
+	for i := range a.Points {
+		p := &a.Points[i]
+		total++
+		if p.Stable {
+			stable = append(stable, p)
+		} else {
+			unstable++
+		}
+	}
+	return total, unstable, stable
+}
+
+// maxExecsPerPoint bounds stability sampling at loop-resident points.
+const maxExecsPerPoint = 8
+
+// maxArrayElems bounds the traversal of array types.
+const maxArrayElems = 4
+
+type invocation struct {
+	fn       int32
+	fp       uint64
+	accessed map[string]bool
+	lastLine int32
+}
+
+type pointKey struct {
+	fn   int32
+	line int32
+}
+
+type pointState struct {
+	names    []Name
+	namesKey string
+	stable   bool
+	execs    int
+}
+
+// insertionAnalyzer implements the recipient instrumented run of §3.3.
+type insertionAnalyzer struct {
+	mod      *ir.Module
+	tr       *taint.Tracker
+	v        *vm.VM
+	fields   map[string]bool // the check's input fields
+	relevant map[int]bool
+
+	stack  []invocation
+	points map[pointKey]*pointState
+}
+
+// AnalyzeInsertionPoints runs the recipient on the seed input and
+// finds the candidate insertion points for a check over the given
+// input fields, with unstable-point detection. The recipient module
+// must carry debug information.
+func AnalyzeInsertionPoints(recipient *ir.Module, seed []byte, dis *hachoir.Dissection, checkFields []string, relevant map[int]bool) (*InsertionAnalysis, error) {
+	if recipient.Stripped || recipient.Types == nil {
+		return nil, fmt.Errorf("phage: recipient has no debug information")
+	}
+	a := &insertionAnalyzer{
+		mod:      recipient,
+		fields:   map[string]bool{},
+		relevant: relevant,
+		points:   map[pointKey]*pointState{},
+	}
+	for _, f := range checkFields {
+		a.fields[f] = true
+	}
+	a.tr = taint.NewTracker(recipient, taint.Options{Labels: dis, Relevant: relevant})
+	a.v = vm.New(recipient, seed)
+	a.tr.OnStep = a.onStep
+	a.v.Tracer = a.tr
+	res := a.v.Run()
+	if !res.OK() {
+		return nil, fmt.Errorf("phage: recipient crashes on the seed input: %v", res.Trap)
+	}
+
+	out := &InsertionAnalysis{}
+	for key, st := range a.points {
+		out.Points = append(out.Points, Point{
+			Fn: key.fn, FnName: recipient.Funcs[key.fn].Name, Line: key.line,
+			Names: st.names, Stable: st.stable, Execs: st.execs,
+		})
+	}
+	sort.Slice(out.Points, func(i, j int) bool {
+		if out.Points[i].Fn != out.Points[j].Fn {
+			return out.Points[i].Fn < out.Points[j].Fn
+		}
+		return out.Points[i].Line < out.Points[j].Line
+	})
+	return out, nil
+}
+
+func (a *insertionAnalyzer) top() *invocation { return &a.stack[len(a.stack)-1] }
+
+func (a *insertionAnalyzer) onStep(ev *vm.Event) {
+	if len(a.stack) == 0 {
+		a.stack = append(a.stack, invocation{
+			fn: ev.Fn, fp: ev.FP, accessed: map[string]bool{},
+		})
+	}
+	inv := a.top()
+
+	// Line transition within the executing invocation: execution
+	// reaches a new statement. The accessed set reflects everything
+	// read before this statement, so a patch inserted before the line
+	// sees exactly these values.
+	if ev.In.Op != ir.Call && ev.In.Op != ir.Ret {
+		line := ev.In.Line
+		if line != 0 && line != inv.lastLine {
+			if inv.lastLine != 0 {
+				a.lineReached(inv, line)
+			}
+			inv.lastLine = line
+		}
+	}
+
+	// Track field accesses: any value computed from check fields.
+	if dst := a.dstShadow(ev); dst != nil {
+		for _, f := range dst.Fields() {
+			if a.fields[f] {
+				inv.accessed[f] = true
+			}
+		}
+	}
+
+	switch ev.In.Op {
+	case ir.Call:
+		a.stack = append(a.stack, invocation{
+			fn: ev.In.Fn, fp: ev.CalleeFP, accessed: map[string]bool{},
+		})
+	case ir.Ret:
+		if len(a.stack) > 0 {
+			a.stack = a.stack[:len(a.stack)-1]
+		}
+	}
+}
+
+// dstShadow returns the shadow of the instruction's destination, if
+// meaningful for access tracking.
+func (a *insertionAnalyzer) dstShadow(ev *vm.Event) *bitvec.Expr {
+	switch ev.In.Op {
+	case ir.Jmp, ir.Br, ir.Ret, ir.Call, ir.Store:
+		return nil
+	}
+	return a.tr.RegShadow(ev.In.Dst)
+}
+
+// covered reports whether the invocation has accessed every check field.
+func (a *insertionAnalyzer) covered(inv *invocation) bool {
+	if len(a.fields) == 0 {
+		return false
+	}
+	for f := range a.fields {
+		if !inv.accessed[f] {
+			return false
+		}
+	}
+	return true
+}
+
+// lineReached runs when execution reaches a new statement line within
+// the invocation.
+func (a *insertionAnalyzer) lineReached(inv *invocation, line int32) {
+	if !a.covered(inv) {
+		return
+	}
+	key := pointKey{inv.fn, line}
+	st, seen := a.points[key]
+	if seen && st.execs >= maxExecsPerPoint {
+		return
+	}
+	names := a.traverseRoots(inv, line)
+	nk := namesKey(names)
+	if !seen {
+		a.points[key] = &pointState{names: names, namesKey: nk, stable: true, execs: 1}
+		return
+	}
+	st.execs++
+	if st.namesKey != nk {
+		st.stable = false // accesses different values on different executions
+	}
+}
+
+func namesKey(names []Name) string {
+	parts := make([]string, len(names))
+	for i, n := range names {
+		parts[i] = n.Path + "=" + n.Expr.Key()
+	}
+	sort.Strings(parts)
+	return fmt.Sprint(parts)
+}
+
+// traverseRoots implements Figure 6: starting from the local and
+// global variables in scope at the point, traverse the recipient data
+// structures to find values computed from relevant input fields,
+// recording the paths that reach them.
+func (a *insertionAnalyzer) traverseRoots(inv *invocation, line int32) []Name {
+	var names []Name
+	visited := map[uint64]bool{}
+	f := a.mod.Funcs[inv.fn]
+	for _, v := range f.Vars {
+		if v.Line > line {
+			continue // not yet declared at the insertion point
+		}
+		a.traverse(v.Name, inv.fp+uint64(v.Off), v.Type, visited, &names)
+	}
+	for _, g := range a.mod.GlobalVars {
+		a.traverse(g.Name, vm.GlobalBase+uint64(g.Off), g.Type, visited, &names)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if len(names[i].Path) != len(names[j].Path) {
+			return len(names[i].Path) < len(names[j].Path)
+		}
+		return names[i].Path < names[j].Path
+	})
+	return names
+}
+
+// traverse recursively walks one path (Figure 6's Traverse).
+func (a *insertionAnalyzer) traverse(path string, addr uint64, typeIdx int32, visited map[uint64]bool, names *[]Name) {
+	if visited[addr] {
+		return
+	}
+	t := &a.mod.Types[typeIdx]
+	switch t.Kind {
+	case ir.KInt:
+		visited[addr] = true
+		concrete, ok := a.v.ReadScalar(addr, t.W)
+		if !ok {
+			return
+		}
+		e := a.tr.MemShadow(addr, int(t.W.Bytes()), concrete)
+		if e == nil || !a.usefulExpr(e) {
+			return
+		}
+		*names = append(*names, Name{Path: path, W: uint8(t.W), Expr: e})
+	case ir.KPtr:
+		visited[addr] = true
+		ptr, ok := a.v.ReadScalar(addr, ir.W64)
+		if !ok || ptr == 0 {
+			return
+		}
+		elem := &a.mod.Types[t.Elem]
+		size := int(elem.Size)
+		if size <= 0 {
+			size = 1
+		}
+		if !a.v.Readable(ptr, size) {
+			return
+		}
+		a.traverse("(*"+path+")", ptr, t.Elem, visited, names)
+	case ir.KStruct:
+		for _, fld := range t.Fields {
+			a.traverse(memberPath(path, fld.Name), addr+uint64(fld.Off), fld.Type, visited, names)
+		}
+	case ir.KArray:
+		elem := &a.mod.Types[t.Elem]
+		n := int(t.Count)
+		if n > maxArrayElems {
+			n = maxArrayElems
+		}
+		for i := 0; i < n; i++ {
+			p := fmt.Sprintf("%s[%d]", path, i)
+			a.traverse(p, addr+uint64(i)*uint64(elem.Size), t.Elem, visited, names)
+		}
+	}
+}
+
+// memberPath renders a field access, folding "(*p).f" into "p->f" for
+// readable generated patches.
+func memberPath(base, field string) string {
+	if len(base) > 3 && base[0] == '(' && base[1] == '*' && base[len(base)-1] == ')' {
+		inner := base[2 : len(base)-1]
+		if isSimpleIdent(inner) {
+			return inner + "->" + field
+		}
+	}
+	return base + "." + field
+}
+
+func isSimpleIdent(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+// usefulExpr reports whether a traversed value can contribute to the
+// check translation: it must involve at least one of the check's input
+// fields. (The check may reference fields beyond the relevant bytes —
+// e.g. OpenJPEG's tile bound involves the tile-grid fields even when
+// only the tile number differs between seed and error inputs.)
+func (a *insertionAnalyzer) usefulExpr(e *bitvec.Expr) bool {
+	if len(a.fields) == 0 {
+		return true
+	}
+	for _, f := range e.Fields() {
+		if a.fields[f] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,222 @@
+package phage
+
+import (
+	"strings"
+	"testing"
+
+	"codephage/internal/hachoir"
+)
+
+const insertionRecipientSrc = `
+struct Img {
+	u32 w;
+	u32 h;
+	u8* data;
+};
+
+u32 helper(u32 v) {
+	if (v > 1000000) {
+		return 0;
+	}
+	return v * 2;
+}
+
+u32 load(Img* im) {
+	im->w = (u32)in_u16be();
+	im->h = (u32)in_u16be();
+	u32 dw = helper(im->w);
+	u32 dh = helper(im->h);
+	out((u64)(dw + dh));
+	return 1;
+}
+
+void main() {
+	Img im;
+	if (!load(&im)) {
+		exit(1);
+	}
+	exit(0);
+}
+`
+
+func analyze(t *testing.T, src string, seed []byte, fields []string) *InsertionAnalysis {
+	t.Helper()
+	mod := compileMod(t, src)
+	dis := hachoir.Raw(seed)
+	a, err := AnalyzeInsertionPoints(mod, seed, dis, fields, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestInsertionPointsRequireCoverage(t *testing.T) {
+	seed := []byte{0, 10, 0, 20}
+	a := analyze(t, insertionRecipientSrc, seed, []string{"@0", "@1", "@2", "@3"})
+	if len(a.Points) == 0 {
+		t.Fatal("no insertion points")
+	}
+	// No point may precede the height read (line 17): w alone does not
+	// cover the check fields.
+	for _, p := range a.Points {
+		if p.FnName == "load" && p.Line <= 17 {
+			t.Errorf("point at load line %d precedes full coverage", p.Line)
+		}
+		if p.FnName == "main" {
+			t.Errorf("main never reads the fields itself but has point at line %d", p.Line)
+		}
+	}
+}
+
+func TestInsertionPointNamesContainStructPaths(t *testing.T) {
+	seed := []byte{0, 10, 0, 20}
+	a := analyze(t, insertionRecipientSrc, seed, []string{"@0", "@1", "@2", "@3"})
+	foundStruct := false
+	for _, p := range a.Points {
+		for _, n := range p.Names {
+			if strings.Contains(n.Path, "im->w") || strings.Contains(n.Path, "im->h") {
+				foundStruct = true
+			}
+		}
+	}
+	if !foundStruct {
+		t.Error("traversal never found the struct fields through the pointer")
+	}
+}
+
+func TestUnstablePointsInLoop(t *testing.T) {
+	// A loop-variant value computed from the tainted field makes every
+	// point inside the loop body see a different expression on each
+	// execution: the point is unstable and must be filtered.
+	src := `
+void main() {
+	u32 w = (u32)in_u8();
+	u32 y = 0;
+	while (y < 3) {
+		u32 off = y * w;
+		out((u64)off);
+		y = y + 1;
+	}
+	exit(0);
+}
+`
+	seed := []byte{9}
+	a := analyze(t, src, seed, []string{"@0"})
+	sawUnstable := false
+	for _, p := range a.Points {
+		if !p.Stable && p.Execs > 1 {
+			sawUnstable = true
+		}
+	}
+	if !sawUnstable {
+		t.Error("loop-variant tainted value produced no unstable points")
+	}
+}
+
+func TestSharedHelperNeverQualifiesWithoutCoverage(t *testing.T) {
+	// helper() only ever sees one of the two fields per invocation, so
+	// no point inside it can cover a two-field check.
+	seed := []byte{0, 10, 0, 20}
+	a := analyze(t, insertionRecipientSrc, seed, []string{"@0", "@1", "@2", "@3"})
+	for _, p := range a.Points {
+		if p.FnName == "helper" {
+			t.Errorf("helper line %d qualified despite partial coverage", p.Line)
+		}
+	}
+}
+
+func TestScopeFiltering(t *testing.T) {
+	// A variable declared after the insertion point must not appear in
+	// the point's names.
+	src := `
+void main() {
+	u32 a = (u32)in_u8();
+	out((u64)a);
+	u32 late = a + 1;
+	out((u64)late);
+	exit(0);
+}
+`
+	seed := []byte{7}
+	a := analyze(t, src, seed, []string{"@0"})
+	for _, p := range a.Points {
+		for _, n := range p.Names {
+			if n.Path == "late" && p.Line <= 5 {
+				t.Errorf("line-%d point sees variable declared at line 5", p.Line)
+			}
+		}
+	}
+}
+
+func TestTraversalThroughArrays(t *testing.T) {
+	src := `
+u32 slots[4];
+void main() {
+	slots[2] = (u32)in_u8();
+	out((u64)slots[2]);
+	exit(0);
+}
+`
+	seed := []byte{9}
+	a := analyze(t, src, seed, []string{"@0"})
+	found := false
+	for _, p := range a.Points {
+		for _, n := range p.Names {
+			if n.Path == "slots[2]" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("array element holding the tainted value not found")
+	}
+}
+
+func TestTraversalThroughHeapPointer(t *testing.T) {
+	src := `
+struct Box { u32 v; };
+void main() {
+	Box* b = (Box*)alloc(sizeof(Box));
+	if (b == 0) {
+		exit(1);
+	}
+	b->v = (u32)in_u8();
+	out((u64)b->v);
+	exit(0);
+}
+`
+	seed := []byte{42}
+	a := analyze(t, src, seed, []string{"@0"})
+	found := false
+	for _, p := range a.Points {
+		for _, n := range p.Names {
+			if n.Path == "b->v" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("heap value b->v not reached by traversal")
+	}
+}
+
+func TestStrippedRecipientRejected(t *testing.T) {
+	mod := compileMod(t, `void main() { out((u64)in_u8()); }`)
+	mod.Strip()
+	if _, err := AnalyzeInsertionPoints(mod, []byte{1}, hachoir.Raw([]byte{1}), []string{"@0"}, nil); err == nil {
+		t.Fatal("stripped recipient accepted")
+	}
+}
+
+func TestMemberPathRendering(t *testing.T) {
+	cases := []struct{ base, field, want string }{
+		{"(*p)", "w", "p->w"},
+		{"(*(*p).q)", "w", "(*(*p).q).w"},
+		{"img", "w", "img.w"},
+	}
+	for _, c := range cases {
+		if got := memberPath(c.base, c.field); got != c.want {
+			t.Errorf("memberPath(%q, %q) = %q, want %q", c.base, c.field, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package phage
+
+import (
+	"fmt"
+	"strings"
+)
+
+// InsertPatchLine inserts the patch statement into MiniC source text
+// immediately after the given 1-based source line, preserving the
+// indentation of that line. This is the source-level patch insertion
+// of §3.3: the recipient is subsequently recompiled.
+func InsertPatchLine(src string, afterLine int32, patch string) (string, error) {
+	lines := strings.Split(src, "\n")
+	if afterLine < 1 || int(afterLine) > len(lines) {
+		return "", fmt.Errorf("phage: insertion line %d out of range (%d lines)", afterLine, len(lines))
+	}
+	anchor := lines[afterLine-1]
+	indent := anchor[:len(anchor)-len(strings.TrimLeft(anchor, " \t"))]
+
+	out := make([]string, 0, len(lines)+1)
+	out = append(out, lines[:afterLine]...)
+	out = append(out, indent+patch)
+	out = append(out, lines[afterLine:]...)
+	return strings.Join(out, "\n"), nil
+}
+
+// InsertBeforeLine inserts the patch immediately before the given
+// 1-based source line, taking that line's indentation. Insertion
+// points identify the statement execution reaches with every check
+// field available, so the guard runs just before it.
+func InsertBeforeLine(src string, line int32, patch string) (string, error) {
+	lines := strings.Split(src, "\n")
+	if line < 1 || int(line) > len(lines) {
+		return "", fmt.Errorf("phage: insertion line %d out of range (%d lines)", line, len(lines))
+	}
+	anchor := lines[line-1]
+	indent := anchor[:len(anchor)-len(strings.TrimLeft(anchor, " \t"))]
+
+	out := make([]string, 0, len(lines)+1)
+	out = append(out, lines[:line-1]...)
+	out = append(out, indent+patch)
+	out = append(out, lines[line-1:]...)
+	return strings.Join(out, "\n"), nil
+}

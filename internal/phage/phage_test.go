@@ -1,0 +1,265 @@
+package phage
+
+import (
+	"strings"
+	"testing"
+
+	"codephage/internal/apps"
+	"codephage/internal/diode"
+	"codephage/internal/hachoir"
+	"codephage/internal/vm"
+)
+
+// buildTransfer assembles a Transfer for a registry target and donor,
+// obtaining the error input from the registry or from DIODE.
+func buildTransfer(t *testing.T, tgt *apps.Target, donorName string) *Transfer {
+	t.Helper()
+	recipient, err := apps.ByName(tgt.Recipient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	donorApp, err := apps.ByName(donorName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	donorBin, err := apps.BuildDonorBinary(donorApp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errIn := tgt.Error
+	if errIn == nil {
+		mod, err := apps.Build(recipient)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, _ := hachoir.ByName(tgt.Format)
+		dis, derr := d.Dissect(tgt.Seed)
+		if derr != nil {
+			t.Fatal(derr)
+		}
+		finding, ferr := diode.Discover(mod, tgt.Seed, dis, diode.Options{VulnFn: tgt.VulnFn})
+		if ferr != nil {
+			t.Fatal(ferr)
+		}
+		if finding == nil {
+			t.Fatalf("DIODE found no error at %s/%s", tgt.Recipient, tgt.ID)
+		}
+		errIn = finding.Input
+	}
+	vulnFn := ""
+	if tgt.Kind == apps.Overflow {
+		vulnFn = tgt.VulnFn
+	}
+	return &Transfer{
+		RecipientName: tgt.Recipient,
+		RecipientSrc:  recipient.Source,
+		Donor:         donorBin,
+		DonorName:     donorName,
+		Format:        tgt.Format,
+		Seed:          tgt.Seed,
+		Error:         errIn,
+		Regression:    apps.RegressionSuite(tgt.Format),
+		VulnFn:        vulnFn,
+	}
+}
+
+func TestSection2WalkthroughCWebPFromFEH(t *testing.T) {
+	tgt, err := apps.TargetByID("cwebp", "jpegdec.c@248")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := buildTransfer(t, tgt, "feh")
+	res, err := tr.Run()
+	if err != nil {
+		t.Fatalf("transfer failed: %v", err)
+	}
+	if len(res.Rounds) == 0 {
+		t.Fatal("no patches generated")
+	}
+	r0 := res.Rounds[0]
+	t.Logf("relevant=%d flipped=%d points=%d-%d-%d=%d size=%d->%d",
+		r0.RelevantSites, r0.FlippedSites, r0.CandidatePoints, r0.UnstablePoints,
+		r0.Untranslatable, r0.ViablePoints, r0.ExcisedOps, r0.TranslatedOps)
+	t.Logf("patch: %s (after %s line %d)", r0.PatchText, r0.InsertFn, r0.InsertLine)
+
+	// The paper's walk-through properties:
+	// the used check is a flipped branch,
+	if r0.FlippedSites == 0 || r0.RelevantSites < r0.FlippedSites {
+		t.Errorf("branch counts inconsistent: relevant=%d flipped=%d", r0.RelevantSites, r0.FlippedSites)
+	}
+	// the translated check is far smaller than the excised check,
+	if r0.TranslatedOps >= r0.ExcisedOps {
+		t.Errorf("no size reduction: %d -> %d", r0.ExcisedOps, r0.TranslatedOps)
+	}
+	// the patch references recipient values holding the dimensions
+	// (either the dinfo fields or the locals copied from them),
+	if !strings.Contains(r0.PatchText, "width") || !strings.Contains(r0.PatchText, "height") {
+		t.Errorf("patch does not reference recipient width/height values: %s", r0.PatchText)
+	}
+	// the FEH check bounds the width*height product by 2^29-1.
+	if !strings.Contains(r0.PatchText, "536870911") {
+		t.Errorf("patch lost the IMAGE_DIMENSIONS_OK bound: %s", r0.PatchText)
+	}
+	// The patched recipient rejects the error input cleanly.
+	r := vm.New(res.FinalModule, tr.Error).Run()
+	if !r.OK() {
+		t.Fatalf("patched recipient still traps: %v", r.Trap)
+	}
+	// And still processes the seed.
+	r = vm.New(res.FinalModule, tr.Seed).Run()
+	if !r.OK() || r.ExitCode != 0 {
+		t.Fatalf("patched recipient broke the seed: exit %d trap %v", r.ExitCode, r.Trap)
+	}
+}
+
+func TestWiresharkVersionTransfer(t *testing.T) {
+	tgt, err := apps.TargetByID("wireshark14", "packet-dcp-etsi.c@258")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := buildTransfer(t, tgt, "wireshark18")
+	res, err := tr.Run()
+	if err != nil {
+		t.Fatalf("transfer failed: %v", err)
+	}
+	r0 := res.Rounds[0]
+	t.Logf("patch: %s (after %s line %d)", r0.PatchText, r0.InsertFn, r0.InsertLine)
+	// The donor's `if (real_len)` check guards plen != 0; the renamed
+	// field must have been bridged to the recipient's plen.
+	if !strings.Contains(r0.PatchText, "plen") {
+		t.Errorf("patch does not reference the recipient's plen: %s", r0.PatchText)
+	}
+	r := vm.New(res.FinalModule, tr.Error).Run()
+	if !r.OK() {
+		t.Fatalf("patched wireshark still divides by zero: %v", r.Trap)
+	}
+}
+
+func TestJasPerDataStructureTranslation(t *testing.T) {
+	// OpenJPEG checks tileno >= tw*th; JasPer stores the product as
+	// dec->numtiles. The transfer must recognise the equivalence.
+	tgt, err := apps.TargetByID("jasper", "jpc_dec.c@492")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := buildTransfer(t, tgt, "openjpeg")
+	res, err := tr.Run()
+	if err != nil {
+		t.Fatalf("transfer failed: %v", err)
+	}
+	r0 := res.Rounds[0]
+	t.Logf("excised: %s", r0.ExcisedCheck)
+	t.Logf("patch: %s (after %s line %d)", r0.PatchText, r0.InsertFn, r0.InsertLine)
+	r := vm.New(res.FinalModule, tr.Error).Run()
+	if !r.OK() {
+		t.Fatalf("patched jasper still overflows: %v", r.Trap)
+	}
+}
+
+func TestGif2tiffTransfer(t *testing.T) {
+	tgt, err := apps.TargetByID("gif2tiff", "gif2tiff.c@355")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := buildTransfer(t, tgt, "magick9")
+	res, err := tr.Run()
+	if err != nil {
+		t.Fatalf("transfer failed: %v", err)
+	}
+	r0 := res.Rounds[0]
+	t.Logf("patch: %s (after %s line %d)", r0.PatchText, r0.InsertFn, r0.InsertLine)
+	// The magick9 check bounds the LZW code size by 12.
+	if !strings.Contains(r0.PatchText, "12") {
+		t.Errorf("patch lost the MaximumLZWBits bound: %s", r0.PatchText)
+	}
+	r := vm.New(res.FinalModule, tr.Error).Run()
+	if !r.OK() {
+		t.Fatalf("patched gif2tiff still overflows: %v", r.Trap)
+	}
+}
+
+func TestInsertPatchLine(t *testing.T) {
+	src := "a\n\tb\nc"
+	out, err := InsertPatchLine(src, 2, "PATCH")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "a\n\tb\n\tPATCH\nc"
+	if out != want {
+		t.Fatalf("out = %q, want %q", out, want)
+	}
+	if _, err := InsertPatchLine(src, 0, "x"); err == nil {
+		t.Error("line 0 accepted")
+	}
+	if _, err := InsertPatchLine(src, 99, "x"); err == nil {
+		t.Error("line 99 accepted")
+	}
+}
+
+func TestReportAndDiff(t *testing.T) {
+	tgt, err := apps.TargetByID("gif2tiff", "gif2tiff.c@355")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := buildTransfer(t, tgt, "magick9")
+	res, err := tr.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Report("gif2tiff", "magick9")
+	for _, want := range []string{
+		"Code Phage transfer", "patch 1:", "insertion points",
+		"check size", "translated check", "solver:",
+	} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+	d := Diff(tr.RecipientSrc, res.FinalSource)
+	if !strings.Contains(d, "+") || !strings.Contains(d, "exit(-1);") {
+		t.Errorf("diff does not show the inserted patch:\n%s", d)
+	}
+	// Exactly one inserted line per round.
+	if got := strings.Count(d, "\n"); got != len(res.Rounds) {
+		t.Errorf("diff lines = %d, want %d", got, len(res.Rounds))
+	}
+}
+
+func TestTryDonors(t *testing.T) {
+	tgt, err := apps.TargetByID("cwebp", "jpegdec.c@248")
+	if err != nil {
+		t.Fatal(err)
+	}
+	template := buildTransfer(t, tgt, "feh")
+
+	// A donor that cannot help (reads the wrong format entirely).
+	badApp, _ := apps.ByName("wireshark18")
+	bad, err := apps.BuildDonorBinary(badApp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goodApp, _ := apps.ByName("mtpaint")
+	good, err := apps.BuildDonorBinary(goodApp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, name, err := TryDonors(template, []DonorCandidate{
+		{Name: "wireshark18", Module: bad},
+		{Name: "mtpaint", Module: good},
+	})
+	if err != nil {
+		t.Fatalf("TryDonors: %v", err)
+	}
+	if name != "mtpaint" {
+		t.Errorf("selected donor %q, want mtpaint", name)
+	}
+	if res.UsedChecks() < 1 {
+		t.Error("no checks transferred")
+	}
+
+	// All-bad donor lists must fail with an aggregated error.
+	_, _, err = TryDonors(template, []DonorCandidate{{Name: "wireshark18", Module: bad}})
+	if err == nil {
+		t.Fatal("expected failure with no viable donor")
+	}
+}

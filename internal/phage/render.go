@@ -1,0 +1,265 @@
+package phage
+
+import (
+	"fmt"
+	"strings"
+
+	"codephage/internal/bitvec"
+)
+
+// This file converts translated bitvector expressions into MiniC
+// source text. Every node is rendered as a C expression whose value,
+// held in the smallest MiniC unsigned type that fits the node's width,
+// equals the bitvector value (high bits zero). Non-power-of-two widths
+// are computed in the containing type and masked after every
+// operation, preserving exact wrap semantics.
+
+// ErrUnrenderable reports a construct with no MiniC equivalent.
+type ErrUnrenderable struct{ Op bitvec.Op }
+
+func (e ErrUnrenderable) Error() string {
+	return fmt.Sprintf("phage: cannot render %s in MiniC", e.Op.Name())
+}
+
+// ctypeBits returns the MiniC container width for a bitvector width.
+func ctypeBits(w uint8) uint8 {
+	switch {
+	case w <= 8:
+		return 8
+	case w <= 16:
+		return 16
+	case w <= 32:
+		return 32
+	default:
+		return 64
+	}
+}
+
+func utype(w uint8) string { return fmt.Sprintf("u%d", ctypeBits(w)) }
+func itype(w uint8) string { return fmt.Sprintf("i%d", ctypeBits(w)) }
+
+// mask wraps the rendered text with the width mask when the width is
+// not the container width.
+func mask(text string, w uint8) string {
+	if w == ctypeBits(w) {
+		return text
+	}
+	return fmt.Sprintf("(%s & %d)", text, bitvec.Mask(w))
+}
+
+// RenderExpr renders a translated expression (Refs + constants +
+// operations) as a MiniC expression.
+func RenderExpr(e *bitvec.Expr) (string, error) {
+	r := &renderer{}
+	text, err := r.render(e)
+	if err != nil {
+		return "", err
+	}
+	return text, nil
+}
+
+type renderer struct{}
+
+// render produces text whose MiniC value equals e's value
+// zero-extended into the container type.
+func (r *renderer) render(e *bitvec.Expr) (string, error) {
+	switch e.Op {
+	case bitvec.OpConst:
+		return fmt.Sprintf("(%s)%d", utype(e.W), e.Val), nil
+	case bitvec.OpRef:
+		// Cast normalises the stored type to the expression width.
+		return fmt.Sprintf("(%s)(%s)", utype(e.W), e.Name), nil
+	case bitvec.OpField:
+		return "", fmt.Errorf("phage: untranslated input field %q in patch", e.Name)
+	}
+
+	bin := func(op string) (string, error) {
+		x, err := r.render(e.X)
+		if err != nil {
+			return "", err
+		}
+		y, err := r.render(e.Y)
+		if err != nil {
+			return "", err
+		}
+		// Operand renderings carry container-typed values with zero
+		// high bits, but MiniC promotes u8/u16 operands to i32, so the
+		// result is cast back to the container; the mask then restores
+		// exact wrap semantics for sub-container widths.
+		return mask(fmt.Sprintf("(%s)(%s %s %s)", utype(e.W), x, op, y), e.W), nil
+	}
+	sbin := func(op string) (string, error) {
+		x, err := r.render(e.X)
+		if err != nil {
+			return "", err
+		}
+		y, err := r.render(e.Y)
+		if err != nil {
+			return "", err
+		}
+		if e.W != ctypeBits(e.W) {
+			return "", ErrUnrenderable{e.Op} // signed ops at odd widths
+		}
+		t := itype(e.W)
+		return fmt.Sprintf("(%s)((%s)%s %s (%s)%s)", utype(e.W), t, x, op, t, y), nil
+	}
+	cmp := func(op string, signed bool) (string, error) {
+		x, err := r.render(e.X)
+		if err != nil {
+			return "", err
+		}
+		y, err := r.render(e.Y)
+		if err != nil {
+			return "", err
+		}
+		w := e.X.W
+		if signed {
+			if w != ctypeBits(w) {
+				return "", ErrUnrenderable{e.Op}
+			}
+			t := itype(w)
+			return fmt.Sprintf("((%s)%s %s (%s)%s)", t, x, op, t, y), nil
+		}
+		return fmt.Sprintf("(%s %s %s)", x, op, y), nil
+	}
+
+	switch e.Op {
+	case bitvec.OpAdd:
+		return bin("+")
+	case bitvec.OpSub:
+		return bin("-")
+	case bitvec.OpMul:
+		return bin("*")
+	case bitvec.OpUDiv:
+		return bin("/")
+	case bitvec.OpURem:
+		return bin("%")
+	case bitvec.OpAnd:
+		return bin("&")
+	case bitvec.OpOr:
+		return bin("|")
+	case bitvec.OpXor:
+		return bin("^")
+	case bitvec.OpShl:
+		return bin("<<")
+	case bitvec.OpLShr:
+		x, err := r.render(e.X)
+		if err != nil {
+			return "", err
+		}
+		y, err := r.render(e.Y)
+		if err != nil {
+			return "", err
+		}
+		// High container bits are zero, so a logical shift is plain >>
+		// (the promoted value is non-negative); cast restores the type.
+		return fmt.Sprintf("(%s)(%s >> %s)", utype(e.W), x, y), nil
+	case bitvec.OpSDiv:
+		return sbin("/")
+	case bitvec.OpSRem:
+		return sbin("%")
+	case bitvec.OpAShr:
+		return sbin(">>")
+	case bitvec.OpEq:
+		return cmp("==", false)
+	case bitvec.OpNe:
+		return cmp("!=", false)
+	case bitvec.OpUlt:
+		return cmp("<", false)
+	case bitvec.OpUle:
+		return cmp("<=", false)
+	case bitvec.OpSlt:
+		return cmp("<", true)
+	case bitvec.OpSle:
+		return cmp("<=", true)
+
+	case bitvec.OpNot:
+		x, err := r.render(e.X)
+		if err != nil {
+			return "", err
+		}
+		return mask(fmt.Sprintf("((%s)(~%s))", utype(e.W), x), e.W), nil
+	case bitvec.OpNeg:
+		x, err := r.render(e.X)
+		if err != nil {
+			return "", err
+		}
+		return mask(fmt.Sprintf("((%s)((%s)0 - %s))", utype(e.W), utype(e.W), x), e.W), nil
+	case bitvec.OpZExt:
+		x, err := r.render(e.X)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("(%s)%s", utype(e.W), x), nil
+	case bitvec.OpSExt:
+		x, err := r.render(e.X)
+		if err != nil {
+			return "", err
+		}
+		if e.X.W != ctypeBits(e.X.W) || e.W != ctypeBits(e.W) {
+			return "", ErrUnrenderable{e.Op}
+		}
+		return fmt.Sprintf("(%s)((%s)((%s)%s))", utype(e.W), itype(e.W), itype(e.X.W), x), nil
+	case bitvec.OpExtr:
+		x, err := r.render(e.X)
+		if err != nil {
+			return "", err
+		}
+		shifted := fmt.Sprintf("((u64)%s >> %d)", x, e.Lo)
+		return fmt.Sprintf("(%s)(%s & %d)", utype(e.W), shifted, bitvec.Mask(e.W)), nil
+	case bitvec.OpConcat:
+		x, err := r.render(e.X)
+		if err != nil {
+			return "", err
+		}
+		y, err := r.render(e.Y)
+		if err != nil {
+			return "", err
+		}
+		t := utype(e.W)
+		return mask(fmt.Sprintf("(((%s)((u64)%s << %d)) | (%s)%s)", t, x, e.Y.W, t, y), e.W), nil
+	case bitvec.OpBool:
+		x, err := r.render(e.X)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("(%s != 0)", x), nil
+	case bitvec.OpLNot:
+		x, err := r.render(e.X)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("(%s == 0)", x), nil
+	}
+	return "", ErrUnrenderable{e.Op}
+}
+
+// ExitMode selects what a firing patch does.
+type ExitMode int
+
+// Patch reaction modes.
+const (
+	// ExitOnFail exits the application before the error can occur
+	// (the paper's default: exit(-1)).
+	ExitOnFail ExitMode = iota
+	// ReturnZero returns 0 from the enclosing function instead — the
+	// alternate divide-by-zero strategy of §4.5 that enables continued
+	// execution.
+	ReturnZero
+)
+
+// PatchText renders the complete guard statement for a translated
+// check: the patch fires when the check does NOT hold.
+func PatchText(translated *bitvec.Expr, mode ExitMode) (string, error) {
+	cond, err := RenderExpr(bitvec.BoolOf(translated))
+	if err != nil {
+		return "", err
+	}
+	action := "exit(-1);"
+	if mode == ReturnZero {
+		action = "return 0;"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "if (!%s) { %s }", cond, action)
+	return sb.String(), nil
+}

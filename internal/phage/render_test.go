@@ -1,0 +1,199 @@
+package phage
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"codephage/internal/bitvec"
+	"codephage/internal/compile"
+	"codephage/internal/vm"
+)
+
+// evalRendered compiles a MiniC program that computes the rendered
+// expression over globals holding the ref values and returns the
+// 64-bit result.
+func evalRendered(t *testing.T, text string, refs map[string]uint64, refW map[string]uint8) uint64 {
+	t.Helper()
+	var sb strings.Builder
+	for name, w := range refW {
+		fmt.Fprintf(&sb, "u%d %s = %d;\n", ctypeBits(w), name, refs[name]&bitvec.Mask(w))
+	}
+	fmt.Fprintf(&sb, "void main() { out((u64)%s); }\n", text)
+	mod, err := compile.CompileSource("render", sb.String())
+	if err != nil {
+		t.Fatalf("rendered text does not compile: %v\nsource:\n%s", err, sb.String())
+	}
+	r := vm.New(mod, nil).Run()
+	if !r.OK() {
+		t.Fatalf("rendered program trapped: %v\nsource:\n%s", r.Trap, sb.String())
+	}
+	if len(r.Output) != 1 {
+		t.Fatalf("no output")
+	}
+	return r.Output[0]
+}
+
+// randRefExpr builds random translated expressions over refs r0, r1.
+func randRefExpr(rng *rand.Rand, depth int, refs []*bitvec.Expr) *bitvec.Expr {
+	if depth == 0 || rng.Intn(4) == 0 {
+		if rng.Intn(2) == 0 {
+			return refs[rng.Intn(len(refs))]
+		}
+		ws := []uint8{8, 16, 32, 64}
+		return bitvec.Const(ws[rng.Intn(len(ws))], rng.Uint64())
+	}
+	x := randRefExpr(rng, depth-1, refs)
+	coerce := func(e *bitvec.Expr, w uint8) *bitvec.Expr {
+		switch {
+		case e.W < w:
+			return bitvec.ZExt(w, e)
+		case e.W > w:
+			return bitvec.Trunc(w, e)
+		}
+		return e
+	}
+	y := coerce(randRefExpr(rng, depth-1, refs), x.W)
+	switch rng.Intn(12) {
+	case 0:
+		return bitvec.Add(x, y)
+	case 1:
+		return bitvec.Sub(x, y)
+	case 2:
+		return bitvec.Mul(x, y)
+	case 3:
+		return bitvec.And(x, y)
+	case 4:
+		return bitvec.Or(x, y)
+	case 5:
+		return bitvec.Xor(x, y)
+	case 6:
+		return bitvec.Not(x)
+	case 7:
+		if x.W < 64 {
+			return bitvec.ZExt(64, x)
+		}
+		return bitvec.Trunc(32, x)
+	case 8:
+		return bitvec.ZExt(32, bitvec.Ule(x, y))
+	case 9:
+		return bitvec.ZExt(32, bitvec.Eq(x, y))
+	case 10:
+		return bitvec.Shl(x, bitvec.Const(x.W, uint64(rng.Intn(int(x.W)))))
+	default:
+		return bitvec.LShr(x, bitvec.Const(x.W, uint64(rng.Intn(int(x.W)))))
+	}
+}
+
+// TestRenderedExpressionsMatchBitvecSemantics is the renderer's
+// soundness property: compiling and executing the rendered MiniC text
+// must compute exactly the bitvector value.
+func TestRenderedExpressionsMatchBitvecSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(31337))
+	refs := []*bitvec.Expr{
+		bitvec.Ref("r0", 32),
+		bitvec.Ref("r1", 16),
+		bitvec.Ref("r2", 64),
+	}
+	refW := map[string]uint8{"r0": 32, "r1": 16, "r2": 64}
+	for iter := 0; iter < 200; iter++ {
+		e := randRefExpr(rng, 4, refs)
+		text, err := RenderExpr(e)
+		if err != nil {
+			continue // unrenderable constructs are allowed to bail
+		}
+		vals := map[string]uint64{
+			"r0": rng.Uint64(), "r1": rng.Uint64(), "r2": rng.Uint64(),
+		}
+		env := bitvec.MapEnv{Refs: map[string]uint64{}}
+		for k, v := range vals {
+			env.Refs[k] = v & bitvec.Mask(refW[k])
+		}
+		want, err := bitvec.Eval(e, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := evalRendered(t, text, vals, refW)
+		if got != want {
+			t.Fatalf("iter %d: rendered value %d != bitvec value %d\nexpr: %s\ntext: %s",
+				iter, got, want, e, text)
+		}
+	}
+}
+
+func TestRenderSpecificForms(t *testing.T) {
+	w := bitvec.Ref("w", 32)
+	h := bitvec.Ref("h", 32)
+	// The paper's CWebP patch shape.
+	check := bitvec.Ule(
+		bitvec.Mul(bitvec.ZExt(64, w), bitvec.ZExt(64, h)),
+		bitvec.Const(64, 536870911))
+	text, err := PatchText(check, ExitOnFail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"if (!", "(u64)", "536870911", "exit(-1);"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("patch %q missing %q", text, want)
+		}
+	}
+	text, err = PatchText(check, ReturnZero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "return 0;") {
+		t.Errorf("return-zero patch wrong: %s", text)
+	}
+}
+
+func TestRenderRejectsUntranslatedField(t *testing.T) {
+	e := bitvec.Field("/img/width", 16, 0)
+	if _, err := RenderExpr(e); err == nil {
+		t.Fatal("raw input field rendered")
+	}
+}
+
+func TestRenderSignedOps(t *testing.T) {
+	a := bitvec.Ref("a", 32)
+	b := bitvec.Ref("b", 32)
+	cases := []*bitvec.Expr{
+		bitvec.ZExt(32, bitvec.Slt(a, b)),
+		bitvec.ZExt(32, bitvec.Sle(a, b)),
+		bitvec.SDiv(a, b),
+		bitvec.AShr(a, bitvec.Const(32, 3)),
+		bitvec.SExt(64, a),
+	}
+	vals := map[string]uint64{"a": 0xFFFFFFF0, "b": 3} // a is negative as i32
+	refW := map[string]uint8{"a": 32, "b": 32}
+	env := bitvec.MapEnv{Refs: map[string]uint64{"a": vals["a"], "b": vals["b"]}}
+	for _, e := range cases {
+		text, err := RenderExpr(e)
+		if err != nil {
+			t.Fatalf("render %s: %v", e, err)
+		}
+		want, _ := bitvec.Eval(e, env)
+		got := evalRendered(t, text, vals, refW)
+		if got != want {
+			t.Errorf("%s: rendered %d, want %d (text %s)", e, got, want, text)
+		}
+	}
+}
+
+func TestRenderOddWidths(t *testing.T) {
+	// Width-24 arithmetic from concatenated bytes must mask correctly.
+	a := bitvec.Ref("a", 8)
+	b := bitvec.Ref("b", 16)
+	e := bitvec.Add(bitvec.Concat(a, b), bitvec.Const(24, 0xFFFFFF))
+	text, err := RenderExpr(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := map[string]uint64{"a": 0xAB, "b": 0xCDEF}
+	env := bitvec.MapEnv{Refs: map[string]uint64{"a": 0xAB, "b": 0xCDEF}}
+	want, _ := bitvec.Eval(e, env)
+	got := evalRendered(t, text, vals, map[string]uint8{"a": 8, "b": 16})
+	if got != want {
+		t.Errorf("width-24 add = %d, want %d (text %s)", got, want, text)
+	}
+}

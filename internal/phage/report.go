@@ -1,0 +1,65 @@
+package phage
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Report renders a human-readable account of a completed transfer,
+// one section per transferred patch, in the structure of the paper's
+// per-patch write-ups (Section 4).
+func (r *Result) Report(recipient, donor string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Code Phage transfer: %s <- %s\n", recipient, donor)
+	fmt.Fprintf(&sb, "generation time: %s, patches: %d\n",
+		r.GenTime.Round(1e6), len(r.Rounds))
+	for i := range r.Rounds {
+		pr := &r.Rounds[i]
+		fmt.Fprintf(&sb, "\npatch %d:\n", i+1)
+		fmt.Fprintf(&sb, "  relevant branch sites:   %d\n", pr.RelevantSites)
+		fmt.Fprintf(&sb, "  flipped branch sites:    %d (used: #%d in execution order)\n",
+			pr.FlippedSites, pr.CheckIndex+1)
+		fmt.Fprintf(&sb, "  insertion points:        %d - %d unstable - %d untranslatable = %d\n",
+			pr.CandidatePoints, pr.UnstablePoints, pr.Untranslatable, pr.ViablePoints)
+		fmt.Fprintf(&sb, "  check size:              %d -> %d operations\n",
+			pr.ExcisedOps, pr.TranslatedOps)
+		fmt.Fprintf(&sb, "  excised check:           %s\n", truncateStr(pr.ExcisedCheck, 160))
+		fmt.Fprintf(&sb, "  translated check:        %s\n", truncateStr(pr.TranslatedCheck, 160))
+		fmt.Fprintf(&sb, "  patch (before %s:%d):    %s\n", pr.InsertFn, pr.InsertLine, pr.PatchText)
+	}
+	if r.OverflowFreeProven != nil {
+		fmt.Fprintf(&sb, "\noverflow-freedom proven by SMT: %v\n", *r.OverflowFreeProven)
+	}
+	st := r.SolverStats
+	fmt.Fprintf(&sb, "solver: %d queries (%d cache hits, %d prefiltered, %d refuted, %d syntactic, %d SAT calls)\n",
+		st.Queries, st.CacheHits, st.Prefiltered, st.Refuted, st.Syntactic, st.SATCalls)
+	return sb.String()
+}
+
+func truncateStr(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}
+
+// Diff returns a unified-style rendering of the inserted patch lines
+// between the original and patched sources (insertions only — Code
+// Phage never deletes recipient code).
+func Diff(original, patched string) string {
+	origLines := strings.Split(original, "\n")
+	patchLines := strings.Split(patched, "\n")
+	var sb strings.Builder
+	i, j := 0, 0
+	for j < len(patchLines) {
+		switch {
+		case i < len(origLines) && origLines[i] == patchLines[j]:
+			i++
+			j++
+		default:
+			fmt.Fprintf(&sb, "+%4d: %s\n", j+1, patchLines[j])
+			j++
+		}
+	}
+	return sb.String()
+}

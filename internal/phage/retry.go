@@ -1,0 +1,36 @@
+package phage
+
+import (
+	"fmt"
+	"strings"
+
+	"codephage/internal/ir"
+)
+
+// DonorCandidate pairs a donor binary with a display name for the
+// multi-donor retry loop.
+type DonorCandidate struct {
+	Name   string
+	Module *ir.Module
+}
+
+// TryDonors implements the outermost retry loop of §1.1: it attempts
+// the transfer with each donor in turn — candidate insertion points
+// and candidate checks are already retried inside Transfer.Run — and
+// returns the first validated result. The template transfer supplies
+// everything except the donor.
+func TryDonors(template *Transfer, donors []DonorCandidate) (*Result, string, error) {
+	var errs []string
+	for _, d := range donors {
+		tr := *template
+		tr.Donor = d.Module
+		tr.DonorName = d.Name
+		res, err := tr.Run()
+		if err == nil {
+			return res, d.Name, nil
+		}
+		errs = append(errs, fmt.Sprintf("%s: %v", d.Name, err))
+	}
+	return nil, "", fmt.Errorf("phage: no donor yields a validated transfer:\n  %s",
+		strings.Join(errs, "\n  "))
+}

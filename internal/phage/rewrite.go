@@ -1,0 +1,90 @@
+package phage
+
+import (
+	"codephage/internal/bitvec"
+	"codephage/internal/smt"
+)
+
+// Rewrite implements Figure 7: translate the application-independent
+// expression E into the name space of the recipient using the Names
+// produced by the data structure traversal. For every subtree it first
+// asks the SMT solver for a single recipient value with the same
+// symbolic meaning; failing that it decomposes the expression and
+// rewrites the operands recursively. Constants translate directly.
+// It returns nil when the expression cannot be expressed at the point.
+func Rewrite(e *bitvec.Expr, names []Name, solver *smt.Solver) *bitvec.Expr {
+	// A single recipient value equivalent to the whole expression?
+	for _, n := range names {
+		if n.W != e.W {
+			continue
+		}
+		eq, err := solver.Equiv(e, n.Expr)
+		if err == nil && eq {
+			return bitvec.Ref(n.Path, e.W)
+		}
+	}
+	// A recipient value equivalent modulo a width cast? This generates
+	// the casts the paper's patches carry, e.g.
+	// (unsigned long long)dinfo.output_height for a 64-bit subtree
+	// matched by a 32-bit recipient field (§3.3: "appropriately
+	// generating any casts, shifts, and masks").
+	for _, n := range names {
+		switch {
+		case n.W < e.W:
+			eq, err := solver.Equiv(e, bitvec.ZExt(e.W, n.Expr))
+			if err == nil && eq {
+				return bitvec.ZExt(e.W, bitvec.Ref(n.Path, n.W))
+			}
+		case n.W > e.W:
+			eq, err := solver.Equiv(e, bitvec.Trunc(e.W, n.Expr))
+			if err == nil && eq {
+				return bitvec.Trunc(e.W, bitvec.Ref(n.Path, n.W))
+			}
+		}
+	}
+	switch {
+	case e.Op == bitvec.OpConst:
+		return e
+	case e.Op.IsLeaf():
+		return nil // an input field with no recipient value: untranslatable
+	}
+	ops := e.Operands()
+	newOps := make([]*bitvec.Expr, len(ops))
+	for i, o := range ops {
+		r := Rewrite(o, names, solver)
+		if r == nil {
+			return nil
+		}
+		newOps[i] = r
+	}
+	c := *e
+	switch len(newOps) {
+	case 1:
+		c.X = newOps[0]
+	case 2:
+		c.X, c.Y = newOps[0], newOps[1]
+	case 3:
+		c.X, c.Y, c.Y2 = newOps[0], newOps[1], newOps[2]
+	}
+	return &c
+}
+
+// CheckHolds evaluates the translated check against concrete recipient
+// values: refs resolve through the env built from traversal names.
+// Used by tests and validation sanity checks.
+func CheckHolds(translated *bitvec.Expr, fieldEnv map[string]uint64, names []Name) (bool, error) {
+	refs := map[string]uint64{}
+	env := bitvec.MapEnv{Fields: fieldEnv, Refs: refs}
+	for _, n := range names {
+		v, err := bitvec.Eval(n.Expr, env)
+		if err != nil {
+			continue
+		}
+		refs[n.Path] = v
+	}
+	v, err := bitvec.Eval(translated, env)
+	if err != nil {
+		return false, err
+	}
+	return v != 0, nil
+}

@@ -1,0 +1,89 @@
+package phage
+
+import (
+	"fmt"
+
+	"codephage/internal/compile"
+	"codephage/internal/ir"
+	"codephage/internal/vm"
+)
+
+// behaviour captures the externally observable outcome of one run,
+// compared bit-for-bit by the regression test (paper §3.4).
+type behaviour struct {
+	exit   int32
+	trap   vm.TrapKind
+	output []uint64
+}
+
+func observe(mod *ir.Module, input []byte, maxSteps int64) behaviour {
+	v := vm.New(mod, input)
+	v.MaxSteps = maxSteps
+	r := v.Run()
+	b := behaviour{exit: r.ExitCode, output: r.Output}
+	if r.Trap != nil {
+		b.trap = r.Trap.Kind
+	}
+	return b
+}
+
+func (b behaviour) equal(o behaviour) bool {
+	if b.exit != o.exit || b.trap != o.trap || len(b.output) != len(o.output) {
+		return false
+	}
+	for i := range b.output {
+		if b.output[i] != o.output[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Validation is the outcome of the patch validation phase.
+type Validation struct {
+	CompileOK       bool
+	ErrorEliminated bool
+	RegressionOK    bool
+	FailReason      string
+	Module          *ir.Module // the validated patched module
+}
+
+// OK reports full validation success.
+func (v *Validation) OK() bool {
+	return v.CompileOK && v.ErrorEliminated && v.RegressionOK
+}
+
+// ValidatePatch recompiles the patched recipient and subjects it to
+// the paper's validation steps: the error-triggering input must no
+// longer trap (the run stays under memcheck — the VM always checks),
+// and the regression suite must behave exactly as the original.
+func ValidatePatch(name, patchedSrc string, errIn []byte, regression [][]byte, baseline []behaviour, maxSteps int64) *Validation {
+	val := &Validation{}
+	mod, err := compile.CompileSource(name, patchedSrc)
+	if err != nil {
+		val.FailReason = fmt.Sprintf("compile: %v", err)
+		return val
+	}
+	val.CompileOK = true
+
+	v := vm.New(mod, errIn)
+	v.MaxSteps = maxSteps
+	r := v.Run()
+	if !r.OK() {
+		val.FailReason = fmt.Sprintf("error input still traps: %v", r.Trap)
+		return val
+	}
+	val.ErrorEliminated = true
+
+	for i, input := range regression {
+		got := observe(mod, input, maxSteps)
+		if !got.equal(baseline[i]) {
+			val.FailReason = fmt.Sprintf("regression input %d diverges: exit %d/%d trap %v/%v out %v/%v",
+				i, got.exit, baseline[i].exit, got.trap, baseline[i].trap, got.output, baseline[i].output)
+			return val
+		}
+	}
+	val.RegressionOK = true
+	val.Module = mod
+	return val
+}

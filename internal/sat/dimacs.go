@@ -1,0 +1,85 @@
+package sat
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseDIMACS reads a DIMACS CNF problem into a fresh solver.
+func ParseDIMACS(r io.Reader) (*Solver, error) {
+	s := New()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	declared := -1
+	var cur []Lit
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") {
+			continue
+		}
+		if strings.HasPrefix(line, "p") {
+			f := strings.Fields(line)
+			if len(f) != 4 || f[1] != "cnf" {
+				return nil, fmt.Errorf("sat: bad problem line %q", line)
+			}
+			n, err := strconv.Atoi(f[2])
+			if err != nil {
+				return nil, fmt.Errorf("sat: bad variable count: %v", err)
+			}
+			declared = n
+			for i := 0; i < n; i++ {
+				s.NewVar()
+			}
+			continue
+		}
+		for _, tok := range strings.Fields(line) {
+			v, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("sat: bad literal %q: %v", tok, err)
+			}
+			if v == 0 {
+				s.AddClause(cur...)
+				cur = cur[:0]
+				continue
+			}
+			idx := v
+			neg := false
+			if idx < 0 {
+				idx, neg = -idx, true
+			}
+			if declared < 0 || idx > declared {
+				return nil, fmt.Errorf("sat: literal %d out of range", v)
+			}
+			cur = append(cur, MkLit(idx-1, neg))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(cur) > 0 {
+		s.AddClause(cur...)
+	}
+	return s, nil
+}
+
+// WriteDIMACS emits the solver's problem clauses in DIMACS CNF format.
+func (s *Solver) WriteDIMACS(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "p cnf %d %d\n", s.NumVars(), len(s.clauses)); err != nil {
+		return err
+	}
+	for _, c := range s.clauses {
+		var sb strings.Builder
+		for _, l := range c.lits {
+			sb.WriteString(l.String())
+			sb.WriteByte(' ')
+		}
+		sb.WriteString("0\n")
+		if _, err := io.WriteString(w, sb.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,86 @@
+package sat
+
+// heap is a binary max-heap of variables ordered by VSIDS activity,
+// with an index side-table for decrease/increase-key updates.
+type heap struct {
+	data []int // variable indices
+	pos  []int // pos[v] = index of v in data, or -1
+}
+
+func (h *heap) size() int { return len(h.data) }
+
+func (h *heap) inHeap(v int) bool {
+	return v < len(h.pos) && h.pos[v] >= 0
+}
+
+func (h *heap) push(s *Solver, v int) {
+	for len(h.pos) <= v {
+		h.pos = append(h.pos, -1)
+	}
+	if h.pos[v] >= 0 {
+		return
+	}
+	h.data = append(h.data, v)
+	h.pos[v] = len(h.data) - 1
+	h.up(s, len(h.data)-1)
+}
+
+func (h *heap) pop(s *Solver) int {
+	top := h.data[0]
+	last := len(h.data) - 1
+	h.data[0] = h.data[last]
+	h.pos[h.data[0]] = 0
+	h.data = h.data[:last]
+	h.pos[top] = -1
+	if len(h.data) > 0 {
+		h.down(s, 0)
+	}
+	return top
+}
+
+// update restores heap order after v's activity increased.
+func (h *heap) update(s *Solver, v int) {
+	if h.inHeap(v) {
+		h.up(s, h.pos[v])
+	}
+}
+
+func (h *heap) less(s *Solver, i, j int) bool {
+	return s.activity[h.data[i]] > s.activity[h.data[j]]
+}
+
+func (h *heap) up(s *Solver, i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(s, i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *heap) down(s *Solver, i int) {
+	n := len(h.data)
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && h.less(s, l, best) {
+			best = l
+		}
+		if r < n && h.less(s, r, best) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		h.swap(i, best)
+		i = best
+	}
+}
+
+func (h *heap) swap(i, j int) {
+	h.data[i], h.data[j] = h.data[j], h.data[i]
+	h.pos[h.data[i]] = i
+	h.pos[h.data[j]] = j
+}

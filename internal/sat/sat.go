@@ -1,0 +1,541 @@
+// Package sat implements a CDCL (conflict-driven clause learning)
+// boolean satisfiability solver in the MiniSat tradition: two-literal
+// watches, 1UIP conflict analysis, VSIDS branching with phase saving,
+// Luby restarts and learnt-clause database reduction.
+//
+// The smt package bit-blasts bitvector equivalence queries into CNF and
+// discharges them here; this pair of packages stands in for the Z3
+// solver the paper's Rewrite algorithm queries (SolverEquiv).
+package sat
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Lit is a literal: variable index shifted left once, low bit = negated.
+type Lit uint32
+
+// MkLit returns the literal for variable v (0-based), negated if neg.
+func MkLit(v int, neg bool) Lit {
+	l := Lit(v) << 1
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+// Not returns the complement of the literal.
+func (l Lit) Not() Lit { return l ^ 1 }
+
+// Var returns the literal's variable index.
+func (l Lit) Var() int { return int(l >> 1) }
+
+// Neg reports whether the literal is negated.
+func (l Lit) Neg() bool { return l&1 == 1 }
+
+// String renders the literal in DIMACS style (1-based, minus = negated).
+func (l Lit) String() string {
+	if l.Neg() {
+		return fmt.Sprintf("-%d", l.Var()+1)
+	}
+	return fmt.Sprintf("%d", l.Var()+1)
+}
+
+// Result is the outcome of a Solve call.
+type Result int
+
+// Solve outcomes.
+const (
+	Unknown Result = iota // conflict budget exhausted
+	Sat
+	Unsat
+)
+
+func (r Result) String() string {
+	switch r {
+	case Sat:
+		return "SAT"
+	case Unsat:
+		return "UNSAT"
+	}
+	return "UNKNOWN"
+}
+
+type lbool int8
+
+const (
+	lUndef lbool = 0
+	lTrue  lbool = 1
+	lFalse lbool = -1
+)
+
+type clause struct {
+	lits     []Lit
+	learnt   bool
+	activity float64
+}
+
+type watcher struct {
+	c       *clause
+	blocker Lit
+}
+
+// Solver holds the CDCL state. The zero value is not usable; call New.
+type Solver struct {
+	clauses []*clause // problem clauses
+	learnts []*clause // learnt clauses
+	watches [][]watcher
+
+	assigns  []lbool
+	level    []int32
+	reason   []*clause
+	activity []float64
+	polarity []bool // saved phase
+	seen     []bool
+
+	trail    []Lit
+	trailLim []int
+	qhead    int
+
+	order heap // variable order (activity max-heap)
+
+	varInc    float64
+	clauseInc float64
+
+	ok        bool // false after a top-level conflict
+	conflicts int64
+
+	// MaxConflicts bounds the search; <= 0 means no bound.
+	MaxConflicts int64
+}
+
+// New returns an empty solver.
+func New() *Solver {
+	return &Solver{varInc: 1, clauseInc: 1, ok: true}
+}
+
+// NewVar introduces a new variable and returns its index.
+func (s *Solver) NewVar() int {
+	v := len(s.assigns)
+	s.assigns = append(s.assigns, lUndef)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, nil)
+	s.activity = append(s.activity, 0)
+	s.polarity = append(s.polarity, true) // default phase: false (negated)
+	s.seen = append(s.seen, false)
+	s.watches = append(s.watches, nil, nil)
+	s.order.push(s, v)
+	return v
+}
+
+// NumVars returns the number of variables created so far.
+func (s *Solver) NumVars() int { return len(s.assigns) }
+
+// NumClauses returns the number of problem clauses retained.
+func (s *Solver) NumClauses() int { return len(s.clauses) }
+
+func (s *Solver) litValue(l Lit) lbool {
+	v := s.assigns[l.Var()]
+	if v == lUndef {
+		return lUndef
+	}
+	if l.Neg() {
+		return -v
+	}
+	return v
+}
+
+// AddClause adds a clause. It returns false if the formula is already
+// unsatisfiable at the top level.
+func (s *Solver) AddClause(lits ...Lit) bool {
+	if !s.ok {
+		return false
+	}
+	if s.decisionLevel() != 0 {
+		panic("sat: AddClause above decision level 0")
+	}
+	// Sort, dedupe, drop satisfied/false literals.
+	ls := append([]Lit(nil), lits...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	out := ls[:0]
+	var prev Lit = ^Lit(0)
+	for _, l := range ls {
+		if l.Var() >= len(s.assigns) {
+			panic(fmt.Sprintf("sat: clause references unknown variable %d", l.Var()))
+		}
+		switch {
+		case s.litValue(l) == lTrue || (prev != ^Lit(0) && l == prev.Not()):
+			return true // clause satisfied or tautological
+		case s.litValue(l) == lFalse || l == prev:
+			continue // drop falsified duplicate literal
+		}
+		out = append(out, l)
+		prev = l
+	}
+	switch len(out) {
+	case 0:
+		s.ok = false
+		return false
+	case 1:
+		s.uncheckedEnqueue(out[0], nil)
+		s.ok = s.propagate() == nil
+		return s.ok
+	}
+	c := &clause{lits: append([]Lit(nil), out...)}
+	s.clauses = append(s.clauses, c)
+	s.attach(c)
+	return true
+}
+
+func (s *Solver) attach(c *clause) {
+	l0, l1 := c.lits[0], c.lits[1]
+	s.watches[l0.Not()] = append(s.watches[l0.Not()], watcher{c, l1})
+	s.watches[l1.Not()] = append(s.watches[l1.Not()], watcher{c, l0})
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+func (s *Solver) uncheckedEnqueue(l Lit, from *clause) {
+	v := l.Var()
+	if l.Neg() {
+		s.assigns[v] = lFalse
+	} else {
+		s.assigns[v] = lTrue
+	}
+	s.level[v] = int32(s.decisionLevel())
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+}
+
+// propagate performs unit propagation; it returns a conflicting clause
+// or nil.
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		ws := s.watches[p]
+		kept := ws[:0]
+		var confl *clause
+		for i := 0; i < len(ws); i++ {
+			w := ws[i]
+			if confl != nil {
+				kept = append(kept, ws[i:]...)
+				break
+			}
+			if s.litValue(w.blocker) == lTrue {
+				kept = append(kept, w)
+				continue
+			}
+			c := w.c
+			// Ensure the false literal (p.Not()) is lits[1].
+			if c.lits[0] == p.Not() {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			first := c.lits[0]
+			if first != w.blocker && s.litValue(first) == lTrue {
+				kept = append(kept, watcher{c, first})
+				continue
+			}
+			// Look for a new literal to watch.
+			found := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.litValue(c.lits[k]) != lFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{c, first})
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+			// Clause is unit or conflicting.
+			kept = append(kept, watcher{c, first})
+			if s.litValue(first) == lFalse {
+				confl = c
+				s.qhead = len(s.trail)
+			} else {
+				s.uncheckedEnqueue(first, c)
+			}
+		}
+		s.watches[p] = kept
+		if confl != nil {
+			return confl
+		}
+	}
+	return nil
+}
+
+// analyze performs 1UIP conflict analysis and returns the learnt clause
+// (asserting literal first) and the backtrack level.
+func (s *Solver) analyze(confl *clause) ([]Lit, int) {
+	learnt := []Lit{0} // placeholder for the asserting literal
+	counter := 0
+	var p Lit = ^Lit(0)
+	idx := len(s.trail) - 1
+
+	for {
+		for _, q := range confl.lits {
+			if p != ^Lit(0) && q == p {
+				continue
+			}
+			v := q.Var()
+			if s.seen[v] || s.level[v] == 0 {
+				continue
+			}
+			s.seen[v] = true
+			s.bumpVar(v)
+			if int(s.level[v]) >= s.decisionLevel() {
+				counter++
+			} else {
+				learnt = append(learnt, q)
+			}
+		}
+		// Select next literal to expand from the trail.
+		for !s.seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		v := p.Var()
+		s.seen[v] = false
+		counter--
+		if counter == 0 {
+			break
+		}
+		confl = s.reason[v]
+	}
+	learnt[0] = p.Not()
+	toClear := append([]Lit(nil), learnt...)
+
+	// Clause minimisation: drop literals implied by the rest.
+	marked := make(map[int]bool, len(learnt))
+	for _, l := range learnt[1:] {
+		marked[l.Var()] = true
+	}
+	out := learnt[:1]
+	for _, l := range learnt[1:] {
+		if r := s.reason[l.Var()]; r != nil && s.subsumedByReason(r, l, marked) {
+			continue
+		}
+		out = append(out, l)
+	}
+	learnt = out
+
+	// Backtrack level: second-highest level in clause.
+	bt := 0
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].Var()] > s.level[learnt[maxI].Var()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		bt = int(s.level[learnt[1].Var()])
+	}
+	for _, l := range toClear {
+		s.seen[l.Var()] = false
+	}
+	return learnt, bt
+}
+
+// subsumedByReason reports whether every literal of l's reason clause
+// (other than l itself) is already in the learnt clause or at level 0.
+func (s *Solver) subsumedByReason(r *clause, l Lit, marked map[int]bool) bool {
+	for _, q := range r.lits {
+		if q.Var() == l.Var() {
+			continue
+		}
+		if s.level[q.Var()] != 0 && !marked[q.Var()] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Solver) backtrackTo(level int) {
+	if s.decisionLevel() <= level {
+		return
+	}
+	limit := s.trailLim[level]
+	for i := len(s.trail) - 1; i >= limit; i-- {
+		l := s.trail[i]
+		v := l.Var()
+		s.assigns[v] = lUndef
+		s.polarity[v] = l.Neg()
+		s.reason[v] = nil
+		if !s.order.inHeap(v) {
+			s.order.push(s, v)
+		}
+	}
+	s.trail = s.trail[:limit]
+	s.trailLim = s.trailLim[:level]
+	s.qhead = len(s.trail)
+}
+
+func (s *Solver) bumpVar(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.order.update(s, v)
+}
+
+func (s *Solver) bumpClause(c *clause) {
+	c.activity += s.clauseInc
+	if c.activity > 1e20 {
+		for _, lc := range s.learnts {
+			lc.activity *= 1e-20
+		}
+		s.clauseInc *= 1e-20
+	}
+}
+
+func (s *Solver) pickBranchLit() (Lit, bool) {
+	for s.order.size() > 0 {
+		v := s.order.pop(s)
+		if s.assigns[v] == lUndef {
+			return MkLit(v, s.polarity[v]), true
+		}
+	}
+	return 0, false
+}
+
+// luby returns the i-th element (1-based) of the Luby sequence.
+func luby(i int64) int64 {
+	for k := int64(1); ; k++ {
+		if i == (int64(1)<<k)-1 {
+			return int64(1) << (k - 1)
+		}
+		if i < (int64(1)<<k)-1 {
+			return luby(i - (int64(1) << (k - 1)) + 1)
+		}
+	}
+}
+
+// reduceDB removes the less active half of the learnt clauses
+// (keeping binary clauses and current reasons).
+func (s *Solver) reduceDB() {
+	sort.Slice(s.learnts, func(i, j int) bool {
+		return s.learnts[i].activity > s.learnts[j].activity
+	})
+	keepFrom := len(s.learnts) / 2
+	kept := s.learnts[:0]
+	locked := map[*clause]bool{}
+	for _, r := range s.reason {
+		if r != nil {
+			locked[r] = true
+		}
+	}
+	for i, c := range s.learnts {
+		if i < keepFrom || len(c.lits) == 2 || locked[c] {
+			kept = append(kept, c)
+		} else {
+			s.detach(c)
+		}
+	}
+	s.learnts = kept
+}
+
+func (s *Solver) detach(c *clause) {
+	for _, l := range c.lits[:2] {
+		ws := s.watches[l.Not()]
+		for i, w := range ws {
+			if w.c == c {
+				s.watches[l.Not()] = append(ws[:i], ws[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// Solve searches for a satisfying assignment under the given
+// assumptions. On Sat, Value reports the model.
+func (s *Solver) Solve(assumptions ...Lit) Result {
+	if !s.ok {
+		return Unsat
+	}
+	s.backtrackTo(0)
+	maxLearnts := len(s.clauses)/3 + 100
+	var restart int64 = 1
+	budget := luby(restart) * 100
+
+	for {
+		confl := s.propagate()
+		if confl != nil {
+			s.conflicts++
+			if s.decisionLevel() == 0 {
+				s.ok = false
+				return Unsat
+			}
+			learnt, bt := s.analyze(confl)
+			s.backtrackTo(bt)
+			if len(learnt) == 1 {
+				s.uncheckedEnqueue(learnt[0], nil)
+			} else {
+				c := &clause{lits: learnt, learnt: true}
+				s.learnts = append(s.learnts, c)
+				s.attach(c)
+				s.bumpClause(c)
+				s.uncheckedEnqueue(learnt[0], c)
+			}
+			s.varInc /= 0.95
+			s.clauseInc /= 0.999
+			if s.MaxConflicts > 0 && s.conflicts >= s.MaxConflicts {
+				s.backtrackTo(0)
+				return Unknown
+			}
+			budget--
+			continue
+		}
+		if budget <= 0 {
+			// Restart.
+			s.backtrackTo(0)
+			restart++
+			budget = luby(restart) * 100
+			continue
+		}
+		if len(s.learnts) > maxLearnts+len(s.trail) {
+			s.reduceDB()
+			maxLearnts += maxLearnts / 10
+		}
+		// Apply assumptions, then decide.
+		var next Lit
+		haveNext := false
+		for s.decisionLevel() < len(assumptions) {
+			a := assumptions[s.decisionLevel()]
+			switch s.litValue(a) {
+			case lTrue:
+				s.trailLim = append(s.trailLim, len(s.trail))
+			case lFalse:
+				s.backtrackTo(0)
+				return Unsat
+			default:
+				next, haveNext = a, true
+			}
+			if haveNext {
+				break
+			}
+		}
+		if !haveNext {
+			l, ok := s.pickBranchLit()
+			if !ok {
+				return Sat // all variables assigned
+			}
+			next = l
+		}
+		s.trailLim = append(s.trailLim, len(s.trail))
+		s.uncheckedEnqueue(next, nil)
+	}
+}
+
+// Value returns the model value of variable v after a Sat result.
+func (s *Solver) Value(v int) bool { return s.assigns[v] == lTrue }
+
+// Conflicts returns the total number of conflicts encountered.
+func (s *Solver) Conflicts() int64 { return s.conflicts }

@@ -1,0 +1,318 @@
+package sat
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func lit(v int) Lit  { return MkLit(v, false) }
+func nlit(v int) Lit { return MkLit(v, true) }
+
+func TestLitEncoding(t *testing.T) {
+	l := MkLit(5, false)
+	if l.Var() != 5 || l.Neg() {
+		t.Fatalf("MkLit(5,false): var=%d neg=%v", l.Var(), l.Neg())
+	}
+	n := l.Not()
+	if n.Var() != 5 || !n.Neg() {
+		t.Fatalf("Not: var=%d neg=%v", n.Var(), n.Neg())
+	}
+	if n.Not() != l {
+		t.Fatal("double negation is not identity")
+	}
+	if l.String() != "6" || n.String() != "-6" {
+		t.Fatalf("String: %s / %s", l, n)
+	}
+}
+
+func TestTrivialSat(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	b := s.NewVar()
+	s.AddClause(lit(a), lit(b))
+	s.AddClause(nlit(a))
+	if r := s.Solve(); r != Sat {
+		t.Fatalf("Solve = %v, want SAT", r)
+	}
+	if s.Value(a) {
+		t.Error("a should be false")
+	}
+	if !s.Value(b) {
+		t.Error("b should be true")
+	}
+}
+
+func TestTrivialUnsat(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	s.AddClause(lit(a))
+	if ok := s.AddClause(nlit(a)); ok {
+		t.Fatal("AddClause of contradicting unit should return false")
+	}
+	if r := s.Solve(); r != Unsat {
+		t.Fatalf("Solve = %v, want UNSAT", r)
+	}
+}
+
+func TestEmptyClauseUnsat(t *testing.T) {
+	s := New()
+	if ok := s.AddClause(); ok {
+		t.Fatal("empty clause should make formula unsat")
+	}
+	if r := s.Solve(); r != Unsat {
+		t.Fatalf("Solve = %v, want UNSAT", r)
+	}
+}
+
+func TestTautologyIgnored(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	s.AddClause(lit(a), nlit(a))
+	if r := s.Solve(); r != Sat {
+		t.Fatalf("Solve = %v, want SAT", r)
+	}
+}
+
+func TestXorChainSat(t *testing.T) {
+	// x0 xor x1 = 1, x1 xor x2 = 1, ..., satisfiable for any chain.
+	s := New()
+	n := 20
+	vs := make([]int, n)
+	for i := range vs {
+		vs[i] = s.NewVar()
+	}
+	for i := 0; i+1 < n; i++ {
+		a, b := vs[i], vs[i+1]
+		s.AddClause(lit(a), lit(b))
+		s.AddClause(nlit(a), nlit(b))
+	}
+	if r := s.Solve(); r != Sat {
+		t.Fatalf("Solve = %v, want SAT", r)
+	}
+	for i := 0; i+1 < n; i++ {
+		if s.Value(vs[i]) == s.Value(vs[i+1]) {
+			t.Fatalf("xor constraint violated at %d", i)
+		}
+	}
+}
+
+// pigeonhole encodes n+1 pigeons into n holes (UNSAT).
+func pigeonhole(n int) *Solver {
+	s := New()
+	v := make([][]int, n+1)
+	for p := 0; p <= n; p++ {
+		v[p] = make([]int, n)
+		for h := 0; h < n; h++ {
+			v[p][h] = s.NewVar()
+		}
+	}
+	for p := 0; p <= n; p++ {
+		cl := make([]Lit, n)
+		for h := 0; h < n; h++ {
+			cl[h] = lit(v[p][h])
+		}
+		s.AddClause(cl...)
+	}
+	for h := 0; h < n; h++ {
+		for p1 := 0; p1 <= n; p1++ {
+			for p2 := p1 + 1; p2 <= n; p2++ {
+				s.AddClause(nlit(v[p1][h]), nlit(v[p2][h]))
+			}
+		}
+	}
+	return s
+}
+
+func TestPigeonholeUnsat(t *testing.T) {
+	for n := 2; n <= 6; n++ {
+		s := pigeonhole(n)
+		if r := s.Solve(); r != Unsat {
+			t.Fatalf("PHP(%d) = %v, want UNSAT", n, r)
+		}
+	}
+}
+
+func TestAssumptions(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	b := s.NewVar()
+	s.AddClause(lit(a), lit(b))
+	if r := s.Solve(nlit(a), nlit(b)); r != Unsat {
+		t.Fatalf("Solve under contradicting assumptions = %v, want UNSAT", r)
+	}
+	// Solver must remain usable after assumption failure.
+	if r := s.Solve(nlit(a)); r != Sat {
+		t.Fatalf("Solve = %v, want SAT", r)
+	}
+	if !s.Value(b) {
+		t.Error("b must be true when a assumed false")
+	}
+	if r := s.Solve(); r != Sat {
+		t.Fatalf("unconstrained Solve = %v, want SAT", r)
+	}
+}
+
+// bruteForce checks satisfiability of small CNFs by enumeration.
+func bruteForce(nVars int, clauses [][]Lit) bool {
+	for m := 0; m < 1<<nVars; m++ {
+		ok := true
+		for _, c := range clauses {
+			sat := false
+			for _, l := range c {
+				bit := m>>(l.Var())&1 == 1
+				if bit != l.Neg() {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func TestRandom3SATMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 400; iter++ {
+		nVars := 4 + rng.Intn(9) // 4..12
+		nClauses := 1 + rng.Intn(nVars*5)
+		clauses := make([][]Lit, nClauses)
+		for i := range clauses {
+			k := 1 + rng.Intn(3)
+			c := make([]Lit, k)
+			for j := range c {
+				c[j] = MkLit(rng.Intn(nVars), rng.Intn(2) == 0)
+			}
+			clauses[i] = c
+		}
+		s := New()
+		for v := 0; v < nVars; v++ {
+			s.NewVar()
+		}
+		for _, c := range clauses {
+			s.AddClause(c...)
+		}
+		got := s.Solve()
+		want := bruteForce(nVars, clauses)
+		if (got == Sat) != want {
+			t.Fatalf("iter %d: solver=%v bruteforce=%v (n=%d m=%d)", iter, got, want, nVars, nClauses)
+		}
+		if got == Sat {
+			// Verify the model satisfies every clause.
+			for ci, c := range clauses {
+				ok := false
+				for _, l := range c {
+					if s.Value(l.Var()) != l.Neg() {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					t.Fatalf("iter %d: model violates clause %d", iter, ci)
+				}
+			}
+		}
+	}
+}
+
+func TestConflictBudget(t *testing.T) {
+	s := pigeonhole(8)
+	s.MaxConflicts = 10
+	if r := s.Solve(); r != Unknown {
+		// PHP(8) needs far more than 10 conflicts for a resolution proof.
+		t.Fatalf("Solve with tiny budget = %v, want UNKNOWN", r)
+	}
+}
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	s := New()
+	a, b, c := s.NewVar(), s.NewVar(), s.NewVar()
+	s.AddClause(lit(a), nlit(b))
+	s.AddClause(lit(b), lit(c))
+	var sb strings.Builder
+	if err := s.WriteDIMACS(&sb); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ParseDIMACS(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.NumVars() != 3 || s2.NumClauses() != 2 {
+		t.Fatalf("round trip: vars=%d clauses=%d", s2.NumVars(), s2.NumClauses())
+	}
+	if r := s2.Solve(); r != Sat {
+		t.Fatalf("parsed formula = %v, want SAT", r)
+	}
+}
+
+func TestParseDIMACSErrors(t *testing.T) {
+	for _, bad := range []string{
+		"p cnf x 2\n1 0\n",
+		"p dnf 2 1\n1 0\n",
+		"p cnf 1 1\n2 0\n",
+		"1 0\n", // literal before problem line
+	} {
+		if _, err := ParseDIMACS(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseDIMACS(%q): expected error", bad)
+		}
+	}
+}
+
+func TestLuby(t *testing.T) {
+	want := []int64{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8}
+	for i, w := range want {
+		if got := luby(int64(i + 1)); got != w {
+			t.Errorf("luby(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+}
+
+func BenchmarkPigeonhole7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := pigeonhole(7)
+		if r := s.Solve(); r != Unsat {
+			b.Fatalf("PHP(7) = %v", r)
+		}
+	}
+}
+
+// TestLargeRandomInstanceExercisesReduceDB runs a larger satisfiable
+// instance to exercise restarts and learnt-clause database reduction.
+func TestLargeRandomInstanceExercisesReduceDB(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := New()
+	const nVars = 200
+	for v := 0; v < nVars; v++ {
+		s.NewVar()
+	}
+	// Planted solution: variable v is true iff v is even.
+	planted := func(v int) bool { return v%2 == 0 }
+	for c := 0; c < 850; c++ {
+		var lits []Lit
+		sat := false
+		for k := 0; k < 3; k++ {
+			v := rng.Intn(nVars)
+			neg := rng.Intn(2) == 0
+			if planted(v) != neg {
+				sat = true
+			}
+			lits = append(lits, MkLit(v, neg))
+		}
+		if !sat {
+			// Flip one literal to keep the planted model valid.
+			v := lits[0].Var()
+			lits[0] = MkLit(v, !planted(v))
+		}
+		s.AddClause(lits...)
+	}
+	if r := s.Solve(); r != Sat {
+		t.Fatalf("planted instance = %v, want SAT", r)
+	}
+}

@@ -1,0 +1,444 @@
+// Package smt decides equivalence and satisfiability of bitvec
+// expressions by bit-blasting them into CNF and solving with the
+// internal CDCL SAT solver. It stands in for the Z3 queries that Code
+// Phage's Rewrite algorithm issues (SolverEquiv, Figure 7) and for the
+// overflow-freedom checks of the patch validation phase.
+package smt
+
+import (
+	"fmt"
+
+	"codephage/internal/bitvec"
+	"codephage/internal/sat"
+)
+
+// blaster converts expressions into vectors of SAT literals (LSB
+// first) over a shared solver instance.
+type blaster struct {
+	s      *sat.Solver
+	tru    sat.Lit
+	fields map[string][]sat.Lit // field name -> bit literals
+	memo   map[string][]sat.Lit // expression key -> bit literals
+}
+
+func newBlaster(s *sat.Solver) *blaster {
+	b := &blaster{
+		s:      s,
+		fields: map[string][]sat.Lit{},
+		memo:   map[string][]sat.Lit{},
+	}
+	t := s.NewVar()
+	b.tru = sat.MkLit(t, false)
+	s.AddClause(b.tru)
+	return b
+}
+
+func (b *blaster) fls() sat.Lit { return b.tru.Not() }
+
+func (b *blaster) lit(v bool) sat.Lit {
+	if v {
+		return b.tru
+	}
+	return b.fls()
+}
+
+func (b *blaster) fresh() sat.Lit { return sat.MkLit(b.s.NewVar(), false) }
+
+// gate helpers: each returns a literal constrained to the function value.
+
+func (b *blaster) and2(x, y sat.Lit) sat.Lit {
+	switch {
+	case x == b.fls() || y == b.fls():
+		return b.fls()
+	case x == b.tru:
+		return y
+	case y == b.tru:
+		return x
+	case x == y:
+		return x
+	case x == y.Not():
+		return b.fls()
+	}
+	v := b.fresh()
+	b.s.AddClause(v.Not(), x)
+	b.s.AddClause(v.Not(), y)
+	b.s.AddClause(v, x.Not(), y.Not())
+	return v
+}
+
+func (b *blaster) or2(x, y sat.Lit) sat.Lit {
+	return b.and2(x.Not(), y.Not()).Not()
+}
+
+func (b *blaster) xor2(x, y sat.Lit) sat.Lit {
+	switch {
+	case x == b.fls():
+		return y
+	case y == b.fls():
+		return x
+	case x == b.tru:
+		return y.Not()
+	case y == b.tru:
+		return x.Not()
+	case x == y:
+		return b.fls()
+	case x == y.Not():
+		return b.tru
+	}
+	v := b.fresh()
+	b.s.AddClause(v.Not(), x, y)
+	b.s.AddClause(v.Not(), x.Not(), y.Not())
+	b.s.AddClause(v, x.Not(), y)
+	b.s.AddClause(v, x, y.Not())
+	return v
+}
+
+// mux returns sel ? t : e.
+func (b *blaster) mux(sel, t, e sat.Lit) sat.Lit {
+	switch {
+	case sel == b.tru:
+		return t
+	case sel == b.fls():
+		return e
+	case t == e:
+		return t
+	}
+	v := b.fresh()
+	b.s.AddClause(v.Not(), sel.Not(), t)
+	b.s.AddClause(v.Not(), sel, e)
+	b.s.AddClause(v, sel.Not(), t.Not())
+	b.s.AddClause(v, sel, e.Not())
+	return v
+}
+
+// fullAdder returns (sum, carry) of x + y + cin.
+func (b *blaster) fullAdder(x, y, cin sat.Lit) (sum, cout sat.Lit) {
+	sum = b.xor2(b.xor2(x, y), cin)
+	cout = b.or2(b.and2(x, y), b.and2(cin, b.xor2(x, y)))
+	return sum, cout
+}
+
+// add returns x + y (+1 if cin) modulo 2^w.
+func (b *blaster) add(x, y []sat.Lit, cin sat.Lit) []sat.Lit {
+	out := make([]sat.Lit, len(x))
+	c := cin
+	for i := range x {
+		out[i], c = b.fullAdder(x[i], y[i], c)
+	}
+	return out
+}
+
+func (b *blaster) notBits(x []sat.Lit) []sat.Lit {
+	out := make([]sat.Lit, len(x))
+	for i, l := range x {
+		out[i] = l.Not()
+	}
+	return out
+}
+
+func (b *blaster) sub(x, y []sat.Lit) []sat.Lit {
+	return b.add(x, b.notBits(y), b.tru)
+}
+
+func (b *blaster) neg(x []sat.Lit) []sat.Lit {
+	zero := b.constBits(uint64(0), uint8(len(x)))
+	return b.sub(zero, x)
+}
+
+func (b *blaster) constBits(v uint64, w uint8) []sat.Lit {
+	out := make([]sat.Lit, w)
+	for i := range out {
+		out[i] = b.lit(v>>uint(i)&1 == 1)
+	}
+	return out
+}
+
+// shiftConst shifts x left (k > 0) or right (k < 0) filling with fill.
+func shiftConst(x []sat.Lit, k int, fill sat.Lit) []sat.Lit {
+	w := len(x)
+	out := make([]sat.Lit, w)
+	for i := range out {
+		src := i - k
+		if src >= 0 && src < w {
+			out[i] = x[src]
+		} else {
+			out[i] = fill
+		}
+	}
+	return out
+}
+
+// barrel performs a variable shift. dir > 0 is left, dir < 0 is right.
+// fill supplies the inserted bit (sign bit literal for AShr).
+func (b *blaster) barrel(x, amt []sat.Lit, dir int, fill sat.Lit) []sat.Lit {
+	w := len(x)
+	out := x
+	// Stages for shift amount bits that keep the shift < w.
+	for k := 0; k < len(amt) && (1<<k) < 2*w; k++ {
+		sh := 1 << k
+		if sh >= w {
+			// Shifting by >= w: entire result becomes fill if this bit set.
+			allFill := make([]sat.Lit, w)
+			for i := range allFill {
+				allFill[i] = fill
+			}
+			out = b.muxBits(amt[k], allFill, out)
+			continue
+		}
+		shifted := shiftConst(out, dir*sh, fill)
+		out = b.muxBits(amt[k], shifted, out)
+	}
+	// Any higher amount bit set -> full fill.
+	var big sat.Lit = b.fls()
+	for k := 0; k < len(amt); k++ {
+		if 1<<k >= 2*w {
+			big = b.or2(big, amt[k])
+		}
+	}
+	if big != b.fls() {
+		allFill := make([]sat.Lit, w)
+		for i := range allFill {
+			allFill[i] = fill
+		}
+		out = b.muxBits(big, allFill, out)
+	}
+	return out
+}
+
+func (b *blaster) muxBits(sel sat.Lit, t, e []sat.Lit) []sat.Lit {
+	out := make([]sat.Lit, len(t))
+	for i := range t {
+		out[i] = b.mux(sel, t[i], e[i])
+	}
+	return out
+}
+
+func (b *blaster) mulBits(x, y []sat.Lit) []sat.Lit {
+	w := len(x)
+	acc := b.constBits(0, uint8(w))
+	for i := 0; i < w; i++ {
+		addend := make([]sat.Lit, w)
+		for j := range addend {
+			if j < i {
+				addend[j] = b.fls()
+			} else {
+				addend[j] = b.and2(x[j-i], y[i])
+			}
+		}
+		acc = b.add(acc, addend, b.fls())
+	}
+	return acc
+}
+
+// ult returns the borrow-out comparison x < y (unsigned).
+func (b *blaster) ult(x, y []sat.Lit) sat.Lit {
+	lt := b.fls()
+	for i := 0; i < len(x); i++ {
+		eq := b.xor2(x[i], y[i]).Not()
+		lti := b.and2(x[i].Not(), y[i])
+		lt = b.or2(lti, b.and2(eq, lt))
+	}
+	return lt
+}
+
+func (b *blaster) eqBits(x, y []sat.Lit) sat.Lit {
+	acc := b.tru
+	for i := range x {
+		acc = b.and2(acc, b.xor2(x[i], y[i]).Not())
+	}
+	return acc
+}
+
+// isZero returns 1 iff all bits of x are 0.
+func (b *blaster) isZero(x []sat.Lit) sat.Lit {
+	any := b.fls()
+	for _, l := range x {
+		any = b.or2(any, l)
+	}
+	return any.Not()
+}
+
+// udivrem builds the restoring-division circuit, returning quotient and
+// remainder of x / y for y != 0 (callers mux the y == 0 case).
+func (b *blaster) udivrem(x, y []sat.Lit) (q, r []sat.Lit) {
+	w := len(x)
+	q = make([]sat.Lit, w)
+	r = b.constBits(0, uint8(w))
+	for i := w - 1; i >= 0; i-- {
+		// r = (r << 1) | x[i]
+		r = shiftConst(r, 1, b.fls())
+		r[0] = x[i]
+		// if r >= y { r -= y; q[i] = 1 }
+		ge := b.ult(r, y).Not()
+		diff := b.sub(r, y)
+		r = b.muxBits(ge, diff, r)
+		q[i] = ge
+	}
+	return q, r
+}
+
+// abs returns |x| interpreting x as signed, plus the sign bit.
+func (b *blaster) abs(x []sat.Lit) ([]sat.Lit, sat.Lit) {
+	sign := x[len(x)-1]
+	return b.muxBits(sign, b.neg(x), x), sign
+}
+
+// bits blasts an expression into literals, memoized by structural key.
+func (b *blaster) bits(e *bitvec.Expr) []sat.Lit {
+	key := e.Key()
+	if v, ok := b.memo[key]; ok {
+		return v
+	}
+	v := b.blast(e)
+	if len(v) != int(e.W) {
+		panic(fmt.Sprintf("smt: blast width mismatch for %s: got %d want %d", e, len(v), e.W))
+	}
+	b.memo[key] = v
+	return v
+}
+
+func (b *blaster) fieldBits(name string, w uint8) []sat.Lit {
+	if v, ok := b.fields[name]; ok {
+		if len(v) != int(w) {
+			panic(fmt.Sprintf("smt: field %q used at widths %d and %d", name, len(v), w))
+		}
+		return v
+	}
+	v := make([]sat.Lit, w)
+	for i := range v {
+		v[i] = b.fresh()
+	}
+	b.fields[name] = v
+	return v
+}
+
+func (b *blaster) blast(e *bitvec.Expr) []sat.Lit {
+	switch e.Op {
+	case bitvec.OpConst:
+		return b.constBits(e.Val, e.W)
+	case bitvec.OpField:
+		return b.fieldBits(e.Name, e.W)
+	case bitvec.OpRef:
+		return b.fieldBits("ref:"+e.Name, e.W)
+	}
+
+	x := b.bits(e.X)
+	switch e.Op {
+	case bitvec.OpNot:
+		return b.notBits(x)
+	case bitvec.OpNeg:
+		return b.neg(x)
+	case bitvec.OpZExt:
+		out := make([]sat.Lit, e.W)
+		for i := range out {
+			if i < len(x) {
+				out[i] = x[i]
+			} else {
+				out[i] = b.fls()
+			}
+		}
+		return out
+	case bitvec.OpSExt:
+		out := make([]sat.Lit, e.W)
+		sign := x[len(x)-1]
+		for i := range out {
+			if i < len(x) {
+				out[i] = x[i]
+			} else {
+				out[i] = sign
+			}
+		}
+		return out
+	case bitvec.OpBool:
+		return []sat.Lit{b.isZero(x).Not()}
+	case bitvec.OpLNot:
+		return []sat.Lit{b.isZero(x)}
+	case bitvec.OpExtr:
+		out := make([]sat.Lit, e.W)
+		copy(out, x[e.Lo:e.Hi+1])
+		return out
+	}
+
+	y := b.bits(e.Y)
+	switch e.Op {
+	case bitvec.OpAdd:
+		return b.add(x, y, b.fls())
+	case bitvec.OpSub:
+		return b.sub(x, y)
+	case bitvec.OpMul:
+		return b.mulBits(x, y)
+	case bitvec.OpAnd:
+		out := make([]sat.Lit, e.W)
+		for i := range out {
+			out[i] = b.and2(x[i], y[i])
+		}
+		return out
+	case bitvec.OpOr:
+		out := make([]sat.Lit, e.W)
+		for i := range out {
+			out[i] = b.or2(x[i], y[i])
+		}
+		return out
+	case bitvec.OpXor:
+		out := make([]sat.Lit, e.W)
+		for i := range out {
+			out[i] = b.xor2(x[i], y[i])
+		}
+		return out
+	case bitvec.OpShl:
+		return b.barrel(x, y, 1, b.fls())
+	case bitvec.OpLShr:
+		return b.barrel(x, y, -1, b.fls())
+	case bitvec.OpAShr:
+		return b.barrel(x, y, -1, x[len(x)-1])
+	case bitvec.OpConcat:
+		out := make([]sat.Lit, e.W)
+		copy(out, y)
+		copy(out[len(y):], x)
+		return out
+	case bitvec.OpUDiv, bitvec.OpURem:
+		q, r := b.udivrem(x, y)
+		res := q
+		if e.Op == bitvec.OpURem {
+			res = r
+		}
+		// Division by zero yields the dividend (bitvec.Eval semantics).
+		return b.muxBits(b.isZero(y), x, res)
+	case bitvec.OpSDiv, bitvec.OpSRem:
+		ax, sx := b.abs(x)
+		ay, sy := b.abs(y)
+		q, r := b.udivrem(ax, ay)
+		qn := b.muxBits(b.xor2(sx, sy), b.neg(q), q)
+		rn := b.muxBits(sx, b.neg(r), r)
+		res := qn
+		if e.Op == bitvec.OpSRem {
+			res = rn
+		}
+		return b.muxBits(b.isZero(y), x, res)
+	case bitvec.OpEq:
+		return []sat.Lit{b.eqBits(x, y)}
+	case bitvec.OpNe:
+		return []sat.Lit{b.eqBits(x, y).Not()}
+	case bitvec.OpUlt:
+		return []sat.Lit{b.ult(x, y)}
+	case bitvec.OpUle:
+		return []sat.Lit{b.ult(y, x).Not()}
+	case bitvec.OpSlt:
+		return []sat.Lit{b.slt(x, y)}
+	case bitvec.OpSle:
+		return []sat.Lit{b.slt(y, x).Not()}
+	case bitvec.OpIte:
+		z := b.bits(e.Y2)
+		return b.muxBits(x[0], y, z)
+	}
+	panic("smt: blast: unsupported op " + e.Op.Name())
+}
+
+// slt compares signed: flip sign bits and compare unsigned.
+func (b *blaster) slt(x, y []sat.Lit) sat.Lit {
+	xs := append([]sat.Lit{}, x...)
+	ys := append([]sat.Lit{}, y...)
+	xs[len(xs)-1] = xs[len(xs)-1].Not()
+	ys[len(ys)-1] = ys[len(ys)-1].Not()
+	return b.ult(xs, ys)
+}

@@ -1,0 +1,157 @@
+package smt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"codephage/internal/bitvec"
+	"codephage/internal/sat"
+)
+
+// solveValue constrains a single-field expression to a concrete model
+// and reads the field back — exercising the full blast-solve-extract
+// loop for one circuit.
+func solveField(t *testing.T, e *bitvec.Expr, want uint64) {
+	t.Helper()
+	s := New()
+	s.RandomProbes = 1 // force the SAT path more often
+	ok, m, err := s.Sat(bitvec.Eq(e, bitvec.Const(e.W, want)))
+	if err != nil {
+		t.Fatalf("Sat: %v", err)
+	}
+	if !ok {
+		t.Fatalf("no model for %s == %d", e, want)
+	}
+	env := bitvec.MapEnv{Fields: map[string]uint64(m)}
+	got, err := bitvec.Eval(e, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("model evaluates %s to %d, want %d", e, got, want)
+	}
+}
+
+func TestBlastAdderCircuit(t *testing.T) {
+	x := bitvec.Field("x", 8, 0)
+	solveField(t, bitvec.Add(x, bitvec.Const(8, 13)), 200)
+}
+
+func TestBlastMultiplierCircuit(t *testing.T) {
+	x := bitvec.Field("x", 8, 0)
+	solveField(t, bitvec.Mul(x, bitvec.Const(8, 3)), 96) // x = 32
+}
+
+func TestBlastDividerCircuit(t *testing.T) {
+	x := bitvec.Field("x", 8, 0)
+	solveField(t, bitvec.UDiv(x, bitvec.Const(8, 7)), 10) // x in [70,76]
+}
+
+func TestBlastBarrelShifter(t *testing.T) {
+	x := bitvec.Field("x", 16, 0)
+	sh := bitvec.Field("s", 16, 2)
+	solveField(t, bitvec.Shl(x, sh), 0x0800)
+}
+
+// blastEval pushes a constant expression through the bit-blaster and
+// a SAT solve, returning the modelled value of a fresh variable
+// constrained to equal it — a direct circuit evaluation.
+func blastEval(t *testing.T, e *bitvec.Expr) uint64 {
+	t.Helper()
+	solver := sat.New()
+	b := newBlaster(solver)
+	bits := b.bits(e)
+	if r := solver.Solve(); r != sat.Sat {
+		t.Fatalf("constant circuit unsatisfiable: %v", r)
+	}
+	var v uint64
+	for i, l := range bits {
+		if solver.Value(l.Var()) != l.Neg() {
+			v |= uint64(1) << uint(i)
+		}
+	}
+	return v
+}
+
+// TestBlastAgainstEval cross-validates the Tseitin circuits against
+// the direct evaluator on random constant expressions of every op.
+func TestBlastAgainstEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	mk := func(w uint8) *bitvec.Expr { return bitvec.Const(w, rng.Uint64()) }
+	for iter := 0; iter < 300; iter++ {
+		w := []uint8{4, 8, 13, 16, 32}[rng.Intn(5)]
+		x, y := mk(w), mk(w)
+		exprs := []*bitvec.Expr{
+			bitvec.Add(x, y), bitvec.Sub(x, y), bitvec.Mul(x, y),
+			bitvec.UDiv(x, y), bitvec.URem(x, y),
+			bitvec.SDiv(x, y), bitvec.SRem(x, y),
+			bitvec.And(x, y), bitvec.Or(x, y), bitvec.Xor(x, y),
+			bitvec.Shl(x, y), bitvec.LShr(x, y), bitvec.AShr(x, y),
+			bitvec.Not(x), bitvec.Neg(x),
+			bitvec.ZExt(64, x), bitvec.SExt(64, x),
+			bitvec.ZExt(8, bitvec.Ult(x, y)), bitvec.ZExt(8, bitvec.Slt(x, y)),
+			bitvec.ZExt(8, bitvec.Ule(x, y)), bitvec.ZExt(8, bitvec.Sle(x, y)),
+			bitvec.ZExt(8, bitvec.Eq(x, y)), bitvec.ZExt(8, bitvec.Ne(x, y)),
+			bitvec.Ite(bitvec.Ult(x, y), x, y),
+		}
+		e := exprs[rng.Intn(len(exprs))]
+		want, err := bitvec.Eval(e, bitvec.MapEnv{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := blastEval(t, e); got != want {
+			t.Fatalf("iter %d: circuit %s = %d, want %d", iter, e, got, want)
+		}
+	}
+}
+
+// TestQuickEquivReflexive: every expression is equivalent to itself
+// regardless of solver configuration.
+func TestQuickEquivReflexive(t *testing.T) {
+	prop := func(c uint32, k uint8) bool {
+		f := bitvec.Field("f", 32, 0)
+		e := bitvec.Add(bitvec.Mul(f, bitvec.Const(32, uint64(c))), bitvec.Const(32, uint64(k)))
+		s := New()
+		ok, err := s.Equiv(e, e)
+		return err == nil && ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFieldWidthConflictPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on conflicting field widths")
+		}
+	}()
+	fieldWidths(bitvec.Add(
+		bitvec.ZExt(32, bitvec.Field("f", 16, 0)),
+		bitvec.Field("f", 32, 0)))
+}
+
+func TestStatsAccounting(t *testing.T) {
+	s := New()
+	x := bitvec.Field("x", 8, 0)
+	y := bitvec.Field("y", 8, 1)
+	// syntactic
+	if ok, _ := s.Equiv(x, x); !ok {
+		t.Fatal("x != x")
+	}
+	// prefiltered
+	if ok, _ := s.Equiv(x, y); ok {
+		t.Fatal("x == y?")
+	}
+	// refuted
+	if ok, _ := s.Equiv(x, bitvec.Add(x, bitvec.Const(8, 1))); ok {
+		t.Fatal("x == x+1?")
+	}
+	if s.Stats.Syntactic != 1 || s.Stats.Prefiltered != 1 || s.Stats.Refuted != 1 {
+		t.Errorf("stats = %+v", s.Stats)
+	}
+	if s.Stats.Queries != 3 {
+		t.Errorf("queries = %d, want 3", s.Stats.Queries)
+	}
+}

@@ -1,0 +1,323 @@
+package smt
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"codephage/internal/bitvec"
+	"codephage/internal/sat"
+)
+
+// ErrBudget is returned when the SAT search exhausts its conflict
+// budget before reaching a verdict.
+var ErrBudget = errors.New("smt: conflict budget exhausted")
+
+// Stats counts solver activity, exposed for the paper's translation
+// time discussion (the cache and the input-byte prefilter together give
+// an order-of-magnitude reduction in translation times).
+type Stats struct {
+	Queries     int           // total Equiv calls
+	CacheHits   int           // answered from the query cache
+	Prefiltered int           // rejected by the input-byte disjointness filter
+	Refuted     int           // refuted by random probing
+	Syntactic   int           // proven by simplification to identical trees
+	SATCalls    int           // full bit-blast + SAT proofs
+	SATTime     time.Duration // time spent inside the SAT solver
+}
+
+// Solver answers equivalence and satisfiability queries about bitvec
+// expressions. It is not safe for concurrent use.
+type Solver struct {
+	// MaxConflicts bounds each SAT call (0 = default of 200000).
+	MaxConflicts int64
+	// RandomProbes is the number of random refutation samples
+	// attempted before bit-blasting (0 = default of 32).
+	RandomProbes int
+	// DisableCache turns off the query cache (ablation D2).
+	DisableCache bool
+	// DisablePrefilter turns off the input-byte disjointness filter
+	// (ablation D2).
+	DisablePrefilter bool
+
+	Stats Stats
+
+	cache map[string]bool
+	rng   *rand.Rand
+}
+
+// New returns a Solver with default budgets.
+func New() *Solver {
+	return &Solver{
+		cache: map[string]bool{},
+		rng:   rand.New(rand.NewSource(0x517bcf)),
+	}
+}
+
+func (s *Solver) maxConflicts() int64 {
+	if s.MaxConflicts > 0 {
+		return s.MaxConflicts
+	}
+	return 200000
+}
+
+func (s *Solver) probes() int {
+	if s.RandomProbes > 0 {
+		return s.RandomProbes
+	}
+	return 32
+}
+
+// Equiv reports whether a and b evaluate identically for every
+// assignment of their input fields (SolverEquiv of Figure 7).
+// Expressions of different widths are never equivalent.
+func (s *Solver) Equiv(a, b *bitvec.Expr) (bool, error) {
+	s.Stats.Queries++
+	if a.W != b.W {
+		return false, nil
+	}
+
+	// Optimisation 1 (paper §3.3): expressions over different sets of
+	// input bytes are not considered equivalent; skip the solver.
+	if !s.DisablePrefilter && !sameInts(a.ByteDeps(), b.ByteDeps()) {
+		s.Stats.Prefiltered++
+		return false, nil
+	}
+
+	// Optimisation 2 (paper §3.3): cache all solver queries.
+	var key string
+	if !s.DisableCache {
+		ka, kb := a.Key(), b.Key()
+		if ka > kb {
+			ka, kb = kb, ka
+		}
+		key = ka + "|" + kb
+		if v, ok := s.cache[key]; ok {
+			s.Stats.CacheHits++
+			return v, nil
+		}
+	}
+
+	res, err := s.equivUncached(a, b)
+	if err != nil {
+		return false, err
+	}
+	if !s.DisableCache {
+		s.cache[key] = res
+	}
+	return res, nil
+}
+
+func (s *Solver) equivUncached(a, b *bitvec.Expr) (bool, error) {
+	sa, sb := bitvec.Simplify(a), bitvec.Simplify(b)
+	if bitvec.Equal(sa, sb) {
+		s.Stats.Syntactic++
+		return true, nil
+	}
+
+	// Cheap sound refutation: random concrete probes.
+	fields := fieldWidths(sa, sb)
+	for i := 0; i < s.probes(); i++ {
+		env := s.randomEnv(fields, i)
+		va, errA := bitvec.Eval(sa, env)
+		vb, errB := bitvec.Eval(sb, env)
+		if errA != nil || errB != nil {
+			break // Ref leaves have no valuation; fall through to SAT
+		}
+		if va != vb {
+			s.Stats.Refuted++
+			return false, nil
+		}
+	}
+
+	// Full proof: SAT(a != b) must be unsatisfiable.
+	s.Stats.SATCalls++
+	start := time.Now()
+	defer func() { s.Stats.SATTime += time.Since(start) }()
+
+	solver := sat.New()
+	solver.MaxConflicts = s.maxConflicts()
+	bl := newBlaster(solver)
+	ne := bl.bits(bitvec.Ne(sa, sb))
+	solver.AddClause(ne[0])
+	switch solver.Solve() {
+	case sat.Unsat:
+		return true, nil
+	case sat.Sat:
+		return false, nil
+	}
+	return false, ErrBudget
+}
+
+// Model is a satisfying assignment of input fields.
+type Model map[string]uint64
+
+// Sat reports whether cond (any width; satisfied when nonzero) has a
+// satisfying assignment, and returns one if so.
+func (s *Solver) Sat(cond *bitvec.Expr) (bool, Model, error) {
+	sc := bitvec.Simplify(cond)
+	if sc.Op == bitvec.OpConst {
+		if sc.Val != 0 {
+			return true, Model{}, nil
+		}
+		return false, nil, nil
+	}
+	// Cheap model search first: corner values and random probes. Any
+	// hit is verified by concrete evaluation, so this is sound.
+	if m, ok := s.probeModel(sc); ok {
+		return true, m, nil
+	}
+	solver := sat.New()
+	solver.MaxConflicts = s.maxConflicts()
+	bl := newBlaster(solver)
+	bits := bl.bits(bitvec.BoolOf(sc))
+	solver.AddClause(bits[0])
+	start := time.Now()
+	r := solver.Solve()
+	s.Stats.SATTime += time.Since(start)
+	s.Stats.SATCalls++
+	switch r {
+	case sat.Unsat:
+		return false, nil, nil
+	case sat.Unknown:
+		return false, nil, ErrBudget
+	}
+	m := Model{}
+	for name, lits := range bl.fields {
+		var v uint64
+		for i, l := range lits {
+			if solver.Value(l.Var()) != l.Neg() {
+				v |= uint64(1) << uint(i)
+			}
+		}
+		m[name] = v
+	}
+	return true, m, nil
+}
+
+// probeModel searches for a satisfying assignment by enumerating
+// corner-value combinations and random samples. Combinations are capped
+// so the cost stays negligible next to a SAT call.
+func (s *Solver) probeModel(cond *bitvec.Expr) (Model, bool) {
+	fields := fieldWidths(cond)
+	if len(fields) == 0 || len(fields) > 6 {
+		return nil, false
+	}
+	names := make([]string, 0, len(fields))
+	for n := range fields {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	corners := func(w uint8) []uint64 {
+		return []uint64{0, 1, bitvec.Mask(w), bitvec.Mask(w) >> 1, bitvec.Mask(w)>>1 + 1, 1 << (w / 2)}
+	}
+	try := func(env bitvec.MapEnv) (Model, bool) {
+		v, err := bitvec.Eval(cond, env)
+		if err == nil && v != 0 {
+			m := Model{}
+			for k, val := range env.Fields {
+				m[k] = val
+			}
+			return m, true
+		}
+		return nil, false
+	}
+
+	// Cartesian product of corner values, capped.
+	total := 1
+	for _, n := range names {
+		total *= len(corners(fields[n]))
+		if total > 4096 {
+			total = 4096
+			break
+		}
+	}
+	for idx := 0; idx < total; idx++ {
+		env := bitvec.MapEnv{Fields: map[string]uint64{}}
+		rem := idx
+		for _, n := range names {
+			cs := corners(fields[n])
+			env.Fields[n] = cs[rem%len(cs)]
+			rem /= len(cs)
+		}
+		if m, ok := try(env); ok {
+			return m, true
+		}
+	}
+	for i := 0; i < 512; i++ {
+		env := bitvec.MapEnv{Fields: map[string]uint64{}}
+		for _, n := range names {
+			env.Fields[n] = s.rng.Uint64() & bitvec.Mask(fields[n])
+		}
+		if m, ok := try(env); ok {
+			return m, true
+		}
+	}
+	return nil, false
+}
+
+// Valid reports whether cond is nonzero under every assignment.
+func (s *Solver) Valid(cond *bitvec.Expr) (bool, error) {
+	satisfiable, _, err := s.Sat(bitvec.LNot(cond))
+	if err != nil {
+		return false, err
+	}
+	return !satisfiable, nil
+}
+
+// CacheSize returns the number of cached equivalence verdicts.
+func (s *Solver) CacheSize() int { return len(s.cache) }
+
+func (s *Solver) randomEnv(fields map[string]uint8, round int) bitvec.MapEnv {
+	env := bitvec.MapEnv{Fields: map[string]uint64{}, Refs: map[string]uint64{}}
+	for name, w := range fields {
+		var v uint64
+		switch round {
+		case 0:
+			v = 0
+		case 1:
+			v = bitvec.Mask(w)
+		case 2:
+			v = 1
+		default:
+			v = s.rng.Uint64() & bitvec.Mask(w)
+		}
+		env.Fields[name] = v
+	}
+	return env
+}
+
+// fieldWidths collects the fields of both expressions with widths.
+func fieldWidths(exprs ...*bitvec.Expr) map[string]uint8 {
+	out := map[string]uint8{}
+	for _, e := range exprs {
+		e.Walk(func(n *bitvec.Expr) {
+			if n.Op == bitvec.OpField {
+				if w, ok := out[n.Name]; ok && w != n.W {
+					panic(fmt.Sprintf("smt: field %q used at widths %d and %d", n.Name, w, n.W))
+				}
+				out[n.Name] = n.W
+			}
+		})
+	}
+	return out
+}
+
+func sameInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	if !sort.IntsAreSorted(a) || !sort.IntsAreSorted(b) {
+		sort.Ints(a)
+		sort.Ints(b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

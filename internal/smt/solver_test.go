@@ -1,0 +1,334 @@
+package smt
+
+import (
+	"math/rand"
+	"testing"
+
+	"codephage/internal/bitvec"
+)
+
+func mustEquiv(t *testing.T, s *Solver, a, b *bitvec.Expr, want bool) {
+	t.Helper()
+	got, err := s.Equiv(a, b)
+	if err != nil {
+		t.Fatalf("Equiv(%s, %s): %v", a, b, err)
+	}
+	if got != want {
+		t.Fatalf("Equiv(%s, %s) = %v, want %v", a, b, got, want)
+	}
+}
+
+func TestEquivIdentical(t *testing.T) {
+	s := New()
+	w := bitvec.Field("w", 16, 0)
+	mustEquiv(t, s, bitvec.Add(w, bitvec.Const(16, 1)), bitvec.Add(w, bitvec.Const(16, 1)), true)
+}
+
+func TestEquivCommutativity(t *testing.T) {
+	// x + y == y + x needs a semantic proof; simplification keeps
+	// operand order.
+	s := New()
+	x := bitvec.Field("x", 8, 0)
+	y := bitvec.Field("y", 8, 1)
+	mustEquiv(t, s, bitvec.Add(x, y), bitvec.Add(y, x), true)
+	mustEquiv(t, s, bitvec.Mul(x, y), bitvec.Mul(y, x), true)
+	if s.Stats.SATCalls == 0 {
+		t.Error("expected the SAT path to be exercised")
+	}
+}
+
+func TestEquivRefutes(t *testing.T) {
+	s := New()
+	x := bitvec.Field("x", 8, 0)
+	mustEquiv(t, s, x, bitvec.Add(x, bitvec.Const(8, 1)), false)
+	if s.Stats.Refuted == 0 {
+		t.Error("expected random probing to refute")
+	}
+}
+
+func TestEquivDifferentWidths(t *testing.T) {
+	s := New()
+	mustEquiv(t, s, bitvec.Const(8, 1), bitvec.Const(16, 1), false)
+}
+
+func TestEquivEndiannessConversion(t *testing.T) {
+	// The paper's headline case: FEH's big-endian read of the height
+	// field — masks, shifts, ors — must be recognised as equivalent to
+	// CWebP's value which holds the same field directly.
+	s := New()
+	f := bitvec.Field("/start_frame/content/height", 16, 4)
+	lo := bitvec.And(f, bitvec.Const(16, 0x00FF))
+	hi := bitvec.LShr(bitvec.And(f, bitvec.Const(16, 0xFF00)), bitvec.Const(16, 8))
+	feh := bitvec.Or(bitvec.Shl(hi, bitvec.Const(16, 8)), lo)
+	mustEquiv(t, s, feh, f, true)
+}
+
+func TestEquivWideningChain(t *testing.T) {
+	// (u64)(u32)x == (u64)x for 16-bit x.
+	s := New()
+	x := bitvec.Field("x", 16, 0)
+	a := bitvec.ZExt(64, bitvec.ZExt(32, x))
+	mustEquiv(t, s, a, bitvec.ZExt(64, x), true)
+}
+
+func TestEquivByteSwapNotEquivalent(t *testing.T) {
+	s := New()
+	f := bitvec.Field("w", 16, 0)
+	swapped := bitvec.Or(
+		bitvec.Shl(bitvec.And(f, bitvec.Const(16, 0x00FF)), bitvec.Const(16, 8)),
+		bitvec.LShr(bitvec.And(f, bitvec.Const(16, 0xFF00)), bitvec.Const(16, 8)))
+	mustEquiv(t, s, swapped, f, false)
+}
+
+func TestPrefilterRejectsDisjointFields(t *testing.T) {
+	// Per the paper, expressions over different input-byte sets are not
+	// considered equivalent — even when semantically equal.
+	s := New()
+	x := bitvec.Field("x", 8, 0)
+	y := bitvec.Field("y", 8, 1)
+	mustEquiv(t, s, bitvec.And(x, bitvec.Const(8, 0)), bitvec.And(y, bitvec.Const(8, 0)), false)
+	if s.Stats.Prefiltered == 0 {
+		t.Error("expected the prefilter to fire")
+	}
+
+	// With the prefilter disabled the solver proves the equivalence.
+	s2 := New()
+	s2.DisablePrefilter = true
+	mustEquiv(t, s2, bitvec.And(x, bitvec.Const(8, 0)), bitvec.And(y, bitvec.Const(8, 0)), true)
+}
+
+func TestQueryCache(t *testing.T) {
+	s := New()
+	x := bitvec.Field("x", 8, 0)
+	y := bitvec.Field("y", 8, 1)
+	a, b := bitvec.Add(x, y), bitvec.Add(y, x)
+	mustEquiv(t, s, a, b, true)
+	before := s.Stats.SATCalls
+	mustEquiv(t, s, a, b, true)
+	mustEquiv(t, s, b, a, true) // symmetric key must also hit
+	if s.Stats.SATCalls != before {
+		t.Errorf("SATCalls grew from %d to %d despite cache", before, s.Stats.SATCalls)
+	}
+	if s.Stats.CacheHits != 2 {
+		t.Errorf("CacheHits = %d, want 2", s.Stats.CacheHits)
+	}
+	if s.CacheSize() == 0 {
+		t.Error("cache is empty")
+	}
+}
+
+func TestSatFindsOverflow(t *testing.T) {
+	// Find w, h such that the 32-bit product of two 16-bit fields
+	// differs from the 64-bit product: an integer overflow witness,
+	// the core DIODE query.
+	s := New()
+	w := bitvec.Field("w", 16, 0)
+	h := bitvec.Field("h", 16, 2)
+	four := bitvec.Const(32, 4)
+	narrow := bitvec.Mul(bitvec.Mul(bitvec.ZExt(32, w), bitvec.ZExt(32, h)), four)
+	wide := bitvec.Mul(bitvec.Mul(bitvec.ZExt(64, w), bitvec.ZExt(64, h)), bitvec.Const(64, 4))
+	overflow := bitvec.Ne(bitvec.ZExt(64, narrow), wide)
+	ok, m, err := s.Sat(overflow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("expected an overflow witness")
+	}
+	if m["w"]*m["h"]*4 <= 0xFFFFFFFF {
+		t.Errorf("model w=%d h=%d does not overflow 32 bits", m["w"], m["h"])
+	}
+}
+
+func TestSatUnsatisfiable(t *testing.T) {
+	s := New()
+	x := bitvec.Field("x", 8, 0)
+	ok, _, err := s.Sat(bitvec.Ne(x, x))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("x != x must be unsatisfiable")
+	}
+}
+
+func TestSatConstant(t *testing.T) {
+	s := New()
+	ok, m, err := s.Sat(bitvec.Const(1, 1))
+	if err != nil || !ok || m == nil {
+		t.Fatalf("Sat(true) = %v, %v, %v", ok, m, err)
+	}
+	ok, _, err = s.Sat(bitvec.Const(1, 0))
+	if err != nil || ok {
+		t.Fatalf("Sat(false) = %v, %v", ok, err)
+	}
+}
+
+func TestValid(t *testing.T) {
+	s := New()
+	x := bitvec.Field("x", 8, 0)
+	v, err := s.Valid(bitvec.Ule(bitvec.And(x, bitvec.Const(8, 0x0F)), bitvec.Const(8, 15)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v {
+		t.Error("x&0x0F <= 15 must be valid")
+	}
+	v, err = s.Valid(bitvec.Ule(x, bitvec.Const(8, 15)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v {
+		t.Error("x <= 15 must not be valid")
+	}
+}
+
+func TestBudgetExhaustion(t *testing.T) {
+	s := New()
+	s.MaxConflicts = 1
+	s.RandomProbes = 1
+	// Two large multiplications that are equivalent but hard to prove
+	// within one conflict.
+	a := bitvec.Field("a", 64, 0)
+	b := bitvec.Field("b", 64, 8)
+	_, err := s.Equiv(bitvec.Mul(a, b), bitvec.Mul(b, a))
+	if err == nil {
+		t.Skip("solver proved commutativity within one conflict; budget untestable here")
+	}
+	if err != ErrBudget {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+}
+
+// exhaustiveEqual checks equivalence over the full domain of small
+// fields.
+func exhaustiveEqual(t *testing.T, a, b *bitvec.Expr, fields []string) bool {
+	t.Helper()
+	n := len(fields)
+	for m := 0; m < 1<<(4*n); m++ {
+		env := bitvec.MapEnv{Fields: map[string]uint64{}}
+		for i, f := range fields {
+			env.Fields[f] = uint64(m >> (4 * i) & 0xF)
+		}
+		va, errA := bitvec.Eval(a, env)
+		vb, errB := bitvec.Eval(b, env)
+		if errA != nil || errB != nil {
+			t.Fatalf("eval error: %v %v", errA, errB)
+		}
+		if va != vb {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEquivMatchesExhaustiveCheck(t *testing.T) {
+	// Property test: on random 4-bit expressions the solver verdict
+	// must match brute-force enumeration. Prefilter is disabled since
+	// it is a deliberately conservative approximation.
+	rng := rand.New(rand.NewSource(99))
+	fields := []*bitvec.Expr{bitvec.Field("p", 4, 0), bitvec.Field("q", 4, 1)}
+	names := []string{"p", "q"}
+	s := New()
+	s.DisablePrefilter = true
+	for iter := 0; iter < 120; iter++ {
+		a := randExpr4(rng, 3, fields)
+		b := randExpr4(rng, 3, fields)
+		if a.W != b.W {
+			continue
+		}
+		want := exhaustiveEqual(t, a, b, names)
+		got, err := s.Equiv(a, b)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		if got != want {
+			t.Fatalf("iter %d: Equiv(%s, %s) = %v, exhaustive = %v", iter, a, b, got, want)
+		}
+	}
+}
+
+// randExpr4 builds random expressions over 4-bit fields.
+func randExpr4(rng *rand.Rand, depth int, fields []*bitvec.Expr) *bitvec.Expr {
+	if depth == 0 || rng.Intn(3) == 0 {
+		if rng.Intn(2) == 0 {
+			return fields[rng.Intn(len(fields))]
+		}
+		return bitvec.Const(4, rng.Uint64())
+	}
+	x := randExpr4(rng, depth-1, fields)
+	y := randExpr4(rng, depth-1, fields)
+	for y.W != x.W {
+		y = randExpr4(rng, depth-1, fields)
+	}
+	switch rng.Intn(12) {
+	case 0:
+		return bitvec.Add(x, y)
+	case 1:
+		return bitvec.Sub(x, y)
+	case 2:
+		return bitvec.Mul(x, y)
+	case 3:
+		return bitvec.And(x, y)
+	case 4:
+		return bitvec.Or(x, y)
+	case 5:
+		return bitvec.Xor(x, y)
+	case 6:
+		return bitvec.Not(x)
+	case 7:
+		return bitvec.Neg(x)
+	case 8:
+		return bitvec.UDiv(x, y)
+	case 9:
+		return bitvec.URem(x, y)
+	case 10:
+		return bitvec.Shl(x, y)
+	default:
+		return bitvec.LShr(x, y)
+	}
+}
+
+func TestSignedOpsAgainstExhaustive(t *testing.T) {
+	s := New()
+	s.DisablePrefilter = true
+	p := bitvec.Field("p", 4, 0)
+	q := bitvec.Field("q", 4, 1)
+	pairs := []struct {
+		name string
+		a, b *bitvec.Expr
+	}{
+		{"sdiv-self", bitvec.SDiv(p, q), bitvec.SDiv(p, q)},
+		{"sext-zext", bitvec.SExt(8, p), bitvec.ZExt(8, p)}, // differ on negatives
+		{"ashr-lshr", bitvec.AShr(p, q), bitvec.LShr(p, q)}, // differ on negatives
+		{"srem", bitvec.SRem(p, q), bitvec.URem(p, q)},
+	}
+	names := []string{"p", "q"}
+	for _, c := range pairs {
+		t.Run(c.name, func(t *testing.T) {
+			want := exhaustiveEqual(t, c.a, c.b, names)
+			got, err := s.Equiv(c.a, c.b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Errorf("Equiv = %v, exhaustive = %v", got, want)
+			}
+		})
+	}
+}
+
+func BenchmarkEquivEndianness(b *testing.B) {
+	f := bitvec.Field("/img/height", 16, 4)
+	lo := bitvec.And(f, bitvec.Const(16, 0x00FF))
+	hi := bitvec.LShr(bitvec.And(f, bitvec.Const(16, 0xFF00)), bitvec.Const(16, 8))
+	feh := bitvec.Or(bitvec.Shl(hi, bitvec.Const(16, 8)), lo)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := New()
+		ok, err := s.Equiv(feh, f)
+		if err != nil || !ok {
+			b.Fatalf("Equiv = %v, %v", ok, err)
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package taint
+
+import (
+	"testing"
+	"testing/quick"
+
+	"codephage/internal/bitvec"
+	"codephage/internal/compile"
+
+	"codephage/internal/vm"
+)
+
+// newTestTracker builds a tracker with a dummy module (shadow memory
+// operations do not consult the module).
+func newTestTracker(t *testing.T) *Tracker {
+	t.Helper()
+	mod, err := compile.CompileSource("t", `void main() { }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewTracker(mod, Options{})
+}
+
+func TestMemShadowRoundTrip(t *testing.T) {
+	tr := newTestTracker(t)
+	f := bitvec.Field("f", 32, 0)
+	tr.storeShadow(0x1000, 4, shadow{f, 1})
+	got := tr.MemShadow(0x1000, 4, 0)
+	if !bitvec.Equal(got, f) {
+		t.Fatalf("round trip = %s, want the bare field", got)
+	}
+}
+
+func TestMemShadowPartialLoad(t *testing.T) {
+	tr := newTestTracker(t)
+	f := bitvec.Field("f", 32, 0)
+	tr.storeShadow(0x1000, 4, shadow{f, 1})
+	// Low half (LE bytes 0-1) = Extract(15,0).
+	lo := tr.MemShadow(0x1000, 2, 0)
+	if !bitvec.Equal(lo, bitvec.Extract(15, 0, f)) {
+		t.Errorf("low half = %s", lo)
+	}
+	// High half = Extract(31,16).
+	hi := tr.MemShadow(0x1002, 2, 0)
+	if !bitvec.Equal(hi, bitvec.Extract(31, 16, f)) {
+		t.Errorf("high half = %s", hi)
+	}
+}
+
+func TestMemShadowMixedTaintedUntainted(t *testing.T) {
+	tr := newTestTracker(t)
+	b := bitvec.Field("b", 8, 0)
+	tr.storeShadow(0x1001, 1, shadow{b, 1})
+	// Load 2 bytes: the untainted byte contributes its concrete value.
+	got := tr.MemShadow(0x1000, 2, 0x00AB) // concrete low byte 0xAB
+	if got == nil {
+		t.Fatal("mixed load lost taint")
+	}
+	env := bitvec.MapEnv{Fields: map[string]uint64{"b": 0x7F}}
+	v, err := bitvec.Eval(got, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0x7FAB {
+		t.Errorf("mixed value = %#x, want 0x7FAB", v)
+	}
+}
+
+func TestMemShadowUntainted(t *testing.T) {
+	tr := newTestTracker(t)
+	if got := tr.MemShadow(0x2000, 8, 123); got != nil {
+		t.Fatalf("untainted memory has shadow %s", got)
+	}
+}
+
+func TestStoreUntaintedClearsShadow(t *testing.T) {
+	tr := newTestTracker(t)
+	f := bitvec.Field("f", 16, 0)
+	tr.storeShadow(0x1000, 2, shadow{f, 1})
+	tr.storeShadow(0x1000, 2, shadow{})
+	if got := tr.MemShadow(0x1000, 2, 0); got != nil {
+		t.Fatalf("overwrite did not clear shadow: %s", got)
+	}
+}
+
+func TestStoreShadowWidthCoercion(t *testing.T) {
+	tr := newTestTracker(t)
+	f := bitvec.Field("f", 32, 0)
+	// Store only one byte of a 32-bit shadowed value: the stored
+	// expression must be the truncation.
+	tr.storeShadow(0x1000, 1, shadow{f, 1})
+	got := tr.MemShadow(0x1000, 1, 0)
+	want := bitvec.Trunc(8, f)
+	if !bitvec.Equal(got, want) {
+		t.Errorf("coerced store = %s, want %s", got, want)
+	}
+}
+
+// Property: storing any 1-8 byte shadowed field and loading the same
+// range reconstructs an expression with identical evaluation.
+func TestQuickShadowStoreLoadAgree(t *testing.T) {
+	tr := newTestTracker(t)
+	prop := func(val uint64, sz uint8) bool {
+		n := int(sz%8) + 1
+		w := uint8(n * 8)
+		f := bitvec.Field("f", w, 0)
+		addr := uint64(0x9000)
+		tr.storeShadow(addr, n, shadow{f, 1})
+		got := tr.MemShadow(addr, n, 0)
+		if got == nil {
+			return false
+		}
+		env := bitvec.MapEnv{Fields: map[string]uint64{"f": val & bitvec.Mask(w)}}
+		a, err1 := bitvec.Eval(f, env)
+		b, err2 := bitvec.Eval(got, env)
+		return err1 == nil && err2 == nil && a == b
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShadowNodeCap(t *testing.T) {
+	// A loop folding input into an accumulator grows the shadow; the
+	// cap must drop taint rather than let the expression explode.
+	src := `
+void main() {
+	u32 acc = 1;
+	u32 i = 0;
+	while (i < 64) {
+		acc = acc * acc + (u32)in_u8();
+		in_seek(0);
+		i = i + 1;
+	}
+	if (acc > 0) { out(1); }
+}
+`
+	mod, err := compile.CompileSource("cap", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTracker(mod, Options{MaxShadowNodes: 100})
+	v := vm.New(mod, []byte{3})
+	v.Tracer = tr
+	if r := v.Run(); !r.OK() {
+		t.Fatalf("trap: %v", r.Trap)
+	}
+	// The run must terminate promptly (cap prevents exponential
+	// expression blowup) — reaching here is the assertion; branch
+	// records may or may not survive the taint drop.
+}
+
+func TestBranchRecordsCarryRaw(t *testing.T) {
+	src := `
+void main() {
+	u32 hi = (u32)in_u8();
+	u32 lo = (u32)in_u8();
+	u32 w = (hi << 8) | lo;
+	if (w > 5) { out(1); }
+}
+`
+	mod, err := compile.CompileSource("raw", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTracker(mod, Options{})
+	v := vm.New(mod, []byte{1, 2})
+	v.Tracer = tr
+	if r := v.Run(); !r.OK() {
+		t.Fatalf("trap: %v", r.Trap)
+	}
+	if len(tr.Branches()) != 1 {
+		t.Fatalf("branches = %d", len(tr.Branches()))
+	}
+	b := tr.Branches()[0]
+	if b.Raw == nil || b.Cond == nil {
+		t.Fatal("missing raw or simplified condition")
+	}
+	if b.Raw.OpCount() <= b.Cond.OpCount() {
+		t.Errorf("raw (%d ops) not larger than simplified (%d ops)",
+			b.Raw.OpCount(), b.Cond.OpCount())
+	}
+}
+
+func TestNoSimplifyOption(t *testing.T) {
+	src := `
+void main() {
+	u32 hi = (u32)in_u8();
+	u32 lo = (u32)in_u8();
+	u32 w = (hi << 8) | lo;
+	if (w > 5) { out(1); }
+}
+`
+	mod, err := compile.CompileSource("nosimp", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTracker(mod, Options{NoSimplify: true})
+	v := vm.New(mod, []byte{1, 2})
+	v.Tracer = tr
+	if r := v.Run(); !r.OK() {
+		t.Fatalf("trap: %v", r.Trap)
+	}
+	b := tr.Branches()[0]
+	if !bitvec.Equal(b.Raw, b.Cond) {
+		t.Error("NoSimplify must record the raw condition as Cond")
+	}
+}
+
+func TestSiteOf(t *testing.T) {
+	b := BranchRecord{Fn: 3, PC: 7}
+	if b.SiteOf() != (Site{3, 7}) {
+		t.Errorf("SiteOf = %v", b.SiteOf())
+	}
+}
+
+var _ vm.Tracer = (*Tracker)(nil)

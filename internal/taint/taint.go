@@ -1,0 +1,511 @@
+// Package taint implements the fine-grained dynamic taint and symbolic
+// expression tracking of Code Phage's execution monitor (paper §3.2).
+// It mirrors VM execution through the vm.Tracer interface: every input
+// byte receives a unique label at its in_* read, shadow registers and
+// shadow memory carry symbolic bitvector expressions describing how
+// each value was computed from input bytes and constants, and the
+// tracker records conditional branch directions with their symbolic
+// conditions and allocation sites with their symbolic sizes.
+package taint
+
+import (
+	"codephage/internal/bitvec"
+	"codephage/internal/ir"
+	"codephage/internal/vm"
+)
+
+// ByteLabeler supplies the symbolic expression for one input byte —
+// typically a hachoir.Dissection; nil means raw mode.
+type ByteLabeler interface {
+	ByteExpr(off int) *bitvec.Expr
+}
+
+// BranchRecord is one executed conditional branch whose condition was
+// influenced by (relevant) input bytes.
+type BranchRecord struct {
+	Fn    int32
+	PC    int32
+	Line  int32
+	Seq   int          // execution order across the whole run
+	Taken bool         // direction
+	Cond  *bitvec.Expr // width-1 symbolic condition (nonzero = taken)
+	Raw   *bitvec.Expr // condition before the Figure 5 rewrite rules
+}
+
+// Site identifies a static branch/allocation site.
+type Site struct {
+	Fn int32
+	PC int32
+}
+
+// SiteOf returns the record's static site.
+func (b *BranchRecord) SiteOf() Site { return Site{b.Fn, b.PC} }
+
+// AllocRecord is one executed allocation site with its symbolic size.
+type AllocRecord struct {
+	Fn       int32
+	PC       int32
+	Line     int32
+	Seq      int
+	Size     uint64       // concrete requested size
+	SizeExpr *bitvec.Expr // symbolic size (nil if untainted)
+	Addr     uint64       // returned address (0 = failed)
+}
+
+// shadow is a symbolic expression with a cached node count, so the
+// tracker can bound shadow growth on adversarial computations.
+type shadow struct {
+	e *bitvec.Expr
+	n int
+}
+
+// memCell shadows one memory byte: byte idx (little-endian position)
+// of expression e.
+type memCell struct {
+	e   *bitvec.Expr
+	n   int
+	idx uint8
+}
+
+type shadowFrame struct {
+	regs   []shadow
+	retDst ir.Reg
+}
+
+// Options configures a Tracker.
+type Options struct {
+	// Labels supplies input byte labels (nil = raw mode labels).
+	Labels ByteLabeler
+	// Relevant restricts branch/alloc recording to expressions that
+	// depend on at least one of these input byte offsets (nil = all).
+	Relevant map[int]bool
+	// MaxShadowNodes drops taint on expressions growing beyond this
+	// node count (0 = default 50000).
+	MaxShadowNodes int
+	// NoSimplify disables the Figure 5 rewrite rules on recorded
+	// branch conditions and allocation sizes (the rewrite-rule
+	// ablation); simplification is on by default.
+	NoSimplify bool
+}
+
+// Tracker mirrors a VM execution, maintaining shadow state. It
+// implements vm.Tracer.
+type Tracker struct {
+	mod  *ir.Module
+	opts Options
+
+	frames []shadowFrame
+	mem    map[uint64]memCell
+
+	branches []BranchRecord
+	allocs   []AllocRecord
+	seq      int
+
+	// OnStep, if set, runs after the tracker has applied an event's
+	// shadow effects. The phage insertion-point analysis hooks here.
+	OnStep func(ev *vm.Event)
+}
+
+// NewTracker returns a Tracker for the module.
+func NewTracker(mod *ir.Module, opts Options) *Tracker {
+	if opts.MaxShadowNodes == 0 {
+		opts.MaxShadowNodes = 50000
+	}
+	return &Tracker{mod: mod, opts: opts, mem: map[uint64]memCell{}}
+}
+
+// Branches returns the recorded branch records in execution order.
+func (t *Tracker) Branches() []BranchRecord { return t.branches }
+
+// Allocs returns the recorded allocation records in execution order.
+func (t *Tracker) Allocs() []AllocRecord { return t.allocs }
+
+func (t *Tracker) label(off int) *bitvec.Expr {
+	if t.opts.Labels != nil {
+		return t.opts.Labels.ByteExpr(off)
+	}
+	return bitvec.Field(bitvec.RawByteName(off), 8, off)
+}
+
+// relevant reports whether the expression depends on a relevant byte.
+func (t *Tracker) relevant(e *bitvec.Expr) bool {
+	if e == nil {
+		return false
+	}
+	if t.opts.Relevant == nil {
+		return true
+	}
+	for _, off := range e.ByteDeps() {
+		if t.opts.Relevant[off] {
+			return true
+		}
+	}
+	return false
+}
+
+func (t *Tracker) top() *shadowFrame { return &t.frames[len(t.frames)-1] }
+
+// reg returns the shadow of a register in the current frame.
+func (t *Tracker) reg(r ir.Reg) shadow {
+	f := t.top()
+	if int(r) < len(f.regs) {
+		return f.regs[r]
+	}
+	return shadow{}
+}
+
+func (t *Tracker) setReg(r ir.Reg, s shadow) {
+	if s.n > t.opts.MaxShadowNodes {
+		s = shadow{} // drop taint on runaway expressions
+	}
+	t.top().regs[r] = s
+}
+
+// RegShadow exposes the current frame's register shadow (for the
+// insertion point analysis and tests).
+func (t *Tracker) RegShadow(r ir.Reg) *bitvec.Expr { return t.reg(r).e }
+
+// operand returns the symbolic expression for an operand at width w:
+// the shadow coerced to w, or a constant from the concrete value.
+func operand(s shadow, w uint8, concrete uint64) (*bitvec.Expr, int) {
+	if s.e == nil {
+		return bitvec.Const(w, concrete), 1
+	}
+	e, n := s.e, s.n
+	switch {
+	case e.W < w:
+		e, n = bitvec.ZExt(w, e), n+1
+	case e.W > w:
+		e, n = bitvec.Trunc(w, e), n+1
+	}
+	return e, n
+}
+
+// MemShadow reconstructs the symbolic expression for an n-byte
+// little-endian value at addr, or nil if untainted. Adjacent cells of
+// the same expression reconstitute the original expression.
+func (t *Tracker) MemShadow(addr uint64, n int, concrete uint64) *bitvec.Expr {
+	cells := make([]memCell, n)
+	any := false
+	for i := 0; i < n; i++ {
+		cells[i] = t.mem[addr+uint64(i)]
+		if cells[i].e != nil {
+			any = true
+		}
+	}
+	if !any {
+		return nil
+	}
+	// Fast path: bytes 0..n-1 of a single expression of width 8n.
+	first := cells[0]
+	if first.e != nil && first.idx == 0 && int(first.e.W) == 8*n {
+		whole := true
+		for i := 1; i < n; i++ {
+			if cells[i].e != first.e || cells[i].idx != uint8(i) {
+				whole = false
+				break
+			}
+		}
+		if whole {
+			return first.e
+		}
+	}
+	// General path: concatenate per-byte extracts (high byte first).
+	var parts []*bitvec.Expr
+	for i := n - 1; i >= 0; i-- {
+		c := cells[i]
+		if c.e == nil {
+			parts = append(parts, bitvec.Const(8, concrete>>(8*uint(i))))
+			continue
+		}
+		lo := 8 * c.idx
+		parts = append(parts, bitvec.Extract(lo+7, lo, c.e))
+	}
+	out := parts[len(parts)-1]
+	for i := len(parts) - 2; i >= 0; i-- {
+		out = bitvec.Concat(parts[i], out)
+	}
+	return bitvec.Simplify(out)
+}
+
+// storeShadow writes the shadow of an n-byte value to memory.
+func (t *Tracker) storeShadow(addr uint64, n int, s shadow) {
+	if s.e == nil {
+		for i := 0; i < n; i++ {
+			delete(t.mem, addr+uint64(i))
+		}
+		return
+	}
+	e := s.e
+	en := s.n
+	if int(e.W) != 8*n {
+		// Coerce the expression to the stored width.
+		if int(e.W) > 8*n {
+			e, en = bitvec.Trunc(uint8(8*n), e), en+1
+		} else {
+			e, en = bitvec.ZExt(uint8(8*n), e), en+1
+		}
+	}
+	for i := 0; i < n; i++ {
+		t.mem[addr+uint64(i)] = memCell{e: e, n: en, idx: uint8(i)}
+	}
+}
+
+// Step implements vm.Tracer.
+func (t *Tracker) Step(ev *vm.Event) {
+	t.apply(ev)
+	if t.OnStep != nil {
+		t.OnStep(ev)
+	}
+}
+
+func (t *Tracker) apply(ev *vm.Event) {
+	in := ev.In
+	// Lazily create the entry frame.
+	if len(t.frames) == 0 {
+		f := t.mod.Funcs[ev.Fn]
+		t.frames = append(t.frames, shadowFrame{regs: make([]shadow, f.NumRegs)})
+	}
+
+	switch in.Op {
+	case ir.Nop:
+
+	case ir.ConstOp, ir.FrameAddr, ir.GlobalAddr:
+		t.setReg(in.Dst, shadow{})
+
+	case ir.Mov:
+		s := t.reg(in.A)
+		if s.e != nil && s.e.W != uint8(in.W) {
+			e, n := operand(s, uint8(in.W), ev.Val)
+			s = shadow{e, n}
+		}
+		t.setReg(in.Dst, s)
+
+	case ir.ZExt:
+		s := t.reg(in.A)
+		if s.e == nil {
+			t.setReg(in.Dst, shadow{})
+			break
+		}
+		e, n := operand(s, uint8(in.SrcW), ev.A)
+		t.setReg(in.Dst, shadow{bitvec.ZExt(uint8(in.W), e), n + 1})
+
+	case ir.SExt:
+		s := t.reg(in.A)
+		if s.e == nil {
+			t.setReg(in.Dst, shadow{})
+			break
+		}
+		e, n := operand(s, uint8(in.SrcW), ev.A)
+		t.setReg(in.Dst, shadow{bitvec.SExt(uint8(in.W), e), n + 1})
+
+	case ir.Trunc:
+		s := t.reg(in.A)
+		if s.e == nil {
+			t.setReg(in.Dst, shadow{})
+			break
+		}
+		e, n := operand(s, uint8(in.SrcW), ev.A)
+		t.setReg(in.Dst, shadow{bitvec.Trunc(uint8(in.W), e), n + 1})
+
+	case ir.Load:
+		n := int(in.W.Bytes())
+		e := t.MemShadow(ev.Addr, n, ev.Val)
+		if e == nil {
+			t.setReg(in.Dst, shadow{})
+		} else {
+			t.setReg(in.Dst, shadow{e, e.Size()})
+		}
+
+	case ir.Store:
+		t.storeShadow(ev.Addr, int(in.W.Bytes()), t.reg(in.B))
+
+	case ir.Jmp:
+
+	case ir.Br:
+		s := t.reg(in.A)
+		if s.e != nil && t.relevant(s.e) {
+			raw := bitvec.BoolOf(s.e)
+			cond := raw
+			if !t.opts.NoSimplify {
+				cond = bitvec.Simplify(raw)
+			}
+			t.branches = append(t.branches, BranchRecord{
+				Fn: ev.Fn, PC: ev.PC, Line: in.Line, Seq: t.seq,
+				Taken: ev.Taken, Cond: cond, Raw: raw,
+			})
+		}
+		t.seq++
+
+	case ir.Ret:
+		var s shadow
+		f := t.mod.Funcs[ev.Fn]
+		if f.RetW != 0 {
+			s = t.reg(in.A)
+		}
+		retDst := t.top().retDst
+		t.frames = t.frames[:len(t.frames)-1]
+		if len(t.frames) > 0 {
+			t.setReg(retDst, s)
+		}
+
+	case ir.Call:
+		callee := t.mod.Funcs[in.Fn]
+		argShadows := make([]shadow, len(in.Args))
+		for i, r := range in.Args {
+			argShadows[i] = t.reg(r)
+		}
+		t.frames = append(t.frames, shadowFrame{
+			regs:   make([]shadow, callee.NumRegs),
+			retDst: in.Dst,
+		})
+		// Mirror the VM's argument stores into the callee frame.
+		for i, p := range callee.Params {
+			t.storeShadow(ev.CalleeFP+uint64(p.Off), int(p.W.Bytes()), argShadows[i])
+		}
+
+	case ir.CallB:
+		t.applyBuiltin(ev)
+
+	default:
+		if in.Op.IsBinary() {
+			t.applyBinary(ev)
+			break
+		}
+	}
+}
+
+func (t *Tracker) applyBinary(ev *vm.Event) {
+	in := ev.In
+	sa, sb := t.reg(in.A), t.reg(in.B)
+	if sa.e == nil && sb.e == nil {
+		t.setReg(in.Dst, shadow{})
+		return
+	}
+	w := uint8(in.W)
+	ea, na := operand(sa, w, ev.A)
+	eb, nb := operand(sb, w, ev.B)
+	n := na + nb + 1
+
+	var e *bitvec.Expr
+	switch in.Op {
+	case ir.Add:
+		e = bitvec.Add(ea, eb)
+	case ir.Sub:
+		e = bitvec.Sub(ea, eb)
+	case ir.Mul:
+		e = bitvec.Mul(ea, eb)
+	case ir.UDiv:
+		e = bitvec.UDiv(ea, eb)
+	case ir.SDiv:
+		e = bitvec.SDiv(ea, eb)
+	case ir.URem:
+		e = bitvec.URem(ea, eb)
+	case ir.SRem:
+		e = bitvec.SRem(ea, eb)
+	case ir.And:
+		e = bitvec.And(ea, eb)
+	case ir.Or:
+		e = bitvec.Or(ea, eb)
+	case ir.Xor:
+		e = bitvec.Xor(ea, eb)
+	case ir.Shl:
+		e = bitvec.Shl(ea, eb)
+	case ir.LShr:
+		e = bitvec.LShr(ea, eb)
+	case ir.AShr:
+		e = bitvec.AShr(ea, eb)
+	case ir.Eq:
+		e = cmp32(bitvec.Eq(ea, eb))
+	case ir.Ne:
+		e = cmp32(bitvec.Ne(ea, eb))
+	case ir.ULt:
+		e = cmp32(bitvec.Ult(ea, eb))
+	case ir.ULe:
+		e = cmp32(bitvec.Ule(ea, eb))
+	case ir.SLt:
+		e = cmp32(bitvec.Slt(ea, eb))
+	case ir.SLe:
+		e = cmp32(bitvec.Sle(ea, eb))
+	default:
+		t.setReg(in.Dst, shadow{})
+		return
+	}
+	t.setReg(in.Dst, shadow{e, n + 1})
+}
+
+// cmp32 widens a width-1 comparison to the 32-bit 0/1 value the VM
+// register holds (C comparison results have type int).
+func cmp32(e *bitvec.Expr) *bitvec.Expr { return bitvec.ZExt(32, e) }
+
+func (t *Tracker) applyBuiltin(ev *vm.Event) {
+	in := ev.In
+	switch in.Builtin {
+	case ir.BInU8, ir.BInU16BE, ir.BInU16LE, ir.BInU32BE, ir.BInU32LE:
+		t.setReg(in.Dst, t.inputShadow(in.Builtin, ev))
+	case ir.BAlloc:
+		sizeShadow := shadow{}
+		if len(in.Args) > 0 {
+			sizeShadow = t.reg(in.Args[0])
+		}
+		var sizeExpr *bitvec.Expr
+		if t.relevant(sizeShadow.e) {
+			sizeExpr = sizeShadow.e
+			if !t.opts.NoSimplify {
+				sizeExpr = bitvec.Simplify(sizeExpr)
+			}
+		}
+		t.allocs = append(t.allocs, AllocRecord{
+			Fn: ev.Fn, PC: ev.PC, Line: in.Line, Seq: t.seq,
+			Size: ev.AllocSz, SizeExpr: sizeExpr, Addr: ev.Val,
+		})
+		t.seq++
+		t.setReg(in.Dst, shadow{})
+	default:
+		// Other builtins produce untainted results.
+		t.setReg(in.Dst, shadow{})
+	}
+}
+
+// inputShadow builds the labelled expression for an input read.
+func (t *Tracker) inputShadow(b ir.Builtin, ev *vm.Event) shadow {
+	var n int
+	be := true
+	switch b {
+	case ir.BInU8:
+		n = 1
+	case ir.BInU16BE:
+		n = 2
+	case ir.BInU16LE:
+		n, be = 2, false
+	case ir.BInU32BE:
+		n = 4
+	case ir.BInU32LE:
+		n, be = 4, false
+	}
+	if ev.InLen == 0 {
+		return shadow{} // read past EOF: constant zero, untainted
+	}
+	// Byte i of the stream (0-based from InOff). BE: first byte is most
+	// significant. LE: first byte is least significant.
+	bytes := make([]*bitvec.Expr, n) // most significant first
+	for i := 0; i < n; i++ {
+		var lbl *bitvec.Expr
+		if i < ev.InLen {
+			lbl = t.label(ev.InOff + i)
+		} else {
+			lbl = bitvec.Const(8, 0) // short read filled with zero
+		}
+		if be {
+			bytes[i] = lbl
+		} else {
+			bytes[n-1-i] = lbl
+		}
+	}
+	e := bytes[n-1]
+	for i := n - 2; i >= 0; i-- {
+		e = bitvec.Concat(bytes[i], e)
+	}
+	e = bitvec.Simplify(e)
+	return shadow{e, e.Size()}
+}

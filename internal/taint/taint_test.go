@@ -1,0 +1,419 @@
+package taint
+
+import (
+	"testing"
+
+	"codephage/internal/bitvec"
+	"codephage/internal/compile"
+	"codephage/internal/hachoir"
+	"codephage/internal/vm"
+)
+
+// traceRun compiles src and executes it with a tracker attached.
+func traceRun(t *testing.T, src string, input []byte, opts Options) (*Tracker, *vm.Result) {
+	t.Helper()
+	mod, err := compile.CompileSource("test", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	tr := NewTracker(mod, opts)
+	v := vm.New(mod, input)
+	v.Tracer = tr
+	return tr, v.Run()
+}
+
+func mjpgInput(w, h uint16) []byte {
+	img := hachoir.MJPG{Version: 1, Height: h, Width: w, Components: 3,
+		HSamp: 1, VSamp: 1, Data: []byte{1, 2, 3}}
+	return img.Encode()
+}
+
+func TestBranchRecording(t *testing.T) {
+	src := `
+void main() {
+	in_seek(8);
+	u32 w = (u32)in_u16be();
+	if (w > 100) {
+		out(1);
+	} else {
+		out(0);
+	}
+	if (in_len() > 0) { out(2); } /* untainted condition: not recorded */
+}
+`
+	input := mjpgInput(500, 300)
+	dis, err := hachoir.ByName("mjpg")
+	if err2 := error(nil); err2 != nil {
+		t.Fatal(err2)
+	}
+	_ = err
+	d, derr := dis.Dissect(input)
+	if derr != nil {
+		t.Fatal(derr)
+	}
+	tr, r := traceRun(t, src, input, Options{Labels: d})
+	if !r.OK() {
+		t.Fatalf("trap: %v", r.Trap)
+	}
+	br := tr.Branches()
+	if len(br) != 1 {
+		t.Fatalf("branches = %d, want 1 (only the tainted one)", len(br))
+	}
+	if !br[0].Taken {
+		t.Error("w > 100 must be taken for w = 500")
+	}
+	// The condition must reference the width field.
+	fields := br[0].Cond.Fields()
+	if len(fields) != 1 || fields[0] != "/start_frame/content/width" {
+		t.Errorf("condition fields = %v", fields)
+	}
+	// Evaluating the condition under the field environment must agree
+	// with the concrete direction.
+	env := bitvec.MapEnv{Fields: d.FieldValues(input)}
+	v, everr := bitvec.Eval(br[0].Cond, env)
+	if everr != nil {
+		t.Fatal(everr)
+	}
+	if (v != 0) != br[0].Taken {
+		t.Error("symbolic condition disagrees with concrete direction")
+	}
+}
+
+func TestBigEndianReadCollapsesToField(t *testing.T) {
+	// in_u16be reading a big-endian dissected field must produce the
+	// bare field expression after the Figure 5 rules.
+	src := `
+u32 g = 0;
+void main() {
+	in_seek(8);
+	g = (u32)in_u16be();
+	if (g > 0) { out(g); }
+}
+`
+	input := mjpgInput(1234, 777)
+	dis, _ := hachoir.ByName("mjpg")
+	d, _ := dis.Dissect(input)
+	tr, r := traceRun(t, src, input, Options{Labels: d})
+	if !r.OK() {
+		t.Fatalf("trap: %v", r.Trap)
+	}
+	br := tr.Branches()
+	if len(br) != 1 {
+		t.Fatalf("branches = %d, want 1", len(br))
+	}
+	cond := br[0].Cond
+	// Expect ULess(0, ZExt32(field)) or similar with a bare HachField.
+	found := false
+	cond.Walk(func(n *bitvec.Expr) {
+		if n.Op == bitvec.OpField && n.Name == "/start_frame/content/width" && n.W == 16 {
+			found = true
+		}
+	})
+	if !found {
+		t.Errorf("condition does not contain the bare width field: %s", cond)
+	}
+	if cond.OpCount() > 4 {
+		t.Errorf("condition not collapsed, %d ops: %s", cond.OpCount(), cond)
+	}
+}
+
+func TestManualByteCombineCollapses(t *testing.T) {
+	// An application that reads bytes individually and reassembles the
+	// big-endian value with shifts and ors — the FEH pattern — must
+	// still collapse to the field.
+	src := `
+void main() {
+	in_seek(8);
+	u32 hi = (u32)in_u8();
+	u32 lo = (u32)in_u8();
+	u32 w = (hi << 8) | lo;
+	if (w > 100) { out(w); }
+}
+`
+	input := mjpgInput(999, 5)
+	dis, _ := hachoir.ByName("mjpg")
+	d, _ := dis.Dissect(input)
+	tr, r := traceRun(t, src, input, Options{Labels: d})
+	if !r.OK() {
+		t.Fatalf("trap: %v", r.Trap)
+	}
+	if len(tr.Branches()) != 1 {
+		t.Fatalf("branches = %d, want 1", len(tr.Branches()))
+	}
+	cond := tr.Branches()[0].Cond
+	if cond.OpCount() > 4 {
+		t.Errorf("manual reassembly did not collapse (%d ops): %s", cond.OpCount(), cond)
+	}
+}
+
+func TestShadowThroughMemoryAndStructs(t *testing.T) {
+	// Taint must survive stores into struct fields, loads back, and
+	// passes through function calls.
+	src := `
+struct Img { u32 w; u32 h; };
+u32 check(Img* im) {
+	if (im->w * im->h > 1000) {
+		return 0;
+	}
+	return 1;
+}
+void main() {
+	Img im;
+	in_seek(8);
+	im.w = (u32)in_u16be();
+	in_seek(6);
+	im.h = (u32)in_u16be();
+	if (!check(&im)) { exit(1); }
+	out(im.w);
+}
+`
+	input := mjpgInput(40, 50) // 40*50 = 2000 > 1000
+	dis, _ := hachoir.ByName("mjpg")
+	d, _ := dis.Dissect(input)
+	tr, r := traceRun(t, src, input, Options{Labels: d})
+	if !r.OK() {
+		t.Fatalf("trap: %v", r.Trap)
+	}
+	if r.ExitCode != 1 {
+		t.Fatalf("exit = %d, want 1", r.ExitCode)
+	}
+	var mulBranch *BranchRecord
+	for i := range tr.Branches() {
+		b := &tr.Branches()[i]
+		if len(b.Cond.Fields()) == 2 {
+			mulBranch = b
+		}
+	}
+	if mulBranch == nil {
+		t.Fatalf("no branch depending on both fields; branches: %d", len(tr.Branches()))
+	}
+	env := bitvec.MapEnv{Fields: d.FieldValues(input)}
+	v, err := bitvec.Eval(mulBranch.Cond, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (v != 0) != mulBranch.Taken {
+		t.Error("symbolic multiply condition disagrees with direction")
+	}
+}
+
+func TestAllocRecording(t *testing.T) {
+	src := `
+void main() {
+	in_seek(8);
+	u32 w = (u32)in_u16be();
+	in_seek(6);
+	u32 h = (u32)in_u16be();
+	u8* p = alloc(w * h * 4);
+	if (p == 0) { exit(2); }
+	out(1);
+}
+`
+	input := mjpgInput(100, 50)
+	dis, _ := hachoir.ByName("mjpg")
+	d, _ := dis.Dissect(input)
+	tr, r := traceRun(t, src, input, Options{Labels: d})
+	if !r.OK() {
+		t.Fatalf("trap: %v", r.Trap)
+	}
+	al := tr.Allocs()
+	if len(al) != 1 {
+		t.Fatalf("allocs = %d, want 1", len(al))
+	}
+	if al[0].Size != 100*50*4 {
+		t.Errorf("alloc size = %d, want 20000", al[0].Size)
+	}
+	if al[0].SizeExpr == nil {
+		t.Fatal("alloc size expression is nil")
+	}
+	fs := al[0].SizeExpr.Fields()
+	if len(fs) != 2 {
+		t.Errorf("size expr fields = %v, want width and height", fs)
+	}
+	env := bitvec.MapEnv{Fields: d.FieldValues(input)}
+	v, err := bitvec.Eval(al[0].SizeExpr, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != al[0].Size {
+		t.Errorf("symbolic size = %d, concrete = %d", v, al[0].Size)
+	}
+}
+
+func TestRelevantByteFiltering(t *testing.T) {
+	src := `
+void main() {
+	u32 v = (u32)in_u8();       /* offset 0 */
+	u32 w = (u32)in_u8();       /* offset 1 */
+	if (v > 1) { out(1); }
+	if (w > 1) { out(2); }
+}
+`
+	// Only offset 1 is relevant.
+	tr, r := traceRun(t, src, []byte{9, 9}, Options{Relevant: map[int]bool{1: true}})
+	if !r.OK() {
+		t.Fatalf("trap: %v", r.Trap)
+	}
+	if len(tr.Branches()) != 1 {
+		t.Fatalf("branches = %d, want 1 after relevant-byte filtering", len(tr.Branches()))
+	}
+	deps := tr.Branches()[0].Cond.ByteDeps()
+	if len(deps) != 1 || deps[0] != 1 {
+		t.Errorf("branch deps = %v, want [1]", deps)
+	}
+}
+
+func TestLittleEndianRead(t *testing.T) {
+	src := `
+void main() {
+	in_seek(4);
+	u32 w = (u32)in_u16le();
+	if (w == 0x2211) { out(1); }
+}
+`
+	input := append([]byte("MGIF"), 0x11, 0x22, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0)
+	dis, _ := hachoir.ByName("mgif")
+	d, derr := dis.Dissect(input)
+	if derr != nil {
+		t.Fatal(derr)
+	}
+	tr, r := traceRun(t, src, input, Options{Labels: d})
+	if !r.OK() {
+		t.Fatalf("trap: %v", r.Trap)
+	}
+	if len(r.Output) != 1 || r.Output[0] != 1 {
+		t.Fatalf("output = %v", r.Output)
+	}
+	br := tr.Branches()
+	if len(br) != 1 {
+		t.Fatalf("branches = %d", len(br))
+	}
+	// LE read of an LE field collapses to the bare field.
+	found := false
+	br[0].Cond.Walk(func(n *bitvec.Expr) {
+		if n.Op == bitvec.OpField && n.Name == "/screen/width" {
+			found = true
+		}
+	})
+	if !found {
+		t.Errorf("cond = %s, want bare /screen/width", br[0].Cond)
+	}
+}
+
+func TestRawModeLabels(t *testing.T) {
+	src := `
+void main() {
+	u32 a = (u32)in_u8();
+	if (a > 5) { out(1); }
+}
+`
+	tr, r := traceRun(t, src, []byte{10}, Options{}) // nil labels = raw
+	if !r.OK() {
+		t.Fatalf("trap: %v", r.Trap)
+	}
+	br := tr.Branches()
+	if len(br) != 1 {
+		t.Fatalf("branches = %d", len(br))
+	}
+	fs := br[0].Cond.Fields()
+	if len(fs) != 1 || fs[0] != "@0" {
+		t.Errorf("fields = %v, want [@0]", fs)
+	}
+}
+
+func TestTaintClearedByConstantStore(t *testing.T) {
+	src := `
+u32 g = 0;
+void main() {
+	g = (u32)in_u8();
+	g = 7; /* overwrite kills taint */
+	if (g > 5) { out(1); }
+}
+`
+	tr, r := traceRun(t, src, []byte{200}, Options{})
+	if !r.OK() {
+		t.Fatalf("trap: %v", r.Trap)
+	}
+	if len(tr.Branches()) != 0 {
+		t.Fatalf("branches = %d, want 0 (taint overwritten)", len(tr.Branches()))
+	}
+}
+
+func TestPartialFieldLoad(t *testing.T) {
+	// Store a tainted 32-bit value, load one byte of it: the shadow
+	// must be the matching extract.
+	src := `
+u32 g = 0;
+void main() {
+	g = in_u32be();
+	u8* p = (u8*)&g;
+	u8 b = p[0]; /* lowest byte (LE memory) = least significant */
+	if (b > 5) { out(1); }
+}
+`
+	tr, r := traceRun(t, src, []byte{1, 2, 3, 10}, Options{})
+	if !r.OK() {
+		t.Fatalf("trap: %v", r.Trap)
+	}
+	br := tr.Branches()
+	if len(br) != 1 {
+		t.Fatalf("branches = %d, want 1", len(br))
+	}
+	deps := br[0].Cond.ByteDeps()
+	if len(deps) != 1 || deps[0] != 3 {
+		t.Errorf("deps = %v, want [3] (last input byte is the LSB of a BE read)", deps)
+	}
+}
+
+func TestShortCircuitBranchesRecorded(t *testing.T) {
+	src := `
+void main() {
+	u32 a = (u32)in_u8();
+	u32 b = (u32)in_u8();
+	if (a > 1 && b > 2) { out(1); }
+}
+`
+	tr, r := traceRun(t, src, []byte{5, 5}, Options{})
+	if !r.OK() {
+		t.Fatalf("trap: %v", r.Trap)
+	}
+	// Two tainted branch evaluations: the && operand branch and the if.
+	if len(tr.Branches()) < 2 {
+		t.Fatalf("branches = %d, want >= 2 (short-circuit exposes both)", len(tr.Branches()))
+	}
+}
+
+func TestReturnValueCarriesTaint(t *testing.T) {
+	src := `
+u32 readw() { return (u32)in_u16be(); }
+void main() {
+	u32 w = readw();
+	if (w > 10) { out(1); }
+}
+`
+	tr, r := traceRun(t, src, []byte{0x01, 0x00}, Options{})
+	if !r.OK() {
+		t.Fatalf("trap: %v", r.Trap)
+	}
+	if len(tr.Branches()) != 1 {
+		t.Fatalf("branches = %d, want 1 (taint through return)", len(tr.Branches()))
+	}
+}
+
+func TestArgumentCarriesTaint(t *testing.T) {
+	src := `
+void checkw(u32 w) {
+	if (w > 10) { out(1); }
+}
+void main() {
+	checkw((u32)in_u16be());
+}
+`
+	tr, r := traceRun(t, src, []byte{0x01, 0x00}, Options{})
+	if !r.OK() {
+		t.Fatalf("trap: %v", r.Trap)
+	}
+	if len(tr.Branches()) != 1 {
+		t.Fatalf("branches = %d, want 1 (taint through argument)", len(tr.Branches()))
+	}
+}

@@ -1,0 +1,133 @@
+package vm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"codephage/internal/bitvec"
+	"codephage/internal/ir"
+)
+
+// runBinOp executes a single ALU instruction on the VM.
+func runBinOp(op ir.Op, w ir.Width, a, b uint64) (val uint64, trapped bool) {
+	f := &ir.Function{
+		Name: "main", NumRegs: 4, FrameSize: 0, RetW: ir.W64,
+		Code: []ir.Instr{
+			{Op: ir.ConstOp, W: ir.W64, Dst: 0, Imm: a},
+			{Op: ir.ConstOp, W: ir.W64, Dst: 1, Imm: b},
+			{Op: op, W: w, Dst: 2, A: 0, B: 1},
+			{Op: ir.CallB, Builtin: ir.BOut, Dst: 3, Args: []ir.Reg{2}},
+			{Op: ir.Ret, A: 2},
+		},
+	}
+	mod := &ir.Module{Name: "alu", Funcs: []*ir.Function{f}, Entry: 0}
+	r := New(mod, nil).Run()
+	if r.Trap != nil {
+		return 0, true
+	}
+	return r.Output[0], false
+}
+
+// bitvecOp mirrors the instruction in the symbolic domain.
+func bitvecOp(op ir.Op, w ir.Width, a, b uint64) (uint64, bool) {
+	mk := func(v uint64) *bitvec.Expr { return bitvec.Const(uint8(w), v) }
+	var e *bitvec.Expr
+	switch op {
+	case ir.Add:
+		e = bitvec.Add(mk(a), mk(b))
+	case ir.Sub:
+		e = bitvec.Sub(mk(a), mk(b))
+	case ir.Mul:
+		e = bitvec.Mul(mk(a), mk(b))
+	case ir.UDiv:
+		if b&w.Mask() == 0 {
+			return 0, false // VM traps; symbolic domain diverges by design
+		}
+		e = bitvec.UDiv(mk(a), mk(b))
+	case ir.SDiv:
+		if b&w.Mask() == 0 {
+			return 0, false
+		}
+		e = bitvec.SDiv(mk(a), mk(b))
+	case ir.URem:
+		if b&w.Mask() == 0 {
+			return 0, false
+		}
+		e = bitvec.URem(mk(a), mk(b))
+	case ir.SRem:
+		if b&w.Mask() == 0 {
+			return 0, false
+		}
+		e = bitvec.SRem(mk(a), mk(b))
+	case ir.And:
+		e = bitvec.And(mk(a), mk(b))
+	case ir.Or:
+		e = bitvec.Or(mk(a), mk(b))
+	case ir.Xor:
+		e = bitvec.Xor(mk(a), mk(b))
+	case ir.Shl:
+		e = bitvec.Shl(mk(a), mk(b))
+	case ir.LShr:
+		e = bitvec.LShr(mk(a), mk(b))
+	case ir.AShr:
+		e = bitvec.AShr(mk(a), mk(b))
+	case ir.Eq:
+		e = cmpWide(bitvec.Eq(mk(a), mk(b)))
+	case ir.Ne:
+		e = cmpWide(bitvec.Ne(mk(a), mk(b)))
+	case ir.ULt:
+		e = cmpWide(bitvec.Ult(mk(a), mk(b)))
+	case ir.ULe:
+		e = cmpWide(bitvec.Ule(mk(a), mk(b)))
+	case ir.SLt:
+		e = cmpWide(bitvec.Slt(mk(a), mk(b)))
+	case ir.SLe:
+		e = cmpWide(bitvec.Sle(mk(a), mk(b)))
+	default:
+		return 0, false
+	}
+	v, err := bitvec.Eval(e, bitvec.MapEnv{})
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+func cmpWide(e *bitvec.Expr) *bitvec.Expr { return bitvec.ZExt(64, e) }
+
+// TestVMAgreesWithBitvecSemantics cross-validates the two independent
+// implementations of the arithmetic semantics: the interpreter and the
+// symbolic expression evaluator the taint tracker relies on. Any
+// divergence would silently corrupt excised checks.
+func TestVMAgreesWithBitvecSemantics(t *testing.T) {
+	ops := []ir.Op{
+		ir.Add, ir.Sub, ir.Mul, ir.UDiv, ir.SDiv, ir.URem, ir.SRem,
+		ir.And, ir.Or, ir.Xor, ir.Shl, ir.LShr, ir.AShr,
+		ir.Eq, ir.Ne, ir.ULt, ir.ULe, ir.SLt, ir.SLe,
+	}
+	widths := []ir.Width{ir.W8, ir.W16, ir.W32, ir.W64}
+	prop := func(a, b uint64, opIdx, wIdx uint8) bool {
+		op := ops[int(opIdx)%len(ops)]
+		w := widths[int(wIdx)%len(widths)]
+		a &= w.Mask()
+		b &= w.Mask()
+		want, ok := bitvecOp(op, w, a, b)
+		if !ok {
+			// Division by zero: the VM must trap.
+			if op == ir.UDiv || op == ir.SDiv || op == ir.URem || op == ir.SRem {
+				_, trapped := runBinOp(op, w, a, b)
+				return trapped
+			}
+			return true
+		}
+		got, trapped := runBinOp(op, w, a, b)
+		if trapped {
+			return false
+		}
+		return got == want
+	}
+	cfg := &quick.Config{MaxCount: 2000}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,278 @@
+package vm
+
+import (
+	"sort"
+
+	"codephage/internal/ir"
+)
+
+// heapAlign is the allocation alignment; heapGap is the redzone
+// between heap blocks so overruns hit unmapped space, not a neighbour.
+// The heap is paged and lazily materialised, so multi-gigabyte
+// allocations (the pre-wrap sizes 32-bit programs request) succeed
+// virtually, as they do under a real OS, and only touched pages cost
+// memory.
+const (
+	heapAlign    = 16
+	heapGap      = 16
+	heapPageSize = 1024
+)
+
+// heapCheck validates a heap access against the live block table.
+func (v *VM) heapCheck(addr uint64, n int, write bool) int64 {
+	kind := TrapOOBRead
+	if write {
+		kind = TrapOOBWrite
+	}
+	off := int64(addr - HeapBase)
+	b := v.findBlock(off)
+	if b == nil || !b.live || off+int64(n) > b.off+b.size {
+		v.trap(kind, addr)
+	}
+	return off
+}
+
+// heapLoad reads n little-endian bytes from the paged heap.
+func (v *VM) heapLoad(off int64, n int) uint64 {
+	var val uint64
+	for i := 0; i < n; i++ {
+		o := off + int64(i)
+		pg := v.pages[o/heapPageSize]
+		if pg != nil {
+			val |= uint64(pg[o%heapPageSize]) << (8 * i)
+		}
+	}
+	return val
+}
+
+// heapStore writes n little-endian bytes to the paged heap.
+func (v *VM) heapStore(off int64, n int, val uint64) {
+	for i := 0; i < n; i++ {
+		o := off + int64(i)
+		pg := v.pages[o/heapPageSize]
+		if pg == nil {
+			pg = new([heapPageSize]byte)
+			v.pages[o/heapPageSize] = pg
+		}
+		pg[o%heapPageSize] = byte(val >> (8 * i))
+	}
+}
+
+// checkRange resolves a non-heap address to its backing slice and
+// region offset, or traps.
+func (v *VM) checkRange(addr uint64, n int, write bool) (buf []byte, off int) {
+	kind := TrapOOBRead
+	if write {
+		kind = TrapOOBWrite
+	}
+	switch {
+	case addr >= StackBase && addr+uint64(n) <= StackBase+StackSize:
+		// Stack accesses must not reach below the live frames.
+		if addr < v.sp {
+			v.trap(kind, addr)
+		}
+		return v.stack, int(addr - StackBase)
+
+	case addr >= GlobalBase && addr < HeapBase:
+		off := int32(addr - GlobalBase)
+		// The access must fall entirely within one global's block.
+		for _, g := range v.Mod.GlobalBlocks {
+			if off >= g.Off && off+int32(n) <= g.Off+g.Size {
+				return v.globals, int(off)
+			}
+		}
+		v.trap(kind, addr)
+	}
+	v.trap(TrapUnmapped, addr)
+	return nil, 0
+}
+
+// findBlock locates the heap block containing offset off, if any.
+func (v *VM) findBlock(off int64) *heapBlock {
+	// Blocks are allocated bump-style, so offsets are sorted.
+	i := sort.Search(len(v.blocks), func(i int) bool {
+		return v.blocks[i].off+v.blocks[i].size > off
+	})
+	if i < len(v.blocks) && v.blocks[i].off <= off {
+		return &v.blocks[i]
+	}
+	return nil
+}
+
+func (v *VM) loadMem(addr uint64, w ir.Width) uint64 {
+	n := int(w.Bytes())
+	if addr >= HeapBase && addr < StackBase {
+		return v.heapLoad(v.heapCheck(addr, n, false), n)
+	}
+	buf, off := v.checkRange(addr, n, false)
+	var val uint64
+	for i := 0; i < n; i++ {
+		val |= uint64(buf[off+i]) << (8 * i)
+	}
+	return val
+}
+
+func (v *VM) storeMem(addr uint64, w ir.Width, val uint64) {
+	n := int(w.Bytes())
+	if addr >= HeapBase && addr < StackBase {
+		v.heapStore(v.heapCheck(addr, n, true), n, val)
+		return
+	}
+	buf, off := v.checkRange(addr, n, true)
+	for i := 0; i < n; i++ {
+		buf[off+i] = byte(val >> (8 * i))
+	}
+}
+
+// ReadScalar reads a little-endian scalar without trapping; ok is
+// false if the address is not readable. Used by the recipient-side
+// data structure traversal.
+func (v *VM) ReadScalar(addr uint64, w ir.Width) (val uint64, ok bool) {
+	n := int(w.Bytes())
+	if addr >= HeapBase && addr < StackBase {
+		off := int64(addr - HeapBase)
+		b := v.findBlock(off)
+		if b == nil || !b.live || off+int64(n) > b.off+b.size {
+			return 0, false
+		}
+		return v.heapLoad(off, n), true
+	}
+	buf, off, readable := v.peekRange(addr, n)
+	if !readable {
+		return 0, false
+	}
+	for i := 0; i < n; i++ {
+		val |= uint64(buf[off+i]) << (8 * i)
+	}
+	return val, true
+}
+
+// Readable reports whether [addr, addr+n) is readable memory.
+func (v *VM) Readable(addr uint64, n int) bool {
+	if addr >= HeapBase && addr < StackBase {
+		off := int64(addr - HeapBase)
+		b := v.findBlock(off)
+		return b != nil && b.live && off+int64(n) <= b.off+b.size
+	}
+	_, _, ok := v.peekRange(addr, n)
+	return ok
+}
+
+func (v *VM) peekRange(addr uint64, n int) ([]byte, int, bool) {
+	switch {
+	case addr >= StackBase && addr+uint64(n) <= StackBase+StackSize && addr >= v.sp:
+		return v.stack, int(addr - StackBase), true
+	case addr >= GlobalBase && addr < HeapBase:
+		off := int32(addr - GlobalBase)
+		for _, g := range v.Mod.GlobalBlocks {
+			if off >= g.Off && off+int32(n) <= g.Off+g.Size {
+				return v.globals, int(off), true
+			}
+		}
+	}
+	return nil, 0, false
+}
+
+// alloc carves a new heap block and returns its address, or 0 (NULL)
+// if the size exceeds the heap limit (malloc failure on a 32-bit
+// machine). Pages materialise lazily on first touch.
+func (v *VM) alloc(size uint64) uint64 {
+	if size == 0 {
+		size = 1
+	}
+	if size > HeapLimit || uint64(v.heapTop)+size > uint64(StackBase-HeapBase)-heapPageSize {
+		return 0
+	}
+	off := v.heapTop
+	total := (int64(size) + heapGap + heapAlign - 1) / heapAlign * heapAlign
+	v.heapTop += total
+	v.blocks = append(v.blocks, heapBlock{off: off, size: int64(size), live: true})
+	return HeapBase + uint64(off)
+}
+
+func (v *VM) freeBlock(addr uint64) {
+	if addr == 0 {
+		return // free(NULL) is a no-op
+	}
+	if addr < HeapBase || addr >= StackBase {
+		v.trap(TrapBadFree, addr)
+	}
+	off := int64(addr - HeapBase)
+	b := v.findBlock(off)
+	if b == nil || b.off != off || !b.live {
+		v.trap(TrapBadFree, addr)
+	}
+	b.live = false
+}
+
+// execBuiltin applies a builtin call; it returns true if the program
+// halted (exit).
+func (v *VM) execBuiltin(fr *frame, in *ir.Instr, args []uint64, ev *Event) bool {
+	readBytes := func(n int) uint64 {
+		ev.InOff = v.inPos
+		var val uint64
+		got := 0
+		for i := 0; i < n && v.inPos < len(v.input); i++ {
+			val = val<<8 | uint64(v.input[v.inPos])
+			v.inPos++
+			got++
+		}
+		ev.InLen = got
+		// Short reads behave like fread past EOF: missing bytes are 0.
+		val <<= 8 * uint(n-got)
+		return val
+	}
+	bswap := func(val uint64, n int) uint64 {
+		var out uint64
+		for i := 0; i < n; i++ {
+			out |= (val >> (8 * uint(n-1-i)) & 0xFF) << (8 * i)
+		}
+		return out
+	}
+
+	var ret uint64
+	switch in.Builtin {
+	case ir.BInU8:
+		ret = readBytes(1)
+	case ir.BInU16BE:
+		ret = readBytes(2)
+	case ir.BInU16LE:
+		ret = bswap(readBytes(2), 2)
+	case ir.BInU32BE:
+		ret = readBytes(4)
+	case ir.BInU32LE:
+		ret = bswap(readBytes(4), 4)
+	case ir.BInSeek:
+		p := args[0]
+		if p > uint64(len(v.input)) {
+			p = uint64(len(v.input))
+		}
+		v.inPos = int(p)
+	case ir.BInPos:
+		ret = uint64(v.inPos)
+	case ir.BInLen:
+		ret = uint64(len(v.input))
+	case ir.BInEOF:
+		if v.inPos >= len(v.input) {
+			ret = 1
+		}
+	case ir.BAlloc:
+		ev.AllocSz = args[0]
+		ret = v.alloc(args[0])
+	case ir.BFree:
+		v.freeBlock(args[0])
+	case ir.BExit:
+		v.exitCode = int32(args[0])
+		ev.Val = args[0]
+		return true
+	case ir.BOut:
+		v.output = append(v.output, args[0])
+	case ir.BAbort:
+		v.trap(TrapAbort, 0)
+	default:
+		v.trap(TrapUnmapped, uint64(in.Builtin))
+	}
+	fr.regs[in.Dst] = ret
+	ev.Val = ret
+	return false
+}

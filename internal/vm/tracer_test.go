@@ -1,0 +1,180 @@
+package vm
+
+import (
+	"testing"
+
+	"codephage/internal/compile"
+	"codephage/internal/ir"
+)
+
+// recordingTracer captures every event for inspection.
+type recordingTracer struct{ events []Event }
+
+func (r *recordingTracer) Step(ev *Event) {
+	e := *ev
+	e.Args = append([]uint64(nil), ev.Args...)
+	r.events = append(r.events, e)
+}
+
+func traceEvents(t *testing.T, src string, input []byte) []Event {
+	t.Helper()
+	mod, err := compile.CompileSource("trace", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &recordingTracer{}
+	v := New(mod, input)
+	v.Tracer = tr
+	if r := v.Run(); !r.OK() {
+		t.Fatalf("trap: %v", r.Trap)
+	}
+	return tr.events
+}
+
+func TestTracerBranchEvents(t *testing.T) {
+	evs := traceEvents(t, `
+void main() {
+	u32 v = (u32)in_u8();
+	if (v > 5) {
+		out(1);
+	} else {
+		out(0);
+	}
+}
+`, []byte{9})
+	var brs []Event
+	for _, e := range evs {
+		if e.In.Op == ir.Br {
+			brs = append(brs, e)
+		}
+	}
+	if len(brs) != 1 {
+		t.Fatalf("branch events = %d, want 1", len(brs))
+	}
+	if !brs[0].Taken {
+		t.Error("v > 5 must be taken for v = 9")
+	}
+	if brs[0].A == 0 {
+		t.Error("branch condition operand value missing")
+	}
+}
+
+func TestTracerCallRetEvents(t *testing.T) {
+	evs := traceEvents(t, `
+u32 add(u32 a, u32 b) {
+	return a + b;
+}
+void main() {
+	out((u64)add(2, 3));
+}
+`, nil)
+	var call, ret *Event
+	for i := range evs {
+		switch evs[i].In.Op {
+		case ir.Call:
+			call = &evs[i]
+		case ir.Ret:
+			if evs[i].Depth == 1 && ret == nil {
+				ret = &evs[i]
+			}
+		}
+	}
+	if call == nil || ret == nil {
+		t.Fatal("missing call or ret event")
+	}
+	if len(call.Args) != 2 || call.Args[0] != 2 || call.Args[1] != 3 {
+		t.Errorf("call args = %v", call.Args)
+	}
+	if call.CalleeFP == 0 || call.CalleeFP >= call.FP {
+		t.Errorf("callee fp %#x not below caller fp %#x", call.CalleeFP, call.FP)
+	}
+	if ret.Val != 5 {
+		t.Errorf("ret value = %d, want 5", ret.Val)
+	}
+	if ret.Depth != 1 {
+		t.Errorf("ret depth = %d, want 1", ret.Depth)
+	}
+}
+
+func TestTracerInputEvents(t *testing.T) {
+	evs := traceEvents(t, `
+void main() {
+	u32 a = (u32)in_u16be();
+	u32 b = (u32)in_u8();
+	out((u64)(a + b));
+}
+`, []byte{1, 2, 3})
+	var reads []Event
+	for _, e := range evs {
+		if e.In.Op == ir.CallB && e.InLen > 0 {
+			reads = append(reads, e)
+		}
+	}
+	if len(reads) != 2 {
+		t.Fatalf("input read events = %d, want 2", len(reads))
+	}
+	if reads[0].InOff != 0 || reads[0].InLen != 2 {
+		t.Errorf("first read at %d len %d, want 0/2", reads[0].InOff, reads[0].InLen)
+	}
+	if reads[1].InOff != 2 || reads[1].InLen != 1 {
+		t.Errorf("second read at %d len %d, want 2/1", reads[1].InOff, reads[1].InLen)
+	}
+	if reads[0].Val != 0x0102 {
+		t.Errorf("read value = %#x", reads[0].Val)
+	}
+}
+
+func TestTracerAllocEvent(t *testing.T) {
+	evs := traceEvents(t, `
+void main() {
+	u8* p = alloc(40);
+	if (p == 0) { exit(1); }
+	free(p);
+}
+`, nil)
+	found := false
+	for _, e := range evs {
+		if e.In.Op == ir.CallB && e.In.Builtin == ir.BAlloc {
+			found = true
+			if e.AllocSz != 40 {
+				t.Errorf("alloc size = %d, want 40", e.AllocSz)
+			}
+			if e.Val < HeapBase {
+				t.Errorf("alloc returned %#x outside heap", e.Val)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no alloc event")
+	}
+}
+
+func TestTracerLoadStoreAddresses(t *testing.T) {
+	evs := traceEvents(t, `
+u32 g;
+void main() {
+	g = 7;
+	out((u64)g);
+}
+`, nil)
+	var store, load *Event
+	for i := range evs {
+		switch evs[i].In.Op {
+		case ir.Store:
+			store = &evs[i]
+		case ir.Load:
+			if load == nil && evs[i].Addr >= GlobalBase && evs[i].Addr < HeapBase {
+				load = &evs[i]
+			}
+		}
+	}
+	if store == nil || load == nil {
+		t.Fatal("missing store or load event")
+	}
+	if store.Addr != load.Addr {
+		t.Errorf("store addr %#x != load addr %#x", store.Addr, load.Addr)
+	}
+	if store.B != 7 || load.Val != 7 {
+		t.Errorf("store value %d, load value %d", store.B, load.Val)
+	}
+}

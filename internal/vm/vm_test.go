@@ -1,0 +1,516 @@
+package vm
+
+import (
+	"testing"
+
+	"codephage/internal/compile"
+	"codephage/internal/ir"
+)
+
+func run(t *testing.T, src string, input []byte) *Result {
+	t.Helper()
+	mod, err := compile.CompileSource("test", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return New(mod, input).Run()
+}
+
+func wantOutput(t *testing.T, r *Result, want ...uint64) {
+	t.Helper()
+	if !r.OK() {
+		t.Fatalf("trapped: %v", r.Trap)
+	}
+	if len(r.Output) != len(want) {
+		t.Fatalf("output = %v, want %v", r.Output, want)
+	}
+	for i := range want {
+		if r.Output[i] != want[i] {
+			t.Fatalf("output = %v, want %v", r.Output, want)
+		}
+	}
+}
+
+func TestArithmeticAndLoops(t *testing.T) {
+	r := run(t, `
+u32 sum_to(u32 n) {
+	u32 s = 0;
+	u32 i = 1;
+	while (i <= n) {
+		s = s + i;
+		i = i + 1;
+	}
+	return s;
+}
+void main() {
+	out(sum_to(10));
+	out(sum_to(0));
+	out(sum_to(100));
+}
+`, nil)
+	wantOutput(t, r, 55, 0, 5050)
+}
+
+func TestIntegerPromotionOverflow(t *testing.T) {
+	// u16 * u16 happens at 32 bits (C promotion): 60000*60000 wraps
+	// nothing at 32 bits (3.6e9 > 2^31 but < 2^32... it equals
+	// 3600000000 which fits in u32 but the promoted type is i32 —
+	// signed overflow wraps in our two's complement model).
+	r := run(t, `
+void main() {
+	u16 a = 60000;
+	u16 b = 60000;
+	u32 p = (u32)(a * b);
+	out(p);
+	u64 q = (u64)a * (u64)b;
+	out(q);
+}
+`, nil)
+	wantOutput(t, r, 3600000000, 3600000000)
+}
+
+func TestOverflowWraps32(t *testing.T) {
+	r := run(t, `
+void main() {
+	u32 a = 100000;
+	u32 b = 100000;
+	out(a * b); /* 10^10 mod 2^32 */
+}
+`, nil)
+	wantOutput(t, r, 10000000000%(1<<32))
+}
+
+func TestSignedArithmetic(t *testing.T) {
+	r := run(t, `
+void main() {
+	i32 a = 0 - 7;
+	i32 b = 2;
+	out((u64)(u32)(a / b));
+	out((u64)(u32)(a % b));
+	out((u64)(u32)(a >> 1));
+	i32 c = 0 - 1;
+	if (c < 0) { out(1); } else { out(0); }
+	u32 d = 0xFFFFFFFF;
+	if (d > 0) { out(1); } else { out(0); }
+}
+`, nil)
+	wantOutput(t, r,
+		uint64(uint32(0xFFFFFFFD)), // -3
+		uint64(uint32(0xFFFFFFFF)), // -1
+		uint64(uint32(0xFFFFFFFC)), // -4 (arithmetic shift)
+		1, 1)
+}
+
+func TestStructsPointersArrays(t *testing.T) {
+	r := run(t, `
+struct Point { i32 x; i32 y; };
+struct Rect { Point a; Point b; u32 tag; };
+
+u32 area(Rect* r) {
+	i32 w = r->b.x - r->a.x;
+	i32 h = r->b.y - r->a.y;
+	return (u32)(w * h);
+}
+
+u32 table[8];
+
+void main() {
+	Rect r;
+	r.a.x = 2; r.a.y = 3;
+	r.b.x = 12; r.b.y = 13;
+	r.tag = 7;
+	out(area(&r));
+	Point* p = &r.a;
+	p->x = 0;
+	out(area(&r));
+	u32 i = 0;
+	while (i < 8) { table[i] = i * i; i = i + 1; }
+	out(table[7]);
+	u32* tp = table;
+	out(tp[3]);
+}
+`, nil)
+	wantOutput(t, r, 100, 120, 49, 9)
+}
+
+func TestHeapAllocAndBounds(t *testing.T) {
+	r := run(t, `
+void main() {
+	u8* p = alloc(16);
+	if (p == 0) { exit(2); }
+	u32 i = 0;
+	while (i < 16) { p[i] = (u8)i; i = i + 1; }
+	out(p[15]);
+	free(p);
+}
+`, nil)
+	wantOutput(t, r, 15)
+}
+
+func TestHeapOOBWriteTraps(t *testing.T) {
+	r := run(t, `
+void main() {
+	u8* p = alloc(16);
+	p[16] = 1; /* one past the end */
+}
+`, nil)
+	if r.OK() || r.Trap.Kind != TrapOOBWrite {
+		t.Fatalf("expected OOB write trap, got %+v", r)
+	}
+}
+
+func TestUseAfterFreeTraps(t *testing.T) {
+	r := run(t, `
+void main() {
+	u8* p = alloc(8);
+	free(p);
+	p[0] = 1;
+}
+`, nil)
+	if r.OK() || r.Trap.Kind != TrapOOBWrite {
+		t.Fatalf("expected OOB write trap, got %+v", r)
+	}
+}
+
+func TestDoubleFreeTraps(t *testing.T) {
+	r := run(t, `
+void main() {
+	u8* p = alloc(8);
+	free(p);
+	free(p);
+}
+`, nil)
+	if r.OK() || r.Trap.Kind != TrapBadFree {
+		t.Fatalf("expected bad free trap, got %+v", r)
+	}
+}
+
+func TestGlobalOOBTraps(t *testing.T) {
+	r := run(t, `
+u8 buf[8];
+u32 x = 5;
+void main() {
+	u32 i = 0;
+	while (i < 9) { buf[i] = 1; i = i + 1; }
+}
+`, nil)
+	if r.OK() || r.Trap.Kind != TrapOOBWrite {
+		t.Fatalf("expected OOB write trap on global buffer, got %+v", r)
+	}
+}
+
+func TestDivideByZeroTraps(t *testing.T) {
+	r := run(t, `
+void main() {
+	u32 n = in_u16be();
+	u32 d = in_u16be();
+	out(n / d);
+}
+`, []byte{0, 10, 0, 0})
+	if r.OK() || r.Trap.Kind != TrapDivZero {
+		t.Fatalf("expected div-zero trap, got %+v", r)
+	}
+}
+
+func TestNullDereferenceTraps(t *testing.T) {
+	r := run(t, `
+void main() {
+	u8* p = 0;
+	p[0] = 1;
+}
+`, nil)
+	if r.OK() || (r.Trap.Kind != TrapUnmapped && r.Trap.Kind != TrapOOBWrite) {
+		t.Fatalf("expected unmapped trap, got %+v", r)
+	}
+}
+
+func TestMallocFailureReturnsNull(t *testing.T) {
+	r := run(t, `
+void main() {
+	u8* p = alloc(0xFFFFFF00); /* ~4 GB: must fail like malloc */
+	if (p == 0) { out(1); } else { out(0); }
+}
+`, nil)
+	wantOutput(t, r, 1)
+}
+
+func TestInputBuiltins(t *testing.T) {
+	r := run(t, `
+void main() {
+	out(in_len());
+	out(in_u8());
+	out(in_u16be());
+	out(in_u16le());
+	out(in_pos());
+	in_seek(0);
+	out(in_u32be());
+	out(in_eof());
+	in_seek(5);
+	out(in_eof());
+}
+`, []byte{0x11, 0x22, 0x33, 0x44, 0x55})
+	wantOutput(t, r, 5, 0x11, 0x2233, 0x5544, 5, 0x11223344, 0, 1)
+}
+
+func TestShortReadYieldsZeros(t *testing.T) {
+	r := run(t, `
+void main() {
+	out(in_u32be());
+}
+`, []byte{0xAB})
+	wantOutput(t, r, 0xAB000000)
+}
+
+func TestExitCode(t *testing.T) {
+	r := run(t, `
+void main() {
+	exit(3);
+	out(99); /* unreachable */
+}
+`, nil)
+	if !r.OK() || r.ExitCode != 3 {
+		t.Fatalf("exit code = %d (trap %v), want 3", r.ExitCode, r.Trap)
+	}
+	if len(r.Output) != 0 {
+		t.Fatalf("output after exit: %v", r.Output)
+	}
+}
+
+func TestMainReturnValueIsExitCode(t *testing.T) {
+	r := run(t, `
+i32 main() {
+	return 7;
+}
+`, nil)
+	if !r.OK() || r.ExitCode != 7 {
+		t.Fatalf("exit code = %d, want 7", r.ExitCode)
+	}
+}
+
+func TestAbortTraps(t *testing.T) {
+	r := run(t, `
+void main() { abort(); }
+`, nil)
+	if r.OK() || r.Trap.Kind != TrapAbort {
+		t.Fatalf("expected abort trap, got %+v", r)
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	mod, err := compile.CompileSource("spin", `
+void main() { while (1) { } }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := New(mod, nil)
+	v.MaxSteps = 1000
+	r := v.Run()
+	if r.OK() || r.Trap.Kind != TrapStepLimit {
+		t.Fatalf("expected step limit trap, got %+v", r)
+	}
+}
+
+func TestRecursionAndStackOverflow(t *testing.T) {
+	r := run(t, `
+u32 fib(u32 n) {
+	if (n < 2) { return n; }
+	return fib(n - 1) + fib(n - 2);
+}
+void main() { out(fib(15)); }
+`, nil)
+	wantOutput(t, r, 610)
+
+	r = run(t, `
+u32 inf(u32 n) { return inf(n + 1); }
+void main() { out(inf(0)); }
+`, nil)
+	if r.OK() || r.Trap.Kind != TrapStackOverflow {
+		t.Fatalf("expected stack overflow, got %+v", r)
+	}
+}
+
+func TestShortCircuitEvaluation(t *testing.T) {
+	r := run(t, `
+u32 calls = 0;
+u32 bump() { calls = calls + 1; return 1; }
+void main() {
+	if (0 && bump()) { }
+	out(calls);
+	if (1 || bump()) { }
+	out(calls);
+	if (1 && bump()) { }
+	out(calls);
+	if (0 || bump()) { }
+	out(calls);
+}
+`, nil)
+	wantOutput(t, r, 0, 0, 1, 2)
+}
+
+func TestGlobalInitializers(t *testing.T) {
+	r := run(t, `
+u32 a = 42;
+u32 b = 1 << 10;
+i32 c = 0 - 0; /* constant fold */
+u16 d = 0xFFFF;
+void main() {
+	out(a);
+	out(b);
+	out(d);
+}
+`, nil)
+	wantOutput(t, r, 42, 1024, 0xFFFF)
+}
+
+func TestPointerComparisonsAndNull(t *testing.T) {
+	r := run(t, `
+struct S { u32 v; };
+void main() {
+	S* p = 0;
+	if (p == 0) { out(1); }
+	S s;
+	s.v = 9;
+	p = &s;
+	if (p != 0) { out(p->v); }
+}
+`, nil)
+	wantOutput(t, r, 1, 9)
+}
+
+func TestSizeofIs32Bit(t *testing.T) {
+	r := run(t, `
+struct Big { u64 a; u8 b; };
+void main() {
+	out(sizeof(u32));
+	out(sizeof(Big)); /* 8 + 1, padded to 16 */
+	out(sizeof(u8*));
+}
+`, nil)
+	wantOutput(t, r, 4, 16, 8)
+}
+
+func TestStrippedModuleStillRuns(t *testing.T) {
+	mod, err := compile.CompileSource("strip", `
+u32 twice(u32 x) { return x * 2; }
+void main() { out(twice(21)); }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod.Strip()
+	if mod.Types != nil || mod.GlobalVars != nil {
+		t.Fatal("Strip left debug info behind")
+	}
+	r := New(mod, nil).Run()
+	wantOutput(t, r, 42)
+}
+
+func TestModuleSerializationRoundTrip(t *testing.T) {
+	mod, err := compile.CompileSource("ser", `
+u32 g = 5;
+u32 add(u32 a, u32 b) { return a + b; }
+void main() { out(add(g, in_u8())); }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := mod.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ir.FromBytes(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(back, []byte{37}).Run()
+	wantOutput(t, r, 42)
+}
+
+func TestReadScalarAndReadable(t *testing.T) {
+	mod, err := compile.CompileSource("peek", `
+u32 g = 0xDEADBEEF;
+void main() { out(g); }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := New(mod, nil)
+	if r := v.Run(); !r.OK() {
+		t.Fatalf("trap: %v", r.Trap)
+	}
+	val, ok := v.ReadScalar(GlobalBase+0, ir.W32)
+	if !ok || val != 0xDEADBEEF {
+		t.Fatalf("ReadScalar = %#x, %v", val, ok)
+	}
+	if v.Readable(0, 1) {
+		t.Error("null readable")
+	}
+	if v.Readable(HeapBase, 1) {
+		t.Error("unallocated heap readable")
+	}
+}
+
+func BenchmarkVMFib20(b *testing.B) {
+	mod, err := compile.CompileSource("fib", `
+u32 fib(u32 n) {
+	if (n < 2) { return n; }
+	return fib(n - 1) + fib(n - 2);
+}
+void main() { out(fib(20)); }
+`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := New(mod, nil).Run()
+		if !r.OK() {
+			b.Fatal(r.Trap)
+		}
+	}
+}
+
+func TestBreakContinue(t *testing.T) {
+	r := run(t, `
+void main() {
+	u32 i = 0;
+	u32 sum = 0;
+	while (i < 100) {
+		i = i + 1;
+		if (i == 3) {
+			continue;
+		}
+		if (i > 5) {
+			break;
+		}
+		sum = sum + i;
+	}
+	out(sum); /* 1+2+4+5 = 12 */
+	out(i);   /* 6 */
+}
+`, nil)
+	wantOutput(t, r, 12, 6)
+}
+
+func TestNestedLoopBreak(t *testing.T) {
+	r := run(t, `
+void main() {
+	u32 total = 0;
+	u32 i = 0;
+	while (i < 3) {
+		u32 j = 0;
+		while (1) {
+			if (j >= 4) {
+				break;
+			}
+			total = total + 1;
+			j = j + 1;
+		}
+		i = i + 1;
+	}
+	out(total); /* 3 * 4 */
+}
+`, nil)
+	wantOutput(t, r, 12)
+}
