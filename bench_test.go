@@ -16,13 +16,24 @@ import (
 
 	"codephage/internal/apps"
 	"codephage/internal/bitvec"
+	"codephage/internal/compile"
 	"codephage/internal/figure8"
 	"codephage/internal/hachoir"
 	"codephage/internal/phage"
+	"codephage/internal/pipeline"
 	"codephage/internal/smt"
 	"codephage/internal/taint"
 	"codephage/internal/vm"
 )
+
+// skipInShort keeps the benchmarks out of short-mode test jobs (the
+// CI test step runs with -short; benchmarks belong to the bench step).
+func skipInShort(b *testing.B) {
+	b.Helper()
+	if testing.Short() {
+		b.Skip("benchmark skipped in short mode")
+	}
+}
 
 // benchRow runs one Figure 8 row repeatedly. The error-triggering
 // input is discovered once outside the timed loop (the paper's
@@ -50,6 +61,7 @@ func benchRow(b *testing.B, recipient, target, donor string) {
 
 // BenchmarkFigure8 has one sub-benchmark per table row.
 func BenchmarkFigure8(b *testing.B) {
+	skipInShort(b)
 	for _, tgt := range apps.Targets() {
 		for _, donor := range tgt.Donors {
 			name := fmt.Sprintf("%s_%s_from_%s",
@@ -107,6 +119,7 @@ func benchAblationSolver(b *testing.B, disableCache, disablePrefilter bool) {
 }
 
 func BenchmarkAblation(b *testing.B) {
+	skipInShort(b)
 	b.Run("SolverCacheAndPrefilter_on", func(b *testing.B) {
 		benchAblationSolver(b, false, false)
 	})
@@ -245,6 +258,7 @@ func TestFirstFlippedBranchSuffices(t *testing.T) {
 // BenchmarkPipelineStages isolates the pipeline's phases on the
 // Section 2 workload.
 func BenchmarkPipelineStages(b *testing.B) {
+	skipInShort(b)
 	tgt, err := apps.TargetByID("cwebp", "jpegdec.c@248")
 	if err != nil {
 		b.Fatal(err)
@@ -299,6 +313,7 @@ func BenchmarkPipelineStages(b *testing.B) {
 
 // BenchmarkTaintTracking measures the execution monitor's overhead.
 func BenchmarkTaintTracking(b *testing.B) {
+	skipInShort(b)
 	app, _ := apps.ByName("cwebp")
 	mod, err := apps.Build(app)
 	if err != nil {
@@ -327,6 +342,7 @@ func BenchmarkTaintTracking(b *testing.B) {
 // BenchmarkSimplify measures the Figure 5 rule engine on the paper's
 // endianness-conversion pattern.
 func BenchmarkSimplify(b *testing.B) {
+	skipInShort(b)
 	f := bitvec.Field("/start_frame/content/height", 16, 4)
 	lo := bitvec.And(f, bitvec.Const(16, 0x00FF))
 	hi := bitvec.LShr(bitvec.And(f, bitvec.Const(16, 0xFF00)), bitvec.Const(16, 8))
@@ -338,4 +354,65 @@ func BenchmarkSimplify(b *testing.B) {
 			b.Fatal("did not collapse")
 		}
 	}
+}
+
+// ---- The staged engine: batched, cached, parallel Figure 8.
+//
+// BenchmarkFigure8Batch runs the complete 18-row Figure 8 workload two
+// ways. "Sequential" models the pre-engine path: every row gets a
+// fresh engine with a cold compile cache, one validation worker and no
+// shared baselines or proofs. "Engine" is the production shape: one
+// shared engine, content-keyed compile cache, shared baseline and
+// proof caches, transfers batched across workers. Error-input
+// discovery happens once, outside both timed regions, exactly as the
+// paper excludes DIODE's initial discovery from generation times.
+func BenchmarkFigure8Batch(b *testing.B) {
+	skipInShort(b)
+	type task struct {
+		id string
+		tr *phage.Transfer
+	}
+	var tasks []task
+	for _, tgt := range apps.Targets() {
+		for _, donor := range tgt.Donors {
+			tr, err := figure8.NewTransfer(tgt, donor, phage.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			tasks = append(tasks, task{id: tgt.Recipient + "/" + tgt.ID + "<-" + donor, tr: tr})
+		}
+	}
+
+	b.Run("Sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, t := range tasks {
+				eng := &pipeline.Engine{Workers: 1, Compiler: compile.NewCache(0)}
+				tr := *t.tr
+				if _, err := eng.Run(&tr); err != nil {
+					b.Fatalf("%s: %v", t.id, err)
+				}
+			}
+		}
+	})
+
+	b.Run("Engine", func(b *testing.B) {
+		eng := pipeline.NewEngine()
+		eng.Compiler = compile.NewCache(0)
+		batch := &pipeline.Batch{Engine: eng}
+		for i := 0; i < b.N; i++ {
+			var bts []pipeline.BatchTask
+			for _, t := range tasks {
+				tr := *t.tr
+				bts = append(bts, pipeline.BatchTask{ID: t.id, Transfer: &tr})
+			}
+			results, stats := batch.Run(bts)
+			if stats.Failed > 0 {
+				for _, r := range results {
+					if r.Err != nil {
+						b.Fatalf("%s: %v", r.ID, r.Err)
+					}
+				}
+			}
+		}
+	})
 }

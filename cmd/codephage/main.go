@@ -5,7 +5,7 @@
 // Usage:
 //
 //	codephage -recipient dillo -target png.c@203 [-donor feh]
-//	          [-mode exit|return0] [-o patched.mc] [-v]
+//	          [-mode exit|return0] [-o patched.mc] [-v] [-workers N]
 package main
 
 import (
@@ -26,6 +26,7 @@ func main() {
 	out := flag.String("o", "", "write the final patched source here")
 	verbose := flag.Bool("v", false, "print excised and translated checks")
 	report := flag.Bool("report", false, "print the full transfer report and patch diff")
+	workers := flag.Int("workers", 0, "candidate-validation fan-out (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	if *recipient == "" || *target == "" {
@@ -40,7 +41,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opts := phage.Options{}
+	opts := phage.Options{Workers: *workers}
 	switch *mode {
 	case "exit":
 	case "return0":

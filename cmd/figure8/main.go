@@ -1,26 +1,32 @@
 // Command figure8 reproduces the paper's Figure 8: it runs the full
-// Code Phage pipeline for all 18 donor/recipient pairs and prints the
-// results table.
+// Code Phage pipeline for all 18 donor/recipient pairs as one batched
+// workload over the staged transfer engine and prints the results
+// table.
 //
 // Usage:
 //
-//	figure8 [-patches]
+//	figure8 [-patches] [-workers N] [-stats]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"codephage/internal/figure8"
 	"codephage/internal/phage"
+	"codephage/internal/pipeline"
 )
 
 func main() {
 	patches := flag.Bool("patches", false, "also print each generated patch")
+	workers := flag.Int("workers", 0, "concurrent transfers (0 = GOMAXPROCS)")
+	stats := flag.Bool("stats", false, "print engine statistics (wall time, caches, solver)")
 	flag.Parse()
 
-	rows := figure8.AllRows(phage.Options{})
+	batch := &pipeline.Batch{Engine: pipeline.NewEngine(), Workers: *workers}
+	rows, bstats := figure8.BatchRows(phage.Options{}, batch)
 	fmt.Print(figure8.FormatTable(rows))
 	failed := 0
 	for _, r := range rows {
@@ -33,6 +39,15 @@ func main() {
 				fmt.Printf("# %s/%s <- %s patch %d: %s\n", r.Recipient, r.Target, r.Donor, i+1, p)
 			}
 		}
+	}
+	if *stats {
+		fmt.Printf("\nbatch: %d transfers, %d failed, wall %s\n",
+			bstats.Tasks, bstats.Failed, bstats.WallTime.Round(time.Millisecond))
+		fmt.Printf("compile cache: %d hits, %d misses, %d evictions\n",
+			bstats.Compile.Hits, bstats.Compile.Misses, bstats.Compile.Evictions)
+		s := bstats.Solver
+		fmt.Printf("solver: %d queries (%d cache hits, %d prefiltered, %d refuted, %d syntactic, %d SAT calls, %s SAT time)\n",
+			s.Queries, s.CacheHits, s.Prefiltered, s.Refuted, s.Syntactic, s.SATCalls, s.SATTime.Round(time.Millisecond))
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "figure8: %d row(s) failed\n", failed)

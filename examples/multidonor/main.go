@@ -3,16 +3,23 @@
 // and Viewnior — each contributing a structurally different check
 // (product bound, per-dimension bound, division-based overflow test).
 //
+// The three transfers run as one pipeline.Batch over a shared engine:
+// the recipient compiles once, the regression baseline is observed
+// once, and the donors are validated concurrently — the batch
+// "many patches over one artifact" shape.
+//
 // Run with: go run ./examples/multidonor
 package main
 
 import (
 	"fmt"
 	"log"
+	"time"
 
 	"codephage/internal/apps"
 	"codephage/internal/figure8"
 	"codephage/internal/phage"
+	"codephage/internal/pipeline"
 )
 
 func main() {
@@ -21,19 +28,35 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("error: %s in %s (%s)\n\n", tgt.ID, tgt.Recipient, tgt.Kind)
+
+	var tasks []pipeline.BatchTask
 	for _, donor := range tgt.Donors {
-		row := figure8.RunRow(tgt, donor, phage.Options{})
-		if row.Err != nil {
-			log.Fatalf("%s: %v", donor, row.Err)
+		tr, err := figure8.NewTransfer(tgt, donor, phage.Options{})
+		if err != nil {
+			log.Fatalf("%s: %v", donor, err)
 		}
-		app, _ := apps.ByName(donor)
-		fmt.Printf("donor %s (%s):\n", donor, app.Paper)
-		for i, pr := range row.Result.Rounds {
+		tasks = append(tasks, pipeline.BatchTask{ID: donor, Transfer: tr})
+	}
+	batch := &pipeline.Batch{Engine: pipeline.NewEngine()}
+	results, stats := batch.Run(tasks)
+
+	for _, br := range results {
+		if br.Err != nil {
+			log.Fatalf("%s: %v", br.ID, br.Err)
+		}
+		app, _ := apps.ByName(br.ID)
+		fmt.Printf("donor %s (%s):\n", br.ID, app.Paper)
+		for i, pr := range br.Result.Rounds {
 			fmt.Printf("  patch %d: %s\n", i+1, pr.PatchText)
 		}
-		fmt.Printf("  flipped branches %s, insertion points %s, check size %s, time %s\n\n",
-			row.FlippedString(), row.InsertString(), row.SizeString(), row.GenTime.Round(1e6))
+		fmt.Printf("  check size %d->%d, time %s\n\n",
+			br.Result.Rounds[0].ExcisedOps, br.Result.Rounds[0].TranslatedOps,
+			br.Result.GenTime.Round(time.Millisecond))
 	}
+	fmt.Printf("batch: %d transfers in %s wall; compile cache %d hits / %d misses\n",
+		stats.Tasks, stats.WallTime.Round(time.Millisecond),
+		stats.Compile.Hits, stats.Compile.Misses)
+	fmt.Println()
 	fmt.Println("All three donors yield validated patches for the same error —")
 	fmt.Println("the diversity of independent development efforts the paper leverages.")
 }

@@ -1,0 +1,3 @@
+module codephage
+
+go 1.24

@@ -96,39 +96,44 @@ func DonorsForFormat(format string) []*App {
 	return out
 }
 
-var (
-	buildMu    sync.Mutex
-	buildCache = map[string]*ir.Module{}
-)
-
-// Build compiles an application with full debug information. Results
-// are cached; callers receive a fresh clone they may mutate.
+// Build compiles an application with full debug information through
+// the shared content-keyed compile cache; callers receive a fresh
+// clone they may mutate.
 func Build(app *App) (*ir.Module, error) {
-	buildMu.Lock()
-	defer buildMu.Unlock()
-	if m, ok := buildCache[app.Name]; ok {
-		return m.Clone(), nil
-	}
-	m, err := compile.CompileSource(app.Name, app.Source)
+	m, err := compile.Cached(app.Name, app.Source)
 	if err != nil {
 		return nil, err
 	}
-	buildCache[app.Name] = m
 	return m.Clone(), nil
 }
 
+var (
+	donorMu    sync.Mutex
+	donorCache = map[string][]byte{} // stripped serialized donor images
+)
+
 // BuildDonorBinary compiles a donor, serializes it, strips it, and
 // loads it back — modelling the distribution of a donor as an opaque
-// stripped binary with no source or symbolic information.
+// stripped binary with no source or symbolic information. The
+// stripped image is cached per donor; every call decodes a fresh
+// module the caller may mutate.
 func BuildDonorBinary(app *App) (*ir.Module, error) {
-	m, err := Build(app)
-	if err != nil {
-		return nil, err
-	}
-	m.Strip()
-	img, err := m.Bytes()
-	if err != nil {
-		return nil, err
+	donorMu.Lock()
+	img, ok := donorCache[app.Name]
+	donorMu.Unlock()
+	if !ok {
+		m, err := Build(app)
+		if err != nil {
+			return nil, err
+		}
+		m.Strip()
+		img, err = m.Bytes()
+		if err != nil {
+			return nil, err
+		}
+		donorMu.Lock()
+		donorCache[app.Name] = img
+		donorMu.Unlock()
 	}
 	return ir.FromBytes(img)
 }

@@ -1,0 +1,128 @@
+package compile
+
+import (
+	"crypto/sha256"
+	"sync"
+
+	"codephage/internal/ir"
+)
+
+// CacheStats counts cache activity.
+type CacheStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+}
+
+// cacheEntry is one memoised compilation outcome. Failed compiles are
+// cached too: the validator probes many candidate patches against the
+// same source and repeats rejected candidates across rounds.
+type cacheEntry struct {
+	mod *ir.Module
+	err error
+}
+
+// Cache is a content-keyed module cache: the key is the hash of the
+// module name and full source text, so recompiles of unchanged source
+// are free. Returned modules are shared between callers and MUST be
+// treated as immutable; clone before mutating (see apps.Build).
+//
+// The cache is safe for concurrent use.
+type Cache struct {
+	max int
+
+	mu      sync.Mutex
+	entries map[[sha256.Size]byte]cacheEntry
+	stats   CacheStats
+}
+
+// defaultCacheMax bounds the default cache. Modules here are small
+// (tens of KB); 4096 entries comfortably covers a full Figure-8 batch
+// with every candidate patch ever compiled.
+const defaultCacheMax = 4096
+
+// NewCache returns an empty cache holding at most max entries
+// (max <= 0 selects the default bound).
+func NewCache(max int) *Cache {
+	if max <= 0 {
+		max = defaultCacheMax
+	}
+	return &Cache{max: max, entries: map[[sha256.Size]byte]cacheEntry{}}
+}
+
+var defaultCache = NewCache(0)
+
+// Default returns the process-wide shared cache.
+func Default() *Cache { return defaultCache }
+
+// Cached compiles through the process-wide shared cache.
+func Cached(name, src string) (*ir.Module, error) {
+	return defaultCache.Compile(name, src)
+}
+
+func cacheKey(name, src string) [sha256.Size]byte {
+	h := sha256.New()
+	h.Write([]byte(name))
+	h.Write([]byte{0})
+	h.Write([]byte(src))
+	var key [sha256.Size]byte
+	h.Sum(key[:0])
+	return key
+}
+
+// Compile returns the module for the named source, compiling at most
+// once per distinct (name, source) content. The result is shared:
+// callers must not mutate it.
+func (c *Cache) Compile(name, src string) (*ir.Module, error) {
+	key := cacheKey(name, src)
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.stats.Hits++
+		c.mu.Unlock()
+		return e.mod, e.err
+	}
+	c.stats.Misses++
+	c.mu.Unlock()
+
+	mod, err := CompileSource(name, src)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		// A concurrent compile won the race; keep the first entry so
+		// every caller observes one canonical module pointer.
+		return e.mod, e.err
+	}
+	if len(c.entries) >= c.max {
+		// Evict an arbitrary quarter of the entries. Eviction order only
+		// affects performance, never results, so the simple policy wins
+		// over LRU bookkeeping on this hot path.
+		drop := c.max / 4
+		if drop < 1 {
+			drop = 1
+		}
+		for k := range c.entries {
+			delete(c.entries, k)
+			c.stats.Evictions++
+			if drop--; drop <= 0 {
+				break
+			}
+		}
+	}
+	c.entries[key] = cacheEntry{mod: mod, err: err}
+	return mod, err
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,97 @@
+package compile
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+const cacheTestSrc = `void main() { out((u64)in_u8()); exit(0); }`
+
+func TestCacheHitsOnIdenticalContent(t *testing.T) {
+	c := NewCache(0)
+	m1, err := c.Compile("app", cacheTestSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := c.Compile("app", cacheTestSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 != m2 {
+		t.Error("identical content did not return the canonical module pointer")
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != 1 {
+		t.Errorf("stats = %+v, want 1 miss / 1 hit", st)
+	}
+}
+
+func TestCacheKeyIncludesNameAndSource(t *testing.T) {
+	c := NewCache(0)
+	a, _ := c.Compile("a", cacheTestSrc)
+	b, _ := c.Compile("b", cacheTestSrc)
+	if a == b {
+		t.Error("different module names shared one cache entry")
+	}
+	c2, _ := c.Compile("a", cacheTestSrc+"\n")
+	if a == c2 {
+		t.Error("different source shared one cache entry")
+	}
+	if got := c.Stats().Misses; got != 3 {
+		t.Errorf("misses = %d, want 3", got)
+	}
+}
+
+func TestCacheCachesFailures(t *testing.T) {
+	c := NewCache(0)
+	if _, err := c.Compile("bad", "void main( {"); err == nil {
+		t.Fatal("bad source compiled")
+	}
+	if _, err := c.Compile("bad", "void main( {"); err == nil {
+		t.Fatal("bad source compiled on second try")
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != 1 {
+		t.Errorf("failure not cached: %+v", st)
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	c := NewCache(8)
+	for i := 0; i < 20; i++ {
+		src := fmt.Sprintf("void main() { out((u64)%d); exit(0); }", i)
+		if _, err := c.Compile("app", src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() > 8 {
+		t.Errorf("cache grew to %d entries, bound is 8", c.Len())
+	}
+	if c.Stats().Evictions == 0 {
+		t.Error("no evictions recorded past the bound")
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache(0)
+	var wg sync.WaitGroup
+	mods := make([]interface{}, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			m, err := c.Compile("app", cacheTestSrc)
+			if err != nil {
+				panic(err)
+			}
+			mods[g] = m
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < 16; g++ {
+		if mods[g] != mods[0] {
+			t.Fatal("concurrent compiles observed different canonical modules")
+		}
+	}
+}

@@ -8,6 +8,7 @@ package figure8
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"codephage/internal/apps"
@@ -15,6 +16,7 @@ import (
 	"codephage/internal/fuzz"
 	"codephage/internal/hachoir"
 	"codephage/internal/phage"
+	"codephage/internal/pipeline"
 )
 
 // Row is one Figure 8 table row.
@@ -37,10 +39,37 @@ type Row struct {
 	Err        error
 }
 
+// errInput memoises one target's discovered error input.
+type errInput struct {
+	input []byte
+	err   error
+}
+
+var (
+	errInputMu   sync.Mutex
+	errInputMemo = map[string]errInput{}
+)
+
 // ErrorInputFor obtains the error-triggering input for a target: from
 // the registry CVE-style catalogue, by fuzzing (OOB), or from DIODE
 // (integer overflows), mirroring the paper's methodology (§4.1).
+// Discovery results are memoised per target, so every donor evaluated
+// against the same error shares one DIODE/fuzzing run.
 func ErrorInputFor(tgt *apps.Target) ([]byte, error) {
+	errInputMu.Lock()
+	memo, ok := errInputMemo[tgt.Recipient+"\x00"+tgt.ID]
+	errInputMu.Unlock()
+	if ok {
+		return memo.input, memo.err
+	}
+	input, err := discoverErrorInput(tgt)
+	errInputMu.Lock()
+	errInputMemo[tgt.Recipient+"\x00"+tgt.ID] = errInput{input: input, err: err}
+	errInputMu.Unlock()
+	return input, err
+}
+
+func discoverErrorInput(tgt *apps.Target) ([]byte, error) {
 	if tgt.Error != nil {
 		return tgt.Error, nil
 	}
@@ -114,7 +143,8 @@ func NewTransfer(tgt *apps.Target, donorName string, opts phage.Options) (*phage
 	}, nil
 }
 
-// RunRow executes one donor/recipient pair end to end.
+// RunRow executes one donor/recipient pair end to end through the
+// default engine.
 func RunRow(tgt *apps.Target, donorName string, opts phage.Options) *Row {
 	row := &Row{Recipient: tgt.Recipient, Target: tgt.ID, Donor: donorName, Kind: tgt.Kind}
 	tr, err := NewTransfer(tgt, donorName, opts)
@@ -127,6 +157,12 @@ func RunRow(tgt *apps.Target, donorName string, opts phage.Options) *Row {
 		row.Err = err
 		return row
 	}
+	row.fill(res)
+	return row
+}
+
+// fill derives the Figure 8 columns from a transfer result.
+func (row *Row) fill(res *phage.Result) {
 	row.Result = res
 	row.GenTime = res.GenTime
 	row.UsedChecks = res.UsedChecks()
@@ -146,19 +182,58 @@ func RunRow(tgt *apps.Target, donorName string, opts phage.Options) *Row {
 			row.FirstCheck = false
 		}
 	}
-	return row
 }
 
 // AllRows runs every donor/recipient pair of the target catalogue —
-// the complete Figure 8 experiment.
+// the complete Figure 8 experiment — as one batched workload over a
+// shared engine. Rows run concurrently, so each Row.GenTime is
+// wall-clock under contention; for per-row times comparable to the
+// paper's fully sequential methodology, use BatchRows with a
+// Workers: 1 batch over an Engine whose Workers is also 1 (otherwise
+// candidate validation inside each row still fans out).
 func AllRows(opts phage.Options) []*Row {
+	rows, _ := BatchRows(opts, nil)
+	return rows
+}
+
+// BatchRows runs the complete Figure 8 catalogue through the given
+// batch (nil = a default batch over the default engine): transfers run
+// concurrently, error-input discovery is shared per target, and the
+// compile, baseline and solver state is shared across rows. Rows come
+// back in catalogue order.
+func BatchRows(opts phage.Options, batch *pipeline.Batch) ([]*Row, pipeline.BatchStats) {
+	if batch == nil {
+		batch = &pipeline.Batch{Engine: pipeline.DefaultEngine()}
+	}
 	var rows []*Row
+	var tasks []pipeline.BatchTask
+	var taskRow []int // task index -> row index
 	for _, tgt := range apps.Targets() {
 		for _, donor := range tgt.Donors {
-			rows = append(rows, RunRow(tgt, donor, opts))
+			row := &Row{Recipient: tgt.Recipient, Target: tgt.ID, Donor: donor, Kind: tgt.Kind}
+			rows = append(rows, row)
+			tr, err := NewTransfer(tgt, donor, opts)
+			if err != nil {
+				row.Err = err
+				continue
+			}
+			tasks = append(tasks, pipeline.BatchTask{
+				ID:       fmt.Sprintf("%s/%s<-%s", tgt.Recipient, tgt.ID, donor),
+				Transfer: tr,
+			})
+			taskRow = append(taskRow, len(rows)-1)
 		}
 	}
-	return rows
+	results, stats := batch.Run(tasks)
+	for i, br := range results {
+		row := rows[taskRow[i]]
+		if br.Err != nil {
+			row.Err = br.Err
+			continue
+		}
+		row.fill(br.Result)
+	}
+	return rows, stats
 }
 
 // FlippedString renders the flipped-branch column ("5" or "[1,1]").

@@ -1,330 +1,129 @@
+// Package phage is the compatibility façade over the staged transfer
+// engine in internal/pipeline. The complete horizontal code transfer
+// pipeline of the paper — donor selection, candidate check discovery,
+// check excision, insertion point identification, the data structure
+// traversal and Rewrite algorithms (Figures 6 and 7), source-level
+// patch generation, and patch validation — now lives in the engine;
+// this package re-exports the historical API so existing callers keep
+// working. Transfer.Run delegates to the engine's default instance.
+//
+// New code should import codephage/internal/pipeline directly: it
+// additionally exposes the Engine (worker pools, shared caches) and
+// the Batch API for running many transfers concurrently.
 package phage
 
 import (
-	"fmt"
-	"sort"
-	"time"
-
 	"codephage/internal/bitvec"
-	"codephage/internal/compile"
-	"codephage/internal/diode"
 	"codephage/internal/hachoir"
 	"codephage/internal/ir"
+	"codephage/internal/pipeline"
 	"codephage/internal/smt"
-	"codephage/internal/vm"
 )
 
-// Options tunes a transfer.
-type Options struct {
-	// ExitMode selects the firing behaviour of generated patches.
-	ExitMode ExitMode
-	// MaxChecks bounds the candidate checks tried per round (0 = all).
-	MaxChecks int
-	// MaxRounds bounds the recursive residual-error elimination.
-	MaxRounds int
-	// MaxSteps bounds each VM run.
-	MaxSteps int64
-	// NoSimplify disables the Figure 5 rewrite rules (ablation).
-	NoSimplify bool
-	// Solver overrides the SMT solver (ablation hooks); nil = fresh.
-	Solver *smt.Solver
-	// DisableDiodeRescan skips the residual-error scan.
-	DisableDiodeRescan bool
-	// DiodeRandSeed seeds the residual scans.
-	DiodeRandSeed int64
+// Core task and result types.
+type (
+	// Transfer describes one donor→recipient code transfer task.
+	// Transfer.Run delegates to pipeline.DefaultEngine.
+	Transfer = pipeline.Transfer
+	// Options tunes a transfer.
+	Options = pipeline.Options
+	// Result is the outcome of a successful transfer.
+	Result = pipeline.Result
+	// PatchRound reports one transferred patch.
+	PatchRound = pipeline.PatchRound
+)
+
+// Stage primitive types.
+type (
+	// Check is one candidate check excised from the donor.
+	Check = pipeline.Check
+	// Discovery summarises the donor analysis.
+	Discovery = pipeline.Discovery
+	// Name is one data-structure traversal result (Figure 6).
+	Name = pipeline.Name
+	// Point is one candidate insertion point.
+	Point = pipeline.Point
+	// InsertionAnalysis is the result of the recipient-side run.
+	InsertionAnalysis = pipeline.InsertionAnalysis
+	// Validation is the outcome of the patch validation phase.
+	Validation = pipeline.Validation
+	// ExitMode selects what a firing patch does.
+	ExitMode = pipeline.ExitMode
+	// ErrUnrenderable reports a construct with no MiniC equivalent.
+	ErrUnrenderable = pipeline.ErrUnrenderable
+	// DonorCandidate pairs a donor binary with a display name.
+	DonorCandidate = pipeline.DonorCandidate
+)
+
+// Patch reaction modes.
+const (
+	ExitOnFail = pipeline.ExitOnFail
+	ReturnZero = pipeline.ReturnZero
+)
+
+// DiscoverChecks runs the donor on the seed and error-triggering
+// inputs and excises a candidate check from every flipped branch.
+func DiscoverChecks(donor *ir.Module, seed, errIn []byte, dis *hachoir.Dissection, relevant map[int]bool, noSimplify bool) (*Discovery, error) {
+	return pipeline.DiscoverChecks(donor, seed, errIn, dis, relevant, noSimplify)
 }
 
-func (o *Options) maxRounds() int {
-	if o.MaxRounds > 0 {
-		return o.MaxRounds
-	}
-	return 6
+// SelectDonors filters a donor database down to the applications that
+// process both the seed and the error-triggering input successfully.
+func SelectDonors(db []*ir.Module, seed, errIn []byte) []*ir.Module {
+	return pipeline.SelectDonors(db, seed, errIn)
 }
 
-// Transfer describes one donor→recipient code transfer task.
-type Transfer struct {
-	RecipientName string
-	RecipientSrc  string
-	Donor         *ir.Module // stripped donor binary
-	DonorName     string
-	Format        string // dissector name
-	Seed          []byte
-	Error         []byte   // initial error-triggering input
-	Regression    [][]byte // inputs the recipient is known to process
-	VulnFn        string   // DIODE rescan target function ("" = none)
-	Opts          Options
+// AnalyzeInsertionPoints finds the candidate insertion points for a
+// check over the given input fields.
+func AnalyzeInsertionPoints(recipient *ir.Module, seed []byte, dis *hachoir.Dissection, checkFields []string, relevant map[int]bool) (*InsertionAnalysis, error) {
+	return pipeline.AnalyzeInsertionPoints(recipient, seed, dis, checkFields, relevant)
 }
 
-// PatchRound reports one transferred patch (one error eliminated).
-type PatchRound struct {
-	CheckIndex      int // index of the used check among flipped ones
-	RelevantSites   int // Figure 8: Relevant Branches
-	FlippedSites    int // Figure 8: Flipped Branches
-	CandidatePoints int // Figure 8: X
-	UnstablePoints  int // Figure 8: Y
-	Untranslatable  int // Figure 8: Z
-	ViablePoints    int // Figure 8: W = X - Y - Z
-	ExcisedOps      int // Figure 8: Check Size X
-	TranslatedOps   int // Figure 8: Check Size Y
-	ExcisedCheck    string
-	TranslatedCheck string
-	PatchText       string
-	InsertFn        string
-	InsertLine      int32
-	ErrorInput      []byte
-
-	excised *bitvec.Expr // field-level check, kept for the SMT argument
+// Rewrite implements Figure 7: translate the expression into the name
+// space of the recipient.
+func Rewrite(e *bitvec.Expr, names []Name, solver *smt.Solver) *bitvec.Expr {
+	return pipeline.Rewrite(e, names, solver)
 }
 
-// Result is the outcome of a successful transfer.
-type Result struct {
-	Rounds      []PatchRound
-	FinalSource string
-	FinalModule *ir.Module
-	GenTime     time.Duration
-	// OverflowFreeProven holds the SMT verdict on whether the
-	// transferred checks rule out the observed overflows entirely
-	// (nil: solver budget exhausted, verdict unknown).
-	OverflowFreeProven *bool
-	SolverStats        smt.Stats
+// CheckHolds evaluates the translated check against concrete values.
+func CheckHolds(translated *bitvec.Expr, fieldEnv map[string]uint64, names []Name) (bool, error) {
+	return pipeline.CheckHolds(translated, fieldEnv, names)
 }
 
-// UsedChecks returns the number of transferred checks (Figure 8).
-func (r *Result) UsedChecks() int { return len(r.Rounds) }
+// RenderExpr renders a translated expression as MiniC text.
+func RenderExpr(e *bitvec.Expr) (string, error) { return pipeline.RenderExpr(e) }
 
-// Run executes the full Code Phage pipeline for the transfer task.
-func (t *Transfer) Run() (*Result, error) {
-	start := time.Now()
-	solver := t.Opts.Solver
-	if solver == nil {
-		solver = smt.New()
-	}
-	dissector, ok := hachoir.ByName(t.Format)
-	if !ok {
-		return nil, fmt.Errorf("phage: unknown input format %q", t.Format)
-	}
-	dis, err := dissector.Dissect(t.Seed)
-	if err != nil {
-		return nil, err
-	}
-
-	// Donor selection: the donor must process both inputs (§3.1).
-	if r := vm.New(t.Donor, t.Seed).Run(); !r.OK() {
-		return nil, fmt.Errorf("phage: donor %s rejected: crashes on seed: %v", t.DonorName, r.Trap)
-	}
-	if r := vm.New(t.Donor, t.Error).Run(); !r.OK() {
-		return nil, fmt.Errorf("phage: donor %s rejected: crashes on error input: %v", t.DonorName, r.Trap)
-	}
-
-	// Baseline regression behaviour of the original recipient.
-	origMod, err := compile.CompileSource(t.RecipientName, t.RecipientSrc)
-	if err != nil {
-		return nil, fmt.Errorf("phage: recipient does not compile: %w", err)
-	}
-	baseline := make([]behaviour, len(t.Regression))
-	for i, input := range t.Regression {
-		baseline[i] = observe(origMod, input, t.Opts.MaxSteps)
-	}
-
-	res := &Result{FinalSource: t.RecipientSrc, FinalModule: origMod}
-	src := t.RecipientSrc
-	errIn := t.Error
-	var guards []*bitvec.Expr    // transferred checks (field-level)
-	var sizeExprs []*bitvec.Expr // overflowing size expressions seen
-
-	for round := 0; round < t.Opts.maxRounds(); round++ {
-		pr, patchedSrc, patchedMod, err := t.oneRound(src, errIn, dis, solver, baseline)
-		if err != nil {
-			return nil, fmt.Errorf("phage: round %d: %w", round+1, err)
-		}
-		res.Rounds = append(res.Rounds, *pr)
-		src, res.FinalSource = patchedSrc, patchedSrc
-		res.FinalModule = patchedMod
-
-		// Collect material for the overflow-freedom argument.
-		if g := checkGuard(pr); g != nil {
-			guards = append(guards, g)
-		}
-
-		// Residual error scan (§3.4): rerun DIODE on the patched build.
-		if t.VulnFn == "" || t.Opts.DisableDiodeRescan {
-			break
-		}
-		finding, derr := diode.Discover(patchedMod, t.Seed, dis, diode.Options{
-			VulnFn: t.VulnFn, MaxSteps: t.Opts.MaxSteps,
-			RandSeed: t.Opts.DiodeRandSeed + int64(round),
-		})
-		if derr != nil {
-			return nil, fmt.Errorf("phage: residual scan: %w", derr)
-		}
-		if finding == nil {
-			break // no residual errors: done
-		}
-		sizeExprs = append(sizeExprs, finding.SizeExpr)
-		errIn = finding.Input
-	}
-
-	res.GenTime = time.Since(start)
-	// The overflow-freedom argument gets its own small conflict budget:
-	// satisfiable cases fall out of concrete probing almost instantly,
-	// while full UNSAT proofs over 64-bit multipliers are routinely out
-	// of reach — the verdict is then "unproven" (nil), and the DIODE
-	// residual scan remains the operative evidence.
-	proofSolver := smt.New()
-	proofSolver.MaxConflicts = 20000
-	res.OverflowFreeProven = proveOverflowFree(proofSolver, guards, sizeExprs)
-	res.SolverStats = solver.Stats
-	return res, nil
+// PatchText renders the complete guard statement for a check.
+func PatchText(translated *bitvec.Expr, mode ExitMode) (string, error) {
+	return pipeline.PatchText(translated, mode)
 }
 
-// checkGuard re-parses the excised check recorded in the round (the
-// field-level predicate) for the overflow-freedom conjunction. The
-// expression itself is retained on the round via the excised cond.
-func checkGuard(pr *PatchRound) *bitvec.Expr { return pr.excised }
-
-// oneRound transfers one patch for the current error input.
-func (t *Transfer) oneRound(src string, errIn []byte, dis *hachoir.Dissection, solver *smt.Solver, baseline []behaviour) (*PatchRound, string, *ir.Module, error) {
-	relevant := dis.DiffFields(t.Seed, errIn)
-	disc, err := DiscoverChecks(t.Donor, t.Seed, errIn, dis, relevant, t.Opts.NoSimplify)
-	if err != nil {
-		return nil, "", nil, err
-	}
-	if len(disc.Checks) == 0 {
-		return nil, "", nil, fmt.Errorf("donor %s has no flipped branches for this error", t.DonorName)
-	}
-	mod, err := compile.CompileSource(t.RecipientName, src)
-	if err != nil {
-		return nil, "", nil, fmt.Errorf("recipient does not compile: %w", err)
-	}
-
-	maxChecks := t.Opts.MaxChecks
-	if maxChecks <= 0 || maxChecks > len(disc.Checks) {
-		maxChecks = len(disc.Checks)
-	}
-	var lastErr error
-	for ci := 0; ci < maxChecks; ci++ {
-		check := disc.Checks[ci]
-		pr, patchedSrc, patchedMod, err := t.tryCheck(mod, src, errIn, dis, relevant, solver, baseline, &check)
-		if err != nil {
-			lastErr = err
-			continue // try the next candidate check (§1.1 Retry)
-		}
-		pr.CheckIndex = ci
-		pr.RelevantSites = disc.RelevantSites
-		pr.FlippedSites = disc.FlippedSites
-		pr.ErrorInput = errIn
-		return pr, patchedSrc, patchedMod, nil
-	}
-	return nil, "", nil, fmt.Errorf("no candidate check validates (last: %v)", lastErr)
+// InsertPatchLine inserts the patch immediately after the given line.
+func InsertPatchLine(src string, afterLine int32, patch string) (string, error) {
+	return pipeline.InsertPatchLine(src, afterLine, patch)
 }
 
-// patchCandidate is one translated patch at one insertion point.
-type patchCandidate struct {
-	point      *Point
-	translated *bitvec.Expr
-	text       string
+// InsertBeforeLine inserts the patch immediately before the given line.
+func InsertBeforeLine(src string, line int32, patch string) (string, error) {
+	return pipeline.InsertBeforeLine(src, line, patch)
 }
 
-// tryCheck attempts to insert and validate one candidate check.
-func (t *Transfer) tryCheck(mod *ir.Module, src string, errIn []byte, dis *hachoir.Dissection, relevant map[int]bool, solver *smt.Solver, baseline []behaviour, check *Check) (*PatchRound, string, *ir.Module, error) {
-	fields := check.Cond.Fields()
-	if len(fields) == 0 {
-		return nil, "", nil, fmt.Errorf("check at %v has no input fields", check.Site)
-	}
-	analysis, err := AnalyzeInsertionPoints(mod, t.Seed, dis, fields, relevant)
-	if err != nil {
-		return nil, "", nil, err
-	}
-	total, unstable, stable := analysis.Candidates()
+// ValidatePatch recompiles the patched recipient and subjects it to
+// the paper's validation steps. This re-export must stay a var: the
+// baseline parameter's element type is unexported in pipeline (as it
+// was here before the move), so a wrapper func cannot spell the
+// signature.
+var ValidatePatch = pipeline.ValidatePatch
 
-	// Translate the check at every stable point (§3.3).
-	var candidates []patchCandidate
-	untranslatable := 0
-	for _, p := range stable {
-		translated := Rewrite(check.Cond, p.Names, solver)
-		if translated == nil {
-			untranslatable++
-			continue
-		}
-		text, rerr := PatchText(translated, t.Opts.ExitMode)
-		if rerr != nil {
-			untranslatable++
-			continue
-		}
-		candidates = append(candidates, patchCandidate{point: p, translated: translated, text: text})
-	}
-	pr := &PatchRound{
-		CandidatePoints: total,
-		UnstablePoints:  unstable,
-		Untranslatable:  untranslatable,
-		ViablePoints:    len(candidates),
-		ExcisedOps:      check.Raw.OpCount(),
-		ExcisedCheck:    check.Cond.String(),
-		excised:         check.Cond,
-	}
-	if len(candidates) == 0 {
-		return nil, "", nil, fmt.Errorf("check translates at no stable insertion point")
-	}
-
-	// Sort generated patches by size and validate in that order (§2).
-	sort.Slice(candidates, func(i, j int) bool {
-		oi, oj := candidates[i].translated.OpCount(), candidates[j].translated.OpCount()
-		if oi != oj {
-			return oi < oj
-		}
-		if len(candidates[i].text) != len(candidates[j].text) {
-			return len(candidates[i].text) < len(candidates[j].text)
-		}
-		if candidates[i].point.Fn != candidates[j].point.Fn {
-			return candidates[i].point.Fn < candidates[j].point.Fn
-		}
-		return candidates[i].point.Line < candidates[j].point.Line
-	})
-
-	var lastReason string
-	for _, cand := range candidates {
-		patchedSrc, perr := InsertBeforeLine(src, cand.point.Line, cand.text)
-		if perr != nil {
-			lastReason = perr.Error()
-			continue
-		}
-		val := ValidatePatch(t.RecipientName, patchedSrc, errIn, t.Regression, baseline, t.Opts.MaxSteps)
-		if !val.OK() {
-			lastReason = val.FailReason
-			continue
-		}
-		pr.TranslatedOps = cand.translated.OpCount()
-		pr.TranslatedCheck = cand.translated.String()
-		pr.PatchText = cand.text
-		pr.InsertFn = cand.point.FnName
-		pr.InsertLine = cand.point.Line
-		return pr, patchedSrc, val.Module, nil
-	}
-	return nil, "", nil, fmt.Errorf("no insertion point validates (last: %s)", lastReason)
+// BinaryPatch splices the compiled check into a clone of the module.
+func BinaryPatch(mod *ir.Module, fnName string, line int32, translated *bitvec.Expr, mode ExitMode) (*ir.Module, error) {
+	return pipeline.BinaryPatch(mod, fnName, line, translated, mode)
 }
 
-// proveOverflowFree asks the solver whether any input can satisfy all
-// transferred checks and still wrap one of the observed allocation
-// sizes (§1.1: additional validation for integer overflow errors).
-// Returns nil when the verdict is unknown (budget exhausted) or there
-// is nothing to prove.
-func proveOverflowFree(solver *smt.Solver, guards, sizeExprs []*bitvec.Expr) *bool {
-	if len(guards) == 0 || len(sizeExprs) == 0 {
-		return nil
-	}
-	verdict := true
-	for _, size := range sizeExprs {
-		cond := diode.OverflowCond(size, 1<<20)
-		for _, g := range guards {
-			cond = bitvec.And(g, cond)
-		}
-		sat, _, err := solver.Sat(cond)
-		if err != nil {
-			return nil // unknown
-		}
-		if sat {
-			verdict = false
-		}
-	}
-	return &verdict
+// TryDonors attempts the transfer with each donor in turn.
+func TryDonors(template *Transfer, donors []DonorCandidate) (*Result, string, error) {
+	return pipeline.TryDonors(template, donors)
 }
+
+// Diff returns a unified-style rendering of the inserted patch lines.
+func Diff(original, patched string) string { return pipeline.Diff(original, patched) }

@@ -1,0 +1,147 @@
+package pipeline
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"codephage/internal/compile"
+	"codephage/internal/smt"
+)
+
+// BatchTask is one transfer in a batch workload.
+type BatchTask struct {
+	ID       string // caller-chosen identifier, echoed in the result
+	Transfer *Transfer
+}
+
+// BatchResult is the outcome of one batch task.
+type BatchResult struct {
+	ID     string
+	Result *Result
+	Err    error
+}
+
+// BatchStats aggregates one batch run.
+type BatchStats struct {
+	Tasks    int
+	Failed   int
+	WallTime time.Duration
+	// Compile counts the compile-cache activity during this batch only
+	// (prior activity of a shared cache is subtracted out).
+	Compile compile.CacheStats
+	// Solver aggregates solver activity across this batch's tasks
+	// only (prior activity of a reused engine is subtracted out).
+	Solver smt.Stats
+}
+
+// subStats returns after minus before, counter-wise.
+func subStats(after, before smt.Stats) smt.Stats {
+	return smt.Stats{
+		Queries:     after.Queries - before.Queries,
+		CacheHits:   after.CacheHits - before.CacheHits,
+		Prefiltered: after.Prefiltered - before.Prefiltered,
+		Refuted:     after.Refuted - before.Refuted,
+		Syntactic:   after.Syntactic - before.Syntactic,
+		SATCalls:    after.SATCalls - before.SATCalls,
+		SATTime:     after.SATTime - before.SATTime,
+	}
+}
+
+// Batch runs many transfers concurrently over one shared engine: one
+// compile cache, one baseline cache, aggregated statistics. Results
+// come back in task order regardless of completion order, and each
+// task's Result is identical to what a standalone Run would produce.
+type Batch struct {
+	// Engine executes the tasks (nil = a fresh NewEngine).
+	Engine *Engine
+	// Workers bounds the number of concurrently running transfers
+	// (0 = GOMAXPROCS). Candidate validation inside each transfer
+	// additionally fans out per the engine's worker setting.
+	Workers int
+}
+
+// Run executes the tasks and returns per-task results in task order.
+func (b *Batch) Run(tasks []BatchTask) ([]BatchResult, BatchStats) {
+	start := time.Now()
+	eng := b.Engine
+	if eng == nil {
+		eng = NewEngine()
+	}
+	if len(tasks) == 0 {
+		return nil, BatchStats{WallTime: time.Since(start), Compile: compile.CacheStats{}}
+	}
+	workers := b.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+
+	// Divide the CPU budget between the two fan-out levels: with N
+	// concurrent transfers, each task's candidate validation defaults
+	// to GOMAXPROCS/N workers instead of GOMAXPROCS, so the batch does
+	// not oversubscribe the machine quadratically. Explicit per-task
+	// or engine-level worker settings win; the division is applied to
+	// a per-run copy of the task, never written back to caller state.
+	perTask := 0
+	if eng.Workers == 0 {
+		perTask = runtime.GOMAXPROCS(0) / workers
+		if perTask < 1 {
+			perTask = 1
+		}
+	}
+
+	solverBefore := eng.SolverStats()
+	compileBefore := eng.compiler().Stats()
+	results := make([]BatchResult, len(tasks))
+	var next int64
+	var mu sync.Mutex
+	claim := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		i := next
+		next++
+		return int(i)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := claim()
+				if i >= len(tasks) {
+					return
+				}
+				tr := *tasks[i].Transfer
+				if perTask > 0 && tr.Opts.Workers == 0 {
+					tr.Opts.Workers = perTask
+				}
+				res, err := eng.Run(&tr)
+				results[i] = BatchResult{ID: tasks[i].ID, Result: res, Err: err}
+			}
+		}()
+	}
+	wg.Wait()
+
+	compileAfter := eng.compiler().Stats()
+	stats := BatchStats{
+		Tasks:    len(tasks),
+		WallTime: time.Since(start),
+		Compile: compile.CacheStats{
+			Hits:      compileAfter.Hits - compileBefore.Hits,
+			Misses:    compileAfter.Misses - compileBefore.Misses,
+			Evictions: compileAfter.Evictions - compileBefore.Evictions,
+		},
+		Solver: subStats(eng.SolverStats(), solverBefore),
+	}
+	for i := range results {
+		if results[i].Err != nil {
+			stats.Failed++
+		}
+	}
+	return results, stats
+}

@@ -1,10 +1,7 @@
-// Package phage implements Code Phage itself: donor selection,
-// candidate check discovery, check excision, insertion point
-// identification, the data structure traversal and Rewrite algorithms
-// (Figures 6 and 7), source-level patch generation, and patch
-// validation — the complete horizontal code transfer pipeline of the
-// paper, over the MVX/MiniC substrate.
-package phage
+// This file implements the Discover stage primitives: donor
+// selection, candidate check discovery and check excision (§3.2),
+// over the MVX/MiniC substrate.
+package pipeline
 
 import (
 	"fmt"

@@ -1,0 +1,769 @@
+// Package pipeline is the staged Code Phage transfer engine. It runs
+// the paper's control flow as an explicit sequence of typed stages
+// over a shared TransferContext:
+//
+//	Discover -> AnalyzePoints -> Translate -> Insert -> Validate -> Rescan
+//
+// Discover excises candidate checks from the donor (§3.2),
+// AnalyzePoints finds the recipient insertion points for one check
+// (§3.3), Translate rewrites the check into the recipient name space
+// at every stable point (Figures 6 and 7), Insert+Validate splice each
+// generated patch into the source and replay the error input and the
+// regression suite (§3.4), and Rescan reruns DIODE on the patched
+// build for residual errors. Candidate validation fans out across a
+// bounded worker pool; the winner is merged deterministically
+// (rank-then-reduce: the first-ranked validating candidate wins, never
+// the first to finish), so parallel runs return byte-identical results
+// to sequential ones. Recipient compiles go through a content-keyed
+// module cache, and each transfer translates on its own private SMT
+// solver (forked from the caller's template) so concurrent work never
+// shares solver state.
+package pipeline
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"codephage/internal/bitvec"
+	"codephage/internal/compile"
+	"codephage/internal/diode"
+	"codephage/internal/hachoir"
+	"codephage/internal/ir"
+	"codephage/internal/smt"
+	"codephage/internal/vm"
+)
+
+// Options tunes a transfer.
+type Options struct {
+	// ExitMode selects the firing behaviour of generated patches.
+	ExitMode ExitMode
+	// MaxChecks bounds the candidate checks tried per round (0 = all).
+	MaxChecks int
+	// MaxRounds bounds the recursive residual-error elimination.
+	MaxRounds int
+	// MaxSteps bounds each VM run.
+	MaxSteps int64
+	// NoSimplify disables the Figure 5 rewrite rules (ablation).
+	NoSimplify bool
+	// Solver is the template solver (ablation hooks): its
+	// configuration is forked into each transfer's private solver and
+	// the transfer's statistics are merged back into it, so one
+	// template can safely serve many concurrent transfers.
+	// Nil = fresh defaults.
+	Solver *smt.Solver
+	// DisableDiodeRescan skips the residual-error scan.
+	DisableDiodeRescan bool
+	// DiodeRandSeed seeds the residual scans.
+	DiodeRandSeed int64
+	// Workers bounds the candidate-validation fan-out for this transfer
+	// (0 = the engine default).
+	Workers int
+}
+
+func (o *Options) maxRounds() int {
+	if o.MaxRounds > 0 {
+		return o.MaxRounds
+	}
+	return 6
+}
+
+// Transfer describes one donor→recipient code transfer task.
+type Transfer struct {
+	RecipientName string
+	RecipientSrc  string
+	Donor         *ir.Module // stripped donor binary
+	DonorName     string
+	Format        string // dissector name
+	Seed          []byte
+	Error         []byte   // initial error-triggering input
+	Regression    [][]byte // inputs the recipient is known to process
+	VulnFn        string   // DIODE rescan target function ("" = none)
+	Opts          Options
+}
+
+// Run executes the transfer on the default engine. It is the
+// compatibility entry point: phage.Transfer.Run delegates here.
+func (t *Transfer) Run() (*Result, error) { return DefaultEngine().Run(t) }
+
+// PatchRound reports one transferred patch (one error eliminated).
+type PatchRound struct {
+	CheckIndex      int // index of the used check among flipped ones
+	RelevantSites   int // Figure 8: Relevant Branches
+	FlippedSites    int // Figure 8: Flipped Branches
+	CandidatePoints int // Figure 8: X
+	UnstablePoints  int // Figure 8: Y
+	Untranslatable  int // Figure 8: Z
+	ViablePoints    int // Figure 8: W = X - Y - Z
+	ExcisedOps      int // Figure 8: Check Size X
+	TranslatedOps   int // Figure 8: Check Size Y
+	ExcisedCheck    string
+	TranslatedCheck string
+	PatchText       string
+	InsertFn        string
+	InsertLine      int32
+	ErrorInput      []byte
+
+	excised *bitvec.Expr // field-level check, kept for the SMT argument
+}
+
+// Result is the outcome of a successful transfer.
+type Result struct {
+	Rounds      []PatchRound
+	FinalSource string
+	// FinalModule is the validated patched build. It aliases a shared
+	// compile-cache entry: treat it as immutable and Clone before any
+	// in-place edit (BinaryPatch already does).
+	FinalModule *ir.Module
+	GenTime     time.Duration
+	// OverflowFreeProven holds the SMT verdict on whether the
+	// transferred checks rule out the observed overflows entirely
+	// (nil: solver budget exhausted, verdict unknown).
+	OverflowFreeProven *bool
+	SolverStats        smt.Stats
+}
+
+// UsedChecks returns the number of transferred checks (Figure 8).
+func (r *Result) UsedChecks() int { return len(r.Rounds) }
+
+// Engine drives transfers through the staged pipeline. One engine can
+// serve many concurrent transfers: the compile cache, the baseline
+// cache and the solver statistics are shared and synchronised.
+type Engine struct {
+	// Workers bounds the candidate-validation fan-out per transfer
+	// (0 = GOMAXPROCS).
+	Workers int
+	// Compiler is the content-keyed module cache (nil = the shared
+	// process-wide cache).
+	Compiler *compile.Cache
+
+	mu        sync.Mutex
+	stats     smt.Stats
+	baselines map[baselineKey][]behaviour
+	proofs    map[string]*bool
+}
+
+// NewEngine returns an engine with default settings, sharing the
+// process-wide compile cache.
+func NewEngine() *Engine {
+	return &Engine{Compiler: compile.Default(), baselines: map[baselineKey][]behaviour{}}
+}
+
+var (
+	defaultEngine     *Engine
+	defaultEngineOnce sync.Once
+)
+
+// DefaultEngine returns the shared engine used by Transfer.Run.
+func DefaultEngine() *Engine {
+	defaultEngineOnce.Do(func() { defaultEngine = NewEngine() })
+	return defaultEngine
+}
+
+// SolverStats returns the solver activity aggregated over every
+// transfer the engine has run.
+func (e *Engine) SolverStats() smt.Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+func (e *Engine) compiler() *compile.Cache {
+	if e.Compiler != nil {
+		return e.Compiler
+	}
+	return compile.Default()
+}
+
+func (e *Engine) workers(t *Transfer) int {
+	if t.Opts.Workers > 0 {
+		return t.Opts.Workers
+	}
+	if e.Workers > 0 {
+		return e.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// TransferContext is the shared state the stages read and extend.
+type TransferContext struct {
+	Engine   *Engine
+	Transfer *Transfer
+	Dis      *hachoir.Dissection
+	Solver   *smt.Solver // template: forked per check, stats merged back
+	Compiler *compile.Cache
+
+	// Round state.
+	Round     int
+	Src       string // current recipient source (patched so far)
+	ErrIn     []byte // current error-triggering input
+	Relevant  map[int]bool
+	Recipient *ir.Module // compiled current source
+	Baseline  []behaviour
+	Discovery *Discovery
+
+	// Per-check state (the §1.1 retry loop iterates these).
+	CheckIndex int
+	Check      *Check
+	Analysis   *InsertionAnalysis
+	Candidates []patchCandidate
+	Draft      *PatchRound // counts filled by Translate, patch by Validate
+
+	// Winning-candidate state.
+	PatchedSrc string
+	PatchedMod *ir.Module
+}
+
+// Stage is one typed step of the engine over the TransferContext.
+type Stage interface {
+	Name() string
+	Run(ctx *TransferContext) error
+}
+
+// checkStages is the per-candidate-check sub-pipeline.
+func checkStages() []Stage {
+	return []Stage{stageAnalyzePoints{}, stageTranslate{}, stageInsertValidate{}}
+}
+
+// Run executes the full Code Phage pipeline for the transfer task.
+func (e *Engine) Run(t *Transfer) (*Result, error) {
+	start := time.Now()
+	ctx, err := e.newContext(t)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{FinalSource: t.RecipientSrc, FinalModule: ctx.Recipient}
+	var guards []*bitvec.Expr    // transferred checks (field-level)
+	var sizeExprs []*bitvec.Expr // overflowing size expressions seen
+
+	for round := 0; round < t.Opts.maxRounds(); round++ {
+		ctx.Round = round
+		pr, err := e.runRound(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("phage: round %d: %w", round+1, err)
+		}
+		res.Rounds = append(res.Rounds, *pr)
+		ctx.Src, res.FinalSource = ctx.PatchedSrc, ctx.PatchedSrc
+		res.FinalModule = ctx.PatchedMod
+
+		// Collect material for the overflow-freedom argument.
+		if pr.excised != nil {
+			guards = append(guards, pr.excised)
+		}
+
+		finding, stop, err := stageRescan{}.scan(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("phage: residual scan: %w", err)
+		}
+		if stop {
+			break
+		}
+		sizeExprs = append(sizeExprs, finding.SizeExpr)
+		ctx.ErrIn = finding.Input
+	}
+
+	res.GenTime = time.Since(start)
+	res.OverflowFreeProven = e.overflowVerdict(guards, sizeExprs)
+	// ctx.Solver is private to this transfer, so its Stats are exactly
+	// this transfer's activity: merge them into the engine aggregate
+	// and back into the caller's template solver (if any) under the
+	// engine lock, so shared templates neither race nor double-count.
+	res.SolverStats = ctx.Solver.Stats
+	e.mu.Lock()
+	e.stats.Merge(ctx.Solver.Stats)
+	if t.Opts.Solver != nil {
+		t.Opts.Solver.Stats.Merge(ctx.Solver.Stats)
+	}
+	e.mu.Unlock()
+	return res, nil
+}
+
+// newContext vets the task (format, donor behaviour) and establishes
+// the baseline regression behaviour of the original recipient.
+func (e *Engine) newContext(t *Transfer) (*TransferContext, error) {
+	// The per-transfer template solver is always a private instance:
+	// a caller-provided Opts.Solver contributes its configuration via
+	// Fork (and receives the transfer's stats back under the engine
+	// lock when Run finishes), so batch tasks sharing one ablation
+	// solver never race on its state.
+	var solver *smt.Solver
+	if t.Opts.Solver != nil {
+		solver = t.Opts.Solver.Fork()
+	} else {
+		solver = smt.New()
+	}
+	dissector, ok := hachoir.ByName(t.Format)
+	if !ok {
+		return nil, fmt.Errorf("phage: unknown input format %q", t.Format)
+	}
+	dis, err := dissector.Dissect(t.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	// Donor selection: the donor must process both inputs (§3.1).
+	donorRunner := vm.NewRunner(t.Donor)
+	if r := donorRunner.Run(t.Seed); !r.OK() {
+		return nil, fmt.Errorf("phage: donor %s rejected: crashes on seed: %v", t.DonorName, r.Trap)
+	}
+	if r := donorRunner.Run(t.Error); !r.OK() {
+		return nil, fmt.Errorf("phage: donor %s rejected: crashes on error input: %v", t.DonorName, r.Trap)
+	}
+
+	// Baseline regression behaviour of the original recipient.
+	cc := e.compiler()
+	origMod, err := cc.Compile(t.RecipientName, t.RecipientSrc)
+	if err != nil {
+		return nil, fmt.Errorf("phage: recipient does not compile: %w", err)
+	}
+	baseline := e.baselineFor(origMod, t.Regression, t.Opts.MaxSteps)
+
+	return &TransferContext{
+		Engine:    e,
+		Transfer:  t,
+		Dis:       dis,
+		Solver:    solver,
+		Compiler:  cc,
+		Src:       t.RecipientSrc,
+		ErrIn:     t.Error,
+		Recipient: origMod,
+		Baseline:  baseline,
+	}, nil
+}
+
+// runRound transfers one patch for the current error input: Discover,
+// then the per-check sub-pipeline until one check validates.
+func (e *Engine) runRound(ctx *TransferContext) (*PatchRound, error) {
+	t := ctx.Transfer
+	if err := (stageDiscover{}).Run(ctx); err != nil {
+		return nil, err
+	}
+	if len(ctx.Discovery.Checks) == 0 {
+		return nil, fmt.Errorf("donor %s has no flipped branches for this error", t.DonorName)
+	}
+
+	maxChecks := t.Opts.MaxChecks
+	if maxChecks <= 0 || maxChecks > len(ctx.Discovery.Checks) {
+		maxChecks = len(ctx.Discovery.Checks)
+	}
+	var lastErr error
+	for ci := 0; ci < maxChecks; ci++ {
+		ctx.CheckIndex, ctx.Check = ci, &ctx.Discovery.Checks[ci]
+		pr, err := e.tryCheck(ctx)
+		if err != nil {
+			lastErr = err
+			continue // try the next candidate check (§1.1 Retry)
+		}
+		pr.CheckIndex = ci
+		pr.RelevantSites = ctx.Discovery.RelevantSites
+		pr.FlippedSites = ctx.Discovery.FlippedSites
+		pr.ErrorInput = ctx.ErrIn
+		return pr, nil
+	}
+	return nil, fmt.Errorf("no candidate check validates (last: %v)", lastErr)
+}
+
+// tryCheck runs the per-check stages for the current candidate check.
+func (e *Engine) tryCheck(ctx *TransferContext) (*PatchRound, error) {
+	ctx.Analysis, ctx.Candidates, ctx.Draft = nil, nil, nil
+	for _, st := range checkStages() {
+		if err := st.Run(ctx); err != nil {
+			return nil, err
+		}
+	}
+	return ctx.Draft, nil
+}
+
+// stageDiscover diffs the inputs and excises candidate checks from the
+// donor (§3.2), and compiles the current recipient source through the
+// content-keyed cache.
+type stageDiscover struct{}
+
+func (stageDiscover) Name() string { return "Discover" }
+
+func (stageDiscover) Run(ctx *TransferContext) error {
+	t := ctx.Transfer
+	ctx.Relevant = ctx.Dis.DiffFields(t.Seed, ctx.ErrIn)
+	disc, err := DiscoverChecks(t.Donor, t.Seed, ctx.ErrIn, ctx.Dis, ctx.Relevant, t.Opts.NoSimplify)
+	if err != nil {
+		return err
+	}
+	ctx.Discovery = disc
+	mod, err := ctx.Compiler.Compile(t.RecipientName, ctx.Src)
+	if err != nil {
+		return fmt.Errorf("recipient does not compile: %w", err)
+	}
+	ctx.Recipient = mod
+	return nil
+}
+
+// stageAnalyzePoints finds the candidate insertion points for the
+// current check's input fields (§3.3).
+type stageAnalyzePoints struct{}
+
+func (stageAnalyzePoints) Name() string { return "AnalyzePoints" }
+
+func (stageAnalyzePoints) Run(ctx *TransferContext) error {
+	fields := ctx.Check.Cond.Fields()
+	if len(fields) == 0 {
+		return fmt.Errorf("check at %v has no input fields", ctx.Check.Site)
+	}
+	analysis, err := AnalyzeInsertionPoints(ctx.Recipient, ctx.Transfer.Seed, ctx.Dis, fields, ctx.Relevant)
+	if err != nil {
+		return err
+	}
+	ctx.Analysis = analysis
+	return nil
+}
+
+// patchCandidate is one translated patch at one insertion point.
+type patchCandidate struct {
+	point      *Point
+	translated *bitvec.Expr
+	text       string
+}
+
+// stageTranslate rewrites the check at every stable insertion point on
+// a forked per-check solver and ranks the generated patches by size
+// (§2): the deterministic rank order is what the validator reduces
+// over, so parallel validation cannot change the winning patch.
+type stageTranslate struct{}
+
+func (stageTranslate) Name() string { return "Translate" }
+
+func (stageTranslate) Run(ctx *TransferContext) error {
+	check := ctx.Check
+	total, unstable, stable := ctx.Analysis.Candidates()
+
+	// Translate the check at every stable point (§3.3) on the
+	// transfer's private solver: checks are tried strictly
+	// sequentially within a transfer, so sharing one solver across
+	// checks and rounds keeps the §3.3 query cache effective, while
+	// concurrent transfers still never contend (each Run forks its
+	// own solver from the caller's template in newContext).
+	solver := ctx.Solver
+	var candidates []patchCandidate
+	untranslatable := 0
+	for _, p := range stable {
+		translated := Rewrite(check.Cond, p.Names, solver)
+		if translated == nil {
+			untranslatable++
+			continue
+		}
+		text, rerr := PatchText(translated, ctx.Transfer.Opts.ExitMode)
+		if rerr != nil {
+			untranslatable++
+			continue
+		}
+		candidates = append(candidates, patchCandidate{point: p, translated: translated, text: text})
+	}
+
+	ctx.Draft = &PatchRound{
+		CandidatePoints: total,
+		UnstablePoints:  unstable,
+		Untranslatable:  untranslatable,
+		ViablePoints:    len(candidates),
+		ExcisedOps:      check.Raw.OpCount(),
+		ExcisedCheck:    check.Cond.String(),
+		excised:         check.Cond,
+	}
+	if len(candidates) == 0 {
+		return fmt.Errorf("check translates at no stable insertion point")
+	}
+
+	// Sort generated patches by size and validate in that order (§2).
+	sort.Slice(candidates, func(i, j int) bool {
+		oi, oj := candidates[i].translated.OpCount(), candidates[j].translated.OpCount()
+		if oi != oj {
+			return oi < oj
+		}
+		if len(candidates[i].text) != len(candidates[j].text) {
+			return len(candidates[i].text) < len(candidates[j].text)
+		}
+		if candidates[i].point.Fn != candidates[j].point.Fn {
+			return candidates[i].point.Fn < candidates[j].point.Fn
+		}
+		return candidates[i].point.Line < candidates[j].point.Line
+	})
+	ctx.Candidates = candidates
+	return nil
+}
+
+// candidateOutcome is the validation result of one ranked candidate.
+type candidateOutcome struct {
+	done       bool
+	patchedSrc string
+	val        *Validation
+	insertErr  error
+}
+
+func (o *candidateOutcome) ok() bool { return o.insertErr == nil && o.val != nil && o.val.OK() }
+
+func (o *candidateOutcome) reason() string {
+	if o.insertErr != nil {
+		return o.insertErr.Error()
+	}
+	return o.val.FailReason
+}
+
+// stageInsertValidate splices each ranked candidate into the source
+// and validates it (recompile through the cache, replay the error
+// input and the regression suite). Candidates fan out across the
+// worker pool; the reduction picks the first-ranked success — not the
+// first to finish — so the winning patch matches the sequential order.
+type stageInsertValidate struct{}
+
+func (stageInsertValidate) Name() string { return "InsertValidate" }
+
+func (s stageInsertValidate) Run(ctx *TransferContext) error {
+	cands := ctx.Candidates
+	outcomes := make([]candidateOutcome, len(cands))
+	workers := ctx.Engine.workers(ctx.Transfer)
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+
+	if workers <= 1 {
+		for i := range cands {
+			s.validateOne(ctx, &cands[i], &outcomes[i])
+			if outcomes[i].ok() {
+				break
+			}
+		}
+	} else {
+		// Rank-then-reduce: tasks are claimed in rank order; once a
+		// candidate succeeds, no later-ranked task starts (earlier ones
+		// always finish, so the minimal success is always discovered).
+		var next, best atomic.Int64
+		best.Store(int64(len(cands)))
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := next.Add(1) - 1
+					if i >= int64(len(cands)) || i > best.Load() {
+						return
+					}
+					s.validateOne(ctx, &cands[i], &outcomes[i])
+					if outcomes[i].ok() {
+						for {
+							b := best.Load()
+							if i >= b || best.CompareAndSwap(b, i) {
+								break
+							}
+						}
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	lastReason := ""
+	for i := range outcomes {
+		if !outcomes[i].done {
+			continue
+		}
+		if outcomes[i].ok() {
+			cand := &cands[i]
+			ctx.Draft.TranslatedOps = cand.translated.OpCount()
+			ctx.Draft.TranslatedCheck = cand.translated.String()
+			ctx.Draft.PatchText = cand.text
+			ctx.Draft.InsertFn = cand.point.FnName
+			ctx.Draft.InsertLine = cand.point.Line
+			ctx.PatchedSrc = outcomes[i].patchedSrc
+			ctx.PatchedMod = outcomes[i].val.Module
+			return nil
+		}
+		lastReason = outcomes[i].reason()
+	}
+	return fmt.Errorf("no insertion point validates (last: %s)", lastReason)
+}
+
+func (stageInsertValidate) validateOne(ctx *TransferContext, cand *patchCandidate, out *candidateOutcome) {
+	out.done = true
+	patchedSrc, perr := InsertBeforeLine(ctx.Src, cand.point.Line, cand.text)
+	if perr != nil {
+		out.insertErr = perr
+		return
+	}
+	t := ctx.Transfer
+	out.patchedSrc = patchedSrc
+	out.val = validatePatch(ctx.Compiler, t.RecipientName, patchedSrc, ctx.ErrIn, t.Regression, ctx.Baseline, t.Opts.MaxSteps)
+}
+
+// stageRescan reruns DIODE on the patched build for residual errors
+// (§3.4).
+type stageRescan struct{}
+
+func (stageRescan) Name() string { return "Rescan" }
+
+func (r stageRescan) Run(ctx *TransferContext) error {
+	_, _, err := r.scan(ctx)
+	return err
+}
+
+// scan returns the residual finding, or stop=true when the loop is
+// done (rescan disabled or no residual error found).
+func (stageRescan) scan(ctx *TransferContext) (*diode.Finding, bool, error) {
+	t := ctx.Transfer
+	if t.VulnFn == "" || t.Opts.DisableDiodeRescan {
+		return nil, true, nil
+	}
+	finding, err := diode.Discover(ctx.PatchedMod, t.Seed, ctx.Dis, diode.Options{
+		VulnFn: t.VulnFn, MaxSteps: t.Opts.MaxSteps,
+		RandSeed: t.Opts.DiodeRandSeed + int64(ctx.Round),
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	if finding == nil {
+		return nil, true, nil // no residual errors: done
+	}
+	return finding, false, nil
+}
+
+// baselineKey identifies one recipient module's regression baseline.
+// Modules from the compile cache are canonical pointers, so pointer
+// identity plus the input digest is exact.
+type baselineKey struct {
+	mod    *ir.Module
+	digest [sha256.Size]byte
+}
+
+// baselineFor observes (and caches) the baseline behaviour of the
+// original recipient over the regression suite.
+func (e *Engine) baselineFor(mod *ir.Module, regression [][]byte, maxSteps int64) []behaviour {
+	h := sha256.New()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(maxSteps))
+	h.Write(buf[:])
+	for _, in := range regression {
+		binary.LittleEndian.PutUint64(buf[:], uint64(len(in)))
+		h.Write(buf[:])
+		h.Write(in)
+	}
+	var key baselineKey
+	key.mod = mod
+	h.Sum(key.digest[:0])
+
+	e.mu.Lock()
+	if e.baselines == nil {
+		e.baselines = map[baselineKey][]behaviour{}
+	}
+	if b, ok := e.baselines[key]; ok {
+		e.mu.Unlock()
+		return b
+	}
+	e.mu.Unlock()
+
+	baseline := observeAll(mod, regression, maxSteps)
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if b, ok := e.baselines[key]; ok {
+		return b // a concurrent observation won the race
+	}
+	// Bound the cache: keys pin *ir.Module values, so an unbounded map
+	// would slowly leak modules in a long-lived shared engine (eviction
+	// order only costs re-observation, never correctness).
+	if len(e.baselines) >= maxBaselineEntries {
+		drop := maxBaselineEntries / 4
+		for k := range e.baselines {
+			delete(e.baselines, k)
+			if drop--; drop <= 0 {
+				break
+			}
+		}
+	}
+	e.baselines[key] = baseline
+	return baseline
+}
+
+// maxBaselineEntries bounds the engine's baseline cache.
+const maxBaselineEntries = 256
+
+// proofConflictBudget bounds each overflow-freedom SAT call.
+const proofConflictBudget = 20000
+
+// overflowVerdict runs (and caches) the overflow-freedom argument.
+// The verdict is a pure function of the guard and size expressions,
+// and the bounded UNSAT search dominates repeated transfers of the
+// same patch set, so the engine memoises it by expression content.
+func (e *Engine) overflowVerdict(guards, sizeExprs []*bitvec.Expr) *bool {
+	if len(guards) == 0 || len(sizeExprs) == 0 {
+		return nil
+	}
+	var sb []byte
+	for _, g := range guards {
+		sb = append(sb, g.Key()...)
+		sb = append(sb, '&')
+	}
+	sb = append(sb, '|')
+	for _, s := range sizeExprs {
+		sb = append(sb, s.Key()...)
+		sb = append(sb, '&')
+	}
+	key := string(sb)
+
+	e.mu.Lock()
+	if v, ok := e.proofs[key]; ok {
+		e.mu.Unlock()
+		return v
+	}
+	e.mu.Unlock()
+
+	// The overflow-freedom argument gets its own small conflict budget:
+	// satisfiable cases fall out of concrete probing almost instantly,
+	// while full UNSAT proofs over 64-bit multipliers are routinely out
+	// of reach — the verdict is then "unproven" (nil), and the DIODE
+	// residual scan remains the operative evidence.
+	proofSolver := smt.New()
+	proofSolver.MaxConflicts = proofConflictBudget
+	v := proveOverflowFree(proofSolver, guards, sizeExprs)
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.proofs == nil {
+		e.proofs = map[string]*bool{}
+	}
+	if old, ok := e.proofs[key]; ok {
+		return old // a concurrent proof won the race
+	}
+	e.proofs[key] = v
+	return v
+}
+
+// proveOverflowFree asks the solver whether any input can satisfy all
+// transferred checks and still wrap one of the observed allocation
+// sizes (§1.1: additional validation for integer overflow errors).
+// Returns nil when the verdict is unknown (budget exhausted) or there
+// is nothing to prove.
+func proveOverflowFree(solver *smt.Solver, guards, sizeExprs []*bitvec.Expr) *bool {
+	if len(guards) == 0 || len(sizeExprs) == 0 {
+		return nil
+	}
+	verdict := true
+	for _, size := range sizeExprs {
+		cond := diode.OverflowCond(size, 1<<20)
+		for _, g := range guards {
+			cond = bitvec.And(g, cond)
+		}
+		sat, _, err := solver.Sat(cond)
+		if err != nil {
+			return nil // unknown
+		}
+		if sat {
+			verdict = false
+		}
+	}
+	return &verdict
+}

@@ -1,0 +1,281 @@
+package pipeline
+
+import (
+	"fmt"
+	"testing"
+
+	"codephage/internal/apps"
+	"codephage/internal/compile"
+	"codephage/internal/diode"
+	"codephage/internal/hachoir"
+	"codephage/internal/smt"
+)
+
+// buildTransfer assembles a Transfer for a registry target and donor,
+// obtaining the error input from the registry or from DIODE.
+func buildTransfer(t *testing.T, tgt *apps.Target, donorName string) *Transfer {
+	t.Helper()
+	recipient, err := apps.ByName(tgt.Recipient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	donorApp, err := apps.ByName(donorName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	donorBin, err := apps.BuildDonorBinary(donorApp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errIn := tgt.Error
+	if errIn == nil {
+		mod, err := apps.Build(recipient)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, _ := hachoir.ByName(tgt.Format)
+		dis, derr := d.Dissect(tgt.Seed)
+		if derr != nil {
+			t.Fatal(derr)
+		}
+		finding, ferr := diode.Discover(mod, tgt.Seed, dis, diode.Options{VulnFn: tgt.VulnFn})
+		if ferr != nil {
+			t.Fatal(ferr)
+		}
+		if finding == nil {
+			t.Fatalf("DIODE found no error at %s/%s", tgt.Recipient, tgt.ID)
+		}
+		errIn = finding.Input
+	}
+	vulnFn := ""
+	if tgt.Kind == apps.Overflow {
+		vulnFn = tgt.VulnFn
+	}
+	return &Transfer{
+		RecipientName: tgt.Recipient,
+		RecipientSrc:  recipient.Source,
+		Donor:         donorBin,
+		DonorName:     donorName,
+		Format:        tgt.Format,
+		Seed:          tgt.Seed,
+		Error:         errIn,
+		Regression:    apps.RegressionSuite(tgt.Format),
+		VulnFn:        vulnFn,
+	}
+}
+
+// determinismRows are Figure 8 rows with catalogued error inputs (no
+// DIODE discovery needed), spanning all three error kinds.
+var determinismRows = []struct{ recipient, target, donor string }{
+	{"jasper", "jpc_dec.c@492", "openjpeg"},
+	{"gif2tiff", "gif2tiff.c@355", "magick9"},
+	{"wireshark14", "packet-dcp-etsi.c@258", "wireshark18"},
+}
+
+// requireIdenticalResults asserts the engine-visible outcome of two
+// runs is byte-identical: rounds, patch text, insertion lines, final
+// source.
+func requireIdenticalResults(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	if a.FinalSource != b.FinalSource {
+		t.Errorf("%s: final sources differ", label)
+	}
+	if len(a.Rounds) != len(b.Rounds) {
+		t.Fatalf("%s: rounds %d != %d", label, len(a.Rounds), len(b.Rounds))
+	}
+	for i := range a.Rounds {
+		ra, rb := a.Rounds[i], b.Rounds[i]
+		if ra.CheckIndex != rb.CheckIndex || ra.PatchText != rb.PatchText ||
+			ra.InsertFn != rb.InsertFn || ra.InsertLine != rb.InsertLine ||
+			ra.TranslatedCheck != rb.TranslatedCheck || ra.ExcisedCheck != rb.ExcisedCheck ||
+			ra.CandidatePoints != rb.CandidatePoints || ra.UnstablePoints != rb.UnstablePoints ||
+			ra.Untranslatable != rb.Untranslatable || ra.ViablePoints != rb.ViablePoints ||
+			string(ra.ErrorInput) != string(rb.ErrorInput) {
+			t.Errorf("%s: round %d diverges:\n  a: %+v\n  b: %+v", label, i, ra, rb)
+		}
+	}
+}
+
+// TestEngineParallelMatchesSequential is the determinism contract:
+// with candidate validation fanned out across many workers, the engine
+// must return byte-identical results (rounds, patch text, insert
+// lines) to the sequential path. Run under -race this also exercises
+// the worker pool for data races.
+func TestEngineParallelMatchesSequential(t *testing.T) {
+	for _, tc := range determinismRows {
+		tc := tc
+		t.Run(tc.recipient, func(t *testing.T) {
+			tgt, err := apps.TargetByID(tc.recipient, tc.target)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr := buildTransfer(t, tgt, tc.donor)
+
+			seqEng := &Engine{Workers: 1, Compiler: compile.NewCache(0)}
+			trSeq := *tr
+			seq, err := seqEng.Run(&trSeq)
+			if err != nil {
+				t.Fatalf("sequential: %v", err)
+			}
+
+			parEng := &Engine{Workers: 8, Compiler: compile.NewCache(0)}
+			trPar := *tr
+			par, err := parEng.Run(&trPar)
+			if err != nil {
+				t.Fatalf("parallel: %v", err)
+			}
+			requireIdenticalResults(t, tc.recipient, seq, par)
+		})
+	}
+}
+
+// TestBatchMatchesIndividualRuns: a concurrent batch over a shared
+// engine returns, per task, exactly the standalone result, in task
+// order, and the shared compile cache observes hits (the same
+// recipient source is compiled once, not once per task).
+func TestBatchMatchesIndividualRuns(t *testing.T) {
+	var tasks []BatchTask
+	var want []*Result
+	for _, tc := range determinismRows {
+		tgt, err := apps.TargetByID(tc.recipient, tc.target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := buildTransfer(t, tgt, tc.donor)
+		solo := *tr
+		res, err := (&Engine{Compiler: compile.NewCache(0)}).Run(&solo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, res)
+		// Duplicate each task to give the shared caches real sharing.
+		for dup := 0; dup < 2; dup++ {
+			cp := *tr
+			tasks = append(tasks, BatchTask{
+				ID:       fmt.Sprintf("%s<-%s#%d", tc.recipient, tc.donor, dup),
+				Transfer: &cp,
+			})
+		}
+	}
+
+	eng := &Engine{Compiler: compile.NewCache(0)}
+	eng.Workers = 4
+	batch := &Batch{Engine: eng, Workers: 4}
+	results, stats := batch.Run(tasks)
+	if len(results) != len(tasks) {
+		t.Fatalf("results = %d, want %d", len(results), len(tasks))
+	}
+	if stats.Failed != 0 {
+		t.Fatalf("failed tasks: %d", stats.Failed)
+	}
+	for i, br := range results {
+		if br.ID != tasks[i].ID {
+			t.Errorf("result %d id %q, want %q (order must be task order)", i, br.ID, tasks[i].ID)
+		}
+		if br.Err != nil {
+			t.Fatalf("task %s: %v", br.ID, br.Err)
+		}
+		requireIdenticalResults(t, br.ID, want[i/2], br.Result)
+	}
+	if stats.Compile.Hits == 0 {
+		t.Error("shared compile cache saw no hits across duplicate tasks")
+	}
+	if stats.Solver.Queries == 0 {
+		t.Error("batch aggregated no solver stats")
+	}
+	if stats.Tasks != len(tasks) {
+		t.Errorf("stats.Tasks = %d, want %d", stats.Tasks, len(tasks))
+	}
+}
+
+// TestEngineCompileCacheEliminatesRecompiles: the per-round recipient
+// recompile and the baseline compile now go through the content-keyed
+// cache, so a second identical transfer compiles nothing new.
+func TestEngineCompileCacheEliminatesRecompiles(t *testing.T) {
+	tgt, err := apps.TargetByID("gif2tiff", "gif2tiff.c@355")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := buildTransfer(t, tgt, "magick9")
+	eng := &Engine{Compiler: compile.NewCache(0)}
+	tr1 := *tr
+	if _, err := eng.Run(&tr1); err != nil {
+		t.Fatal(err)
+	}
+	first := eng.Compiler.Stats()
+	if first.Misses == 0 {
+		t.Fatal("first run compiled nothing")
+	}
+	tr2 := *tr
+	if _, err := eng.Run(&tr2); err != nil {
+		t.Fatal(err)
+	}
+	second := eng.Compiler.Stats()
+	if second.Misses != first.Misses {
+		t.Errorf("second identical run recompiled: misses %d -> %d", first.Misses, second.Misses)
+	}
+	if second.Hits <= first.Hits {
+		t.Errorf("second identical run hit no cache: hits %d -> %d", first.Hits, second.Hits)
+	}
+}
+
+// TestStageNames pins the engine's published stage sequence.
+func TestStageNames(t *testing.T) {
+	var names []string
+	for _, s := range checkStages() {
+		names = append(names, s.Name())
+	}
+	want := []string{"AnalyzePoints", "Translate", "InsertValidate"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("stage %d = %s, want %s", i, names[i], want[i])
+		}
+	}
+	if (stageDiscover{}).Name() != "Discover" || (stageRescan{}).Name() != "Rescan" {
+		t.Error("outer stage names changed")
+	}
+}
+
+// TestSharedTemplateSolverAcrossBatch: many concurrent tasks may
+// share one ablation template solver (Opts.Solver). The engine must
+// fork it per transfer — no races under -race — and aggregate stats
+// without double counting: the engine total equals the sum of the
+// per-result stats, and the template accumulates the same total.
+func TestSharedTemplateSolverAcrossBatch(t *testing.T) {
+	tgt, err := apps.TargetByID("gif2tiff", "gif2tiff.c@355")
+	if err != nil {
+		t.Fatal(err)
+	}
+	template := smt.New()
+	base := buildTransfer(t, tgt, "magick9")
+	var tasks []BatchTask
+	for i := 0; i < 4; i++ {
+		tr := *base
+		tr.Opts.Solver = template
+		tasks = append(tasks, BatchTask{ID: fmt.Sprintf("t%d", i), Transfer: &tr})
+	}
+	eng := &Engine{Compiler: compile.NewCache(0)}
+	results, stats := (&Batch{Engine: eng, Workers: 4}).Run(tasks)
+	if stats.Failed != 0 {
+		t.Fatalf("failed: %d", stats.Failed)
+	}
+	var sum smt.Stats
+	for _, br := range results {
+		sum.Merge(br.Result.SolverStats)
+	}
+	if got := eng.SolverStats(); got != sum {
+		t.Errorf("engine stats %+v != sum of per-result stats %+v (double count?)", got, sum)
+	}
+	if template.Stats != sum {
+		t.Errorf("template stats %+v != sum %+v", template.Stats, sum)
+	}
+}
+
+// TestBatchEmptyTaskList: an empty batch must return cleanly, not
+// panic on the worker-division arithmetic.
+func TestBatchEmptyTaskList(t *testing.T) {
+	results, stats := (&Batch{}).Run(nil)
+	if len(results) != 0 || stats.Tasks != 0 || stats.Failed != 0 {
+		t.Errorf("empty batch: results=%d stats=%+v", len(results), stats)
+	}
+}

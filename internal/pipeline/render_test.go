@@ -1,4 +1,4 @@
-package phage
+package pipeline
 
 import (
 	"fmt"

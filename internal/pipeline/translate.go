@@ -1,4 +1,4 @@
-package phage
+package pipeline
 
 import (
 	"codephage/internal/bitvec"

@@ -1,4 +1,4 @@
-package phage
+package pipeline
 
 import (
 	"fmt"
@@ -16,10 +16,19 @@ type behaviour struct {
 	output []uint64
 }
 
-func observe(mod *ir.Module, input []byte, maxSteps int64) behaviour {
-	v := vm.New(mod, input)
-	v.MaxSteps = maxSteps
-	r := v.Run()
+// observeAll observes every input on one reusable runner, so repeated
+// runs of the same module cost no per-run stack or globals allocation.
+func observeAll(mod *ir.Module, inputs [][]byte, maxSteps int64) []behaviour {
+	r := vm.NewRunner(mod)
+	r.MaxSteps = maxSteps
+	out := make([]behaviour, len(inputs))
+	for i, input := range inputs {
+		out[i] = toBehaviour(r.Run(input))
+	}
+	return out
+}
+
+func toBehaviour(r *vm.Result) behaviour {
 	b := behaviour{exit: r.ExitCode, output: r.Output}
 	if r.Trap != nil {
 		b.trap = r.Trap.Kind
@@ -45,7 +54,10 @@ type Validation struct {
 	ErrorEliminated bool
 	RegressionOK    bool
 	FailReason      string
-	Module          *ir.Module // the validated patched module
+	// Module is the validated patched module. It aliases a shared
+	// compile-cache entry: treat it as immutable and Clone before any
+	// in-place edit.
+	Module *ir.Module
 }
 
 // OK reports full validation success.
@@ -58,17 +70,24 @@ func (v *Validation) OK() bool {
 // longer trap (the run stays under memcheck — the VM always checks),
 // and the regression suite must behave exactly as the original.
 func ValidatePatch(name, patchedSrc string, errIn []byte, regression [][]byte, baseline []behaviour, maxSteps int64) *Validation {
+	return validatePatch(compile.Default(), name, patchedSrc, errIn, regression, baseline, maxSteps)
+}
+
+// validatePatch is ValidatePatch over an explicit compile cache; the
+// engine routes every candidate recompile through here. The returned
+// Module is shared with the cache and must be treated as immutable.
+func validatePatch(cc *compile.Cache, name, patchedSrc string, errIn []byte, regression [][]byte, baseline []behaviour, maxSteps int64) *Validation {
 	val := &Validation{}
-	mod, err := compile.CompileSource(name, patchedSrc)
+	mod, err := cc.Compile(name, patchedSrc)
 	if err != nil {
 		val.FailReason = fmt.Sprintf("compile: %v", err)
 		return val
 	}
 	val.CompileOK = true
 
-	v := vm.New(mod, errIn)
-	v.MaxSteps = maxSteps
-	r := v.Run()
+	runner := vm.NewRunner(mod)
+	runner.MaxSteps = maxSteps
+	r := runner.Run(errIn)
 	if !r.OK() {
 		val.FailReason = fmt.Sprintf("error input still traps: %v", r.Trap)
 		return val
@@ -76,7 +95,7 @@ func ValidatePatch(name, patchedSrc string, errIn []byte, regression [][]byte, b
 	val.ErrorEliminated = true
 
 	for i, input := range regression {
-		got := observe(mod, input, maxSteps)
+		got := toBehaviour(runner.Run(input))
 		if !got.equal(baseline[i]) {
 			val.FailReason = fmt.Sprintf("regression input %d diverges: exit %d/%d trap %v/%v out %v/%v",
 				i, got.exit, baseline[i].exit, got.trap, baseline[i].trap, got.output, baseline[i].output)

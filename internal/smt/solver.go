@@ -48,12 +48,39 @@ type Solver struct {
 	rng   *rand.Rand
 }
 
+// Merge accumulates the counters of o into s. Per-worker solvers
+// report their activity through this so concurrent translation never
+// races on one shared Stats value.
+func (s *Stats) Merge(o Stats) {
+	s.Queries += o.Queries
+	s.CacheHits += o.CacheHits
+	s.Prefiltered += o.Prefiltered
+	s.Refuted += o.Refuted
+	s.Syntactic += o.Syntactic
+	s.SATCalls += o.SATCalls
+	s.SATTime += o.SATTime
+}
+
 // New returns a Solver with default budgets.
 func New() *Solver {
 	return &Solver{
 		cache: map[string]bool{},
 		rng:   rand.New(rand.NewSource(0x517bcf)),
 	}
+}
+
+// Fork returns an independent solver with the same configuration but
+// fresh state: empty cache, zero stats, and a deterministically seeded
+// probe sequence. Workers translating different candidate checks each
+// fork the template solver, then Merge their Stats back, so no solver
+// instance is ever shared between goroutines.
+func (s *Solver) Fork() *Solver {
+	f := New()
+	f.MaxConflicts = s.MaxConflicts
+	f.RandomProbes = s.RandomProbes
+	f.DisableCache = s.DisableCache
+	f.DisablePrefilter = s.DisablePrefilter
+	return f
 }
 
 func (s *Solver) maxConflicts() int64 {

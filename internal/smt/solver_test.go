@@ -332,3 +332,43 @@ func BenchmarkEquivEndianness(b *testing.B) {
 		}
 	}
 }
+
+func TestStatsMerge(t *testing.T) {
+	a := Stats{Queries: 2, CacheHits: 1, Prefiltered: 3, Refuted: 4, Syntactic: 5, SATCalls: 6, SATTime: 7}
+	b := Stats{Queries: 10, CacheHits: 20, Prefiltered: 30, Refuted: 40, Syntactic: 50, SATCalls: 60, SATTime: 70}
+	a.Merge(b)
+	want := Stats{Queries: 12, CacheHits: 21, Prefiltered: 33, Refuted: 44, Syntactic: 55, SATCalls: 66, SATTime: 77}
+	if a != want {
+		t.Errorf("merged = %+v, want %+v", a, want)
+	}
+}
+
+func TestForkCopiesConfigNotState(t *testing.T) {
+	s := New()
+	s.MaxConflicts = 123
+	s.RandomProbes = 7
+	s.DisableCache = true
+	s.DisablePrefilter = true
+	x := bitvec.Field("x", 8, 0)
+	if _, err := s.Equiv(x, x); err != nil {
+		t.Fatal(err)
+	}
+	f := s.Fork()
+	if f.MaxConflicts != 123 || f.RandomProbes != 7 || !f.DisableCache || !f.DisablePrefilter {
+		t.Errorf("fork lost configuration: %+v", f)
+	}
+	if f.Stats != (Stats{}) {
+		t.Errorf("fork inherited stats: %+v", f.Stats)
+	}
+	if f.CacheSize() != 0 {
+		t.Errorf("fork inherited %d cache entries", f.CacheSize())
+	}
+	// Forks must answer independently and deterministically.
+	a := bitvec.Add(bitvec.Field("a", 32, 0), bitvec.Field("b", 32, 4))
+	b := bitvec.Add(bitvec.Field("b", 32, 4), bitvec.Field("a", 32, 0))
+	f2 := New().Fork()
+	eq, err := f2.Equiv(a, b)
+	if err != nil || !eq {
+		t.Fatalf("fork Equiv(a+b, b+a) = %v, %v", eq, err)
+	}
+}
