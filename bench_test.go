@@ -10,9 +10,14 @@
 package codephage
 
 import (
+	"context"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	"codephage/internal/apps"
 	"codephage/internal/bitvec"
@@ -21,6 +26,7 @@ import (
 	"codephage/internal/hachoir"
 	"codephage/internal/phage"
 	"codephage/internal/pipeline"
+	"codephage/internal/server"
 	"codephage/internal/smt"
 	"codephage/internal/taint"
 	"codephage/internal/vm"
@@ -415,4 +421,101 @@ func BenchmarkFigure8Batch(b *testing.B) {
 			}
 		}
 	})
+}
+
+// ---- The phaged serving hot path.
+
+// serviceRequests are the three determinism rows — catalogued error
+// inputs, so no DIODE discovery inflates the serving measurements.
+func serviceRequests() []*server.Request {
+	return []*server.Request{
+		{Recipient: "jasper", Target: "jpc_dec.c@492", Donor: "openjpeg"},
+		{Recipient: "gif2tiff", Target: "gif2tiff.c@355", Donor: "magick9"},
+		{Recipient: "wireshark14", Target: "packet-dcp-etsi.c@258", Donor: "wireshark18"},
+	}
+}
+
+// BenchmarkServerThroughput measures requests/sec against a warm
+// in-process phaged: after the first pass every request key is in the
+// dedup index and every compile is a cache hit, so the benchmark
+// isolates the serving overhead (HTTP, JSON, job table) the daemon
+// adds on top of the engine.
+func BenchmarkServerThroughput(b *testing.B) {
+	skipInShort(b)
+	srv := server.New(server.Config{})
+	srv.Start()
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			b.Error(err)
+		}
+	}()
+	cli := &server.Client{BaseURL: ts.URL}
+	reqs := serviceRequests()
+	for _, req := range reqs { // warm the engines and the dedup index
+		env, err := cli.Transfer(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if env.Status != server.StatusDone {
+			b.Fatalf("%s/%s: %s (%s)", req.Recipient, req.Target, env.Status, env.Error)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env, err := cli.Transfer(reqs[i%len(reqs)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if env.Status != server.StatusDone {
+			b.Fatalf("request %d: %s", i, env.Status)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}
+
+// TestServerShutdownRestoresGoroutineBaseline: after serving traffic
+// and shutting down, the process goroutine count must return to its
+// pre-server baseline — the worker pools, watchers and HTTP plumbing
+// may not leak.
+func TestServerShutdownRestoresGoroutineBaseline(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	srv := server.New(server.Config{Shards: 2})
+	srv.Start()
+	ts := httptest.NewServer(srv.Handler())
+	cli := &server.Client{BaseURL: ts.URL}
+	req := &server.Request{Recipient: "gif2tiff", Target: "gif2tiff.c@355", Donor: "magick9"}
+	for i := 0; i < 3; i++ { // exercise run, dedup and streaming paths
+		if _, err := cli.Transfer(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := cli.Stream(req, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	ts.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if tr, ok := http.DefaultTransport.(*http.Transport); ok {
+		tr.CloseIdleConnections()
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: %d after shutdown, baseline %d (leak)", n, baseline)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
 }

@@ -1,21 +1,26 @@
 // Command codephage runs the full horizontal code transfer pipeline
 // for one Figure 8 error, against one donor or every donor the
-// catalogue lists for it.
+// catalogue lists for it — either locally, or against a running phaged
+// daemon (-remote), or by becoming one (-serve).
 //
 // Usage:
 //
 //	codephage -recipient dillo -target png.c@203 [-donor feh]
 //	          [-mode exit|return0] [-o patched.mc] [-v] [-workers N]
+//	          [-remote http://127.0.0.1:8347]
+//	codephage -serve 127.0.0.1:8347
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"codephage/internal/apps"
 	"codephage/internal/figure8"
 	"codephage/internal/phage"
+	"codephage/internal/server"
 )
 
 func main() {
@@ -27,10 +32,17 @@ func main() {
 	verbose := flag.Bool("v", false, "print excised and translated checks")
 	report := flag.Bool("report", false, "print the full transfer report and patch diff")
 	workers := flag.Int("workers", 0, "candidate-validation fan-out (0 = GOMAXPROCS)")
+	remote := flag.String("remote", "", "phaged base URL: run the transfer on a daemon instead of in-process")
+	serve := flag.String("serve", "", "run as a phaged daemon on this address instead of transferring")
 	flag.Parse()
 
+	if *serve != "" {
+		runDaemon(*serve)
+		return
+	}
 	if *recipient == "" || *target == "" {
-		fmt.Fprintln(os.Stderr, "usage: codephage -recipient <app> -target <id> [-donor <app>] [-mode exit|return0] [-o patched.mc]")
+		fmt.Fprintln(os.Stderr, "usage: codephage -recipient <app> -target <id> [-donor <app>] [-mode exit|return0] [-o patched.mc] [-remote URL]")
+		fmt.Fprintln(os.Stderr, "       codephage -serve <addr>")
 		fmt.Fprintln(os.Stderr, "\navailable targets:")
 		for _, t := range apps.Targets() {
 			fmt.Fprintf(os.Stderr, "  -recipient %-12s -target %-24s donors: %v\n", t.Recipient, t.ID, t.Donors)
@@ -56,43 +68,140 @@ func main() {
 	}
 	failed := false
 	for _, dn := range donors {
-		row := figure8.RunRow(tgt, dn, opts)
-		if row.Err != nil {
-			fmt.Printf("%s/%s <- %s: FAILED: %v\n", tgt.Recipient, tgt.ID, dn, row.Err)
+		var ok bool
+		if *remote != "" {
+			ok = runRemote(*remote, tgt, dn, *mode, *workers, *verbose, *report, *out, dn == donors[len(donors)-1])
+		} else {
+			ok = runLocal(tgt, dn, opts, *verbose, *report, *out, dn == donors[len(donors)-1])
+		}
+		if !ok {
 			failed = true
-			continue
-		}
-		fmt.Printf("%s/%s <- %s: %d patch(es) in %s\n",
-			tgt.Recipient, tgt.ID, dn, row.UsedChecks, row.GenTime.Round(1e6))
-		fmt.Printf("  relevant branches: %d, flipped: %s, insertion points: %s, check size: %s\n",
-			row.Relevant, row.FlippedString(), row.InsertString(), row.SizeString())
-		for i, pr := range row.Result.Rounds {
-			fmt.Printf("  patch %d (before %s line %d):\n    %s\n",
-				i+1, pr.InsertFn, pr.InsertLine, pr.PatchText)
-			if *verbose {
-				fmt.Printf("    excised:    %s\n", pr.ExcisedCheck)
-				fmt.Printf("    translated: %s\n", pr.TranslatedCheck)
-			}
-		}
-		if row.OverflowOK != nil {
-			fmt.Printf("  overflow-freedom proven by SMT: %v\n", *row.OverflowOK)
-		}
-		if *report {
-			rec, _ := apps.ByName(tgt.Recipient)
-			fmt.Println()
-			fmt.Print(row.Result.Report(tgt.Recipient, dn))
-			fmt.Println("patch diff:")
-			fmt.Print(phage.Diff(rec.Source, row.Result.FinalSource))
-		}
-		if *out != "" && dn == donors[len(donors)-1] {
-			if err := os.WriteFile(*out, []byte(row.Result.FinalSource), 0o644); err != nil {
-				fatal(err)
-			}
-			fmt.Printf("  wrote patched source to %s\n", *out)
 		}
 	}
 	if failed {
 		os.Exit(1)
+	}
+}
+
+// patchView holds the per-patch fields both execution paths print.
+type patchView struct {
+	fn, patch, excised, translated string
+	line                           int32
+}
+
+// printRowBody prints the transfer body local and remote mode share:
+// the Figure-8 summary columns, each patch, and the overflow verdict.
+func printRowBody(row *figure8.Row, patches []patchView, verbose bool) {
+	fmt.Printf("  relevant branches: %d, flipped: %s, insertion points: %s, check size: %s\n",
+		row.Relevant, row.FlippedString(), row.InsertString(), row.SizeString())
+	for i, p := range patches {
+		fmt.Printf("  patch %d (before %s line %d):\n    %s\n", i+1, p.fn, p.line, p.patch)
+		if verbose {
+			fmt.Printf("    excised:    %s\n", p.excised)
+			fmt.Printf("    translated: %s\n", p.translated)
+		}
+	}
+	if row.OverflowOK != nil {
+		fmt.Printf("  overflow-freedom proven by SMT: %v\n", *row.OverflowOK)
+	}
+}
+
+// printReportAndDiff prints the full transfer report followed by the
+// insertion diff against the recipient's original source.
+func printReportAndDiff(recipient, reportText, patchedSource string) {
+	rec, _ := apps.ByName(recipient)
+	fmt.Println()
+	fmt.Print(reportText)
+	fmt.Println("patch diff:")
+	fmt.Print(phage.Diff(rec.Source, patchedSource))
+}
+
+// runLocal executes the transfer in-process through the default engine.
+func runLocal(tgt *apps.Target, dn string, opts phage.Options, verbose, report bool, out string, last bool) bool {
+	row := figure8.RunRow(tgt, dn, opts)
+	if row.Err != nil {
+		fmt.Printf("%s/%s <- %s: FAILED: %v\n", tgt.Recipient, tgt.ID, dn, row.Err)
+		return false
+	}
+	fmt.Printf("%s/%s <- %s: %d patch(es) in %s\n",
+		tgt.Recipient, tgt.ID, dn, row.UsedChecks, row.GenTime.Round(1e6))
+	var patches []patchView
+	for _, pr := range row.Result.Rounds {
+		patches = append(patches, patchView{
+			fn: pr.InsertFn, line: pr.InsertLine, patch: pr.PatchText,
+			excised: pr.ExcisedCheck, translated: pr.TranslatedCheck,
+		})
+	}
+	printRowBody(row, patches, verbose)
+	if report {
+		printReportAndDiff(tgt.Recipient, row.Result.Report(tgt.Recipient, dn), row.Result.FinalSource)
+	}
+	return writeOut(out, last, row.Result.FinalSource)
+}
+
+// runRemote sends the transfer to a phaged daemon and prints the same
+// Row-style report local mode does (column formatting reused via
+// figure8.Row, whose fields the service report mirrors).
+func runRemote(base string, tgt *apps.Target, dn, mode string, workers int, verbose, report bool, out string, last bool) bool {
+	cli := &server.Client{BaseURL: base}
+	env, err := cli.Transfer(&server.Request{
+		Recipient: tgt.Recipient,
+		Target:    tgt.ID,
+		Donor:     dn,
+		Mode:      mode,
+		Workers:   workers,
+	})
+	if err != nil {
+		fmt.Printf("%s/%s <- %s: FAILED: %v\n", tgt.Recipient, tgt.ID, dn, err)
+		return false
+	}
+	if env.Status != server.StatusDone {
+		fmt.Printf("%s/%s <- %s: FAILED: %s\n", tgt.Recipient, tgt.ID, dn, env.Error)
+		return false
+	}
+	rep := env.Report
+	fmt.Printf("%s/%s <- %s: %d patch(es) on %s (job %s, queue %dms, run %dms)\n",
+		tgt.Recipient, tgt.ID, dn, rep.UsedChecks, base, env.ID, env.QueueMs, env.RunMs)
+	row := &figure8.Row{
+		Relevant:   rep.RelevantBranches,
+		Flipped:    rep.FlippedBranches,
+		Insert:     rep.InsertionPoints,
+		CheckSizes: rep.CheckSizes,
+		OverflowOK: rep.OverflowFreeProven,
+	}
+	var patches []patchView
+	for _, pr := range rep.Rounds {
+		patches = append(patches, patchView{
+			fn: pr.InsertFn, line: pr.InsertLine, patch: pr.Patch,
+			excised: pr.ExcisedCheck, translated: pr.TranslatedCheck,
+		})
+	}
+	printRowBody(row, patches, verbose)
+	if report {
+		printReportAndDiff(tgt.Recipient, rep.Text(), rep.PatchedSource)
+	}
+	return writeOut(out, last, rep.PatchedSource)
+}
+
+func writeOut(out string, last bool, src string) bool {
+	if out == "" || !last {
+		return true
+	}
+	if err := os.WriteFile(out, []byte(src), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("  wrote patched source to %s\n", out)
+	return true
+}
+
+// runDaemon serves the phaged API in-process until SIGINT/SIGTERM,
+// through the same serve/drain loop cmd/phaged uses.
+func runDaemon(addr string) {
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "codephage: "+format+"\n", args...)
+	}
+	if err := server.ListenAndServe(addr, server.Config{}, 30*time.Second, logf); err != nil {
+		fatal(err)
 	}
 }
 

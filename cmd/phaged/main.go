@@ -1,0 +1,43 @@
+// Command phaged is the Code Phage transfer daemon: a long-running
+// HTTP/JSON service that runs donor→recipient check transfers through
+// a sharded pool of warm pipeline engines, deduplicates identical
+// requests onto one engine run, and serves deterministic Row-style
+// reports.
+//
+// Usage:
+//
+//	phaged [-addr 127.0.0.1:8347] [-shards N] [-workers N]
+//	       [-queue N] [-drain 30s]
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener closes,
+// queued and running jobs drain (bounded by -drain), then the process
+// exits.
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"time"
+
+	"codephage/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8347", "listen address")
+	shards := flag.Int("shards", 0, "engine shards (0 = default)")
+	workers := flag.Int("workers", 0, "transfer workers per shard (0 = default)")
+	queue := flag.Int("queue", 0, "queued jobs per shard (0 = default)")
+	drain := flag.Duration("drain", 30*time.Second, "shutdown drain budget for in-flight jobs")
+	flag.Parse()
+
+	cfg := server.Config{
+		Shards:          *shards,
+		WorkersPerShard: *workers,
+		QueueDepth:      *queue,
+	}
+	if err := server.ListenAndServe(*addr, cfg, *drain, log.Printf); err != nil {
+		log.Printf("phaged: %v", err)
+		os.Exit(1)
+	}
+}

@@ -12,6 +12,10 @@ type CacheStats struct {
 	Hits      int64
 	Misses    int64
 	Evictions int64
+	// Entries is the cache size at snapshot time. Unlike the other
+	// fields it is a gauge, not a counter: interval arithmetic (as in
+	// pipeline.BatchStats) should ignore it.
+	Entries int64
 }
 
 // cacheEntry is one memoised compilation outcome. Failed compiles are
@@ -113,11 +117,14 @@ func (c *Cache) Compile(name, src string) (*ir.Module, error) {
 	return mod, err
 }
 
-// Stats returns a snapshot of the cache counters.
+// Stats returns a snapshot of the cache counters, with Entries set to
+// the current cache size.
 func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.stats
+	st := c.stats
+	st.Entries = int64(len(c.entries))
+	return st
 }
 
 // Len returns the number of cached entries.

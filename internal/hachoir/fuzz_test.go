@@ -1,0 +1,141 @@
+package hachoir
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// fuzzSeedInputs returns one well-formed input per format encoder,
+// plus truncations and corruptions of each. The same inputs are
+// checked in under testdata/fuzz (see gen_corpus.go).
+func fuzzSeedInputs() [][]byte {
+	wellFormed := [][]byte{
+		(&MJPG{Version: 1, Precision: 8, Height: 16, Width: 16,
+			Components: 3, HSamp: 2, VSamp: 2, Data: []byte{1, 2, 3, 4}}).Encode(),
+		(&MPNG{Width: 16, Height: 16, Depth: 8, Color: 2, Data: []byte{9, 9}}).Encode(),
+		(&MGIF{ScreenW: 50, ScreenH: 40, Width: 50, Height: 40,
+			LZWCodeSize: 8, Data: []byte{0, 1, 2}}).Encode(),
+		(&MTIF{Width: 32, Height: 8, BitsPerSample: 8, SamplesPerPixel: 3,
+			Data: []byte{7}}).Encode(),
+		(&MSWF{Version: 6, FrameW: 550, FrameH: 400, JPEGHeight: 16,
+			JPEGWidth: 16, Components: 3, HSamp: 1, VSamp: 1,
+			JPEGData: []byte{5, 5}}).Encode(),
+		(&MPKT{Proto: 2, Flags: 1, PLen: 16, Seq: 7,
+			Payload: make([]byte, 16)}).Encode(),
+		(&MJ2K{TilesX: 2, TilesY: 2, Width: 64, Height: 48, TileNo: 1,
+			Data: []byte{3, 3}}).Encode(),
+	}
+	seeds := append([][]byte{}, wellFormed...)
+	for _, in := range wellFormed {
+		seeds = append(seeds, in[:len(in)/2], in[:4])
+		bad := append([]byte(nil), in...)
+		bad[len(bad)-1] ^= 0xFF
+		seeds = append(seeds, bad)
+	}
+	seeds = append(seeds, []byte{}, []byte("MJPG"), []byte("XXXX arbitrary"))
+	return seeds
+}
+
+// checkDissection asserts the structural invariants every successful
+// dissection must satisfy, whatever the input bytes were: fields lie
+// inside the input, sizes are 1..8 bytes, the byte->field index is
+// consistent, and the evaluation helpers tolerate every offset.
+func checkDissection(t *testing.T, name string, dis *Dissection, input []byte) {
+	t.Helper()
+	if dis.Len != len(input) {
+		t.Fatalf("%s: dissection Len %d != input length %d", name, dis.Len, len(input))
+	}
+	for i := range dis.Fields {
+		fld := &dis.Fields[i]
+		if fld.Size < 1 || fld.Size > 8 {
+			t.Fatalf("%s: field %s has size %d", name, fld.Path, fld.Size)
+		}
+		if fld.Off < 0 || fld.Off+fld.Size > len(input) {
+			t.Fatalf("%s: field %s [%d,%d) outside input of %d bytes",
+				name, fld.Path, fld.Off, fld.Off+fld.Size, len(input))
+		}
+		got, ok := dis.FieldByPath(fld.Path)
+		if !ok || got != fld {
+			t.Fatalf("%s: FieldByPath(%q) inconsistent", name, fld.Path)
+		}
+	}
+	for off := -1; off <= len(input); off++ {
+		if fld, ok := dis.FieldAt(off); ok {
+			if off < fld.Off || off >= fld.Off+fld.Size {
+				t.Fatalf("%s: FieldAt(%d) returned %s [%d,%d)", name, off, fld.Path, fld.Off, fld.Off+fld.Size)
+			}
+		}
+		if off >= 0 && off < len(input) && dis.ByteExpr(off) == nil {
+			t.Fatalf("%s: ByteExpr(%d) = nil", name, off)
+		}
+	}
+	vals := dis.FieldValues(input)
+	if len(vals) != len(dis.Fields) {
+		// Duplicate paths would silently merge values; the engine's
+		// field environments assume paths are unique.
+		t.Fatalf("%s: %d field values for %d fields (duplicate paths?)", name, len(vals), len(dis.Fields))
+	}
+	if len(input) > 0 {
+		mutated := append([]byte(nil), input...)
+		mutated[0] ^= 0xFF
+		dis.DiffFields(input, mutated)
+		dis.DiffFields(input, input[:len(input)-1])
+	}
+}
+
+var genCorpus = flag.Bool("gen-corpus", false, "regenerate the checked-in fuzz seed corpus under testdata/fuzz")
+
+// TestGenerateFuzzCorpus rewrites testdata/fuzz/FuzzDissect from
+// fuzzSeedInputs. Run it after changing the encoders or seeds:
+//
+//	go test ./internal/hachoir -run TestGenerateFuzzCorpus -gen-corpus
+func TestGenerateFuzzCorpus(t *testing.T) {
+	if !*genCorpus {
+		t.Skip("pass -gen-corpus to regenerate testdata/fuzz")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzDissect")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, in := range fuzzSeedInputs() {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(in)))
+		name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// FuzzDissect feeds arbitrary bytes to every registered dissector and
+// to format detection. Dissectors must either reject the input with an
+// error or return a structurally sound dissection — never panic, and
+// never a field outside the input.
+func FuzzDissect(f *testing.F) {
+	for _, in := range fuzzSeedInputs() {
+		f.Add(in)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return
+		}
+		for _, d := range Dissectors() {
+			dis, err := d.Dissect(data)
+			if err != nil {
+				if dis != nil {
+					t.Errorf("%s: Dissect returned both a dissection and error %v", d.Name(), err)
+				}
+				continue
+			}
+			checkDissection(t, d.Name(), dis, data)
+		}
+		det := Detect(data)
+		if det == nil {
+			t.Fatal("Detect returned nil")
+		}
+		checkDissection(t, "detect:"+det.Format, det, data)
+	})
+}

@@ -1,0 +1,141 @@
+package minic
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// fuzzSeeds span the MiniC surface: declarations, structs, pointers,
+// control flow, the builtin families, and a few near-miss inputs that
+// exercise error paths.
+var fuzzSeeds = []string{
+	"void main() {}",
+	"u32 g; void main() { g = 1; }",
+	`void main() {
+	u32 v = (u32)in_u8();
+	if (v > 5) { out(1); } else { out(0); }
+}`,
+	`struct img { u32 w; u32 h; };
+struct img g;
+u32 area(u32 w, u32 h) { return w * h; }
+void main() {
+	g.w = in_u32be();
+	g.h = in_u32be();
+	u8* buf = alloc(area(g.w, g.h));
+	if (buf == 0) { exit(1); }
+	buf[0] = 1;
+	free(buf);
+}`,
+	`void main() {
+	u32 i;
+	for (i = 0; i < 10; i += 1) {
+		while (in_eof() == 0) { break; }
+		out(i);
+	}
+}`,
+	`i64 f(i64 x) { if (x <= 1) { return 1; } return x * f(x - 1); }
+void main() { out((u64)f(5)); }`,
+	`void main() { u16 h = in_u16le(); u16 w = in_u16be(); out((u64)(h << 8 | w)); }`,
+	"void main() { abort(); }",
+	// Near-miss inputs: unterminated constructs, stray tokens.
+	"void main() { if (1) { out(1); }",
+	"struct s { u32",
+	"u32 x = ;",
+	"void main() { 0x }",
+	"/* unterminated",
+	"\"unterminated",
+}
+
+var genCorpus = flag.Bool("gen-corpus", false, "regenerate the checked-in fuzz seed corpus under testdata/fuzz")
+
+// TestGenerateFuzzCorpus rewrites testdata/fuzz/{FuzzParse,FuzzLexer}
+// from fuzzSeeds. Run it after changing the seeds:
+//
+//	go test ./internal/minic -run TestGenerateFuzzCorpus -gen-corpus
+func TestGenerateFuzzCorpus(t *testing.T) {
+	if !*genCorpus {
+		t.Skip("pass -gen-corpus to regenerate testdata/fuzz")
+	}
+	for _, target := range []string{"FuzzParse", "FuzzLexer"} {
+		dir := filepath.Join("testdata", "fuzz", target)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for i, src := range fuzzSeeds {
+			body := fmt.Sprintf("go test fuzz v1\nstring(%s)\n", strconv.Quote(src))
+			name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+			if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// FuzzParse throws arbitrary source at the parser and, when a file
+// parses, at the type checker. Neither may panic: the parser's
+// panic/recover discipline must convert every malformed input into an
+// error, and Check must tolerate any AST Parse produces.
+func FuzzParse(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			return // bound parse cost, not coverage
+		}
+		file, err := Parse(src)
+		if err != nil {
+			if file != nil {
+				t.Errorf("Parse returned both a file and error %v", err)
+			}
+			return
+		}
+		if file == nil {
+			t.Error("Parse returned nil file and nil error")
+			return
+		}
+		prog, err := Check(file)
+		if err == nil && prog == nil {
+			t.Error("Check returned nil program and nil error")
+		}
+	})
+}
+
+// FuzzLexer drives the lexer to EOF on arbitrary input: every token
+// stream must terminate (no stuck positions) and errors must surface
+// as errors, not panics.
+func FuzzLexer(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			return
+		}
+		l := NewLexer(src)
+		for i := 0; ; i++ {
+			tok, err := l.Next()
+			if err != nil {
+				return
+			}
+			if tok.Kind == TEOF {
+				return
+			}
+			if i > len(src)+16 {
+				t.Fatalf("lexer produced more tokens than input bytes: stuck? (input %q)", truncate(src))
+			}
+		}
+	})
+}
+
+func truncate(s string) string {
+	if len(s) > 120 {
+		return s[:120] + "..."
+	}
+	return strings.ToValidUTF8(s, "�")
+}

@@ -1,0 +1,76 @@
+package pipeline
+
+import (
+	"time"
+
+	"codephage/internal/compile"
+	"codephage/internal/smt"
+)
+
+// Snapshot is a self-contained copy of a Result that is safe to retain
+// and share across concurrent readers: every byte slice is deep-copied,
+// the overflow verdict is copied out of the engine's proof cache, and
+// the module pointer and internal expression references are dropped.
+// Long-lived services cache snapshots — never raw Results, whose
+// FinalModule aliases shared compile-cache entries.
+type Snapshot struct {
+	Rounds      []PatchRound
+	FinalSource string
+	GenTime     time.Duration
+	// OverflowFreeProven is a private copy of the SMT verdict
+	// (nil: unknown).
+	OverflowFreeProven *bool
+	SolverStats        smt.Stats
+}
+
+// Snapshot returns an immutable deep copy of the result for sharing.
+func (r *Result) Snapshot() *Snapshot {
+	s := &Snapshot{
+		FinalSource: r.FinalSource,
+		GenTime:     r.GenTime,
+		SolverStats: r.SolverStats,
+	}
+	if r.OverflowFreeProven != nil {
+		v := *r.OverflowFreeProven
+		s.OverflowFreeProven = &v
+	}
+	s.Rounds = make([]PatchRound, len(r.Rounds))
+	for i, pr := range r.Rounds {
+		pr.ErrorInput = append([]byte(nil), pr.ErrorInput...)
+		// The excised expression feeds the engine's overflow argument
+		// and is not part of the report surface; dropping it keeps the
+		// snapshot free of references into engine-owned structures.
+		pr.excised = nil
+		s.Rounds[i] = pr
+	}
+	return s
+}
+
+// UsedChecks returns the number of transferred checks.
+func (s *Snapshot) UsedChecks() int { return len(s.Rounds) }
+
+// EngineStats is a point-in-time view of one engine's shared state,
+// exported for serving-layer metrics endpoints.
+type EngineStats struct {
+	// Solver aggregates solver activity across every transfer the
+	// engine has run.
+	Solver smt.Stats
+	// Compile is the engine's compile-cache counters (shared caches
+	// report process-wide activity, not just this engine's).
+	Compile compile.CacheStats
+	// Baselines is the number of cached regression baselines.
+	Baselines int
+	// Proofs is the number of memoised overflow-freedom verdicts.
+	Proofs int
+}
+
+// StatsSnapshot returns the engine's current shared-state counters.
+func (e *Engine) StatsSnapshot() EngineStats {
+	st := EngineStats{Compile: e.compiler().Stats()}
+	e.mu.Lock()
+	st.Solver = e.stats
+	st.Baselines = len(e.baselines)
+	st.Proofs = len(e.proofs)
+	e.mu.Unlock()
+	return st
+}

@@ -1,0 +1,181 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client is a thin phaged API client, used by the codephage CLI's
+// -remote mode and by tests.
+type Client struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8347".
+	BaseURL string
+	// HTTP overrides the transport (nil = a client with no timeout;
+	// transfers legitimately run for a while).
+	HTTP *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return &http.Client{}
+}
+
+func (c *Client) url(path string) string {
+	return strings.TrimRight(c.BaseURL, "/") + path
+}
+
+// responseError renders a non-2xx response as an error, preferring the
+// server's JSON error body over the bare status line.
+func responseError(resp *http.Response) error {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+		return fmt.Errorf("phaged: %s (%s)", e.Error, resp.Status)
+	}
+	return fmt.Errorf("phaged: %s", resp.Status)
+}
+
+func decodeBody[T any](resp *http.Response) (*T, error) {
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return nil, responseError(resp)
+	}
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		return nil, fmt.Errorf("phaged: decoding response: %w", err)
+	}
+	return &v, nil
+}
+
+func (c *Client) post(path string, req *Request) (*http.Response, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	return c.http().Post(c.url(path), "application/json", bytes.NewReader(body))
+}
+
+// Transfer submits a request and waits for the terminal envelope.
+func (c *Client) Transfer(req *Request) (*Envelope, error) {
+	resp, err := c.post("/v1/transfer", req)
+	if err != nil {
+		return nil, err
+	}
+	return decodeBody[Envelope](resp)
+}
+
+// Submit enqueues a request and returns its envelope immediately.
+func (c *Client) Submit(req *Request) (*Envelope, error) {
+	resp, err := c.post("/v1/transfer?async=1", req)
+	if err != nil {
+		return nil, err
+	}
+	return decodeBody[Envelope](resp)
+}
+
+// Stream submits a request and streams status transitions to onStatus
+// (which may be nil), returning the terminal envelope.
+func (c *Client) Stream(req *Request, onStatus func(Status)) (*Envelope, error) {
+	resp, err := c.post("/v1/transfer?stream=1", req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return nil, responseError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 64<<20)
+	var last []byte
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		last = append(last[:0], line...)
+		if onStatus != nil {
+			var ev struct {
+				Status Status `json:"status"`
+			}
+			if json.Unmarshal(line, &ev) == nil && ev.Status != "" {
+				onStatus(ev.Status)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(last) == 0 {
+		return nil, fmt.Errorf("phaged: stream ended without a terminal envelope")
+	}
+	var env Envelope
+	if err := json.Unmarshal(last, &env); err != nil {
+		return nil, fmt.Errorf("phaged: decoding terminal envelope: %w", err)
+	}
+	// A truncated stream's last line is a status event, which decodes
+	// into Envelope too — only a terminal status marks a complete stream.
+	if !env.Status.Terminal() {
+		return nil, fmt.Errorf("phaged: stream ended without a terminal envelope (last status %q)", env.Status)
+	}
+	return &env, nil
+}
+
+// Job fetches the envelope of a previously submitted job.
+func (c *Client) Job(id string) (*Envelope, error) {
+	resp, err := c.http().Get(c.url("/v1/jobs/" + id))
+	if err != nil {
+		return nil, err
+	}
+	return decodeBody[Envelope](resp)
+}
+
+// Wait polls a job until it reaches a terminal state.
+func (c *Client) Wait(id string, interval time.Duration) (*Envelope, error) {
+	if interval <= 0 {
+		interval = 50 * time.Millisecond
+	}
+	for {
+		env, err := c.Job(id)
+		if err != nil {
+			return nil, err
+		}
+		if env.Status.Terminal() {
+			return env, nil
+		}
+		time.Sleep(interval)
+	}
+}
+
+// Targets lists the daemon's transferable error catalogue.
+func (c *Client) Targets() ([]TargetInfo, error) {
+	resp, err := c.http().Get(c.url("/v1/targets"))
+	if err != nil {
+		return nil, err
+	}
+	out, err := decodeBody[[]TargetInfo](resp)
+	if err != nil {
+		return nil, err
+	}
+	return *out, nil
+}
+
+// Health probes the daemon's liveness endpoint.
+func (c *Client) Health() error {
+	resp, err := c.http().Get(c.url("/healthz"))
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("phaged: health: %s", resp.Status)
+	}
+	return nil
+}

@@ -1,0 +1,63 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// ListenAndServe is the daemon loop shared by cmd/phaged and
+// `codephage -serve`: it binds addr, serves the phaged API until
+// SIGINT/SIGTERM arrives or the listener fails, then drains every
+// accepted job within the drain budget. logf (nil = silent) receives
+// progress lines. The error is non-nil when the listener could not be
+// bound or the drain budget expired with jobs still in flight.
+func ListenAndServe(addr string, cfg Config, drain time.Duration, logf func(string, ...any)) error {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	srv := New(cfg)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	srv.Start()
+	httpSrv := &http.Server{Handler: srv.Handler()}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	logf("phaged: listening on %s", ln.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	var serveErr error
+	select {
+	case s := <-sig:
+		logf("phaged: %v: draining (budget %s)", s, drain)
+	case err := <-errCh:
+		logf("phaged: serve: %v", err)
+		if !errors.Is(err, http.ErrServerClosed) {
+			serveErr = err
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		logf("phaged: http shutdown: %v", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("drain incomplete: %w", err)
+	}
+	logf("phaged: drained cleanly")
+	// A listener that died on its own is a failure even though the
+	// drain was clean — supervisors must see a non-zero exit.
+	return serveErr
+}

@@ -1,0 +1,166 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"codephage/internal/apps"
+)
+
+// Handler returns the phaged HTTP API:
+//
+//	POST /v1/transfer          submit and wait for the result
+//	POST /v1/transfer?async=1  submit, return the envelope immediately
+//	POST /v1/transfer?stream=1 submit, stream NDJSON status events,
+//	                           ending with the terminal envelope
+//	GET  /v1/jobs/{id}         job envelope (report included when done)
+//	GET  /v1/targets           the transferable error catalogue
+//	GET  /metrics              Prometheus-style server and engine stats
+//	GET  /healthz              liveness probe
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/transfer", s.handleTransfer)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/targets", s.handleTargets)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleTransfer(w http.ResponseWriter, r *http.Request) {
+	// Requests are a few names and small ints; bound the body so one
+	// client cannot buffer the daemon into OOM.
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<16)
+	var req Request
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	job, dedup, err := s.Submit(&req)
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, ErrShuttingDown) || errors.Is(err, ErrQueueFull) {
+			code = http.StatusServiceUnavailable
+		}
+		writeError(w, code, err)
+		return
+	}
+	q := r.URL.Query()
+	switch {
+	case q.Get("stream") != "":
+		s.streamJob(w, r, job, dedup)
+	case q.Get("async") != "":
+		writeJSON(w, http.StatusAccepted, job.Envelope(dedup))
+	default:
+		select {
+		case <-job.Done():
+			writeJSON(w, http.StatusOK, job.Envelope(dedup))
+		case <-r.Context().Done():
+			// The client went away; the job keeps running and stays
+			// addressable by ID and dedupable by key.
+		}
+	}
+}
+
+// streamJob writes one NDJSON line per status transition, then the
+// terminal envelope as the final line.
+func (s *Server) streamJob(w http.ResponseWriter, r *http.Request, job *Job, dedup bool) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for st := range job.Watch() {
+		if st.Terminal() {
+			break
+		}
+		enc.Encode(map[string]any{"id": job.ID, "status": st})
+		if flusher != nil {
+			flusher.Flush()
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		default:
+		}
+	}
+	select {
+	case <-job.Done():
+		enc.Encode(job.Envelope(dedup))
+		if flusher != nil {
+			flusher.Flush()
+		}
+	case <-r.Context().Done():
+	}
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no such job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Envelope(false))
+}
+
+// TargetInfo is one catalogue entry of the /v1/targets listing.
+type TargetInfo struct {
+	Recipient string   `json:"recipient"`
+	Target    string   `json:"target"`
+	Kind      string   `json:"kind"`
+	Format    string   `json:"format"`
+	Donors    []string `json:"donors"`
+}
+
+func (s *Server) handleTargets(w http.ResponseWriter, _ *http.Request) {
+	var out []TargetInfo
+	for _, t := range apps.Targets() {
+		out = append(out, TargetInfo{
+			Recipient: t.Recipient,
+			Target:    t.ID,
+			Kind:      string(t.Kind),
+			Format:    t.Format,
+			Donors:    t.Donors,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	st := s.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+	p("phaged_requests_total %d\n", st.Requests)
+	p("phaged_jobs_accepted_total %d\n", st.Accepted)
+	p("phaged_jobs_rejected_total %d\n", st.Rejected)
+	p("phaged_dedup_hits_total %d\n", st.DedupHits)
+	p("phaged_engine_runs_total %d\n", st.EngineRuns)
+	p("phaged_jobs_completed_total %d\n", st.Completed)
+	p("phaged_jobs_failed_total %d\n", st.Failed)
+	p("phaged_jobs_queued %d\n", st.Queued)
+	p("phaged_compile_cache_hits_total %d\n", st.Compile.Hits)
+	p("phaged_compile_cache_misses_total %d\n", st.Compile.Misses)
+	p("phaged_compile_cache_evictions_total %d\n", st.Compile.Evictions)
+	p("phaged_compile_cache_entries %d\n", st.Compile.Entries)
+	for i, es := range st.ShardStats {
+		p("phaged_shard_solver_queries_total{shard=\"%d\"} %d\n", i, es.Solver.Queries)
+		p("phaged_shard_solver_cache_hits_total{shard=\"%d\"} %d\n", i, es.Solver.CacheHits)
+		p("phaged_shard_solver_sat_calls_total{shard=\"%d\"} %d\n", i, es.Solver.SATCalls)
+		p("phaged_shard_baseline_cache_entries{shard=\"%d\"} %d\n", i, es.Baselines)
+		p("phaged_shard_proof_cache_entries{shard=\"%d\"} %d\n", i, es.Proofs)
+	}
+}

@@ -1,0 +1,237 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"codephage/internal/phage"
+)
+
+// Request is one transfer submission. Recipient, Target and Donor name
+// entries of the apps catalogue, exactly like the codephage CLI flags.
+type Request struct {
+	Recipient string `json:"recipient"`
+	Target    string `json:"target"`
+	Donor     string `json:"donor"`
+	// Mode selects the patch reaction: "exit" (default) or "return0".
+	Mode string `json:"mode,omitempty"`
+	// MaxChecks bounds the candidate checks tried per round (0 = all).
+	MaxChecks int `json:"max_checks,omitempty"`
+	// MaxRounds bounds residual-error elimination (0 = engine default).
+	MaxRounds int `json:"max_rounds,omitempty"`
+	// MaxSteps bounds each VM run (0 = VM default).
+	MaxSteps int64 `json:"max_steps,omitempty"`
+	// NoRescan disables the DIODE residual scan.
+	NoRescan bool `json:"no_rescan,omitempty"`
+	// Workers bounds candidate-validation fan-out for this job
+	// (0 = the server divides GOMAXPROCS across its worker pool).
+	Workers int `json:"workers,omitempty"`
+}
+
+func (r *Request) mode() string {
+	if r.Mode == "" {
+		return "exit"
+	}
+	return r.Mode
+}
+
+func (r *Request) validate() error {
+	if r.Recipient == "" || r.Target == "" || r.Donor == "" {
+		return fmt.Errorf("recipient, target and donor are required")
+	}
+	switch r.mode() {
+	case "exit", "return0":
+	default:
+		return fmt.Errorf("unknown mode %q (want exit or return0)", r.Mode)
+	}
+	return nil
+}
+
+func (r *Request) options() (phage.Options, error) {
+	opts := phage.Options{
+		MaxChecks:          r.MaxChecks,
+		MaxRounds:          r.MaxRounds,
+		MaxSteps:           r.MaxSteps,
+		DisableDiodeRescan: r.NoRescan,
+		Workers:            r.Workers,
+	}
+	if r.mode() == "return0" {
+		opts.ExitMode = phage.ReturnZero
+	}
+	return opts, nil
+}
+
+// Status is a job's lifecycle state.
+type Status string
+
+// Job lifecycle states.
+const (
+	StatusQueued  Status = "queued"
+	StatusRunning Status = "running"
+	StatusDone    Status = "done"
+	StatusFailed  Status = "failed"
+)
+
+// Terminal reports whether the status is final.
+func (s Status) Terminal() bool { return s == StatusDone || s == StatusFailed }
+
+// Job is one accepted transfer request and its (eventual) outcome.
+type Job struct {
+	ID  string
+	Key string
+	Req *Request
+
+	queuedAt time.Time
+
+	mu         sync.Mutex
+	status     Status
+	report     *Report
+	errMsg     string
+	startedAt  time.Time
+	finishedAt time.Time
+	watchers   []chan Status
+	done       chan struct{}
+}
+
+func newJob(id, key string, req *Request) *Job {
+	return &Job{
+		ID:       id,
+		Key:      key,
+		Req:      req,
+		queuedAt: time.Now(),
+		status:   StatusQueued,
+		done:     make(chan struct{}),
+	}
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Status returns the job's current lifecycle state.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
+}
+
+// Watch subscribes to status transitions: the current status is
+// delivered immediately, later transitions as they happen. The channel
+// is closed after a terminal status is delivered.
+func (j *Job) Watch() <-chan Status {
+	ch := make(chan Status, 8)
+	j.mu.Lock()
+	ch <- j.status
+	if j.status.Terminal() {
+		close(ch)
+	} else {
+		j.watchers = append(j.watchers, ch)
+	}
+	j.mu.Unlock()
+	return ch
+}
+
+func (j *Job) setStatus(st Status) {
+	j.mu.Lock()
+	j.status = st
+	if st == StatusRunning {
+		j.startedAt = time.Now()
+	}
+	if st.Terminal() {
+		j.finishedAt = time.Now()
+	}
+	watchers := j.watchers
+	if st.Terminal() {
+		j.watchers = nil
+	}
+	for _, ch := range watchers {
+		select {
+		case ch <- st:
+		default: // a stalled watcher never blocks the worker
+		}
+		if st.Terminal() {
+			close(ch)
+		}
+	}
+	j.mu.Unlock()
+	if st.Terminal() {
+		close(j.done)
+	}
+}
+
+func (j *Job) finish(rep *Report) {
+	j.mu.Lock()
+	j.report = rep
+	j.mu.Unlock()
+	j.setStatus(StatusDone)
+}
+
+func (j *Job) fail(err error) {
+	j.mu.Lock()
+	j.errMsg = err.Error()
+	j.mu.Unlock()
+	j.setStatus(StatusFailed)
+}
+
+// Report returns the job's deterministic report (nil until done).
+func (j *Job) Report() *Report {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.report
+}
+
+// Err returns the failure message ("" unless status is failed).
+func (j *Job) Err() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.errMsg
+}
+
+// Envelope is the JSON wrapper around a job's state. Report is the
+// deterministic payload; timing lives only here in the envelope, so
+// report bytes are byte-identical across runs.
+type Envelope struct {
+	ID     string  `json:"id"`
+	Key    string  `json:"key"`
+	Status Status  `json:"status"`
+	Dedup  bool    `json:"dedup,omitempty"`
+	Error  string  `json:"error,omitempty"`
+	Report *Report `json:"report,omitempty"`
+	// QueueMs and RunMs are wall-clock milliseconds spent queued and
+	// running (0 until the respective phase completes).
+	QueueMs int64 `json:"queue_ms"`
+	RunMs   int64 `json:"run_ms"`
+}
+
+// Envelope snapshots the job as a response envelope.
+func (j *Job) Envelope(dedup bool) *Envelope {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	env := &Envelope{
+		ID:     j.ID,
+		Key:    j.Key,
+		Status: j.status,
+		Dedup:  dedup,
+		Error:  j.errMsg,
+		Report: j.report,
+	}
+	if !j.startedAt.IsZero() {
+		env.QueueMs = nowMs(j.startedAt.Sub(j.queuedAt))
+	}
+	if !j.finishedAt.IsZero() {
+		env.RunMs = nowMs(j.finishedAt.Sub(j.startedAt))
+	}
+	return env
+}
+
+// counters aggregates the server's atomic activity counters.
+type counters struct {
+	requests   atomic.Int64
+	accepted   atomic.Int64
+	rejected   atomic.Int64
+	dedupHits  atomic.Int64
+	engineRuns atomic.Int64
+	completed  atomic.Int64
+	failed     atomic.Int64
+}

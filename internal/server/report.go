@@ -1,0 +1,125 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"codephage/internal/pipeline"
+)
+
+// Report is the Row-style transfer outcome served to clients. Every
+// field is a deterministic function of the request (the engine
+// guarantees parallel runs match sequential ones byte for byte), so
+// marshalled reports are byte-identical across runs, processes and the
+// network boundary; anything wall-clock-dependent (generation time,
+// solver timings) is deliberately excluded and lives in the job
+// envelope and /metrics instead.
+type Report struct {
+	Recipient string `json:"recipient"`
+	Target    string `json:"target"`
+	Donor     string `json:"donor"`
+
+	// Figure 8 columns.
+	UsedChecks       int      `json:"used_checks"`
+	RelevantBranches int      `json:"relevant_branches"`
+	FlippedBranches  []int    `json:"flipped_branches"`
+	InsertionPoints  [][4]int `json:"insertion_points"` // X, Y, Z, W per patch
+	CheckSizes       [][2]int `json:"check_sizes"`      // excised -> translated ops
+
+	Rounds             []RoundReport `json:"rounds"`
+	PatchedSource      string        `json:"patched_source"`
+	OverflowFreeProven *bool         `json:"overflow_free_proven,omitempty"`
+}
+
+// RoundReport is one transferred patch.
+type RoundReport struct {
+	CheckIndex      int    `json:"check_index"`
+	Patch           string `json:"patch"`
+	InsertFn        string `json:"insert_fn"`
+	InsertLine      int32  `json:"insert_line"`
+	ExcisedCheck    string `json:"excised_check"`
+	TranslatedCheck string `json:"translated_check"`
+	ErrorInput      []byte `json:"error_input"` // base64 in JSON
+}
+
+// BuildReport derives the report from an immutable result snapshot.
+// The server and its tests both build reports through this one
+// function, so "byte-identical to a direct engine run" is checkable by
+// construction.
+func BuildReport(recipient, target, donor string, snap *pipeline.Snapshot) *Report {
+	rep := &Report{
+		Recipient:          recipient,
+		Target:             target,
+		Donor:              donor,
+		UsedChecks:         snap.UsedChecks(),
+		PatchedSource:      snap.FinalSource,
+		OverflowFreeProven: snap.OverflowFreeProven,
+	}
+	for i := range snap.Rounds {
+		pr := &snap.Rounds[i]
+		if rep.RelevantBranches == 0 {
+			rep.RelevantBranches = pr.RelevantSites
+		}
+		rep.FlippedBranches = append(rep.FlippedBranches, pr.FlippedSites)
+		rep.InsertionPoints = append(rep.InsertionPoints, [4]int{
+			pr.CandidatePoints, pr.UnstablePoints, pr.Untranslatable, pr.ViablePoints,
+		})
+		rep.CheckSizes = append(rep.CheckSizes, [2]int{pr.ExcisedOps, pr.TranslatedOps})
+		rep.Rounds = append(rep.Rounds, RoundReport{
+			CheckIndex:      pr.CheckIndex,
+			Patch:           pr.PatchText,
+			InsertFn:        pr.InsertFn,
+			InsertLine:      pr.InsertLine,
+			ExcisedCheck:    pr.ExcisedCheck,
+			TranslatedCheck: pr.TranslatedCheck,
+			ErrorInput:      pr.ErrorInput,
+		})
+	}
+	return rep
+}
+
+// Marshal renders the report's canonical JSON bytes.
+func (r *Report) Marshal() ([]byte, error) { return json.Marshal(r) }
+
+// Text renders the per-patch write-up in the structure of
+// pipeline.Result.Report, built only from the deterministic payload —
+// generation time and solver counters are not part of the report and
+// live in the job envelope and /metrics instead.
+func (r *Report) Text() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Code Phage transfer: %s <- %s\n", r.Recipient, r.Donor)
+	fmt.Fprintf(&sb, "patches: %d\n", r.UsedChecks)
+	for i := range r.Rounds {
+		rr := &r.Rounds[i]
+		fmt.Fprintf(&sb, "\npatch %d:\n", i+1)
+		fmt.Fprintf(&sb, "  relevant branch sites:   %d\n", r.RelevantBranches)
+		if i < len(r.FlippedBranches) {
+			fmt.Fprintf(&sb, "  flipped branch sites:    %d (used: #%d in execution order)\n",
+				r.FlippedBranches[i], rr.CheckIndex+1)
+		}
+		if i < len(r.InsertionPoints) {
+			p := r.InsertionPoints[i]
+			fmt.Fprintf(&sb, "  insertion points:        %d - %d unstable - %d untranslatable = %d\n",
+				p[0], p[1], p[2], p[3])
+		}
+		if i < len(r.CheckSizes) {
+			s := r.CheckSizes[i]
+			fmt.Fprintf(&sb, "  check size:              %d -> %d operations\n", s[0], s[1])
+		}
+		fmt.Fprintf(&sb, "  excised check:           %s\n", truncateStr(rr.ExcisedCheck, 160))
+		fmt.Fprintf(&sb, "  translated check:        %s\n", truncateStr(rr.TranslatedCheck, 160))
+		fmt.Fprintf(&sb, "  patch (before %s:%d):    %s\n", rr.InsertFn, rr.InsertLine, rr.Patch)
+	}
+	if r.OverflowFreeProven != nil {
+		fmt.Fprintf(&sb, "\noverflow-freedom proven by SMT: %v\n", *r.OverflowFreeProven)
+	}
+	return sb.String()
+}
+
+func truncateStr(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

@@ -1,0 +1,361 @@
+// Package server implements phaged, the long-running Code Phage
+// transfer service. It exposes the staged transfer engine
+// (internal/pipeline) over HTTP/JSON: clients submit transfer requests
+// naming a catalogued recipient error and donor, jobs flow through a
+// sharded bounded queue onto warm per-shard engines (requests with the
+// same content key always land on the same shard, so that shard's
+// baseline and proof caches stay hot; the content-keyed compile cache
+// is shared across every shard), identical requests deduplicate onto a
+// single engine run, and results come back as deterministic Row-style
+// JSON reports built from immutable pipeline.Snapshot copies.
+package server
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"time"
+
+	"codephage/internal/apps"
+	"codephage/internal/compile"
+	"codephage/internal/figure8"
+	"codephage/internal/pipeline"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// Shards is the number of engine shards (0 = 2). Each shard owns
+	// one pipeline.Engine and a bounded job queue.
+	Shards int
+	// WorkersPerShard bounds concurrent transfers per shard
+	// (0 = GOMAXPROCS divided across the shards, at least 1).
+	WorkersPerShard int
+	// QueueDepth bounds queued-but-not-running jobs per shard (0 = 64).
+	// Submissions beyond the bound are rejected with ErrQueueFull.
+	QueueDepth int
+	// MaxCachedJobs bounds completed jobs retained for request dedup
+	// (0 = 1024). In-flight jobs are never evicted.
+	MaxCachedJobs int
+}
+
+func (c Config) shards() int {
+	if c.Shards > 0 {
+		return c.Shards
+	}
+	return 2
+}
+
+func (c Config) workersPerShard() int {
+	if c.WorkersPerShard > 0 {
+		return c.WorkersPerShard
+	}
+	w := runtime.GOMAXPROCS(0) / c.shards()
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+func (c Config) queueDepth() int {
+	if c.QueueDepth > 0 {
+		return c.QueueDepth
+	}
+	return 64
+}
+
+func (c Config) maxCachedJobs() int {
+	if c.MaxCachedJobs > 0 {
+		return c.MaxCachedJobs
+	}
+	return 1024
+}
+
+// Submission errors.
+var (
+	ErrShuttingDown = errors.New("server is shutting down")
+	ErrQueueFull    = errors.New("shard queue is full")
+)
+
+// shard is one engine with affinity for a slice of the key space.
+type shard struct {
+	id     int
+	engine *pipeline.Engine
+	queue  chan *Job
+}
+
+// Server is the phaged service core: shards, the job table, and the
+// dedup index. The HTTP layer in http.go is a thin veneer over Submit.
+type Server struct {
+	cfg      Config
+	compiler *compile.Cache
+	shards   []*shard
+
+	mu        sync.Mutex
+	accepting bool
+	stopped   bool // Shutdown ran; the shard queues are closed for good
+	seq       int64
+	jobs      map[string]*Job // job ID -> job
+	byKey     map[string]*Job // content key -> job (dedup index)
+	keyOrder  []string        // completed-key eviction order (FIFO)
+
+	wg      sync.WaitGroup // shard workers
+	counter counters
+}
+
+// New assembles a server; call Start before submitting jobs.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:      cfg,
+		compiler: compile.NewCache(0),
+		jobs:     map[string]*Job{},
+		byKey:    map[string]*Job{},
+	}
+	for i := 0; i < cfg.shards(); i++ {
+		eng := pipeline.NewEngine()
+		eng.Compiler = s.compiler
+		s.shards = append(s.shards, &shard{
+			id:     i,
+			engine: eng,
+			queue:  make(chan *Job, cfg.queueDepth()),
+		})
+	}
+	return s
+}
+
+// Start launches the shard worker pools and begins accepting jobs.
+// Shutdown is permanent: calling Start again afterwards is a no-op
+// (submissions keep failing with ErrShuttingDown) rather than a
+// re-arm onto the closed shard queues.
+func (s *Server) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.accepting || s.stopped {
+		return
+	}
+	s.accepting = true
+	for _, sh := range s.shards {
+		for w := 0; w < s.cfg.workersPerShard(); w++ {
+			s.wg.Add(1)
+			go func(sh *shard) {
+				defer s.wg.Done()
+				for job := range sh.queue {
+					s.runJob(sh, job)
+				}
+			}(sh)
+		}
+	}
+}
+
+// Shutdown stops accepting new jobs and drains the queues: every job
+// already accepted (queued or running) completes before Shutdown
+// returns, unless the context expires first. Safe to call once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.accepting {
+		s.mu.Unlock()
+		return nil
+	}
+	s.accepting = false
+	s.stopped = true
+	for _, sh := range s.shards {
+		close(sh.queue)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// contentKey is the dedup identity of a request: the hash of every
+// field that affects the engine's (deterministic) result.
+func contentKey(req *Request) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%s\x00%s\x00%s\x00%d\x00%d\x00%d\x00%v",
+		req.Recipient, req.Target, req.Donor, req.mode(),
+		req.MaxChecks, req.MaxRounds, req.MaxSteps, req.NoRescan)
+	sum := h.Sum(nil)
+	return hex.EncodeToString(sum[:16])
+}
+
+// shardFor routes a content key to its home shard.
+func (s *Server) shardFor(key string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return s.shards[int(h.Sum32())%len(s.shards)]
+}
+
+// Submit validates and enqueues a request. If an identical request
+// (same content key) is in flight or already completed, the existing
+// job is returned with dedup=true and no new engine run happens.
+// Every submission counts toward Stats.Requests, rejected ones toward
+// Stats.Rejected too — under overload the rejection rate is the signal
+// that matters.
+func (s *Server) Submit(req *Request) (job *Job, dedup bool, err error) {
+	s.counter.requests.Add(1)
+	if err := req.validate(); err != nil {
+		s.counter.rejected.Add(1)
+		return nil, false, err
+	}
+	key := contentKey(req)
+
+	s.mu.Lock()
+	if !s.accepting {
+		s.mu.Unlock()
+		s.counter.rejected.Add(1)
+		return nil, false, ErrShuttingDown
+	}
+	if j, ok := s.byKey[key]; ok {
+		s.counter.dedupHits.Add(1)
+		s.mu.Unlock()
+		return j, true, nil
+	}
+	s.seq++
+	job = newJob(fmt.Sprintf("job-%06d", s.seq), key, req)
+	sh := s.shardFor(key)
+	select {
+	case sh.queue <- job:
+	default:
+		s.mu.Unlock()
+		s.counter.rejected.Add(1)
+		return nil, false, ErrQueueFull
+	}
+	s.jobs[job.ID] = job
+	s.byKey[key] = job
+	s.counter.accepted.Add(1)
+	s.mu.Unlock()
+	return job, false, nil
+}
+
+// Job returns the job with the given ID, if it exists.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// runJob executes one job on its shard's engine and publishes the
+// result. Jobs never panic the worker: catalogue and engine errors
+// become failed jobs.
+func (s *Server) runJob(sh *shard, job *Job) {
+	job.setStatus(StatusRunning)
+
+	report, err := s.execute(sh, job.Req)
+	if err != nil {
+		job.fail(err)
+		s.counter.failed.Add(1)
+	} else {
+		job.finish(report)
+		s.counter.completed.Add(1)
+	}
+	s.retireKey(job.Key)
+}
+
+// execute resolves the catalogue entry and runs the transfer on the
+// shard engine, returning the deterministic report.
+func (s *Server) execute(sh *shard, req *Request) (*Report, error) {
+	tgt, err := apps.TargetByID(req.Recipient, req.Target)
+	if err != nil {
+		return nil, err
+	}
+	opts, err := req.options()
+	if err != nil {
+		return nil, err
+	}
+	if opts.Workers == 0 {
+		// Divide the CPU budget across the server's total worker count
+		// so concurrent jobs do not oversubscribe quadratically, the
+		// same policy pipeline.Batch applies.
+		per := runtime.GOMAXPROCS(0) / (len(s.shards) * s.cfg.workersPerShard())
+		if per < 1 {
+			per = 1
+		}
+		opts.Workers = per
+	}
+	tr, err := figure8.NewTransfer(tgt, req.Donor, opts)
+	if err != nil {
+		return nil, err
+	}
+	// Counted here, after catalogue/option resolution: requests that
+	// fail before reaching the engine are not engine runs.
+	s.counter.engineRuns.Add(1)
+	res, err := sh.engine.Run(tr)
+	if err != nil {
+		return nil, err
+	}
+	return BuildReport(req.Recipient, req.Target, req.Donor, res.Snapshot()), nil
+}
+
+// retireKey records a completed key for FIFO eviction and trims the
+// dedup cache to its bound. In-flight keys are never evicted (eviction
+// only considers keys that have reached this point).
+func (s *Server) retireKey(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.keyOrder = append(s.keyOrder, key)
+	for len(s.keyOrder) > s.cfg.maxCachedJobs() {
+		old := s.keyOrder[0]
+		s.keyOrder = s.keyOrder[1:]
+		if j, ok := s.byKey[old]; ok {
+			delete(s.byKey, old)
+			delete(s.jobs, j.ID)
+		}
+	}
+}
+
+// Stats is a point-in-time view of the server and its shard engines,
+// the data backing the /metrics endpoint.
+type Stats struct {
+	Requests int64
+	Accepted int64
+	// Rejected counts submissions refused before job creation:
+	// validation failures, queue-full, and shutting-down refusals.
+	Rejected   int64
+	DedupHits  int64
+	EngineRuns int64
+	Completed  int64
+	Failed     int64
+	Queued     int // jobs accepted but not yet running
+	Compile    compile.CacheStats
+	ShardStats []pipeline.EngineStats
+}
+
+// Stats snapshots the server counters and per-shard engine state.
+func (s *Server) Stats() Stats {
+	st := Stats{
+		Requests:   s.counter.requests.Load(),
+		Accepted:   s.counter.accepted.Load(),
+		Rejected:   s.counter.rejected.Load(),
+		DedupHits:  s.counter.dedupHits.Load(),
+		EngineRuns: s.counter.engineRuns.Load(),
+		Completed:  s.counter.completed.Load(),
+		Failed:     s.counter.failed.Load(),
+		Compile:    s.compiler.Stats(),
+	}
+	for _, sh := range s.shards {
+		st.Queued += len(sh.queue)
+		es := sh.engine.StatsSnapshot()
+		// The compile cache is shared; report it once at the top level
+		// rather than duplicated per shard.
+		es.Compile = compile.CacheStats{}
+		st.ShardStats = append(st.ShardStats, es)
+	}
+	return st
+}
+
+// nowMs converts a duration to whole milliseconds for JSON envelopes.
+func nowMs(d time.Duration) int64 { return d.Milliseconds() }

@@ -1,0 +1,426 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"codephage/internal/apps"
+	"codephage/internal/compile"
+	"codephage/internal/figure8"
+	"codephage/internal/phage"
+	"codephage/internal/pipeline"
+)
+
+// newTestServer starts a phaged core on a loopback HTTP listener.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := New(cfg)
+	srv.Start()
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return srv, ts
+}
+
+// rawEnvelope decodes the envelope but keeps the report's raw bytes,
+// so tests can compare the exact bytes that crossed the network.
+type rawEnvelope struct {
+	ID      string          `json:"id"`
+	Status  Status          `json:"status"`
+	Dedup   bool            `json:"dedup"`
+	Error   string          `json:"error"`
+	Report  json.RawMessage `json:"report"`
+	QueueMs int64           `json:"queue_ms"`
+	RunMs   int64           `json:"run_ms"`
+}
+
+func postTransfer(t *testing.T, base string, req *Request, query string) *rawEnvelope {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/transfer"+query, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var env rawEnvelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatalf("decoding envelope: %v (status %s)", err, resp.Status)
+	}
+	return &env
+}
+
+// allTargetRequests returns one request per Figure 8 target (its first
+// catalogued donor), the satellite workload of 10 concurrent jobs.
+func allTargetRequests() []*Request {
+	var reqs []*Request
+	for _, tgt := range apps.Targets() {
+		reqs = append(reqs, &Request{
+			Recipient: tgt.Recipient,
+			Target:    tgt.ID,
+			Donor:     tgt.Donors[0],
+		})
+	}
+	return reqs
+}
+
+// directReportBytes runs the same requests through a direct
+// pipeline.Batch over a fresh engine and renders the reports with the
+// same BuildReport the service uses.
+func directReportBytes(t *testing.T, reqs []*Request, workers int) map[string][]byte {
+	t.Helper()
+	var tasks []pipeline.BatchTask
+	for _, req := range reqs {
+		tgt, err := apps.TargetByID(req.Recipient, req.Target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := figure8.NewTransfer(tgt, req.Donor, phage.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tasks = append(tasks, pipeline.BatchTask{ID: contentKey(req), Transfer: tr})
+	}
+	eng := pipeline.NewEngine()
+	eng.Compiler = compile.NewCache(0)
+	batch := &pipeline.Batch{Engine: eng, Workers: workers}
+	if workers == 1 {
+		eng.Workers = 1
+	}
+	results, stats := batch.Run(tasks)
+	if stats.Failed != 0 {
+		for _, r := range results {
+			if r.Err != nil {
+				t.Fatalf("direct batch %s: %v", r.ID, r.Err)
+			}
+		}
+	}
+	out := map[string][]byte{}
+	for i, br := range results {
+		req := reqs[i]
+		rep := BuildReport(req.Recipient, req.Target, req.Donor, br.Result.Snapshot())
+		bytes, err := rep.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[br.ID] = bytes
+	}
+	return out
+}
+
+// TestServiceMatchesDirectBatch is the end-to-end determinism
+// contract: all 10 Figure 8 targets submitted concurrently over the
+// network must produce report bytes identical to a direct
+// pipeline.Batch run of the same transfers.
+func TestServiceMatchesDirectBatch(t *testing.T) {
+	reqs := allTargetRequests()
+	want := directReportBytes(t, reqs, 0)
+
+	srv, ts := newTestServer(t, Config{Shards: 3})
+	var wg sync.WaitGroup
+	envs := make([]*rawEnvelope, len(reqs))
+	for i, req := range reqs {
+		wg.Add(1)
+		go func(i int, req *Request) {
+			defer wg.Done()
+			envs[i] = postTransfer(t, ts.URL, req, "")
+		}(i, req)
+	}
+	wg.Wait()
+
+	for i, req := range reqs {
+		env := envs[i]
+		label := fmt.Sprintf("%s/%s<-%s", req.Recipient, req.Target, req.Donor)
+		if env.Status != StatusDone {
+			t.Errorf("%s: status %s (%s)", label, env.Status, env.Error)
+			continue
+		}
+		if got, wantB := string(env.Report), string(want[contentKey(req)]); got != wantB {
+			t.Errorf("%s: service report differs from direct batch report\n got: %.300s\nwant: %.300s", label, got, wantB)
+		}
+	}
+	if st := srv.Stats(); st.EngineRuns != int64(len(reqs)) {
+		t.Errorf("engine runs = %d, want %d", st.EngineRuns, len(reqs))
+	}
+}
+
+// determinismRequests are the three determinism-test Figure 8 rows
+// (catalogued error inputs, all three error kinds).
+func determinismRequests() []*Request {
+	return []*Request{
+		{Recipient: "jasper", Target: "jpc_dec.c@492", Donor: "openjpeg"},
+		{Recipient: "gif2tiff", Target: "gif2tiff.c@355", Donor: "magick9"},
+		{Recipient: "wireshark14", Target: "packet-dcp-etsi.c@258", Donor: "wireshark18"},
+	}
+}
+
+// TestServiceDeterminismAgainstSequentialEngine: concurrent phaged
+// responses for the determinism rows must be byte-identical to fully
+// sequential direct-engine runs (Workers: 1, cold cache) — the
+// acceptance criterion for determinism across the network boundary.
+func TestServiceDeterminismAgainstSequentialEngine(t *testing.T) {
+	reqs := determinismRequests()
+	want := directReportBytes(t, reqs, 1)
+
+	_, ts := newTestServer(t, Config{Shards: 2})
+	var wg sync.WaitGroup
+	envs := make([]*rawEnvelope, len(reqs))
+	for i, req := range reqs {
+		wg.Add(1)
+		go func(i int, req *Request) {
+			defer wg.Done()
+			envs[i] = postTransfer(t, ts.URL, req, "")
+		}(i, req)
+	}
+	wg.Wait()
+	for i, req := range reqs {
+		if envs[i].Status != StatusDone {
+			t.Fatalf("%s: %s (%s)", req.Recipient, envs[i].Status, envs[i].Error)
+		}
+		if got, wantB := string(envs[i].Report), string(want[contentKey(req)]); got != wantB {
+			t.Errorf("%s: concurrent service response != sequential engine run", req.Recipient)
+		}
+	}
+}
+
+// TestServiceDedup: the same request twice — sequentially and then
+// concurrently — must run the engine exactly once; later responses are
+// served from the dedup index.
+func TestServiceDedup(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Shards: 1})
+	req := &Request{Recipient: "gif2tiff", Target: "gif2tiff.c@355", Donor: "magick9"}
+
+	first := postTransfer(t, ts.URL, req, "")
+	if first.Status != StatusDone {
+		t.Fatalf("first: %s (%s)", first.Status, first.Error)
+	}
+	if first.Dedup {
+		t.Error("first response claims dedup")
+	}
+
+	const repeats = 8
+	var wg sync.WaitGroup
+	envs := make([]*rawEnvelope, repeats)
+	for i := 0; i < repeats; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			envs[i] = postTransfer(t, ts.URL, req, "")
+		}(i)
+	}
+	wg.Wait()
+	for i, env := range envs {
+		if env.Status != StatusDone {
+			t.Fatalf("repeat %d: %s (%s)", i, env.Status, env.Error)
+		}
+		if !env.Dedup {
+			t.Errorf("repeat %d: not served from the dedup index", i)
+		}
+		if string(env.Report) != string(first.Report) {
+			t.Errorf("repeat %d: report differs from the first run", i)
+		}
+		if env.ID != first.ID {
+			t.Errorf("repeat %d: job id %s, want the original %s", i, env.ID, first.ID)
+		}
+	}
+	st := srv.Stats()
+	if st.EngineRuns != 1 {
+		t.Errorf("engine runs = %d, want 1 (dedup must reuse the run)", st.EngineRuns)
+	}
+	if st.DedupHits != repeats {
+		t.Errorf("dedup hits = %d, want %d", st.DedupHits, repeats)
+	}
+}
+
+// TestServiceStreamAndJobEndpoints: the NDJSON stream delivers status
+// events ending in a terminal envelope, and the job stays addressable
+// by ID afterwards.
+func TestServiceStreamAndJobEndpoints(t *testing.T) {
+	_, ts := newTestServer(t, Config{Shards: 1})
+	body, _ := json.Marshal(&Request{Recipient: "gif2tiff", Target: "gif2tiff.c@355", Donor: "magick9"})
+	resp, err := http.Post(ts.URL+"/v1/transfer?stream=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("stream content type = %q", ct)
+	}
+	var lines []json.RawMessage
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 64<<20)
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		lines = append(lines, json.RawMessage(append([]byte(nil), sc.Bytes()...)))
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) < 2 {
+		t.Fatalf("stream produced %d lines, want status events plus a terminal envelope", len(lines))
+	}
+	var final rawEnvelope
+	if err := json.Unmarshal(lines[len(lines)-1], &final); err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != StatusDone || len(final.Report) == 0 {
+		t.Fatalf("terminal line: status %s, report %d bytes", final.Status, len(final.Report))
+	}
+
+	// The same job must be retrievable by ID.
+	cli := &Client{BaseURL: ts.URL}
+	env, err := cli.Job(final.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Status != StatusDone || env.Report == nil {
+		t.Errorf("GET /v1/jobs/%s: status %s, report nil=%v", final.ID, env.Status, env.Report == nil)
+	}
+}
+
+// TestServiceValidationAndErrors: bad requests are rejected up front,
+// unknown catalogue entries fail the job with the engine untouched
+// beyond one run, and failed jobs are dedup-cached too.
+func TestServiceValidationAndErrors(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Shards: 1})
+
+	resp, err := http.Post(ts.URL+"/v1/transfer", "application/json",
+		bytes.NewReader([]byte(`{"recipient":"dillo"}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing fields: status %d, want 400", resp.StatusCode)
+	}
+
+	env := postTransfer(t, ts.URL, &Request{Recipient: "nosuch", Target: "x", Donor: "feh"}, "")
+	if env.Status != StatusFailed || env.Error == "" {
+		t.Errorf("unknown target: status %s, error %q", env.Status, env.Error)
+	}
+	env2 := postTransfer(t, ts.URL, &Request{Recipient: "nosuch", Target: "x", Donor: "feh"}, "")
+	if !env2.Dedup {
+		t.Error("repeated failing request did not dedup")
+	}
+	st := srv.Stats()
+	if st.Failed != 1 || st.EngineRuns != 0 {
+		t.Errorf("failed=%d engineRuns=%d, want failed=1 and no engine runs (catalogue lookup fails first)", st.Failed, st.EngineRuns)
+	}
+	// 3 submissions reached Submit: the invalid one was rejected, the
+	// nosuch pair was accepted once and deduped once.
+	if st.Requests != 3 || st.Rejected != 1 || st.Accepted != 1 || st.DedupHits != 1 {
+		t.Errorf("requests=%d rejected=%d accepted=%d dedup=%d, want 3/1/1/1",
+			st.Requests, st.Rejected, st.Accepted, st.DedupHits)
+	}
+}
+
+// TestServiceShutdownDrainsInFlight: jobs accepted before Shutdown
+// complete during the drain; submissions after Shutdown are refused.
+func TestServiceShutdownDrainsInFlight(t *testing.T) {
+	srv := New(Config{Shards: 1, WorkersPerShard: 1})
+	srv.Start()
+	reqs := determinismRequests()
+	var jobs []*Job
+	for _, req := range reqs {
+		job, dedup, err := srv.Submit(req)
+		if err != nil || dedup {
+			t.Fatalf("submit: dedup=%v err=%v", dedup, err)
+		}
+		jobs = append(jobs, job)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	for i, job := range jobs {
+		if st := job.Status(); st != StatusDone {
+			t.Errorf("job %d: status %s after drain, want done", i, st)
+		}
+	}
+	if _, _, err := srv.Submit(reqs[0]); err != ErrShuttingDown {
+		t.Errorf("submit after shutdown: err %v, want ErrShuttingDown", err)
+	}
+
+	// Shutdown is permanent: Start must not re-arm submissions onto the
+	// closed shard queues.
+	srv.Start()
+	if _, _, err := srv.Submit(reqs[0]); err != ErrShuttingDown {
+		t.Errorf("submit after shutdown+restart: err %v, want ErrShuttingDown", err)
+	}
+}
+
+// TestServiceMetricsAndTargets sanity-checks the read-only endpoints.
+func TestServiceMetricsAndTargets(t *testing.T) {
+	_, ts := newTestServer(t, Config{Shards: 2})
+	cli := &Client{BaseURL: ts.URL}
+	if err := cli.Health(); err != nil {
+		t.Fatal(err)
+	}
+	targets, err := cli.Targets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(targets) != len(apps.Targets()) {
+		t.Errorf("targets = %d, want %d", len(targets), len(apps.Targets()))
+	}
+
+	if _, err := cli.Transfer(&Request{Recipient: "gif2tiff", Target: "gif2tiff.c@355", Donor: "magick9"}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	for _, metric := range []string{
+		"phaged_engine_runs_total 1",
+		"phaged_compile_cache_misses_total",
+		"phaged_shard_solver_queries_total{shard=\"0\"}",
+		"phaged_shard_solver_queries_total{shard=\"1\"}",
+	} {
+		if !bytes.Contains(buf.Bytes(), []byte(metric)) {
+			t.Errorf("/metrics is missing %q", metric)
+		}
+	}
+}
+
+// TestClientStream exercises the client's streaming decode against a
+// live server.
+func TestClientStream(t *testing.T) {
+	_, ts := newTestServer(t, Config{Shards: 1})
+	cli := &Client{BaseURL: ts.URL}
+	var seen []Status
+	env, err := cli.Stream(&Request{Recipient: "gif2tiff", Target: "gif2tiff.c@355", Donor: "magick9"},
+		func(st Status) { seen = append(seen, st) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Status != StatusDone || env.Report == nil {
+		t.Fatalf("stream terminal: %s report nil=%v (%s)", env.Status, env.Report == nil, env.Error)
+	}
+	if len(seen) == 0 {
+		t.Error("no status events observed before the terminal envelope")
+	}
+}

@@ -1,6 +1,8 @@
 package vm
 
 import (
+	"fmt"
+	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -129,5 +131,211 @@ func TestVMAgreesWithBitvecSemantics(t *testing.T) {
 	cfg := &quick.Config{MaxCount: 2000}
 	if err := quick.Check(prop, cfg); err != nil {
 		t.Error(err)
+	}
+}
+
+// ---- Fresh VM vs recycled Runner (the pooled path).
+//
+// The validator and the phaged service replay many inputs through one
+// vm.Runner, whose Reset recycles the previous run's stack, globals
+// and heap structures. Any state leaking across Reset would silently
+// change validation verdicts, so randomized programs must execute
+// trace-identically on a recycled Runner and on a fresh VM.
+
+const diffMaxSteps = 4096
+
+var genWidths = []ir.Width{ir.W8, ir.W16, ir.W32, ir.W64}
+
+// genModule builds a random, structurally valid module: a main
+// function mixing ALU ops, frame/global/heap memory traffic, input
+// builtins, branches (mostly forward, occasionally backward) and calls
+// into a small helper function. Programs may legitimately trap — both
+// execution paths must then trap identically.
+func genModule(r *rand.Rand) *ir.Module {
+	const numRegs = 8
+	helper := &ir.Function{
+		Name: "helper", NumRegs: 4, FrameSize: 16,
+		Params: []ir.Param{{Off: 0, W: ir.W32}},
+		RetW:   ir.W32,
+		Code: []ir.Instr{
+			{Op: ir.FrameAddr, Dst: 0, Imm: 0},
+			{Op: ir.Load, W: ir.W32, Dst: 1, A: 0},
+			{Op: ir.ConstOp, W: ir.W32, Dst: 2, Imm: uint64(r.Intn(1 << 16))},
+			{Op: ir.Add, W: ir.W32, Dst: 3, A: 1, B: 2},
+			{Op: ir.Ret, A: 3},
+		},
+	}
+
+	n := 16 + r.Intn(32)
+	code := make([]ir.Instr, 0, n+3)
+	// Registers 0 and 1 hold valid frame and global addresses so that
+	// generated loads and stores hit mapped memory often enough to
+	// exercise the recycled buffers, not only the trap paths.
+	code = append(code,
+		ir.Instr{Op: ir.FrameAddr, Dst: 0, Imm: uint64(r.Intn(7) * 8)},
+		ir.Instr{Op: ir.GlobalAddr, Dst: 1, Imm: uint64(r.Intn(7) * 8)},
+	)
+	body := n - len(code)
+	for i := 0; i < body; i++ {
+		pc := len(code)
+		last := pc == n-1
+		if last {
+			code = append(code, ir.Instr{Op: ir.Ret, A: ir.Reg(r.Intn(numRegs))})
+			break
+		}
+		reg := func() ir.Reg { return ir.Reg(r.Intn(numRegs)) }
+		memReg := func() ir.Reg {
+			if r.Intn(4) != 0 {
+				return ir.Reg(r.Intn(3)) // frame, global or alloc pointer
+			}
+			return reg()
+		}
+		w := genWidths[r.Intn(len(genWidths))]
+		fwd := func() int32 { return int32(pc + 1 + r.Intn(n-pc-1)) }
+		switch k := r.Intn(20); {
+		case k < 6: // ALU
+			op := ir.Add + ir.Op(r.Intn(int(ir.SLe-ir.Add)+1))
+			code = append(code, ir.Instr{Op: op, W: w, Dst: reg(), A: reg(), B: reg()})
+		case k < 8:
+			code = append(code, ir.Instr{Op: ir.ConstOp, W: w, Dst: reg(), Imm: uint64(r.Int63())})
+		case k < 9:
+			conv := []ir.Op{ir.ZExt, ir.SExt, ir.Trunc}[r.Intn(3)]
+			code = append(code, ir.Instr{Op: conv, W: w, SrcW: genWidths[r.Intn(len(genWidths))], Dst: reg(), A: reg()})
+		case k < 11:
+			code = append(code, ir.Instr{Op: ir.Load, W: w, Dst: reg(), A: memReg()})
+		case k < 13:
+			code = append(code, ir.Instr{Op: ir.Store, W: w, A: memReg(), B: reg()})
+		case k < 15: // input/output builtins
+			b := []ir.Builtin{ir.BInU8, ir.BInU16BE, ir.BInU16LE, ir.BInU32BE,
+				ir.BInU32LE, ir.BInPos, ir.BInLen, ir.BInEOF}[r.Intn(8)]
+			code = append(code, ir.Instr{Op: ir.CallB, Builtin: b, Dst: reg()})
+		case k < 16: // heap traffic: alloc into r2, free r2 later
+			if r.Intn(2) == 0 {
+				code = append(code, ir.Instr{Op: ir.CallB, Builtin: ir.BAlloc, Dst: 2, Args: []ir.Reg{reg()}})
+			} else {
+				code = append(code, ir.Instr{Op: ir.CallB, Builtin: ir.BFree, Dst: 3, Args: []ir.Reg{2}})
+			}
+		case k < 17:
+			code = append(code, ir.Instr{Op: ir.CallB, Builtin: ir.BOut, Dst: 3, Args: []ir.Reg{reg()}})
+		case k < 18:
+			code = append(code, ir.Instr{Op: ir.Call, Fn: 1, Dst: reg(), Args: []ir.Reg{reg()}})
+		default: // control flow
+			t1 := fwd()
+			t2 := fwd()
+			if r.Intn(8) == 0 {
+				t2 = int32(r.Intn(pc + 1)) // occasional backward edge
+			}
+			if r.Intn(3) == 0 {
+				code = append(code, ir.Instr{Op: ir.Jmp, Target: t1})
+			} else {
+				code = append(code, ir.Instr{Op: ir.Br, A: reg(), Target: t1, Target2: t2})
+			}
+		}
+	}
+	if code[len(code)-1].Op != ir.Ret {
+		code = append(code, ir.Instr{Op: ir.Ret, A: 0})
+	}
+
+	main := &ir.Function{
+		Name: "main", NumRegs: numRegs, FrameSize: 64, RetW: ir.W32, Code: code,
+	}
+	return &ir.Module{
+		Name:         "randprog",
+		Funcs:        []*ir.Function{main, helper},
+		Entry:        0,
+		Globals:      make([]byte, 64),
+		GlobalBlocks: []ir.GlobalBlock{{Off: 0, Size: 64}},
+	}
+}
+
+// diffTracer records the trace fields that define observable
+// execution.
+type diffTracer struct{ events []Event }
+
+func (d *diffTracer) Step(ev *Event) {
+	e := *ev
+	e.Args = append([]uint64(nil), ev.Args...)
+	d.events = append(d.events, e)
+}
+
+func sameTrap(a, b *Trap) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	return a == nil || *a == *b
+}
+
+func compareRuns(t *testing.T, label string, want, got *Result, wantTr, gotTr *diffTracer) {
+	t.Helper()
+	if want.ExitCode != got.ExitCode || want.Steps != got.Steps || !sameTrap(want.Trap, got.Trap) {
+		t.Fatalf("%s: result diverges: fresh={exit:%d steps:%d trap:%v} recycled={exit:%d steps:%d trap:%v}",
+			label, want.ExitCode, want.Steps, want.Trap, got.ExitCode, got.Steps, got.Trap)
+	}
+	if len(want.Output) != len(got.Output) {
+		t.Fatalf("%s: output lengths %d != %d", label, len(want.Output), len(got.Output))
+	}
+	for i := range want.Output {
+		if want.Output[i] != got.Output[i] {
+			t.Fatalf("%s: output[%d] = %d, fresh VM produced %d", label, i, got.Output[i], want.Output[i])
+		}
+	}
+	if len(wantTr.events) != len(gotTr.events) {
+		t.Fatalf("%s: trace lengths %d != %d", label, len(wantTr.events), len(gotTr.events))
+	}
+	for i := range wantTr.events {
+		a, b := &wantTr.events[i], &gotTr.events[i]
+		same := a.Fn == b.Fn && a.PC == b.PC && a.In == b.In && a.Depth == b.Depth &&
+			a.FP == b.FP && a.Val == b.Val && a.A == b.A && a.B == b.B &&
+			a.Addr == b.Addr && a.Taken == b.Taken && a.CalleeFP == b.CalleeFP &&
+			a.InOff == b.InOff && a.InLen == b.InLen && a.AllocSz == b.AllocSz &&
+			len(a.Args) == len(b.Args)
+		for j := 0; same && j < len(a.Args); j++ {
+			same = a.Args[j] == b.Args[j]
+		}
+		if !same {
+			t.Fatalf("%s: trace event %d diverges:\n fresh:    %+v\n recycled: %+v", label, i, *a, *b)
+		}
+	}
+}
+
+// TestRunnerRecycledMatchesFreshVM cross-validates the two execution
+// paths over randomized programs and inputs: a recycled Runner (the
+// pooled path the validator and phaged workers use) must be
+// bit-identical — results AND instruction-level traces — to a fresh VM
+// per input. The Runner deliberately runs inputs back to back so every
+// run after the first exercises Reset over dirtied state.
+func TestRunnerRecycledMatchesFreshVM(t *testing.T) {
+	programs := 200
+	if testing.Short() {
+		programs = 60
+	}
+	r := rand.New(rand.NewSource(0xC0DEFA6E))
+	for p := 0; p < programs; p++ {
+		mod := genModule(r)
+		if err := mod.Validate(); err != nil {
+			t.Fatalf("program %d: generator produced invalid module: %v", p, err)
+		}
+		runner := NewRunner(mod)
+		runner.MaxSteps = diffMaxSteps
+		for k := 0; k < 6; k++ {
+			input := make([]byte, r.Intn(33))
+			r.Read(input)
+			if k == 0 {
+				input = nil // empty-input edge case first
+			}
+
+			fresh := New(mod, input)
+			fresh.MaxSteps = diffMaxSteps
+			wantTr := &diffTracer{}
+			fresh.Tracer = wantTr
+			want := fresh.Run()
+
+			gotTr := &diffTracer{}
+			runner.Tracer = gotTr
+			got := runner.Run(input)
+
+			label := fmt.Sprintf("program %d input %d", p, k)
+			compareRuns(t, label, want, got, wantTr, gotTr)
+		}
 	}
 }

@@ -39,7 +39,11 @@ func (v *VM) Reset(input []byte) {
 type Runner struct {
 	// MaxSteps bounds each run (0 = the VM default).
 	MaxSteps int64
-	v        *VM
+	// Tracer observes each run's execution (nil = untraced). The
+	// recycled path must be trace-identical to a fresh VM; the
+	// differential tests rely on this hook to check it.
+	Tracer Tracer
+	v      *VM
 }
 
 // NewRunner prepares a reusable runner for the module.
@@ -51,5 +55,6 @@ func NewRunner(mod *ir.Module) *Runner {
 func (r *Runner) Run(input []byte) *Result {
 	r.v.Reset(input)
 	r.v.MaxSteps = r.MaxSteps
+	r.v.Tracer = r.Tracer
 	return r.v.Run()
 }
