@@ -1,14 +1,19 @@
 // Command codephage runs the full horizontal code transfer pipeline
-// for one Figure 8 error, against one donor or every donor the
-// catalogue lists for it — either locally, or against a running phaged
-// daemon (-remote), or by becoming one (-serve).
+// for one Figure 8 error, against one donor, every donor the
+// catalogue lists for it, or a donor the corpus selects automatically
+// (-donor auto) — either locally, or against a running phaged daemon
+// (-remote), or by becoming one (-serve). The corpus subcommand
+// manages the donor knowledge-base index.
 //
 // Usage:
 //
-//	codephage -recipient dillo -target png.c@203 [-donor feh]
-//	          [-mode exit|return0] [-o patched.mc] [-v] [-workers N]
-//	          [-remote http://127.0.0.1:8347]
+//	codephage -recipient dillo -target png.c@203 [-donor feh|auto]
+//	          [-index corpus.json] [-mode exit|return0] [-o patched.mc]
+//	          [-v] [-workers N] [-remote http://127.0.0.1:8347]
+//	codephage -list-donors
 //	codephage -serve 127.0.0.1:8347
+//	codephage corpus build [-index corpus.json]
+//	codephage corpus show [-index corpus.json] [-format mjpg] [-v]
 package main
 
 import (
@@ -18,15 +23,22 @@ import (
 	"time"
 
 	"codephage/internal/apps"
+	"codephage/internal/corpus"
 	"codephage/internal/figure8"
 	"codephage/internal/phage"
+	"codephage/internal/pipeline"
 	"codephage/internal/server"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "corpus" {
+		runCorpus(os.Args[2:])
+		return
+	}
 	recipient := flag.String("recipient", "", "recipient application name")
 	target := flag.String("target", "", "error identifier (e.g. png.c@203)")
-	donor := flag.String("donor", "", "donor application (default: every catalogued donor)")
+	donor := flag.String("donor", "", "donor application, or auto for corpus selection (default: every catalogued donor)")
+	index := flag.String("index", "", "corpus index path for -donor auto (default: in-memory)")
 	mode := flag.String("mode", "exit", "patch reaction: exit or return0")
 	out := flag.String("o", "", "write the final patched source here")
 	verbose := flag.Bool("v", false, "print excised and translated checks")
@@ -34,15 +46,22 @@ func main() {
 	workers := flag.Int("workers", 0, "candidate-validation fan-out (0 = GOMAXPROCS)")
 	remote := flag.String("remote", "", "phaged base URL: run the transfer on a daemon instead of in-process")
 	serve := flag.String("serve", "", "run as a phaged daemon on this address instead of transferring")
+	listDonors := flag.Bool("list-donors", false, "print the application registry and exit")
 	flag.Parse()
 
 	if *serve != "" {
 		runDaemon(*serve)
 		return
 	}
+	if *listDonors {
+		printRegistry()
+		return
+	}
 	if *recipient == "" || *target == "" {
-		fmt.Fprintln(os.Stderr, "usage: codephage -recipient <app> -target <id> [-donor <app>] [-mode exit|return0] [-o patched.mc] [-remote URL]")
+		fmt.Fprintln(os.Stderr, "usage: codephage -recipient <app> -target <id> [-donor <app>|auto] [-mode exit|return0] [-o patched.mc] [-remote URL]")
+		fmt.Fprintln(os.Stderr, "       codephage -list-donors")
 		fmt.Fprintln(os.Stderr, "       codephage -serve <addr>")
+		fmt.Fprintln(os.Stderr, "       codephage corpus build|show [-index corpus.json]")
 		fmt.Fprintln(os.Stderr, "\navailable targets:")
 		for _, t := range apps.Targets() {
 			fmt.Fprintf(os.Stderr, "  -recipient %-12s -target %-24s donors: %v\n", t.Recipient, t.ID, t.Donors)
@@ -65,6 +84,11 @@ func main() {
 	donors := tgt.Donors
 	if *donor != "" {
 		donors = []string{*donor}
+	}
+	if *donor == pipeline.AutoDonor && *remote == "" {
+		// Local auto-donor transfers resolve through the default
+		// engine, which runLocal's figure8.RunRow uses.
+		pipeline.DefaultEngine().Selector = corpus.NewSelector(*index)
 	}
 	failed := false
 	for _, dn := range donors {
@@ -123,8 +147,12 @@ func runLocal(tgt *apps.Target, dn string, opts phage.Options, verbose, report b
 		fmt.Printf("%s/%s <- %s: FAILED: %v\n", tgt.Recipient, tgt.ID, dn, row.Err)
 		return false
 	}
+	donorLabel := row.Donor
+	if dn == pipeline.AutoDonor {
+		donorLabel += " (auto-selected)"
+	}
 	fmt.Printf("%s/%s <- %s: %d patch(es) in %s\n",
-		tgt.Recipient, tgt.ID, dn, row.UsedChecks, row.GenTime.Round(1e6))
+		tgt.Recipient, tgt.ID, donorLabel, row.UsedChecks, row.GenTime.Round(1e6))
 	var patches []patchView
 	for _, pr := range row.Result.Rounds {
 		patches = append(patches, patchView{
@@ -160,8 +188,15 @@ func runRemote(base string, tgt *apps.Target, dn, mode string, workers int, verb
 		return false
 	}
 	rep := env.Report
+	donorLabel := dn
+	if rep.Donor != "" {
+		donorLabel = rep.Donor
+	}
+	if rep.AutoSelected {
+		donorLabel += " (auto-selected)"
+	}
 	fmt.Printf("%s/%s <- %s: %d patch(es) on %s (job %s, queue %dms, run %dms)\n",
-		tgt.Recipient, tgt.ID, dn, rep.UsedChecks, base, env.ID, env.QueueMs, env.RunMs)
+		tgt.Recipient, tgt.ID, donorLabel, rep.UsedChecks, base, env.ID, env.QueueMs, env.RunMs)
 	row := &figure8.Row{
 		Relevant:   rep.RelevantBranches,
 		Flipped:    rep.FlippedBranches,
@@ -202,6 +237,75 @@ func runDaemon(addr string) {
 	}
 	if err := server.ListenAndServe(addr, server.Config{}, 30*time.Second, logf); err != nil {
 		fatal(err)
+	}
+}
+
+// printRegistry lists every catalogued application: what the corpus
+// can index (donors) and what it can heal (recipients).
+func printRegistry() {
+	fmt.Printf("%-12s %-28s %-10s %s\n", "Name", "Paper App", "Role", "Formats")
+	for _, a := range apps.Donors() {
+		fmt.Printf("%-12s %-28s %-10s %v\n", a.Name, a.Paper, "donor", a.Formats)
+	}
+	for _, a := range apps.Recipients() {
+		fmt.Printf("%-12s %-28s %-10s %v\n", a.Name, a.Paper, "recipient", a.Formats)
+	}
+}
+
+// runCorpus is the corpus subcommand: build (re)establishes the
+// on-disk index, show prints the indexed signatures.
+func runCorpus(args []string) {
+	if len(args) == 0 || (args[0] != "build" && args[0] != "show") {
+		fmt.Fprintln(os.Stderr, "usage: codephage corpus build [-index corpus.json]")
+		fmt.Fprintln(os.Stderr, "       codephage corpus show [-index corpus.json] [-format <name>] [-v]")
+		os.Exit(2)
+	}
+	verb := args[0]
+	fs := flag.NewFlagSet("corpus "+verb, flag.ExitOnError)
+	index := fs.String("index", "corpus.json", "index file path")
+	format := fs.String("format", "", "only show signatures for this format")
+	verbose := fs.Bool("v", false, "also print each canonical check condition")
+	fs.Parse(args[1:])
+
+	switch verb {
+	case "build":
+		ix, rebuilt, err := corpus.LoadOrBuild(*index, corpus.RegistryDonors())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("corpus index %s: %d signatures (%d rebuilt, %d reused)\n",
+			*index, len(ix.Signatures), rebuilt, len(ix.Signatures)-rebuilt)
+	case "show":
+		var ix *corpus.Index
+		if _, err := os.Stat(*index); err == nil {
+			loaded, lerr := corpus.Load(*index)
+			if lerr != nil {
+				fatal(lerr)
+			}
+			ix = loaded
+			fmt.Printf("corpus index %s (on disk):\n", *index)
+		} else {
+			built, berr := corpus.Build(corpus.RegistryDonors())
+			if berr != nil {
+				fatal(berr)
+			}
+			ix = built
+			fmt.Printf("corpus index (in-memory; run `codephage corpus build` to persist):\n")
+		}
+		fmt.Printf("%-12s %-8s %-8s %-8s %-34s %s\n",
+			"Donor", "Format", "Checks", "Flipped", "Content Key", "Fields")
+		for _, sig := range ix.Signatures {
+			if *format != "" && sig.Format != *format {
+				continue
+			}
+			fmt.Printf("%-12s %-8s %-8d %-8d %-34s %v\n",
+				sig.Donor, sig.Format, len(sig.Checks), sig.FlippedSites, sig.ContentKey, sig.Fields)
+			if *verbose {
+				for _, c := range sig.Checks {
+					fmt.Printf("             check: %s\n", c.Cond)
+				}
+			}
+		}
 	}
 }
 

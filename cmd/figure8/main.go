@@ -1,11 +1,13 @@
 // Command figure8 reproduces the paper's Figure 8: it runs the full
 // Code Phage pipeline for all 18 donor/recipient pairs as one batched
 // workload over the staged transfer engine and prints the results
-// table.
+// table. With -autocheck it instead cross-checks the corpus's
+// automatic donor selection against the paper's donor table.
 //
 // Usage:
 //
 //	figure8 [-patches] [-workers N] [-stats]
+//	figure8 -autocheck [-index corpus.json]
 package main
 
 import (
@@ -14,6 +16,7 @@ import (
 	"os"
 	"time"
 
+	"codephage/internal/corpus"
 	"codephage/internal/figure8"
 	"codephage/internal/phage"
 	"codephage/internal/pipeline"
@@ -23,7 +26,14 @@ func main() {
 	patches := flag.Bool("patches", false, "also print each generated patch")
 	workers := flag.Int("workers", 0, "concurrent transfers (0 = GOMAXPROCS)")
 	stats := flag.Bool("stats", false, "print engine statistics (wall time, caches, solver)")
+	autocheck := flag.Bool("autocheck", false, "cross-check automatic donor selection against the paper's donor table")
+	index := flag.String("index", "", "corpus index path for -autocheck (default: in-memory)")
 	flag.Parse()
+
+	if *autocheck {
+		runAutocheck(*index)
+		return
+	}
 
 	batch := &pipeline.Batch{Engine: pipeline.NewEngine(), Workers: *workers}
 	rows, bstats := figure8.BatchRows(phage.Options{}, batch)
@@ -53,4 +63,22 @@ func main() {
 		fmt.Fprintf(os.Stderr, "figure8: %d row(s) failed\n", failed)
 		os.Exit(1)
 	}
+}
+
+// runAutocheck prints the auto-selection cross-check table and fails
+// if any target's rank-1 donor disagrees with the paper's table.
+func runAutocheck(indexPath string) {
+	rows := figure8.AutoSelectRows(corpus.NewSelector(indexPath))
+	fmt.Print(figure8.FormatAutoSelectTable(rows))
+	disagree := 0
+	for _, r := range rows {
+		if r.Err != nil || !r.Agrees {
+			disagree++
+		}
+	}
+	if disagree > 0 {
+		fmt.Fprintf(os.Stderr, "figure8: auto-selection disagrees with the paper on %d target(s)\n", disagree)
+		os.Exit(1)
+	}
+	fmt.Printf("auto-selection agrees with the paper's donor table on all %d targets\n", len(rows))
 }

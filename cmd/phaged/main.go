@@ -7,7 +7,7 @@
 // Usage:
 //
 //	phaged [-addr 127.0.0.1:8347] [-shards N] [-workers N]
-//	       [-queue N] [-drain 30s]
+//	       [-queue N] [-corpus corpus.json] [-drain 30s]
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener closes,
 // queued and running jobs drain (bounded by -drain), then the process
@@ -28,6 +28,7 @@ func main() {
 	shards := flag.Int("shards", 0, "engine shards (0 = default)")
 	workers := flag.Int("workers", 0, "transfer workers per shard (0 = default)")
 	queue := flag.Int("queue", 0, "queued jobs per shard (0 = default)")
+	corpusPath := flag.String("corpus", "", "persist the donor corpus index here (default: in-memory)")
 	drain := flag.Duration("drain", 30*time.Second, "shutdown drain budget for in-flight jobs")
 	flag.Parse()
 
@@ -35,6 +36,7 @@ func main() {
 		Shards:          *shards,
 		WorkersPerShard: *workers,
 		QueueDepth:      *queue,
+		CorpusPath:      *corpusPath,
 	}
 	if err := server.ListenAndServe(*addr, cfg, *drain, log.Printf); err != nil {
 		log.Printf("phaged: %v", err)

@@ -1,6 +1,7 @@
 package compile
 
 import (
+	"container/list"
 	"crypto/sha256"
 	"sync"
 
@@ -22,6 +23,7 @@ type CacheStats struct {
 // cached too: the validator probes many candidate patches against the
 // same source and repeats rejected candidates across rounds.
 type cacheEntry struct {
+	key [sha256.Size]byte
 	mod *ir.Module
 	err error
 }
@@ -31,12 +33,16 @@ type cacheEntry struct {
 // are free. Returned modules are shared between callers and MUST be
 // treated as immutable; clone before mutating (see apps.Build).
 //
-// The cache is safe for concurrent use.
+// The cache holds at most max entries and evicts least-recently-used
+// first, so a long-running phaged with a growing donor corpus keeps
+// its hot recipients and donors resident while one-off candidate
+// patches age out. The cache is safe for concurrent use.
 type Cache struct {
 	max int
 
 	mu      sync.Mutex
-	entries map[[sha256.Size]byte]cacheEntry
+	entries map[[sha256.Size]byte]*list.Element
+	lru     *list.List // front = most recently used; values are *cacheEntry
 	stats   CacheStats
 }
 
@@ -51,7 +57,11 @@ func NewCache(max int) *Cache {
 	if max <= 0 {
 		max = defaultCacheMax
 	}
-	return &Cache{max: max, entries: map[[sha256.Size]byte]cacheEntry{}}
+	return &Cache{
+		max:     max,
+		entries: map[[sha256.Size]byte]*list.Element{},
+		lru:     list.New(),
+	}
 }
 
 var defaultCache = NewCache(0)
@@ -80,8 +90,10 @@ func cacheKey(name, src string) [sha256.Size]byte {
 func (c *Cache) Compile(name, src string) (*ir.Module, error) {
 	key := cacheKey(name, src)
 	c.mu.Lock()
-	if e, ok := c.entries[key]; ok {
+	if el, ok := c.entries[key]; ok {
 		c.stats.Hits++
+		c.lru.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
 		c.mu.Unlock()
 		return e.mod, e.err
 	}
@@ -92,28 +104,22 @@ func (c *Cache) Compile(name, src string) (*ir.Module, error) {
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if e, ok := c.entries[key]; ok {
+	if el, ok := c.entries[key]; ok {
 		// A concurrent compile won the race; keep the first entry so
 		// every caller observes one canonical module pointer.
+		e := el.Value.(*cacheEntry)
 		return e.mod, e.err
 	}
-	if len(c.entries) >= c.max {
-		// Evict an arbitrary quarter of the entries. Eviction order only
-		// affects performance, never results, so the simple policy wins
-		// over LRU bookkeeping on this hot path.
-		drop := c.max / 4
-		if drop < 1 {
-			drop = 1
+	for len(c.entries) >= c.max {
+		oldest := c.lru.Back()
+		if oldest == nil {
+			break
 		}
-		for k := range c.entries {
-			delete(c.entries, k)
-			c.stats.Evictions++
-			if drop--; drop <= 0 {
-				break
-			}
-		}
+		c.lru.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.stats.Evictions++
 	}
-	c.entries[key] = cacheEntry{mod: mod, err: err}
+	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, mod: mod, err: err})
 	return mod, err
 }
 

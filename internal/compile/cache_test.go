@@ -68,8 +68,51 @@ func TestCacheEviction(t *testing.T) {
 	if c.Len() > 8 {
 		t.Errorf("cache grew to %d entries, bound is 8", c.Len())
 	}
-	if c.Stats().Evictions == 0 {
-		t.Error("no evictions recorded past the bound")
+	if got := c.Stats().Evictions; got != 12 {
+		t.Errorf("evictions = %d, want 12 (one per insert past the bound)", got)
+	}
+}
+
+// TestCacheEvictionIsLRU: a recently touched entry must survive the
+// eviction that reclaims space for a new one; the least recently used
+// entry goes instead.
+func TestCacheEvictionIsLRU(t *testing.T) {
+	srcFor := func(i int) string {
+		return fmt.Sprintf("void main() { out((u64)%d); exit(0); }", i)
+	}
+	c := NewCache(4)
+	var canonical [4]interface{}
+	for i := 0; i < 4; i++ {
+		m, err := c.Compile("app", srcFor(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		canonical[i] = m
+	}
+	// Touch entry 0: it becomes most recently used; entry 1 is now LRU.
+	if _, err := c.Compile("app", srcFor(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Compile("app", srcFor(4)); err != nil { // evicts 1
+		t.Fatal(err)
+	}
+	hitsBefore := c.Stats().Hits
+	m0, err := c.Compile("app", srcFor(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m0 != canonical[0] {
+		t.Error("recently used entry was evicted (lost its canonical pointer)")
+	}
+	if c.Stats().Hits != hitsBefore+1 {
+		t.Error("recently used entry missed the cache after unrelated eviction")
+	}
+	m1, err := c.Compile("app", srcFor(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 == canonical[1] {
+		t.Error("least recently used entry survived eviction")
 	}
 }
 

@@ -1,0 +1,372 @@
+// Package corpus is the donor knowledge base: a searchable, persistent
+// index over the donor application registry that lets the transfer
+// pipeline answer "which donor?" itself. The paper's headline
+// capability — given an error-triggering input, search a database of
+// applications for one that processes the input safely, then transfer
+// its check — needs a database; this package builds one.
+//
+// For every donor/format pair the builder precomputes a check
+// signature: the donor's compiled-module content key, the dissector
+// fields the donor's checks touch, and the canonicalized symbolic
+// check conditions, extracted by running pipeline.DiscoverChecks
+// against the format's seed input and a deterministic probe suite.
+// Signatures persist as a versioned, content-keyed JSON index that is
+// invalidated entry-by-entry when donor source or dissector layout
+// changes, so a long-running service pays the discovery cost once and
+// answers selection queries from the warm index.
+package corpus
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sort"
+
+	"codephage/internal/apps"
+	"codephage/internal/compile"
+	"codephage/internal/hachoir"
+	"codephage/internal/ir"
+	"codephage/internal/pipeline"
+	"codephage/internal/vm"
+)
+
+// Version is the index schema version; indexes written by other
+// versions are rebuilt wholesale.
+const Version = 1
+
+// Donor is the builder's view of one donor application. It carries
+// exactly what signature construction needs, so tests can index
+// synthetic donors and invalidation can be exercised by mutating
+// Source without touching the process-wide registry.
+type Donor struct {
+	Name    string
+	Paper   string
+	Source  string
+	Formats []string
+}
+
+// RegistryDonors adapts the apps donor registry to the builder.
+func RegistryDonors() []Donor {
+	var out []Donor
+	for _, a := range apps.Donors() {
+		out = append(out, Donor{Name: a.Name, Paper: a.Paper, Source: a.Source, Formats: a.Formats})
+	}
+	return out
+}
+
+// CheckSig is one canonicalized check condition a donor applies to an
+// input format, with the dissector fields it constrains.
+type CheckSig struct {
+	Cond   string   `json:"cond"`
+	Fields []string `json:"fields"`
+}
+
+// Signature is the precomputed knowledge about one donor/format pair.
+type Signature struct {
+	Donor  string `json:"donor"`
+	Paper  string `json:"paper"`
+	Format string `json:"format"`
+	// ContentKey identifies the donor source the signature was built
+	// from; a donor source change invalidates the entry.
+	ContentKey string `json:"content_key"`
+	// ProbeKey identifies the dissector layout and probe inputs the
+	// signature was built against; a dissector or seed change
+	// invalidates the entry.
+	ProbeKey string `json:"probe_key"`
+	// Fields is the sorted union of dissector fields the donor's
+	// discovered checks touch.
+	Fields []string `json:"fields"`
+	// Checks are the canonicalized symbolic check conditions, sorted
+	// and deduplicated across the probe suite.
+	Checks []CheckSig `json:"checks"`
+	// RelevantSites and FlippedSites summarise the donor analysis
+	// (maxima across the probe suite).
+	RelevantSites int `json:"relevant_sites"`
+	FlippedSites  int `json:"flipped_sites"`
+}
+
+// Index is the donor knowledge base: one signature per donor/format
+// pair, sorted by (donor, format) for deterministic serialization.
+type Index struct {
+	Version    int          `json:"version"`
+	Signatures []*Signature `json:"signatures"`
+}
+
+// ContentKey returns the identity of a donor's source text.
+func (d Donor) ContentKey() string {
+	h := sha256.New()
+	h.Write([]byte(d.Name))
+	h.Write([]byte{0})
+	h.Write([]byte(d.Source))
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// probeKey hashes everything selection-relevant about a format's
+// dissection: the seed, the probe inputs, and the dissected field
+// layout of the seed. Any dissector change that moves or renames
+// fields changes this key and invalidates dependent signatures.
+func probeKey(format string, seed []byte, probes [][]byte, dis *hachoir.Dissection) string {
+	h := sha256.New()
+	h.Write([]byte(format))
+	writeBytes := func(b []byte) {
+		var n [8]byte
+		binary.LittleEndian.PutUint64(n[:], uint64(len(b)))
+		h.Write(n[:])
+		h.Write(b)
+	}
+	writeBytes(seed)
+	for _, p := range probes {
+		writeBytes(p)
+	}
+	for _, f := range dis.Fields {
+		fmt.Fprintf(h, "%s\x00%d\x00%d\x00%v\x00", f.Path, f.Off, f.Size, f.BigEndian)
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// donorModule compiles a donor and strips it, modelling the stripped
+// binary the transfer pipeline analyses. Compilation goes through the
+// shared content-keyed compile cache.
+func donorModule(d Donor) (*ir.Module, error) {
+	m, err := compile.Cached(d.Name, d.Source)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: donor %s does not compile: %w", d.Name, err)
+	}
+	m = m.Clone()
+	m.Strip()
+	return m, nil
+}
+
+// mutationValues returns the deterministic boundary probe values for
+// a field of the given byte size: the values most likely to flip a
+// donor's guard branch (zero, one, all-ones, the max positive value).
+func mutationValues(size int) []uint64 {
+	max := ^uint64(0)
+	if size < 8 {
+		max = 1<<(8*size) - 1
+	}
+	return []uint64{0, 1, max, max >> 1}
+}
+
+// setField returns a copy of the input with the field overwritten by
+// the value, honouring the field's endianness.
+func setField(in []byte, f *hachoir.Field, v uint64) []byte {
+	out := append([]byte(nil), in...)
+	for i := 0; i < f.Size; i++ {
+		var b byte
+		if f.BigEndian {
+			b = byte(v >> (8 * (f.Size - 1 - i)))
+		} else {
+			b = byte(v >> (8 * i))
+		}
+		if f.Off+i < len(out) {
+			out[f.Off+i] = b
+		}
+	}
+	return out
+}
+
+// probesFor returns the deterministic probe suite for a format: the
+// registry regression inputs that differ from the seed (benign
+// variation), plus per-field boundary mutations of the seed. A guard
+// check in the donor only shows up as a flipped branch when some
+// probe actually violates it, so the boundary probes — extreme values
+// in exactly one dissected field — are what surface the donor's
+// checks; the donor processes them safely (rejecting an input is not
+// a crash), which is also the §3.1 property selection relies on.
+func probesFor(format string, seed []byte, dis *hachoir.Dissection) [][]byte {
+	var probes [][]byte
+	for _, in := range apps.RegressionSuite(format) {
+		if string(in) != string(seed) {
+			probes = append(probes, in)
+		}
+	}
+	for i := range dis.Fields {
+		f := &dis.Fields[i]
+		for _, v := range mutationValues(f.Size) {
+			if p := setField(seed, f, v); string(p) != string(seed) {
+				probes = append(probes, p)
+			}
+		}
+	}
+	return probes
+}
+
+// buildSignature discovers one donor/format signature by running the
+// donor against the seed and every probe under check discovery.
+func buildSignature(d Donor, format string) (*Signature, error) {
+	dissector, ok := hachoir.ByName(format)
+	if !ok {
+		return nil, fmt.Errorf("corpus: donor %s lists unknown format %q", d.Name, format)
+	}
+	seed := apps.SeedFor(format)
+	dis, err := dissector.Dissect(seed)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: dissecting %s seed: %w", format, err)
+	}
+	probes := probesFor(format, seed, dis)
+
+	mod, err := donorModule(d)
+	if err != nil {
+		return nil, err
+	}
+	runner := vm.NewRunner(mod)
+	if r := runner.Run(seed); !r.OK() {
+		return nil, fmt.Errorf("corpus: donor %s crashes on the %s seed: %v", d.Name, format, r.Trap)
+	}
+
+	sig := &Signature{
+		Donor:      d.Name,
+		Paper:      d.Paper,
+		Format:     format,
+		ContentKey: d.ContentKey(),
+		ProbeKey:   probeKey(format, seed, probes, dis),
+	}
+	condSeen := map[string]bool{}
+	fieldSeen := map[string]bool{}
+	var lastDiscErr error
+	discErrs := 0
+	for _, probe := range probes {
+		if r := runner.Run(probe); !r.OK() {
+			// A probe the donor rejects contributes no signature data;
+			// signatures summarise what the donor checks on inputs it
+			// actually processes.
+			continue
+		}
+		relevant := dis.DiffFields(seed, probe)
+		if len(relevant) == 0 {
+			continue
+		}
+		disc, derr := pipeline.DiscoverChecks(mod, seed, probe, dis, relevant, false)
+		if derr != nil {
+			discErrs++
+			lastDiscErr = derr
+			continue
+		}
+		if disc.RelevantSites > sig.RelevantSites {
+			sig.RelevantSites = disc.RelevantSites
+		}
+		if disc.FlippedSites > sig.FlippedSites {
+			sig.FlippedSites = disc.FlippedSites
+		}
+		for i := range disc.Checks {
+			cond := disc.Checks[i].Cond
+			key := cond.Key()
+			if condSeen[key] {
+				continue
+			}
+			condSeen[key] = true
+			fields := cond.Fields()
+			for _, f := range fields {
+				fieldSeen[f] = true
+			}
+			sig.Checks = append(sig.Checks, CheckSig{Cond: cond.String(), Fields: fields})
+		}
+	}
+	// An empty signature is legitimate for a donor that genuinely never
+	// branches on the probed fields — but not when discovery itself
+	// failed on every contributing probe: persisting that as a valid,
+	// warm-reusable entry would silently hide the failure.
+	if len(sig.Checks) == 0 && discErrs > 0 {
+		return nil, fmt.Errorf("corpus: donor %s/%s: check discovery failed on %d probe(s) (last: %v)",
+			d.Name, format, discErrs, lastDiscErr)
+	}
+	sort.Slice(sig.Checks, func(i, j int) bool { return sig.Checks[i].Cond < sig.Checks[j].Cond })
+	for f := range fieldSeen {
+		sig.Fields = append(sig.Fields, f)
+	}
+	sort.Strings(sig.Fields)
+	return sig, nil
+}
+
+// Build constructs a fresh index over the given donors.
+func Build(donors []Donor) (*Index, error) {
+	ix, _, err := refresh(nil, donors)
+	return ix, err
+}
+
+// Refresh reconciles an existing index against the current donors:
+// signatures whose content and probe keys still match are reused,
+// stale or missing ones are rebuilt, and entries for donors no longer
+// in the set are dropped. It returns the reconciled index and the
+// number of signatures rebuilt.
+func Refresh(old *Index, donors []Donor) (*Index, int, error) {
+	return refresh(old, donors)
+}
+
+func refresh(old *Index, donors []Donor) (*Index, int, error) {
+	reuse := map[string]*Signature{}
+	if old != nil && old.Version == Version {
+		for _, sig := range old.Signatures {
+			reuse[sig.Donor+"\x00"+sig.Format] = sig
+		}
+	}
+	// The current probe key is donor-independent, so a warm reconcile
+	// computes each format's dissection and probe suite once, not once
+	// per signature ("" marks a format whose key cannot be computed).
+	formatKeys := map[string]string{}
+	currentProbeKey := func(format string) (string, bool) {
+		if k, ok := formatKeys[format]; ok {
+			return k, k != ""
+		}
+		k := ""
+		if dissector, found := hachoir.ByName(format); found {
+			seed := apps.SeedFor(format)
+			if dis, err := dissector.Dissect(seed); err == nil {
+				k = probeKey(format, seed, probesFor(format, seed, dis), dis)
+			}
+		}
+		formatKeys[format] = k
+		return k, k != ""
+	}
+	ix := &Index{Version: Version}
+	rebuilt := 0
+	for _, d := range donors {
+		contentKey := d.ContentKey()
+		for _, format := range d.Formats {
+			if sig, ok := reuse[d.Name+"\x00"+format]; ok && sig.ContentKey == contentKey {
+				if k, valid := currentProbeKey(format); valid && k == sig.ProbeKey {
+					ix.Signatures = append(ix.Signatures, sig)
+					continue
+				}
+			}
+			sig, err := buildSignature(d, format)
+			if err != nil {
+				return nil, rebuilt, err
+			}
+			rebuilt++
+			ix.Signatures = append(ix.Signatures, sig)
+		}
+	}
+	sort.Slice(ix.Signatures, func(i, j int) bool {
+		a, b := ix.Signatures[i], ix.Signatures[j]
+		if a.Donor != b.Donor {
+			return a.Donor < b.Donor
+		}
+		return a.Format < b.Format
+	})
+	return ix, rebuilt, nil
+}
+
+// ByDonorFormat returns the signature for a donor/format pair.
+func (ix *Index) ByDonorFormat(donor, format string) (*Signature, bool) {
+	for _, sig := range ix.Signatures {
+		if sig.Donor == donor && sig.Format == format {
+			return sig, true
+		}
+	}
+	return nil, false
+}
+
+// ForFormat returns the signatures of every donor indexed for the
+// format, in index (donor-name) order.
+func (ix *Index) ForFormat(format string) []*Signature {
+	var out []*Signature
+	for _, sig := range ix.Signatures {
+		if sig.Format == format {
+			out = append(out, sig)
+		}
+	}
+	return out
+}

@@ -1,0 +1,363 @@
+package corpus_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"codephage/internal/apps"
+	"codephage/internal/compile"
+	"codephage/internal/corpus"
+	"codephage/internal/figure8"
+	"codephage/internal/phage"
+	"codephage/internal/pipeline"
+)
+
+// donorsFor filters the registry donors down to one format.
+func donorsFor(format string) []corpus.Donor {
+	var out []corpus.Donor
+	for _, d := range corpus.RegistryDonors() {
+		for _, f := range d.Formats {
+			if f == format {
+				out = append(out, d)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func TestBuildIndexCoversRegistry(t *testing.T) {
+	ix, err := corpus.Build(corpus.RegistryDonors())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, d := range apps.Donors() {
+		want += len(d.Formats)
+	}
+	if len(ix.Signatures) != want {
+		t.Fatalf("index has %d signatures, want %d (one per donor/format)", len(ix.Signatures), want)
+	}
+	for _, sig := range ix.Signatures {
+		if len(sig.Checks) == 0 {
+			t.Errorf("%s/%s: no checks discovered", sig.Donor, sig.Format)
+		}
+		if len(sig.Fields) == 0 {
+			t.Errorf("%s/%s: no fields recorded", sig.Donor, sig.Format)
+		}
+		if sig.ContentKey == "" || sig.ProbeKey == "" {
+			t.Errorf("%s/%s: missing invalidation keys", sig.Donor, sig.Format)
+		}
+	}
+}
+
+// TestIndexRoundTrip: build -> persist -> reload must be lossless, and
+// a second LoadOrBuild over the unchanged registry must reuse every
+// signature (0 rebuilt: the warm path).
+func TestIndexRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "corpus.json")
+	donors := corpus.RegistryDonors()
+
+	ix, rebuilt, err := corpus.LoadOrBuild(path, donors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rebuilt != len(ix.Signatures) {
+		t.Errorf("first build rebuilt %d of %d signatures", rebuilt, len(ix.Signatures))
+	}
+
+	loaded, err := corpus.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(ix)
+	b, _ := json.Marshal(loaded)
+	if string(a) != string(b) {
+		t.Error("reloaded index differs from the built one")
+	}
+
+	warm, rebuilt, err := corpus.LoadOrBuild(path, donors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rebuilt != 0 {
+		t.Errorf("warm reload rebuilt %d signatures, want 0", rebuilt)
+	}
+	c, _ := json.Marshal(warm)
+	if string(a) != string(c) {
+		t.Error("warm reload changed the index")
+	}
+}
+
+// TestIndexInvalidationOnDonorChange: editing one donor's source must
+// rebuild exactly that donor's signatures and leave the others warm.
+func TestIndexInvalidationOnDonorChange(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "corpus.json")
+	donors := corpus.RegistryDonors()
+	if _, _, err := corpus.LoadOrBuild(path, donors); err != nil {
+		t.Fatal(err)
+	}
+
+	// A trailing comment changes the content key without changing
+	// behaviour — the canonical "donor got recompiled" event.
+	edited := make([]corpus.Donor, len(donors))
+	copy(edited, donors)
+	var editedName string
+	var editedFormats int
+	for i := range edited {
+		if edited[i].Name == "feh" {
+			edited[i].Source += "\n// v2\n"
+			editedName = edited[i].Name
+			editedFormats = len(edited[i].Formats)
+		}
+	}
+	if editedName == "" {
+		t.Fatal("registry donor feh not found")
+	}
+
+	ix, rebuilt, err := corpus.LoadOrBuild(path, edited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rebuilt != editedFormats {
+		t.Errorf("rebuilt %d signatures, want %d (only the edited donor's formats)", rebuilt, editedFormats)
+	}
+	for _, format := range []string{"mjpg", "mpng", "mtif"} {
+		sig, ok := ix.ByDonorFormat(editedName, format)
+		if !ok {
+			t.Fatalf("no signature for %s/%s after refresh", editedName, format)
+		}
+		if sig.ContentKey != (corpus.Donor{Name: editedName, Source: findSource(edited, editedName)}).ContentKey() {
+			t.Errorf("%s/%s: content key not refreshed", editedName, format)
+		}
+	}
+
+	// The persisted file reflects the refresh: loading again is warm.
+	if _, rebuilt, err = corpus.LoadOrBuild(path, edited); err != nil {
+		t.Fatal(err)
+	} else if rebuilt != 0 {
+		t.Errorf("second reload after refresh rebuilt %d signatures, want 0", rebuilt)
+	}
+}
+
+func findSource(donors []corpus.Donor, name string) string {
+	for _, d := range donors {
+		if d.Name == name {
+			return d.Source
+		}
+	}
+	return ""
+}
+
+func TestLoadRejectsWrongVersion(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "corpus.json")
+	if err := os.WriteFile(path, []byte(`{"version":999,"signatures":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := corpus.Load(path); err == nil {
+		t.Fatal("version-mismatched index loaded without error")
+	}
+	// LoadOrBuild treats the mismatch as "rebuild everything".
+	ix, rebuilt, err := corpus.LoadOrBuild(path, donorsFor("mgif"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rebuilt != len(ix.Signatures) || rebuilt == 0 {
+		t.Errorf("rebuilt %d of %d signatures after version mismatch", rebuilt, len(ix.Signatures))
+	}
+}
+
+// TestSelectRanksPaperDonorsFirst is the acceptance contract: for
+// every Figure-8 target, automatic selection over the error input
+// must rank one of the paper's evaluated donors (the target's Donors
+// list) first.
+func TestSelectRanksPaperDonorsFirst(t *testing.T) {
+	sel := corpus.NewSelector("")
+	for _, tgt := range apps.Targets() {
+		tgt := tgt
+		t.Run(tgt.Recipient+"/"+tgt.ID, func(t *testing.T) {
+			errIn, err := figure8.ErrorInputFor(tgt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			selection, err := sel.Select(tgt.Format, tgt.Seed, errIn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(selection.Ranked) == 0 {
+				t.Fatalf("no donor survives the error input (rejected: %+v)", selection.Rejected)
+			}
+			first := selection.Ranked[0].Donor
+			found := false
+			for _, d := range tgt.Donors {
+				if d == first {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("rank-1 donor %q is not among the paper's donors %v", first, tgt.Donors)
+			}
+			if len(selection.RelevantFields) == 0 {
+				t.Error("selection recorded no relevant fields")
+			}
+		})
+	}
+	st := sel.Stats()
+	if !st.Built || st.Entries == 0 || st.Selections == 0 || st.Survivors == 0 {
+		t.Errorf("selector stats not recorded: %+v", st)
+	}
+}
+
+// TestAutoTransferMatchesManual: a transfer that names no donor and
+// is resolved by the Select stage must produce byte-identical results
+// to the same transfer with the chosen donor named explicitly.
+func TestAutoTransferMatchesManual(t *testing.T) {
+	targets := apps.Targets()
+	if testing.Short() {
+		targets = targets[:3]
+	}
+	sel := corpus.NewSelector("")
+	eng := pipeline.NewEngine()
+	eng.Compiler = compile.NewCache(0)
+	eng.Selector = sel
+	for _, tgt := range targets {
+		tgt := tgt
+		t.Run(tgt.Recipient+"/"+tgt.ID, func(t *testing.T) {
+			auto, err := figure8.NewTransfer(tgt, pipeline.AutoDonor, phage.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			autoRes, err := eng.Run(auto)
+			if err != nil {
+				t.Fatalf("auto transfer: %v", err)
+			}
+			if autoRes.Donor == "" {
+				t.Fatal("auto transfer reported no resolved donor")
+			}
+			chosenInPaper := false
+			for _, d := range tgt.Donors {
+				if d == autoRes.Donor {
+					chosenInPaper = true
+				}
+			}
+			if !chosenInPaper {
+				t.Errorf("auto-selected donor %q not among paper donors %v", autoRes.Donor, tgt.Donors)
+			}
+
+			manual, err := figure8.NewTransfer(tgt, autoRes.Donor, phage.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			manualRes, err := eng.Run(manual)
+			if err != nil {
+				t.Fatalf("manual transfer: %v", err)
+			}
+			if autoRes.FinalSource != manualRes.FinalSource {
+				t.Error("auto and manual final sources differ")
+			}
+			if len(autoRes.Rounds) != len(manualRes.Rounds) {
+				t.Fatalf("auto %d rounds != manual %d rounds", len(autoRes.Rounds), len(manualRes.Rounds))
+			}
+			for i := range autoRes.Rounds {
+				a, m := autoRes.Rounds[i], manualRes.Rounds[i]
+				if a.PatchText != m.PatchText || a.InsertFn != m.InsertFn ||
+					a.InsertLine != m.InsertLine || a.TranslatedCheck != m.TranslatedCheck ||
+					a.ExcisedCheck != m.ExcisedCheck || a.CheckIndex != m.CheckIndex {
+					t.Errorf("round %d diverges between auto and manual", i)
+				}
+			}
+		})
+	}
+}
+
+// coldSelect is the path the index replaces: per-request discovery —
+// rebuild every format donor's signature from scratch, then select.
+func coldSelect(t testing.TB, format string, seed, errIn []byte) *corpus.Selection {
+	ix, err := corpus.Build(donorsFor(format))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := ix.Select(format, seed, errIn, corpus.RegistryLoader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sel
+}
+
+// warmSelector returns a selector whose index is already established.
+func warmSelector(t testing.TB) *corpus.Selector {
+	sel := corpus.NewSelector("")
+	if _, err := sel.Index(); err != nil {
+		t.Fatal(err)
+	}
+	return sel
+}
+
+// TestWarmSelectionFasterThanCold pins the performance goal: the
+// warm-index selection must be at least 5x faster than cold
+// per-request discovery. Best-of-N timings keep scheduler noise out.
+func TestWarmSelectionFasterThanCold(t *testing.T) {
+	tgt, err := apps.TargetByID("gif2tiff", "gif2tiff.c@355")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := warmSelector(t)
+	// Touch both paths once so compile caches are equally warm and the
+	// comparison isolates discovery cost, not compilation.
+	coldSelect(t, tgt.Format, tgt.Seed, tgt.Error)
+	if _, err := sel.Select(tgt.Format, tgt.Seed, tgt.Error); err != nil {
+		t.Fatal(err)
+	}
+
+	best := func(n int, f func()) time.Duration {
+		bestD := time.Duration(1<<63 - 1)
+		for i := 0; i < n; i++ {
+			start := time.Now()
+			f()
+			if d := time.Since(start); d < bestD {
+				bestD = d
+			}
+		}
+		return bestD
+	}
+	warm := best(10, func() {
+		if _, err := sel.Select(tgt.Format, tgt.Seed, tgt.Error); err != nil {
+			t.Fatal(err)
+		}
+	})
+	cold := best(5, func() { coldSelect(t, tgt.Format, tgt.Seed, tgt.Error) })
+	if cold < 5*warm {
+		t.Errorf("warm selection not ≥5x faster: warm %v, cold %v (%.1fx)",
+			warm, cold, float64(cold)/float64(warm))
+	}
+	t.Logf("selection: warm %v, cold %v (%.1fx)", warm, cold, float64(cold)/float64(warm))
+}
+
+func BenchmarkSelectWarm(b *testing.B) {
+	tgt, err := apps.TargetByID("gif2tiff", "gif2tiff.c@355")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sel := warmSelector(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sel.Select(tgt.Format, tgt.Seed, tgt.Error); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSelectCold(b *testing.B) {
+	tgt, err := apps.TargetByID("gif2tiff", "gif2tiff.c@355")
+	if err != nil {
+		b.Fatal(err)
+	}
+	coldSelect(b, tgt.Format, tgt.Seed, tgt.Error) // warm the compile cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		coldSelect(b, tgt.Format, tgt.Seed, tgt.Error)
+	}
+}

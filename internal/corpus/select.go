@@ -1,0 +1,312 @@
+// Automatic donor selection over the warm index: the triage the
+// paper's workflow implies — format match, donor survival on the
+// error-triggering input, signature/field-overlap ranking — packaged
+// as the pipeline's Select stage backend.
+package corpus
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"codephage/internal/apps"
+	"codephage/internal/hachoir"
+	"codephage/internal/ir"
+	"codephage/internal/pipeline"
+	"codephage/internal/vm"
+)
+
+// Candidate is one donor considered during selection, with its
+// ranking signal.
+type Candidate struct {
+	Donor  string `json:"donor"`
+	Format string `json:"format"`
+	// CheckHits counts indexed checks constraining at least one field
+	// the error input perturbs — the primary ranking signal: a donor
+	// that checks the corrupted fields is the donor whose check wants
+	// transferring.
+	CheckHits int `json:"check_hits"`
+	// FieldOverlap counts perturbed fields the donor's checks touch.
+	FieldOverlap int `json:"field_overlap"`
+	// Flipped is the signature's flipped-branch count (tie-break:
+	// richer check structure first).
+	Flipped  int    `json:"flipped"`
+	Survived bool   `json:"survived"`
+	Reason   string `json:"reason,omitempty"` // why the donor was rejected
+
+	// mod is the binary the survival probe ran; SelectDonors hands it
+	// to the engine so each selection loads every donor once.
+	mod *ir.Module
+}
+
+// Selection is the outcome of one triage: the ranked surviving
+// candidates and the rejected ones, both deterministic.
+type Selection struct {
+	Format         string      `json:"format"`
+	RelevantFields []string    `json:"relevant_fields"`
+	Ranked         []Candidate `json:"ranked"`
+	Rejected       []Candidate `json:"rejected,omitempty"`
+}
+
+// RelevantFields maps the byte-level diff between a seed and an error
+// input to the dissector field paths it perturbs.
+func RelevantFields(dis *hachoir.Dissection, seed, errIn []byte) []string {
+	set := map[string]bool{}
+	for off := range dis.DiffFields(seed, errIn) {
+		if f, ok := dis.FieldAt(off); ok {
+			set[f.Path] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for f := range set {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// score computes a signature's ranking signal against the perturbed
+// fields.
+func score(sig *Signature, relevant []string) (checkHits, fieldOverlap int) {
+	rel := map[string]bool{}
+	for _, f := range relevant {
+		rel[f] = true
+	}
+	for _, f := range sig.Fields {
+		if rel[f] {
+			fieldOverlap++
+		}
+	}
+	for _, c := range sig.Checks {
+		for _, f := range c.Fields {
+			if rel[f] {
+				checkHits++
+				break
+			}
+		}
+	}
+	return checkHits, fieldOverlap
+}
+
+// rank orders format-matching signatures by selection preference:
+// most check hits, then widest field overlap, then most flipped
+// branches, then donor name — a total, deterministic order.
+func rank(sigs []*Signature, relevant []string) []Candidate {
+	cands := make([]Candidate, 0, len(sigs))
+	for _, sig := range sigs {
+		hits, overlap := score(sig, relevant)
+		cands = append(cands, Candidate{
+			Donor: sig.Donor, Format: sig.Format,
+			CheckHits: hits, FieldOverlap: overlap, Flipped: sig.FlippedSites,
+		})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		if a.CheckHits != b.CheckHits {
+			return a.CheckHits > b.CheckHits
+		}
+		if a.FieldOverlap != b.FieldOverlap {
+			return a.FieldOverlap > b.FieldOverlap
+		}
+		if a.Flipped != b.Flipped {
+			return a.Flipped > b.Flipped
+		}
+		return a.Donor < b.Donor
+	})
+	return cands
+}
+
+// ModuleLoader resolves a donor name to its stripped binary module.
+// Each call must return a module the caller may use exclusively.
+type ModuleLoader func(donor string) (*ir.Module, error)
+
+// RegistryLoader loads stripped donor binaries from the application
+// registry (the default for Selector).
+func RegistryLoader(donor string) (*ir.Module, error) {
+	app, err := apps.ByName(donor)
+	if err != nil {
+		return nil, err
+	}
+	return apps.BuildDonorBinary(app)
+}
+
+// Select triages the index for a recipient error: format match first,
+// then the VM survival probe (the donor must process both the seed
+// and the error input safely, §3.1), then signature ranking. The
+// loader supplies donor binaries for the survival probe.
+func (ix *Index) Select(format string, seed, errIn []byte, load ModuleLoader) (*Selection, error) {
+	dissector, ok := hachoir.ByName(format)
+	if !ok {
+		return nil, fmt.Errorf("corpus: unknown input format %q", format)
+	}
+	dis, err := dissector.Dissect(seed)
+	if err != nil {
+		return nil, err
+	}
+	sel := &Selection{
+		Format:         format,
+		RelevantFields: RelevantFields(dis, seed, errIn),
+	}
+	for _, cand := range rank(ix.ForFormat(format), sel.RelevantFields) {
+		mod, lerr := load(cand.Donor)
+		if lerr != nil {
+			cand.Reason = lerr.Error()
+			sel.Rejected = append(sel.Rejected, cand)
+			continue
+		}
+		runner := vm.NewRunner(mod)
+		if r := runner.Run(seed); !r.OK() {
+			cand.Reason = fmt.Sprintf("crashes on seed: %v", r.Trap)
+			sel.Rejected = append(sel.Rejected, cand)
+			continue
+		}
+		if r := runner.Run(errIn); !r.OK() {
+			cand.Reason = fmt.Sprintf("crashes on error input: %v", r.Trap)
+			sel.Rejected = append(sel.Rejected, cand)
+			continue
+		}
+		cand.Survived = true
+		cand.mod = mod
+		sel.Ranked = append(sel.Ranked, cand)
+	}
+	return sel, nil
+}
+
+// SelectorStats counts selector activity for metrics endpoints.
+type SelectorStats struct {
+	// Built reports whether the index has been built or loaded yet
+	// (the selector is lazy: nothing happens until the first query).
+	Built bool
+	// Entries is the number of indexed donor/format signatures.
+	Entries int
+	// Rebuilt is the number of signatures (re)built when the index
+	// was established — 0 means the on-disk index was fully warm.
+	Rebuilt int
+	// Selections counts Select queries answered.
+	Selections int64
+	// Candidates counts format-matching donors considered.
+	Candidates int64
+	// Survivors counts candidates that survived the VM probe.
+	Survivors int64
+}
+
+// Selector is the concurrency-safe selection front end: it lazily
+// establishes the index (loading Path if set, building otherwise) on
+// first use and implements pipeline.DonorSelector, so it plugs
+// directly into Engine.Selector. The zero value indexes the registry
+// donors in memory.
+type Selector struct {
+	// Path is the optional on-disk index location ("" = in-memory).
+	Path string
+	// Donors overrides the indexed donor set (nil = RegistryDonors).
+	Donors []Donor
+	// Loader overrides donor binary loading (nil = RegistryLoader).
+	Loader ModuleLoader
+
+	buildMu sync.Mutex // serializes index establishment
+	mu      sync.Mutex // guards the published fields below; never held across a build
+	built   bool
+	ix      *Index
+	rebuilt int
+
+	selections atomic.Int64
+	candidates atomic.Int64
+	survivors  atomic.Int64
+}
+
+// NewSelector returns a selector over the registry donors, persisting
+// its index at path ("" = in-memory only).
+func NewSelector(path string) *Selector { return &Selector{Path: path} }
+
+// Index returns the warm index, establishing it on first call. A
+// failed build (say, an unwritable index path) is not cached: the
+// next query retries, so a transient failure never permanently
+// disables auto-donor selection.
+func (s *Selector) Index() (*Index, error) {
+	if ix, ok := s.published(); ok {
+		return ix, nil
+	}
+	s.buildMu.Lock()
+	defer s.buildMu.Unlock()
+	if ix, ok := s.published(); ok {
+		return ix, nil // another goroutine built while we waited
+	}
+	donors := s.Donors
+	if donors == nil {
+		donors = RegistryDonors()
+	}
+	ix, rebuilt, err := LoadOrBuild(s.Path, donors)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.built, s.ix, s.rebuilt = true, ix, rebuilt
+	s.mu.Unlock()
+	return ix, nil
+}
+
+func (s *Selector) published() (*Index, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ix, s.built
+}
+
+func (s *Selector) loader() ModuleLoader {
+	if s.Loader != nil {
+		return s.Loader
+	}
+	return RegistryLoader
+}
+
+// Select triages donors for one recipient error through the warm
+// index.
+func (s *Selector) Select(format string, seed, errIn []byte) (*Selection, error) {
+	ix, err := s.Index()
+	if err != nil {
+		return nil, err
+	}
+	sel, err := ix.Select(format, seed, errIn, s.loader())
+	if err != nil {
+		return nil, err
+	}
+	s.selections.Add(1)
+	s.candidates.Add(int64(len(sel.Ranked) + len(sel.Rejected)))
+	s.survivors.Add(int64(len(sel.Ranked)))
+	return sel, nil
+}
+
+// SelectDonors implements pipeline.DonorSelector: the ranked
+// surviving candidates, each carrying the binary its survival probe
+// already loaded.
+func (s *Selector) SelectDonors(format string, seed, errIn []byte) ([]pipeline.DonorCandidate, error) {
+	sel, err := s.Select(format, seed, errIn)
+	if err != nil {
+		return nil, err
+	}
+	var out []pipeline.DonorCandidate
+	for _, cand := range sel.Ranked {
+		out = append(out, pipeline.DonorCandidate{Name: cand.Donor, Module: cand.mod})
+	}
+	return out, nil
+}
+
+// Stats snapshots the selector counters.
+func (s *Selector) Stats() SelectorStats {
+	st := SelectorStats{
+		Selections: s.selections.Load(),
+		Candidates: s.candidates.Load(),
+		Survivors:  s.survivors.Load(),
+	}
+	// Peek at the published index without forcing — or waiting on — a
+	// build: an in-progress build holds buildMu, not mu, so metrics
+	// scrapes never stall behind it.
+	s.mu.Lock()
+	if s.built {
+		st.Built = true
+		st.Rebuilt = s.rebuilt
+		st.Entries = len(s.ix.Signatures)
+	}
+	s.mu.Unlock()
+	return st
+}

@@ -1,0 +1,98 @@
+// On-disk persistence for the donor index: versioned JSON, written
+// atomically, reconciled entry-by-entry against the live registry on
+// load so that donor-source or dissector changes invalidate exactly
+// the affected signatures.
+package corpus
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// Save writes the index as JSON, atomically (temp file + rename), so
+// a crashed writer never leaves a torn index behind.
+func (ix *Index) Save(path string) error {
+	data, err := json.MarshalIndent(ix, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".corpus-*.json")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	// CreateTemp's 0600 would survive the rename and lock other users
+	// out of a shared index; publish with the usual file mode.
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// Load reads an index from disk. Indexes written by a different
+// schema version fail to load; LoadOrBuild treats that as "rebuild".
+func Load(path string) (*Index, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var ix Index
+	if err := json.Unmarshal(data, &ix); err != nil {
+		return nil, fmt.Errorf("corpus: %s: %w", path, err)
+	}
+	if ix.Version != Version {
+		return nil, fmt.Errorf("corpus: %s: index version %d, want %d", path, ix.Version, Version)
+	}
+	return &ix, nil
+}
+
+// LoadOrBuild returns a warm index for the donors: it loads path if
+// present, reconciles every entry against the current donor sources
+// and dissector layouts (rebuilding stale ones), builds from scratch
+// when the file is missing or unreadable, and persists the result
+// whenever anything changed. path == "" keeps the index in memory
+// only. The returned count is the number of signatures rebuilt (0
+// means the on-disk index was fully warm).
+func LoadOrBuild(path string, donors []Donor) (*Index, int, error) {
+	var old *Index
+	if path != "" {
+		ix, err := Load(path)
+		switch {
+		case err == nil:
+			old = ix
+		case errors.Is(err, fs.ErrNotExist):
+			// First build.
+		default:
+			// Unreadable or version-mismatched index: rebuild it.
+		}
+	}
+	ix, rebuilt, err := refresh(old, donors)
+	if err != nil {
+		return nil, rebuilt, err
+	}
+	if path != "" && (old == nil || rebuilt > 0 || len(ix.Signatures) != len(old.Signatures)) {
+		if err := ix.Save(path); err != nil {
+			return nil, rebuilt, err
+		}
+	}
+	return ix, rebuilt, nil
+}

@@ -1,0 +1,91 @@
+// Auto-selection cross-check: the corpus answers "which donor?" for
+// every Figure 8 error, and this file compares its answer against the
+// paper's donor table — the evaluation that backs `figure8 -autocheck`
+// and the corpus acceptance tests.
+package figure8
+
+import (
+	"fmt"
+	"strings"
+
+	"codephage/internal/apps"
+	"codephage/internal/corpus"
+)
+
+// AutoSelectRow is one target's auto-selection outcome next to the
+// paper's evaluated donors.
+type AutoSelectRow struct {
+	Recipient   string
+	Target      string
+	Format      string
+	PaperDonors []string
+	Ranked      []corpus.Candidate
+	Rejected    []corpus.Candidate
+	Selected    string // rank-1 donor ("" on error)
+	Agrees      bool   // Selected is one of PaperDonors
+	Err         error
+}
+
+// AutoSelectRows runs automatic donor selection for every Figure 8
+// target through the given selector (nil = a fresh in-memory selector
+// over the registry) and cross-checks each answer against the paper's
+// donor table.
+func AutoSelectRows(sel *corpus.Selector) []*AutoSelectRow {
+	if sel == nil {
+		sel = corpus.NewSelector("")
+	}
+	var rows []*AutoSelectRow
+	for _, tgt := range apps.Targets() {
+		row := &AutoSelectRow{
+			Recipient:   tgt.Recipient,
+			Target:      tgt.ID,
+			Format:      tgt.Format,
+			PaperDonors: tgt.Donors,
+		}
+		rows = append(rows, row)
+		errIn, err := ErrorInputFor(tgt)
+		if err != nil {
+			row.Err = err
+			continue
+		}
+		selection, err := sel.Select(tgt.Format, tgt.Seed, errIn)
+		if err != nil {
+			row.Err = err
+			continue
+		}
+		row.Ranked = selection.Ranked
+		row.Rejected = selection.Rejected
+		if len(selection.Ranked) == 0 {
+			row.Err = fmt.Errorf("no donor survives the error input")
+			continue
+		}
+		row.Selected = selection.Ranked[0].Donor
+		for _, d := range tgt.Donors {
+			if d == row.Selected {
+				row.Agrees = true
+			}
+		}
+	}
+	return rows
+}
+
+// FormatAutoSelectTable renders the cross-check as a table.
+func FormatAutoSelectTable(rows []*AutoSelectRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-12s %-24s %-8s %-12s %-24s %s\n",
+		"Recipient", "Target", "Format", "Selected", "Paper Donors", "Agrees")
+	for _, r := range rows {
+		if r.Err != nil {
+			fmt.Fprintf(&sb, "%-12s %-24s %-8s FAILED: %v\n", r.Recipient, r.Target, r.Format, r.Err)
+			continue
+		}
+		var ranked []string
+		for _, c := range r.Ranked {
+			ranked = append(ranked, fmt.Sprintf("%s(%d)", c.Donor, c.CheckHits))
+		}
+		fmt.Fprintf(&sb, "%-12s %-24s %-8s %-12s %-24s %v  ranking: %s\n",
+			r.Recipient, r.Target, r.Format, r.Selected,
+			strings.Join(r.PaperDonors, ","), r.Agrees, strings.Join(ranked, " > "))
+	}
+	return sb.String()
+}

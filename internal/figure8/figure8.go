@@ -15,6 +15,7 @@ import (
 	"codephage/internal/diode"
 	"codephage/internal/fuzz"
 	"codephage/internal/hachoir"
+	"codephage/internal/ir"
 	"codephage/internal/phage"
 	"codephage/internal/pipeline"
 )
@@ -107,19 +108,27 @@ func discoverErrorInput(tgt *apps.Target) ([]byte, error) {
 	}
 }
 
-// NewTransfer assembles the phage.Transfer for one table row.
+// NewTransfer assembles the phage.Transfer for one table row. The
+// donor name pipeline.AutoDonor ("auto") yields an auto-donor
+// transfer (nil Donor): the engine's Select stage resolves the donor
+// from its configured knowledge base.
 func NewTransfer(tgt *apps.Target, donorName string, opts phage.Options) (*phage.Transfer, error) {
 	recipient, err := apps.ByName(tgt.Recipient)
 	if err != nil {
 		return nil, err
 	}
-	donorApp, err := apps.ByName(donorName)
-	if err != nil {
-		return nil, err
-	}
-	donorBin, err := apps.BuildDonorBinary(donorApp)
-	if err != nil {
-		return nil, err
+	var donorBin *ir.Module
+	if donorName == pipeline.AutoDonor {
+		donorName = ""
+	} else {
+		donorApp, err := apps.ByName(donorName)
+		if err != nil {
+			return nil, err
+		}
+		donorBin, err = apps.BuildDonorBinary(donorApp)
+		if err != nil {
+			return nil, err
+		}
 	}
 	errIn, err := ErrorInputFor(tgt)
 	if err != nil {
@@ -164,6 +173,11 @@ func RunRow(tgt *apps.Target, donorName string, opts phage.Options) *Row {
 // fill derives the Figure 8 columns from a transfer result.
 func (row *Row) fill(res *phage.Result) {
 	row.Result = res
+	if res.Donor != "" {
+		// For auto-donor rows this replaces "auto" with the donor the
+		// Select stage resolved; for explicit rows it is a no-op.
+		row.Donor = res.Donor
+	}
 	row.GenTime = res.GenTime
 	row.UsedChecks = res.UsedChecks()
 	row.FirstCheck = true

@@ -9,7 +9,10 @@ import (
 	"codephage/internal/smt"
 )
 
-// BatchTask is one transfer in a batch workload.
+// BatchTask is one transfer in a batch workload. A task whose
+// Transfer.Donor is nil is an auto-donor job: the engine's Select
+// stage resolves the donor through the configured DonorSelector, and
+// the chosen donor comes back in Result.Donor.
 type BatchTask struct {
 	ID       string // caller-chosen identifier, echoed in the result
 	Transfer *Transfer

@@ -2,9 +2,12 @@
 // the paper's control flow as an explicit sequence of typed stages
 // over a shared TransferContext:
 //
-//	Discover -> AnalyzePoints -> Translate -> Insert -> Validate -> Rescan
+//	Select -> Discover -> AnalyzePoints -> Translate -> Insert -> Validate -> Rescan
 //
-// Discover excises candidate checks from the donor (§3.2),
+// Select resolves transfers that name no donor by ranking candidates
+// from a donor knowledge base (the DonorSelector interface;
+// internal/corpus implements it over a persistent index), Discover
+// excises candidate checks from the donor (§3.2),
 // AnalyzePoints finds the recipient insertion points for one check
 // (§3.3), Translate rewrites the check into the recipient name space
 // at every stable point (Figures 6 and 7), Insert+Validate splice each
@@ -73,11 +76,14 @@ func (o *Options) maxRounds() int {
 	return 6
 }
 
-// Transfer describes one donor→recipient code transfer task.
+// Transfer describes one donor→recipient code transfer task. A nil
+// Donor requests automatic donor selection: the engine's Select stage
+// resolves it through the configured DonorSelector before Discover
+// runs.
 type Transfer struct {
 	RecipientName string
 	RecipientSrc  string
-	Donor         *ir.Module // stripped donor binary
+	Donor         *ir.Module // stripped donor binary (nil = select automatically)
 	DonorName     string
 	Format        string // dissector name
 	Seed          []byte
@@ -114,6 +120,10 @@ type PatchRound struct {
 
 // Result is the outcome of a successful transfer.
 type Result struct {
+	// Donor is the donor that supplied the transferred checks: the
+	// named donor, or — for auto-donor transfers — the donor the
+	// Select stage resolved.
+	Donor       string
 	Rounds      []PatchRound
 	FinalSource string
 	// FinalModule is the validated patched build. It aliases a shared
@@ -141,6 +151,10 @@ type Engine struct {
 	// Compiler is the content-keyed module cache (nil = the shared
 	// process-wide cache).
 	Compiler *compile.Cache
+	// Selector resolves transfers whose Donor is nil (nil = auto-donor
+	// transfers fail). internal/corpus provides the indexed knowledge
+	// base implementation.
+	Selector DonorSelector
 
 	mu        sync.Mutex
 	stats     smt.Stats
@@ -207,6 +221,10 @@ type TransferContext struct {
 	Baseline  []behaviour
 	Discovery *Discovery
 
+	// DonorRank is the Select stage's output: the deterministic ranked
+	// donor candidate list the auto-donor retry loop iterates.
+	DonorRank []DonorCandidate
+
 	// Per-check state (the §1.1 retry loop iterates these).
 	CheckIndex int
 	Check      *Check
@@ -231,14 +249,25 @@ func checkStages() []Stage {
 }
 
 // Run executes the full Code Phage pipeline for the transfer task.
+// When the task names no donor (nil Transfer.Donor), the Select stage
+// resolves one through the engine's DonorSelector first.
 func (e *Engine) Run(t *Transfer) (*Result, error) {
+	if t.Donor == nil {
+		return e.runAuto(t)
+	}
+	return e.runResolved(t)
+}
+
+// runResolved executes the pipeline for a transfer whose donor is
+// already concrete: Discover onward.
+func (e *Engine) runResolved(t *Transfer) (*Result, error) {
 	start := time.Now()
 	ctx, err := e.newContext(t)
 	if err != nil {
 		return nil, err
 	}
 
-	res := &Result{FinalSource: t.RecipientSrc, FinalModule: ctx.Recipient}
+	res := &Result{Donor: t.DonorName, FinalSource: t.RecipientSrc, FinalModule: ctx.Recipient}
 	var guards []*bitvec.Expr    // transferred checks (field-level)
 	var sizeExprs []*bitvec.Expr // overflowing size expressions seen
 

@@ -20,17 +20,29 @@ type DonorCandidate struct {
 // returns the first validated result. The template transfer supplies
 // everything except the donor.
 func TryDonors(template *Transfer, donors []DonorCandidate) (*Result, string, error) {
+	res, name, errs := tryDonorList(func(tr *Transfer) (*Result, error) { return tr.Run() },
+		template, donors)
+	if res == nil {
+		return nil, "", fmt.Errorf("phage: no donor yields a validated transfer:\n  %s",
+			strings.Join(errs, "\n  "))
+	}
+	return res, name, nil
+}
+
+// tryDonorList is the shared retry core: run the template against
+// each donor in order, returning the first validated result or the
+// accumulated per-donor failures.
+func tryDonorList(run func(*Transfer) (*Result, error), template *Transfer, donors []DonorCandidate) (*Result, string, []string) {
 	var errs []string
 	for _, d := range donors {
 		tr := *template
 		tr.Donor = d.Module
 		tr.DonorName = d.Name
-		res, err := tr.Run()
+		res, err := run(&tr)
 		if err == nil {
 			return res, d.Name, nil
 		}
 		errs = append(errs, fmt.Sprintf("%s: %v", d.Name, err))
 	}
-	return nil, "", fmt.Errorf("phage: no donor yields a validated transfer:\n  %s",
-		strings.Join(errs, "\n  "))
+	return nil, "", errs
 }

@@ -1,0 +1,103 @@
+package pipeline
+
+import (
+	"strings"
+	"testing"
+
+	"codephage/internal/apps"
+	"codephage/internal/compile"
+	"codephage/internal/ir"
+)
+
+// noopDonor compiles a donor that processes every input without ever
+// branching on it: it survives the seed and the error input (so the
+// engine accepts it) but yields no flipped branches, making every
+// transfer attempt fail deterministically after donor vetting.
+func noopDonor(t *testing.T, name string) *ir.Module {
+	t.Helper()
+	mod, err := compile.CompileSource(name, "void main() { exit(0); }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mod
+}
+
+// goodTemplate returns a transfer template for a catalogued target
+// whose error input needs no discovery, plus its working donor.
+func goodTemplate(t *testing.T) (*Transfer, DonorCandidate) {
+	t.Helper()
+	tgt, err := apps.TargetByID("gif2tiff", "gif2tiff.c@355")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := buildTransfer(t, tgt, "magick9")
+	good := DonorCandidate{Name: "magick9", Module: tr.Donor}
+	return tr, good
+}
+
+// TestTryDonorsSuccessAfterRetry: the first donor fails (no flipped
+// branches), the second validates; TryDonors must return the second
+// donor's result and name.
+func TestTryDonorsSuccessAfterRetry(t *testing.T) {
+	tr, good := goodTemplate(t)
+	res, name, err := TryDonors(tr, []DonorCandidate{
+		{Name: "noop", Module: noopDonor(t, "noop")},
+		good,
+	})
+	if err != nil {
+		t.Fatalf("TryDonors: %v", err)
+	}
+	if name != good.Name {
+		t.Errorf("winning donor = %q, want %q", name, good.Name)
+	}
+	if res == nil || res.UsedChecks() == 0 {
+		t.Fatal("no transferred checks in the retried result")
+	}
+	if res.Donor != good.Name {
+		t.Errorf("Result.Donor = %q, want %q", res.Donor, good.Name)
+	}
+}
+
+// TestTryDonorsExhaustion: when no donor validates, the error must
+// name every attempted donor with its failure.
+func TestTryDonorsExhaustion(t *testing.T) {
+	tr, _ := goodTemplate(t)
+	res, name, err := TryDonors(tr, []DonorCandidate{
+		{Name: "noop-a", Module: noopDonor(t, "noop-a")},
+		{Name: "noop-b", Module: noopDonor(t, "noop-b")},
+	})
+	if err == nil {
+		t.Fatalf("TryDonors succeeded with donor %q, want exhaustion", name)
+	}
+	if res != nil || name != "" {
+		t.Errorf("exhausted TryDonors returned res=%v name=%q, want nil/empty", res, name)
+	}
+	for _, donor := range []string{"noop-a", "noop-b"} {
+		if !strings.Contains(err.Error(), donor) {
+			t.Errorf("exhaustion error does not name %s: %v", donor, err)
+		}
+	}
+}
+
+// TestTryDonorsDeterministic: the result that survives the retry loop
+// must be byte-identical to a direct run with the winning donor — the
+// failed attempts leave no trace in the outcome.
+func TestTryDonorsDeterministic(t *testing.T) {
+	tr, good := goodTemplate(t)
+	retried, name, err := TryDonors(tr, []DonorCandidate{
+		{Name: "noop", Module: noopDonor(t, "noop")},
+		good,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != good.Name {
+		t.Fatalf("winning donor = %q, want %q", name, good.Name)
+	}
+	direct := *tr
+	directRes, err := (&Engine{Compiler: compile.NewCache(0)}).Run(&direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdenticalResults(t, "retry-vs-direct", directRes, retried)
+}

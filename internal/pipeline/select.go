@@ -1,0 +1,73 @@
+// This file implements the Select stage: automatic donor selection
+// for transfers that do not name a donor. The paper's headline
+// workflow — given an error-triggering input, search a database of
+// applications for one that processes the input safely and transfer
+// its check — becomes the first stage of the pipeline, ahead of
+// Discover. The engine only defines the stage and the retry loop over
+// the ranked candidates; the knowledge base that answers "which
+// donor?" (internal/corpus) plugs in through the DonorSelector
+// interface, so the pipeline stays free of registry dependencies.
+package pipeline
+
+import (
+	"fmt"
+	"strings"
+)
+
+// AutoDonor is the reserved donor name that requests automatic donor
+// selection: callers that build Transfer templates from request
+// strings map it to a nil Transfer.Donor.
+const AutoDonor = "auto"
+
+// DonorSelector ranks candidate donors for a transfer that does not
+// name one. Implementations triage a donor knowledge base: format
+// match, donor survival on the error input, signature overlap. The
+// returned slice is a deterministic ranked list (best candidate
+// first); the engine tries candidates strictly in that order, so
+// selection never changes the byte-level outcome of the transfer that
+// ends up running.
+type DonorSelector interface {
+	SelectDonors(format string, seed, errIn []byte) ([]DonorCandidate, error)
+}
+
+// stageSelect resolves a nil Transfer.Donor through the engine's
+// Selector, populating ctx.DonorRank with the deterministic ranked
+// candidate list. It runs ahead of Discover: Discover analyses one
+// concrete donor, Select decides which donors are worth analysing.
+type stageSelect struct{}
+
+func (stageSelect) Name() string { return "Select" }
+
+func (stageSelect) Run(ctx *TransferContext) error {
+	t := ctx.Transfer
+	sel := ctx.Engine.Selector
+	if sel == nil {
+		return fmt.Errorf("phage: transfer names no donor and the engine has no donor selector")
+	}
+	ranked, err := sel.SelectDonors(t.Format, t.Seed, t.Error)
+	if err != nil {
+		return fmt.Errorf("phage: donor selection: %w", err)
+	}
+	if len(ranked) == 0 {
+		return fmt.Errorf("phage: donor selection: no candidate donor survives the error input for format %q", t.Format)
+	}
+	ctx.DonorRank = ranked
+	return nil
+}
+
+// runAuto executes the Select stage and then the remaining pipeline
+// with each ranked candidate in turn, returning the first validated
+// result (the §1.1 outermost retry loop, now fed by the knowledge
+// base instead of a hardcoded donor table).
+func (e *Engine) runAuto(t *Transfer) (*Result, error) {
+	ctx := &TransferContext{Engine: e, Transfer: t}
+	if err := (stageSelect{}).Run(ctx); err != nil {
+		return nil, err
+	}
+	res, _, errs := tryDonorList(e.runResolved, t, ctx.DonorRank)
+	if res == nil {
+		return nil, fmt.Errorf("phage: no selected donor yields a validated transfer:\n  %s",
+			strings.Join(errs, "\n  "))
+	}
+	return res, nil
+}

@@ -1,0 +1,127 @@
+package pipeline
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"codephage/internal/compile"
+)
+
+// stubSelector returns a fixed ranked candidate list (or an error).
+// Selectors are consulted concurrently by batch workers, so the call
+// counter is atomic (the corpus implementation uses atomics too).
+type stubSelector struct {
+	ranked []DonorCandidate
+	err    error
+	calls  atomic.Int64
+}
+
+func (s *stubSelector) SelectDonors(format string, seed, errIn []byte) ([]DonorCandidate, error) {
+	s.calls.Add(1)
+	return s.ranked, s.err
+}
+
+// TestSelectStageResolvesDonor: a nil-donor transfer runs the Select
+// stage, retries past a failing candidate, and produces a result
+// byte-identical to naming the winning donor directly.
+func TestSelectStageResolvesDonor(t *testing.T) {
+	tr, good := goodTemplate(t)
+	sel := &stubSelector{ranked: []DonorCandidate{
+		{Name: "noop", Module: noopDonor(t, "noop")},
+		good,
+	}}
+	eng := &Engine{Compiler: compile.NewCache(0), Selector: sel}
+	auto := *tr
+	auto.Donor, auto.DonorName = nil, ""
+	autoRes, err := eng.Run(&auto)
+	if err != nil {
+		t.Fatalf("auto run: %v", err)
+	}
+	if got := sel.calls.Load(); got != 1 {
+		t.Errorf("selector consulted %d times, want 1", got)
+	}
+	if autoRes.Donor != good.Name {
+		t.Errorf("Result.Donor = %q, want %q", autoRes.Donor, good.Name)
+	}
+	if snap := autoRes.Snapshot(); snap.Donor != good.Name {
+		t.Errorf("Snapshot.Donor = %q, want %q", snap.Donor, good.Name)
+	}
+
+	manual := *tr
+	manualRes, err := eng.Run(&manual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdenticalResults(t, "auto-vs-manual", manualRes, autoRes)
+}
+
+// TestSelectStageErrors: a nil-donor transfer must fail cleanly when
+// no selector is configured, when selection errors, and when no
+// candidate survives.
+func TestSelectStageErrors(t *testing.T) {
+	tr, _ := goodTemplate(t)
+	auto := *tr
+	auto.Donor, auto.DonorName = nil, ""
+
+	if _, err := (&Engine{Compiler: compile.NewCache(0)}).Run(&auto); err == nil ||
+		!strings.Contains(err.Error(), "no donor selector") {
+		t.Errorf("no-selector run: %v, want donor-selector error", err)
+	}
+
+	eng := &Engine{Compiler: compile.NewCache(0), Selector: &stubSelector{err: fmt.Errorf("index corrupt")}}
+	if _, err := eng.Run(&auto); err == nil || !strings.Contains(err.Error(), "index corrupt") {
+		t.Errorf("selector-error run: %v, want wrapped selection error", err)
+	}
+
+	eng = &Engine{Compiler: compile.NewCache(0), Selector: &stubSelector{}}
+	if _, err := eng.Run(&auto); err == nil || !strings.Contains(err.Error(), "no candidate donor") {
+		t.Errorf("empty-selection run: %v, want no-candidate error", err)
+	}
+
+	eng = &Engine{Compiler: compile.NewCache(0), Selector: &stubSelector{
+		ranked: []DonorCandidate{{Name: "noop", Module: noopDonor(t, "noop")}},
+	}}
+	if _, err := eng.Run(&auto); err == nil || !strings.Contains(err.Error(), "noop") {
+		t.Errorf("all-candidates-fail run: %v, want error naming the failed donor", err)
+	}
+}
+
+// TestBatchAutoDonorJobs: auto-donor tasks flow through Batch exactly
+// like explicit ones, resolving through the shared engine's selector.
+func TestBatchAutoDonorJobs(t *testing.T) {
+	tr, good := goodTemplate(t)
+	eng := &Engine{Compiler: compile.NewCache(0), Selector: &stubSelector{ranked: []DonorCandidate{good}}}
+
+	manual := *tr
+	want, err := eng.Run(&manual)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var tasks []BatchTask
+	for i := 0; i < 3; i++ {
+		auto := *tr
+		auto.Donor, auto.DonorName = nil, ""
+		tasks = append(tasks, BatchTask{ID: fmt.Sprintf("auto-%d", i), Transfer: &auto})
+	}
+	results, stats := (&Batch{Engine: eng, Workers: 3}).Run(tasks)
+	if stats.Failed != 0 {
+		t.Fatalf("failed auto tasks: %d", stats.Failed)
+	}
+	for _, br := range results {
+		if br.Result.Donor != good.Name {
+			t.Errorf("%s: resolved donor %q, want %q", br.ID, br.Result.Donor, good.Name)
+		}
+		requireIdenticalResults(t, br.ID, want, br.Result)
+	}
+}
+
+// TestSelectStageName pins the new stage's published name alongside
+// the existing ones.
+func TestSelectStageName(t *testing.T) {
+	if (stageSelect{}).Name() != "Select" {
+		t.Error("Select stage name changed")
+	}
+}

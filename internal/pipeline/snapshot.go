@@ -14,6 +14,9 @@ import (
 // Long-lived services cache snapshots — never raw Results, whose
 // FinalModule aliases shared compile-cache entries.
 type Snapshot struct {
+	// Donor is the donor that supplied the checks (the Select stage's
+	// resolution for auto-donor transfers).
+	Donor       string
 	Rounds      []PatchRound
 	FinalSource string
 	GenTime     time.Duration
@@ -26,6 +29,7 @@ type Snapshot struct {
 // Snapshot returns an immutable deep copy of the result for sharing.
 func (r *Result) Snapshot() *Snapshot {
 	s := &Snapshot{
+		Donor:       r.Donor,
 		FinalSource: r.FinalSource,
 		GenTime:     r.GenTime,
 		SolverStats: r.SolverStats,

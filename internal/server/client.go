@@ -167,6 +167,16 @@ func (c *Client) Targets() ([]TargetInfo, error) {
 	return *out, nil
 }
 
+// Corpus fetches the daemon's donor knowledge base (triggering the
+// index build on first access).
+func (c *Client) Corpus() (*CorpusInfo, error) {
+	resp, err := c.http().Get(c.url("/corpus"))
+	if err != nil {
+		return nil, err
+	}
+	return decodeBody[CorpusInfo](resp)
+}
+
 // Health probes the daemon's liveness endpoint.
 func (c *Client) Health() error {
 	resp, err := c.http().Get(c.url("/healthz"))

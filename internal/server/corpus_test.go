@@ -1,0 +1,111 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"codephage/internal/apps"
+)
+
+// TestServiceAutoDonorMatchesExplicit: a donor:"auto" request must
+// resolve a paper-evaluated donor through the corpus and produce a
+// report byte-identical (modulo the auto_selected marker) to an
+// explicit request naming that donor.
+func TestServiceAutoDonorMatchesExplicit(t *testing.T) {
+	_, ts := newTestServer(t, Config{CorpusPath: filepath.Join(t.TempDir(), "corpus.json")})
+
+	tgt, err := apps.TargetByID("gif2tiff", "gif2tiff.c@355")
+	if err != nil {
+		t.Fatal(err)
+	}
+	autoEnv := postTransfer(t, ts.URL, &Request{
+		Recipient: tgt.Recipient, Target: tgt.ID, Donor: "auto",
+	}, "")
+	if autoEnv.Status != StatusDone {
+		t.Fatalf("auto transfer failed: %s", autoEnv.Error)
+	}
+	var autoRep Report
+	if err := json.Unmarshal(autoEnv.Report, &autoRep); err != nil {
+		t.Fatal(err)
+	}
+	if !autoRep.AutoSelected {
+		t.Error("report does not mark the donor as auto-selected")
+	}
+	donorInPaper := false
+	for _, d := range tgt.Donors {
+		if d == autoRep.Donor {
+			donorInPaper = true
+		}
+	}
+	if !donorInPaper {
+		t.Fatalf("auto-selected donor %q not among paper donors %v", autoRep.Donor, tgt.Donors)
+	}
+
+	explicitEnv := postTransfer(t, ts.URL, &Request{
+		Recipient: tgt.Recipient, Target: tgt.ID, Donor: autoRep.Donor,
+	}, "")
+	if explicitEnv.Status != StatusDone {
+		t.Fatalf("explicit transfer failed: %s", explicitEnv.Error)
+	}
+	autoRep.AutoSelected = false
+	normalized, err := autoRep.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var explicitRep Report
+	if err := json.Unmarshal(explicitEnv.Report, &explicitRep); err != nil {
+		t.Fatal(err)
+	}
+	explicitBytes, err := explicitRep.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(normalized) != string(explicitBytes) {
+		t.Error("auto-donor report differs from the explicit-donor report")
+	}
+}
+
+// TestServiceCorpusEndpointAndMetrics: /corpus serves the warm index
+// and /metrics exposes the corpus gauges and counters.
+func TestServiceCorpusEndpointAndMetrics(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cli := &Client{BaseURL: ts.URL}
+
+	info, err := cli.Corpus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Index == nil || len(info.Index.Signatures) == 0 {
+		t.Fatal("corpus endpoint served no signatures")
+	}
+	if !info.Stats.Built || info.Stats.Entries != len(info.Index.Signatures) {
+		t.Errorf("corpus stats %+v inconsistent with %d signatures", info.Stats, len(info.Index.Signatures))
+	}
+	for _, sig := range info.Index.Signatures {
+		if sig.ContentKey == "" || len(sig.Checks) == 0 {
+			t.Errorf("%s/%s: incomplete signature over the wire", sig.Donor, sig.Format)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	metrics := string(body)
+	for _, want := range []string{
+		"phaged_corpus_built 1",
+		"phaged_corpus_entries",
+		"phaged_corpus_selections_total",
+		"phaged_auto_transfers_total",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}

@@ -7,7 +7,15 @@ import (
 	"net/http"
 
 	"codephage/internal/apps"
+	"codephage/internal/corpus"
 )
+
+func boolMetric(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
 
 // Handler returns the phaged HTTP API:
 //
@@ -17,6 +25,8 @@ import (
 //	                           ending with the terminal envelope
 //	GET  /v1/jobs/{id}         job envelope (report included when done)
 //	GET  /v1/targets           the transferable error catalogue
+//	GET  /corpus               the donor knowledge-base index
+//	                           (built on first access)
 //	GET  /metrics              Prometheus-style server and engine stats
 //	GET  /healthz              liveness probe
 func (s *Server) Handler() http.Handler {
@@ -24,6 +34,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/transfer", s.handleTransfer)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/targets", s.handleTargets)
+	mux.HandleFunc("GET /corpus", s.handleCorpus)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -140,6 +151,25 @@ func (s *Server) handleTargets(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// CorpusInfo is the /corpus payload: the warm index plus the
+// selector's activity counters.
+type CorpusInfo struct {
+	Stats corpus.SelectorStats `json:"stats"`
+	Index *corpus.Index        `json:"index"`
+}
+
+// handleCorpus serves the donor knowledge base, establishing the
+// index on first access (the same lazy build the first auto-donor
+// transfer would trigger).
+func (s *Server) handleCorpus(w http.ResponseWriter, _ *http.Request) {
+	ix, err := s.corpus.Index()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, CorpusInfo{Stats: s.corpus.Stats(), Index: ix})
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	st := s.Stats()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
@@ -156,6 +186,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	p("phaged_compile_cache_misses_total %d\n", st.Compile.Misses)
 	p("phaged_compile_cache_evictions_total %d\n", st.Compile.Evictions)
 	p("phaged_compile_cache_entries %d\n", st.Compile.Entries)
+	p("phaged_auto_transfers_total %d\n", st.AutoTransfers)
+	p("phaged_corpus_built %d\n", boolMetric(st.Corpus.Built))
+	p("phaged_corpus_entries %d\n", st.Corpus.Entries)
+	p("phaged_corpus_signatures_rebuilt %d\n", st.Corpus.Rebuilt)
+	p("phaged_corpus_selections_total %d\n", st.Corpus.Selections)
+	p("phaged_corpus_candidates_total %d\n", st.Corpus.Candidates)
+	p("phaged_corpus_survivors_total %d\n", st.Corpus.Survivors)
 	for i, es := range st.ShardStats {
 		p("phaged_shard_solver_queries_total{shard=\"%d\"} %d\n", i, es.Solver.Queries)
 		p("phaged_shard_solver_cache_hits_total{shard=\"%d\"} %d\n", i, es.Solver.CacheHits)

@@ -11,6 +11,8 @@ import (
 
 // Request is one transfer submission. Recipient, Target and Donor name
 // entries of the apps catalogue, exactly like the codephage CLI flags.
+// Donor "auto" requests automatic donor selection from the corpus
+// index; the report then carries the resolved donor.
 type Request struct {
 	Recipient string `json:"recipient"`
 	Target    string `json:"target"`
@@ -227,11 +229,12 @@ func (j *Job) Envelope(dedup bool) *Envelope {
 
 // counters aggregates the server's atomic activity counters.
 type counters struct {
-	requests   atomic.Int64
-	accepted   atomic.Int64
-	rejected   atomic.Int64
-	dedupHits  atomic.Int64
-	engineRuns atomic.Int64
-	completed  atomic.Int64
-	failed     atomic.Int64
+	requests      atomic.Int64
+	accepted      atomic.Int64
+	rejected      atomic.Int64
+	dedupHits     atomic.Int64
+	engineRuns    atomic.Int64
+	autoTransfers atomic.Int64
+	completed     atomic.Int64
+	failed        atomic.Int64
 }

@@ -18,7 +18,11 @@ import (
 type Report struct {
 	Recipient string `json:"recipient"`
 	Target    string `json:"target"`
-	Donor     string `json:"donor"`
+	// Donor is the donor that supplied the checks — for auto-donor
+	// requests, the one the corpus selected (AutoSelected is then
+	// true).
+	Donor        string `json:"donor"`
+	AutoSelected bool   `json:"auto_selected,omitempty"`
 
 	// Figure 8 columns.
 	UsedChecks       int      `json:"used_checks"`

@@ -23,6 +23,7 @@ import (
 
 	"codephage/internal/apps"
 	"codephage/internal/compile"
+	"codephage/internal/corpus"
 	"codephage/internal/figure8"
 	"codephage/internal/pipeline"
 )
@@ -41,6 +42,10 @@ type Config struct {
 	// MaxCachedJobs bounds completed jobs retained for request dedup
 	// (0 = 1024). In-flight jobs are never evicted.
 	MaxCachedJobs int
+	// CorpusPath persists the donor knowledge-base index here
+	// ("" = in-memory only). The index is established lazily on the
+	// first auto-donor request or /corpus query.
+	CorpusPath string
 }
 
 func (c Config) shards() int {
@@ -93,6 +98,7 @@ type shard struct {
 type Server struct {
 	cfg      Config
 	compiler *compile.Cache
+	corpus   *corpus.Selector
 	shards   []*shard
 
 	mu        sync.Mutex
@@ -112,12 +118,16 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:      cfg,
 		compiler: compile.NewCache(0),
+		corpus:   corpus.NewSelector(cfg.CorpusPath),
 		jobs:     map[string]*Job{},
 		byKey:    map[string]*Job{},
 	}
 	for i := 0; i < cfg.shards(); i++ {
 		eng := pipeline.NewEngine()
 		eng.Compiler = s.compiler
+		// Every shard answers auto-donor requests from the one shared
+		// warm index.
+		eng.Selector = s.corpus
 		s.shards = append(s.shards, &shard{
 			id:     i,
 			engine: eng,
@@ -297,7 +307,16 @@ func (s *Server) execute(sh *shard, req *Request) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	return BuildReport(req.Recipient, req.Target, req.Donor, res.Snapshot()), nil
+	snap := res.Snapshot()
+	donor := req.Donor
+	auto := donor == pipeline.AutoDonor
+	if auto {
+		donor = snap.Donor
+		s.counter.autoTransfers.Add(1)
+	}
+	rep := BuildReport(req.Recipient, req.Target, donor, snap)
+	rep.AutoSelected = auto
+	return rep, nil
 }
 
 // retireKey records a completed key for FIFO eviction and trims the
@@ -327,24 +346,32 @@ type Stats struct {
 	Rejected   int64
 	DedupHits  int64
 	EngineRuns int64
-	Completed  int64
-	Failed     int64
-	Queued     int // jobs accepted but not yet running
-	Compile    compile.CacheStats
+	// AutoTransfers counts engine runs whose donor the corpus
+	// selected automatically.
+	AutoTransfers int64
+	Completed     int64
+	Failed        int64
+	Queued        int // jobs accepted but not yet running
+	Compile       compile.CacheStats
+	// Corpus is the donor knowledge-base state (zero until the first
+	// auto-donor request or /corpus query builds the index).
+	Corpus     corpus.SelectorStats
 	ShardStats []pipeline.EngineStats
 }
 
 // Stats snapshots the server counters and per-shard engine state.
 func (s *Server) Stats() Stats {
 	st := Stats{
-		Requests:   s.counter.requests.Load(),
-		Accepted:   s.counter.accepted.Load(),
-		Rejected:   s.counter.rejected.Load(),
-		DedupHits:  s.counter.dedupHits.Load(),
-		EngineRuns: s.counter.engineRuns.Load(),
-		Completed:  s.counter.completed.Load(),
-		Failed:     s.counter.failed.Load(),
-		Compile:    s.compiler.Stats(),
+		Requests:      s.counter.requests.Load(),
+		Accepted:      s.counter.accepted.Load(),
+		Rejected:      s.counter.rejected.Load(),
+		DedupHits:     s.counter.dedupHits.Load(),
+		EngineRuns:    s.counter.engineRuns.Load(),
+		AutoTransfers: s.counter.autoTransfers.Load(),
+		Completed:     s.counter.completed.Load(),
+		Failed:        s.counter.failed.Load(),
+		Compile:       s.compiler.Stats(),
+		Corpus:        s.corpus.Stats(),
 	}
 	for _, sh := range s.shards {
 		st.Queued += len(sh.queue)
