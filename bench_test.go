@@ -103,7 +103,7 @@ func TestFigure8Table(t *testing.T) {
 // in translation time). Measured on the translation-heavy CWebP <-
 // viewnior row, which exercises the division-based check.
 
-func benchAblationSolver(b *testing.B, disableCache, disablePrefilter bool) {
+func benchAblationSolver(b *testing.B, disableMemo, disablePrefilter bool) {
 	tgt, err := apps.TargetByID("cwebp", "jpegdec.c@248")
 	if err != nil {
 		b.Fatal(err)
@@ -114,10 +114,12 @@ func benchAblationSolver(b *testing.B, disableCache, disablePrefilter bool) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		solver := smt.New()
-		solver.DisableCache = disableCache
-		solver.DisablePrefilter = disablePrefilter
-		tr.Opts.Solver = solver
+		// A fresh service per iteration keeps the ablation honest: the
+		// measured run never rides a memo warmed by a previous one.
+		tr.Opts.Service = smt.NewService(smt.Config{
+			DisableMemo:      disableMemo,
+			DisablePrefilter: disablePrefilter,
+		})
 		if _, err := tr.Run(); err != nil {
 			b.Fatal(err)
 		}
@@ -222,7 +224,7 @@ func hDissect(tb testing.TB, format string, input []byte) *hachoir.Dissection {
 }
 
 // TestSolverCacheEffect quantifies ablation D2's cache: repeated
-// equivalence queries during a transfer must hit the cache.
+// equivalence queries during a transfer must hit the shared memo.
 func TestSolverCacheEffect(t *testing.T) {
 	tgt, err := apps.TargetByID("dillo", "png.c@203")
 	if err != nil {
@@ -232,18 +234,19 @@ func TestSolverCacheEffect(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	solver := smt.New()
-	tr.Opts.Solver = solver
-	if _, err := tr.Run(); err != nil {
+	svc := smt.NewService(smt.Config{})
+	tr.Opts.Service = svc
+	res, err := tr.Run()
+	if err != nil {
 		t.Fatal(err)
 	}
-	st := solver.Stats
-	t.Logf("solver stats: %+v", st)
+	st := res.SolverStats
+	t.Logf("solver stats: %+v, service: %+v", st, svc.Stats())
 	if st.Queries == 0 {
 		t.Fatal("no solver queries issued")
 	}
 	if st.CacheHits == 0 && st.Prefiltered == 0 {
-		t.Error("neither the cache nor the prefilter fired during a full transfer")
+		t.Error("neither the memo nor the prefilter fired during a full transfer")
 	}
 }
 
@@ -308,7 +311,7 @@ func BenchmarkPipelineStages(b *testing.B) {
 	_, _, stable := analysis.Candidates()
 	b.Run("RewriteTranslation", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			solver := smt.New()
+			solver := smt.NewService(smt.Config{}).Session()
 			tr := phage.Rewrite(disc.Checks[0].Cond, stable[len(stable)-1].Names, solver)
 			if tr == nil {
 				b.Fatal("rewrite failed")
@@ -421,6 +424,180 @@ func BenchmarkFigure8Batch(b *testing.B) {
 			}
 		}
 	})
+}
+
+// ---- The shared constraint service: cold vs warm solving.
+//
+// solverWorkload is the symbolic side of one real Figure-8 row — the
+// translation-heavy cwebp <- viewnior transfer, whose validation also
+// carries the expensive overflow-freedom SAT proof. replaySolver runs
+// the complete transfer on a fresh engine whose only warm state is the
+// given constraint service (the engine-level proof and baseline caches
+// start cold every time, and the compile cache is shared by both
+// sides), so the cold/warm delta isolates exactly what the service
+// memoises: equivalence verdicts and the overflow proof.
+func newSolverWorkload(tb testing.TB) *phage.Transfer {
+	tb.Helper()
+	tgt, err := apps.TargetByID("cwebp", "jpegdec.c@248")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tr, err := figure8.NewTransfer(tgt, "viewnior", phage.Options{})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return tr
+}
+
+func replaySolver(tb testing.TB, base *phage.Transfer, svc *smt.Service) {
+	tb.Helper()
+	eng := &pipeline.Engine{Workers: 1, Compiler: compile.Default()}
+	tr := *base
+	tr.Opts.Service = svc
+	res, err := eng.Run(&tr)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if res.UsedChecks() < 1 {
+		tb.Fatal("no checks transferred")
+	}
+}
+
+// BenchmarkSolveCold measures the Figure-8 row on a fresh service
+// every iteration: every verdict and the overflow proof are proven
+// from zero.
+func BenchmarkSolveCold(b *testing.B) {
+	skipInShort(b)
+	base := newSolverWorkload(b)
+	replaySolver(b, base, smt.NewService(smt.Config{})) // warm compiles/VM state common to both benchmarks
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		replaySolver(b, base, smt.NewService(smt.Config{}))
+	}
+}
+
+// BenchmarkSolveWarm measures the same row against a service that has
+// already answered it once: verdicts and the overflow proof come from
+// the shared memo.
+func BenchmarkSolveWarm(b *testing.B) {
+	skipInShort(b)
+	base := newSolverWorkload(b)
+	svc := smt.NewService(smt.Config{})
+	replaySolver(b, base, svc) // warm the memo outside the timed region
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		replaySolver(b, base, svc)
+	}
+}
+
+// TestWarmSolverAtLeastTwiceCold pins the incremental-service payoff:
+// the Figure-8 row on a warm service must run at least 2x faster than
+// on a cold one (the measured gap is larger — the row's SAT proof
+// alone dominates its remaining work — so the 2x bound holds under
+// race-detector skew), and the warm runs must be answered from the
+// memo, not re-proven.
+func TestWarmSolverAtLeastTwiceCold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solver warm/cold timing runs in the full (non-short) suite")
+	}
+	base := newSolverWorkload(t)
+
+	const rounds = 3
+	var cold, warm time.Duration
+	warmSvc := smt.NewService(smt.Config{})
+	replaySolver(t, base, warmSvc) // prime the memo and all shared caches
+	for i := 0; i < rounds; i++ {
+		start := time.Now()
+		replaySolver(t, base, smt.NewService(smt.Config{}))
+		cold += time.Since(start)
+
+		start = time.Now()
+		replaySolver(t, base, warmSvc)
+		warm += time.Since(start)
+	}
+
+	st := warmSvc.Stats()
+	if st.MemoHits == 0 {
+		t.Fatal("warm replays produced no memo hits")
+	}
+	if st.SATCalls == 0 {
+		t.Fatal("the cold prime issued no SAT calls — workload too trivial to pin anything")
+	}
+	t.Logf("cold %s vs warm %s over %d rounds (warm service: %d memo hits, %d SAT calls)",
+		cold, warm, rounds, st.MemoHits, st.SATCalls)
+	if cold < 2*warm {
+		t.Errorf("warm solving is not ≥2x faster: cold %s vs warm %s", cold, warm)
+	}
+}
+
+// TestFigure8MemoOnOffByteIdentical is the determinism contract for
+// the shared constraint service: the complete 18-row Figure 8 batch
+// must produce byte-identical reports with the verdict memo enabled
+// and disabled. (Reports exclude wall-clock fields by construction;
+// the memo may only change how fast verdicts arrive, never which.)
+func TestFigure8MemoOnOffByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full Figure-8 batches; runs in the full (non-short) suite")
+	}
+	run := func(cfg smt.Config) map[string][]byte {
+		eng := pipeline.NewEngine()
+		eng.Service = smt.NewService(cfg)
+		rows, _ := figure8.BatchRows(phage.Options{}, &pipeline.Batch{Engine: eng})
+		out := map[string][]byte{}
+		for _, r := range rows {
+			key := r.Recipient + "/" + r.Target + "<-" + r.Donor
+			if r.Err != nil {
+				t.Fatalf("%s failed: %v", key, r.Err)
+			}
+			rep := server.BuildReport(r.Recipient, r.Target, r.Donor, r.Result.Snapshot())
+			bs, err := rep.Marshal()
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[key] = bs
+		}
+		return out
+	}
+
+	on := run(smt.Config{})
+	off := run(smt.Config{DisableMemo: true})
+	if len(on) != len(off) {
+		t.Fatalf("row counts differ: %d vs %d", len(on), len(off))
+	}
+	for key, b1 := range on {
+		if string(b1) != string(off[key]) {
+			t.Errorf("%s: report bytes differ between memo on and off:\n  on:  %s\n  off: %s",
+				key, b1, off[key])
+		}
+	}
+}
+
+// TestFullBatchSharesSolverVerdicts pins engine-wide query sharing on
+// the complete 10-target catalogue: one shared service across the full
+// batch must observe memo hits (donors repeat across targets, rescan
+// rounds repeat overflow queries) — the counters that back the
+// phaged_solver_memo_* metrics.
+func TestFullBatchSharesSolverVerdicts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Figure-8 batch; runs in the full (non-short) suite")
+	}
+	svc := smt.NewService(smt.Config{})
+	eng := pipeline.NewEngine()
+	eng.Service = svc
+	rows, _ := figure8.BatchRows(phage.Options{}, &pipeline.Batch{Engine: eng})
+	for _, r := range rows {
+		if r.Err != nil {
+			t.Fatalf("%s/%s <- %s failed: %v", r.Recipient, r.Target, r.Donor, r.Err)
+		}
+	}
+	st := svc.Stats()
+	t.Logf("full-batch service stats: %+v", st)
+	if st.MemoHits == 0 {
+		t.Error("full Figure-8 batch produced no shared-memo hits")
+	}
+	if st.Queries == 0 || st.SATCalls == 0 {
+		t.Errorf("service under-exercised: %+v", st)
+	}
 }
 
 // ---- The phaged serving hot path.

@@ -13,6 +13,7 @@ package bitvec
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -97,7 +98,11 @@ func (op Op) IsLeaf() bool { return op == OpConst || op == OpField || op == OpRe
 // IsCmp reports whether the operation is a comparison producing width 1.
 func (op Op) IsCmp() bool { return op >= OpEq && op <= OpSle }
 
-// Expr is one node of a symbolic bitvector expression tree.
+// Expr is one node of a symbolic bitvector expression tree. Nodes
+// built through the package constructors are hash-consed: structurally
+// equal terms share one interned node with a stable nonzero ID (see
+// intern.go), making Equal and Key O(1) and letting the solver stack
+// memoise work per node.
 type Expr struct {
 	Op   Op
 	W    uint8  // result width in bits (1..64)
@@ -109,6 +114,8 @@ type Expr struct {
 	X    *Expr  // first operand
 	Y    *Expr  // second operand
 	Y2   *Expr  // OpIte else branch
+
+	id uint64 // interner node ID (0 = un-interned)
 }
 
 // Mask returns the bitmask selecting the low w bits.
@@ -128,7 +135,7 @@ func checkWidth(w uint8) {
 // Const returns a constant of width w. The value is masked to w bits.
 func Const(w uint8, v uint64) *Expr {
 	checkWidth(w)
-	return &Expr{Op: OpConst, W: w, Val: v & Mask(w)}
+	return intern(&Expr{Op: OpConst, W: w, Val: v & Mask(w)})
 }
 
 // Bool1 returns a width-1 constant for b.
@@ -143,14 +150,14 @@ func Bool1(b bool) *Expr {
 // input offset off. Raw-mode byte labels use Field(fmt.Sprintf("@%d", off), 8, off).
 func Field(name string, w uint8, off int) *Expr {
 	checkWidth(w)
-	return &Expr{Op: OpField, W: w, Name: name, Off: off}
+	return intern(&Expr{Op: OpField, W: w, Name: name, Off: off})
 }
 
 // Ref returns a reference to a recipient program path (used only in
 // translated expressions produced by the Rewrite algorithm).
 func Ref(path string, w uint8) *Expr {
 	checkWidth(w)
-	return &Expr{Op: OpRef, W: w, Name: path}
+	return intern(&Expr{Op: OpRef, W: w, Name: path})
 }
 
 // RawByteName returns the raw-mode field name for an input byte offset.
@@ -158,7 +165,7 @@ func RawByteName(off int) string { return fmt.Sprintf("@%d", off) }
 
 func un(op Op, w uint8, x *Expr) *Expr {
 	checkWidth(w)
-	return &Expr{Op: op, W: w, X: x}
+	return intern(&Expr{Op: op, W: w, X: x})
 }
 
 func bin(op Op, w uint8, x, y *Expr) *Expr {
@@ -166,7 +173,7 @@ func bin(op Op, w uint8, x, y *Expr) *Expr {
 	if x.W != y.W && op != OpConcat {
 		panic(fmt.Sprintf("bitvec: %s operand width mismatch %d vs %d", op.Name(), x.W, y.W))
 	}
-	return &Expr{Op: op, W: w, X: x, Y: y}
+	return intern(&Expr{Op: op, W: w, X: x, Y: y})
 }
 
 // Not returns the bitwise complement of x.
@@ -216,9 +223,8 @@ func Extract(hi, lo uint8, x *Expr) *Expr {
 	if lo == 0 && hi == x.W-1 {
 		return x
 	}
-	e := un(OpExtr, hi-lo+1, x)
-	e.Hi, e.Lo = hi, lo
-	return e
+	checkWidth(hi - lo + 1)
+	return intern(&Expr{Op: OpExtr, W: hi - lo + 1, Hi: hi, Lo: lo, X: x})
 }
 
 // BoolOf returns a width-1 expression that is 1 iff x is nonzero.
@@ -312,7 +318,7 @@ func Ite(cond, then, els *Expr) *Expr {
 	if then.W != els.W {
 		panic("bitvec: Ite branch width mismatch")
 	}
-	return &Expr{Op: OpIte, W: then.W, X: cond, Y: then, Y2: els}
+	return intern(&Expr{Op: OpIte, W: then.W, X: cond, Y: then, Y2: els})
 }
 
 // Operands returns the node's operand slice in order.
@@ -359,7 +365,12 @@ func (e *Expr) Walk(fn func(*Expr)) {
 }
 
 // Fields returns the sorted set of input field names appearing in e.
+// Results are memoised per interned node, so the hot callers (branch
+// relevance checks, insertion-point analysis) pay the tree walk once.
 func (e *Expr) Fields() []string {
+	if f, ok := cachedFields(e); ok {
+		return f
+	}
 	set := map[string]bool{}
 	e.Walk(func(n *Expr) {
 		if n.Op == OpField {
@@ -371,11 +382,17 @@ func (e *Expr) Fields() []string {
 		out = append(out, k)
 	}
 	sort.Strings(out)
+	storeFields(e, append([]string(nil), out...))
 	return out
 }
 
-// ByteDeps returns the sorted set of input byte offsets e depends on.
+// ByteDeps returns the sorted set of input byte offsets e depends on,
+// memoised per interned node (the solver's disjointness prefilter and
+// the taint trackers call this on every query/branch).
 func (e *Expr) ByteDeps() []int {
+	if d, ok := cachedByteDeps(e); ok {
+		return d
+	}
 	set := map[int]bool{}
 	e.Walk(func(n *Expr) {
 		if n.Op == OpField {
@@ -389,6 +406,7 @@ func (e *Expr) ByteDeps() []int {
 		out = append(out, k)
 	}
 	sort.Ints(out)
+	storeByteDeps(e, append([]int(nil), out...))
 	return out
 }
 
@@ -403,12 +421,18 @@ func (e *Expr) HasRef() bool {
 	return found
 }
 
-// Equal reports structural equality of two expressions.
+// Equal reports structural equality of two expressions. On interned
+// nodes (the common case) this is an O(1) ID comparison.
 func Equal(a, b *Expr) bool {
 	if a == b {
 		return true
 	}
 	if a == nil || b == nil {
+		return false
+	}
+	if a.id != 0 && b.id != 0 {
+		// Interned nodes are canonical: structural equality is pointer
+		// equality, already ruled out above.
 		return false
 	}
 	if a.Op != b.Op || a.W != b.W || a.Val != b.Val || a.Name != b.Name ||
@@ -418,8 +442,14 @@ func Equal(a, b *Expr) bool {
 	return Equal(a.X, b.X) && Equal(a.Y, b.Y) && Equal(a.Y2, b.Y2)
 }
 
-// Key returns a canonical string key for caching (structural identity).
+// Key returns a canonical string key for caching (structural
+// identity, valid within this process). Interned nodes answer in O(1)
+// from their stable ID; un-interned nodes fall back to the full
+// structural rendering (which never collides with the ID form).
 func (e *Expr) Key() string {
+	if e.id != 0 {
+		return "#" + strconv.FormatUint(e.id, 36)
+	}
 	var sb strings.Builder
 	e.writeKey(&sb)
 	return sb.String()

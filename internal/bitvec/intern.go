@@ -1,0 +1,360 @@
+package bitvec
+
+// This file implements hash-consed expression construction: every
+// expression built through the package constructors is interned in a
+// sharded structural table, so structurally equal terms are one shared
+// node with a stable ID. Interning is what makes the constraint
+// substrate cheap engine-wide:
+//
+//   - Equal is O(1) on interned nodes (ID comparison),
+//   - Key is O(1) (the canonical cache key is derived from the ID),
+//   - Simplify results are memoised per node, so the taint trackers,
+//     check discovery and the solver front end never re-simplify a
+//     term the process has seen before,
+//   - the SMT blaster memoises CNF per node ID across queries.
+//
+// The table is append-only and capped: past internTableCap live nodes
+// per shard, new terms are returned un-interned (ID 0) and every
+// consumer falls back to structural identity. That keeps adversarial
+// workloads (fuzzers, runaway shadow expressions) from growing the
+// table without bound while preserving the pointer-equality guarantee
+// for everything actually interned.
+
+import (
+	"sync"
+)
+
+// internKey is the structural identity of a node whose operands are
+// already interned: the per-node payload plus the operand IDs.
+type internKey struct {
+	op         Op
+	w          uint8
+	hi, lo     uint8
+	val        uint64
+	off        int
+	name       string
+	x, y, y2   uint64 // operand IDs (0 = absent)
+}
+
+const (
+	internShards = 64
+	// internShardCap bounds each shard (so ~2M nodes process-wide).
+	internShardCap = 1 << 15
+)
+
+type internShard struct {
+	mu    sync.Mutex
+	nodes map[internKey]*Expr
+	// simplified memoises Simplify per interned node ID of this shard's
+	// nodes: id -> fully simplified (and itself interned) expression.
+	simplified map[uint64]*Expr
+	// byteDeps memoises ByteDeps per interned node ID.
+	byteDeps map[uint64][]int
+	// fields memoises Fields per interned node ID.
+	fields map[uint64][]string
+
+	// nextID hands out this shard's ID arithmetic progression
+	// (shard index + 1, stepping by internShards): residues are
+	// disjoint across shards, so IDs are unique without any global
+	// synchronisation — constructor hot paths touch only shard state.
+	nextID uint64
+
+	// Counters live per shard for the same reason: constructor-rate
+	// atomics on one cache line were a measurable contention point in
+	// concurrent batches.
+	hits           int64
+	misses         int64
+	overflow       int64
+	simplifyHits   int64
+	simplifyMisses int64
+}
+
+// internTab is a var initializer (not an init func) so package-level
+// expression constants in other files — and in tests — can build
+// interned terms during their own initialization: Go's dependency
+// analysis orders this before any initializer that calls a
+// constructor.
+var internTab = func() (tab [internShards]*internShard) {
+	for i := range tab {
+		tab[i] = &internShard{
+			nodes:      map[internKey]*Expr{},
+			simplified: map[uint64]*Expr{},
+			byteDeps:   map[uint64][]int{},
+			fields:     map[uint64][]string{},
+			nextID:     uint64(i) + 1,
+		}
+	}
+	return tab
+}()
+
+// InternStats is a point-in-time view of the interner, exported for
+// the phaged /metrics endpoint.
+type InternStats struct {
+	// Terms is the number of live interned nodes.
+	Terms int64
+	// Hits counts constructor calls answered by an existing node.
+	Hits int64
+	// Misses counts constructor calls that interned a new node.
+	Misses int64
+	// Overflow counts constructor calls past the table cap that
+	// returned an un-interned node.
+	Overflow int64
+	// SimplifyHits / SimplifyMisses count the memoised-simplification
+	// cache.
+	SimplifyHits   int64
+	SimplifyMisses int64
+}
+
+// Interned returns the interner counters.
+func Interned() InternStats {
+	var st InternStats
+	for _, sh := range internTab {
+		sh.mu.Lock()
+		st.Terms += int64(len(sh.nodes))
+		st.Hits += sh.hits
+		st.Misses += sh.misses
+		st.Overflow += sh.overflow
+		st.SimplifyHits += sh.simplifyHits
+		st.SimplifyMisses += sh.simplifyMisses
+		sh.mu.Unlock()
+	}
+	return st
+}
+
+// ID returns the node's stable interner ID (0 for an un-interned node,
+// which only occurs past the table cap or for hand-built test nodes).
+// Interned nodes are canonical: two expressions with the same nonzero
+// ID are the same pointer.
+func (e *Expr) ID() uint64 { return e.id }
+
+// keyOf assembles the structural key. ok is false when any operand is
+// un-interned (the parent then cannot be interned either).
+func keyOf(e *Expr) (internKey, bool) {
+	k := internKey{
+		op: e.Op, w: e.W, hi: e.Hi, lo: e.Lo,
+		val: e.Val, off: e.Off, name: e.Name,
+	}
+	if e.X != nil {
+		if e.X.id == 0 {
+			return k, false
+		}
+		k.x = e.X.id
+	}
+	if e.Y != nil {
+		if e.Y.id == 0 {
+			return k, false
+		}
+		k.y = e.Y.id
+	}
+	if e.Y2 != nil {
+		if e.Y2.id == 0 {
+			return k, false
+		}
+		k.y2 = e.Y2.id
+	}
+	return k, true
+}
+
+func shardOf(k internKey) *internShard {
+	// FNV-style fold over the discriminating fields; the string hash is
+	// cheap because leaf names are short.
+	h := uint64(1469598103934665603)
+	mix := func(v uint64) {
+		h ^= v
+		h *= 1099511628211
+	}
+	mix(uint64(k.op)<<24 | uint64(k.w)<<16 | uint64(k.hi)<<8 | uint64(k.lo))
+	mix(k.val)
+	mix(uint64(k.off))
+	mix(k.x)
+	mix(k.y)
+	mix(k.y2)
+	for i := 0; i < len(k.name); i++ {
+		mix(uint64(k.name[i]))
+	}
+	return internTab[h%internShards]
+}
+
+// intern returns the canonical node for e, assigning a fresh ID when e
+// is structurally new. The argument must be freshly built and not yet
+// shared: intern either returns it (now owned by the table) or an
+// existing equal node.
+func intern(e *Expr) *Expr {
+	k, ok := keyOf(e)
+	if !ok {
+		sh := shardOf(k)
+		sh.mu.Lock()
+		sh.overflow++
+		sh.mu.Unlock()
+		return e
+	}
+	sh := shardOf(k)
+	sh.mu.Lock()
+	if old, found := sh.nodes[k]; found {
+		sh.hits++
+		sh.mu.Unlock()
+		return old
+	}
+	if len(sh.nodes) >= internShardCap {
+		sh.overflow++
+		sh.mu.Unlock()
+		return e
+	}
+	e.id = sh.nextID
+	sh.nextID += internShards
+	sh.nodes[k] = e
+	sh.misses++
+	sh.mu.Unlock()
+	return e
+}
+
+// shardOfID routes a node ID to the shard holding its memo entries.
+// Memo entries may land on any shard; using the ID keeps the mapping
+// stable and contention spread.
+func shardOfID(id uint64) *internShard { return internTab[id%internShards] }
+
+// cachedSimplify returns the memoised simplification of an interned
+// node, when present.
+func cachedSimplify(e *Expr) (*Expr, bool) {
+	if e.id == 0 {
+		return nil, false
+	}
+	sh := shardOfID(e.id)
+	sh.mu.Lock()
+	s, ok := sh.simplified[e.id]
+	if ok {
+		sh.simplifyHits++
+	}
+	sh.mu.Unlock()
+	return s, ok
+}
+
+// storeSimplify records a fully simplified form for an interned node.
+func storeSimplify(e, s *Expr) {
+	if e.id == 0 {
+		return
+	}
+	sh := shardOfID(e.id)
+	sh.mu.Lock()
+	sh.simplifyMisses++
+	sh.simplified[e.id] = s
+	sh.mu.Unlock()
+}
+
+// Rebuild returns a node like e with the given operands (in Operands
+// order), constructed through the interning constructors. Operand
+// count and widths must match e's shape. Callers use this instead of
+// copying Expr structs, which would bypass interning.
+func Rebuild(e *Expr, ops []*Expr) *Expr {
+	switch e.Op {
+	case OpConst, OpField, OpRef:
+		return e
+	case OpNot:
+		return Not(ops[0])
+	case OpNeg:
+		return Neg(ops[0])
+	case OpZExt:
+		return ZExt(e.W, ops[0])
+	case OpSExt:
+		return SExt(e.W, ops[0])
+	case OpBool:
+		return BoolOf(ops[0])
+	case OpLNot:
+		return LNot(ops[0])
+	case OpExtr:
+		return Extract(e.Hi, e.Lo, ops[0])
+	case OpAdd:
+		return Add(ops[0], ops[1])
+	case OpSub:
+		return Sub(ops[0], ops[1])
+	case OpMul:
+		return Mul(ops[0], ops[1])
+	case OpUDiv:
+		return UDiv(ops[0], ops[1])
+	case OpSDiv:
+		return SDiv(ops[0], ops[1])
+	case OpURem:
+		return URem(ops[0], ops[1])
+	case OpSRem:
+		return SRem(ops[0], ops[1])
+	case OpAnd:
+		return And(ops[0], ops[1])
+	case OpOr:
+		return Or(ops[0], ops[1])
+	case OpXor:
+		return Xor(ops[0], ops[1])
+	case OpShl:
+		return Shl(ops[0], ops[1])
+	case OpLShr:
+		return LShr(ops[0], ops[1])
+	case OpAShr:
+		return AShr(ops[0], ops[1])
+	case OpConcat:
+		return Concat(ops[0], ops[1])
+	case OpEq:
+		return Eq(ops[0], ops[1])
+	case OpNe:
+		return Ne(ops[0], ops[1])
+	case OpUlt:
+		return Ult(ops[0], ops[1])
+	case OpUle:
+		return Ule(ops[0], ops[1])
+	case OpSlt:
+		return Slt(ops[0], ops[1])
+	case OpSle:
+		return Sle(ops[0], ops[1])
+	case OpIte:
+		return Ite(ops[0], ops[1], ops[2])
+	}
+	panic("bitvec: Rebuild: unsupported op " + e.Op.Name())
+}
+
+// cachedByteDeps returns (a copy of) the memoised byte dependencies.
+func cachedByteDeps(e *Expr) ([]int, bool) {
+	if e.id == 0 {
+		return nil, false
+	}
+	sh := shardOfID(e.id)
+	sh.mu.Lock()
+	d, ok := sh.byteDeps[e.id]
+	sh.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return append([]int(nil), d...), true
+}
+
+func storeByteDeps(e *Expr, deps []int) {
+	if e.id == 0 {
+		return
+	}
+	sh := shardOfID(e.id)
+	sh.mu.Lock()
+	sh.byteDeps[e.id] = deps
+	sh.mu.Unlock()
+}
+
+// cachedFields returns (a copy of) the memoised field name set.
+func cachedFields(e *Expr) ([]string, bool) {
+	if e.id == 0 {
+		return nil, false
+	}
+	sh := shardOfID(e.id)
+	sh.mu.Lock()
+	f, ok := sh.fields[e.id]
+	sh.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return append([]string(nil), f...), true
+}
+
+func storeFields(e *Expr, fields []string) {
+	if e.id == 0 {
+		return
+	}
+	sh := shardOfID(e.id)
+	sh.mu.Lock()
+	sh.fields[e.id] = fields
+	sh.mu.Unlock()
+}

@@ -1,9 +1,122 @@
 package bitvec
 
 import (
+	"math/rand"
 	"testing"
 	"testing/quick"
 )
+
+// rawClone rebuilds e as a structurally identical but un-interned tree
+// (hand-built struct literals, id 0), the way no production code
+// constructs expressions. The interned-vs-raw property tests below pin
+// that hash-consing is purely an identity optimisation: evaluation,
+// simplification and rendering cannot tell the two apart.
+func rawClone(e *Expr) *Expr {
+	c := &Expr{
+		Op: e.Op, W: e.W, Val: e.Val, Name: e.Name,
+		Off: e.Off, Hi: e.Hi, Lo: e.Lo,
+	}
+	if e.X != nil {
+		c.X = rawClone(e.X)
+	}
+	if e.Y != nil {
+		c.Y = rawClone(e.Y)
+	}
+	if e.Y2 != nil {
+		c.Y2 = rawClone(e.Y2)
+	}
+	return c
+}
+
+// TestQuickInternedVsRawEvaluation: an interned expression and its raw
+// clone evaluate identically under random environments.
+func TestQuickInternedVsRawEvaluation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		e := randExpr(rng, 5, propFields)
+		raw := rawClone(e)
+		if raw.ID() != 0 || e.ID() == 0 {
+			t.Fatalf("iteration %d: clone interned (%d) or original not (%d)", i, raw.ID(), e.ID())
+		}
+		env := randEnv(rng)
+		want, err1 := Eval(e, env)
+		got, err2 := Eval(raw, env)
+		if err1 != nil || err2 != nil || got != want {
+			t.Fatalf("iteration %d: interned %d (%v) != raw %d (%v) for %s",
+				i, want, err1, got, err2, e)
+		}
+	}
+}
+
+// TestQuickInternedVsRawSimplify: Simplify of the raw clone and of the
+// interned original produce the same expression (String-identical) with
+// the same semantics — the memoised simplification path and the
+// structural path agree.
+func TestQuickInternedVsRawSimplify(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 2000; i++ {
+		e := randExpr(rng, 5, propFields)
+		raw := rawClone(e)
+		se, sr := Simplify(e), Simplify(raw)
+		if se.String() != sr.String() {
+			t.Fatalf("iteration %d: Simplify diverges on %s:\n  interned: %s\n  raw:      %s",
+				i, e, se, sr)
+		}
+		env := randEnv(rng)
+		want, err1 := Eval(e, env)
+		got, err2 := Eval(sr, env)
+		if err1 != nil || err2 != nil || got != want {
+			t.Fatalf("iteration %d: raw Simplify changed semantics of %s: %d (%v) != %d (%v)",
+				i, e, want, err1, got, err2)
+		}
+	}
+}
+
+// TestQuickInternedVsRawString: rendering is identical, and structural
+// equality holds across the interned/raw boundary in both directions.
+func TestQuickInternedVsRawString(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 2000; i++ {
+		e := randExpr(rng, 5, propFields)
+		raw := rawClone(e)
+		if e.String() != raw.String() {
+			t.Fatalf("iteration %d: String diverges:\n  interned: %s\n  raw:      %s", i, e, raw)
+		}
+		if !Equal(e, raw) || !Equal(raw, e) {
+			t.Fatalf("iteration %d: Equal(interned, raw) = false for %s", i, e)
+		}
+		if e.OpCount() != raw.OpCount() || e.Size() != raw.Size() {
+			t.Fatalf("iteration %d: size metrics diverge for %s", i, e)
+		}
+	}
+}
+
+// TestQuickInterningCanonical: constructing the same expression twice
+// yields the same pointer with the same stable ID, and the canonical
+// Key of the interned node matches across constructions while
+// differing from the raw clone's structural key only in spelling
+// (both must be self-consistent).
+func TestQuickInterningCanonical(t *testing.T) {
+	rng1 := rand.New(rand.NewSource(17))
+	rng2 := rand.New(rand.NewSource(17))
+	for i := 0; i < 500; i++ {
+		a := randExpr(rng1, 4, propFields)
+		b := randExpr(rng2, 4, propFields)
+		if a != b {
+			t.Fatalf("iteration %d: identical construction not pointer-equal: %s", i, a)
+		}
+		if a.ID() == 0 || a.ID() != b.ID() {
+			t.Fatalf("iteration %d: IDs diverge: %d vs %d", i, a.ID(), b.ID())
+		}
+		if a.Key() != b.Key() {
+			t.Fatalf("iteration %d: canonical keys diverge", i)
+		}
+		raw := rawClone(a)
+		if raw.Key() == a.Key() {
+			t.Fatalf("iteration %d: raw structural key collides with ID key %q", i, a.Key())
+		}
+	}
+}
 
 // Property: extracting the two halves of a value and concatenating
 // them reconstitutes the value, for every width split.

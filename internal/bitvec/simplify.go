@@ -16,11 +16,20 @@ package bitvec
 // and similar rules for the other 8/16/32/64-bit combinations.
 
 // rewriteBudget bounds the number of rewrite steps per Simplify call to
-// guarantee termination even if a rule pair were to oscillate.
-const rewriteBudget = 4096
+// guarantee termination even if a rule pair were to oscillate. It is a
+// safety net, not a cost bound, and is sized far past anything the
+// tracker can produce (shadow expressions cap at 50000 nodes): a call
+// that exhausts it returns a partial — still semantics-preserving —
+// form and skips the memo, so only a pathological oscillating input
+// could ever observe the budget, and ordinary expressions simplify
+// identically whether or not the per-node memo is warm.
+const rewriteBudget = 1 << 20
 
 // Simplify returns a simplified expression equivalent to e. The input
 // is never mutated; subtrees may be shared between input and output.
+// Results are memoised per interned node, so repeated simplification
+// of terms the process has already seen (taint trackers re-recording a
+// branch, the solver canonicalising a repeated query) is O(1).
 func Simplify(e *Expr) *Expr {
 	budget := rewriteBudget
 	return simplify(e, &budget)
@@ -29,6 +38,9 @@ func Simplify(e *Expr) *Expr {
 func simplify(e *Expr, budget *int) *Expr {
 	if e.Op.IsLeaf() {
 		return e
+	}
+	if s, ok := cachedSimplify(e); ok {
+		return s
 	}
 	ops := e.Operands()
 	newOps := make([]*Expr, len(ops))
@@ -46,6 +58,10 @@ func simplify(e *Expr, budget *int) *Expr {
 	for *budget > 0 {
 		m, ok := simplifyNode(n)
 		if !ok {
+			// A fixpoint reached with budget remaining is the true
+			// simplified form; memoise it. Budget-exhausted results are
+			// partial and must not be cached.
+			storeSimplify(e, n)
 			return n
 		}
 		*budget--
@@ -54,19 +70,9 @@ func simplify(e *Expr, budget *int) *Expr {
 	return n
 }
 
-// rebuild clones node e with the given operands.
-func rebuild(e *Expr, ops []*Expr) *Expr {
-	c := *e
-	switch len(ops) {
-	case 1:
-		c.X = ops[0]
-	case 2:
-		c.X, c.Y = ops[0], ops[1]
-	case 3:
-		c.X, c.Y, c.Y2 = ops[0], ops[1], ops[2]
-	}
-	return &c
-}
+// rebuild clones node e with the given operands through the interning
+// constructors, so simplified nodes stay hash-consed.
+func rebuild(e *Expr, ops []*Expr) *Expr { return Rebuild(e, ops) }
 
 func constOf(e *Expr) (uint64, bool) {
 	if e.Op == OpConst {

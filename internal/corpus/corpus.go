@@ -24,16 +24,20 @@ import (
 	"sort"
 
 	"codephage/internal/apps"
+	"codephage/internal/bitvec"
 	"codephage/internal/compile"
 	"codephage/internal/hachoir"
 	"codephage/internal/ir"
 	"codephage/internal/pipeline"
+	"codephage/internal/smt"
 	"codephage/internal/vm"
 )
 
 // Version is the index schema version; indexes written by other
-// versions are rebuilt wholesale.
-const Version = 1
+// versions are rebuilt wholesale. Version 2 canonicalizes signature
+// checks through the shared constraint service (semantically
+// equivalent conditions collapse to one entry).
+const Version = 2
 
 // Donor is the builder's view of one donor application. It carries
 // exactly what signature construction needs, so tests can index
@@ -194,8 +198,10 @@ func probesFor(format string, seed []byte, dis *hachoir.Dissection) [][]byte {
 }
 
 // buildSignature discovers one donor/format signature by running the
-// donor against the seed and every probe under check discovery.
-func buildSignature(d Donor, format string) (*Signature, error) {
+// donor against the seed and every probe under check discovery,
+// canonicalizing check conditions through the given constraint
+// service.
+func buildSignature(d Donor, format string, svc *smt.Service) (*Signature, error) {
 	dissector, ok := hachoir.ByName(format)
 	if !ok {
 		return nil, fmt.Errorf("corpus: donor %s lists unknown format %q", d.Name, format)
@@ -225,6 +231,18 @@ func buildSignature(d Donor, format string) (*Signature, error) {
 	}
 	condSeen := map[string]bool{}
 	fieldSeen := map[string]bool{}
+	// reps holds one representative expression per semantic
+	// equivalence class: structurally distinct conditions that the
+	// shared constraint service proves equivalent (e.g. the same guard
+	// recorded through two different byte-assembly paths) collapse to
+	// one signature entry. Queries are memoised service-wide, so a
+	// full index rebuild pays each distinct proof once.
+	type rep struct {
+		cond   *bitvec.Expr
+		fields string
+	}
+	var reps []rep
+	session := svc.Session()
 	var lastDiscErr error
 	discErrs := 0
 	for _, probe := range probes {
@@ -252,12 +270,31 @@ func buildSignature(d Donor, format string) (*Signature, error) {
 		}
 		for i := range disc.Checks {
 			cond := disc.Checks[i].Cond
-			key := cond.Key()
+			key := cond.Key() // O(1): terms are interned
 			if condSeen[key] {
 				continue
 			}
 			condSeen[key] = true
 			fields := cond.Fields()
+			fieldsKey := fmt.Sprint(fields)
+			// Semantic canonicalization: skip conditions provably
+			// equivalent to an already-kept representative over the
+			// same field set. Probe order is deterministic, so the
+			// kept representative — and the whole signature — is too.
+			dup := false
+			for _, r := range reps {
+				if r.fields != fieldsKey {
+					continue
+				}
+				if eq, err := session.Equiv(cond, r.cond); err == nil && eq {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			reps = append(reps, rep{cond: cond, fields: fieldsKey})
 			for _, f := range fields {
 				fieldSeen[f] = true
 			}
@@ -280,9 +317,10 @@ func buildSignature(d Donor, format string) (*Signature, error) {
 	return sig, nil
 }
 
-// Build constructs a fresh index over the given donors.
+// Build constructs a fresh index over the given donors, using the
+// process-wide constraint service for signature canonicalization.
 func Build(donors []Donor) (*Index, error) {
-	ix, _, err := refresh(nil, donors)
+	ix, _, err := refresh(nil, donors, smt.Default())
 	return ix, err
 }
 
@@ -292,10 +330,13 @@ func Build(donors []Donor) (*Index, error) {
 // in the set are dropped. It returns the reconciled index and the
 // number of signatures rebuilt.
 func Refresh(old *Index, donors []Donor) (*Index, int, error) {
-	return refresh(old, donors)
+	return refresh(old, donors, smt.Default())
 }
 
-func refresh(old *Index, donors []Donor) (*Index, int, error) {
+func refresh(old *Index, donors []Donor, svc *smt.Service) (*Index, int, error) {
+	if svc == nil {
+		svc = smt.Default()
+	}
 	reuse := map[string]*Signature{}
 	if old != nil && old.Version == Version {
 		for _, sig := range old.Signatures {
@@ -331,7 +372,7 @@ func refresh(old *Index, donors []Donor) (*Index, int, error) {
 					continue
 				}
 			}
-			sig, err := buildSignature(d, format)
+			sig, err := buildSignature(d, format, svc)
 			if err != nil {
 				return nil, rebuilt, err
 			}

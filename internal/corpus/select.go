@@ -14,6 +14,7 @@ import (
 	"codephage/internal/hachoir"
 	"codephage/internal/ir"
 	"codephage/internal/pipeline"
+	"codephage/internal/smt"
 	"codephage/internal/vm"
 )
 
@@ -203,6 +204,11 @@ type Selector struct {
 	Donors []Donor
 	// Loader overrides donor binary loading (nil = RegistryLoader).
 	Loader ModuleLoader
+	// Service is the constraint service signature building
+	// canonicalizes through (nil = smt.Default()). phaged points this
+	// at the service its shard engines share, so corpus queries warm —
+	// and are counted by — the same memo the transfers use.
+	Service *smt.Service
 
 	buildMu sync.Mutex // serializes index establishment
 	mu      sync.Mutex // guards the published fields below; never held across a build
@@ -236,7 +242,7 @@ func (s *Selector) Index() (*Index, error) {
 	if donors == nil {
 		donors = RegistryDonors()
 	}
-	ix, rebuilt, err := LoadOrBuild(s.Path, donors)
+	ix, rebuilt, err := loadOrBuild(s.Path, donors, s.Service)
 	if err != nil {
 		return nil, err
 	}

@@ -11,6 +11,8 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+
+	"codephage/internal/smt"
 )
 
 // Save writes the index as JSON, atomically (temp file + rename), so
@@ -73,6 +75,13 @@ func Load(path string) (*Index, error) {
 // only. The returned count is the number of signatures rebuilt (0
 // means the on-disk index was fully warm).
 func LoadOrBuild(path string, donors []Donor) (*Index, int, error) {
+	return loadOrBuild(path, donors, nil)
+}
+
+// loadOrBuild is LoadOrBuild over an explicit constraint service
+// (nil = the process-wide default); Selector routes its configured
+// service through here.
+func loadOrBuild(path string, donors []Donor, svc *smt.Service) (*Index, int, error) {
 	var old *Index
 	if path != "" {
 		ix, err := Load(path)
@@ -85,7 +94,7 @@ func LoadOrBuild(path string, donors []Donor) (*Index, int, error) {
 			// Unreadable or version-mismatched index: rebuild it.
 		}
 	}
-	ix, rebuilt, err := refresh(old, donors)
+	ix, rebuilt, err := refresh(old, donors, svc)
 	if err != nil {
 		return nil, rebuilt, err
 	}

@@ -22,6 +22,7 @@ import (
 	"codephage/internal/bitvec"
 	"codephage/internal/hachoir"
 	"codephage/internal/ir"
+	"codephage/internal/smt"
 	"codephage/internal/taint"
 	"codephage/internal/vm"
 )
@@ -57,6 +58,13 @@ type Options struct {
 	MaxWrapped uint64
 	// Seed for the random probe stream.
 	RandSeed int64
+	// Service is the shared constraint service used to prove
+	// un-wrappable allocation sites unsatisfiable before the concrete
+	// search runs (nil = the process-wide smt.Default()). Verdicts are
+	// memoised per size expression, so residual rescans of patched
+	// builds — which re-taint the same allocation sites every round —
+	// skip straight past sites proven overflow-free.
+	Service *smt.Service
 }
 
 func (o *Options) maxWrapped() uint64 {
@@ -65,6 +73,16 @@ func (o *Options) maxWrapped() uint64 {
 	}
 	return 1 << 20
 }
+
+func (o *Options) service() *smt.Service {
+	if o.Service != nil {
+		return o.Service
+	}
+	return smt.Default()
+}
+
+// prefilterConflictBudget bounds each per-site unsatisfiability proof.
+const prefilterConflictBudget = 4000
 
 // Widen rewrites a size expression to compute without 32-bit wrapping:
 // leaves are zero-extended to 64 bits and arithmetic happens at width
@@ -183,13 +201,34 @@ func Discover(mod *ir.Module, seed []byte, dis *hachoir.Dissection, opts Options
 	if !res.OK() {
 		return nil, fmt.Errorf("diode: seed input already crashes: %v", res.Trap)
 	}
-	rng := rand.New(rand.NewSource(opts.RandSeed + 0xD10DE))
+	session := opts.service().Session()
+	// The prefilter proof gets a small conflict budget: cheap UNSAT
+	// proofs (narrow fields, masked sizes) land well inside it, while
+	// hard ones exhaust it, skip the memo, and fall through to the
+	// concrete search — so a cold site never costs more than a
+	// bounded solver call on top of what the search already paid.
+	session.MaxConflicts = prefilterConflictBudget
 
-	for _, a := range allocs {
+	for ai, a := range allocs {
 		fnName := mod.Funcs[a.Fn].Name
 		if opts.VulnFn != "" && fnName != opts.VulnFn {
 			continue
 		}
+		// Solver prefilter: a site whose overflow condition is
+		// unsatisfiable cannot wrap for any field assignment, so the
+		// concrete corner/random search below would come up empty —
+		// skip it. The verdict is memoised in the shared service, so
+		// every rescan round and every batch task re-observing this
+		// site answers in O(1). Sat or budget-exhausted verdicts fall
+		// through to the search unchanged; with the probe stream
+		// seeded per site (below), the skip is output-neutral: it only
+		// elides provably empty searches and never perturbs another
+		// site's candidates.
+		cond := OverflowCond(a.SizeExpr, opts.maxWrapped())
+		if sat, _, err := session.Sat(cond); err == nil && !sat {
+			continue
+		}
+		rng := rand.New(rand.NewSource(opts.RandSeed + 0xD10DE + int64(ai)*0x9E3779B9))
 		for _, cand := range searchWrap(a.SizeExpr, dis, seed, opts.maxWrapped(), rng) {
 			input := MutateFields(seed, dis, cand.assign)
 			v := vm.New(mod, input)

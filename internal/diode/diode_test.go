@@ -68,7 +68,7 @@ func TestOverflowCondSatisfiableForVulnerableSize(t *testing.T) {
 	h := bitvec.Field("h", 32, 4)
 	size := bitvec.Mul(bitvec.Mul(w, h), bitvec.Const(32, 4))
 	cond := OverflowCond(size, 1<<20)
-	s := smt.New()
+	s := smt.NewService(smt.Config{}).Session()
 	ok, m, err := s.Sat(cond)
 	if err != nil {
 		t.Fatal(err)
@@ -97,7 +97,7 @@ func TestOverflowCondUnsatisfiableUnderGuard(t *testing.T) {
 		bitvec.Ule(w, bitvec.Const(8, 100)),
 		bitvec.Ule(h, bitvec.Const(8, 100)))
 	cond := bitvec.And(guard, OverflowCond(size, 1<<20))
-	s := smt.New()
+	s := smt.NewService(smt.Config{}).Session()
 	ok, m, err := s.Sat(cond)
 	if err != nil {
 		t.Fatal(err)

@@ -18,6 +18,7 @@ import (
 	"codephage/internal/ir"
 	"codephage/internal/phage"
 	"codephage/internal/pipeline"
+	"codephage/internal/smt"
 )
 
 // Row is one Figure 8 table row.
@@ -57,20 +58,30 @@ var (
 // Discovery results are memoised per target, so every donor evaluated
 // against the same error shares one DIODE/fuzzing run.
 func ErrorInputFor(tgt *apps.Target) ([]byte, error) {
+	return errorInputFor(tgt, nil)
+}
+
+// errorInputFor is ErrorInputFor over an explicit constraint service
+// for DIODE's discovery queries (nil = the process default);
+// NewTransfer threads Options.Service through so the phaged request
+// path runs discovery on the server's shared service. The discovered
+// input is memoised per target — the service only affects where the
+// first discovery's verdicts are cached, never the input found.
+func errorInputFor(tgt *apps.Target, svc *smt.Service) ([]byte, error) {
 	errInputMu.Lock()
 	memo, ok := errInputMemo[tgt.Recipient+"\x00"+tgt.ID]
 	errInputMu.Unlock()
 	if ok {
 		return memo.input, memo.err
 	}
-	input, err := discoverErrorInput(tgt)
+	input, err := discoverErrorInput(tgt, svc)
 	errInputMu.Lock()
 	errInputMemo[tgt.Recipient+"\x00"+tgt.ID] = errInput{input: input, err: err}
 	errInputMu.Unlock()
 	return input, err
 }
 
-func discoverErrorInput(tgt *apps.Target) ([]byte, error) {
+func discoverErrorInput(tgt *apps.Target, svc *smt.Service) ([]byte, error) {
 	if tgt.Error != nil {
 		return tgt.Error, nil
 	}
@@ -92,7 +103,7 @@ func discoverErrorInput(tgt *apps.Target) ([]byte, error) {
 	}
 	switch tgt.Kind {
 	case apps.Overflow:
-		f, err := diode.Discover(mod, tgt.Seed, dis, diode.Options{VulnFn: tgt.VulnFn})
+		f, err := diode.Discover(mod, tgt.Seed, dis, diode.Options{VulnFn: tgt.VulnFn, Service: svc})
 		if err != nil {
 			return nil, err
 		}
@@ -130,7 +141,7 @@ func NewTransfer(tgt *apps.Target, donorName string, opts phage.Options) (*phage
 			return nil, err
 		}
 	}
-	errIn, err := ErrorInputFor(tgt)
+	errIn, err := errorInputFor(tgt, opts.Service)
 	if err != nil {
 		return nil, err
 	}

@@ -13,11 +13,7 @@
 package phage
 
 import (
-	"codephage/internal/bitvec"
-	"codephage/internal/hachoir"
-	"codephage/internal/ir"
 	"codephage/internal/pipeline"
-	"codephage/internal/smt"
 )
 
 // Core task and result types.
@@ -61,69 +57,54 @@ const (
 	ReturnZero = pipeline.ReturnZero
 )
 
-// DiscoverChecks runs the donor on the seed and error-triggering
-// inputs and excises a candidate check from every flipped branch.
-func DiscoverChecks(donor *ir.Module, seed, errIn []byte, dis *hachoir.Dissection, relevant map[int]bool, noSimplify bool) (*Discovery, error) {
-	return pipeline.DiscoverChecks(donor, seed, errIn, dis, relevant, noSimplify)
-}
+// The façade carries no logic of its own: every re-export below is a
+// direct assignment of the pipeline implementation, so the behaviour
+// exists exactly once (a façade wrapper body, even a one-liner, is a
+// place for drift to hide).
+var (
+	// DiscoverChecks runs the donor on the seed and error-triggering
+	// inputs and excises a candidate check from every flipped branch.
+	DiscoverChecks = pipeline.DiscoverChecks
 
-// SelectDonors filters a donor database down to the applications that
-// process both the seed and the error-triggering input successfully.
-func SelectDonors(db []*ir.Module, seed, errIn []byte) []*ir.Module {
-	return pipeline.SelectDonors(db, seed, errIn)
-}
+	// SelectDonors filters a donor database down to the applications
+	// that process both the seed and the error-triggering input
+	// successfully.
+	SelectDonors = pipeline.SelectDonors
 
-// AnalyzeInsertionPoints finds the candidate insertion points for a
-// check over the given input fields.
-func AnalyzeInsertionPoints(recipient *ir.Module, seed []byte, dis *hachoir.Dissection, checkFields []string, relevant map[int]bool) (*InsertionAnalysis, error) {
-	return pipeline.AnalyzeInsertionPoints(recipient, seed, dis, checkFields, relevant)
-}
+	// AnalyzeInsertionPoints finds the candidate insertion points for a
+	// check over the given input fields.
+	AnalyzeInsertionPoints = pipeline.AnalyzeInsertionPoints
 
-// Rewrite implements Figure 7: translate the expression into the name
-// space of the recipient.
-func Rewrite(e *bitvec.Expr, names []Name, solver *smt.Solver) *bitvec.Expr {
-	return pipeline.Rewrite(e, names, solver)
-}
+	// Rewrite implements Figure 7: translate the expression into the
+	// name space of the recipient, querying the shared constraint
+	// service through the given session.
+	Rewrite = pipeline.Rewrite
 
-// CheckHolds evaluates the translated check against concrete values.
-func CheckHolds(translated *bitvec.Expr, fieldEnv map[string]uint64, names []Name) (bool, error) {
-	return pipeline.CheckHolds(translated, fieldEnv, names)
-}
+	// CheckHolds evaluates the translated check against concrete values.
+	CheckHolds = pipeline.CheckHolds
 
-// RenderExpr renders a translated expression as MiniC text.
-func RenderExpr(e *bitvec.Expr) (string, error) { return pipeline.RenderExpr(e) }
+	// RenderExpr renders a translated expression as MiniC text.
+	RenderExpr = pipeline.RenderExpr
 
-// PatchText renders the complete guard statement for a check.
-func PatchText(translated *bitvec.Expr, mode ExitMode) (string, error) {
-	return pipeline.PatchText(translated, mode)
-}
+	// PatchText renders the complete guard statement for a check.
+	PatchText = pipeline.PatchText
 
-// InsertPatchLine inserts the patch immediately after the given line.
-func InsertPatchLine(src string, afterLine int32, patch string) (string, error) {
-	return pipeline.InsertPatchLine(src, afterLine, patch)
-}
+	// InsertPatchLine inserts the patch immediately after the given line.
+	InsertPatchLine = pipeline.InsertPatchLine
 
-// InsertBeforeLine inserts the patch immediately before the given line.
-func InsertBeforeLine(src string, line int32, patch string) (string, error) {
-	return pipeline.InsertBeforeLine(src, line, patch)
-}
+	// InsertBeforeLine inserts the patch immediately before the given line.
+	InsertBeforeLine = pipeline.InsertBeforeLine
 
-// ValidatePatch recompiles the patched recipient and subjects it to
-// the paper's validation steps. This re-export must stay a var: the
-// baseline parameter's element type is unexported in pipeline (as it
-// was here before the move), so a wrapper func cannot spell the
-// signature.
-var ValidatePatch = pipeline.ValidatePatch
+	// ValidatePatch recompiles the patched recipient and subjects it to
+	// the paper's validation steps.
+	ValidatePatch = pipeline.ValidatePatch
 
-// BinaryPatch splices the compiled check into a clone of the module.
-func BinaryPatch(mod *ir.Module, fnName string, line int32, translated *bitvec.Expr, mode ExitMode) (*ir.Module, error) {
-	return pipeline.BinaryPatch(mod, fnName, line, translated, mode)
-}
+	// BinaryPatch splices the compiled check into a clone of the module.
+	BinaryPatch = pipeline.BinaryPatch
 
-// TryDonors attempts the transfer with each donor in turn.
-func TryDonors(template *Transfer, donors []DonorCandidate) (*Result, string, error) {
-	return pipeline.TryDonors(template, donors)
-}
+	// TryDonors attempts the transfer with each donor in turn.
+	TryDonors = pipeline.TryDonors
 
-// Diff returns a unified-style rendering of the inserted patch lines.
-func Diff(original, patched string) string { return pipeline.Diff(original, patched) }
+	// Diff returns a unified-style rendering of the inserted patch lines.
+	Diff = pipeline.Diff
+)

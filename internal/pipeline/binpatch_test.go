@@ -112,7 +112,7 @@ func reTranslate(t *testing.T, tr *Transfer, fnName string, line int32) *bitvec.
 		t.Fatal(err)
 	}
 	_, _, stable := analysis.Candidates()
-	solver := smt.New()
+	solver := smt.NewService(smt.Config{}).Session()
 	for _, p := range stable {
 		if p.FnName == fnName && p.Line == line {
 			tru := Rewrite(check.Cond, p.Names, solver)

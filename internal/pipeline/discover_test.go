@@ -151,7 +151,7 @@ void main() {
 }
 
 func TestRewriteDecomposition(t *testing.T) {
-	solver := smt.New()
+	solver := smt.NewService(smt.Config{}).Session()
 	w := bitvec.Field("w", 16, 0)
 	h := bitvec.Field("h", 16, 2)
 	names := []Name{
@@ -170,7 +170,7 @@ func TestRewriteDecomposition(t *testing.T) {
 }
 
 func TestRewriteCastBridging(t *testing.T) {
-	solver := smt.New()
+	solver := smt.NewService(smt.Config{}).Session()
 	w := bitvec.Field("w", 16, 0)
 	names := []Name{{Path: "img.w", W: 32, Expr: bitvec.ZExt(32, w)}}
 	// A 64-bit use of the field must match through a widening cast.
@@ -191,7 +191,7 @@ func TestRewriteCastBridging(t *testing.T) {
 }
 
 func TestRewriteFailsWithoutValues(t *testing.T) {
-	solver := smt.New()
+	solver := smt.NewService(smt.Config{}).Session()
 	w := bitvec.Field("w", 16, 0)
 	h := bitvec.Field("h", 16, 2)
 	names := []Name{{Path: "img.w", W: 32, Expr: bitvec.ZExt(32, w)}}
@@ -203,7 +203,7 @@ func TestRewriteFailsWithoutValues(t *testing.T) {
 }
 
 func TestRewriteConstantsTranslateDirectly(t *testing.T) {
-	solver := smt.New()
+	solver := smt.NewService(smt.Config{}).Session()
 	e := bitvec.Const(32, 42)
 	tr := Rewrite(e, nil, solver)
 	if tr == nil || tr.Op != bitvec.OpConst || tr.Val != 42 {
@@ -214,7 +214,7 @@ func TestRewriteConstantsTranslateDirectly(t *testing.T) {
 func TestRewriteEquivalentComputationRecognised(t *testing.T) {
 	// The JasPer scenario: the recipient stores the product tw*th; the
 	// donor check recomputes it. The solver must equate them.
-	solver := smt.New()
+	solver := smt.NewService(smt.Config{}).Session()
 	tx := bitvec.Field("tx", 8, 0)
 	ty := bitvec.Field("ty", 8, 1)
 	product := bitvec.Mul(bitvec.ZExt(32, tx), bitvec.ZExt(32, ty))

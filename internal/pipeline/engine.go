@@ -18,9 +18,10 @@
 // (rank-then-reduce: the first-ranked validating candidate wins, never
 // the first to finish), so parallel runs return byte-identical results
 // to sequential ones. Recipient compiles go through a content-keyed
-// module cache, and each transfer translates on its own private SMT
-// solver (forked from the caller's template) so concurrent work never
-// shares solver state.
+// module cache, and every symbolic query — translation, overflow
+// proofs, rescans — runs through one shared memoizing constraint
+// service (internal/smt.Service) on a private per-transfer session,
+// so concurrent work shares verdicts without sharing mutable state.
 package pipeline
 
 import (
@@ -54,12 +55,12 @@ type Options struct {
 	MaxSteps int64
 	// NoSimplify disables the Figure 5 rewrite rules (ablation).
 	NoSimplify bool
-	// Solver is the template solver (ablation hooks): its
-	// configuration is forked into each transfer's private solver and
-	// the transfer's statistics are merged back into it, so one
-	// template can safely serve many concurrent transfers.
-	// Nil = fresh defaults.
-	Solver *smt.Solver
+	// Service overrides the constraint service for this transfer
+	// (ablation hooks: a service with the memo or prefilter disabled).
+	// Nil = the engine's shared service. The transfer's query session
+	// is always private; its statistics merge into the engine
+	// aggregate when Run finishes.
+	Service *smt.Service
 	// DisableDiodeRescan skips the residual-error scan.
 	DisableDiodeRescan bool
 	// DiodeRandSeed seeds the residual scans.
@@ -143,7 +144,8 @@ func (r *Result) UsedChecks() int { return len(r.Rounds) }
 
 // Engine drives transfers through the staged pipeline. One engine can
 // serve many concurrent transfers: the compile cache, the baseline
-// cache and the solver statistics are shared and synchronised.
+// cache, the shared constraint service and the solver statistics are
+// shared and synchronised.
 type Engine struct {
 	// Workers bounds the candidate-validation fan-out per transfer
 	// (0 = GOMAXPROCS).
@@ -155,6 +157,11 @@ type Engine struct {
 	// transfers fail). internal/corpus provides the indexed knowledge
 	// base implementation.
 	Selector DonorSelector
+	// Service is the shared constraint service every stage queries —
+	// Discover/Translate sessions, validation's overflow-freedom
+	// proofs, and the DIODE rescans all route through it (nil = the
+	// process-wide smt.Default()).
+	Service *smt.Service
 
 	mu        sync.Mutex
 	stats     smt.Stats
@@ -194,6 +201,14 @@ func (e *Engine) compiler() *compile.Cache {
 	return compile.Default()
 }
 
+// service returns the engine's constraint service.
+func (e *Engine) service() *smt.Service {
+	if e.Service != nil {
+		return e.Service
+	}
+	return smt.Default()
+}
+
 func (e *Engine) workers(t *Transfer) int {
 	if t.Opts.Workers > 0 {
 		return t.Opts.Workers
@@ -209,7 +224,7 @@ type TransferContext struct {
 	Engine   *Engine
 	Transfer *Transfer
 	Dis      *hachoir.Dissection
-	Solver   *smt.Solver // template: forked per check, stats merged back
+	Solver   *smt.Session // private session on the shared service
 	Compiler *compile.Cache
 
 	// Round state.
@@ -298,17 +313,14 @@ func (e *Engine) runResolved(t *Transfer) (*Result, error) {
 	}
 
 	res.GenTime = time.Since(start)
-	res.OverflowFreeProven = e.overflowVerdict(guards, sizeExprs)
-	// ctx.Solver is private to this transfer, so its Stats are exactly
-	// this transfer's activity: merge them into the engine aggregate
-	// and back into the caller's template solver (if any) under the
-	// engine lock, so shared templates neither race nor double-count.
+	res.OverflowFreeProven = e.overflowVerdict(ctx.Solver.Service(), guards, sizeExprs)
+	// ctx.Solver is a private session on the shared service, so its
+	// Stats are exactly this transfer's activity: merge them into the
+	// engine aggregate under the engine lock, so concurrent transfers
+	// neither race nor double-count.
 	res.SolverStats = ctx.Solver.Stats
 	e.mu.Lock()
 	e.stats.Merge(ctx.Solver.Stats)
-	if t.Opts.Solver != nil {
-		t.Opts.Solver.Stats.Merge(ctx.Solver.Stats)
-	}
 	e.mu.Unlock()
 	return res, nil
 }
@@ -316,17 +328,16 @@ func (e *Engine) runResolved(t *Transfer) (*Result, error) {
 // newContext vets the task (format, donor behaviour) and establishes
 // the baseline regression behaviour of the original recipient.
 func (e *Engine) newContext(t *Transfer) (*TransferContext, error) {
-	// The per-transfer template solver is always a private instance:
-	// a caller-provided Opts.Solver contributes its configuration via
-	// Fork (and receives the transfer's stats back under the engine
-	// lock when Run finishes), so batch tasks sharing one ablation
-	// solver never race on its state.
-	var solver *smt.Solver
-	if t.Opts.Solver != nil {
-		solver = t.Opts.Solver.Fork()
-	} else {
-		solver = smt.New()
+	// The transfer's query handle is always a private session: the
+	// underlying service (with its verdict memo, CNF memo and
+	// persistent solver) is shared engine-wide — or process-wide via
+	// smt.Default() — so batch tasks never race on session state yet
+	// still share every verdict.
+	svc := t.Opts.Service
+	if svc == nil {
+		svc = e.service()
 	}
+	solver := svc.Session()
 	dissector, ok := hachoir.ByName(t.Format)
 	if !ok {
 		return nil, fmt.Errorf("phage: unknown input format %q", t.Format)
@@ -459,9 +470,10 @@ type patchCandidate struct {
 }
 
 // stageTranslate rewrites the check at every stable insertion point on
-// a forked per-check solver and ranks the generated patches by size
-// (§2): the deterministic rank order is what the validator reduces
-// over, so parallel validation cannot change the winning patch.
+// the transfer's private service session and ranks the generated
+// patches by size (§2): the deterministic rank order is what the
+// validator reduces over, so parallel validation cannot change the
+// winning patch.
 type stageTranslate struct{}
 
 func (stageTranslate) Name() string { return "Translate" }
@@ -471,11 +483,11 @@ func (stageTranslate) Run(ctx *TransferContext) error {
 	total, unstable, stable := ctx.Analysis.Candidates()
 
 	// Translate the check at every stable point (§3.3) on the
-	// transfer's private solver: checks are tried strictly
-	// sequentially within a transfer, so sharing one solver across
-	// checks and rounds keeps the §3.3 query cache effective, while
-	// concurrent transfers still never contend (each Run forks its
-	// own solver from the caller's template in newContext).
+	// transfer's private session: checks are tried strictly
+	// sequentially within a transfer, and the session's service-backed
+	// memo means repeated queries — across checks, rounds, and every
+	// other transfer on the same service — are answered without
+	// re-proving.
 	solver := ctx.Solver
 	var candidates []patchCandidate
 	untranslatable := 0
@@ -650,6 +662,10 @@ func (stageRescan) scan(ctx *TransferContext) (*diode.Finding, bool, error) {
 	finding, err := diode.Discover(ctx.PatchedMod, t.Seed, ctx.Dis, diode.Options{
 		VulnFn: t.VulnFn, MaxSteps: t.Opts.MaxSteps,
 		RandSeed: t.Opts.DiodeRandSeed + int64(ctx.Round),
+		// Rescans ride the transfer's constraint service: sites proven
+		// overflow-free once stay skipped for every later round and
+		// every other transfer on the service.
+		Service: ctx.Solver.Service(),
 	})
 	if err != nil {
 		return nil, false, err
@@ -723,11 +739,13 @@ const maxBaselineEntries = 256
 // proofConflictBudget bounds each overflow-freedom SAT call.
 const proofConflictBudget = 20000
 
-// overflowVerdict runs (and caches) the overflow-freedom argument.
-// The verdict is a pure function of the guard and size expressions,
-// and the bounded UNSAT search dominates repeated transfers of the
-// same patch set, so the engine memoises it by expression content.
-func (e *Engine) overflowVerdict(guards, sizeExprs []*bitvec.Expr) *bool {
+// overflowVerdict runs (and caches) the overflow-freedom argument on
+// the given constraint service (the transfer's own). The verdict is a
+// pure function of the guard and size expressions, and the bounded
+// UNSAT search dominates repeated transfers of the same patch set, so
+// the engine memoises it by expression content (on top of the shared
+// service's own query memo).
+func (e *Engine) overflowVerdict(svc *smt.Service, guards, sizeExprs []*bitvec.Expr) *bool {
 	if len(guards) == 0 || len(sizeExprs) == 0 {
 		return nil
 	}
@@ -754,10 +772,15 @@ func (e *Engine) overflowVerdict(guards, sizeExprs []*bitvec.Expr) *bool {
 	// satisfiable cases fall out of concrete probing almost instantly,
 	// while full UNSAT proofs over 64-bit multipliers are routinely out
 	// of reach — the verdict is then "unproven" (nil), and the DIODE
-	// residual scan remains the operative evidence.
-	proofSolver := smt.New()
-	proofSolver.MaxConflicts = proofConflictBudget
-	v := proveOverflowFree(proofSolver, guards, sizeExprs)
+	// residual scan remains the operative evidence. The session rides
+	// the transfer's service, so the proof queries hit the same memo as
+	// everything else.
+	// Proof-session stats stay out of the engine aggregate (as the old
+	// throwaway proof solvers did): the engine aggregate equals the sum
+	// of per-result stats, and the service's own counters cover these.
+	proofSession := svc.Session()
+	proofSession.MaxConflicts = proofConflictBudget
+	v := proveOverflowFree(proofSession, guards, sizeExprs)
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -776,7 +799,7 @@ func (e *Engine) overflowVerdict(guards, sizeExprs []*bitvec.Expr) *bool {
 // sizes (§1.1: additional validation for integer overflow errors).
 // Returns nil when the verdict is unknown (budget exhausted) or there
 // is nothing to prove.
-func proveOverflowFree(solver *smt.Solver, guards, sizeExprs []*bitvec.Expr) *bool {
+func proveOverflowFree(solver *smt.Session, guards, sizeExprs []*bitvec.Expr) *bool {
 	if len(guards) == 0 || len(sizeExprs) == 0 {
 		return nil
 	}

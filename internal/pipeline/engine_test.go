@@ -236,25 +236,25 @@ func TestStageNames(t *testing.T) {
 	}
 }
 
-// TestSharedTemplateSolverAcrossBatch: many concurrent tasks may
-// share one ablation template solver (Opts.Solver). The engine must
-// fork it per transfer — no races under -race — and aggregate stats
+// TestSharedServiceAcrossBatch: many concurrent tasks run over one
+// shared constraint service. The engine must give each transfer a
+// private session — no races under -race — and aggregate stats
 // without double counting: the engine total equals the sum of the
-// per-result stats, and the template accumulates the same total.
-func TestSharedTemplateSolverAcrossBatch(t *testing.T) {
+// per-result stats. Identical tasks must share verdicts through the
+// service memo instead of re-proving.
+func TestSharedServiceAcrossBatch(t *testing.T) {
 	tgt, err := apps.TargetByID("gif2tiff", "gif2tiff.c@355")
 	if err != nil {
 		t.Fatal(err)
 	}
-	template := smt.New()
+	svc := smt.NewService(smt.Config{})
 	base := buildTransfer(t, tgt, "magick9")
 	var tasks []BatchTask
 	for i := 0; i < 4; i++ {
 		tr := *base
-		tr.Opts.Solver = template
 		tasks = append(tasks, BatchTask{ID: fmt.Sprintf("t%d", i), Transfer: &tr})
 	}
-	eng := &Engine{Compiler: compile.NewCache(0)}
+	eng := &Engine{Compiler: compile.NewCache(0), Service: svc}
 	results, stats := (&Batch{Engine: eng, Workers: 4}).Run(tasks)
 	if stats.Failed != 0 {
 		t.Fatalf("failed: %d", stats.Failed)
@@ -266,8 +266,13 @@ func TestSharedTemplateSolverAcrossBatch(t *testing.T) {
 	if got := eng.SolverStats(); got != sum {
 		t.Errorf("engine stats %+v != sum of per-result stats %+v (double count?)", got, sum)
 	}
-	if template.Stats != sum {
-		t.Errorf("template stats %+v != sum %+v", template.Stats, sum)
+	st := svc.Stats()
+	if st.MemoHits == 0 {
+		t.Error("identical tasks produced no shared memo hits")
+	}
+	if st.Queries == 0 || st.Sessions < 4 {
+		t.Errorf("service saw %d queries over %d sessions, want activity from every task",
+			st.Queries, st.Sessions)
 	}
 }
 

@@ -12,7 +12,10 @@ import (
 // symbolic meaning; failing that it decomposes the expression and
 // rewrites the operands recursively. Constants translate directly.
 // It returns nil when the expression cannot be expressed at the point.
-func Rewrite(e *bitvec.Expr, names []Name, solver *smt.Solver) *bitvec.Expr {
+// The solver session rides the shared constraint service, so repeated
+// subtree queries across points, checks, rounds and transfers resolve
+// from the engine-wide memo.
+func Rewrite(e *bitvec.Expr, names []Name, solver *smt.Session) *bitvec.Expr {
 	// A single recipient value equivalent to the whole expression?
 	for _, n := range names {
 		if n.W != e.W {
@@ -57,16 +60,10 @@ func Rewrite(e *bitvec.Expr, names []Name, solver *smt.Solver) *bitvec.Expr {
 		}
 		newOps[i] = r
 	}
-	c := *e
-	switch len(newOps) {
-	case 1:
-		c.X = newOps[0]
-	case 2:
-		c.X, c.Y = newOps[0], newOps[1]
-	case 3:
-		c.X, c.Y, c.Y2 = newOps[0], newOps[1], newOps[2]
-	}
-	return &c
+	// Rebuild through the interning constructors so translated
+	// expressions stay hash-consed (struct-copying would bypass the
+	// interner and forfeit O(1) keys downstream).
+	return bitvec.Rebuild(e, newOps)
 }
 
 // CheckHolds evaluates the translated check against concrete recipient

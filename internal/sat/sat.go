@@ -106,7 +106,9 @@ type Solver struct {
 	ok        bool // false after a top-level conflict
 	conflicts int64
 
-	// MaxConflicts bounds the search; <= 0 means no bound.
+	// MaxConflicts bounds each Solve call (not the solver lifetime);
+	// <= 0 means no bound. An incremental solver answering many
+	// queries gets the full budget per query.
 	MaxConflicts int64
 }
 
@@ -147,13 +149,15 @@ func (s *Solver) litValue(l Lit) lbool {
 }
 
 // AddClause adds a clause. It returns false if the formula is already
-// unsatisfiable at the top level.
+// unsatisfiable at the top level. Calling AddClause after a Solve
+// (incremental use) first retracts the previous search's decisions, so
+// a persistent solver can grow its clause database between queries.
 func (s *Solver) AddClause(lits ...Lit) bool {
 	if !s.ok {
 		return false
 	}
 	if s.decisionLevel() != 0 {
-		panic("sat: AddClause above decision level 0")
+		s.backtrackTo(0)
 	}
 	// Sort, dedupe, drop satisfied/false literals.
 	ls := append([]Lit(nil), lits...)
@@ -461,6 +465,7 @@ func (s *Solver) Solve(assumptions ...Lit) Result {
 		return Unsat
 	}
 	s.backtrackTo(0)
+	startConflicts := s.conflicts
 	maxLearnts := len(s.clauses)/3 + 100
 	var restart int64 = 1
 	budget := luby(restart) * 100
@@ -486,7 +491,7 @@ func (s *Solver) Solve(assumptions ...Lit) Result {
 			}
 			s.varInc /= 0.95
 			s.clauseInc /= 0.999
-			if s.MaxConflicts > 0 && s.conflicts >= s.MaxConflicts {
+			if s.MaxConflicts > 0 && s.conflicts-startConflicts >= s.MaxConflicts {
 				s.backtrackTo(0)
 				return Unknown
 			}

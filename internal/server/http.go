@@ -193,6 +193,25 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	p("phaged_corpus_selections_total %d\n", st.Corpus.Selections)
 	p("phaged_corpus_candidates_total %d\n", st.Corpus.Candidates)
 	p("phaged_corpus_survivors_total %d\n", st.Corpus.Survivors)
+	p("phaged_solver_sessions_total %d\n", st.Solver.Sessions)
+	p("phaged_solver_queries_total %d\n", st.Solver.Queries)
+	p("phaged_solver_memo_hits_total %d\n", st.Solver.MemoHits)
+	p("phaged_solver_memo_misses_total %d\n", st.Solver.MemoMisses)
+	p("phaged_solver_memo_evictions_total %d\n", st.Solver.MemoEvictions)
+	p("phaged_solver_memo_entries %d\n", st.Solver.MemoEntries)
+	p("phaged_solver_sat_calls_total %d\n", st.Solver.SATCalls)
+	p("phaged_solver_sat_time_seconds %f\n", st.Solver.SATTime.Seconds())
+	p("phaged_solver_cnf_memo_hits_total %d\n", st.Solver.CNFHits)
+	p("phaged_solver_cnf_memo_misses_total %d\n", st.Solver.CNFMisses)
+	p("phaged_solver_core_resets_total %d\n", st.Solver.SolverResets)
+	p("phaged_solver_core_vars %d\n", st.Solver.Vars)
+	p("phaged_solver_core_clauses %d\n", st.Solver.Clauses)
+	p("phaged_interned_terms %d\n", st.Intern.Terms)
+	p("phaged_interned_hits_total %d\n", st.Intern.Hits)
+	p("phaged_interned_misses_total %d\n", st.Intern.Misses)
+	p("phaged_interned_overflow_total %d\n", st.Intern.Overflow)
+	p("phaged_interned_simplify_hits_total %d\n", st.Intern.SimplifyHits)
+	p("phaged_interned_simplify_misses_total %d\n", st.Intern.SimplifyMisses)
 	for i, es := range st.ShardStats {
 		p("phaged_shard_solver_queries_total{shard=\"%d\"} %d\n", i, es.Solver.Queries)
 		p("phaged_shard_solver_cache_hits_total{shard=\"%d\"} %d\n", i, es.Solver.CacheHits)

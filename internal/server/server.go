@@ -22,10 +22,12 @@ import (
 	"time"
 
 	"codephage/internal/apps"
+	"codephage/internal/bitvec"
 	"codephage/internal/compile"
 	"codephage/internal/corpus"
 	"codephage/internal/figure8"
 	"codephage/internal/pipeline"
+	"codephage/internal/smt"
 )
 
 // Config tunes a Server.
@@ -99,6 +101,7 @@ type Server struct {
 	cfg      Config
 	compiler *compile.Cache
 	corpus   *corpus.Selector
+	solver   *smt.Service
 	shards   []*shard
 
 	mu        sync.Mutex
@@ -119,15 +122,23 @@ func New(cfg Config) *Server {
 		cfg:      cfg,
 		compiler: compile.NewCache(0),
 		corpus:   corpus.NewSelector(cfg.CorpusPath),
+		solver:   smt.NewService(smt.Config{}),
 		jobs:     map[string]*Job{},
 		byKey:    map[string]*Job{},
 	}
+	// Corpus signature building canonicalizes through the same service
+	// the shard engines query, so its verdicts (and counters) live in
+	// the one place /metrics watches.
+	s.corpus.Service = s.solver
 	for i := 0; i < cfg.shards(); i++ {
 		eng := pipeline.NewEngine()
 		eng.Compiler = s.compiler
 		// Every shard answers auto-donor requests from the one shared
-		// warm index.
+		// warm index, and every shard's symbolic queries route through
+		// the one shared constraint service: a verdict proven for any
+		// request is a memo hit for every later request on any shard.
 		eng.Selector = s.corpus
+		eng.Service = s.solver
 		s.shards = append(s.shards, &shard{
 			id:     i,
 			engine: eng,
@@ -286,6 +297,12 @@ func (s *Server) execute(sh *shard, req *Request) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Route the whole request — error-input discovery inside
+	// NewTransfer included — through the server's shared constraint
+	// service, so every symbolic verdict lands in the one memo
+	// /metrics watches. (The shard engine would default to it anyway
+	// via Engine.Service; discovery would not.)
+	opts.Service = s.solver
 	if opts.Workers == 0 {
 		// Divide the CPU budget across the server's total worker count
 		// so concurrent jobs do not oversubscribe quadratically, the
@@ -355,7 +372,13 @@ type Stats struct {
 	Compile       compile.CacheStats
 	// Corpus is the donor knowledge-base state (zero until the first
 	// auto-donor request or /corpus query builds the index).
-	Corpus     corpus.SelectorStats
+	Corpus corpus.SelectorStats
+	// Solver is the shared constraint service: verdict-memo hit/miss/
+	// eviction counters, incremental-core gauges and SAT totals.
+	Solver smt.ServiceStats
+	// Intern is the process-wide bitvec interner state backing the
+	// hash-consed term table.
+	Intern     bitvec.InternStats
 	ShardStats []pipeline.EngineStats
 }
 
@@ -372,6 +395,8 @@ func (s *Server) Stats() Stats {
 		Failed:        s.counter.failed.Load(),
 		Compile:       s.compiler.Stats(),
 		Corpus:        s.corpus.Stats(),
+		Solver:        s.solver.Stats(),
+		Intern:        bitvec.Interned(),
 	}
 	for _, sh := range s.shards {
 		st.Queued += len(sh.queue)

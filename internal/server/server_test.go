@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -399,11 +400,43 @@ func TestServiceMetricsAndTargets(t *testing.T) {
 		"phaged_compile_cache_misses_total",
 		"phaged_shard_solver_queries_total{shard=\"0\"}",
 		"phaged_shard_solver_queries_total{shard=\"1\"}",
+		"phaged_solver_queries_total",
+		"phaged_solver_memo_hits_total",
+		"phaged_solver_memo_misses_total",
+		"phaged_solver_memo_evictions_total",
+		"phaged_solver_memo_entries",
+		"phaged_solver_sat_calls_total",
+		"phaged_solver_cnf_memo_hits_total",
+		"phaged_interned_terms",
+		"phaged_interned_simplify_hits_total",
 	} {
 		if !bytes.Contains(buf.Bytes(), []byte(metric)) {
 			t.Errorf("/metrics is missing %q", metric)
 		}
 	}
+	// The transfer above ran real symbolic queries through the shared
+	// service: its counters must be live, not zero placeholders.
+	st := mustStats(t, buf.String())
+	if st["phaged_solver_queries_total"] == 0 {
+		t.Error("shared solver service observed no queries")
+	}
+	if st["phaged_interned_terms"] == 0 {
+		t.Error("interner holds no terms after a transfer")
+	}
+}
+
+// mustStats parses "name value" lines of the Prometheus payload.
+func mustStats(t *testing.T, body string) map[string]float64 {
+	t.Helper()
+	out := map[string]float64{}
+	for _, line := range strings.Split(body, "\n") {
+		var name string
+		var val float64
+		if n, _ := fmt.Sscanf(line, "%s %f", &name, &val); n == 2 {
+			out[name] = val
+		}
+	}
+	return out
 }
 
 // TestClientStream exercises the client's streaming decode against a

@@ -12,20 +12,38 @@ import (
 	"codephage/internal/sat"
 )
 
+// fieldKey identifies one symbolic input as the blaster sees it. The
+// width is part of the key: a long-lived blaster serves queries from
+// many transfers, and the same field or recipient path may carry
+// different widths in different programs — those are distinct SAT
+// variables.
+type fieldKey struct {
+	name string
+	w    uint8
+}
+
 // blaster converts expressions into vectors of SAT literals (LSB
-// first) over a shared solver instance.
+// first) over a shared solver instance. It is persistent: the CNF for
+// every blasted node is memoised by interned node ID, so repeated
+// queries over shared subterms re-use the existing circuit instead of
+// re-encoding it — the clause database grows only with new terms.
 type blaster struct {
 	s      *sat.Solver
 	tru    sat.Lit
-	fields map[string][]sat.Lit // field name -> bit literals
-	memo   map[string][]sat.Lit // expression key -> bit literals
+	fields map[fieldKey][]sat.Lit // input field -> bit literals
+	memo   map[uint64][]sat.Lit   // interned node ID -> bit literals
+	slow   map[string][]sat.Lit   // un-interned fallback, keyed structurally
+
+	cnfHits   int64
+	cnfMisses int64
 }
 
 func newBlaster(s *sat.Solver) *blaster {
 	b := &blaster{
 		s:      s,
-		fields: map[string][]sat.Lit{},
-		memo:   map[string][]sat.Lit{},
+		fields: map[fieldKey][]sat.Lit{},
+		memo:   map[uint64][]sat.Lit{},
+		slow:   map[string][]sat.Lit{},
 	}
 	t := s.NewVar()
 	b.tru = sat.MkLit(t, false)
@@ -283,32 +301,42 @@ func (b *blaster) abs(x []sat.Lit) ([]sat.Lit, sat.Lit) {
 	return b.muxBits(sign, b.neg(x), x), sign
 }
 
-// bits blasts an expression into literals, memoized by structural key.
+// bits blasts an expression into literals, memoized per interned node
+// ID (structural-key fallback for the rare un-interned node).
 func (b *blaster) bits(e *bitvec.Expr) []sat.Lit {
-	key := e.Key()
-	if v, ok := b.memo[key]; ok {
+	id := e.ID()
+	if id != 0 {
+		if v, ok := b.memo[id]; ok {
+			b.cnfHits++
+			return v
+		}
+	} else if v, ok := b.slow[e.Key()]; ok {
+		b.cnfHits++
 		return v
 	}
+	b.cnfMisses++
 	v := b.blast(e)
 	if len(v) != int(e.W) {
 		panic(fmt.Sprintf("smt: blast width mismatch for %s: got %d want %d", e, len(v), e.W))
 	}
-	b.memo[key] = v
+	if id != 0 {
+		b.memo[id] = v
+	} else {
+		b.slow[e.Key()] = v
+	}
 	return v
 }
 
 func (b *blaster) fieldBits(name string, w uint8) []sat.Lit {
-	if v, ok := b.fields[name]; ok {
-		if len(v) != int(w) {
-			panic(fmt.Sprintf("smt: field %q used at widths %d and %d", name, len(v), w))
-		}
+	key := fieldKey{name, w}
+	if v, ok := b.fields[key]; ok {
 		return v
 	}
 	v := make([]sat.Lit, w)
 	for i := range v {
 		v[i] = b.fresh()
 	}
-	b.fields[name] = v
+	b.fields[key] = v
 	return v
 }
 

@@ -14,8 +14,7 @@ import (
 // loop for one circuit.
 func solveField(t *testing.T, e *bitvec.Expr, want uint64) {
 	t.Helper()
-	s := New()
-	s.RandomProbes = 1 // force the SAT path more often
+	s := newSession(Config{RandomProbes: 1}) // force the SAT path more often
 	ok, m, err := s.Sat(bitvec.Eq(e, bitvec.Const(e.W, want)))
 	if err != nil {
 		t.Fatalf("Sat: %v", err)
@@ -112,7 +111,7 @@ func TestQuickEquivReflexive(t *testing.T) {
 	prop := func(c uint32, k uint8) bool {
 		f := bitvec.Field("f", 32, 0)
 		e := bitvec.Add(bitvec.Mul(f, bitvec.Const(32, uint64(c))), bitvec.Const(32, uint64(k)))
-		s := New()
+		s := newSession(Config{})
 		ok, err := s.Equiv(e, e)
 		return err == nil && ok
 	}
@@ -121,19 +120,40 @@ func TestQuickEquivReflexive(t *testing.T) {
 	}
 }
 
-func TestFieldWidthConflictPanics(t *testing.T) {
+// TestFieldWidthsAreDistinctVariables: a shared persistent blaster
+// serves queries from many programs, so the same name at different
+// widths must map to distinct SAT variables instead of panicking (the
+// pre-service behaviour). The width is part of the field key.
+func TestFieldWidthsAreDistinctVariables(t *testing.T) {
+	s := newSession(Config{RandomProbes: 1})
+	ok, _, err := s.Sat(bitvec.Eq(bitvec.Field("f", 16, 0), bitvec.Const(16, 7)))
+	if err != nil || !ok {
+		t.Fatalf("width-16 query = %v, %v", ok, err)
+	}
+	ok, _, err = s.Sat(bitvec.Eq(bitvec.Field("f", 32, 0), bitvec.Const(32, 9)))
+	if err != nil || !ok {
+		t.Fatalf("width-32 query on the same service = %v, %v", ok, err)
+	}
+}
+
+// TestMixedWidthWithinOneQueryPanics: within a single query, Eval
+// correlates every read of a field name through one value while the
+// blaster would not — the guard must reject the query before an
+// unsound verdict can form.
+func TestMixedWidthWithinOneQueryPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
-			t.Fatal("expected panic on conflicting field widths")
+			t.Fatal("expected panic on conflicting field widths in one query")
 		}
 	}()
-	fieldWidths(bitvec.Add(
+	s := newSession(Config{})
+	s.Sat(bitvec.And(
 		bitvec.ZExt(32, bitvec.Field("f", 16, 0)),
 		bitvec.Field("f", 32, 0)))
 }
 
 func TestStatsAccounting(t *testing.T) {
-	s := New()
+	s := newSession(Config{})
 	x := bitvec.Field("x", 8, 0)
 	y := bitvec.Field("y", 8, 1)
 	// syntactic

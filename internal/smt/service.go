@@ -1,0 +1,415 @@
+package smt
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"codephage/internal/bitvec"
+	"codephage/internal/sat"
+)
+
+// Config tunes a Service. The zero value selects the defaults.
+type Config struct {
+	// MaxConflicts bounds each SAT call (0 = default of 200000).
+	MaxConflicts int64
+	// RandomProbes is the number of random refutation samples a
+	// session attempts before going to the solver (0 = default of 32).
+	RandomProbes int
+	// DisableMemo turns off the shared verdict memo (ablation D2).
+	DisableMemo bool
+	// DisablePrefilter turns off the input-byte disjointness filter
+	// (ablation D2).
+	DisablePrefilter bool
+	// MemoEntries bounds the verdict memo (0 = default of 65536).
+	MemoEntries int
+}
+
+func (c Config) maxConflicts() int64 {
+	if c.MaxConflicts > 0 {
+		return c.MaxConflicts
+	}
+	return 200000
+}
+
+func (c Config) probes() int {
+	if c.RandomProbes > 0 {
+		return c.RandomProbes
+	}
+	return 32
+}
+
+func (c Config) memoEntries() int {
+	if c.MemoEntries > 0 {
+		return c.MemoEntries
+	}
+	return 1 << 16
+}
+
+// maxIncVars bounds the persistent incremental solver: past this many
+// SAT variables the core is rebuilt from scratch (the CNF memo is
+// dropped, the verdict memo survives). The bound is deliberately
+// tight: a CDCL Sat answer must assign every variable in the core, so
+// an over-grown core taxes each later solve with the whole var set —
+// measured on the Figure-8 batch, an unbounded core made the shared
+// service slower than fresh per-query solvers, while a ~16k-var
+// window keeps incremental reuse strictly a win.
+const maxIncVars = 1 << 14
+
+// ServiceStats is a point-in-time view of a Service, the data behind
+// phaged's /metrics solver lines.
+type ServiceStats struct {
+	// Sessions counts Session() calls.
+	Sessions int64
+	// Queries counts session queries routed through the service
+	// (Equiv and Sat, before any filtering).
+	Queries int64
+	// MemoHits / MemoMisses / MemoEvictions count the shared verdict
+	// memo; MemoEntries is its current size (a gauge).
+	MemoHits      int64
+	MemoMisses    int64
+	MemoEvictions int64
+	MemoEntries   int64
+	// SATCalls / SATTime aggregate full bit-blast solver calls.
+	SATCalls int64
+	SATTime  time.Duration
+	// CNFHits / CNFMisses count the blaster's per-node CNF memo.
+	CNFHits   int64
+	CNFMisses int64
+	// SolverResets counts incremental-core rebuilds (var-count bound).
+	SolverResets int64
+	// Vars / Clauses are gauges of the incremental core.
+	Vars    int64
+	Clauses int64
+}
+
+// memoEntry is one cached verdict. Sat entries carry the model found.
+// Budget-exhausted outcomes are memoised too (exhausted=true with the
+// conflict budget that failed): re-asking under the same or a smaller
+// budget would deterministically fail again, so sessions answer
+// ErrBudget from the memo and only a larger budget retries — without
+// this, every warm replay re-pays each bounded failed proof.
+type memoEntry struct {
+	key       string
+	verdict   bool
+	model     Model // nil unless a satisfiable Sat verdict
+	exhausted bool
+	budget    int64 // conflict budget an exhausted entry failed under
+}
+
+// Service is the shared, memoizing constraint service: one persistent
+// incremental SAT solver plus blaster (CNF memoised per interned node
+// ID), and one bounded LRU memo of query verdicts keyed on canonical
+// term keys. A Service is safe for concurrent use; queries run through
+// per-goroutine Sessions (Service.Session), which carry deterministic
+// probe streams and local Stats that callers Merge exactly as they did
+// with the old fork-per-transfer solvers.
+type Service struct {
+	cfg Config
+
+	// Incremental core. Serialised: bit-blasting appends clauses to
+	// the shared solver, and solve-under-assumptions reuses its learnt
+	// clauses and variable activity across queries. Only default-budget
+	// queries run here — explicitly bounded ones (proofs, prefilters)
+	// solve on throwaway cores without touching this lock. pristine is
+	// true until the first solve after a (re)build: a query answered on
+	// a pristine core is a pure function of the query, which is what
+	// budget-exhaustion retries rely on (see solveCond/solveSat).
+	mu       sync.Mutex
+	solver   *sat.Solver
+	bl       *blaster
+	pristine bool
+	// cnfBaseHits/cnfBaseMisses accumulate retired blasters' counters
+	// (guarded by mu) so the exported totals stay monotonic across
+	// core rebuilds.
+	cnfBaseHits   int64
+	cnfBaseMisses int64
+
+	// Verdict memo (own lock: memo hits never contend with a running
+	// SAT call).
+	memoMu   sync.Mutex
+	memoTab  map[string]*list.Element
+	memoLRU  *list.List // front = most recently used; values *memoEntry
+	memoEvic int64
+
+	sessions  atomic.Int64
+	queries   atomic.Int64
+	memoHits  atomic.Int64
+	memoMiss  atomic.Int64
+	satCalls  atomic.Int64
+	satTimeNs atomic.Int64
+	resets    atomic.Int64
+
+	// Published core/CNF gauges and totals: Stats() reads only these
+	// atomics, so a metrics scrape never blocks behind a running solve.
+	cnfHitsCore   atomic.Int64 // base + current blaster, published under mu
+	cnfMissesCore atomic.Int64
+	cnfHitsAux    atomic.Int64 // accumulated from throwaway bounded cores
+	cnfMissesAux  atomic.Int64
+	coreVars      atomic.Int64
+	coreClauses   atomic.Int64
+}
+
+// NewService returns a Service with the given configuration.
+func NewService(cfg Config) *Service {
+	s := &Service{
+		cfg:     cfg,
+		memoTab: map[string]*list.Element{},
+		memoLRU: list.New(),
+	}
+	s.resetCore()
+	return s
+}
+
+var defaultService = NewService(Config{})
+
+// Default returns the process-wide shared service. Callers that do not
+// configure their own service (ablations, tests) share this one, so
+// every consumer in the process benefits from the same memo.
+func Default() *Service { return defaultService }
+
+// resetCore installs a fresh incremental solver + blaster, folding the
+// retired blaster's counters into the monotonic base. Callers hold
+// s.mu (or are the constructor).
+func (s *Service) resetCore() {
+	if s.bl != nil {
+		s.cnfBaseHits += s.bl.cnfHits
+		s.cnfBaseMisses += s.bl.cnfMisses
+	}
+	s.solver = sat.New()
+	s.bl = newBlaster(s.solver)
+	s.pristine = true
+	s.publishCoreStatsLocked()
+}
+
+// publishCoreStatsLocked snapshots the core gauges and CNF totals into
+// the atomics Stats() reads. Callers hold s.mu.
+func (s *Service) publishCoreStatsLocked() {
+	s.cnfHitsCore.Store(s.cnfBaseHits + s.bl.cnfHits)
+	s.cnfMissesCore.Store(s.cnfBaseMisses + s.bl.cnfMisses)
+	s.coreVars.Store(int64(s.solver.NumVars()))
+	s.coreClauses.Store(int64(s.solver.NumClauses()))
+}
+
+// Stats snapshots the service counters. It never takes the solve lock,
+// so a metrics scrape cannot stall behind a running SAT call.
+func (s *Service) Stats() ServiceStats {
+	st := ServiceStats{
+		Sessions:     s.sessions.Load(),
+		Queries:      s.queries.Load(),
+		MemoHits:     s.memoHits.Load(),
+		MemoMisses:   s.memoMiss.Load(),
+		SATCalls:     s.satCalls.Load(),
+		SATTime:      time.Duration(s.satTimeNs.Load()),
+		SolverResets: s.resets.Load(),
+		CNFHits:      s.cnfHitsCore.Load() + s.cnfHitsAux.Load(),
+		CNFMisses:    s.cnfMissesCore.Load() + s.cnfMissesAux.Load(),
+		Vars:         s.coreVars.Load(),
+		Clauses:      s.coreClauses.Load(),
+	}
+	s.memoMu.Lock()
+	st.MemoEntries = int64(s.memoLRU.Len())
+	st.MemoEvictions = s.memoEvic
+	s.memoMu.Unlock()
+	return st
+}
+
+// memoGet looks a verdict up in the shared memo. A hit is only
+// reported when the entry answers the caller's query: an exhausted
+// entry recorded under a smaller budget than the caller's is a miss
+// (the caller may succeed where the smaller budget failed).
+func (s *Service) memoGet(key string, budget int64) (*memoEntry, bool) {
+	if s.cfg.DisableMemo {
+		return nil, false
+	}
+	s.memoMu.Lock()
+	defer s.memoMu.Unlock()
+	el, ok := s.memoTab[key]
+	if !ok {
+		s.memoMiss.Add(1)
+		return nil, false
+	}
+	e := el.Value.(*memoEntry)
+	if e.exhausted && budget > e.budget {
+		s.memoMiss.Add(1)
+		return nil, false
+	}
+	s.memoLRU.MoveToFront(el)
+	s.memoHits.Add(1)
+	return e, true
+}
+
+// memoPut records a verdict, evicting least-recently-used entries past
+// the bound. A definite verdict (or a larger-budget exhaustion)
+// replaces an exhausted entry; otherwise the first write wins.
+func (s *Service) memoPut(e *memoEntry) {
+	if s.cfg.DisableMemo {
+		return
+	}
+	s.memoMu.Lock()
+	defer s.memoMu.Unlock()
+	if el, ok := s.memoTab[e.key]; ok {
+		old := el.Value.(*memoEntry)
+		if old.exhausted && (!e.exhausted || e.budget > old.budget) {
+			el.Value = e
+		}
+		s.memoLRU.MoveToFront(el)
+		return
+	}
+	for s.memoLRU.Len() >= s.cfg.memoEntries() {
+		oldest := s.memoLRU.Back()
+		if oldest == nil {
+			break
+		}
+		s.memoLRU.Remove(oldest)
+		delete(s.memoTab, oldest.Value.(*memoEntry).key)
+		s.memoEvic++
+	}
+	s.memoTab[e.key] = s.memoLRU.PushFront(e)
+}
+
+// solveNe asks the incremental core whether a != b is satisfiable:
+// false means the expressions are equivalent. maxConflicts bounds the
+// call (0 = the service default).
+func (s *Service) solveNe(a, b *bitvec.Expr, maxConflicts int64) (neSat bool, err error) {
+	switch s.solveCond(bitvec.Ne(a, b), maxConflicts) {
+	case sat.Unsat:
+		return false, nil
+	case sat.Sat:
+		return true, nil
+	}
+	return false, ErrBudget
+}
+
+// solveSat asks the solver for a satisfying assignment of cond
+// (nonzero), returning a model over exactly cond's input fields.
+// Explicitly bounded queries (a session MaxConflicts override: the
+// overflow-freedom proofs, DIODE's prefilter) run on a throwaway core
+// — a pure function of the query, off the shared lock, leaving the
+// incremental core's circuits intact; default-budget queries run
+// incrementally on the shared core.
+func (s *Service) solveSat(cond *bitvec.Expr, maxConflicts int64) (bool, Model, error) {
+	goal := bitvec.BoolOf(cond)
+	if maxConflicts > 0 {
+		solver, bl, r := s.solveThrowaway(goal, maxConflicts)
+		return finishSat(cond, solver, bl, r)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.maybeResetLocked()
+	wasPristine := s.pristine
+	lit := s.bl.bits(goal)[0]
+	r := s.solveLocked(lit, maxConflicts)
+	if r == sat.Unknown && !wasPristine {
+		r = s.retryPristineLocked(goal, maxConflicts)
+	}
+	return finishSat(cond, s.solver, s.bl, r)
+}
+
+// finishSat converts a solve result into the (sat, model, err) triple,
+// reading the model — for cond's own fields — off the solver that
+// produced it, before anything backtracks the trail.
+func finishSat(cond *bitvec.Expr, solver *sat.Solver, bl *blaster, r sat.Result) (bool, Model, error) {
+	switch r {
+	case sat.Unsat:
+		return false, nil, nil
+	case sat.Unknown:
+		return false, nil, ErrBudget
+	}
+	m := Model{}
+	for name, w := range fieldWidths(cond) {
+		lits, ok := bl.fields[fieldKey{name, w}]
+		if !ok {
+			m[name] = 0
+			continue
+		}
+		var v uint64
+		for i, l := range lits {
+			if solver.Value(l.Var()) != l.Neg() {
+				v |= uint64(1) << uint(i)
+			}
+		}
+		m[name] = v & bitvec.Mask(w)
+	}
+	return true, m, nil
+}
+
+// solveCond blasts cond and solves under the assumption that it holds,
+// with the same bounded-vs-incremental routing as solveSat.
+func (s *Service) solveCond(cond *bitvec.Expr, maxConflicts int64) sat.Result {
+	if maxConflicts > 0 {
+		_, _, r := s.solveThrowaway(cond, maxConflicts)
+		return r
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.maybeResetLocked()
+	wasPristine := s.pristine
+	lit := s.bl.bits(cond)[0]
+	r := s.solveLocked(lit, maxConflicts)
+	if r == sat.Unknown && !wasPristine {
+		r = s.retryPristineLocked(cond, maxConflicts)
+	}
+	return r
+}
+
+// solveThrowaway answers one explicitly budgeted query on a private
+// fresh solver+blaster: the Unknown-vs-verdict outcome is a pure
+// function of the query (the determinism the old fresh-solver-per-
+// query design had), large one-off proof circuits never pollute the
+// shared incremental core, and no lock is held across the solve.
+func (s *Service) solveThrowaway(cond *bitvec.Expr, maxConflicts int64) (*sat.Solver, *blaster, sat.Result) {
+	solver := sat.New()
+	solver.MaxConflicts = maxConflicts
+	bl := newBlaster(solver)
+	goal := bl.bits(cond)[0]
+	start := time.Now()
+	r := solver.Solve(goal)
+	s.satCalls.Add(1)
+	s.satTimeNs.Add(int64(time.Since(start)))
+	s.cnfHitsAux.Add(bl.cnfHits)
+	s.cnfMissesAux.Add(bl.cnfMisses)
+	return solver, bl, r
+}
+
+// retryPristineLocked re-runs a budget-exhausted query on a fresh
+// core. The persistent core's learnt clauses and activity make a
+// bounded solve's Unknown-vs-verdict outcome depend on query history
+// (and, in a concurrent batch, on scheduling); a pristine core makes
+// it a pure function of the query. Callers only retry when the failed
+// attempt ran on a non-pristine core, so a genuinely budget-exceeding
+// query pays at most one extra bounded solve and then fails
+// deterministically. Callers hold s.mu.
+func (s *Service) retryPristineLocked(cond *bitvec.Expr, maxConflicts int64) sat.Result {
+	s.resets.Add(1)
+	s.resetCore()
+	goal := s.bl.bits(cond)[0]
+	return s.solveLocked(goal, maxConflicts)
+}
+
+// solveLocked runs one assumption-based solve on the persistent core
+// and republishes the core gauges. Callers hold s.mu.
+func (s *Service) solveLocked(goal sat.Lit, maxConflicts int64) sat.Result {
+	if maxConflicts <= 0 {
+		maxConflicts = s.cfg.maxConflicts()
+	}
+	s.solver.MaxConflicts = maxConflicts
+	s.pristine = false
+	start := time.Now()
+	r := s.solver.Solve(goal)
+	s.satCalls.Add(1)
+	s.satTimeNs.Add(int64(time.Since(start)))
+	s.publishCoreStatsLocked()
+	return r
+}
+
+// maybeResetLocked rebuilds the incremental core when it has grown
+// past the variable bound. Callers hold s.mu.
+func (s *Service) maybeResetLocked() {
+	if s.solver.NumVars() < maxIncVars {
+		return
+	}
+	s.resets.Add(1)
+	s.resetCore()
+}

@@ -1,0 +1,102 @@
+package smt
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"codephage/internal/bitvec"
+)
+
+// TestServiceConcurrentSessions hammers one shared Service from many
+// goroutines issuing overlapping Equiv and Sat queries — the shape of
+// a concurrent pipeline.Batch — and checks under -race that the memo,
+// the incremental solver and the stats merging are race-free, and
+// that every goroutine observes the same (ground-truth) verdicts.
+func TestServiceConcurrentSessions(t *testing.T) {
+	svc := NewService(Config{})
+
+	// A mixed workload: equivalences that need SAT proofs, probe
+	// refutations, prefilter rejections, and Sat queries, over fields
+	// shared between goroutines so the memo and CNF caches contend.
+	type query struct {
+		a, b *bitvec.Expr
+		want bool
+	}
+	var queries []query
+	for i := 0; i < 8; i++ {
+		f := bitvec.Field(fmt.Sprintf("/f%d", i), 16, 2*i)
+		lo := bitvec.And(f, bitvec.Const(16, 0x00FF))
+		hi := bitvec.LShr(bitvec.And(f, bitvec.Const(16, 0xFF00)), bitvec.Const(16, 8))
+		read := bitvec.Or(bitvec.Shl(hi, bitvec.Const(16, 8)), lo)
+		queries = append(queries,
+			query{read, f, true},                                // needs simplify (or SAT with NoSimplify donors)
+			query{bitvec.Add(f, f), bitvec.Shl(f, bitvec.Const(16, 1)), true}, // SAT proof
+			query{f, bitvec.Add(f, bitvec.Const(16, 1)), false},               // probe refutation
+		)
+	}
+	disjoint := query{
+		bitvec.And(bitvec.Field("/da", 8, 100), bitvec.Const(8, 0)),
+		bitvec.And(bitvec.Field("/db", 8, 101), bitvec.Const(8, 0)),
+		false, // prefiltered
+	}
+	queries = append(queries, disjoint)
+
+	const workers = 16
+	const rounds = 30
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	stats := make([]Stats, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := svc.Session()
+			for r := 0; r < rounds; r++ {
+				for qi, q := range queries {
+					got, err := s.Equiv(q.a, q.b)
+					if err != nil {
+						errs <- fmt.Errorf("worker %d round %d query %d: %v", w, r, qi, err)
+						return
+					}
+					if got != q.want {
+						errs <- fmt.Errorf("worker %d round %d query %d: Equiv = %v, want %v", w, r, qi, got, q.want)
+						return
+					}
+				}
+				sat, _, err := s.Sat(bitvec.Ult(bitvec.Const(16, 0xFFF0), bitvec.Field("/f0", 16, 0)))
+				if err != nil || !sat {
+					errs <- fmt.Errorf("worker %d round %d: Sat = %v, %v", w, r, sat, err)
+					return
+				}
+			}
+			stats[w] = s.Stats
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	var sum Stats
+	for _, st := range stats {
+		sum.Merge(st)
+	}
+	if want := workers * rounds * len(queries); sum.Queries != want {
+		t.Errorf("merged Queries = %d, want %d", sum.Queries, want)
+	}
+	st := svc.Stats()
+	if st.MemoHits == 0 {
+		t.Error("no shared memo hits across concurrent sessions")
+	}
+	if st.Sessions != workers {
+		t.Errorf("Sessions = %d, want %d", st.Sessions, workers)
+	}
+	// Repeated identical queries must not re-prove: SAT calls are
+	// bounded by the distinct query count, not the total volume.
+	if sum.SATCalls > len(queries)*workers {
+		t.Errorf("SATCalls = %d across %d logical queries — memo not sharing", sum.SATCalls, len(queries))
+	}
+}

@@ -8,7 +8,6 @@ import (
 	"time"
 
 	"codephage/internal/bitvec"
-	"codephage/internal/sat"
 )
 
 // ErrBudget is returned when the SAT search exhausts its conflict
@@ -16,11 +15,13 @@ import (
 var ErrBudget = errors.New("smt: conflict budget exhausted")
 
 // Stats counts solver activity, exposed for the paper's translation
-// time discussion (the cache and the input-byte prefilter together give
-// an order-of-magnitude reduction in translation times).
+// time discussion (the memo and the input-byte prefilter together give
+// an order-of-magnitude reduction in translation times). Sessions
+// record their own activity here; concurrent consumers Merge these
+// per-session counters into engine aggregates.
 type Stats struct {
 	Queries     int           // total Equiv calls
-	CacheHits   int           // answered from the query cache
+	CacheHits   int           // answered from the shared verdict memo
 	Prefiltered int           // rejected by the input-byte disjointness filter
 	Refuted     int           // refuted by random probing
 	Syntactic   int           // proven by simplification to identical trees
@@ -28,29 +29,9 @@ type Stats struct {
 	SATTime     time.Duration // time spent inside the SAT solver
 }
 
-// Solver answers equivalence and satisfiability queries about bitvec
-// expressions. It is not safe for concurrent use.
-type Solver struct {
-	// MaxConflicts bounds each SAT call (0 = default of 200000).
-	MaxConflicts int64
-	// RandomProbes is the number of random refutation samples
-	// attempted before bit-blasting (0 = default of 32).
-	RandomProbes int
-	// DisableCache turns off the query cache (ablation D2).
-	DisableCache bool
-	// DisablePrefilter turns off the input-byte disjointness filter
-	// (ablation D2).
-	DisablePrefilter bool
-
-	Stats Stats
-
-	cache map[string]bool
-	rng   *rand.Rand
-}
-
-// Merge accumulates the counters of o into s. Per-worker solvers
-// report their activity through this so concurrent translation never
-// races on one shared Stats value.
+// Merge accumulates the counters of o into s. Per-session stats
+// report their activity through this so concurrent consumers never
+// race on one shared Stats value.
 func (s *Stats) Merge(o Stats) {
 	s.Queries += o.Queries
 	s.CacheHits += o.CacheHits
@@ -61,129 +42,173 @@ func (s *Stats) Merge(o Stats) {
 	s.SATTime += o.SATTime
 }
 
-// New returns a Solver with default budgets.
-func New() *Solver {
-	return &Solver{
-		cache: map[string]bool{},
-		rng:   rand.New(rand.NewSource(0x517bcf)),
-	}
+// Session is a single-goroutine handle on a Service: it answers
+// equivalence and satisfiability queries about bitvec expressions
+// (SolverEquiv of Figure 7) through the service's shared memo and
+// incremental solver, keeping local Stats. Probe randomness is seeded
+// per query from the query's own content, so every verdict — probed,
+// proven, or budget-exhausted — is a pure function of the query. A
+// Session is not safe for concurrent use; create one per worker and
+// Merge its Stats when done.
+type Session struct {
+	// MaxConflicts overrides the service's per-call conflict budget
+	// for this session's queries (0 = the service default). The
+	// engine's overflow-freedom proofs run on a small budget this way.
+	MaxConflicts int64
+
+	Stats Stats
+
+	svc *Service
 }
 
-// Fork returns an independent solver with the same configuration but
-// fresh state: empty cache, zero stats, and a deterministically seeded
-// probe sequence. Workers translating different candidate checks each
-// fork the template solver, then Merge their Stats back, so no solver
-// instance is ever shared between goroutines.
-func (s *Solver) Fork() *Solver {
-	f := New()
-	f.MaxConflicts = s.MaxConflicts
-	f.RandomProbes = s.RandomProbes
-	f.DisableCache = s.DisableCache
-	f.DisablePrefilter = s.DisablePrefilter
-	return f
+// Session returns a new query session on the service.
+func (s *Service) Session() *Session {
+	s.sessions.Add(1)
+	return &Session{svc: s}
 }
 
-func (s *Solver) maxConflicts() int64 {
-	if s.MaxConflicts > 0 {
-		return s.MaxConflicts
+// queryRand returns the deterministic probe stream for one query,
+// seeded from the expressions' structural content. Per-query seeding
+// (rather than a per-session stream) keeps probe environments a pure
+// function of the query: a session whose earlier queries were answered
+// by the shared memo — which depends on what concurrent transfers
+// already proved — draws exactly the same probes as one that computed
+// them, so probe-vs-budget outcomes can never vary with scheduling.
+func queryRand(exprs ...*bitvec.Expr) *rand.Rand {
+	h := uint64(1469598103934665603)
+	mix := func(v uint64) {
+		h ^= v
+		h *= 1099511628211
 	}
-	return 200000
+	var walk func(e *bitvec.Expr)
+	walk = func(e *bitvec.Expr) {
+		mix(uint64(e.Op)<<32 | uint64(e.W)<<24 | uint64(e.Hi)<<16 | uint64(e.Lo)<<8)
+		mix(e.Val)
+		mix(uint64(int64(e.Off)))
+		for i := 0; i < len(e.Name); i++ {
+			mix(uint64(e.Name[i]))
+		}
+		mix(0x28)
+		for _, o := range e.Operands() {
+			walk(o)
+		}
+		mix(0x29)
+	}
+	for _, e := range exprs {
+		walk(e)
+	}
+	return rand.New(rand.NewSource(int64(h ^ 0x517bcf)))
 }
 
-func (s *Solver) probes() int {
-	if s.RandomProbes > 0 {
-		return s.RandomProbes
-	}
-	return 32
-}
+// Service returns the service this session queries.
+func (ss *Session) Service() *Service { return ss.svc }
 
 // Equiv reports whether a and b evaluate identically for every
 // assignment of their input fields (SolverEquiv of Figure 7).
 // Expressions of different widths are never equivalent.
-func (s *Solver) Equiv(a, b *bitvec.Expr) (bool, error) {
-	s.Stats.Queries++
+func (ss *Session) Equiv(a, b *bitvec.Expr) (bool, error) {
+	ss.Stats.Queries++
+	ss.svc.queries.Add(1)
 	if a.W != b.W {
 		return false, nil
 	}
 
 	// Optimisation 1 (paper §3.3): expressions over different sets of
 	// input bytes are not considered equivalent; skip the solver.
-	if !s.DisablePrefilter && !sameInts(a.ByteDeps(), b.ByteDeps()) {
-		s.Stats.Prefiltered++
+	if !ss.svc.cfg.DisablePrefilter && !sameInts(a.ByteDeps(), b.ByteDeps()) {
+		ss.Stats.Prefiltered++
 		return false, nil
 	}
 
-	// Optimisation 2 (paper §3.3): cache all solver queries.
-	var key string
-	if !s.DisableCache {
-		ka, kb := a.Key(), b.Key()
-		if ka > kb {
-			ka, kb = kb, ka
+	// Optimisation 2 (paper §3.3): cache all solver queries — here in
+	// the service-wide memo, so every consumer in the process shares
+	// one set of verdicts. The key is symmetric: terms are interned,
+	// so canonical keys are O(1).
+	ka, kb := a.Key(), b.Key()
+	if ka > kb {
+		ka, kb = kb, ka
+	}
+	key := "E|" + ka + "|" + kb
+	budget := ss.budget()
+	if e, ok := ss.svc.memoGet(key, budget); ok {
+		ss.Stats.CacheHits++
+		if e.exhausted {
+			return false, ErrBudget
 		}
-		key = ka + "|" + kb
-		if v, ok := s.cache[key]; ok {
-			s.Stats.CacheHits++
-			return v, nil
-		}
+		return e.verdict, nil
 	}
 
-	res, err := s.equivUncached(a, b)
+	res, err := ss.equivUncached(a, b)
+	if err == ErrBudget {
+		ss.svc.memoPut(&memoEntry{key: key, exhausted: true, budget: budget})
+		return false, err
+	}
 	if err != nil {
 		return false, err
 	}
-	if !s.DisableCache {
-		s.cache[key] = res
-	}
+	ss.svc.memoPut(&memoEntry{key: key, verdict: res})
 	return res, nil
 }
 
-func (s *Solver) equivUncached(a, b *bitvec.Expr) (bool, error) {
+// budget is the session's effective per-call conflict budget.
+func (ss *Session) budget() int64 {
+	if ss.MaxConflicts > 0 {
+		return ss.MaxConflicts
+	}
+	return ss.svc.cfg.maxConflicts()
+}
+
+func (ss *Session) equivUncached(a, b *bitvec.Expr) (bool, error) {
 	sa, sb := bitvec.Simplify(a), bitvec.Simplify(b)
 	if bitvec.Equal(sa, sb) {
-		s.Stats.Syntactic++
+		ss.Stats.Syntactic++
 		return true, nil
 	}
 
-	// Cheap sound refutation: random concrete probes.
+	// Cheap sound refutation: random concrete probes, drawn from a
+	// stream seeded by the query itself.
 	fields := fieldWidths(sa, sb)
-	for i := 0; i < s.probes(); i++ {
-		env := s.randomEnv(fields, i)
+	rng := queryRand(sa, sb)
+	for i := 0; i < ss.svc.cfg.probes(); i++ {
+		env := randomEnv(rng, fields, i)
 		va, errA := bitvec.Eval(sa, env)
 		vb, errB := bitvec.Eval(sb, env)
 		if errA != nil || errB != nil {
 			break // Ref leaves have no valuation; fall through to SAT
 		}
 		if va != vb {
-			s.Stats.Refuted++
+			ss.Stats.Refuted++
 			return false, nil
 		}
 	}
 
-	// Full proof: SAT(a != b) must be unsatisfiable.
-	s.Stats.SATCalls++
+	// Full proof on the shared incremental solver: SAT(a != b) must be
+	// unsatisfiable.
+	ss.Stats.SATCalls++
 	start := time.Now()
-	defer func() { s.Stats.SATTime += time.Since(start) }()
-
-	solver := sat.New()
-	solver.MaxConflicts = s.maxConflicts()
-	bl := newBlaster(solver)
-	ne := bl.bits(bitvec.Ne(sa, sb))
-	solver.AddClause(ne[0])
-	switch solver.Solve() {
-	case sat.Unsat:
-		return true, nil
-	case sat.Sat:
-		return false, nil
+	defer func() { ss.Stats.SATTime += time.Since(start) }()
+	neSat, err := ss.svc.solveNe(sa, sb, ss.MaxConflicts)
+	if err != nil {
+		return false, err
 	}
-	return false, ErrBudget
+	return !neSat, nil
 }
 
 // Model is a satisfying assignment of input fields.
 type Model map[string]uint64
 
+func (m Model) clone() Model {
+	out := make(Model, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
 // Sat reports whether cond (any width; satisfied when nonzero) has a
 // satisfying assignment, and returns one if so.
-func (s *Solver) Sat(cond *bitvec.Expr) (bool, Model, error) {
+func (ss *Session) Sat(cond *bitvec.Expr) (bool, Model, error) {
+	ss.svc.queries.Add(1)
 	sc := bitvec.Simplify(cond)
 	if sc.Op == bitvec.OpConst {
 		if sc.Val != 0 {
@@ -191,43 +216,48 @@ func (s *Solver) Sat(cond *bitvec.Expr) (bool, Model, error) {
 		}
 		return false, nil, nil
 	}
+	key := "S|" + sc.Key()
+	budget := ss.budget()
+	if e, ok := ss.svc.memoGet(key, budget); ok {
+		ss.Stats.CacheHits++
+		if e.exhausted {
+			return false, nil, ErrBudget
+		}
+		if e.verdict {
+			return true, e.model.clone(), nil
+		}
+		return false, nil, nil
+	}
 	// Cheap model search first: corner values and random probes. Any
 	// hit is verified by concrete evaluation, so this is sound.
-	if m, ok := s.probeModel(sc); ok {
+	if m, ok := probeModel(sc); ok {
+		ss.svc.memoPut(&memoEntry{key: key, verdict: true, model: m.clone()})
 		return true, m, nil
 	}
-	solver := sat.New()
-	solver.MaxConflicts = s.maxConflicts()
-	bl := newBlaster(solver)
-	bits := bl.bits(bitvec.BoolOf(sc))
-	solver.AddClause(bits[0])
+	ss.Stats.SATCalls++
 	start := time.Now()
-	r := solver.Solve()
-	s.Stats.SATTime += time.Since(start)
-	s.Stats.SATCalls++
-	switch r {
-	case sat.Unsat:
-		return false, nil, nil
-	case sat.Unknown:
-		return false, nil, ErrBudget
+	ok, m, err := ss.svc.solveSat(sc, ss.MaxConflicts)
+	ss.Stats.SATTime += time.Since(start)
+	if err == ErrBudget {
+		ss.svc.memoPut(&memoEntry{key: key, exhausted: true, budget: budget})
+		return false, nil, err
 	}
-	m := Model{}
-	for name, lits := range bl.fields {
-		var v uint64
-		for i, l := range lits {
-			if solver.Value(l.Var()) != l.Neg() {
-				v |= uint64(1) << uint(i)
-			}
-		}
-		m[name] = v
+	if err != nil {
+		return false, nil, err
 	}
-	return true, m, nil
+	if ok {
+		ss.svc.memoPut(&memoEntry{key: key, verdict: true, model: m.clone()})
+		return true, m, nil
+	}
+	ss.svc.memoPut(&memoEntry{key: key, verdict: false})
+	return false, nil, nil
 }
 
 // probeModel searches for a satisfying assignment by enumerating
-// corner-value combinations and random samples. Combinations are capped
-// so the cost stays negligible next to a SAT call.
-func (s *Solver) probeModel(cond *bitvec.Expr) (Model, bool) {
+// corner-value combinations and random samples (drawn from the
+// query-seeded stream). Combinations are capped so the cost stays
+// negligible next to a SAT call.
+func probeModel(cond *bitvec.Expr) (Model, bool) {
 	fields := fieldWidths(cond)
 	if len(fields) == 0 || len(fields) > 6 {
 		return nil, false
@@ -274,10 +304,11 @@ func (s *Solver) probeModel(cond *bitvec.Expr) (Model, bool) {
 			return m, true
 		}
 	}
+	rng := queryRand(cond)
 	for i := 0; i < 512; i++ {
 		env := bitvec.MapEnv{Fields: map[string]uint64{}}
 		for _, n := range names {
-			env.Fields[n] = s.rng.Uint64() & bitvec.Mask(fields[n])
+			env.Fields[n] = rng.Uint64() & bitvec.Mask(fields[n])
 		}
 		if m, ok := try(env); ok {
 			return m, true
@@ -287,20 +318,27 @@ func (s *Solver) probeModel(cond *bitvec.Expr) (Model, bool) {
 }
 
 // Valid reports whether cond is nonzero under every assignment.
-func (s *Solver) Valid(cond *bitvec.Expr) (bool, error) {
-	satisfiable, _, err := s.Sat(bitvec.LNot(cond))
+func (ss *Session) Valid(cond *bitvec.Expr) (bool, error) {
+	satisfiable, _, err := ss.Sat(bitvec.LNot(cond))
 	if err != nil {
 		return false, err
 	}
 	return !satisfiable, nil
 }
 
-// CacheSize returns the number of cached equivalence verdicts.
-func (s *Solver) CacheSize() int { return len(s.cache) }
-
-func (s *Solver) randomEnv(fields map[string]uint8, round int) bitvec.MapEnv {
+func randomEnv(rng *rand.Rand, fields map[string]uint8, round int) bitvec.MapEnv {
+	// Fields are visited in sorted order: rng draws must land on the
+	// same field every time, or the probe environments — and with them
+	// any probe-vs-budget outcome — would vary with map iteration
+	// order.
+	names := make([]string, 0, len(fields))
+	for n := range fields {
+		names = append(names, n)
+	}
+	sort.Strings(names)
 	env := bitvec.MapEnv{Fields: map[string]uint64{}, Refs: map[string]uint64{}}
-	for name, w := range fields {
+	for _, name := range names {
+		w := fields[name]
 		var v uint64
 		switch round {
 		case 0:
@@ -310,21 +348,27 @@ func (s *Solver) randomEnv(fields map[string]uint8, round int) bitvec.MapEnv {
 		case 2:
 			v = 1
 		default:
-			v = s.rng.Uint64() & bitvec.Mask(w)
+			v = rng.Uint64() & bitvec.Mask(w)
 		}
 		env.Fields[name] = v
 	}
 	return env
 }
 
-// fieldWidths collects the fields of both expressions with widths.
+// fieldWidths collects the fields of the expressions with widths. One
+// query mixing a single field name at two widths panics: Eval and the
+// probe paths correlate all reads of a name through one value, while
+// the persistent blaster keys SAT variables by (name, width) — the
+// two semantics only agree when each query uses one width per name.
+// (Across queries, differing widths are fine and deliberate: distinct
+// programs map the same path to different-width variables.)
 func fieldWidths(exprs ...*bitvec.Expr) map[string]uint8 {
 	out := map[string]uint8{}
 	for _, e := range exprs {
 		e.Walk(func(n *bitvec.Expr) {
 			if n.Op == bitvec.OpField {
 				if w, ok := out[n.Name]; ok && w != n.W {
-					panic(fmt.Sprintf("smt: field %q used at widths %d and %d", n.Name, w, n.W))
+					panic(fmt.Sprintf("smt: field %q used at widths %d and %d in one query", n.Name, w, n.W))
 				}
 				out[n.Name] = n.W
 			}
@@ -336,10 +380,6 @@ func fieldWidths(exprs ...*bitvec.Expr) map[string]uint8 {
 func sameInts(a, b []int) bool {
 	if len(a) != len(b) {
 		return false
-	}
-	if !sort.IntsAreSorted(a) || !sort.IntsAreSorted(b) {
-		sort.Ints(a)
-		sort.Ints(b)
 	}
 	for i := range a {
 		if a[i] != b[i] {

@@ -7,7 +7,11 @@ import (
 	"codephage/internal/bitvec"
 )
 
-func mustEquiv(t *testing.T, s *Solver, a, b *bitvec.Expr, want bool) {
+// newSession returns a session on a fresh private service, so tests
+// asserting exact stats are isolated from the process-wide memo.
+func newSession(cfg Config) *Session { return NewService(cfg).Session() }
+
+func mustEquiv(t *testing.T, s *Session, a, b *bitvec.Expr, want bool) {
 	t.Helper()
 	got, err := s.Equiv(a, b)
 	if err != nil {
@@ -19,7 +23,7 @@ func mustEquiv(t *testing.T, s *Solver, a, b *bitvec.Expr, want bool) {
 }
 
 func TestEquivIdentical(t *testing.T) {
-	s := New()
+	s := newSession(Config{})
 	w := bitvec.Field("w", 16, 0)
 	mustEquiv(t, s, bitvec.Add(w, bitvec.Const(16, 1)), bitvec.Add(w, bitvec.Const(16, 1)), true)
 }
@@ -27,7 +31,7 @@ func TestEquivIdentical(t *testing.T) {
 func TestEquivCommutativity(t *testing.T) {
 	// x + y == y + x needs a semantic proof; simplification keeps
 	// operand order.
-	s := New()
+	s := newSession(Config{})
 	x := bitvec.Field("x", 8, 0)
 	y := bitvec.Field("y", 8, 1)
 	mustEquiv(t, s, bitvec.Add(x, y), bitvec.Add(y, x), true)
@@ -38,7 +42,7 @@ func TestEquivCommutativity(t *testing.T) {
 }
 
 func TestEquivRefutes(t *testing.T) {
-	s := New()
+	s := newSession(Config{})
 	x := bitvec.Field("x", 8, 0)
 	mustEquiv(t, s, x, bitvec.Add(x, bitvec.Const(8, 1)), false)
 	if s.Stats.Refuted == 0 {
@@ -47,7 +51,7 @@ func TestEquivRefutes(t *testing.T) {
 }
 
 func TestEquivDifferentWidths(t *testing.T) {
-	s := New()
+	s := newSession(Config{})
 	mustEquiv(t, s, bitvec.Const(8, 1), bitvec.Const(16, 1), false)
 }
 
@@ -55,7 +59,7 @@ func TestEquivEndiannessConversion(t *testing.T) {
 	// The paper's headline case: FEH's big-endian read of the height
 	// field — masks, shifts, ors — must be recognised as equivalent to
 	// CWebP's value which holds the same field directly.
-	s := New()
+	s := newSession(Config{})
 	f := bitvec.Field("/start_frame/content/height", 16, 4)
 	lo := bitvec.And(f, bitvec.Const(16, 0x00FF))
 	hi := bitvec.LShr(bitvec.And(f, bitvec.Const(16, 0xFF00)), bitvec.Const(16, 8))
@@ -65,14 +69,14 @@ func TestEquivEndiannessConversion(t *testing.T) {
 
 func TestEquivWideningChain(t *testing.T) {
 	// (u64)(u32)x == (u64)x for 16-bit x.
-	s := New()
+	s := newSession(Config{})
 	x := bitvec.Field("x", 16, 0)
 	a := bitvec.ZExt(64, bitvec.ZExt(32, x))
 	mustEquiv(t, s, a, bitvec.ZExt(64, x), true)
 }
 
 func TestEquivByteSwapNotEquivalent(t *testing.T) {
-	s := New()
+	s := newSession(Config{})
 	f := bitvec.Field("w", 16, 0)
 	swapped := bitvec.Or(
 		bitvec.Shl(bitvec.And(f, bitvec.Const(16, 0x00FF)), bitvec.Const(16, 8)),
@@ -83,7 +87,7 @@ func TestEquivByteSwapNotEquivalent(t *testing.T) {
 func TestPrefilterRejectsDisjointFields(t *testing.T) {
 	// Per the paper, expressions over different input-byte sets are not
 	// considered equivalent — even when semantically equal.
-	s := New()
+	s := newSession(Config{})
 	x := bitvec.Field("x", 8, 0)
 	y := bitvec.Field("y", 8, 1)
 	mustEquiv(t, s, bitvec.And(x, bitvec.Const(8, 0)), bitvec.And(y, bitvec.Const(8, 0)), false)
@@ -92,13 +96,13 @@ func TestPrefilterRejectsDisjointFields(t *testing.T) {
 	}
 
 	// With the prefilter disabled the solver proves the equivalence.
-	s2 := New()
-	s2.DisablePrefilter = true
+	s2 := newSession(Config{DisablePrefilter: true})
 	mustEquiv(t, s2, bitvec.And(x, bitvec.Const(8, 0)), bitvec.And(y, bitvec.Const(8, 0)), true)
 }
 
-func TestQueryCache(t *testing.T) {
-	s := New()
+func TestQueryMemo(t *testing.T) {
+	svc := NewService(Config{})
+	s := svc.Session()
 	x := bitvec.Field("x", 8, 0)
 	y := bitvec.Field("y", 8, 1)
 	a, b := bitvec.Add(x, y), bitvec.Add(y, x)
@@ -107,13 +111,62 @@ func TestQueryCache(t *testing.T) {
 	mustEquiv(t, s, a, b, true)
 	mustEquiv(t, s, b, a, true) // symmetric key must also hit
 	if s.Stats.SATCalls != before {
-		t.Errorf("SATCalls grew from %d to %d despite cache", before, s.Stats.SATCalls)
+		t.Errorf("SATCalls grew from %d to %d despite memo", before, s.Stats.SATCalls)
 	}
 	if s.Stats.CacheHits != 2 {
 		t.Errorf("CacheHits = %d, want 2", s.Stats.CacheHits)
 	}
-	if s.CacheSize() == 0 {
-		t.Error("cache is empty")
+	st := svc.Stats()
+	if st.MemoEntries == 0 {
+		t.Error("memo is empty")
+	}
+	if st.MemoHits != 2 {
+		t.Errorf("service MemoHits = %d, want 2", st.MemoHits)
+	}
+
+	// A second session on the same service shares the verdicts: the
+	// engine-wide query sharing this PR is about.
+	s2 := svc.Session()
+	mustEquiv(t, s2, a, b, true)
+	if s2.Stats.CacheHits != 1 || s2.Stats.SATCalls != 0 {
+		t.Errorf("second session stats = %+v, want pure memo hit", s2.Stats)
+	}
+}
+
+func TestMemoDisabled(t *testing.T) {
+	svc := NewService(Config{DisableMemo: true})
+	s := svc.Session()
+	x := bitvec.Field("x", 8, 0)
+	y := bitvec.Field("y", 8, 1)
+	a, b := bitvec.Add(x, y), bitvec.Add(y, x)
+	mustEquiv(t, s, a, b, true)
+	mustEquiv(t, s, a, b, true)
+	if s.Stats.CacheHits != 0 {
+		t.Errorf("CacheHits = %d with memo disabled", s.Stats.CacheHits)
+	}
+	if svc.Stats().MemoEntries != 0 {
+		t.Error("memo grew despite DisableMemo")
+	}
+	// The CNF memo still dedupes the circuit even with verdicts
+	// uncached, so the second query is an incremental re-solve.
+	if s.Stats.SATCalls != 2 {
+		t.Errorf("SATCalls = %d, want 2", s.Stats.SATCalls)
+	}
+}
+
+func TestMemoEviction(t *testing.T) {
+	svc := NewService(Config{MemoEntries: 4, RandomProbes: 1})
+	s := svc.Session()
+	x := bitvec.Field("x", 8, 0)
+	for i := 0; i < 16; i++ {
+		mustEquiv(t, s, bitvec.Add(x, bitvec.Const(8, uint64(i))), x, i == 0)
+	}
+	st := svc.Stats()
+	if st.MemoEntries > 4 {
+		t.Errorf("MemoEntries = %d, want <= 4", st.MemoEntries)
+	}
+	if st.MemoEvictions == 0 {
+		t.Error("expected evictions past the bound")
 	}
 }
 
@@ -121,7 +174,7 @@ func TestSatFindsOverflow(t *testing.T) {
 	// Find w, h such that the 32-bit product of two 16-bit fields
 	// differs from the 64-bit product: an integer overflow witness,
 	// the core DIODE query.
-	s := New()
+	s := newSession(Config{})
 	w := bitvec.Field("w", 16, 0)
 	h := bitvec.Field("h", 16, 2)
 	four := bitvec.Const(32, 4)
@@ -141,7 +194,7 @@ func TestSatFindsOverflow(t *testing.T) {
 }
 
 func TestSatUnsatisfiable(t *testing.T) {
-	s := New()
+	s := newSession(Config{})
 	x := bitvec.Field("x", 8, 0)
 	ok, _, err := s.Sat(bitvec.Ne(x, x))
 	if err != nil {
@@ -153,7 +206,7 @@ func TestSatUnsatisfiable(t *testing.T) {
 }
 
 func TestSatConstant(t *testing.T) {
-	s := New()
+	s := newSession(Config{})
 	ok, m, err := s.Sat(bitvec.Const(1, 1))
 	if err != nil || !ok || m == nil {
 		t.Fatalf("Sat(true) = %v, %v, %v", ok, m, err)
@@ -164,8 +217,31 @@ func TestSatConstant(t *testing.T) {
 	}
 }
 
+func TestSatMemoisedModelIsValid(t *testing.T) {
+	// A memoised Sat verdict must come back with a model that still
+	// satisfies the condition, and callers mutating the returned model
+	// must not corrupt the memo.
+	svc := NewService(Config{})
+	x := bitvec.Field("x", 8, 0)
+	cond := bitvec.Ult(bitvec.Const(8, 200), x)
+	s1 := svc.Session()
+	ok, m1, err := s1.Sat(cond)
+	if err != nil || !ok {
+		t.Fatalf("Sat = %v, %v", ok, err)
+	}
+	m1["x"] = 0 // caller mutation must not leak into the memo
+	s2 := svc.Session()
+	ok, m2, err := s2.Sat(cond)
+	if err != nil || !ok {
+		t.Fatalf("memoised Sat = %v, %v", ok, err)
+	}
+	if v, e := bitvec.Eval(cond, bitvec.MapEnv{Fields: map[string]uint64(m2)}); e != nil || v == 0 {
+		t.Errorf("memoised model %v does not satisfy the condition", m2)
+	}
+}
+
 func TestValid(t *testing.T) {
-	s := New()
+	s := newSession(Config{})
 	x := bitvec.Field("x", 8, 0)
 	v, err := s.Valid(bitvec.Ule(bitvec.And(x, bitvec.Const(8, 0x0F)), bitvec.Const(8, 15)))
 	if err != nil {
@@ -184,9 +260,7 @@ func TestValid(t *testing.T) {
 }
 
 func TestBudgetExhaustion(t *testing.T) {
-	s := New()
-	s.MaxConflicts = 1
-	s.RandomProbes = 1
+	s := newSession(Config{MaxConflicts: 1, RandomProbes: 1})
 	// Two large multiplications that are equivalent but hard to prove
 	// within one conflict.
 	a := bitvec.Field("a", 64, 0)
@@ -197,6 +271,15 @@ func TestBudgetExhaustion(t *testing.T) {
 	}
 	if err != ErrBudget {
 		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+	// The budget error must not poison the service: a fresh query on a
+	// generous per-session budget still answers.
+	s2 := s.Service().Session()
+	x := bitvec.Field("x", 8, 16)
+	s2.MaxConflicts = 200000
+	eq, err := s2.Equiv(bitvec.Add(x, x), bitvec.Mul(x, bitvec.Const(8, 2)))
+	if err != nil || !eq {
+		t.Fatalf("post-budget query = %v, %v", eq, err)
 	}
 }
 
@@ -224,13 +307,13 @@ func exhaustiveEqual(t *testing.T, a, b *bitvec.Expr, fields []string) bool {
 
 func TestEquivMatchesExhaustiveCheck(t *testing.T) {
 	// Property test: on random 4-bit expressions the solver verdict
-	// must match brute-force enumeration. Prefilter is disabled since
-	// it is a deliberately conservative approximation.
+	// must match brute-force enumeration, with every query running
+	// incrementally over one persistent solver. Prefilter is disabled
+	// since it is a deliberately conservative approximation.
 	rng := rand.New(rand.NewSource(99))
 	fields := []*bitvec.Expr{bitvec.Field("p", 4, 0), bitvec.Field("q", 4, 1)}
 	names := []string{"p", "q"}
-	s := New()
-	s.DisablePrefilter = true
+	s := newSession(Config{DisablePrefilter: true})
 	for iter := 0; iter < 120; iter++ {
 		a := randExpr4(rng, 3, fields)
 		b := randExpr4(rng, 3, fields)
@@ -290,8 +373,7 @@ func randExpr4(rng *rand.Rand, depth int, fields []*bitvec.Expr) *bitvec.Expr {
 }
 
 func TestSignedOpsAgainstExhaustive(t *testing.T) {
-	s := New()
-	s.DisablePrefilter = true
+	s := newSession(Config{DisablePrefilter: true})
 	p := bitvec.Field("p", 4, 0)
 	q := bitvec.Field("q", 4, 1)
 	pairs := []struct {
@@ -325,7 +407,7 @@ func BenchmarkEquivEndianness(b *testing.B) {
 	feh := bitvec.Or(bitvec.Shl(hi, bitvec.Const(16, 8)), lo)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s := New()
+		s := NewService(Config{}).Session()
 		ok, err := s.Equiv(feh, f)
 		if err != nil || !ok {
 			b.Fatalf("Equiv = %v, %v", ok, err)
@@ -343,32 +425,26 @@ func TestStatsMerge(t *testing.T) {
 	}
 }
 
-func TestForkCopiesConfigNotState(t *testing.T) {
-	s := New()
-	s.MaxConflicts = 123
-	s.RandomProbes = 7
-	s.DisableCache = true
-	s.DisablePrefilter = true
+func TestSessionsAreIndependent(t *testing.T) {
+	// Sessions on one service have private stats and deterministic
+	// probe streams, but share the memo and the incremental core.
+	svc := NewService(Config{})
+	s1 := svc.Session()
 	x := bitvec.Field("x", 8, 0)
-	if _, err := s.Equiv(x, x); err != nil {
+	if _, err := s1.Equiv(x, x); err != nil {
 		t.Fatal(err)
 	}
-	f := s.Fork()
-	if f.MaxConflicts != 123 || f.RandomProbes != 7 || !f.DisableCache || !f.DisablePrefilter {
-		t.Errorf("fork lost configuration: %+v", f)
+	s2 := svc.Session()
+	if s2.Stats != (Stats{}) {
+		t.Errorf("new session inherited stats: %+v", s2.Stats)
 	}
-	if f.Stats != (Stats{}) {
-		t.Errorf("fork inherited stats: %+v", f.Stats)
-	}
-	if f.CacheSize() != 0 {
-		t.Errorf("fork inherited %d cache entries", f.CacheSize())
-	}
-	// Forks must answer independently and deterministically.
 	a := bitvec.Add(bitvec.Field("a", 32, 0), bitvec.Field("b", 32, 4))
 	b := bitvec.Add(bitvec.Field("b", 32, 4), bitvec.Field("a", 32, 0))
-	f2 := New().Fork()
-	eq, err := f2.Equiv(a, b)
+	eq, err := s2.Equiv(a, b)
 	if err != nil || !eq {
-		t.Fatalf("fork Equiv(a+b, b+a) = %v, %v", eq, err)
+		t.Fatalf("session Equiv(a+b, b+a) = %v, %v", eq, err)
+	}
+	if svc.Stats().Sessions != 2 {
+		t.Errorf("Sessions = %d, want 2", svc.Stats().Sessions)
 	}
 }
