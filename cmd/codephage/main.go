@@ -35,6 +35,10 @@ func main() {
 		runCorpus(os.Args[2:])
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "scenario" {
+		runScenario(os.Args[2:])
+		return
+	}
 	recipient := flag.String("recipient", "", "recipient application name")
 	target := flag.String("target", "", "error identifier (e.g. png.c@203)")
 	donor := flag.String("donor", "", "donor application, or auto for corpus selection (default: every catalogued donor)")

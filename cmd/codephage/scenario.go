@@ -1,0 +1,108 @@
+package main
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"codephage/internal/scenario"
+)
+
+// runScenario is the scenario subcommand: run executes a generated
+// conformance suite (optionally over HTTP and with the mutant-patch
+// oracle meta-check), show prints one generated pair for debugging a
+// failing seed.
+//
+//	codephage scenario run [-seed N] [-count N] [-only pairseed]
+//	                       [-mutant] [-http] [-workers N]
+//	                       [-json report.json] [-v]
+//	codephage scenario show -seed N
+func runScenario(args []string) {
+	if len(args) == 0 || (args[0] != "run" && args[0] != "show") {
+		fmt.Fprintln(os.Stderr, "usage: codephage scenario run [-seed N] [-count N] [-only pairseed] [-mutant] [-http] [-workers N] [-json report.json] [-v]")
+		fmt.Fprintln(os.Stderr, "       codephage scenario show -seed N")
+		os.Exit(2)
+	}
+	verb := args[0]
+	fs := flag.NewFlagSet("scenario "+verb, flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "suite seed (pair i uses seed+i)")
+	count := fs.Int("count", 100, "number of generated pairs")
+	only := fs.Int64("only", 0, "replay a single pair (by pair seed) inside the full suite's donor pool")
+	mutant := fs.Bool("mutant", false, "also run the mutant-patch oracle meta-check")
+	useHTTP := fs.Bool("http", false, "drive the suite through phaged over HTTP (soak mode)")
+	workers := fs.Int("workers", 0, "suite concurrency (0 = default)")
+	jsonOut := fs.String("json", "", "write the JSON suite report here")
+	verbose := fs.Bool("v", false, "print per-pair progress")
+	fs.Parse(args[1:])
+
+	if verb == "show" {
+		showScenario(*seed)
+		return
+	}
+	opts := scenario.Options{
+		Seed:    *seed,
+		Count:   *count,
+		Mutant:  *mutant,
+		HTTP:    *useHTTP,
+		Workers: *workers,
+		Only:    *only,
+	}
+	if *verbose {
+		opts.Logf = func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		}
+	}
+	rep, err := scenario.Run(opts)
+	if err != nil {
+		fatal(err)
+	}
+	if *jsonOut != "" {
+		data, jerr := json.MarshalIndent(rep, "", "  ")
+		if jerr != nil {
+			fatal(jerr)
+		}
+		if werr := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); werr != nil {
+			fatal(werr)
+		}
+	}
+	ran := 0
+	for _, o := range rep.Outcomes {
+		if !o.Skipped {
+			ran++
+		}
+	}
+	if ran < rep.Count {
+		fmt.Printf("scenario suite seed %d: replayed %d of %d pairs, %d failed, %dms\n",
+			rep.Seed, ran, rep.Count, rep.Failed, rep.Wall)
+	} else {
+		fmt.Printf("scenario suite seed %d: %d pairs, %d failed, %dms\n",
+			rep.Seed, rep.Count, rep.Failed, rep.Wall)
+	}
+	for _, f := range rep.Failures() {
+		fmt.Printf("FAIL %s (%s/%s): %s\n  reproduce: %s\n", f.Name, f.Format, f.Kind, f.Err, f.Repro)
+	}
+	if rep.Failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// showScenario prints one generated pair: the ground truth and the
+// three program sources, for debugging a failing seed by hand.
+func showScenario(seed int64) {
+	p, err := scenario.GeneratePair(seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("scenario %s: format %s, %s\n", p.Name(), p.Format, p.Kind)
+	fmt.Printf("donated check: %s\n", p.GuardDesc)
+	fmt.Printf("seed input:  %s\n", hex.EncodeToString(p.SeedInput))
+	fmt.Printf("error input: %s\n", hex.EncodeToString(p.ErrorInput))
+	for i, in := range p.Benign[1:] {
+		fmt.Printf("benign %d:    %s\n", i+1, hex.EncodeToString(in))
+	}
+	fmt.Printf("\n---- recipient %s ----\n%s", p.Recipient.Name, p.Recipient.Source)
+	fmt.Printf("\n---- donor %s ----\n%s", p.Donor.Name, p.Donor.Source)
+	fmt.Printf("\n---- naive donor %s ----\n%s", p.Naive.Name, p.Naive.Source)
+}

@@ -67,18 +67,143 @@ var recipientApps = []*App{
 	{Name: "wireshark14", Paper: "Wireshark 1.4.14", Source: wireshark14Src, Formats: []string{"mpkt"}},
 }
 
-// Donors returns the donor applications.
-func Donors() []*App { return donorApps }
+// The registry holds the paper's catalogued applications plus any
+// registered at run time. The scenario generator registers synthetic
+// donor/recipient pairs so the whole production path — name
+// resolution, corpus indexing, the phaged request surface — treats
+// generated applications exactly like catalogued ones.
+var (
+	regMu      sync.RWMutex
+	regApps    []*App    // registered applications, in registration order
+	regTargets []*Target // registered targets, in registration order
+	regByName  = map[string]*App{}
+)
 
-// Recipients returns the recipient applications.
-func Recipients() []*App { return recipientApps }
+// Register adds applications to the registry, atomically: names must
+// be unique across the catalogue, everything registered so far, and
+// the batch itself, and a rejected batch registers nothing.
+func Register(apps ...*App) error {
+	regMu.Lock()
+	defer regMu.Unlock()
+	seen := map[string]bool{}
+	for _, a := range apps {
+		if _, err := byNameLocked(a.Name); err == nil || seen[a.Name] {
+			return fmt.Errorf("apps: application %q already registered", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	for _, a := range apps {
+		regApps = append(regApps, a)
+		regByName[a.Name] = a
+	}
+	return nil
+}
 
-// ByName returns the named application (donor or recipient).
+// RegisterTargets adds defect targets to the registry, atomically:
+// each target's recipient must already be registered or catalogued,
+// each (recipient, ID) pair must be new, and a rejected batch
+// registers nothing.
+func RegisterTargets(targets ...*Target) error {
+	regMu.Lock()
+	defer regMu.Unlock()
+	seen := map[string]bool{}
+	for _, t := range catalogueTargets() {
+		seen[t.Recipient+"\x00"+t.ID] = true
+	}
+	for _, t := range regTargets {
+		seen[t.Recipient+"\x00"+t.ID] = true
+	}
+	for _, t := range targets {
+		if _, err := byNameLocked(t.Recipient); err != nil {
+			return fmt.Errorf("apps: target %s/%s: %w", t.Recipient, t.ID, err)
+		}
+		key := t.Recipient + "\x00" + t.ID
+		if seen[key] {
+			return fmt.Errorf("apps: target %s/%s already registered", t.Recipient, t.ID)
+		}
+		seen[key] = true
+	}
+	regTargets = append(regTargets, targets...)
+	return nil
+}
+
+// Unregister removes every registered application whose name the
+// predicate matches, along with every registered target whose
+// recipient name matches. Catalogued applications are never removed,
+// so a target registered against a catalogued recipient is retired by
+// a predicate matching that recipient's name — the catalogued
+// application itself stays. Harnesses use this to retire a generated
+// suite without leaking registry state.
+func Unregister(match func(name string) bool) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	var apps []*App
+	for _, a := range regApps {
+		if match(a.Name) {
+			delete(regByName, a.Name)
+			continue
+		}
+		apps = append(apps, a)
+	}
+	regApps = apps
+	var targets []*Target
+	for _, t := range regTargets {
+		if !match(t.Recipient) {
+			targets = append(targets, t)
+		}
+	}
+	regTargets = targets
+}
+
+// Donors returns the donor applications: the catalogue followed by
+// registered donors.
+func Donors() []*App {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := append([]*App{}, donorApps...)
+	for _, a := range regApps {
+		if a.Donor {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Recipients returns the recipient applications: the catalogue
+// followed by registered recipients.
+func Recipients() []*App {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := append([]*App{}, recipientApps...)
+	for _, a := range regApps {
+		if !a.Donor {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// ByName returns the named application (donor or recipient,
+// catalogued or registered).
 func ByName(name string) (*App, error) {
-	for _, a := range append(append([]*App{}, donorApps...), recipientApps...) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return byNameLocked(name)
+}
+
+func byNameLocked(name string) (*App, error) {
+	for _, a := range donorApps {
 		if a.Name == name {
 			return a, nil
 		}
+	}
+	for _, a := range recipientApps {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	if a := regByName[name]; a != nil {
+		return a, nil
 	}
 	return nil, fmt.Errorf("apps: unknown application %q", name)
 }
@@ -86,7 +211,7 @@ func ByName(name string) (*App, error) {
 // DonorsForFormat returns the donors that process the given format.
 func DonorsForFormat(format string) []*App {
 	var out []*App
-	for _, a := range donorApps {
+	for _, a := range Donors() {
 		for _, f := range a.Formats {
 			if f == format {
 				out = append(out, a)
@@ -112,14 +237,20 @@ var (
 	donorCache = map[string][]byte{} // stripped serialized donor images
 )
 
+// donorCacheKey identifies a donor build by name and source, so a
+// registered donor that reuses a retired name never sees a stale
+// stripped image.
+func donorCacheKey(app *App) string { return app.Name + "\x00" + app.Source }
+
 // BuildDonorBinary compiles a donor, serializes it, strips it, and
 // loads it back — modelling the distribution of a donor as an opaque
 // stripped binary with no source or symbolic information. The
 // stripped image is cached per donor; every call decodes a fresh
 // module the caller may mutate.
 func BuildDonorBinary(app *App) (*ir.Module, error) {
+	key := donorCacheKey(app)
 	donorMu.Lock()
-	img, ok := donorCache[app.Name]
+	img, ok := donorCache[key]
 	donorMu.Unlock()
 	if !ok {
 		m, err := Build(app)
@@ -132,7 +263,20 @@ func BuildDonorBinary(app *App) (*ir.Module, error) {
 			return nil, err
 		}
 		donorMu.Lock()
-		donorCache[app.Name] = img
+		// Registered donors come and go (scenario suites); bound the
+		// image cache so a long soak never accumulates stale builds.
+		// The permanently-hot catalogue donors survive the flush.
+		if len(donorCache) >= 512 {
+			kept := map[string][]byte{}
+			for _, a := range donorApps {
+				k := donorCacheKey(a)
+				if v, ok := donorCache[k]; ok {
+					kept[k] = v
+				}
+			}
+			donorCache = kept
+		}
+		donorCache[key] = img
 		donorMu.Unlock()
 	}
 	return ir.FromBytes(img)
@@ -264,9 +408,17 @@ func RegressionSuite(format string) [][]byte {
 	panic("apps: no regression suite for format " + format)
 }
 
-// Targets returns the Figure 8 error catalogue: every (recipient,
-// error) pair with its donors.
+// Targets returns the error catalogue: every Figure 8 (recipient,
+// error) pair with its donors, followed by registered targets.
 func Targets() []*Target {
+	regMu.RLock()
+	registered := append([]*Target{}, regTargets...)
+	regMu.RUnlock()
+	return append(catalogueTargets(), registered...)
+}
+
+// catalogueTargets returns the Figure 8 error catalogue.
+func catalogueTargets() []*Target {
 	jasperErr := (&hachoir.MJ2K{TilesX: 2, TilesY: 2, Width: 64, Height: 48,
 		TileNo: 4, Data: []byte{3, 3}}).Encode() // tileno == numtiles: off by one
 	gifErr := (&hachoir.MGIF{ScreenW: 50, ScreenH: 40, Width: 50, Height: 40,

@@ -1,0 +1,58 @@
+package corpus
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzIndexLoad hammers the index decoder with malformed, truncated
+// and mutated bytes: every input must produce an index or an error,
+// never a panic, and an accepted index must round-trip through the
+// encoder (the serialized form is the dedup identity a long-running
+// service trusts across restarts).
+func FuzzIndexLoad(f *testing.F) {
+	// A well-formed current-version index.
+	good, err := json.Marshal(&Index{Version: Version, Signatures: []*Signature{{
+		Donor: "feh", Paper: "FEH 2.9.3", Format: "mjpg",
+		ContentKey: "abc", ProbeKey: "def",
+		Fields: []string{"/start_frame/content/width"},
+		Checks: []CheckSig{{Cond: "Ule(w, 16384)", Fields: []string{"/start_frame/content/width"}}},
+	}}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"version":1,"signatures":[]}`))
+	f.Add([]byte(`{"version":2,"signatures":[null]}`))
+	f.Add(good[:len(good)/2])
+	f.Add([]byte(`[]`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ix, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if ix.Version != Version {
+			t.Fatalf("accepted index with version %d", ix.Version)
+		}
+		// Accepted indexes must survive a serialize/decode round trip.
+		out, err := json.Marshal(ix)
+		if err != nil {
+			t.Fatalf("accepted index does not re-encode: %v", err)
+		}
+		if _, err := Decode(out); err != nil {
+			t.Fatalf("re-encoded index does not decode: %v", err)
+		}
+		// The lookup paths assume non-nil signatures; Decode must have
+		// enforced that, and the lookups must not panic on any shape
+		// that got through.
+		for _, sig := range ix.Signatures {
+			if sig == nil {
+				t.Fatal("Decode accepted a null signature entry")
+			}
+			ix.ByDonorFormat(sig.Donor, sig.Format)
+			ix.ForFormat(sig.Format)
+		}
+	})
+}

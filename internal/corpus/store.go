@@ -50,21 +50,38 @@ func (ix *Index) Save(path string) error {
 	return nil
 }
 
-// Load reads an index from disk. Indexes written by a different
-// schema version fail to load; LoadOrBuild treats that as "rebuild".
+// Decode parses serialized index bytes. Malformed, truncated or
+// version-mismatched input returns an error — never a panic — which
+// LoadOrBuild treats as "rebuild".
+func Decode(data []byte) (*Index, error) {
+	var ix Index
+	if err := json.Unmarshal(data, &ix); err != nil {
+		return nil, err
+	}
+	if ix.Version != Version {
+		return nil, fmt.Errorf("index version %d, want %d", ix.Version, Version)
+	}
+	// A hand-corrupted index can hold null entries; the lookup paths
+	// assume non-nil signatures, so reject them at the boundary.
+	for i, sig := range ix.Signatures {
+		if sig == nil {
+			return nil, fmt.Errorf("null signature entry %d", i)
+		}
+	}
+	return &ix, nil
+}
+
+// Load reads an index from disk.
 func Load(path string) (*Index, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	var ix Index
-	if err := json.Unmarshal(data, &ix); err != nil {
+	ix, err := Decode(data)
+	if err != nil {
 		return nil, fmt.Errorf("corpus: %s: %w", path, err)
 	}
-	if ix.Version != Version {
-		return nil, fmt.Errorf("corpus: %s: index version %d, want %d", path, ix.Version, Version)
-	}
-	return &ix, nil
+	return ix, nil
 }
 
 // LoadOrBuild returns a warm index for the donors: it loads path if

@@ -68,6 +68,12 @@ func ErrorInputFor(tgt *apps.Target) ([]byte, error) {
 // input is memoised per target — the service only affects where the
 // first discovery's verdicts are cached, never the input found.
 func errorInputFor(tgt *apps.Target, svc *smt.Service) ([]byte, error) {
+	if tgt.Error != nil {
+		// Catalogued (and generated) error inputs need no discovery and
+		// no memo entry — scenario soaks stream thousands of one-shot
+		// registered targets through here.
+		return tgt.Error, nil
+	}
 	errInputMu.Lock()
 	memo, ok := errInputMemo[tgt.Recipient+"\x00"+tgt.ID]
 	errInputMu.Unlock()
@@ -82,9 +88,6 @@ func errorInputFor(tgt *apps.Target, svc *smt.Service) ([]byte, error) {
 }
 
 func discoverErrorInput(tgt *apps.Target, svc *smt.Service) ([]byte, error) {
-	if tgt.Error != nil {
-		return tgt.Error, nil
-	}
 	recipient, err := apps.ByName(tgt.Recipient)
 	if err != nil {
 		return nil, err

@@ -16,11 +16,29 @@ import (
 	"codephage/internal/vm"
 )
 
+// DefaultRandSeed is the campaign RNG seed a zero-value Options maps
+// to, so two zero-value campaigns on the same module are reproducibly
+// identical — byte for byte, including the crash input found.
+const DefaultRandSeed = 0xF0552
+
 // Options configures a fuzzing campaign.
 type Options struct {
 	MaxSteps  int64
-	MaxRandom int   // random byte-flip candidates (default 2000)
-	RandSeed  int64 // RNG seed
+	MaxRandom int // random byte-flip candidates (default 2000)
+	// RandSeed seeds the random byte-flip phase (0 = DefaultRandSeed).
+	RandSeed int64
+}
+
+// rng returns the campaign RNG. The zero value is not a distinct
+// seed: it resolves to DefaultRandSeed, and an explicit seed is used
+// as-is, so a campaign's exploration order is pinned by the seed the
+// caller can log and replay.
+func (o Options) rng() *rand.Rand {
+	seed := o.RandSeed
+	if seed == 0 {
+		seed = DefaultRandSeed
+	}
+	return rand.New(rand.NewSource(seed))
 }
 
 // Crash is a fuzzing result: an input that traps the application.
@@ -84,7 +102,7 @@ func Find(mod *ir.Module, seed []byte, dis *hachoir.Dissection, opts Options) *C
 	if maxRand == 0 {
 		maxRand = 2000
 	}
-	rng := rand.New(rand.NewSource(opts.RandSeed + 0xF0552))
+	rng := opts.rng()
 	for i := 0; i < maxRand && len(seed) > 0; i++ {
 		input := append([]byte(nil), seed...)
 		flips := 1 + rng.Intn(4)

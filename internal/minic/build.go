@@ -1,0 +1,87 @@
+package minic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Builder assembles a MiniC translation unit programmatically: the
+// scenario generator composes synthetic donor and recipient programs
+// from templates instead of concatenating raw strings. The builder
+// only manages structure (declarations, blocks, indentation); the
+// emitted text goes through the ordinary Parse/Check front end, and
+// Validate runs exactly that, so a generator bug surfaces as a
+// deterministic validation error rather than a downstream compile
+// failure deep inside a conformance run.
+type Builder struct {
+	sb     strings.Builder
+	indent int
+}
+
+// NewBuilder returns an empty program builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// Struct emits a struct declaration; each field is one "type name"
+// line, e.g. "u32 width".
+func (b *Builder) Struct(name string, fields ...string) {
+	b.Line("struct %s {", name)
+	b.indent++
+	for _, f := range fields {
+		b.Line("%s;", f)
+	}
+	b.indent--
+	b.Line("};")
+	b.Line("")
+}
+
+// Global emits a global variable declaration, e.g. "u32 tab[4096]".
+func (b *Builder) Global(decl string) {
+	b.Line("%s;", decl)
+	b.Line("")
+}
+
+// Func emits a function with the given signature, e.g.
+// "u32 read_hdr(Img* im)"; body emits the statements.
+func (b *Builder) Func(sig string, body func()) {
+	b.Line("%s {", sig)
+	b.indent++
+	body()
+	b.indent--
+	b.Line("}")
+	b.Line("")
+}
+
+// Block emits a braced statement, e.g. Block("if (w > 100)", ...) or
+// Block("while (y < h)", ...).
+func (b *Builder) Block(head string, body func()) {
+	b.Line("%s {", head)
+	b.indent++
+	body()
+	b.indent--
+	b.Line("}")
+}
+
+// Line emits one formatted line at the current indentation.
+func (b *Builder) Line(format string, args ...any) {
+	if format != "" {
+		for i := 0; i < b.indent; i++ {
+			b.sb.WriteByte('\t')
+		}
+		fmt.Fprintf(&b.sb, format, args...)
+	}
+	b.sb.WriteByte('\n')
+}
+
+// Source returns the program text assembled so far.
+func (b *Builder) Source() string { return b.sb.String() }
+
+// Validate parses and type-checks the assembled program, returning
+// the front end's error for malformed output.
+func (b *Builder) Validate() error {
+	f, err := Parse(b.Source())
+	if err != nil {
+		return err
+	}
+	_, err = Check(f)
+	return err
+}

@@ -8,12 +8,24 @@ import (
 	"codephage/internal/vm"
 )
 
-// behaviour captures the externally observable outcome of one run,
-// compared bit-for-bit by the regression test (paper §3.4).
-type behaviour struct {
+// Behaviour captures the externally observable outcome of one run,
+// compared bit-for-bit by the regression test (paper §3.4). It is
+// exported so external oracles (the scenario conformance harness) can
+// compare runs with exactly the comparison semantics the validator
+// applies.
+type Behaviour struct {
 	exit   int32
 	trap   vm.TrapKind
 	output []uint64
+}
+
+// behaviour is the historical internal name.
+type behaviour = Behaviour
+
+// Observe records the behaviour of the module over each input — the
+// baseline side of the §3.4 regression comparison.
+func Observe(mod *ir.Module, inputs [][]byte, maxSteps int64) []Behaviour {
+	return observeAll(mod, inputs, maxSteps)
 }
 
 // observeAll observes every input on one reusable runner, so repeated
@@ -36,7 +48,8 @@ func toBehaviour(r *vm.Result) behaviour {
 	return b
 }
 
-func (b behaviour) equal(o behaviour) bool {
+// Equal reports whether two behaviours are observably identical.
+func (b Behaviour) Equal(o Behaviour) bool {
 	if b.exit != o.exit || b.trap != o.trap || len(b.output) != len(o.output) {
 		return false
 	}
@@ -46,6 +59,11 @@ func (b behaviour) equal(o behaviour) bool {
 		}
 	}
 	return true
+}
+
+// String renders the behaviour for failure reports.
+func (b Behaviour) String() string {
+	return fmt.Sprintf("exit %d trap %v out %v", b.exit, b.trap, b.output)
 }
 
 // Validation is the outcome of the patch validation phase.
@@ -96,7 +114,7 @@ func validatePatch(cc *compile.Cache, name, patchedSrc string, errIn []byte, reg
 
 	for i, input := range regression {
 		got := toBehaviour(runner.Run(input))
-		if !got.equal(baseline[i]) {
+		if !got.Equal(baseline[i]) {
 			val.FailReason = fmt.Sprintf("regression input %d diverges: exit %d/%d trap %v/%v out %v/%v",
 				i, got.exit, baseline[i].exit, got.trap, baseline[i].trap, got.output, baseline[i].output)
 			return val

@@ -1,0 +1,567 @@
+// Package scenario is the generative conformance layer: a seeded,
+// deterministic generator of synthetic donor/recipient application
+// pairs in MiniC, and a harness that drives the full production
+// transfer path over hundreds of generated pairs, validating every
+// result with a differential oracle.
+//
+// Each generated recipient carries one injected defect drawn from the
+// paper's three error classes — integer overflow, out-of-bounds
+// access, divide by zero — together with a known error-triggering
+// input, and each generated donor carries the corresponding guarding
+// check, so every pair has a ground-truth expected transfer outcome.
+// Generation is a pure function of an int64 seed: any failure anywhere
+// in the stack reproduces from that one number.
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"codephage/internal/apps"
+)
+
+// fieldSpec mirrors one dissected field of a format (internal/hachoir
+// layouts). registrySafe marks fields whose value is >= 1 in the
+// format's canonical seed and every registry regression input, the
+// precondition for using the field as a divisor: the phaged request
+// path validates patches against the registry regression suite, and a
+// zero divisor there would make the unpatched baseline trap.
+type fieldSpec struct {
+	path         string
+	size         int // bytes
+	be           bool
+	registrySafe bool
+}
+
+// cname returns the field's C identifier: the dissector path with the
+// separators flattened (paths repeat leaf names across sections, e.g.
+// /screen/width and /image/width in mgif).
+func (f *fieldSpec) cname() string {
+	out := make([]byte, 0, len(f.path))
+	for i := 1; i < len(f.path); i++ {
+		c := f.path[i]
+		if c == '/' {
+			c = '_'
+		}
+		out = append(out, c)
+	}
+	return string(out)
+}
+
+// readCall returns the in_* expression reading the field, cast to u32.
+func (f *fieldSpec) readCall() string {
+	switch {
+	case f.size == 1:
+		return "(u32)in_u8()"
+	case f.size == 2 && f.be:
+		return "(u32)in_u16be()"
+	case f.size == 2:
+		return "(u32)in_u16le()"
+	case f.be:
+		return "in_u32be()"
+	default:
+		return "in_u32le()"
+	}
+}
+
+// max returns the field's maximum value.
+func (f *fieldSpec) max() uint64 {
+	return 1<<(8*uint(f.size)) - 1
+}
+
+// formatSpec models one input format: the magic constant and the
+// fixed-offset field layout after it, mirroring the dissectors in
+// internal/hachoir (a layout change there invalidates generated
+// scenarios the same way it invalidates corpus signatures — loudly,
+// through the generator's self-check).
+type formatSpec struct {
+	name   string
+	magic  uint32
+	fields []fieldSpec
+}
+
+func (f *formatSpec) headerLen() int {
+	n := 4
+	for i := range f.fields {
+		n += f.fields[i].size
+	}
+	return n
+}
+
+// encode serializes an input: magic, each field per its size and
+// endianness, then the payload.
+func (f *formatSpec) encode(vals map[string]uint64, payload []byte) []byte {
+	out := []byte{byte(f.magic >> 24), byte(f.magic >> 16), byte(f.magic >> 8), byte(f.magic)}
+	for i := range f.fields {
+		fs := &f.fields[i]
+		v := vals[fs.path]
+		for b := 0; b < fs.size; b++ {
+			if fs.be {
+				out = append(out, byte(v>>(8*uint(fs.size-1-b))))
+			} else {
+				out = append(out, byte(v>>(8*uint(b))))
+			}
+		}
+	}
+	return append(out, payload...)
+}
+
+var formatSpecs = []formatSpec{
+	{name: "mjpg", magic: 0x4D4A5047, fields: []fieldSpec{
+		{"/version", 1, true, true},
+		{"/start_frame/precision", 1, true, false},
+		{"/start_frame/content/height", 2, true, true},
+		{"/start_frame/content/width", 2, true, true},
+		{"/start_frame/components", 1, true, true},
+		{"/start_frame/h_samp", 1, true, true},
+		{"/start_frame/v_samp", 1, true, true},
+		{"/scan/length", 4, true, false},
+	}},
+	{name: "mpng", magic: 0x4D504E47, fields: []fieldSpec{
+		{"/ihdr/width", 4, true, true},
+		{"/ihdr/height", 4, true, true},
+		{"/ihdr/depth", 1, true, true},
+		{"/ihdr/color", 1, true, false},
+		{"/idat/length", 4, true, false},
+	}},
+	{name: "mgif", magic: 0x4D474946, fields: []fieldSpec{
+		{"/screen/width", 2, false, true},
+		{"/screen/height", 2, false, true},
+		{"/screen/flags", 1, false, false},
+		{"/image/left", 2, false, false},
+		{"/image/top", 2, false, false},
+		{"/image/width", 2, false, true},
+		{"/image/height", 2, false, true},
+		{"/image/lzw_code_size", 1, false, true},
+		{"/image/data_len", 2, false, false},
+	}},
+	{name: "mtif", magic: 0x4D544946, fields: []fieldSpec{
+		{"/ifd/width", 4, false, true},
+		{"/ifd/height", 4, false, true},
+		{"/ifd/bits_per_sample", 2, false, true},
+		{"/ifd/samples_per_pixel", 2, false, true},
+		{"/strip/length", 4, false, false},
+	}},
+	{name: "mswf", magic: 0x4D535746, fields: []fieldSpec{
+		{"/header/version", 1, false, true},
+		{"/header/frame_width", 2, false, true},
+		{"/header/frame_height", 2, false, true},
+		{"/jpeg/length", 4, false, true},
+		{"/jpeg/height", 2, true, true},
+		{"/jpeg/width", 2, true, true},
+		{"/jpeg/components", 1, true, true},
+		{"/jpeg/h_samp", 1, true, true},
+		{"/jpeg/v_samp", 1, true, true},
+	}},
+	{name: "mpkt", magic: 0x4D504B54, fields: []fieldSpec{
+		{"/eth/proto", 2, true, true},
+		{"/dcp/flags", 1, true, false},
+		{"/dcp/plen", 2, true, true},
+		{"/dcp/seq", 2, true, true},
+	}},
+	{name: "mj2k", magic: 0x4D4A324B, fields: []fieldSpec{
+		{"/siz/tiles_x", 1, true, true},
+		{"/siz/tiles_y", 1, true, true},
+		{"/siz/width", 2, true, true},
+		{"/siz/height", 2, true, true},
+		{"/sot/tileno", 2, true, false},
+		{"/sot/length", 2, true, false},
+	}},
+}
+
+// Generated benign inputs keep every 1-byte field in [1, benignMax8]
+// and every wider field in [1, benignMaxWide]; every generated guard
+// bound sits strictly above both (and above the registry regression
+// suite's maxima), so no generated donor's check ever fires on any
+// generated pair's benign input — cross-pair donor selection can rank
+// any surviving donor without risking a benign regression failure.
+const (
+	benignMax8    = 9
+	benignMaxWide = 500
+	// registryMax is the largest field value appearing in any registry
+	// regression input (mjpg's 1024-pixel height); generated bounds
+	// stay above it so registry suites pass generated guards too.
+	registryMax = 1024
+	// shiftBound is the donated bound for the LZW-style shift defect:
+	// the table holds 1<<12 entries, matching the registry's maximum
+	// code size, exactly as in the paper's gif2tiff/ImageMagick pair.
+	shiftBound = 12
+	shiftTable = 1 << shiftBound
+)
+
+// defect identifies the injected error template.
+type defect int
+
+const (
+	defOverflow defect = iota // unchecked 32-bit size product (cwebp family)
+	defDivZero                // field used as divisor (wireshark family)
+	defOffByOne               // > where >= is required (jasper family)
+	defShift                  // unbounded table-init shift (gif2tiff family)
+)
+
+func (d defect) kind() apps.ErrorKind {
+	switch d {
+	case defOverflow:
+		return apps.Overflow
+	case defDivZero:
+		return apps.DivZero
+	default:
+		return apps.OOB
+	}
+}
+
+// Pair is one generated donor/recipient scenario with its ground
+// truth: a recipient whose injected defect the error input triggers, a
+// donor whose check guards exactly that defect, a naive donor with no
+// relevant check (selection must rank it below the guarding donor),
+// and a benign-input suite the patched recipient must match the
+// unpatched one on.
+type Pair struct {
+	Seed   int64
+	Format string
+	Kind   apps.ErrorKind
+
+	Recipient *apps.App
+	Donor     *apps.App // carries the guarding check
+	Naive     *apps.App // same format, no relevant check
+	Target    *apps.Target
+
+	SeedInput  []byte
+	ErrorInput []byte
+	Benign     [][]byte // Benign[0] is SeedInput
+	VulnFn     string
+
+	// GuardDesc summarizes the donated check for reports.
+	GuardDesc string
+
+	defect defect
+
+	// The oracle's unpatched-side baseline, computed once per pair and
+	// shared across the real-patch and mutant verifications.
+	baseOnce sync.Once
+	base     *oracleBaseline
+	baseErr  error
+}
+
+// Name returns the pair's unique scenario name.
+func (p *Pair) Name() string { return scenarioName(p.Seed) }
+
+func scenarioName(seed int64) string { return fmt.Sprintf("scn%016x", uint64(seed)) }
+
+// wordlists for deterministic, collision-free program naming.
+var (
+	structWords = []string{"Header", "Decoder", "Context", "Image", "Packet", "Frame", "Stream", "Record"}
+	readWords   = []string{"parse_header", "read_header", "load_input", "decode_header", "scan_header"}
+	vulnWords   = []string{"process_data", "render_image", "decode_body", "handle_payload", "expand_rows", "build_buffer"}
+	guardWords  = []string{"validate_input", "check_limits", "sanity_check", "verify_header", "bounds_ok"}
+	emitWords   = []string{"emit_summary", "consume_input", "report_fields", "summarize"}
+)
+
+func pick(rng *rand.Rand, words []string) string { return words[rng.Intn(len(words))] }
+
+// between returns a deterministic value in [lo, hi].
+func between(rng *rand.Rand, lo, hi uint64) uint64 {
+	return lo + uint64(rng.Int63n(int64(hi-lo+1)))
+}
+
+// gen carries one pair's generation state.
+type gen struct {
+	rng  *rand.Rand
+	fmt  *formatSpec
+	def  defect
+	seed int64
+
+	// culprit fields and template constants.
+	fa, fb  *fieldSpec // defOverflow: size product operands
+	fd      *fieldSpec // defDivZero: divisor
+	fi      *fieldSpec // defOffByOne: index; defShift: shift amount
+	mulK    uint64     // defOverflow: constant multiplier
+	tableN  uint64     // defOffByOne: table entries
+	boundA  uint64     // guard bounds
+	boundB  uint64
+	prod64  uint64 // defOverflow product-form bound (0 = per-field form)
+	useLen  bool   // defDivZero: numerator from in_len()
+	numF    *fieldSpec
+	structN string
+	readFn  string
+	vulnFn  string
+
+	seedVals map[string]uint64
+	errVals  map[string]uint64
+}
+
+// multiByteFields returns the format's fields of at least 2 bytes.
+func (g *gen) multiByteFields() []*fieldSpec {
+	var out []*fieldSpec
+	for i := range g.fmt.fields {
+		if g.fmt.fields[i].size >= 2 {
+			out = append(out, &g.fmt.fields[i])
+		}
+	}
+	return out
+}
+
+// byteFields returns the format's 1-byte fields.
+func (g *gen) byteFields() []*fieldSpec {
+	var out []*fieldSpec
+	for i := range g.fmt.fields {
+		if g.fmt.fields[i].size == 1 {
+			out = append(out, &g.fmt.fields[i])
+		}
+	}
+	return out
+}
+
+// registrySafeFields returns fields usable as divisors.
+func (g *gen) registrySafeFields() []*fieldSpec {
+	var out []*fieldSpec
+	for i := range g.fmt.fields {
+		if g.fmt.fields[i].registrySafe {
+			out = append(out, &g.fmt.fields[i])
+		}
+	}
+	return out
+}
+
+// benignValue draws a benign value for the field, respecting the
+// global benign ranges.
+func benignValue(rng *rand.Rand, f *fieldSpec) uint64 {
+	if f.size == 1 {
+		return between(rng, 1, benignMax8)
+	}
+	return between(rng, 1, benignMaxWide)
+}
+
+// benignVals draws a full set of benign field values.
+func (g *gen) benignVals() map[string]uint64 {
+	vals := map[string]uint64{}
+	for i := range g.fmt.fields {
+		vals[g.fmt.fields[i].path] = benignValue(g.rng, &g.fmt.fields[i])
+	}
+	return vals
+}
+
+// GeneratePair deterministically generates one scenario from its
+// seed, self-checking the ground truth: the recipient must trap on the
+// error input with the expected trap kind and run cleanly on the seed,
+// the benign suite and the registry regression suite; both donors must
+// process every one of those inputs without crashing (the donor
+// rejects the error input through its guard).
+func GeneratePair(seed int64) (*Pair, error) {
+	g := &gen{rng: rand.New(rand.NewSource(seed)), seed: seed}
+	g.fmt = &formatSpecs[g.rng.Intn(len(formatSpecs))]
+
+	// Choose the defect template among those the format supports.
+	choices := []defect{defOverflow, defDivZero, defOffByOne}
+	if len(g.byteFields()) > 0 {
+		choices = append(choices, defShift)
+	}
+	g.def = choices[g.rng.Intn(len(choices))]
+
+	g.structN = pick(g.rng, structWords)
+	g.readFn = pick(g.rng, readWords)
+	g.vulnFn = pick(g.rng, vulnWords)
+
+	if err := g.chooseTemplate(); err != nil {
+		return nil, fmt.Errorf("scenario %d: %w", seed, err)
+	}
+	g.seedVals = g.benignVals()
+	if err := g.solveErrorValues(); err != nil {
+		return nil, fmt.Errorf("scenario %d: %w", seed, err)
+	}
+
+	name := scenarioName(seed)
+	payload := make([]byte, g.rng.Intn(6))
+	for i := range payload {
+		payload[i] = byte(g.rng.Intn(256))
+	}
+	seedIn := g.fmt.encode(g.seedVals, payload)
+	errIn := g.fmt.encode(g.errVals, payload)
+
+	benign := [][]byte{seedIn}
+	for n := 3 + g.rng.Intn(3); n > 0; n-- {
+		pl := make([]byte, g.rng.Intn(6))
+		for i := range pl {
+			pl[i] = byte(g.rng.Intn(256))
+		}
+		benign = append(benign, g.fmt.encode(g.benignVals(), pl))
+	}
+
+	recipient := &apps.App{
+		Name:    name + "-rcp",
+		Paper:   "generated recipient",
+		Source:  g.recipientSource(),
+		Formats: []string{g.fmt.name},
+	}
+	donor := &apps.App{
+		Name:    name + "-don",
+		Paper:   "generated donor",
+		Source:  g.donorSource(),
+		Formats: []string{g.fmt.name},
+		Donor:   true,
+	}
+	naive := &apps.App{
+		Name:    name + "-nai",
+		Paper:   "generated naive donor",
+		Source:  g.naiveSource(),
+		Formats: []string{g.fmt.name},
+		Donor:   true,
+	}
+
+	vulnFn := ""
+	if g.def == defOverflow {
+		vulnFn = g.vulnFn
+	}
+	p := &Pair{
+		Seed:       seed,
+		Format:     g.fmt.name,
+		Kind:       g.def.kind(),
+		Recipient:  recipient,
+		Donor:      donor,
+		Naive:      naive,
+		SeedInput:  seedIn,
+		ErrorInput: errIn,
+		Benign:     benign,
+		VulnFn:     vulnFn,
+		GuardDesc:  g.guardDesc(),
+		defect:     g.def,
+	}
+	p.Target = &apps.Target{
+		Recipient: recipient.Name,
+		ID:        "gen.c@1",
+		Kind:      p.Kind,
+		Format:    g.fmt.name,
+		VulnFn:    vulnFn,
+		Donors:    []string{donor.Name, naive.Name},
+		Seed:      seedIn,
+		Error:     errIn,
+	}
+	if err := p.selfCheck(); err != nil {
+		return nil, fmt.Errorf("scenario %d: %w", seed, err)
+	}
+	return p, nil
+}
+
+// chooseTemplate picks the culprit fields and constants for the
+// defect.
+func (g *gen) chooseTemplate() error {
+	switch g.def {
+	case defOverflow:
+		multi := g.multiByteFields()
+		if len(multi) < 2 {
+			return fmt.Errorf("format %s has too few multi-byte fields", g.fmt.name)
+		}
+		ai := g.rng.Intn(len(multi))
+		bi := g.rng.Intn(len(multi) - 1)
+		if bi >= ai {
+			bi++
+		}
+		g.fa, g.fb = multi[ai], multi[bi]
+		g.mulK = between(g.rng, 2, 4)
+		if g.rng.Intn(2) == 0 {
+			// Per-field bound form (the mtpaint MAX_WIDTH shape). The
+			// bounds keep the guarded product under 2^32 so the DIODE
+			// rescan finds no residual overflow.
+			g.boundA = between(g.rng, registryMax+76, 16000)
+			g.boundB = between(g.rng, registryMax+76, 16000)
+		} else {
+			// 64-bit product form (the feh IMAGE_DIMENSIONS_OK shape):
+			// bound above the registry maxima product, below 2^32/K.
+			g.prod64 = between(g.rng, 1<<20, 1<<28)
+		}
+	case defDivZero:
+		safe := g.registrySafeFields()
+		if len(safe) == 0 {
+			return fmt.Errorf("format %s has no registry-safe divisor field", g.fmt.name)
+		}
+		g.fd = safe[g.rng.Intn(len(safe))]
+		g.useLen = g.rng.Intn(2) == 0
+		if !g.useLen {
+			others := g.registrySafeFields()
+			g.numF = others[g.rng.Intn(len(others))]
+			if g.numF == g.fd {
+				g.useLen = true
+			}
+		}
+	case defOffByOne:
+		multi := g.multiByteFields()
+		if len(multi) == 0 {
+			return fmt.Errorf("format %s has no multi-byte index field", g.fmt.name)
+		}
+		g.fi = multi[g.rng.Intn(len(multi))]
+		g.tableN = between(g.rng, registryMax+76, 4000)
+	case defShift:
+		bytes := g.byteFields()
+		if len(bytes) == 0 {
+			return fmt.Errorf("format %s has no 1-byte shift field", g.fmt.name)
+		}
+		g.fi = bytes[g.rng.Intn(len(bytes))]
+	}
+	return nil
+}
+
+// solveErrorValues derives the error-triggering field assignment from
+// the seed values.
+func (g *gen) solveErrorValues() error {
+	errVals := map[string]uint64{}
+	for k, v := range g.seedVals {
+		errVals[k] = v
+	}
+	switch g.def {
+	case defOverflow:
+		// Find a, b with a*b*K just past 2^32: the 32-bit product wraps
+		// to a small allocation (r bytes, under the heap limit) while
+		// the row loop's second write lands a*K bytes in — past the
+		// short buffer, trapping immediately. a is capped at 2^24 so
+		// one loop step never wraps on its own, and its lower half
+		// keeps a above every generated guard bound.
+		const wrap = uint64(1) << 32
+		maxA, maxB := g.fa.max(), g.fb.max()
+		hi := maxA
+		if hi > 1<<24 {
+			hi = 1 << 24
+		}
+		for try := 0; try < 4096; try++ {
+			a := between(g.rng, hi/2, hi)
+			step := a * g.mulK
+			b := (wrap + step - 1) / step
+			if b < 2 || b > maxB {
+				continue
+			}
+			r := a*b*g.mulK - wrap // in [0, step)
+			if r >= 1 && r < 1<<20 {
+				errVals[g.fa.path] = a
+				errVals[g.fb.path] = b
+				g.errVals = errVals
+				return nil
+			}
+		}
+		return fmt.Errorf("no wrapping assignment for %s*%s*%d", g.fa.path, g.fb.path, g.mulK)
+	case defDivZero:
+		errVals[g.fd.path] = 0
+	case defOffByOne:
+		errVals[g.fi.path] = g.tableN
+	case defShift:
+		errVals[g.fi.path] = between(g.rng, shiftBound+1, 14)
+	}
+	g.errVals = errVals
+	return nil
+}
+
+// guardDesc renders the donated check for reports.
+func (g *gen) guardDesc() string {
+	switch g.def {
+	case defOverflow:
+		if g.prod64 != 0 {
+			return fmt.Sprintf("(u64)%s * (u64)%s <= %d", g.fa.cname(), g.fb.cname(), g.prod64)
+		}
+		return fmt.Sprintf("%s <= %d && %s <= %d", g.fa.cname(), g.boundA, g.fb.cname(), g.boundB)
+	case defDivZero:
+		return fmt.Sprintf("%s != 0", g.fd.cname())
+	case defOffByOne:
+		return fmt.Sprintf("%s < %d", g.fi.cname(), g.tableN)
+	default:
+		return fmt.Sprintf("%s <= %d", g.fi.cname(), shiftBound)
+	}
+}

@@ -1,0 +1,373 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"codephage/internal/apps"
+	"codephage/internal/compile"
+	"codephage/internal/corpus"
+	"codephage/internal/ir"
+	"codephage/internal/pipeline"
+	"codephage/internal/server"
+)
+
+// Options configures one conformance suite run.
+type Options struct {
+	// Seed is the suite seed; pair i of the suite is GeneratePair(Seed+i),
+	// so a failing pair reproduces standalone as a Count-1 suite at its
+	// own seed.
+	Seed int64
+	// Count is the number of generated pairs.
+	Count int
+	// Mutant also runs the mutant-patch oracle meta-check on every
+	// validated transfer.
+	Mutant bool
+	// HTTP drives the suite through a phaged instance over real HTTP
+	// (soak mode): generated applications and targets are registered
+	// in the apps registry, a server scoped to the suite's donors is
+	// started, and every transfer is submitted as a donor:"auto"
+	// request.
+	HTTP bool
+	// Workers bounds suite concurrency (0 = the batch/server default).
+	Workers int
+	// Only, when nonzero, replays a single pair (by its pair seed)
+	// inside the full suite: every pair is still generated and every
+	// donor still indexed — selection sees the same knowledge base the
+	// full run did — but only the named pair is transferred and
+	// validated. Failure repro commands use this.
+	Only int64
+	// Logf, when set, receives per-pair progress lines.
+	Logf func(format string, args ...any)
+}
+
+// Outcome is one pair's conformance result.
+type Outcome struct {
+	Seed   int64  `json:"seed"`
+	Name   string `json:"name"`
+	Format string `json:"format"`
+	Kind   string `json:"kind"`
+	// Donor is the auto-selected donor ("" on failure before
+	// selection). Guard reports whether it is the pair's guarding
+	// donor (the expected selection).
+	Donor  string `json:"donor,omitempty"`
+	Guard  bool   `json:"guard_donor,omitempty"`
+	Rounds int    `json:"rounds,omitempty"`
+	// Err is the failure ("" = conformant): generation, transfer,
+	// oracle, or mutant-mode defect.
+	Err string `json:"err,omitempty"`
+	// Skipped marks pairs generated for the donor pool but not
+	// transferred (an Options.Only replay of a different pair).
+	Skipped bool `json:"skipped,omitempty"`
+	// Repro is the one command reproducing this pair's run within its
+	// suite's donor pool.
+	Repro string `json:"repro"`
+}
+
+// Failed reports whether the pair failed conformance.
+func (o *Outcome) Failed() bool { return o.Err != "" }
+
+// Report is the outcome of a conformance suite.
+type Report struct {
+	Seed     int64     `json:"seed"`
+	Count    int       `json:"count"`
+	HTTP     bool      `json:"http"`
+	Mutant   bool      `json:"mutant"`
+	Failed   int       `json:"failed"`
+	Wall     int64     `json:"wall_ms"`
+	Outcomes []Outcome `json:"outcomes"`
+}
+
+// Failures returns the failed outcomes.
+func (r *Report) Failures() []Outcome {
+	var out []Outcome
+	for _, o := range r.Outcomes {
+		if o.Failed() {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// repro renders the command reproducing one pair under the given
+// options: the whole suite's seed and count (so the replay indexes
+// the same donor pool selection ranked over) narrowed to the one
+// pair with -only.
+func repro(pairSeed int64, opts *Options) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "codephage scenario run -seed %d -count %d", opts.Seed, opts.Count)
+	if opts.Count > 1 {
+		fmt.Fprintf(&sb, " -only %d", pairSeed)
+	}
+	if opts.Mutant {
+		sb.WriteString(" -mutant")
+	}
+	if opts.HTTP {
+		sb.WriteString(" -http")
+	}
+	return sb.String()
+}
+
+// suiteDonors collects the corpus donor set and module loader for the
+// generated pairs: every pair contributes its guarding donor and its
+// naive decoy, so selection ranks within a realistic, format-shared
+// knowledge base.
+func suiteDonors(pairs []*Pair) ([]corpus.Donor, corpus.ModuleLoader) {
+	byName := map[string]*apps.App{}
+	var donors []corpus.Donor
+	for _, p := range pairs {
+		if p == nil {
+			continue
+		}
+		for _, d := range []*apps.App{p.Donor, p.Naive} {
+			if byName[d.Name] != nil {
+				continue
+			}
+			byName[d.Name] = d
+			donors = append(donors, corpus.Donor{
+				Name: d.Name, Paper: d.Paper, Source: d.Source, Formats: d.Formats,
+			})
+		}
+	}
+	sort.Slice(donors, func(i, j int) bool { return donors[i].Name < donors[j].Name })
+	loader := func(name string) (*ir.Module, error) {
+		app := byName[name]
+		if app == nil {
+			return nil, fmt.Errorf("scenario: unknown suite donor %q", name)
+		}
+		m, err := compile.Cached(app.Name, app.Source)
+		if err != nil {
+			return nil, err
+		}
+		m = m.Clone()
+		m.Strip()
+		return m, nil
+	}
+	return donors, loader
+}
+
+// Run executes one conformance suite and returns its report. The
+// suite is deterministic in Options.Seed: generation, donor
+// selection, transfer results and oracle verdicts all reproduce.
+func Run(opts Options) (*Report, error) {
+	if opts.Count <= 0 {
+		opts.Count = 1
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	start := time.Now()
+	rep := &Report{Seed: opts.Seed, Count: opts.Count, HTTP: opts.HTTP, Mutant: opts.Mutant}
+	rep.Outcomes = make([]Outcome, opts.Count)
+
+	pairs := make([]*Pair, opts.Count)
+	for i := range pairs {
+		seed := opts.Seed + int64(i)
+		out := &rep.Outcomes[i]
+		out.Seed = seed
+		out.Name = scenarioName(seed)
+		out.Repro = repro(seed, &opts)
+		p, err := GeneratePair(seed)
+		if err != nil {
+			out.Err = fmt.Sprintf("generate: %v", err)
+			continue
+		}
+		pairs[i] = p
+		out.Format = p.Format
+		out.Kind = string(p.Kind)
+	}
+
+	if opts.Only != 0 {
+		if opts.Only < opts.Seed || opts.Only >= opts.Seed+int64(opts.Count) {
+			return nil, fmt.Errorf("scenario: -only %d is outside the suite [%d, %d)",
+				opts.Only, opts.Seed, opts.Seed+int64(opts.Count))
+		}
+		for i := range rep.Outcomes {
+			rep.Outcomes[i].Skipped = rep.Outcomes[i].Seed != opts.Only
+		}
+	}
+
+	var err error
+	if opts.HTTP {
+		err = runHTTP(pairs, rep, &opts, logf)
+	} else {
+		err = runLocal(pairs, rep, &opts, logf)
+	}
+	if err != nil {
+		return nil, err
+	}
+	for i := range rep.Outcomes {
+		if rep.Outcomes[i].Failed() {
+			rep.Failed++
+		}
+	}
+	rep.Wall = time.Since(start).Milliseconds()
+	return rep, nil
+}
+
+// finishOutcome applies the selection ground truth and the oracle
+// (and mutant meta-check) to one transfer result.
+func finishOutcome(p *Pair, out *Outcome, patchedSrc string, opts *Options, logf func(string, ...any)) {
+	// Cross-pair healing is legitimate — any pair's guarding donor may
+	// supply the check — but a transfer resolved from a check-free
+	// naive decoy means ranking or discovery regressed.
+	if strings.HasSuffix(out.Donor, "-nai") {
+		out.Err = fmt.Sprintf("selection resolved the naive donor %s", out.Donor)
+		logf("%s %s/%v: SELECTION FAIL: %s", out.Name, p.Format, p.Kind, out.Err)
+		return
+	}
+	if err := VerifyTransfer(p, patchedSrc); err != nil {
+		out.Err = err.Error()
+		logf("%s %s/%v: ORACLE FAIL: %v", out.Name, p.Format, p.Kind, err)
+		return
+	}
+	if opts.Mutant {
+		if err := VerifyMutants(p, patchedSrc); err != nil {
+			out.Err = err.Error()
+			logf("%s %s/%v: MUTANT FAIL: %v", out.Name, p.Format, p.Kind, err)
+			return
+		}
+	}
+	logf("%s %s/%v <- %s: ok (%d round(s))", out.Name, p.Format, p.Kind, out.Donor, out.Rounds)
+}
+
+// runLocal drives the suite through the production path in-process:
+// corpus indexing over the suite donors, the Select stage, and the
+// batch engine.
+func runLocal(pairs []*Pair, rep *Report, opts *Options, logf func(string, ...any)) error {
+	donors, loader := suiteDonors(pairs)
+	eng := pipeline.NewEngine()
+	eng.Selector = &corpus.Selector{Donors: donors, Loader: loader}
+
+	var tasks []pipeline.BatchTask
+	var taskPair []int
+	for i, p := range pairs {
+		if p == nil || rep.Outcomes[i].Skipped {
+			continue
+		}
+		tasks = append(tasks, pipeline.BatchTask{
+			ID: p.Name(),
+			Transfer: &pipeline.Transfer{
+				RecipientName: p.Recipient.Name,
+				RecipientSrc:  p.Recipient.Source,
+				Donor:         nil, // auto-selection
+				Format:        p.Format,
+				Seed:          p.SeedInput,
+				Error:         p.ErrorInput,
+				Regression:    p.Benign,
+				VulnFn:        p.VulnFn,
+			},
+		})
+		taskPair = append(taskPair, i)
+	}
+	batch := &pipeline.Batch{Engine: eng, Workers: opts.Workers}
+	results, _ := batch.Run(tasks)
+	for ti, br := range results {
+		i := taskPair[ti]
+		p, out := pairs[i], &rep.Outcomes[i]
+		if br.Err != nil {
+			out.Err = fmt.Sprintf("transfer: %v", br.Err)
+			logf("%s %s/%v: TRANSFER FAIL: %v", out.Name, p.Format, p.Kind, br.Err)
+			continue
+		}
+		out.Donor = br.Result.Donor
+		out.Guard = br.Result.Donor == p.Donor.Name
+		out.Rounds = len(br.Result.Rounds)
+		finishOutcome(p, out, br.Result.FinalSource, opts, logf)
+	}
+	return nil
+}
+
+// runHTTP drives the suite through a phaged instance over real HTTP:
+// the soak mode. Generated applications and targets are registered in
+// the apps registry for the duration of the run, the server's corpus
+// is scoped to the suite's donors, and every pair is submitted as a
+// donor:"auto" request.
+func runHTTP(pairs []*Pair, rep *Report, opts *Options, logf func(string, ...any)) error {
+	var registered []*apps.App
+	prefix := map[string]bool{}
+	for _, p := range pairs {
+		if p == nil {
+			continue
+		}
+		registered = append(registered, p.Recipient, p.Donor, p.Naive)
+	}
+	if err := apps.Register(registered...); err != nil {
+		return fmt.Errorf("scenario: registering suite: %w", err)
+	}
+	for _, a := range registered {
+		prefix[a.Name] = true
+	}
+	defer apps.Unregister(func(name string) bool { return prefix[name] })
+	var targets []*apps.Target
+	for _, p := range pairs {
+		if p != nil {
+			targets = append(targets, p.Target)
+		}
+	}
+	if err := apps.RegisterTargets(targets...); err != nil {
+		return fmt.Errorf("scenario: registering targets: %w", err)
+	}
+
+	donors, loader := suiteDonors(pairs)
+	srv := server.New(server.Config{CorpusDonors: donors, CorpusLoader: loader})
+	srv.Start()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer func() {
+		hs.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	cli := &server.Client{BaseURL: "http://" + ln.Addr().String()}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, p := range pairs {
+		if p == nil || rep.Outcomes[i].Skipped {
+			continue
+		}
+		wg.Add(1)
+		go func(p *Pair, out *Outcome) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			env, err := cli.Transfer(&server.Request{
+				Recipient: p.Recipient.Name,
+				Target:    p.Target.ID,
+				Donor:     pipeline.AutoDonor,
+			})
+			if err != nil {
+				out.Err = fmt.Sprintf("transfer: %v", err)
+				return
+			}
+			if env.Status != server.StatusDone {
+				out.Err = fmt.Sprintf("transfer: %s", env.Error)
+				logf("%s %s/%v: TRANSFER FAIL: %s", out.Name, p.Format, p.Kind, env.Error)
+				return
+			}
+			out.Donor = env.Report.Donor
+			out.Guard = env.Report.Donor == p.Donor.Name
+			out.Rounds = len(env.Report.Rounds)
+			finishOutcome(p, out, env.Report.PatchedSource, opts, logf)
+		}(p, &rep.Outcomes[i])
+	}
+	wg.Wait()
+	return nil
+}

@@ -1,0 +1,209 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+
+	"codephage/internal/apps"
+	"codephage/internal/compile"
+	"codephage/internal/ir"
+	"codephage/internal/pipeline"
+	"codephage/internal/vm"
+)
+
+// The differential oracle validates a transfer result against the
+// pair's ground truth:
+//
+//  1. the patched recipient must run the error input to completion —
+//     no trap — and reject it (nonzero exit through the donated
+//     guard);
+//  2. on the seed and every benign input, the patched recipient must
+//     produce an observable trace identical to the unpatched one
+//     (vm.Runner traces: every input read, allocation, free, output
+//     and exit, in order), so a patch cannot buy safety by changing
+//     behaviour benign inputs rely on;
+//  3. on the registry regression suite the patched recipient must be
+//     behaviourally identical to the unpatched one under the engine's
+//     own §3.4 comparison (pipeline.Observe), tying the oracle's
+//     verdict to the validator's semantics.
+//
+// VerifyMutants then weakens a validated patch two ways — a guard
+// that never fires and a guard that always fires — and requires the
+// oracle to reject both, confirming the oracle has the discrimination
+// the conformance verdicts rely on.
+
+// runTrace executes the module on the input under a trace recorder.
+func runTrace(mod *ir.Module, input []byte) ([]vm.TraceEvent, *vm.Result) {
+	rec := &vm.TraceRecorder{}
+	r := vm.NewRunner(mod)
+	r.Tracer = rec
+	res := r.Run(input)
+	return rec.Events, res
+}
+
+// oracleBaseline is the unpatched side of the differential
+// comparison, computed once per pair and shared by the real-patch
+// verification and both mutant checks.
+type oracleBaseline struct {
+	traces   [][]vm.TraceEvent    // per benign input (exit included as an event)
+	registry []pipeline.Behaviour // registry regression behaviours
+	inputs   [][]byte             // the registry suite observed
+}
+
+// baseline computes (once) the unpatched recipient's benign traces
+// and registry behaviours.
+func (p *Pair) baseline() (*oracleBaseline, error) {
+	p.baseOnce.Do(func() {
+		orig, err := compile.Cached(p.Recipient.Name, p.Recipient.Source)
+		if err != nil {
+			p.baseErr = fmt.Errorf("oracle: original does not compile: %w", err)
+			return
+		}
+		base := &oracleBaseline{inputs: apps.RegressionSuite(p.Format)}
+		for i, in := range p.Benign {
+			trace, res := runTrace(orig, in)
+			if !res.OK() || res.ExitCode != 0 {
+				p.baseErr = fmt.Errorf("oracle: unpatched recipient rejects benign input %d (trap %v exit %d)",
+					i, res.Trap, res.ExitCode)
+				return
+			}
+			base.traces = append(base.traces, trace)
+		}
+		base.registry = pipeline.Observe(orig, base.inputs, 0)
+		p.base = base
+	})
+	return p.base, p.baseErr
+}
+
+// VerifyTransfer runs the differential oracle for one pair against
+// the patched recipient source a transfer produced.
+func VerifyTransfer(p *Pair, patchedSrc string) error {
+	if patchedSrc == p.Recipient.Source {
+		return fmt.Errorf("oracle: patched source is identical to the original")
+	}
+	base, err := p.baseline()
+	if err != nil {
+		return err
+	}
+	patched, err := compile.Cached(p.Recipient.Name, patchedSrc)
+	if err != nil {
+		return fmt.Errorf("oracle: patched source does not compile: %w", err)
+	}
+
+	// 1. The error input must be rejected, not survived-by-luck.
+	if r := vm.NewRunner(patched).Run(p.ErrorInput); !r.OK() {
+		return fmt.Errorf("oracle: patched recipient still traps on the error input: %v", r.Trap)
+	} else if r.ExitCode == 0 {
+		return fmt.Errorf("oracle: patched recipient accepts the error input (exit 0)")
+	}
+
+	// 2. Trace-identical on the seed and benign suite.
+	for i, in := range p.Benign {
+		gotTrace, gotRes := runTrace(patched, in)
+		if !gotRes.OK() {
+			return fmt.Errorf("oracle: patched recipient traps on benign input %d: %v", i, gotRes.Trap)
+		}
+		// The exit code needs no separate comparison: exit is itself a
+		// recorded trace event, so TraceEqual covers it.
+		if eq, at := vm.TraceEqual(base.traces[i], gotTrace); !eq {
+			return fmt.Errorf("oracle: benign input %d diverges at trace event %d (%d vs %d events)",
+				i, at, len(base.traces[i]), len(gotTrace))
+		}
+	}
+
+	// 3. Behaviourally identical on the registry regression suite,
+	// under the validator's own comparison.
+	got := pipeline.Observe(patched, base.inputs, 0)
+	for i := range base.registry {
+		if !got[i].Equal(base.registry[i]) {
+			return fmt.Errorf("oracle: registry input %d diverges: %v, want %v", i, got[i], base.registry[i])
+		}
+	}
+	return nil
+}
+
+// MutantMode selects how WeakenPatch corrupts a validated patch.
+type MutantMode int
+
+const (
+	// MutantLenient makes every donated guard unfireable: the error
+	// input must trap again, so an oracle that misses it is blind to
+	// unsafe patches.
+	MutantLenient MutantMode = iota
+	// MutantStrict makes every donated guard fire unconditionally:
+	// benign inputs get rejected, so an oracle that misses it is blind
+	// to behaviour-breaking patches.
+	MutantStrict
+)
+
+func (m MutantMode) String() string {
+	if m == MutantStrict {
+		return "strict"
+	}
+	return "lenient"
+}
+
+// insertedLines returns the indices (0-based, in patched) of lines
+// the transfer inserted into the original source.
+func insertedLines(origSrc, patchedSrc string) []int {
+	orig := strings.Split(origSrc, "\n")
+	patched := strings.Split(patchedSrc, "\n")
+	var ins []int
+	i := 0
+	for j := 0; j < len(patched); j++ {
+		if i < len(orig) && orig[i] == patched[j] {
+			i++
+			continue
+		}
+		ins = append(ins, j)
+	}
+	return ins
+}
+
+// WeakenPatch rewrites every inserted guard line of a patched source
+// into its mutant form: the guard condition is conjoined with a
+// constant false (lenient) or disjoined with a constant true
+// (strict). The patch lines have the shape `if (COND) { exit(-1); }`.
+func WeakenPatch(origSrc, patchedSrc string, mode MutantMode) (string, error) {
+	ins := insertedLines(origSrc, patchedSrc)
+	if len(ins) == 0 {
+		return "", fmt.Errorf("mutant: no inserted patch lines found")
+	}
+	lines := strings.Split(patchedSrc, "\n")
+	for _, j := range ins {
+		line := lines[j]
+		trimmed := strings.TrimLeft(line, " \t")
+		indent := line[:len(line)-len(trimmed)]
+		if !strings.HasPrefix(trimmed, "if (") {
+			return "", fmt.Errorf("mutant: inserted line %d is not a guard: %q", j+1, trimmed)
+		}
+		end := strings.LastIndex(trimmed, ") {")
+		if end < 0 {
+			return "", fmt.Errorf("mutant: inserted line %d has no guard body: %q", j+1, trimmed)
+		}
+		cond := trimmed[len("if ("):end]
+		action := trimmed[end+1:] // " { exit(-1); }"
+		op, clause := "&&", "(1 == 0)"
+		if mode == MutantStrict {
+			op, clause = "||", "(1 == 1)"
+		}
+		lines[j] = fmt.Sprintf("%sif ((%s) %s %s)%s", indent, cond, op, clause, action)
+	}
+	return strings.Join(lines, "\n"), nil
+}
+
+// VerifyMutants confirms the oracle rejects both weakened forms of a
+// validated patch. It returns an error when a mutant slips through —
+// an oracle defect, not a transfer defect.
+func VerifyMutants(p *Pair, patchedSrc string) error {
+	for _, mode := range []MutantMode{MutantLenient, MutantStrict} {
+		weak, err := WeakenPatch(p.Recipient.Source, patchedSrc, mode)
+		if err != nil {
+			return err
+		}
+		if oerr := VerifyTransfer(p, weak); oerr == nil {
+			return fmt.Errorf("mutant: oracle accepted the %s mutant patch", mode)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,306 @@
+package scenario
+
+import (
+	"fmt"
+
+	"codephage/internal/apps"
+	"codephage/internal/compile"
+	"codephage/internal/minic"
+	"codephage/internal/vm"
+)
+
+// culpritPaths returns the dissector paths of the fields the defect
+// depends on — the fields the error input perturbs.
+func (g *gen) culpritPaths() map[string]bool {
+	switch g.def {
+	case defOverflow:
+		return map[string]bool{g.fa.path: true, g.fb.path: true}
+	case defDivZero:
+		return map[string]bool{g.fd.path: true}
+	default:
+		return map[string]bool{g.fi.path: true}
+	}
+}
+
+// emitRead emits the header-reading function: the magic check, one
+// in_* read per dissected field into the struct, and any decoy
+// validation checks. Decoy bounds sit above every benign, error and
+// registry value the field can carry, so they never fire on suite
+// inputs — they exist to give discovery and selection non-candidate
+// branches to ignore, like the components/depth checks in the
+// hand-written applications.
+func (g *gen) emitRead(b *minic.Builder, fn, structName, arg, prefix string, decoys int) {
+	culprit := g.culpritPaths()
+	b.Func(fmt.Sprintf("u32 %s(%s* %s)", fn, structName, arg), func() {
+		b.Line("u32 magic = in_u32be();")
+		b.Block(fmt.Sprintf("if (magic != 0x%08X)", g.fmt.magic), func() {
+			b.Line("return 0;")
+		})
+		for i := range g.fmt.fields {
+			f := &g.fmt.fields[i]
+			b.Line("%s->%s%s = %s;", arg, prefix, f.cname(), f.readCall())
+		}
+		// Decoy checks on non-culprit fields.
+		perm := g.rng.Perm(len(g.fmt.fields))
+		for _, fi := range perm {
+			if decoys <= 0 {
+				break
+			}
+			f := &g.fmt.fields[fi]
+			if culprit[f.path] {
+				continue
+			}
+			bound := between(g.rng, 20000, 60000)
+			if f.size == 1 {
+				bound = between(g.rng, 100, 250)
+			}
+			b.Block(fmt.Sprintf("if (%s->%s%s > %d)", arg, prefix, f.cname(), bound), func() {
+				b.Line("return 0;")
+			})
+			decoys--
+		}
+		b.Line("return 1;")
+	})
+}
+
+// structFields renders the struct's field declarations.
+func (g *gen) structFields(prefix string) []string {
+	var out []string
+	for i := range g.fmt.fields {
+		out = append(out, "u32 "+prefix+g.fmt.fields[i].cname())
+	}
+	return out
+}
+
+// recipientSource emits the generated recipient: header read, then
+// the vulnerable function holding the injected defect, with every
+// out() after the defect so rejected inputs are output-silent.
+func (g *gen) recipientSource() string {
+	b := minic.NewBuilder()
+	b.Struct(g.structN, g.structFields("")...)
+	g.emitRead(b, g.readFn, g.structN, "st", "", g.rng.Intn(3))
+
+	useLocals := g.rng.Intn(2) == 0
+	ref := func(f *fieldSpec) string {
+		if useLocals {
+			return f.cname()
+		}
+		return "st->" + f.cname()
+	}
+	b.Func(fmt.Sprintf("u32 %s(%s* st)", g.vulnFn, g.structN), func() {
+		if useLocals {
+			for _, f := range g.defectFields() {
+				b.Line("u32 %s = st->%s;", f.cname(), f.cname())
+			}
+		}
+		switch g.def {
+		case defOverflow:
+			b.Line("u32 size = %s * %s * %d;", ref(g.fa), ref(g.fb), g.mulK)
+			b.Line("u8* buf = alloc(size);")
+			b.Block("if (buf == 0)", func() { b.Line("return 0;") })
+			b.Line("u32 y = 0;")
+			b.Block(fmt.Sprintf("while (y < %s)", ref(g.fb)), func() {
+				b.Line("u32 off = y * %s * %d;", ref(g.fa), g.mulK)
+				b.Line("buf[off] = (u8)y;")
+				b.Line("y = y + 1;")
+			})
+			b.Line("out((u64)%s);", ref(g.fa))
+			b.Line("out((u64)%s);", ref(g.fb))
+			b.Line("free(buf);")
+		case defDivZero:
+			if g.useLen {
+				b.Line("u32 total = in_len() - %d;", g.fmt.headerLen())
+			} else {
+				b.Line("u32 total = %s * %d;", ref(g.numF), between(g.rng, 2, 8))
+			}
+			b.Line("u32 q = total / %s;", ref(g.fd))
+			b.Line("u32 m = total %% %s;", ref(g.fd))
+			b.Line("out((u64)q);")
+			b.Line("out((u64)m);")
+		case defOffByOne:
+			b.Line("u32* tab = (u32*)alloc(%d * 4);", g.tableN)
+			b.Block("if (tab == 0)", func() { b.Line("return 0;") })
+			// The injected off-by-one: > where >= is required, so an
+			// index equal to the table size slips through.
+			b.Block(fmt.Sprintf("if (%s > %d)", ref(g.fi), g.tableN), func() {
+				b.Line("free((u8*)tab);")
+				b.Line("return 0;")
+			})
+			b.Line("tab[%s] = %s;", ref(g.fi), ref(g.fi))
+			b.Line("out((u64)%s);", ref(g.fi))
+			b.Line("free((u8*)tab);")
+		case defShift:
+			b.Line("u32* tab = (u32*)alloc(%d * 4);", shiftTable)
+			b.Block("if (tab == 0)", func() { b.Line("return 0;") })
+			b.Line("u32 clear = (u32)1 << %s;", ref(g.fi))
+			b.Line("u32 code = 0;")
+			b.Block("while (code < clear)", func() {
+				b.Line("tab[code] = code;")
+				b.Line("code = code + 1;")
+			})
+			b.Line("out((u64)clear);")
+			b.Line("free((u8*)tab);")
+		}
+		b.Line("return 1;")
+	})
+
+	b.Func("void main()", func() {
+		b.Line("%s st;", g.structN)
+		b.Block(fmt.Sprintf("if (!%s(&st))", g.readFn), func() { b.Line("exit(1);") })
+		b.Block(fmt.Sprintf("if (!%s(&st))", g.vulnFn), func() { b.Line("exit(1);") })
+		b.Line("exit(0);")
+	})
+	return b.Source()
+}
+
+// defectFields returns the fields the defect template reads.
+func (g *gen) defectFields() []*fieldSpec {
+	switch g.def {
+	case defOverflow:
+		return []*fieldSpec{g.fa, g.fb}
+	case defDivZero:
+		if g.useLen || g.numF == g.fd {
+			return []*fieldSpec{g.fd}
+		}
+		return []*fieldSpec{g.fd, g.numF}
+	default:
+		return []*fieldSpec{g.fi}
+	}
+}
+
+// donorSource emits the guarding donor: same format reader (its own
+// struct and naming), the guard function holding the donated check,
+// and an output function so the donor observably processes accepted
+// inputs.
+func (g *gen) donorSource() string {
+	b := minic.NewBuilder()
+	prefix := []string{"", "v_", "m_"}[g.rng.Intn(3)]
+	structN := pick(g.rng, structWords) + "D"
+	readFn := pick(g.rng, readWords)
+	guardFn := pick(g.rng, guardWords)
+	emitFn := pick(g.rng, emitWords)
+
+	b.Struct(structN, g.structFields(prefix)...)
+	g.emitRead(b, readFn, structN, "d", prefix, g.rng.Intn(3))
+
+	ref := func(f *fieldSpec) string { return "d->" + prefix + f.cname() }
+	b.Func(fmt.Sprintf("u32 %s(%s* d)", guardFn, structN), func() {
+		switch {
+		case g.def == defOverflow && g.prod64 != 0:
+			b.Block(fmt.Sprintf("if ((u64)%s * (u64)%s > %d)", ref(g.fa), ref(g.fb), g.prod64), func() {
+				b.Line("return 0;")
+			})
+		case g.def == defOverflow && g.rng.Intn(2) == 0:
+			b.Block(fmt.Sprintf("if (%s > %d || %s > %d)", ref(g.fa), g.boundA, ref(g.fb), g.boundB), func() {
+				b.Line("return 0;")
+			})
+		case g.def == defOverflow:
+			b.Block(fmt.Sprintf("if (%s > %d)", ref(g.fa), g.boundA), func() { b.Line("return 0;") })
+			b.Block(fmt.Sprintf("if (%s > %d)", ref(g.fb), g.boundB), func() { b.Line("return 0;") })
+		case g.def == defDivZero && g.rng.Intn(2) == 0:
+			b.Block(fmt.Sprintf("if (%s == 0)", ref(g.fd)), func() { b.Line("return 0;") })
+		case g.def == defDivZero:
+			b.Block(fmt.Sprintf("if (%s)", ref(g.fd)), func() { b.Line("return 1;") })
+			b.Line("return 0;")
+			return
+		case g.def == defOffByOne:
+			b.Block(fmt.Sprintf("if (%s >= %d)", ref(g.fi), g.tableN), func() { b.Line("return 0;") })
+		case g.def == defShift:
+			b.Block(fmt.Sprintf("if (%s > %d)", ref(g.fi), shiftBound), func() { b.Line("return 0;") })
+		}
+		b.Line("return 1;")
+	})
+
+	b.Func(fmt.Sprintf("void %s(%s* d)", emitFn, structN), func() {
+		for _, fi := range g.rng.Perm(len(g.fmt.fields))[:2] {
+			b.Line("out((u64)%s);", ref(&g.fmt.fields[fi]))
+		}
+	})
+
+	b.Func("void main()", func() {
+		b.Line("%s d;", structN)
+		b.Block(fmt.Sprintf("if (!%s(&d))", readFn), func() { b.Line("exit(1);") })
+		b.Block(fmt.Sprintf("if (!%s(&d))", guardFn), func() { b.Line("exit(1);") })
+		b.Line("%s(&d);", emitFn)
+		b.Line("exit(0);")
+	})
+	return b.Source()
+}
+
+// naiveSource emits the naive donor: it processes the format but
+// applies no check touching the culprit fields, so selection must
+// rank it below the guarding donor and a transfer from it must fail
+// with "no flipped branches".
+func (g *gen) naiveSource() string {
+	b := minic.NewBuilder()
+	structN := pick(g.rng, structWords) + "N"
+	readFn := pick(g.rng, readWords)
+	b.Struct(structN, g.structFields("")...)
+	g.emitRead(b, readFn, structN, "n", "", 0)
+	b.Func("void main()", func() {
+		b.Line("%s n;", structN)
+		b.Block(fmt.Sprintf("if (!%s(&n))", readFn), func() { b.Line("exit(1);") })
+		for _, fi := range g.rng.Perm(len(g.fmt.fields))[:2] {
+			b.Line("out((u64)n.%s);", g.fmt.fields[fi].cname())
+		}
+		b.Line("exit(0);")
+	})
+	return b.Source()
+}
+
+// selfCheck verifies the generated pair's ground truth: the recipient
+// traps on the error input with the expected trap kind and runs
+// cleanly everywhere else; both donors survive every suite input,
+// with the guarding donor rejecting the error input.
+func (p *Pair) selfCheck() error {
+	expectTrap := vm.TrapOOBWrite
+	if p.Kind == apps.DivZero {
+		expectTrap = vm.TrapDivZero
+	}
+	registry := apps.RegressionSuite(p.Format)
+
+	rmod, err := compile.Cached(p.Recipient.Name, p.Recipient.Source)
+	if err != nil {
+		return fmt.Errorf("recipient does not compile: %w", err)
+	}
+	rr := vm.NewRunner(rmod)
+	for i, in := range p.Benign {
+		if r := rr.Run(in); !r.OK() || r.ExitCode != 0 {
+			return fmt.Errorf("recipient rejects benign input %d: trap %v exit %d", i, r.Trap, r.ExitCode)
+		}
+	}
+	for i, in := range registry {
+		if r := rr.Run(in); !r.OK() {
+			return fmt.Errorf("recipient traps on registry input %d: %v", i, r.Trap)
+		}
+	}
+	if r := rr.Run(p.ErrorInput); r.OK() || r.Trap.Kind != expectTrap {
+		return fmt.Errorf("recipient error input: got %v, want %v trap", r.Trap, expectTrap)
+	}
+
+	for _, d := range []*apps.App{p.Donor, p.Naive} {
+		mod, err := compile.Cached(d.Name, d.Source)
+		if err != nil {
+			return fmt.Errorf("donor %s does not compile: %w", d.Name, err)
+		}
+		dr := vm.NewRunner(mod)
+		for i, in := range p.Benign {
+			if r := dr.Run(in); !r.OK() || r.ExitCode != 0 {
+				return fmt.Errorf("donor %s rejects benign input %d: trap %v exit %d", d.Name, i, r.Trap, r.ExitCode)
+			}
+		}
+		for i, in := range registry {
+			if r := dr.Run(in); !r.OK() {
+				return fmt.Errorf("donor %s traps on registry input %d: %v", d.Name, i, r.Trap)
+			}
+		}
+		r := dr.Run(p.ErrorInput)
+		if !r.OK() {
+			return fmt.Errorf("donor %s traps on the error input: %v", d.Name, r.Trap)
+		}
+		if d == p.Donor && r.ExitCode == 0 {
+			return fmt.Errorf("donor %s accepts the error input (guard did not fire)", d.Name)
+		}
+	}
+	return nil
+}

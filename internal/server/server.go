@@ -48,6 +48,15 @@ type Config struct {
 	// ("" = in-memory only). The index is established lazily on the
 	// first auto-donor request or /corpus query.
 	CorpusPath string
+	// CorpusDonors overrides the indexed donor set (nil = the
+	// application registry). The scenario soak harness scopes a
+	// server's knowledge base to its generated donors, so the lazy
+	// index build covers exactly the suite under test rather than
+	// whatever the registry holds at build time.
+	CorpusDonors []corpus.Donor
+	// CorpusLoader overrides donor binary loading for the survival
+	// probe (nil = registry builds).
+	CorpusLoader corpus.ModuleLoader
 }
 
 func (c Config) shards() int {
@@ -130,6 +139,8 @@ func New(cfg Config) *Server {
 	// the shard engines query, so its verdicts (and counters) live in
 	// the one place /metrics watches.
 	s.corpus.Service = s.solver
+	s.corpus.Donors = cfg.CorpusDonors
+	s.corpus.Loader = cfg.CorpusLoader
 	for i := 0; i < cfg.shards(); i++ {
 		eng := pipeline.NewEngine()
 		eng.Compiler = s.compiler

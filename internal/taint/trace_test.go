@@ -1,0 +1,244 @@
+package taint
+
+import (
+	"testing"
+
+	"codephage/internal/bitvec"
+	"codephage/internal/compile"
+	"codephage/internal/hachoir"
+	"codephage/internal/vm"
+)
+
+// mvxTrace mirrors the `mvx -trace` path exactly: a raw-label tracker
+// (no dissection, no relevance filter) attached to a plain VM run.
+func mvxTrace(t *testing.T, src string, input []byte) (*Tracker, *vm.Result) {
+	t.Helper()
+	mod, err := compile.CompileSource("trace-test", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	tr := NewTracker(mod, Options{})
+	v := vm.New(mod, input)
+	v.Tracer = tr
+	return tr, v.Run()
+}
+
+// TestTraceReporting is the table-driven coverage for the tainted
+// branch and tainted allocation reports the mvx -trace path prints.
+func TestTraceReporting(t *testing.T) {
+	cases := []struct {
+		name  string
+		src   string
+		input []byte
+		// wantBranches counts reported (tainted) branches;
+		// wantAllocs counts all allocation records;
+		// wantTaintedAllocs counts records with a symbolic size.
+		wantBranches      int
+		wantAllocs        int
+		wantTaintedAllocs int
+		check             func(t *testing.T, tr *Tracker)
+	}{
+		{
+			name: "tainted branch and alloc",
+			src: `
+void main() {
+	u32 n = (u32)in_u8();
+	if (n > 3) {
+		u8* p = alloc(n * 2);
+		if (p == 0) { exit(1); }
+		out(1);
+	}
+	exit(0);
+}
+`,
+			input:             []byte{10},
+			wantBranches:      1,
+			wantAllocs:        1,
+			wantTaintedAllocs: 1,
+			check: func(t *testing.T, tr *Tracker) {
+				b := tr.Branches()[0]
+				if !b.Taken {
+					t.Error("n > 3 must be taken for n = 10")
+				}
+				a := tr.Allocs()[0]
+				if a.Size != 20 {
+					t.Errorf("alloc size = %d, want 20", a.Size)
+				}
+				env := bitvec.MapEnv{Fields: hachoir.Raw([]byte{10}).FieldValues([]byte{10})}
+				v, err := bitvec.Eval(a.SizeExpr, env)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if v != a.Size {
+					t.Errorf("symbolic size %d != concrete %d", v, a.Size)
+				}
+			},
+		},
+		{
+			name: "untainted branch unreported, untainted alloc kept",
+			src: `
+void main() {
+	u32 n = (u32)in_u8();
+	u32 k = 7;
+	if (k > 3) { out(1); }
+	u8* p = alloc(16);
+	if (p == 0) { exit(1); }
+	out(n);
+	exit(0);
+}
+`,
+			input:             []byte{1},
+			wantBranches:      0,
+			wantAllocs:        1,
+			wantTaintedAllocs: 0,
+			check: func(t *testing.T, tr *Tracker) {
+				if tr.Allocs()[0].SizeExpr != nil {
+					t.Error("constant-size alloc must have nil SizeExpr")
+				}
+			},
+		},
+		{
+			name: "branch direction not-taken",
+			src: `
+void main() {
+	u32 n = (u32)in_u8();
+	if (n > 200) { out(1); }
+	exit(0);
+}
+`,
+			input:        []byte{7},
+			wantBranches: 1,
+			check: func(t *testing.T, tr *Tracker) {
+				if tr.Branches()[0].Taken {
+					t.Error("n > 200 must not be taken for n = 7")
+				}
+			},
+		},
+		{
+			name: "loop reports one record per evaluation",
+			src: `
+void main() {
+	u32 n = (u32)in_u8();
+	u32 i = 0;
+	while (i < n) {
+		i = i + 1;
+	}
+	out(i);
+	exit(0);
+}
+`,
+			input:        []byte{3},
+			wantBranches: 4, // 3 taken evaluations + the final exit test
+			check: func(t *testing.T, tr *Tracker) {
+				br := tr.Branches()
+				for i, b := range br {
+					want := i < 3
+					if b.Taken != want {
+						t.Errorf("iteration %d: taken = %v, want %v", i, b.Taken, want)
+					}
+					if i > 0 && br[i].Seq <= br[i-1].Seq {
+						t.Error("branch records out of execution order")
+					}
+				}
+			},
+		},
+		{
+			name: "taint overwritten before alloc",
+			src: `
+void main() {
+	u32 n = (u32)in_u8();
+	n = 8;
+	u8* p = alloc(n);
+	if (p == 0) { exit(1); }
+	out(1);
+	exit(0);
+}
+`,
+			input:             []byte{200},
+			wantBranches:      0,
+			wantAllocs:        1,
+			wantTaintedAllocs: 0,
+		},
+		{
+			name: "two allocation sites in order",
+			src: `
+void main() {
+	u32 a = (u32)in_u8();
+	u32 b = (u32)in_u8();
+	u8* p = alloc(a + 1);
+	if (p == 0) { exit(1); }
+	u8* q = alloc(b * 3);
+	if (q == 0) { exit(1); }
+	out(2);
+	exit(0);
+}
+`,
+			input:             []byte{4, 5},
+			wantAllocs:        2,
+			wantTaintedAllocs: 2,
+			check: func(t *testing.T, tr *Tracker) {
+				al := tr.Allocs()
+				if al[0].Size != 5 || al[1].Size != 15 {
+					t.Errorf("alloc sizes = %d, %d, want 5, 15", al[0].Size, al[1].Size)
+				}
+				if al[0].Seq >= al[1].Seq {
+					t.Error("allocation records out of execution order")
+				}
+				d0, d1 := al[0].SizeExpr.ByteDeps(), al[1].SizeExpr.ByteDeps()
+				if len(d0) != 1 || d0[0] != 0 {
+					t.Errorf("first alloc deps = %v, want [0]", d0)
+				}
+				if len(d1) != 1 || d1[0] != 1 {
+					t.Errorf("second alloc deps = %v, want [1]", d1)
+				}
+			},
+		},
+		{
+			name: "failed allocation records zero address",
+			src: `
+void main() {
+	u32 n = in_u32be();
+	u8* p = alloc(n);
+	if (p == 0) { exit(3); }
+	out(1);
+	exit(0);
+}
+`,
+			input:             []byte{0xFF, 0xFF, 0xFF, 0xFF},
+			wantBranches:      0, // alloc's result is untainted, so p == 0 is not reported
+			wantAllocs:        1,
+			wantTaintedAllocs: 1,
+			check: func(t *testing.T, tr *Tracker) {
+				if tr.Allocs()[0].Addr != 0 {
+					t.Errorf("failed alloc addr = %#x, want 0", tr.Allocs()[0].Addr)
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr, r := mvxTrace(t, tc.src, tc.input)
+			if !r.OK() {
+				t.Fatalf("trap: %v", r.Trap)
+			}
+			if got := len(tr.Branches()); got != tc.wantBranches {
+				t.Errorf("branches = %d, want %d", got, tc.wantBranches)
+			}
+			if got := len(tr.Allocs()); got != tc.wantAllocs {
+				t.Errorf("allocs = %d, want %d", got, tc.wantAllocs)
+			}
+			tainted := 0
+			for _, a := range tr.Allocs() {
+				if a.SizeExpr != nil {
+					tainted++
+				}
+			}
+			if tainted != tc.wantTaintedAllocs {
+				t.Errorf("tainted allocs = %d, want %d", tainted, tc.wantTaintedAllocs)
+			}
+			if tc.check != nil {
+				tc.check(t, tr)
+			}
+		})
+	}
+}

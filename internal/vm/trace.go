@@ -1,0 +1,76 @@
+package vm
+
+import "codephage/internal/ir"
+
+// TraceEvent is one externally observable action of a run: a builtin
+// call that touches the input, the heap, or the output channel. The
+// scenario differential oracle compares patched and unpatched
+// recipients by these events: a patch that only adds a non-firing
+// guard executes extra ALU instructions but produces an identical
+// observable trace, while any behavioural divergence — an extra
+// allocation, a skipped output, input consumed differently — shows up
+// as a trace mismatch at the first differing event.
+type TraceEvent struct {
+	Builtin ir.Builtin
+	// A and B carry the builtin's observable payload:
+	//   in_u*           A = first input offset, B = value read
+	//   in_seek         A = requested position
+	//   in_pos/in_len/in_eof  A = value
+	//   alloc           A = requested size, B = returned address
+	//   free            A = freed address
+	//   out             A = emitted value
+	//   exit            A = exit code
+	A, B uint64
+}
+
+// TraceRecorder is a Tracer that records the observable event trace
+// of a run. Attach it to a VM or vm.Runner, run, then read Events.
+// Reset clears the recording between runs on a recycled recorder.
+type TraceRecorder struct {
+	Events []TraceEvent
+}
+
+// Reset clears the recorded trace, retaining capacity.
+func (t *TraceRecorder) Reset() { t.Events = t.Events[:0] }
+
+// Step implements Tracer.
+func (t *TraceRecorder) Step(ev *Event) {
+	if ev.In.Op != ir.CallB {
+		return
+	}
+	e := TraceEvent{Builtin: ev.In.Builtin}
+	switch ev.In.Builtin {
+	case ir.BInU8, ir.BInU16BE, ir.BInU16LE, ir.BInU32BE, ir.BInU32LE:
+		e.A, e.B = uint64(ev.InOff), ev.Val
+	case ir.BInSeek:
+		e.A = ev.Args[0]
+	case ir.BInPos, ir.BInLen, ir.BInEOF:
+		e.A = ev.Val
+	case ir.BAlloc:
+		e.A, e.B = ev.AllocSz, ev.Val
+	case ir.BFree:
+		e.A = ev.Args[0]
+	case ir.BOut, ir.BExit:
+		e.A = ev.Args[0]
+	}
+	t.Events = append(t.Events, e)
+}
+
+// TraceEqual reports whether two observable traces are identical, and
+// if not, the index of the first differing event (len of the shorter
+// trace when one is a prefix of the other).
+func TraceEqual(a, b []TraceEvent) (bool, int) {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return false, i
+		}
+	}
+	if len(a) != len(b) {
+		return false, n
+	}
+	return true, 0
+}
