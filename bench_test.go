@@ -572,6 +572,145 @@ func TestFigure8MemoOnOffByteIdentical(t *testing.T) {
 	}
 }
 
+// batchReports runs the complete Figure-8 batch against svc and
+// returns the marshalled per-row reports (which exclude wall-clock and
+// solver-counter fields by construction — byte equality means verdict
+// equality).
+func batchReports(t *testing.T, svc *smt.Service) map[string][]byte {
+	t.Helper()
+	eng := pipeline.NewEngine()
+	eng.Service = svc
+	rows, _ := figure8.BatchRows(phage.Options{}, &pipeline.Batch{Engine: eng})
+	out := map[string][]byte{}
+	for _, r := range rows {
+		key := r.Recipient + "/" + r.Target + "<-" + r.Donor
+		if r.Err != nil {
+			t.Fatalf("%s failed: %v", key, r.Err)
+		}
+		rep := server.BuildReport(r.Recipient, r.Target, r.Donor, r.Result.Snapshot())
+		bs, err := rep.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[key] = bs
+	}
+	return out
+}
+
+func diffReports(t *testing.T, label string, a, b map[string][]byte) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: row counts differ: %d vs %d", label, len(a), len(b))
+	}
+	for key, ra := range a {
+		if string(ra) != string(b[key]) {
+			t.Errorf("%s: %s: report bytes differ:\n  a: %s\n  b: %s", label, key, ra, b[key])
+		}
+	}
+}
+
+// TestFigure8PortfolioOnOffByteIdentical is the determinism bar for
+// portfolio solving at full scale: the complete Figure-8 batch must
+// produce byte-identical reports whether replicas race on goroutines
+// (default), run one-by-one (the sequential ablation), or never exist
+// at all (a single-replica service, the pre-portfolio configuration).
+// The portfolio may only change how fast verdicts arrive, never which.
+func TestFigure8PortfolioOnOffByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three full Figure-8 batches; runs in the full (non-short) suite")
+	}
+	racing := batchReports(t, smt.NewService(smt.Config{}))
+	sequential := batchReports(t, smt.NewService(smt.Config{PortfolioSequential: true}))
+	single := batchReports(t, smt.NewService(smt.Config{PortfolioReplicas: 1}))
+	diffReports(t, "racing vs sequential", racing, sequential)
+	diffReports(t, "racing vs single-replica", racing, single)
+}
+
+// TestFigure8PersistedMemoByteIdentical is the determinism bar for
+// warm-state persistence: a batch answered from a loaded snapshot must
+// report byte-identically to the cold batch that produced it, while
+// issuing no SAT calls of its own (every verdict comes from the
+// persisted memo).
+func TestFigure8PersistedMemoByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full Figure-8 batches; runs in the full (non-short) suite")
+	}
+	coldSvc := smt.NewService(smt.Config{})
+	cold := batchReports(t, coldSvc)
+	snap := coldSvc.EncodeMemo()
+
+	warmSvc := smt.NewService(smt.Config{})
+	if err := warmSvc.LoadMemoBytes(snap); err != nil {
+		t.Fatal(err)
+	}
+	if warmSvc.Stats().MemoLoaded == 0 {
+		t.Fatal("snapshot installed no verdicts")
+	}
+	warm := batchReports(t, warmSvc)
+	diffReports(t, "cold vs persisted-warm", cold, warm)
+
+	cs, ws := coldSvc.Stats(), warmSvc.Stats()
+	t.Logf("cold: %d SAT calls; persisted-warm: %d SAT calls, %d loaded, %d persistence hits",
+		cs.SATCalls, ws.SATCalls, ws.MemoLoaded, ws.MemoLoadedHits)
+	if cs.SATCalls == 0 {
+		t.Fatal("cold batch issued no SAT calls — nothing was persisted")
+	}
+	if ws.SATCalls != 0 {
+		t.Errorf("persisted-warm batch re-proved %d queries", ws.SATCalls)
+	}
+	if ws.MemoLoadedHits == 0 {
+		t.Error("persisted-warm batch never hit a loaded entry")
+	}
+}
+
+// BenchmarkSolvePersistedMemo is the cold-boot-with-snapshot number:
+// each iteration builds a brand-new service (as a freshly started
+// phaged would), loads the snapshot a previous process saved, and runs
+// the Figure-8 row. The target is within 2x of the in-process warm
+// path (BenchmarkSolveWarm) — snapshot decode plus core rebuild is the
+// only extra work.
+func BenchmarkSolvePersistedMemo(b *testing.B) {
+	skipInShort(b)
+	base := newSolverWorkload(b)
+	src := smt.NewService(smt.Config{})
+	replaySolver(b, base, src) // produce the snapshot outside the timed region
+	snap := src.EncodeMemo()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		svc := smt.NewService(smt.Config{})
+		if err := svc.LoadMemoBytes(snap); err != nil {
+			b.Fatal(err)
+		}
+		replaySolver(b, base, svc)
+	}
+}
+
+// BenchmarkHardProofPortfolio and BenchmarkHardProofSingle quantify
+// the tentpole: the same cold Figure-8 row — dominated by the overflow
+// -freedom proof, the hardest SAT query in the catalogue — resolved by
+// the racing replica portfolio versus a single solver. The portfolio
+// must strictly reduce wall time here; the verdicts are identical by
+// construction (TestFigure8PortfolioOnOffByteIdentical).
+func BenchmarkHardProofPortfolio(b *testing.B) {
+	skipInShort(b)
+	base := newSolverWorkload(b)
+	replaySolver(b, base, smt.NewService(smt.Config{}))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		replaySolver(b, base, smt.NewService(smt.Config{}))
+	}
+}
+
+func BenchmarkHardProofSingle(b *testing.B) {
+	skipInShort(b)
+	base := newSolverWorkload(b)
+	replaySolver(b, base, smt.NewService(smt.Config{PortfolioReplicas: 1}))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		replaySolver(b, base, smt.NewService(smt.Config{PortfolioReplicas: 1}))
+	}
+}
+
 // TestFullBatchSharesSolverVerdicts pins engine-wide query sharing on
 // the complete 10-target catalogue: one shared service across the full
 // batch must observe memo hits (donors repeat across targets, rescan

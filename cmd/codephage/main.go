@@ -28,6 +28,7 @@ import (
 	"codephage/internal/phage"
 	"codephage/internal/pipeline"
 	"codephage/internal/server"
+	"codephage/internal/smt"
 )
 
 func main() {
@@ -49,6 +50,7 @@ func main() {
 	report := flag.Bool("report", false, "print the full transfer report and patch diff")
 	workers := flag.Int("workers", 0, "candidate-validation fan-out (0 = GOMAXPROCS)")
 	remote := flag.String("remote", "", "phaged base URL: run the transfer on a daemon instead of in-process")
+	memo := flag.String("memo", "", "solver warm-state snapshot for local batch runs: loaded before the transfers, saved after")
 	serve := flag.String("serve", "", "run as a phaged daemon on this address instead of transferring")
 	listDonors := flag.Bool("list-donors", false, "print the application registry and exit")
 	flag.Parse()
@@ -94,6 +96,13 @@ func main() {
 		// engine, which runLocal's figure8.RunRow uses.
 		pipeline.DefaultEngine().Selector = corpus.NewSelector(*index)
 	}
+	if *memo != "" && *remote == "" {
+		// Warm the local engine's shared constraint service from the
+		// snapshot (a cache: load failures mean a cold start).
+		if err := smt.Default().LoadMemo(*memo); err != nil {
+			fmt.Fprintf(os.Stderr, "codephage: memo load: %v (starting cold)\n", err)
+		}
+	}
 	failed := false
 	for _, dn := range donors {
 		var ok bool
@@ -104,6 +113,11 @@ func main() {
 		}
 		if !ok {
 			failed = true
+		}
+	}
+	if *memo != "" && *remote == "" {
+		if err := smt.Default().SaveMemo(*memo); err != nil {
+			fmt.Fprintf(os.Stderr, "codephage: memo save: %v\n", err)
 		}
 	}
 	if failed {

@@ -6,8 +6,14 @@
 //
 // Usage:
 //
-//	figure8 [-patches] [-workers N] [-stats]
+//	figure8 [-patches] [-workers N] [-stats] [-memo memo.snap] [-notimes]
 //	figure8 -autocheck [-index corpus.json]
+//
+// The results table goes to stdout; with -notimes the wall-time column
+// is blanked and the table is byte-identical across runs (and across
+// solver configurations: portfolio racing on or off, warm memo loaded
+// or cold). -stats diagnostics go to stderr so comparing two runs'
+// stdout stays meaningful.
 package main
 
 import (
@@ -20,14 +26,17 @@ import (
 	"codephage/internal/figure8"
 	"codephage/internal/phage"
 	"codephage/internal/pipeline"
+	"codephage/internal/smt"
 )
 
 func main() {
 	patches := flag.Bool("patches", false, "also print each generated patch")
 	workers := flag.Int("workers", 0, "concurrent transfers (0 = GOMAXPROCS)")
-	stats := flag.Bool("stats", false, "print engine statistics (wall time, caches, solver)")
+	stats := flag.Bool("stats", false, "print engine statistics to stderr (wall time, caches, solver)")
 	autocheck := flag.Bool("autocheck", false, "cross-check automatic donor selection against the paper's donor table")
 	index := flag.String("index", "", "corpus index path for -autocheck (default: in-memory)")
+	memo := flag.String("memo", "", "solver warm-state snapshot: loaded before the batch, saved after")
+	notimes := flag.Bool("notimes", false, "blank the wall-time column so the stdout table is byte-identical across runs")
 	flag.Parse()
 
 	if *autocheck {
@@ -35,9 +44,18 @@ func main() {
 		return
 	}
 
+	if *memo != "" {
+		if err := smt.Default().LoadMemo(*memo); err != nil {
+			fmt.Fprintf(os.Stderr, "figure8: memo load: %v (starting cold)\n", err)
+		}
+	}
 	batch := &pipeline.Batch{Engine: pipeline.NewEngine(), Workers: *workers}
 	rows, bstats := figure8.BatchRows(phage.Options{}, batch)
-	fmt.Print(figure8.FormatTable(rows))
+	if *notimes {
+		fmt.Print(figure8.FormatTableNoTimes(rows))
+	} else {
+		fmt.Print(figure8.FormatTable(rows))
+	}
 	failed := 0
 	for _, r := range rows {
 		if r.Err != nil {
@@ -50,14 +68,23 @@ func main() {
 			}
 		}
 	}
+	if *memo != "" {
+		if err := smt.Default().SaveMemo(*memo); err != nil {
+			fmt.Fprintf(os.Stderr, "figure8: memo save: %v\n", err)
+		}
+	}
 	if *stats {
-		fmt.Printf("\nbatch: %d transfers, %d failed, wall %s\n",
+		fmt.Fprintf(os.Stderr, "\nbatch: %d transfers, %d failed, wall %s\n",
 			bstats.Tasks, bstats.Failed, bstats.WallTime.Round(time.Millisecond))
-		fmt.Printf("compile cache: %d hits, %d misses, %d evictions\n",
+		fmt.Fprintf(os.Stderr, "compile cache: %d hits, %d misses, %d evictions\n",
 			bstats.Compile.Hits, bstats.Compile.Misses, bstats.Compile.Evictions)
 		s := bstats.Solver
-		fmt.Printf("solver: %d queries (%d cache hits, %d prefiltered, %d refuted, %d syntactic, %d SAT calls, %s SAT time)\n",
+		fmt.Fprintf(os.Stderr, "solver: %d queries (%d cache hits, %d prefiltered, %d refuted, %d syntactic, %d SAT calls, %s SAT time)\n",
 			s.Queries, s.CacheHits, s.Prefiltered, s.Refuted, s.Syntactic, s.SATCalls, s.SATTime.Round(time.Millisecond))
+		svc := smt.Default().Stats()
+		fmt.Fprintf(os.Stderr, "service: %d SAT calls, %d portfolio races (%d won, %d lost), %d clauses imported, %d memo entries loaded, %d persistence hits\n",
+			svc.SATCalls, svc.PortfolioRaces, svc.PortfolioWins, svc.PortfolioLosses,
+			svc.ImportedClauses, svc.MemoLoaded, svc.MemoLoadedHits)
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "figure8: %d row(s) failed\n", failed)

@@ -8,6 +8,7 @@
 //
 //	phaged [-addr 127.0.0.1:8347] [-shards N] [-workers N]
 //	       [-queue N] [-corpus corpus.json] [-drain 30s]
+//	       [-memo-path memo.snap] [-memo-interval 5m]
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener closes,
 // queued and running jobs drain (bounded by -drain), then the process
@@ -29,14 +30,18 @@ func main() {
 	workers := flag.Int("workers", 0, "transfer workers per shard (0 = default)")
 	queue := flag.Int("queue", 0, "queued jobs per shard (0 = default)")
 	corpusPath := flag.String("corpus", "", "persist the donor corpus index here (default: in-memory)")
+	memoPath := flag.String("memo-path", "", "persist the solver's warm state (verdict memo + CNF core) here (default: none)")
+	memoInterval := flag.Duration("memo-interval", 0, "periodic warm-state snapshot cadence with -memo-path (0 = 5m)")
 	drain := flag.Duration("drain", 30*time.Second, "shutdown drain budget for in-flight jobs")
 	flag.Parse()
 
 	cfg := server.Config{
-		Shards:          *shards,
-		WorkersPerShard: *workers,
-		QueueDepth:      *queue,
-		CorpusPath:      *corpusPath,
+		Shards:           *shards,
+		WorkersPerShard:  *workers,
+		QueueDepth:       *queue,
+		CorpusPath:       *corpusPath,
+		MemoPath:         *memoPath,
+		MemoSaveInterval: *memoInterval,
 	}
 	if err := server.ListenAndServe(*addr, cfg, *drain, log.Printf); err != nil {
 		log.Printf("phaged: %v", err)

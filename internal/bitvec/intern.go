@@ -27,13 +27,13 @@ import (
 // internKey is the structural identity of a node whose operands are
 // already interned: the per-node payload plus the operand IDs.
 type internKey struct {
-	op         Op
-	w          uint8
-	hi, lo     uint8
-	val        uint64
-	off        int
-	name       string
-	x, y, y2   uint64 // operand IDs (0 = absent)
+	op       Op
+	w        uint8
+	hi, lo   uint8
+	val      uint64
+	off      int
+	name     string
+	x, y, y2 uint64 // operand IDs (0 = absent)
 }
 
 const (
@@ -52,6 +52,8 @@ type internShard struct {
 	byteDeps map[uint64][]int
 	// fields memoises Fields per interned node ID.
 	fields map[uint64][]string
+	// stableKeys memoises StableKey per interned node ID.
+	stableKeys map[uint64]string
 
 	// nextID hands out this shard's ID arithmetic progression
 	// (shard index + 1, stepping by internShards): residues are
@@ -81,6 +83,7 @@ var internTab = func() (tab [internShards]*internShard) {
 			simplified: map[uint64]*Expr{},
 			byteDeps:   map[uint64][]int{},
 			fields:     map[uint64][]string{},
+			stableKeys: map[uint64]string{},
 			nextID:     uint64(i) + 1,
 		}
 	}
@@ -347,6 +350,22 @@ func cachedFields(e *Expr) ([]string, bool) {
 		return nil, false
 	}
 	return append([]string(nil), f...), true
+}
+
+// cachedStableKey returns the memoised StableKey of an interned node.
+func cachedStableKey(id uint64) (string, bool) {
+	sh := shardOfID(id)
+	sh.mu.Lock()
+	k, ok := sh.stableKeys[id]
+	sh.mu.Unlock()
+	return k, ok
+}
+
+func storeStableKey(id uint64, k string) {
+	sh := shardOfID(id)
+	sh.mu.Lock()
+	sh.stableKeys[id] = k
+	sh.mu.Unlock()
 }
 
 func storeFields(e *Expr, fields []string) {

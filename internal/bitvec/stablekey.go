@@ -1,0 +1,50 @@
+package bitvec
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+)
+
+// stableKeyVersion is baked into every hash so a change to the key
+// derivation (or to the Op numbering it captures) invalidates all
+// previously persisted keys instead of silently colliding with them.
+// Bump it whenever the encoding below or the Op enum changes.
+const stableKeyVersion = 1
+
+// StableKey returns a canonical, content-derived key for the
+// expression: the hex form of a 128-bit Merkle hash over its
+// structural shape (operation, width, payload, operand keys).
+//
+// Key is the right cache key inside one process — it derives from the
+// interner ID, so it is O(1) but means nothing to any other process.
+// StableKey is the serializable counterpart: two processes that build
+// the same term compute the same StableKey, which is what the
+// persisted solver-memo snapshot (internal/smt) is keyed on. Results
+// are memoised per interned node, so repeated calls amortise to one
+// shard-map lookup.
+func (e *Expr) StableKey() string {
+	if e.id != 0 {
+		if k, ok := cachedStableKey(e.id); ok {
+			return k
+		}
+	}
+	h := sha256.New()
+	var buf [40]byte
+	b := buf[:0]
+	b = append(b, stableKeyVersion, byte(e.Op), e.W, e.Hi, e.Lo)
+	b = binary.LittleEndian.AppendUint64(b, e.Val)
+	b = binary.LittleEndian.AppendUint64(b, uint64(int64(e.Off)))
+	b = binary.LittleEndian.AppendUint64(b, uint64(len(e.Name)))
+	h.Write(b)
+	h.Write([]byte(e.Name))
+	for _, o := range e.Operands() {
+		h.Write([]byte(o.StableKey()))
+	}
+	sum := h.Sum(nil)
+	k := hex.EncodeToString(sum[:16])
+	if e.id != 0 {
+		storeStableKey(e.id, k)
+	}
+	return k
+}

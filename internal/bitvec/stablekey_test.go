@@ -1,0 +1,67 @@
+package bitvec
+
+import (
+	"regexp"
+	"testing"
+)
+
+// TestStableKeyProcessIndependent simulates a second process by
+// hand-building un-interned copies of interned expressions: the two
+// share no interner IDs (the basis of Key()), so agreement here means
+// the key really is a function of term content alone.
+func TestStableKeyProcessIndependent(t *testing.T) {
+	interned := Add(Field("hdr.len", 32, 0), Const(32, 7))
+	copyOf := &Expr{
+		Op: OpAdd, W: 32,
+		X: &Expr{Op: OpField, W: 32, Name: "hdr.len"},
+		Y: &Expr{Op: OpConst, W: 32, Val: 7},
+	}
+	if got, want := copyOf.StableKey(), interned.StableKey(); got != want {
+		t.Fatalf("un-interned copy key %s != interned key %s", got, want)
+	}
+	if interned.Key() == interned.StableKey() {
+		t.Fatalf("StableKey should not be the process-local Key")
+	}
+}
+
+func TestStableKeyDistinguishesContent(t *testing.T) {
+	f := Field("x", 16, 0)
+	exprs := []*Expr{
+		Const(8, 1),
+		Const(16, 1),
+		Const(8, 2),
+		f,
+		Field("x", 8, 0),
+		Field("y", 16, 0),
+		Add(f, Const(16, 1)),
+		Sub(f, Const(16, 1)),
+		Add(Const(16, 1), f), // operand order matters pre-simplification
+		Extract(7, 0, f),
+		Extract(15, 8, f),
+	}
+	seen := map[string]int{}
+	for i, e := range exprs {
+		k := e.StableKey()
+		if j, dup := seen[k]; dup {
+			t.Fatalf("exprs %d and %d share stable key %s", j, i, k)
+		}
+		seen[k] = i
+	}
+}
+
+func TestStableKeyFormatAndCaching(t *testing.T) {
+	e := Mul(Field("a", 32, 0), Field("b", 32, 4))
+	k1 := e.StableKey()
+	if !regexp.MustCompile(`^[0-9a-f]{32}$`).MatchString(k1) {
+		t.Fatalf("stable key %q is not 32 hex chars", k1)
+	}
+	if k2 := e.StableKey(); k2 != k1 {
+		t.Fatalf("second StableKey call changed: %s vs %s", k2, k1)
+	}
+	// The memo is per interned ID: a structurally equal term interns to
+	// the same node and must hit the cached key.
+	e2 := Mul(Field("a", 32, 0), Field("b", 32, 4))
+	if e2.StableKey() != k1 {
+		t.Fatalf("re-interned equal term got a different stable key")
+	}
+}

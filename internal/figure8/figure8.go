@@ -300,7 +300,15 @@ func bracketed(vals []int) string {
 }
 
 // FormatTable renders rows in the layout of Figure 8.
-func FormatTable(rows []*Row) string {
+func FormatTable(rows []*Row) string { return formatTable(rows, true) }
+
+// FormatTableNoTimes renders the same table with the wall-time column
+// blanked: every remaining column is a pure function of the inputs and
+// the verdicts, so two runs' output can be compared byte-for-byte
+// (across portfolio configurations, warm or cold memo, worker counts).
+func FormatTableNoTimes(rows []*Row) string { return formatTable(rows, false) }
+
+func formatTable(rows []*Row, times bool) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%-12s %-24s %-12s %9s %9s %9s %7s %-16s %s\n",
 		"Recipient", "Target", "Donor", "Time", "Relevant", "Flipped", "Checks", "Insertion Pts", "Check Size")
@@ -309,9 +317,12 @@ func FormatTable(rows []*Row) string {
 			fmt.Fprintf(&sb, "%-12s %-24s %-12s FAILED: %v\n", r.Recipient, r.Target, r.Donor, r.Err)
 			continue
 		}
+		t := "-"
+		if times {
+			t = r.GenTime.Round(time.Millisecond).String()
+		}
 		fmt.Fprintf(&sb, "%-12s %-24s %-12s %9s %9d %9s %7d %-16s %s\n",
-			r.Recipient, r.Target, r.Donor,
-			r.GenTime.Round(time.Millisecond),
+			r.Recipient, r.Target, r.Donor, t,
 			r.Relevant, r.FlippedString(), r.UsedChecks,
 			r.InsertString(), r.SizeString())
 	}

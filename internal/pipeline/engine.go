@@ -68,6 +68,12 @@ type Options struct {
 	// Workers bounds the candidate-validation fan-out for this transfer
 	// (0 = the engine default).
 	Workers int
+	// ProofConflicts bounds each overflow-freedom proof query
+	// (0 = default of 20000). With portfolio solving the budget is per
+	// replica: a proof query that exhausts the cheap trigger budget is
+	// retried by every seeded replica at this bound, so raising it
+	// scales each replica's search, not one monolithic solve.
+	ProofConflicts int64
 }
 
 func (o *Options) maxRounds() int {
@@ -75,6 +81,13 @@ func (o *Options) maxRounds() int {
 		return o.MaxRounds
 	}
 	return 6
+}
+
+func (o *Options) proofConflicts() int64 {
+	if o.ProofConflicts > 0 {
+		return o.ProofConflicts
+	}
+	return proofConflictBudget
 }
 
 // Transfer describes one donor→recipient code transfer task. A nil
@@ -313,7 +326,7 @@ func (e *Engine) runResolved(t *Transfer) (*Result, error) {
 	}
 
 	res.GenTime = time.Since(start)
-	res.OverflowFreeProven = e.overflowVerdict(ctx.Solver.Service(), guards, sizeExprs)
+	res.OverflowFreeProven = e.overflowVerdict(ctx.Solver.Service(), guards, sizeExprs, t.Opts.proofConflicts())
 	// ctx.Solver is a private session on the shared service, so its
 	// Stats are exactly this transfer's activity: merge them into the
 	// engine aggregate under the engine lock, so concurrent transfers
@@ -745,11 +758,13 @@ const proofConflictBudget = 20000
 // UNSAT search dominates repeated transfers of the same patch set, so
 // the engine memoises it by expression content (on top of the shared
 // service's own query memo).
-func (e *Engine) overflowVerdict(svc *smt.Service, guards, sizeExprs []*bitvec.Expr) *bool {
+func (e *Engine) overflowVerdict(svc *smt.Service, guards, sizeExprs []*bitvec.Expr, budget int64) *bool {
 	if len(guards) == 0 || len(sizeExprs) == 0 {
 		return nil
 	}
-	var sb []byte
+	// The budget is part of the key: a larger budget can prove what a
+	// smaller one exhausted on.
+	sb := fmt.Appendf(nil, "%d|", budget)
 	for _, g := range guards {
 		sb = append(sb, g.Key()...)
 		sb = append(sb, '&')
@@ -779,7 +794,7 @@ func (e *Engine) overflowVerdict(svc *smt.Service, guards, sizeExprs []*bitvec.E
 	// throwaway proof solvers did): the engine aggregate equals the sum
 	// of per-result stats, and the service's own counters cover these.
 	proofSession := svc.Session()
-	proofSession.MaxConflicts = proofConflictBudget
+	proofSession.MaxConflicts = budget
 	v := proveOverflowFree(proofSession, guards, sizeExprs)
 
 	e.mu.Lock()

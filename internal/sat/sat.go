@@ -11,6 +11,7 @@ package sat
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // Lit is a literal: variable index shifted left once, low bit = negated.
@@ -103,8 +104,24 @@ type Solver struct {
 	varInc    float64
 	clauseInc float64
 
-	ok        bool // false after a top-level conflict
-	conflicts int64
+	ok           bool // false after a top-level conflict
+	conflicts    int64
+	decisions    int64
+	propagations int64
+	restarts     int64
+
+	strat Strategy
+
+	// learntUnits records unit facts learnt during search. Unlike
+	// longer learnt clauses these are enqueued directly at level 0 and
+	// never stored in learnts, so exporting them needs its own list.
+	learntUnits []Lit
+
+	// interrupted is set by Interrupt (from any goroutine); the solve
+	// loop polls it and returns Unknown. One-shot: an interrupted
+	// solver stays interrupted, which is all the portfolio's throwaway
+	// replicas need.
+	interrupted atomic.Bool
 
 	// MaxConflicts bounds each Solve call (not the solver lifetime);
 	// <= 0 means no bound. An incremental solver answering many
@@ -112,19 +129,40 @@ type Solver struct {
 	MaxConflicts int64
 }
 
-// New returns an empty solver.
+// New returns an empty solver with the baseline strategy.
 func New() *Solver {
-	return &Solver{varInc: 1, clauseInc: 1, ok: true}
+	return NewWithStrategy(Strategy{})
 }
+
+// NewWithStrategy returns an empty solver whose search heuristics are
+// seeded by st. The strategy must be chosen before variables are
+// created (it shapes their initial phase and activity).
+func NewWithStrategy(st Strategy) *Solver {
+	return &Solver{varInc: 1, clauseInc: 1, ok: true, strat: st}
+}
+
+// Interrupt asks a running Solve (possibly on another goroutine) to
+// stop; it returns Unknown at the next poll point. Interruption is
+// permanent for the solver.
+func (s *Solver) Interrupt() { s.interrupted.Store(true) }
 
 // NewVar introduces a new variable and returns its index.
 func (s *Solver) NewVar() int {
 	v := len(s.assigns)
+	phase := s.strat.InvertPhases // default phase: false (negated) unless inverted
+	var jitter float64
+	if s.strat.Seed != 0 {
+		h := splitmix64(s.strat.Seed ^ uint64(v)*0x9e3779b97f4a7c15)
+		phase = h&1 == 1
+		// Tie-breaking jitter: far below the bump increment (1.0), so
+		// it only orders variables the search considers equally active.
+		jitter = float64(h>>40) * 1e-12
+	}
 	s.assigns = append(s.assigns, lUndef)
 	s.level = append(s.level, 0)
 	s.reason = append(s.reason, nil)
-	s.activity = append(s.activity, 0)
-	s.polarity = append(s.polarity, true) // default phase: false (negated)
+	s.activity = append(s.activity, jitter)
+	s.polarity = append(s.polarity, !phase)
 	s.seen = append(s.seen, false)
 	s.watches = append(s.watches, nil, nil)
 	s.order.push(s, v)
@@ -218,6 +256,7 @@ func (s *Solver) propagate() *clause {
 	for s.qhead < len(s.trail) {
 		p := s.trail[s.qhead]
 		s.qhead++
+		s.propagations++
 		ws := s.watches[p]
 		kept := ws[:0]
 		var confl *clause
@@ -410,6 +449,11 @@ func (s *Solver) pickBranchLit() (Lit, bool) {
 	return 0, false
 }
 
+// maxLearntUnits bounds the learnt-unit export log: a long-lived
+// incremental solver answering thousands of queries must not grow it
+// without bound, and importers only ever take a short prefix.
+const maxLearntUnits = 4096
+
 // luby returns the i-th element (1-based) of the Luby sequence.
 func luby(i int64) int64 {
 	for k := int64(1); ; k++ {
@@ -468,9 +512,13 @@ func (s *Solver) Solve(assumptions ...Lit) Result {
 	startConflicts := s.conflicts
 	maxLearnts := len(s.clauses)/3 + 100
 	var restart int64 = 1
-	budget := luby(restart) * 100
+	budget := s.restartBudget(restart)
 
 	for {
+		if s.interrupted.Load() {
+			s.backtrackTo(0)
+			return Unknown
+		}
 		confl := s.propagate()
 		if confl != nil {
 			s.conflicts++
@@ -481,6 +529,9 @@ func (s *Solver) Solve(assumptions ...Lit) Result {
 			learnt, bt := s.analyze(confl)
 			s.backtrackTo(bt)
 			if len(learnt) == 1 {
+				if len(s.learntUnits) < maxLearntUnits {
+					s.learntUnits = append(s.learntUnits, learnt[0])
+				}
 				s.uncheckedEnqueue(learnt[0], nil)
 			} else {
 				c := &clause{lits: learnt, learnt: true}
@@ -501,8 +552,9 @@ func (s *Solver) Solve(assumptions ...Lit) Result {
 		if budget <= 0 {
 			// Restart.
 			s.backtrackTo(0)
+			s.restarts++
 			restart++
-			budget = luby(restart) * 100
+			budget = s.restartBudget(restart)
 			continue
 		}
 		if len(s.learnts) > maxLearnts+len(s.trail) {
@@ -533,10 +585,24 @@ func (s *Solver) Solve(assumptions ...Lit) Result {
 				return Sat // all variables assigned
 			}
 			next = l
+			s.decisions++
 		}
 		s.trailLim = append(s.trailLim, len(s.trail))
 		s.uncheckedEnqueue(next, nil)
 	}
+}
+
+// restartBudget returns the conflict budget for the i-th (1-based)
+// restart interval under the solver's strategy.
+func (s *Solver) restartBudget(i int64) int64 {
+	if s.strat.GeometricRestarts {
+		b := int64(100)
+		for ; i > 1 && b < 1<<40; i-- {
+			b = b * 3 / 2
+		}
+		return b
+	}
+	return luby(i) * 100
 }
 
 // Value returns the model value of variable v after a Sat result.
@@ -544,3 +610,56 @@ func (s *Solver) Value(v int) bool { return s.assigns[v] == lTrue }
 
 // Conflicts returns the total number of conflicts encountered.
 func (s *Solver) Conflicts() int64 { return s.conflicts }
+
+// LearntClauses returns copies of learnt clauses with at most maxLen
+// literals, capped at max clauses, in deterministic order: unit facts
+// learnt during search first, then the retained learnt-clause database.
+// The clauses are logical consequences of the clause database alone
+// (they are derived by resolution from it, independent of any Solve
+// assumptions), so callers may soundly add them to any solver whose
+// clauses subsume this one's.
+func (s *Solver) LearntClauses(maxLen, max int) [][]Lit {
+	var out [][]Lit
+	for _, u := range s.learntUnits {
+		if len(out) >= max {
+			return out
+		}
+		out = append(out, []Lit{u})
+	}
+	for _, c := range s.learnts {
+		if len(out) >= max {
+			break
+		}
+		if len(c.lits) > maxLen {
+			continue
+		}
+		out = append(out, append([]Lit(nil), c.lits...))
+	}
+	return out
+}
+
+// Export returns the clause database for serialization: the variable
+// count, the level-0 unit facts on the trail, and every problem and
+// learnt clause. Re-adding them (after creating the same number of
+// variables) reconstructs an equisatisfiable solver with identical
+// variable numbering — the basis of the smt package's persisted warm
+// core. ok is false when the solver is already unsatisfiable at top
+// level, in which case the export is not usable.
+func (s *Solver) Export() (numVars int, units []Lit, clauses [][]Lit, ok bool) {
+	if !s.ok {
+		return 0, nil, nil, false
+	}
+	end := len(s.trail)
+	if len(s.trailLim) > 0 {
+		end = s.trailLim[0]
+	}
+	units = append([]Lit(nil), s.trail[:end]...)
+	clauses = make([][]Lit, 0, len(s.clauses)+len(s.learnts))
+	for _, c := range s.clauses {
+		clauses = append(clauses, append([]Lit(nil), c.lits...))
+	}
+	for _, c := range s.learnts {
+		clauses = append(clauses, append([]Lit(nil), c.lits...))
+	}
+	return len(s.assigns), units, clauses, true
+}

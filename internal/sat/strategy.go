@@ -1,0 +1,60 @@
+package sat
+
+// Strategy seeds the solver's search heuristics. The zero value is the
+// baseline strategy every solver used before portfolio solving existed:
+// Luby restarts, all-false initial phases, activity ties broken by heap
+// order. Distinct strategies explore the search space in different
+// orders while staying individually deterministic — the property the
+// smt portfolio relies on: a replica's verdict is a pure function of
+// (formula, budget, strategy).
+type Strategy struct {
+	// Seed perturbs the initial variable phases and adds a tiny
+	// deterministic jitter to initial VSIDS activities (tie-breaking).
+	// 0 keeps the baseline behaviour bit-for-bit.
+	Seed uint64
+	// GeometricRestarts grows the restart interval geometrically
+	// (x1.5 from 100 conflicts) instead of following the Luby sequence.
+	GeometricRestarts bool
+	// InvertPhases flips the default decision polarity (decide-true
+	// instead of decide-false) for variables the seed does not touch.
+	InvertPhases bool
+}
+
+// splitmix64 is the SplitMix64 mixer: a cheap, high-quality hash used
+// to derive per-variable phase and jitter bits from the strategy seed.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Stats are cumulative search counters over the solver's lifetime,
+// surfaced through smt.ServiceStats and the phaged /metrics endpoint.
+type Stats struct {
+	Conflicts    int64
+	Decisions    int64
+	Propagations int64
+	Restarts     int64
+}
+
+// Stats returns the solver's cumulative search counters.
+func (s *Solver) Stats() Stats {
+	return Stats{
+		Conflicts:    s.conflicts,
+		Decisions:    s.decisions,
+		Propagations: s.propagations,
+		Restarts:     s.restarts,
+	}
+}
+
+// Sub returns the counter deltas s - o (for attributing one Solve call
+// on a long-lived solver).
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Conflicts:    s.Conflicts - o.Conflicts,
+		Decisions:    s.Decisions - o.Decisions,
+		Propagations: s.Propagations - o.Propagations,
+		Restarts:     s.Restarts - o.Restarts,
+	}
+}

@@ -1,0 +1,232 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// phpInto adds the pigeonhole instance (n+1 pigeons, n holes; UNSAT)
+// to an existing solver, so strategy tests can build it under any
+// Strategy.
+func phpInto(s *Solver, n int) {
+	v := make([][]int, n+1)
+	for p := 0; p <= n; p++ {
+		v[p] = make([]int, n)
+		for h := 0; h < n; h++ {
+			v[p][h] = s.NewVar()
+		}
+	}
+	for p := 0; p <= n; p++ {
+		cl := make([]Lit, n)
+		for h := 0; h < n; h++ {
+			cl[h] = lit(v[p][h])
+		}
+		s.AddClause(cl...)
+	}
+	for h := 0; h < n; h++ {
+		for p1 := 0; p1 <= n; p1++ {
+			for p2 := p1 + 1; p2 <= n; p2++ {
+				s.AddClause(nlit(v[p1][h]), nlit(v[p2][h]))
+			}
+		}
+	}
+}
+
+// TestStrategiesAgreeOnVerdicts is the portfolio soundness bedrock:
+// every strategy is a complete, sound solver, so on instances any of
+// them can finish, all of them agree.
+func TestStrategiesAgreeOnVerdicts(t *testing.T) {
+	strategies := []Strategy{
+		{},
+		{Seed: 1},
+		{Seed: 0xdeadbeef, GeometricRestarts: true},
+		{Seed: 99, InvertPhases: true},
+		{GeometricRestarts: true, InvertPhases: true},
+	}
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 120; iter++ {
+		nVars := 4 + rng.Intn(9)
+		nClauses := 1 + rng.Intn(nVars*5)
+		clauses := make([][]Lit, nClauses)
+		for i := range clauses {
+			k := 1 + rng.Intn(3)
+			c := make([]Lit, k)
+			for j := range c {
+				c[j] = MkLit(rng.Intn(nVars), rng.Intn(2) == 0)
+			}
+			clauses[i] = c
+		}
+		want := bruteForce(nVars, clauses)
+		for si, st := range strategies {
+			s := NewWithStrategy(st)
+			for v := 0; v < nVars; v++ {
+				s.NewVar()
+			}
+			for _, c := range clauses {
+				s.AddClause(c...)
+			}
+			got := s.Solve()
+			if (got == Sat) != want {
+				t.Fatalf("iter %d strategy %d: solver=%v bruteforce=%v", iter, si, got, want)
+			}
+		}
+	}
+}
+
+func TestZeroStrategyIsBaseline(t *testing.T) {
+	a, b := New(), NewWithStrategy(Strategy{})
+	phpInto(a, 5)
+	phpInto(b, 5)
+	if ra, rb := a.Solve(), b.Solve(); ra != rb {
+		t.Fatalf("New()=%v NewWithStrategy(zero)=%v", ra, rb)
+	}
+	// Bit-for-bit: the zero strategy must not change the search at all.
+	if a.Stats() != b.Stats() {
+		t.Fatalf("zero strategy changed search: %+v vs %+v", a.Stats(), b.Stats())
+	}
+}
+
+func TestStrategiesDiversifySearch(t *testing.T) {
+	counts := map[Stats]bool{}
+	for _, st := range []Strategy{{}, {Seed: 1}, {Seed: 2}, {Seed: 3, GeometricRestarts: true}} {
+		s := NewWithStrategy(st)
+		phpInto(s, 6)
+		if r := s.Solve(); r != Unsat {
+			t.Fatalf("strategy %+v: PHP(6)=%v, want UNSAT", st, r)
+		}
+		counts[s.Stats()] = true
+	}
+	// Not a semantic requirement, but the portfolio is pointless if the
+	// seeds do not actually change the search order.
+	if len(counts) < 2 {
+		t.Fatalf("all strategies produced identical search statistics")
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	s := New()
+	phpInto(s, 5)
+	before := s.Stats()
+	if before.Conflicts != 0 || before.Decisions != 0 {
+		t.Fatalf("fresh solver has nonzero stats: %+v", before)
+	}
+	s.Solve()
+	st := s.Stats()
+	if st.Conflicts == 0 || st.Decisions == 0 || st.Propagations == 0 {
+		t.Fatalf("PHP(5) left counters at zero: %+v", st)
+	}
+	if d := st.Sub(before); d != st {
+		t.Fatalf("Sub(zero) changed stats: %+v", d)
+	}
+}
+
+func TestInterrupt(t *testing.T) {
+	s := New()
+	phpInto(s, 9) // far beyond what CDCL finishes quickly
+	done := make(chan Result, 1)
+	go func() { done <- s.Solve() }()
+	time.Sleep(10 * time.Millisecond)
+	s.Interrupt()
+	select {
+	case r := <-done:
+		if r != Unknown {
+			// The solver may legitimately finish before the interrupt
+			// lands; only a definitive answer is acceptable then.
+			if r != Unsat {
+				t.Fatalf("interrupted solve returned %v", r)
+			}
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("solver ignored Interrupt")
+	}
+	// The solver must be reusable after an interrupt: budget-bounded
+	// solves on the remaining instance still answer.
+	s2 := New()
+	phpInto(s2, 3)
+	s2.Interrupt()
+	if r := s2.Solve(); r != Unknown {
+		t.Fatalf("pre-interrupted solve = %v, want Unknown", r)
+	}
+}
+
+func TestExportRoundTrip(t *testing.T) {
+	src := New()
+	phpInto(src, 4)
+	if r := src.Solve(); r != Unsat {
+		t.Fatalf("PHP(4)=%v", r)
+	}
+	// After an unassumed top-level UNSAT the solver is dead; Export
+	// must refuse.
+	if _, _, _, ok := src.Export(); ok {
+		t.Fatalf("Export succeeded on a top-level-unsat solver")
+	}
+
+	src = New()
+	phpInto(src, 4)
+	numVars, units, clauses, ok := src.Export()
+	if !ok {
+		t.Fatalf("Export failed on a live solver")
+	}
+	dst := New()
+	for i := 0; i < numVars; i++ {
+		dst.NewVar()
+	}
+	for _, u := range units {
+		if !dst.AddClause(u) {
+			t.Fatalf("unit replay hit UNSAT")
+		}
+	}
+	for _, c := range clauses {
+		if !dst.AddClause(c...) {
+			t.Fatalf("clause replay hit UNSAT")
+		}
+	}
+	if dst.NumVars() != numVars {
+		t.Fatalf("rebuilt solver has %d vars, want %d", dst.NumVars(), numVars)
+	}
+	if r := dst.Solve(); r != Unsat {
+		t.Fatalf("rebuilt PHP(4)=%v, want UNSAT", r)
+	}
+}
+
+// TestLearntClausesAreImplied checks the import-soundness contract:
+// every clause LearntClauses returns is a consequence of the problem
+// clauses alone, verified by brute force on a small instance.
+func TestLearntClausesAreImplied(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 60; iter++ {
+		nVars := 5 + rng.Intn(6)
+		nClauses := nVars * 4
+		clauses := make([][]Lit, nClauses)
+		for i := range clauses {
+			c := make([]Lit, 3)
+			for j := range c {
+				c[j] = MkLit(rng.Intn(nVars), rng.Intn(2) == 0)
+			}
+			clauses[i] = c
+		}
+		s := New()
+		for v := 0; v < nVars; v++ {
+			s.NewVar()
+		}
+		for _, c := range clauses {
+			s.AddClause(c...)
+		}
+		s.Solve()
+		for _, learnt := range s.LearntClauses(8, 64) {
+			if len(learnt) > 8 {
+				t.Fatalf("LearntClauses ignored maxLen: %d lits", len(learnt))
+			}
+			// DB ∧ ¬learnt must be UNSAT for the clause to be implied.
+			neg := make([][]Lit, 0, len(clauses)+len(learnt))
+			neg = append(neg, clauses...)
+			for _, l := range learnt {
+				neg = append(neg, []Lit{l.Not()})
+			}
+			if bruteForce(nVars, neg) {
+				t.Fatalf("iter %d: learnt clause %v is not implied by the DB", iter, learnt)
+			}
+		}
+	}
+}

@@ -37,6 +37,27 @@ func ListenAndServe(addr string, cfg Config, drain time.Duration, logf func(stri
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(sig)
+
+	// Periodic warm-state snapshots while serving; the drain path below
+	// writes the final one.
+	stopSaver := make(chan struct{})
+	if cfg.MemoPath != "" {
+		go func() {
+			t := time.NewTicker(cfg.memoSaveInterval())
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					if err := srv.SaveMemo(); err != nil {
+						logf("phaged: memo snapshot: %v", err)
+					}
+				case <-stopSaver:
+					return
+				}
+			}
+		}()
+	}
+
 	var serveErr error
 	select {
 	case s := <-sig:
@@ -48,6 +69,7 @@ func ListenAndServe(addr string, cfg Config, drain time.Duration, logf func(stri
 		}
 	}
 
+	close(stopSaver)
 	ctx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {

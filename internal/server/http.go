@@ -206,6 +206,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	p("phaged_solver_core_resets_total %d\n", st.Solver.SolverResets)
 	p("phaged_solver_core_vars %d\n", st.Solver.Vars)
 	p("phaged_solver_core_clauses %d\n", st.Solver.Clauses)
+	p("phaged_solver_sat_conflicts_total %d\n", st.Solver.SATConflicts)
+	p("phaged_solver_sat_decisions_total %d\n", st.Solver.SATDecisions)
+	p("phaged_solver_sat_propagations_total %d\n", st.Solver.SATPropagations)
+	p("phaged_solver_sat_restarts_total %d\n", st.Solver.SATRestarts)
+	p("phaged_solver_portfolio_races_total %d\n", st.Solver.PortfolioRaces)
+	p("phaged_solver_portfolio_wins_total %d\n", st.Solver.PortfolioWins)
+	p("phaged_solver_portfolio_losses_total %d\n", st.Solver.PortfolioLosses)
+	p("phaged_solver_imported_clauses_total %d\n", st.Solver.ImportedClauses)
+	p("phaged_solver_memo_loaded_entries %d\n", st.Solver.MemoLoaded)
+	p("phaged_solver_memo_loaded_hits_total %d\n", st.Solver.MemoLoadedHits)
+	p("phaged_solver_memo_snapshot_saves_total %d\n", st.Solver.SnapshotSaves)
 	p("phaged_interned_terms %d\n", st.Intern.Terms)
 	p("phaged_interned_hits_total %d\n", st.Intern.Hits)
 	p("phaged_interned_misses_total %d\n", st.Intern.Misses)

@@ -57,6 +57,18 @@ type Config struct {
 	// CorpusLoader overrides donor binary loading for the survival
 	// probe (nil = registry builds).
 	CorpusLoader corpus.ModuleLoader
+	// MemoPath persists the constraint service's warm state — the
+	// verdict memo and the incremental core's CNF — here ("" = none).
+	// Loaded at construction, saved on graceful shutdown and every
+	// MemoSaveInterval while serving. The snapshot is a cache: a
+	// missing or invalid file means a cold start, never an error, and
+	// loading one cannot change any verdict (definite entries are pure
+	// semantic facts; budget-exhausted entries are dropped unless they
+	// were recorded under the identical resolution procedure).
+	MemoPath string
+	// MemoSaveInterval is the periodic snapshot cadence when MemoPath
+	// is set (0 = 5 minutes).
+	MemoSaveInterval time.Duration
 }
 
 func (c Config) shards() int {
@@ -89,6 +101,13 @@ func (c Config) maxCachedJobs() int {
 		return c.MaxCachedJobs
 	}
 	return 1024
+}
+
+func (c Config) memoSaveInterval() time.Duration {
+	if c.MemoSaveInterval > 0 {
+		return c.MemoSaveInterval
+	}
+	return 5 * time.Minute
 }
 
 // Submission errors.
@@ -141,6 +160,12 @@ func New(cfg Config) *Server {
 	s.corpus.Service = s.solver
 	s.corpus.Donors = cfg.CorpusDonors
 	s.corpus.Loader = cfg.CorpusLoader
+	if cfg.MemoPath != "" {
+		// Best effort: the snapshot is a cache, and every decode
+		// failure (missing file, stale version, corruption) means
+		// exactly what an absent snapshot means — start cold.
+		_ = s.solver.LoadMemo(cfg.MemoPath)
+	}
 	for i := 0; i < cfg.shards(); i++ {
 		eng := pipeline.NewEngine()
 		eng.Compiler = s.compiler
@@ -206,10 +231,23 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		// Drained cleanly: persist the warm solver state the run built,
+		// so the next boot starts from today's verdicts.
+		_ = s.SaveMemo()
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
 	}
+}
+
+// SaveMemo persists the constraint service's warm state to the
+// configured MemoPath (no-op when unset). The daemon loop also calls
+// this periodically so a crash loses at most one interval's verdicts.
+func (s *Server) SaveMemo() error {
+	if s.cfg.MemoPath == "" {
+		return nil
+	}
+	return s.solver.SaveMemo(s.cfg.MemoPath)
 }
 
 // contentKey is the dedup identity of a request: the hash of every

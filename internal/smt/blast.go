@@ -34,8 +34,23 @@ type blaster struct {
 	memo   map[uint64][]sat.Lit   // interned node ID -> bit literals
 	slow   map[string][]sat.Lit   // un-interned fallback, keyed structurally
 
+	// trackKeys records each memoised node's content-stable key in
+	// keys, which is what the persisted warm-core snapshot serializes
+	// (the process-local node IDs above mean nothing to another
+	// process). Only the service's shared core tracks keys — throwaway
+	// and replica blasters skip the hash.
+	trackKeys bool
+	keys      map[uint64]string // interned node ID -> StableKey
+
+	// warm maps content-stable keys to the bit literals a loaded
+	// snapshot already encoded (over this blaster's solver, whose
+	// variable numbering the snapshot restored). Consulted on CNF-memo
+	// misses; nil on a cold blaster.
+	warm map[string][]sat.Lit
+
 	cnfHits   int64
 	cnfMisses int64
+	warmHits  int64
 }
 
 func newBlaster(s *sat.Solver) *blaster {
@@ -314,17 +329,40 @@ func (b *blaster) bits(e *bitvec.Expr) []sat.Lit {
 		b.cnfHits++
 		return v
 	}
+	var skey string
+	if b.trackKeys || b.warm != nil {
+		skey = e.StableKey()
+	}
+	// A loaded snapshot may already hold this node's circuit (the gate
+	// clauses came back with the solver, so the literals are live).
+	if b.warm != nil {
+		if v, ok := b.warm[skey]; ok && len(v) == int(e.W) {
+			b.warmHits++
+			b.cnfHits++
+			b.store(e, id, skey, v)
+			return v
+		}
+	}
 	b.cnfMisses++
 	v := b.blast(e)
 	if len(v) != int(e.W) {
 		panic(fmt.Sprintf("smt: blast width mismatch for %s: got %d want %d", e, len(v), e.W))
 	}
+	b.store(e, id, skey, v)
+	return v
+}
+
+// store memoises a blasted node's literals (and, on the key-tracking
+// core, its stable key for the next snapshot).
+func (b *blaster) store(e *bitvec.Expr, id uint64, skey string, v []sat.Lit) {
 	if id != 0 {
 		b.memo[id] = v
+		if b.trackKeys {
+			b.keys[id] = skey
+		}
 	} else {
 		b.slow[e.Key()] = v
 	}
-	return v
 }
 
 func (b *blaster) fieldBits(name string, w uint8) []sat.Lit {

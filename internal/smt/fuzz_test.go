@@ -1,0 +1,59 @@
+package smt
+
+import (
+	"testing"
+
+	"codephage/internal/bitvec"
+)
+
+// FuzzMemoSnapshotLoad hammers the persisted-memo decoder with
+// truncated, corrupted and hostile byte streams. A snapshot is a
+// cache, so the contract is absolute: every input either loads or is
+// rejected with an error — never a panic, never a partially-installed
+// state — and the service must answer queries correctly afterwards
+// either way. The checked-in corpus under
+// testdata/fuzz/FuzzMemoSnapshotLoad pins the interesting shapes
+// (valid snapshot, truncation, wrong version, checksum mismatch,
+// hostile length fields) so `go test` exercises them on every run.
+func FuzzMemoSnapshotLoad(f *testing.F) {
+	// A well-formed snapshot from a warmed-up service, plus mutations of
+	// it that reach successive decoder stages.
+	src := NewService(Config{})
+	ss := src.Session()
+	x := bitvec.Field("x", 8, 0)
+	y := bitvec.Field("y", 8, 1)
+	if _, err := ss.Equiv(bitvec.Add(x, y), bitvec.Add(y, x)); err != nil {
+		f.Fatal(err)
+	}
+	bounded := src.Session()
+	bounded.MaxConflicts = 1
+	bounded.Equiv(bitvec.Mul(x, y), bitvec.Mul(y, x))
+	good := src.EncodeMemo()
+
+	f.Add(good)
+	f.Add(good[:len(good)/2])
+	f.Add(good[:len(good)-1])
+	f.Add(refixChecksum(setU32(good, len(snapMagic), 999)))      // wrong version
+	f.Add(refixChecksum(setU32(good, len(snapMagic)+12, 1<<30))) // hostile verdict count
+	f.Add(append(append([]byte{}, good...), 0x00))               // trailing byte
+	f.Add([]byte(snapMagic))
+	f.Add([]byte{})
+	corrupt := append([]byte{}, good...)
+	corrupt[len(corrupt)/2] ^= 0xff
+	f.Add(corrupt) // checksum mismatch
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		svc := NewService(Config{})
+		if err := svc.LoadMemoBytes(data); err != nil {
+			if n := svc.Stats().MemoLoaded; n != 0 {
+				t.Fatalf("rejected load installed %d entries", n)
+			}
+		}
+		// Loaded or not, the service must still answer correctly.
+		a := bitvec.Field("x", 8, 0)
+		ok, err := svc.Session().Equiv(bitvec.Add(a, bitvec.Const(8, 0)), a)
+		if err != nil || !ok {
+			t.Fatalf("service broken after load: %v/%v", ok, err)
+		}
+	})
+}

@@ -1,0 +1,279 @@
+package smt
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"codephage/internal/bitvec"
+	"codephage/internal/sat"
+)
+
+// This file implements portfolio resolution for hard queries: the
+// standard parallel-SAT recipe of racing diversified solver replicas
+// and sharing short learnt clauses, constrained by this repo's
+// determinism bar. The key property is that the verdict — though not
+// the wall time — is independent of whether the replicas race or run
+// sequentially: a definitive SAT/UNSAT answer is semantically unique
+// (any sound replica that answers, answers the same), and Unknown is
+// defined as "every replica exhausted the full budget", which racing
+// cannot change because replicas are only interrupted after some
+// replica already has a definitive answer.
+
+// replicaStrategy returns the fixed search strategy of portfolio
+// replica i. Replica 0 is always the baseline (the strategy every
+// solver used before portfolios existed); the others diversify the
+// seed, the restart policy and the default phase. The set is part of
+// query semantics (it defines which queries are Unknown), so changing
+// it requires bumping the memo snapshot version.
+func replicaStrategy(i int) sat.Strategy {
+	if i == 0 {
+		return sat.Strategy{}
+	}
+	return sat.Strategy{
+		Seed:              splitmixSeed(uint64(i)),
+		GeometricRestarts: i%2 == 1,
+		InvertPhases:      i%4 >= 2,
+	}
+}
+
+// splitmixSeed derives a well-mixed nonzero seed from a replica index.
+func splitmixSeed(i uint64) uint64 {
+	x := i * 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	if x == 0 {
+		x = 1
+	}
+	return x
+}
+
+// maxImportLen bounds the length of learnt clauses imported into the
+// shared core; maxImportClauses bounds how many one race may import.
+// Short clauses prune the most search per clause added, and the caps
+// keep a race from bloating the core's clause database.
+const (
+	maxImportLen     = 8
+	maxImportClauses = 128
+)
+
+// replica is one portfolio member's solver state after its run.
+type replica struct {
+	solver *sat.Solver
+	bl     *blaster
+	result sat.Result
+}
+
+// portfolio resolves a hard query — one whose cheap first attempt at
+// budget b0 exhausted — by running the seeded pristine replicas at the
+// full budget. Racing (the default) and sequential execution return
+// identical verdicts; see the file comment. Afterwards, short learnt
+// clauses from every replica that ran are imported into the shared
+// incremental core so later queries over the same terms start ahead.
+func (s *Service) portfolio(cond, modelFor *bitvec.Expr, full, b0 int64) (sat.Result, Model) {
+	n := s.cfg.replicas()
+	lo := 0
+	if b0 == full {
+		// The failed cheap attempt was exactly replica 0's run (baseline
+		// strategy, same budget, pristine for bounded queries): skip it.
+		// For default-budget queries the cheap attempt ran on the shared
+		// core instead, but only up to b0 == full conflicts with the
+		// baseline strategy and strictly more clauses, so replica 0
+		// could at best repeat the exhaustion — skipping it cannot turn
+		// a definitive verdict into Unknown, only save the repeat.
+		lo = 1
+	}
+	if lo >= n {
+		return sat.Unknown, nil
+	}
+	s.races.Add(1)
+
+	// Solvers are created up front so a winning replica can Interrupt
+	// the others even before they have started solving.
+	reps := make([]replica, n)
+	for i := lo; i < n; i++ {
+		solver := sat.NewWithStrategy(replicaStrategy(i))
+		solver.MaxConflicts = full
+		reps[i] = replica{solver: solver, bl: newBlaster(solver), result: sat.Unknown}
+	}
+	run := func(i int) {
+		goal := reps[i].bl.bits(cond)[0]
+		reps[i].result = reps[i].solver.Solve(goal)
+	}
+
+	winner := -1
+	if s.cfg.PortfolioSequential {
+		for i := lo; i < n; i++ {
+			run(i)
+			s.accountReplica(&reps[i])
+			if reps[i].result != sat.Unknown {
+				winner = i
+				break
+			}
+		}
+	} else {
+		var won atomic.Int32
+		won.Store(-1)
+		var wg sync.WaitGroup
+		for i := lo; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				run(i)
+				if reps[i].result != sat.Unknown && won.CompareAndSwap(-1, int32(i)) {
+					// First definitive answer: cancel the losers. Any
+					// other replica that still finishes definitively
+					// agrees semantically, so the choice of winner only
+					// picks which witness model is read.
+					for j := lo; j < n; j++ {
+						if j != i {
+							reps[j].solver.Interrupt()
+						}
+					}
+				}
+			}(i)
+		}
+		wg.Wait()
+		winner = int(won.Load())
+		for i := lo; i < n; i++ {
+			s.accountReplica(&reps[i])
+		}
+	}
+
+	var (
+		r sat.Result = sat.Unknown
+		m Model
+	)
+	if winner >= 0 {
+		r = reps[winner].result
+		m = readModel(modelFor, reps[winner].solver, reps[winner].bl, r)
+		s.raceWins.Add(1)
+	} else {
+		s.raceLosses.Add(1)
+	}
+	if imported := s.importLearnt(reps); imported > 0 {
+		s.imported.Add(int64(imported))
+	}
+	return r, m
+}
+
+// accountReplica folds one replica's solve into the service counters.
+// In sequential mode replicas after the winner never run, so they
+// contribute nothing.
+func (s *Service) accountReplica(rep *replica) {
+	if rep.solver == nil {
+		return
+	}
+	s.satCalls.Add(1)
+	s.addSearchStats(rep.solver.Stats())
+	s.cnfHitsAux.Add(rep.bl.cnfHits)
+	s.cnfMissesAux.Add(rep.bl.cnfMisses)
+}
+
+// importLearnt carries short learnt clauses from the replicas into the
+// shared incremental core. Replicas number their SAT variables
+// privately, so clauses are translated through a variable map built
+// from the circuit outputs both sides share: input-field bits and the
+// bit literals of interned nodes both blasters have encoded. A mapped
+// variable denotes the same boolean function of the input bits in both
+// systems (the Tseitin encoding of one interned term), so a learnt
+// clause — a consequence of the replica's clause database alone — maps
+// to a consequence of the core's database: sound to add, and purely an
+// accelerator (the verdict of any later query is unchanged by
+// implied clauses). Clauses touching replica-private gate variables
+// have no mapping and are skipped.
+func (s *Service) importLearnt(reps []replica) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	imported := 0
+	for ri := range reps {
+		rep := &reps[ri]
+		if rep.solver == nil || imported >= maxImportClauses {
+			continue
+		}
+		vmap := buildVarMap(rep.bl, s.bl)
+		if len(vmap) == 0 {
+			continue
+		}
+		for _, cl := range rep.solver.LearntClauses(maxImportLen, maxImportClauses) {
+			if imported >= maxImportClauses {
+				break
+			}
+			mapped, ok := translateClause(cl, vmap)
+			if !ok {
+				continue
+			}
+			s.solver.AddClause(mapped...)
+			imported++
+		}
+	}
+	if imported > 0 {
+		s.publishCoreStatsLocked()
+	}
+	return imported
+}
+
+// varMapping maps one replica variable onto a core literal phase.
+type varMapping struct {
+	v    int
+	flip bool
+}
+
+// buildVarMap pairs the replica's field and node-output literals with
+// the core's. Bit positions correspond one to one (both blasters
+// encode the same node the same way), so replica bit i maps onto core
+// bit i, with the relative polarity folded into flip. A replica
+// variable observed with two inconsistent mappings (possible because
+// gate simplification reuses operand literals) is dropped.
+func buildVarMap(from, to *blaster) map[int]varMapping {
+	vmap := map[int]varMapping{}
+	bad := map[int]bool{}
+	addPair := func(rl, cl sat.Lit) {
+		v := rl.Var()
+		if bad[v] {
+			return
+		}
+		m := varMapping{v: cl.Var(), flip: rl.Neg() != cl.Neg()}
+		if old, ok := vmap[v]; ok {
+			if old != m {
+				bad[v] = true
+				delete(vmap, v)
+			}
+			return
+		}
+		vmap[v] = m
+	}
+	for key, rl := range from.fields {
+		cl, ok := to.fields[key]
+		if !ok {
+			continue
+		}
+		for i := range rl {
+			addPair(rl[i], cl[i])
+		}
+	}
+	for id, rl := range from.memo {
+		cl, ok := to.memo[id]
+		if !ok || len(cl) != len(rl) {
+			continue
+		}
+		for i := range rl {
+			addPair(rl[i], cl[i])
+		}
+	}
+	return vmap
+}
+
+// translateClause maps a replica clause into core literals; ok is
+// false when any variable has no (consistent) mapping.
+func translateClause(cl []sat.Lit, vmap map[int]varMapping) ([]sat.Lit, bool) {
+	out := make([]sat.Lit, len(cl))
+	for i, l := range cl {
+		m, ok := vmap[l.Var()]
+		if !ok {
+			return nil, false
+		}
+		out[i] = sat.MkLit(m.v, l.Neg() != m.flip)
+	}
+	return out, true
+}

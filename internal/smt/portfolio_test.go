@@ -1,0 +1,190 @@
+package smt
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"codephage/internal/bitvec"
+	"codephage/internal/sat"
+)
+
+// portfolioQueries is a mix of easy and genuinely search-heavy
+// queries. With PortfolioTrigger=1 almost every SAT-reaching query
+// exhausts the cheap attempt and engages the replica portfolio.
+type pq struct {
+	name string
+	a, b *bitvec.Expr
+	want bool
+}
+
+func portfolioQueries() []pq {
+	x := bitvec.Field("x", 6, 0)
+	y := bitvec.Field("y", 6, 1)
+	z := bitvec.Field("z", 6, 2)
+	c1 := bitvec.Const(6, 1)
+	return []pq{
+		{"mul-comm", bitvec.Mul(x, y), bitvec.Mul(y, x), true},
+		{"mul-assoc", bitvec.Mul(bitvec.Mul(x, y), z), bitvec.Mul(x, bitvec.Mul(y, z)), true},
+		{"mul-vs-shift", bitvec.Mul(x, bitvec.Const(6, 2)), bitvec.Shl(x, c1), true},
+		{"distrib", bitvec.Mul(x, bitvec.Add(y, z)), bitvec.Add(bitvec.Mul(x, y), bitvec.Mul(x, z)), true},
+		{"not-equal", bitvec.Mul(x, y), bitvec.Mul(x, z), false},
+		{"add-comm", bitvec.Add(x, y), bitvec.Add(y, x), true},
+		{"off-by-one", bitvec.Mul(x, y), bitvec.Add(bitvec.Mul(x, y), c1), false},
+	}
+}
+
+// answers runs every query on a fresh session of svc and returns the
+// verdict/error pairs in order.
+func answers(t *testing.T, svc *Service) []string {
+	t.Helper()
+	ss := svc.Session()
+	var out []string
+	for _, q := range portfolioQueries() {
+		got, err := ss.Equiv(q.a, q.b)
+		out = append(out, fmt.Sprintf("%s:%v/%v", q.name, got, err))
+		if err == nil && got != q.want {
+			t.Errorf("%s: Equiv=%v, want %v", q.name, got, q.want)
+		}
+	}
+	return out
+}
+
+// TestPortfolioParallelMatchesSequential is the determinism bar for
+// portfolio solving: racing the replicas on goroutines and running
+// them one by one must produce identical verdicts (and identical
+// budget-exhaustion errors) for every query.
+func TestPortfolioParallelMatchesSequential(t *testing.T) {
+	par := NewService(Config{PortfolioTrigger: 1, MaxConflicts: 30000})
+	seq := NewService(Config{PortfolioTrigger: 1, MaxConflicts: 30000, PortfolioSequential: true})
+	pa := answers(t, par)
+	sa := answers(t, seq)
+	for i := range pa {
+		if pa[i] != sa[i] {
+			t.Errorf("query %d: parallel %q vs sequential %q", i, pa[i], sa[i])
+		}
+	}
+	if st := par.Stats(); st.PortfolioRaces == 0 {
+		t.Errorf("parallel service never engaged the portfolio: %+v", st)
+	}
+	if st := seq.Stats(); st.PortfolioRaces == 0 {
+		t.Errorf("sequential service never engaged the portfolio: %+v", st)
+	}
+}
+
+// TestPortfolioMatchesBaseline pins that portfolio resolution never
+// changes a definitive verdict: a plain single-solver service (one
+// replica, effectively the pre-portfolio configuration) agrees with
+// the racing portfolio on every query it can finish.
+func TestPortfolioMatchesBaseline(t *testing.T) {
+	baseline := NewService(Config{PortfolioReplicas: 1})
+	racing := NewService(Config{PortfolioTrigger: 1})
+	ba := answers(t, baseline)
+	ra := answers(t, racing)
+	for i := range ba {
+		if ba[i] != ra[i] {
+			t.Errorf("query %d: baseline %q vs racing %q", i, ba[i], ra[i])
+		}
+	}
+}
+
+// TestPortfolioHammer hammers one shared service with concurrent
+// sessions issuing portfolio-triggering queries — the -race exercise
+// for the replica racing, loser cancellation, and clause import
+// paths. Every worker must see the same verdicts.
+func TestPortfolioHammer(t *testing.T) {
+	svc := NewService(Config{PortfolioTrigger: 1, MaxConflicts: 30000})
+	want := answers(t, svc)
+
+	const workers = 8
+	const rounds = 6
+	var wg sync.WaitGroup
+	errs := make(chan string, workers*rounds*len(want))
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				ss := svc.Session()
+				for i, q := range portfolioQueries() {
+					got, err := ss.Equiv(q.a, q.b)
+					if s := fmt.Sprintf("%s:%v/%v", q.name, got, err); s != want[i] {
+						errs <- fmt.Sprintf("round %d: got %q want %q", r, s, want[i])
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}
+
+// TestReplicaStrategiesFixed pins the replica strategy derivation:
+// it is part of query semantics (what "Unknown" means), so changing
+// it must be a deliberate act that also bumps the snapshot version.
+func TestReplicaStrategiesFixed(t *testing.T) {
+	if got := replicaStrategy(0); got != (sat.Strategy{}) {
+		t.Fatalf("replica 0 is not the baseline strategy: %+v", got)
+	}
+	seen := map[sat.Strategy]bool{}
+	for i := 0; i < 8; i++ {
+		st := replicaStrategy(i)
+		if seen[st] {
+			t.Fatalf("replica %d repeats an earlier strategy: %+v", i, st)
+		}
+		seen[st] = true
+		if again := replicaStrategy(i); again != st {
+			t.Fatalf("replicaStrategy(%d) is not deterministic", i)
+		}
+		if i > 0 && st.Seed == 0 {
+			t.Fatalf("replica %d has a zero seed (baseline collision)", i)
+		}
+	}
+}
+
+// TestVarMapTranslation unit-tests the clause translation under the
+// variable map two blasters of the same expressions induce.
+func TestVarMapTranslation(t *testing.T) {
+	x := bitvec.Field("x", 8, 0)
+	y := bitvec.Field("y", 8, 1)
+	e := bitvec.Ne(bitvec.Add(x, y), bitvec.Const(8, 3))
+
+	s1 := sat.New()
+	b1 := newBlaster(s1)
+	l1 := b1.bits(e)
+
+	s2 := sat.NewWithStrategy(sat.Strategy{Seed: 5})
+	b2 := newBlaster(s2)
+	l2 := b2.bits(e)
+
+	vmap := buildVarMap(b1, b2)
+	if len(vmap) == 0 {
+		t.Fatal("no variables mapped between isomorphic blasters")
+	}
+	// The root node's own output bit must translate exactly.
+	cl, ok := translateClause([]sat.Lit{l1[0]}, vmap)
+	if !ok {
+		t.Fatal("root output literal did not translate")
+	}
+	if got, want := cl[0], l2[0]; got != want {
+		t.Fatalf("root literal translated to %v, want %v", got, want)
+	}
+	// Field bits map bit-for-bit too.
+	fx1 := b1.fields[fieldKey{"x", 8}]
+	fx2 := b2.fields[fieldKey{"x", 8}]
+	mapped, ok := translateClause([]sat.Lit{fx1[3], fx1[7].Not()}, vmap)
+	if !ok {
+		t.Fatal("field literals did not translate")
+	}
+	if mapped[0] != fx2[3] || mapped[1] != fx2[7].Not() {
+		t.Fatalf("field bits mis-translated: %v", mapped)
+	}
+	// A clause over an unmapped (private) variable must be rejected.
+	priv := sat.MkLit(s1.NewVar(), false)
+	if _, ok := translateClause([]sat.Lit{priv}, vmap); ok {
+		t.Fatal("clause over a private variable translated")
+	}
+}

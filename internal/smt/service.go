@@ -24,6 +24,26 @@ type Config struct {
 	DisablePrefilter bool
 	// MemoEntries bounds the verdict memo (0 = default of 65536).
 	MemoEntries int
+	// PortfolioReplicas is the number of seeded solver replicas a hard
+	// query (one that exhausts the cheap first conflict budget) is
+	// resolved with (0 = default of 4, 1 = baseline replica only).
+	// The replica set is part of a query's semantics: Unknown means
+	// "every replica exhausted the budget", so the count must match
+	// between runs whose verdicts are compared — which is also why a
+	// persisted memo snapshot records it.
+	PortfolioReplicas int
+	// PortfolioSequential runs the replicas one after another in index
+	// order (stopping at the first definitive answer) instead of
+	// racing them on goroutines. Verdicts are identical by
+	// construction — a definitive SAT/UNSAT answer is semantically
+	// unique and Unknown requires every replica to exhaust either way
+	// — so this is the determinism ablation, trading wall time for
+	// single-threaded execution.
+	PortfolioSequential bool
+	// PortfolioTrigger is the cheap first conflict budget; exhausting
+	// it makes a query "hard" and engages the replica portfolio at the
+	// full budget (0 = default of 2000).
+	PortfolioTrigger int64
 }
 
 func (c Config) maxConflicts() int64 {
@@ -45,6 +65,20 @@ func (c Config) memoEntries() int {
 		return c.MemoEntries
 	}
 	return 1 << 16
+}
+
+func (c Config) replicas() int {
+	if c.PortfolioReplicas > 0 {
+		return c.PortfolioReplicas
+	}
+	return 4
+}
+
+func (c Config) trigger() int64 {
+	if c.PortfolioTrigger > 0 {
+		return c.PortfolioTrigger
+	}
+	return 2000
 }
 
 // maxIncVars bounds the persistent incremental solver: past this many
@@ -82,6 +116,27 @@ type ServiceStats struct {
 	// Vars / Clauses are gauges of the incremental core.
 	Vars    int64
 	Clauses int64
+	// SATConflicts / SATDecisions / SATPropagations / SATRestarts
+	// aggregate the CDCL search counters across every solver the
+	// service ran (core, throwaway and portfolio replicas).
+	SATConflicts    int64
+	SATDecisions    int64
+	SATPropagations int64
+	SATRestarts     int64
+	// PortfolioRaces counts hard queries handed to the replica
+	// portfolio; Wins resolved definitively, Losses exhausted every
+	// replica. ImportedClauses counts short learnt clauses carried
+	// from replicas back into the shared incremental core.
+	PortfolioRaces  int64
+	PortfolioWins   int64
+	PortfolioLosses int64
+	ImportedClauses int64
+	// MemoLoaded is the number of verdict entries installed by
+	// LoadMemo; MemoLoadedHits counts queries answered by one of them;
+	// SnapshotSaves counts SaveMemo calls that wrote a snapshot.
+	MemoLoaded     int64
+	MemoLoadedHits int64
+	SnapshotSaves  int64
 }
 
 // memoEntry is one cached verdict. Sat entries carry the model found.
@@ -96,6 +151,7 @@ type memoEntry struct {
 	model     Model // nil unless a satisfiable Sat verdict
 	exhausted bool
 	budget    int64 // conflict budget an exhausted entry failed under
+	loaded    bool  // installed by LoadMemo (persistence-hit metric)
 }
 
 // Service is the shared, memoizing constraint service: one persistent
@@ -111,15 +167,14 @@ type Service struct {
 	// Incremental core. Serialised: bit-blasting appends clauses to
 	// the shared solver, and solve-under-assumptions reuses its learnt
 	// clauses and variable activity across queries. Only default-budget
-	// queries run here — explicitly bounded ones (proofs, prefilters)
-	// solve on throwaway cores without touching this lock. pristine is
-	// true until the first solve after a (re)build: a query answered on
-	// a pristine core is a pure function of the query, which is what
-	// budget-exhaustion retries rely on (see solveCond/solveSat).
-	mu       sync.Mutex
-	solver   *sat.Solver
-	bl       *blaster
-	pristine bool
+	// queries run here, and only up to the cheap trigger budget — a
+	// query that exhausts it is "hard" and goes to the pristine replica
+	// portfolio off the lock (see resolve), so a verdict's
+	// Unknown-vs-definitive outcome never depends on the history-laden
+	// core state.
+	mu     sync.Mutex
+	solver *sat.Solver
+	bl     *blaster
 	// cnfBaseHits/cnfBaseMisses accumulate retired blasters' counters
 	// (guarded by mu) so the exported totals stay monotonic across
 	// core rebuilds.
@@ -140,6 +195,23 @@ type Service struct {
 	satCalls  atomic.Int64
 	satTimeNs atomic.Int64
 	resets    atomic.Int64
+
+	// CDCL search counters, aggregated per solve call.
+	satConflicts atomic.Int64
+	satDecisions atomic.Int64
+	satProps     atomic.Int64
+	satRestarts  atomic.Int64
+
+	// Portfolio counters.
+	races      atomic.Int64
+	raceWins   atomic.Int64
+	raceLosses atomic.Int64
+	imported   atomic.Int64
+
+	// Persistence counters.
+	memoLoaded atomic.Int64
+	loadedHits atomic.Int64
+	snapSaves  atomic.Int64
 
 	// Published core/CNF gauges and totals: Stats() reads only these
 	// atomics, so a metrics scrape never blocks behind a running solve.
@@ -179,7 +251,21 @@ func (s *Service) resetCore() {
 	}
 	s.solver = sat.New()
 	s.bl = newBlaster(s.solver)
-	s.pristine = true
+	// The core remembers each node's content-stable key so SaveMemo
+	// can serialize its circuits under process-independent names.
+	s.bl.trackKeys = true
+	s.bl.keys = map[uint64]string{}
+	s.publishCoreStatsLocked()
+}
+
+// installCore swaps in a solver+blaster pair restored from a snapshot,
+// folding the retired blaster's counters exactly like resetCore.
+// Callers hold s.mu.
+func (s *Service) installCoreLocked(solver *sat.Solver, bl *blaster) {
+	s.cnfBaseHits += s.bl.cnfHits
+	s.cnfBaseMisses += s.bl.cnfMisses
+	s.solver = solver
+	s.bl = bl
 	s.publishCoreStatsLocked()
 }
 
@@ -207,6 +293,20 @@ func (s *Service) Stats() ServiceStats {
 		CNFMisses:    s.cnfMissesCore.Load() + s.cnfMissesAux.Load(),
 		Vars:         s.coreVars.Load(),
 		Clauses:      s.coreClauses.Load(),
+
+		SATConflicts:    s.satConflicts.Load(),
+		SATDecisions:    s.satDecisions.Load(),
+		SATPropagations: s.satProps.Load(),
+		SATRestarts:     s.satRestarts.Load(),
+
+		PortfolioRaces:  s.races.Load(),
+		PortfolioWins:   s.raceWins.Load(),
+		PortfolioLosses: s.raceLosses.Load(),
+		ImportedClauses: s.imported.Load(),
+
+		MemoLoaded:     s.memoLoaded.Load(),
+		MemoLoadedHits: s.loadedHits.Load(),
+		SnapshotSaves:  s.snapSaves.Load(),
 	}
 	s.memoMu.Lock()
 	st.MemoEntries = int64(s.memoLRU.Len())
@@ -237,6 +337,9 @@ func (s *Service) memoGet(key string, budget int64) (*memoEntry, bool) {
 	}
 	s.memoLRU.MoveToFront(el)
 	s.memoHits.Add(1)
+	if e.loaded {
+		s.loadedHits.Add(1)
+	}
 	return e, true
 }
 
@@ -284,41 +387,121 @@ func (s *Service) solveNe(a, b *bitvec.Expr, maxConflicts int64) (neSat bool, er
 
 // solveSat asks the solver for a satisfying assignment of cond
 // (nonzero), returning a model over exactly cond's input fields.
-// Explicitly bounded queries (a session MaxConflicts override: the
-// overflow-freedom proofs, DIODE's prefilter) run on a throwaway core
-// — a pure function of the query, off the shared lock, leaving the
-// incremental core's circuits intact; default-budget queries run
-// incrementally on the shared core.
 func (s *Service) solveSat(cond *bitvec.Expr, maxConflicts int64) (bool, Model, error) {
-	goal := bitvec.BoolOf(cond)
-	if maxConflicts > 0 {
-		solver, bl, r := s.solveThrowaway(goal, maxConflicts)
-		return finishSat(cond, solver, bl, r)
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.maybeResetLocked()
-	wasPristine := s.pristine
-	lit := s.bl.bits(goal)[0]
-	r := s.solveLocked(lit, maxConflicts)
-	if r == sat.Unknown && !wasPristine {
-		r = s.retryPristineLocked(goal, maxConflicts)
-	}
-	return finishSat(cond, s.solver, s.bl, r)
-}
-
-// finishSat converts a solve result into the (sat, model, err) triple,
-// reading the model — for cond's own fields — off the solver that
-// produced it, before anything backtracks the trail.
-func finishSat(cond *bitvec.Expr, solver *sat.Solver, bl *blaster, r sat.Result) (bool, Model, error) {
+	r, m := s.resolve(bitvec.BoolOf(cond), cond, maxConflicts)
 	switch r {
 	case sat.Unsat:
 		return false, nil, nil
 	case sat.Unknown:
 		return false, nil, ErrBudget
 	}
+	return true, m, nil
+}
+
+// solveCond blasts cond and solves under the assumption that it holds,
+// with the same two-stage routing as solveSat.
+func (s *Service) solveCond(cond *bitvec.Expr, maxConflicts int64) sat.Result {
+	r, _ := s.resolve(cond, nil, maxConflicts)
+	return r
+}
+
+// resolve answers one query with the two-stage portfolio procedure:
+//
+//  1. a cheap attempt bounded by the trigger budget — on the shared
+//     incremental core for default-budget queries, on a pristine
+//     throwaway solver for explicitly bounded ones (proofs,
+//     prefilters: their circuits never pollute the core);
+//  2. if that exhausts, the query is hard: the fixed set of seeded
+//     pristine replicas solve it at the full budget (racing on
+//     goroutines, or sequentially under PortfolioSequential).
+//
+// The verdict is a pure function of (query, budget, replica set):
+// stage 1 can only return definitive answers — which are semantically
+// unique, however they were found — and Unknown means every pristine
+// replica exhausted the full budget, independent of core history,
+// scheduling, or whether the replicas raced. modelFor (nil = no model
+// wanted) names the expression whose fields the model must cover; the
+// model is read off whichever solver produced the Sat answer before
+// its trail can be disturbed.
+func (s *Service) resolve(cond, modelFor *bitvec.Expr, maxConflicts int64) (sat.Result, Model) {
+	bounded := maxConflicts > 0
+	full := maxConflicts
+	if !bounded {
+		full = s.cfg.maxConflicts()
+	}
+	b0 := s.cfg.trigger()
+	if b0 > full {
+		b0 = full
+	}
+
+	if bounded {
+		solver, bl, r := s.throwawaySolve(cond, b0, sat.Strategy{})
+		if r != sat.Unknown {
+			return r, readModel(modelFor, solver, bl, r)
+		}
+	} else {
+		s.mu.Lock()
+		s.maybeResetLocked()
+		lit := s.bl.bits(cond)[0]
+		r := s.coreSolveLocked(lit, b0)
+		if r != sat.Unknown {
+			m := readModel(modelFor, s.solver, s.bl, r)
+			s.mu.Unlock()
+			return r, m
+		}
+		s.mu.Unlock()
+	}
+	return s.portfolio(cond, modelFor, full, b0)
+}
+
+// throwawaySolve answers one budgeted attempt on a private fresh
+// solver+blaster under the given strategy: a pure function of
+// (query, budget, strategy), off the shared lock.
+func (s *Service) throwawaySolve(cond *bitvec.Expr, maxConflicts int64, st sat.Strategy) (*sat.Solver, *blaster, sat.Result) {
+	solver := sat.NewWithStrategy(st)
+	solver.MaxConflicts = maxConflicts
+	bl := newBlaster(solver)
+	goal := bl.bits(cond)[0]
+	start := time.Now()
+	r := solver.Solve(goal)
+	s.satCalls.Add(1)
+	s.satTimeNs.Add(int64(time.Since(start)))
+	s.addSearchStats(solver.Stats())
+	s.cnfHitsAux.Add(bl.cnfHits)
+	s.cnfMissesAux.Add(bl.cnfMisses)
+	return solver, bl, r
+}
+
+// coreSolveLocked runs one assumption-based solve on the persistent
+// core and republishes the core gauges. Callers hold s.mu.
+func (s *Service) coreSolveLocked(goal sat.Lit, maxConflicts int64) sat.Result {
+	s.solver.MaxConflicts = maxConflicts
+	before := s.solver.Stats()
+	start := time.Now()
+	r := s.solver.Solve(goal)
+	s.satCalls.Add(1)
+	s.satTimeNs.Add(int64(time.Since(start)))
+	s.addSearchStats(s.solver.Stats().Sub(before))
+	s.publishCoreStatsLocked()
+	return r
+}
+
+// addSearchStats folds one solve's CDCL counters into the aggregates.
+func (s *Service) addSearchStats(st sat.Stats) {
+	s.satConflicts.Add(st.Conflicts)
+	s.satDecisions.Add(st.Decisions)
+	s.satProps.Add(st.Propagations)
+	s.satRestarts.Add(st.Restarts)
+}
+
+// readModel extracts a model for modelFor's fields after a Sat result
+// (nil otherwise). Callers must still own the solver's trail.
+func readModel(modelFor *bitvec.Expr, solver *sat.Solver, bl *blaster, r sat.Result) Model {
+	if r != sat.Sat || modelFor == nil {
+		return nil
+	}
 	m := Model{}
-	for name, w := range fieldWidths(cond) {
+	for name, w := range fieldWidths(modelFor) {
 		lits, ok := bl.fields[fieldKey{name, w}]
 		if !ok {
 			m[name] = 0
@@ -332,76 +515,7 @@ func finishSat(cond *bitvec.Expr, solver *sat.Solver, bl *blaster, r sat.Result)
 		}
 		m[name] = v & bitvec.Mask(w)
 	}
-	return true, m, nil
-}
-
-// solveCond blasts cond and solves under the assumption that it holds,
-// with the same bounded-vs-incremental routing as solveSat.
-func (s *Service) solveCond(cond *bitvec.Expr, maxConflicts int64) sat.Result {
-	if maxConflicts > 0 {
-		_, _, r := s.solveThrowaway(cond, maxConflicts)
-		return r
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.maybeResetLocked()
-	wasPristine := s.pristine
-	lit := s.bl.bits(cond)[0]
-	r := s.solveLocked(lit, maxConflicts)
-	if r == sat.Unknown && !wasPristine {
-		r = s.retryPristineLocked(cond, maxConflicts)
-	}
-	return r
-}
-
-// solveThrowaway answers one explicitly budgeted query on a private
-// fresh solver+blaster: the Unknown-vs-verdict outcome is a pure
-// function of the query (the determinism the old fresh-solver-per-
-// query design had), large one-off proof circuits never pollute the
-// shared incremental core, and no lock is held across the solve.
-func (s *Service) solveThrowaway(cond *bitvec.Expr, maxConflicts int64) (*sat.Solver, *blaster, sat.Result) {
-	solver := sat.New()
-	solver.MaxConflicts = maxConflicts
-	bl := newBlaster(solver)
-	goal := bl.bits(cond)[0]
-	start := time.Now()
-	r := solver.Solve(goal)
-	s.satCalls.Add(1)
-	s.satTimeNs.Add(int64(time.Since(start)))
-	s.cnfHitsAux.Add(bl.cnfHits)
-	s.cnfMissesAux.Add(bl.cnfMisses)
-	return solver, bl, r
-}
-
-// retryPristineLocked re-runs a budget-exhausted query on a fresh
-// core. The persistent core's learnt clauses and activity make a
-// bounded solve's Unknown-vs-verdict outcome depend on query history
-// (and, in a concurrent batch, on scheduling); a pristine core makes
-// it a pure function of the query. Callers only retry when the failed
-// attempt ran on a non-pristine core, so a genuinely budget-exceeding
-// query pays at most one extra bounded solve and then fails
-// deterministically. Callers hold s.mu.
-func (s *Service) retryPristineLocked(cond *bitvec.Expr, maxConflicts int64) sat.Result {
-	s.resets.Add(1)
-	s.resetCore()
-	goal := s.bl.bits(cond)[0]
-	return s.solveLocked(goal, maxConflicts)
-}
-
-// solveLocked runs one assumption-based solve on the persistent core
-// and republishes the core gauges. Callers hold s.mu.
-func (s *Service) solveLocked(goal sat.Lit, maxConflicts int64) sat.Result {
-	if maxConflicts <= 0 {
-		maxConflicts = s.cfg.maxConflicts()
-	}
-	s.solver.MaxConflicts = maxConflicts
-	s.pristine = false
-	start := time.Now()
-	r := s.solver.Solve(goal)
-	s.satCalls.Add(1)
-	s.satTimeNs.Add(int64(time.Since(start)))
-	s.publishCoreStatsLocked()
-	return r
+	return m
 }
 
 // maybeResetLocked rebuilds the incremental core when it has grown

@@ -30,7 +30,7 @@ func TestServiceConcurrentSessions(t *testing.T) {
 		hi := bitvec.LShr(bitvec.And(f, bitvec.Const(16, 0xFF00)), bitvec.Const(16, 8))
 		read := bitvec.Or(bitvec.Shl(hi, bitvec.Const(16, 8)), lo)
 		queries = append(queries,
-			query{read, f, true},                                // needs simplify (or SAT with NoSimplify donors)
+			query{read, f, true}, // needs simplify (or SAT with NoSimplify donors)
 			query{bitvec.Add(f, f), bitvec.Shl(f, bitvec.Const(16, 1)), true}, // SAT proof
 			query{f, bitvec.Add(f, bitvec.Const(16, 1)), false},               // probe refutation
 		)

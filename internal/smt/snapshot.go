@@ -1,0 +1,562 @@
+package smt
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"codephage/internal/sat"
+)
+
+// Persistent warm state. A snapshot serializes the two memos that make
+// a long-lived Service fast — the verdict memo and the shared core's
+// per-node CNF memo — under content-stable term keys (bitvec.StableKey),
+// so a fresh process can load yesterday's batch run and answer most
+// queries without touching the SAT solver. The format is versioned,
+// checksummed and decoded defensively: a snapshot is a cache, so every
+// malformed input — truncation, stale version, bit rot, hostile length
+// fields — degrades to "cold start", never to a wrong verdict or a
+// crash.
+//
+// Invalidation mirrors internal/corpus: the header records everything a
+// cached entry's meaning depends on. Definite verdicts (equivalent /
+// not, satisfiable / not) are pure semantic facts about the terms and
+// stay valid under any configuration. Exhausted entries ("Unknown
+// within budget B") additionally depend on the resolution procedure —
+// the replica set and the probe count — so a header mismatch there
+// drops only the exhausted entries. A version or checksum mismatch
+// rejects the whole snapshot.
+
+const (
+	snapMagic   = "CPSNAP01"
+	snapVersion = 1
+
+	// Decode guards: upper bounds a well-formed snapshot never exceeds,
+	// applied before any length-driven allocation.
+	snapMaxCount     = 1 << 24
+	snapMaxKeyLen    = 1 << 16
+	snapMaxNameLen   = 1 << 12
+	snapMaxClauseLen = 1 << 20
+	snapMaxVars      = 1 << 26
+)
+
+// ErrSnapshot is wrapped by every snapshot decode failure.
+var ErrSnapshot = errors.New("smt: invalid memo snapshot")
+
+func snapErr(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrSnapshot, fmt.Sprintf(format, args...))
+}
+
+// memoEntry flag bits.
+const (
+	snapFlagVerdict   = 1 << 0
+	snapFlagExhausted = 1 << 1
+	snapFlagModel     = 1 << 2
+)
+
+// snapEncoder builds the little-endian byte stream.
+type snapEncoder struct{ buf []byte }
+
+func (e *snapEncoder) u8(v uint8)     { e.buf = append(e.buf, v) }
+func (e *snapEncoder) u16(v uint16)   { e.buf = binary.LittleEndian.AppendUint16(e.buf, v) }
+func (e *snapEncoder) u32(v uint32)   { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+func (e *snapEncoder) u64(v uint64)   { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+func (e *snapEncoder) raw(b []byte)   { e.buf = append(e.buf, b...) }
+func (e *snapEncoder) str16(s string) { e.u16(uint16(len(s))); e.raw([]byte(s)) }
+
+func (e *snapEncoder) lit(l sat.Lit) { e.u32(uint32(l)) }
+func (e *snapEncoder) lits(v []sat.Lit) {
+	e.u32(uint32(len(v)))
+	for _, l := range v {
+		e.lit(l)
+	}
+}
+
+// snapDecoder walks the stream with bounds checks on every read.
+type snapDecoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *snapDecoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = snapErr(format, args...)
+	}
+}
+
+func (d *snapDecoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.off+n > len(d.buf) {
+		d.fail("truncated at offset %d (need %d bytes)", d.off, n)
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *snapDecoder) u8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *snapDecoder) u16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (d *snapDecoder) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *snapDecoder) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// count reads a u32 element count, rejecting hostile values before the
+// caller allocates anything proportional to it.
+func (d *snapDecoder) count(what string, max int) int {
+	n := int(d.u32())
+	if d.err == nil && n > max {
+		d.fail("%s count %d exceeds limit %d", what, n, max)
+	}
+	if d.err != nil {
+		return 0
+	}
+	return n
+}
+
+func (d *snapDecoder) str(what string, max int) string {
+	n := int(d.u16())
+	if d.err == nil && n > max {
+		d.fail("%s length %d exceeds limit %d", what, n, max)
+		return ""
+	}
+	return string(d.take(n))
+}
+
+// lit reads one literal, checking its variable against numVars.
+func (d *snapDecoder) lit(numVars int) sat.Lit {
+	l := sat.Lit(d.u32())
+	if d.err == nil && l.Var() >= numVars {
+		d.fail("literal variable %d out of range (%d vars)", l.Var(), numVars)
+	}
+	return l
+}
+
+func (d *snapDecoder) litSlice(what string, numVars, max int) []sat.Lit {
+	n := d.count(what, max)
+	if d.err != nil {
+		return nil
+	}
+	out := make([]sat.Lit, n)
+	for i := range out {
+		out[i] = d.lit(numVars)
+		if d.err != nil {
+			return nil
+		}
+	}
+	return out
+}
+
+// EncodeMemo serializes the service's warm state. The encoding is
+// deterministic for a given service history: the verdict memo is
+// written in LRU order and the core's maps in sorted key order.
+func (s *Service) EncodeMemo() []byte {
+	enc := &snapEncoder{}
+	enc.raw([]byte(snapMagic))
+	enc.u32(snapVersion)
+	enc.u32(uint32(s.cfg.replicas()))
+	enc.u32(uint32(s.cfg.probes()))
+
+	s.encodeVerdicts(enc)
+	s.encodeCore(enc)
+
+	sum := sha256.Sum256(enc.buf)
+	enc.raw(sum[:])
+	return enc.buf
+}
+
+// encodeVerdicts writes the verdict memo, least recently used first, so
+// a loading process re-inserting in stream order reconstructs the same
+// LRU order with the hottest entries at the front.
+func (s *Service) encodeVerdicts(enc *snapEncoder) {
+	s.memoMu.Lock()
+	defer s.memoMu.Unlock()
+	enc.u32(uint32(s.memoLRU.Len()))
+	for el := s.memoLRU.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*memoEntry)
+		enc.str16(e.key)
+		var flags uint8
+		if e.verdict {
+			flags |= snapFlagVerdict
+		}
+		if e.exhausted {
+			flags |= snapFlagExhausted
+		}
+		if e.model != nil {
+			flags |= snapFlagModel
+		}
+		enc.u8(flags)
+		enc.u64(uint64(e.budget))
+		if e.model != nil {
+			names := make([]string, 0, len(e.model))
+			for n := range e.model {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			enc.u32(uint32(len(names)))
+			for _, n := range names {
+				enc.str16(n)
+				enc.u64(e.model[n])
+			}
+		}
+	}
+}
+
+// encodeCore writes the shared incremental core: its full clause
+// database plus the names of the literals the blaster would otherwise
+// have to re-derive — input fields and the output bits of every
+// interned node, the latter under content-stable keys. A core that is
+// unusable (unsat at top level, which cannot happen in normal
+// operation, or already past the rebuild bound) is simply omitted.
+func (s *Service) encodeCore(enc *snapEncoder) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	numVars, units, clauses, ok := s.solver.Export()
+	if !ok || numVars >= maxIncVars {
+		enc.u8(0)
+		return
+	}
+	enc.u8(1)
+	enc.u32(uint32(numVars))
+	enc.lit(s.bl.tru)
+
+	type fieldRec struct {
+		key  fieldKey
+		lits []sat.Lit
+	}
+	fields := make([]fieldRec, 0, len(s.bl.fields))
+	for k, v := range s.bl.fields {
+		fields = append(fields, fieldRec{k, v})
+	}
+	sort.Slice(fields, func(i, j int) bool {
+		if fields[i].key.name != fields[j].key.name {
+			return fields[i].key.name < fields[j].key.name
+		}
+		return fields[i].key.w < fields[j].key.w
+	})
+	enc.u32(uint32(len(fields)))
+	for _, f := range fields {
+		enc.str16(f.key.name)
+		enc.u8(f.key.w)
+		for _, l := range f.lits {
+			enc.lit(l)
+		}
+	}
+
+	type nodeRec struct {
+		skey string
+		lits []sat.Lit
+	}
+	nodes := make([]nodeRec, 0, len(s.bl.memo))
+	for id, v := range s.bl.memo {
+		skey, ok := s.bl.keys[id]
+		if !ok {
+			continue // restored via warm before trackKeys saw it; rare, skip
+		}
+		nodes = append(nodes, nodeRec{skey, v})
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].skey < nodes[j].skey })
+	enc.u32(uint32(len(nodes)))
+	for _, n := range nodes {
+		enc.str16(n.skey)
+		enc.u8(uint8(len(n.lits)))
+		for _, l := range n.lits {
+			enc.lit(l)
+		}
+	}
+
+	enc.lits(units)
+	enc.u32(uint32(len(clauses)))
+	for _, c := range clauses {
+		enc.lits(c)
+	}
+}
+
+// LoadMemoBytes installs warm state from an encoded snapshot. It is the
+// decode counterpart of EncodeMemo and the body of the fuzz target: any
+// error leaves the service exactly as it was (decode is completed and
+// validated before any state is touched).
+func (s *Service) LoadMemoBytes(data []byte) error {
+	// Checksum before anything else: a corrupt byte anywhere must not
+	// reach the structural decoder.
+	if len(data) < len(snapMagic)+12+sha256.Size {
+		return snapErr("too short (%d bytes)", len(data))
+	}
+	body, sum := data[:len(data)-sha256.Size], data[len(data)-sha256.Size:]
+	if want := sha256.Sum256(body); string(sum) != string(want[:]) {
+		return snapErr("checksum mismatch")
+	}
+	d := &snapDecoder{buf: body}
+	if string(d.take(len(snapMagic))) != snapMagic {
+		return snapErr("bad magic")
+	}
+	if v := d.u32(); d.err == nil && v != snapVersion {
+		return snapErr("version %d (want %d)", v, snapVersion)
+	}
+	replicas := int(d.u32())
+	probes := int(d.u32())
+	// Exhausted entries assert "Unknown under this resolution
+	// procedure"; a different replica set or probe count could answer
+	// queries the snapshot's could not, so those entries are stale.
+	keepExhausted := replicas == s.cfg.replicas() && probes == s.cfg.probes()
+
+	entries, err := decodeVerdicts(d)
+	if err != nil {
+		return err
+	}
+	core, err := decodeCore(d)
+	if err != nil {
+		return err
+	}
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(body) {
+		return snapErr("%d trailing bytes", len(body)-d.off)
+	}
+
+	// Decode is clean; install.
+	loaded := int64(0)
+	if !s.cfg.DisableMemo {
+		s.memoMu.Lock()
+		for _, e := range entries {
+			if e.exhausted && !keepExhausted {
+				continue
+			}
+			if _, dup := s.memoTab[e.key]; dup {
+				continue
+			}
+			if s.memoLRU.Len() >= s.cfg.memoEntries() {
+				break
+			}
+			e.loaded = true
+			s.memoTab[e.key] = s.memoLRU.PushFront(e)
+			loaded++
+		}
+		s.memoMu.Unlock()
+	}
+	s.memoLoaded.Add(loaded)
+
+	if core != nil {
+		if solver, bl, ok := rebuildCore(core); ok {
+			s.mu.Lock()
+			s.installCoreLocked(solver, bl)
+			s.mu.Unlock()
+		}
+	}
+	return nil
+}
+
+// snapCore is the decoded core section before reconstruction.
+type snapCore struct {
+	numVars int
+	tru     sat.Lit
+	fields  map[fieldKey][]sat.Lit
+	nodes   map[string][]sat.Lit
+	units   []sat.Lit
+	clauses [][]sat.Lit
+}
+
+func decodeVerdicts(d *snapDecoder) ([]*memoEntry, error) {
+	n := d.count("verdict", snapMaxCount)
+	var entries []*memoEntry
+	for i := 0; i < n && d.err == nil; i++ {
+		e := &memoEntry{key: d.str("verdict key", snapMaxKeyLen)}
+		flags := d.u8()
+		e.verdict = flags&snapFlagVerdict != 0
+		e.exhausted = flags&snapFlagExhausted != 0
+		e.budget = int64(d.u64())
+		if flags&snapFlagModel != 0 {
+			pairs := d.count("model field", snapMaxCount)
+			if d.err != nil {
+				break
+			}
+			e.model = make(Model, pairs)
+			for j := 0; j < pairs; j++ {
+				name := d.str("model field name", snapMaxNameLen)
+				e.model[name] = d.u64()
+			}
+		}
+		if d.err == nil {
+			if e.key == "" {
+				d.fail("empty verdict key")
+				break
+			}
+			if e.exhausted && (e.verdict || e.budget <= 0) {
+				d.fail("inconsistent exhausted entry %q", e.key)
+				break
+			}
+			entries = append(entries, e)
+		}
+	}
+	return entries, d.err
+}
+
+func decodeCore(d *snapDecoder) (*snapCore, error) {
+	if d.u8() == 0 || d.err != nil {
+		return nil, d.err
+	}
+	c := &snapCore{
+		fields: map[fieldKey][]sat.Lit{},
+		nodes:  map[string][]sat.Lit{},
+	}
+	c.numVars = int(d.u32())
+	if d.err == nil && (c.numVars <= 0 || c.numVars > snapMaxVars) {
+		d.fail("core variable count %d out of range", c.numVars)
+	}
+	c.tru = d.lit(c.numVars)
+
+	nf := d.count("field", snapMaxCount)
+	for i := 0; i < nf && d.err == nil; i++ {
+		name := d.str("field name", snapMaxNameLen)
+		w := d.u8()
+		if d.err == nil && (w == 0 || w > 64) {
+			d.fail("field %q width %d out of range", name, w)
+			break
+		}
+		lits := make([]sat.Lit, w)
+		for j := range lits {
+			lits[j] = d.lit(c.numVars)
+		}
+		if d.err == nil {
+			c.fields[fieldKey{name, w}] = lits
+		}
+	}
+
+	nn := d.count("node", snapMaxCount)
+	for i := 0; i < nn && d.err == nil; i++ {
+		skey := d.str("node key", snapMaxKeyLen)
+		w := d.u8()
+		if d.err == nil && (w == 0 || w > 64) {
+			d.fail("node %q width %d out of range", skey, w)
+			break
+		}
+		lits := make([]sat.Lit, w)
+		for j := range lits {
+			lits[j] = d.lit(c.numVars)
+		}
+		if d.err == nil {
+			c.nodes[skey] = lits
+		}
+	}
+
+	c.units = d.litSlice("unit", c.numVars, snapMaxCount)
+	nc := d.count("clause", snapMaxCount)
+	for i := 0; i < nc && d.err == nil; i++ {
+		cl := d.litSlice("clause literal", c.numVars, snapMaxClauseLen)
+		if d.err == nil {
+			c.clauses = append(c.clauses, cl)
+		}
+	}
+	return c, d.err
+}
+
+// rebuildCore reconstructs a live solver+blaster from a decoded core:
+// the same variable numbering, the same clause database (learnt
+// clauses replayed as problem clauses — implied, so verdict-neutral),
+// and a blaster whose warm map resolves content-stable node keys to the
+// restored circuit outputs. ok is false if replaying the clauses
+// derives top-level unsatisfiability, which means the snapshot core is
+// unusable (and, since a sound core cannot be unsat, corrupt in a way
+// the checksum did not catch — e.g. saved by a buggy writer).
+func rebuildCore(c *snapCore) (*sat.Solver, *blaster, bool) {
+	solver := sat.New()
+	for i := 0; i < c.numVars; i++ {
+		solver.NewVar()
+	}
+	for _, u := range c.units {
+		if !solver.AddClause(u) {
+			return nil, nil, false
+		}
+	}
+	for _, cl := range c.clauses {
+		if !solver.AddClause(cl...) {
+			return nil, nil, false
+		}
+	}
+	bl := &blaster{
+		s:         solver,
+		tru:       c.tru,
+		fields:    c.fields,
+		memo:      map[uint64][]sat.Lit{},
+		slow:      map[string][]sat.Lit{},
+		trackKeys: true,
+		keys:      map[uint64]string{},
+		warm:      c.nodes,
+	}
+	return solver, bl, true
+}
+
+// SaveMemo atomically writes the service's warm state to path
+// (temp file + rename, so readers never observe a partial snapshot).
+func (s *Service) SaveMemo(path string) error {
+	data := s.EncodeMemo()
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".memo-*.tmp")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	s.snapSaves.Add(1)
+	return nil
+}
+
+// LoadMemo reads a snapshot from path and installs it. A missing file
+// is not an error (first run writes it); a malformed one is.
+func (s *Service) LoadMemo(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	return s.LoadMemoBytes(data)
+}

@@ -1,0 +1,236 @@
+package smt
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"codephage/internal/bitvec"
+)
+
+// snapshotWorkload issues queries whose verdicts must reach the
+// verdict memo (they survive simplification, probing cannot prove
+// them, so they all go to SAT): two equivalences, one refutable pair
+// that still reaches SAT via identical byte deps, one Sat query, and
+// one bounded query that exhausts its budget.
+func snapshotWorkload(t testing.TB, svc *Service) (satCalls int) {
+	t.Helper()
+	ss := svc.Session()
+	x := bitvec.Field("x", 8, 0)
+	y := bitvec.Field("y", 8, 1)
+
+	mustEquiv := func(a, b *bitvec.Expr, want bool) {
+		t.Helper()
+		got, err := ss.Equiv(a, b)
+		if err != nil || got != want {
+			t.Fatalf("Equiv=%v/%v, want %v", got, err, want)
+		}
+	}
+	mustEquiv(bitvec.Add(x, y), bitvec.Add(y, x), true)
+	mustEquiv(bitvec.Mul(x, bitvec.Const(8, 2)), bitvec.Shl(x, bitvec.Const(8, 1)), true)
+
+	if ok, m, err := ss.Sat(bitvec.Eq(bitvec.Mul(x, y), bitvec.Const(8, 12))); err != nil || !ok || m == nil {
+		t.Fatalf("Sat(x*y==12)=%v/%v/%v", ok, m, err)
+	}
+
+	// A budget-exhausted verdict: one conflict is never enough for the
+	// multiplication equivalence below.
+	bounded := svc.Session()
+	bounded.MaxConflicts = 1
+	if _, err := bounded.Equiv(bitvec.Mul(x, y), bitvec.Mul(y, x)); !errors.Is(err, ErrBudget) {
+		t.Fatalf("bounded Equiv err=%v, want ErrBudget", err)
+	}
+	return ss.Stats.SATCalls + bounded.Stats.SATCalls
+}
+
+// replaySnapshotWorkload re-asks every workload query and returns the
+// session SAT calls it needed.
+func replaySnapshotWorkload(t testing.TB, svc *Service) int {
+	return snapshotWorkload(t, svc)
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	src := NewService(Config{})
+	if n := snapshotWorkload(t, src); n == 0 {
+		t.Fatal("workload issued no SAT calls; nothing would be persisted")
+	}
+	data := src.EncodeMemo()
+
+	dst := NewService(Config{})
+	if err := dst.LoadMemoBytes(data); err != nil {
+		t.Fatal(err)
+	}
+	if st := dst.Stats(); st.MemoLoaded == 0 {
+		t.Fatalf("nothing loaded: %+v", st)
+	}
+	if n := replaySnapshotWorkload(t, dst); n != 0 {
+		t.Fatalf("warm replay issued %d SAT calls, want 0", n)
+	}
+	st := dst.Stats()
+	if st.MemoLoadedHits == 0 {
+		t.Errorf("persistence hits not counted: %+v", st)
+	}
+	if st.SATCalls != 0 {
+		t.Errorf("service-level SAT calls on warm replay: %d", st.SATCalls)
+	}
+}
+
+func TestSnapshotEncodeDeterministic(t *testing.T) {
+	a := NewService(Config{})
+	snapshotWorkload(t, a)
+	d1 := a.EncodeMemo()
+	d2 := a.EncodeMemo()
+	if string(d1) != string(d2) {
+		t.Fatal("EncodeMemo is not deterministic for an unchanged service")
+	}
+}
+
+func TestSnapshotFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "memo.snap")
+
+	svc := NewService(Config{})
+	// Loading a missing snapshot is a cold start, not an error.
+	if err := svc.LoadMemo(path); err != nil {
+		t.Fatalf("missing snapshot: %v", err)
+	}
+	snapshotWorkload(t, svc)
+	if err := svc.SaveMemo(path); err != nil {
+		t.Fatal(err)
+	}
+	if svc.Stats().SnapshotSaves != 1 {
+		t.Error("SnapshotSaves not counted")
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Mode().Perm() != 0o644 {
+		t.Errorf("snapshot mode %v, want 0644", fi.Mode().Perm())
+	}
+
+	warm := NewService(Config{})
+	if err := warm.LoadMemo(path); err != nil {
+		t.Fatal(err)
+	}
+	if n := replaySnapshotWorkload(t, warm); n != 0 {
+		t.Fatalf("warm replay issued %d SAT calls, want 0", n)
+	}
+}
+
+// TestSnapshotDropsExhaustedOnConfigMismatch pins the invalidation
+// rule: definite verdicts survive any configuration, exhausted ones
+// only the identical resolution procedure (replica set + probes).
+func TestSnapshotDropsExhaustedOnConfigMismatch(t *testing.T) {
+	src := NewService(Config{})
+	snapshotWorkload(t, src)
+	data := src.EncodeMemo()
+
+	same := NewService(Config{})
+	if err := same.LoadMemoBytes(data); err != nil {
+		t.Fatal(err)
+	}
+	other := NewService(Config{PortfolioReplicas: 2})
+	if err := other.LoadMemoBytes(data); err != nil {
+		t.Fatal(err)
+	}
+	sameN, otherN := same.Stats().MemoLoaded, other.Stats().MemoLoaded
+	if otherN >= sameN {
+		t.Fatalf("mismatched config loaded %d entries, same config %d — exhausted entries not dropped", otherN, sameN)
+	}
+	if otherN == 0 {
+		t.Fatal("definite verdicts were dropped along with the exhausted ones")
+	}
+
+	// The definite verdicts still answer on the mismatched service...
+	ss := other.Session()
+	x := bitvec.Field("x", 8, 0)
+	y := bitvec.Field("y", 8, 1)
+	if ok, err := ss.Equiv(bitvec.Add(x, y), bitvec.Add(y, x)); err != nil || !ok {
+		t.Fatalf("definite verdict lost: %v/%v", ok, err)
+	}
+	if ss.Stats.SATCalls != 0 {
+		t.Errorf("definite verdict re-proven (%d SAT calls)", ss.Stats.SATCalls)
+	}
+	// ...while the exhausted query is genuinely re-attempted.
+	bounded := other.Session()
+	bounded.MaxConflicts = 1
+	bounded.Equiv(bitvec.Mul(x, y), bitvec.Mul(y, x))
+	if bounded.Stats.SATCalls == 0 {
+		t.Error("exhausted entry answered from the mismatched snapshot")
+	}
+}
+
+func TestSnapshotLoadIntoDisabledMemo(t *testing.T) {
+	src := NewService(Config{})
+	snapshotWorkload(t, src)
+	data := src.EncodeMemo()
+	dst := NewService(Config{DisableMemo: true})
+	if err := dst.LoadMemoBytes(data); err != nil {
+		t.Fatal(err)
+	}
+	if n := dst.Stats().MemoLoaded; n != 0 {
+		t.Fatalf("memo-disabled service loaded %d verdicts", n)
+	}
+}
+
+// refixChecksum recomputes the trailing SHA-256 after a mutation, so
+// corruption tests reach the structural decoder instead of dying at
+// the checksum gate.
+func refixChecksum(data []byte) []byte {
+	body := data[:len(data)-sha256.Size]
+	sum := sha256.Sum256(body)
+	return append(append([]byte{}, body...), sum[:]...)
+}
+
+func TestSnapshotRejectsMalformed(t *testing.T) {
+	src := NewService(Config{})
+	snapshotWorkload(t, src)
+	good := src.EncodeMemo()
+
+	flip := func(i int) []byte {
+		b := append([]byte{}, good...)
+		b[i] ^= 0x40
+		return b
+	}
+	headerLen := len(snapMagic)
+	cases := map[string][]byte{
+		"empty":             {},
+		"short":             good[:10],
+		"magic-only":        []byte(snapMagic),
+		"truncated-half":    good[:len(good)/2],
+		"truncated-by-one":  good[:len(good)-1],
+		"corrupt-magic":     flip(0),
+		"corrupt-body":      flip(len(good) / 2),
+		"corrupt-checksum":  flip(len(good) - 1),
+		"trailing-garbage":  append(append([]byte{}, good...), 0xff),
+		"wrong-version":     refixChecksum(setU32(good, headerLen, 999)),
+		"hostile-count":     refixChecksum(setU32(good, headerLen+12, 1<<31)),
+		"checksum-on-empty": refixChecksum(make([]byte, 64)),
+	}
+	for name, data := range cases {
+		svc := NewService(Config{})
+		if err := svc.LoadMemoBytes(data); err == nil {
+			t.Errorf("%s: accepted", name)
+		} else if !errors.Is(err, ErrSnapshot) {
+			t.Errorf("%s: error %v does not wrap ErrSnapshot", name, err)
+		}
+		if n := svc.Stats().MemoLoaded; n != 0 {
+			t.Errorf("%s: rejected load still installed %d entries", name, n)
+		}
+		// The service must stay fully functional after a rejected load.
+		x := bitvec.Field("x", 8, 0)
+		if ok, err := svc.Session().Equiv(bitvec.Add(x, bitvec.Const(8, 0)), x); err != nil || !ok {
+			t.Errorf("%s: service broken after rejected load: %v/%v", name, ok, err)
+		}
+	}
+}
+
+func setU32(data []byte, off int, v uint32) []byte {
+	b := append([]byte{}, data...)
+	binary.LittleEndian.PutUint32(b[off:], v)
+	return b
+}

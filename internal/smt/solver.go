@@ -122,20 +122,27 @@ func (ss *Session) Equiv(a, b *bitvec.Expr) (bool, error) {
 
 	// Optimisation 2 (paper §3.3): cache all solver queries — here in
 	// the service-wide memo, so every consumer in the process shares
-	// one set of verdicts. The key is symmetric: terms are interned,
-	// so canonical keys are O(1).
-	ka, kb := a.Key(), b.Key()
-	if ka > kb {
-		ka, kb = kb, ka
-	}
-	key := "E|" + ka + "|" + kb
+	// one set of verdicts. The key is symmetric, and content-stable so
+	// a persisted memo read back in another process answers the same
+	// queries. Ablation runs with the memo disabled skip the key
+	// entirely — the Merkle hash walk is pure overhead then (amortised
+	// O(1) on interned terms, but measurable at query rates; see
+	// BenchmarkEquivMemoDisabled).
+	var key string
 	budget := ss.budget()
-	if e, ok := ss.svc.memoGet(key, budget); ok {
-		ss.Stats.CacheHits++
-		if e.exhausted {
-			return false, ErrBudget
+	if !ss.svc.cfg.DisableMemo {
+		ka, kb := a.StableKey(), b.StableKey()
+		if ka > kb {
+			ka, kb = kb, ka
 		}
-		return e.verdict, nil
+		key = "E|" + ka + "|" + kb
+		if e, ok := ss.svc.memoGet(key, budget); ok {
+			ss.Stats.CacheHits++
+			if e.exhausted {
+				return false, ErrBudget
+			}
+			return e.verdict, nil
+		}
 	}
 
 	res, err := ss.equivUncached(a, b)
@@ -216,17 +223,20 @@ func (ss *Session) Sat(cond *bitvec.Expr) (bool, Model, error) {
 		}
 		return false, nil, nil
 	}
-	key := "S|" + sc.Key()
+	var key string
 	budget := ss.budget()
-	if e, ok := ss.svc.memoGet(key, budget); ok {
-		ss.Stats.CacheHits++
-		if e.exhausted {
-			return false, nil, ErrBudget
+	if !ss.svc.cfg.DisableMemo {
+		key = "S|" + sc.StableKey()
+		if e, ok := ss.svc.memoGet(key, budget); ok {
+			ss.Stats.CacheHits++
+			if e.exhausted {
+				return false, nil, ErrBudget
+			}
+			if e.verdict {
+				return true, e.model.clone(), nil
+			}
+			return false, nil, nil
 		}
-		if e.verdict {
-			return true, e.model.clone(), nil
-		}
-		return false, nil, nil
 	}
 	// Cheap model search first: corner values and random probes. Any
 	// hit is verified by concrete evaluation, so this is sound.

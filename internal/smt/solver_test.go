@@ -415,6 +415,42 @@ func BenchmarkEquivEndianness(b *testing.B) {
 	}
 }
 
+// BenchmarkEquivMemoDisabled measures the hot non-SAT Equiv path on a
+// memo-disabled (ablation) service. The query is refuted by concrete
+// probing, so per-iteration cost is dominated by bookkeeping — and
+// since DisableMemo short-circuits before memo-key construction, the
+// StableKey Merkle walk must contribute nothing here. Compare against
+// BenchmarkEquivMemoEnabledMiss, which pays the key build on every
+// (never-hitting, immediately-evicted — the verdicts differ per
+// iteration only in the constant) miss.
+func BenchmarkEquivMemoDisabled(b *testing.B) {
+	benchmarkEquivRefuted(b, Config{DisableMemo: true})
+}
+
+// BenchmarkEquivMemoEnabledMiss is the memo-on counterpart: same
+// probe-refuted query, but each iteration builds the symmetric memo
+// key (two StableKey walks + lookup) before reaching the probes.
+func BenchmarkEquivMemoEnabledMiss(b *testing.B) {
+	benchmarkEquivRefuted(b, Config{})
+}
+
+func benchmarkEquivRefuted(b *testing.B, cfg Config) {
+	x := bitvec.Field("x", 32, 0)
+	y := bitvec.Field("y", 32, 4)
+	// x*y vs x*y+c: probe-refutable, never reaches SAT. A fresh constant
+	// per iteration defeats both the verdict memo and the per-node
+	// StableKey cache, so the memo-on variant pays the full key build.
+	for i := 0; b.Loop(); i++ {
+		s := NewService(cfg).Session()
+		lhs := bitvec.Mul(x, y)
+		rhs := bitvec.Add(lhs, bitvec.Const(32, uint64(i%1000)+1))
+		ok, err := s.Equiv(lhs, rhs)
+		if err != nil || ok {
+			b.Fatalf("Equiv = %v, %v", ok, err)
+		}
+	}
+}
+
 func TestStatsMerge(t *testing.T) {
 	a := Stats{Queries: 2, CacheHits: 1, Prefiltered: 3, Refuted: 4, Syntactic: 5, SATCalls: 6, SATTime: 7}
 	b := Stats{Queries: 10, CacheHits: 20, Prefiltered: 30, Refuted: 40, Syntactic: 50, SATCalls: 60, SATTime: 70}
