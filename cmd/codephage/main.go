@@ -14,6 +14,7 @@
 //	codephage -serve 127.0.0.1:8347
 //	codephage corpus build [-index corpus.json]
 //	codephage corpus show [-index corpus.json] [-format mjpg] [-v]
+//	codephage patch build|show|apply|rollback (verifiable patch artifacts)
 package main
 
 import (
@@ -38,6 +39,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "scenario" {
 		runScenario(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "patch" {
+		runPatch(os.Args[2:])
 		return
 	}
 	recipient := flag.String("recipient", "", "recipient application name")

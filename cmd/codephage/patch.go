@@ -1,0 +1,158 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"codephage/internal/apps"
+	"codephage/internal/figure8"
+	"codephage/internal/fsatomic"
+	"codephage/internal/patch"
+	"codephage/internal/phage"
+)
+
+// runPatch is the patch subcommand: build runs a transfer and writes
+// its verifiable artifact (plus, optionally, both module images),
+// show prints an artifact's provenance and delta summary, and
+// apply/rollback transform a module image file in place — apply
+// re-runs the artifact's embedded conformance oracle before
+// committing, rollback restores the byte-identical original.
+func runPatch(args []string) {
+	usage := func() {
+		fmt.Fprintln(os.Stderr, "usage: codephage patch build -recipient <app> -target <id> -donor <app> -o <artifact> [-orig <file>] [-patched <file>] [-mode exit|return0]")
+		fmt.Fprintln(os.Stderr, "       codephage patch show -artifact <file>")
+		fmt.Fprintln(os.Stderr, "       codephage patch apply -artifact <file> -image <module image>")
+		fmt.Fprintln(os.Stderr, "       codephage patch rollback -artifact <file> -image <module image>")
+		os.Exit(2)
+	}
+	if len(args) == 0 {
+		usage()
+	}
+	verb := args[0]
+	fs := flag.NewFlagSet("patch "+verb, flag.ExitOnError)
+	switch verb {
+	case "build":
+		recipient := fs.String("recipient", "", "recipient application name")
+		target := fs.String("target", "", "error identifier")
+		donor := fs.String("donor", "", "donor application name")
+		mode := fs.String("mode", "exit", "patch reaction: exit or return0")
+		out := fs.String("o", "", "write the encoded artifact here")
+		origOut := fs.String("orig", "", "also write the original module image here")
+		patchedOut := fs.String("patched", "", "also write the pipeline's patched module image here")
+		fs.Parse(args[1:])
+		if *recipient == "" || *target == "" || *donor == "" || *out == "" {
+			usage()
+		}
+		opts := phage.Options{}
+		switch *mode {
+		case "exit":
+		case "return0":
+			opts.ExitMode = phage.ReturnZero
+		default:
+			fatal(fmt.Errorf("unknown mode %q", *mode))
+		}
+		tgt, err := apps.TargetByID(*recipient, *target)
+		if err != nil {
+			fatal(err)
+		}
+		row := figure8.RunRow(tgt, *donor, opts)
+		if row.Err != nil {
+			fatal(fmt.Errorf("transfer: %w", row.Err))
+		}
+		a := row.Result.Patch
+		if a == nil {
+			fatal(fmt.Errorf("transfer produced no patch artifact"))
+		}
+		if err := patch.WriteFile(*out, a); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote artifact %s (key %s)\n", *out, a.Key())
+		if *origOut != "" || *patchedOut != "" {
+			writeImages(row, *origOut, *patchedOut)
+		}
+
+	case "show":
+		artifact := fs.String("artifact", "", "encoded artifact file")
+		fs.Parse(args[1:])
+		if *artifact == "" {
+			usage()
+		}
+		a, err := patch.ReadFile(*artifact)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("key:         %s\n", a.Key())
+		fmt.Printf("recipient:   %s (target %s)\n", a.Recipient, a.Target)
+		fmt.Printf("donor:       %s\n", a.Donor)
+		fmt.Printf("format/mode: %s / %s\n", a.Format, a.Mode)
+		fmt.Printf("fingerprint: %s\n", a.Fingerprint)
+		fmt.Printf("images:      %d -> %d bytes, %d hunk(s)\n", a.OriginalLen, a.PatchedLen, len(a.Hunks))
+		fmt.Printf("oracle:      %d error input(s), %d benign input(s)\n", len(a.ErrorInputs), len(a.Benign))
+		for i, c := range a.Checks {
+			fmt.Printf("check %d (before %s:%d):\n  excised:    %s\n  translated: %s\n",
+				i+1, c.InsertFn, c.InsertLine, c.Excised, c.Translated)
+		}
+
+	case "apply", "rollback":
+		artifact := fs.String("artifact", "", "encoded artifact file")
+		image := fs.String("image", "", "module image file to transform in place")
+		fs.Parse(args[1:])
+		if *artifact == "" || *image == "" {
+			usage()
+		}
+		a, err := patch.ReadFile(*artifact)
+		if err != nil {
+			fatal(err)
+		}
+		if verb == "apply" {
+			if err := patch.Apply(a, *image); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("applied %s to %s (verified, %d -> %d bytes)\n",
+				a.Key()[:16], *image, a.OriginalLen, a.PatchedLen)
+		} else {
+			if err := patch.Rollback(a, *image); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("rolled back %s on %s (%d -> %d bytes)\n",
+				a.Key()[:16], *image, a.PatchedLen, a.OriginalLen)
+		}
+
+	default:
+		usage()
+	}
+}
+
+// writeImages writes the transfer's original and patched module
+// images, compiled from the same sources the pipeline used.
+func writeImages(row *figure8.Row, origOut, patchedOut string) {
+	if patchedOut != "" {
+		data, err := row.Result.FinalModule.Bytes()
+		if err != nil {
+			fatal(err)
+		}
+		if err := fsatomic.WriteFile(patchedOut, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote patched module image %s (%d bytes)\n", patchedOut, len(data))
+	}
+	if origOut != "" {
+		rec, err := apps.ByName(row.Recipient)
+		if err != nil {
+			fatal(err)
+		}
+		mod, err := apps.Build(rec)
+		if err != nil {
+			fatal(err)
+		}
+		data, err := mod.Bytes()
+		if err != nil {
+			fatal(err)
+		}
+		if err := fsatomic.WriteFile(origOut, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote original module image %s (%d bytes)\n", origOut, len(data))
+	}
+}

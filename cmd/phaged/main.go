@@ -8,7 +8,8 @@
 //
 //	phaged [-addr 127.0.0.1:8347] [-shards N] [-workers N]
 //	       [-queue N] [-corpus corpus.json] [-drain 30s]
-//	       [-memo-path memo.snap] [-memo-interval 5m]
+//	       [-memo-path memo.snap] [-memo-interval 5m|off]
+//	       [-patch-dir patches/]
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener closes,
 // queued and running jobs drain (bounded by -drain), then the process
@@ -31,17 +32,24 @@ func main() {
 	queue := flag.Int("queue", 0, "queued jobs per shard (0 = default)")
 	corpusPath := flag.String("corpus", "", "persist the donor corpus index here (default: in-memory)")
 	memoPath := flag.String("memo-path", "", "persist the solver's warm state (verdict memo + CNF core) here (default: none)")
-	memoInterval := flag.Duration("memo-interval", 0, "periodic warm-state snapshot cadence with -memo-path (0 = 5m)")
+	patchDir := flag.String("patch-dir", "", "persist verifiable patch artifacts here, content-addressed (default: in-memory)")
+	memoInterval := flag.String("memo-interval", "", "periodic warm-state snapshot cadence with -memo-path (0 or empty = 5m default, off = disabled)")
 	drain := flag.Duration("drain", 30*time.Second, "shutdown drain budget for in-flight jobs")
 	flag.Parse()
 
+	interval, err := server.ParseMemoInterval(*memoInterval)
+	if err != nil {
+		log.Printf("phaged: %v", err)
+		os.Exit(2)
+	}
 	cfg := server.Config{
 		Shards:           *shards,
 		WorkersPerShard:  *workers,
 		QueueDepth:       *queue,
 		CorpusPath:       *corpusPath,
 		MemoPath:         *memoPath,
-		MemoSaveInterval: *memoInterval,
+		MemoSaveInterval: interval,
+		PatchDir:         *patchDir,
 	}
 	if err := server.ListenAndServe(*addr, cfg, *drain, log.Printf); err != nil {
 		log.Printf("phaged: %v", err)

@@ -10,44 +10,21 @@ import (
 	"fmt"
 	"io/fs"
 	"os"
-	"path/filepath"
 
+	"codephage/internal/fsatomic"
 	"codephage/internal/smt"
 )
 
-// Save writes the index as JSON, atomically (temp file + rename), so
-// a crashed writer never leaves a torn index behind.
+// Save writes the index as JSON, atomically and durably (synced temp
+// file + rename + directory sync via the shared fsatomic writer), so
+// a crashed writer never leaves a torn or silently stale index behind.
 func (ix *Index) Save(path string) error {
 	data, err := json.MarshalIndent(ix, "", "  ")
 	if err != nil {
 		return err
 	}
 	data = append(data, '\n')
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".corpus-*.json")
-	if err != nil {
-		return err
-	}
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	// CreateTemp's 0600 would survive the rename and lock other users
-	// out of a shared index; publish with the usual file mode.
-	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	return nil
+	return fsatomic.WriteFile(path, data, 0o644)
 }
 
 // Decode parses serialized index bytes. Malformed, truncated or

@@ -155,6 +155,7 @@ func NewTransfer(tgt *apps.Target, donorName string, opts phage.Options) (*phage
 	return &phage.Transfer{
 		RecipientName: tgt.Recipient,
 		RecipientSrc:  recipient.Source,
+		TargetID:      tgt.ID,
 		Donor:         donorBin,
 		DonorName:     donorName,
 		Format:        tgt.Format,

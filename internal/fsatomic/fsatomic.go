@@ -1,0 +1,111 @@
+// Package fsatomic is the shared crash-durable file publisher. Every
+// persistent artifact in the system — the solver's warm-state memo
+// snapshot, the donor corpus index, the patch registry's artifacts —
+// is a cache or a content-addressed blob that readers load whole: the
+// publish contract is therefore "after WriteFile returns, the path
+// holds exactly the new bytes; after a crash at any point, the path
+// holds either the complete old content or the complete new content,
+// never a mixture and never a truncation".
+//
+// A bare temp-file + os.Rename gives the no-mixture half but not the
+// crash half: without an fsync of the temp file the rename can publish
+// a name whose data blocks never reached disk (a power loss then
+// yields a zero-length or partially-written "published" file), and
+// without an fsync of the parent directory the rename itself can be
+// lost, silently reviving the previous content. WriteFile does both
+// syncs, in order: file data first, then the directory entry.
+package fsatomic
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// hook names the failure-injection points the crash-consistency tests
+// drive. In production builds the hook is nil and costs one nil check.
+type hook func(stage string) error
+
+// testHook, when non-nil, runs before the named stage and aborts the
+// write when it returns an error — simulating a crash at that point.
+// Stages, in execution order: "write", "sync", "rename", "syncdir".
+var testHook hook
+
+// WriteFile atomically publishes data at path with the given mode.
+// The data is written to a temp file in path's directory, synced to
+// disk, renamed over path, and the directory entry is synced too, so
+// a crash at any instant leaves path holding either its complete old
+// content or the complete new content. The temp file is removed on
+// every failure path.
+func WriteFile(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	// One cleanup for every early return: close is harmless after a
+	// successful Close, and the Remove is a no-op after the rename.
+	defer func() {
+		tmp.Close()
+		os.Remove(tmpName)
+	}()
+
+	if err := fire("write"); err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return err
+	}
+	// CreateTemp's 0600 would survive the rename and lock other users
+	// out of a shared artifact; publish with the caller's mode.
+	if err := tmp.Chmod(perm); err != nil {
+		return err
+	}
+	if err := fire("sync"); err != nil {
+		return err
+	}
+	// Data blocks must be durable before the rename can make them
+	// reachable: a rename of an unsynced file is the torn-snapshot
+	// window this package exists to close.
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := fire("rename"); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return err
+	}
+	if err := fire("syncdir"); err != nil {
+		return err
+	}
+	// The rename is only durable once the directory entry is: without
+	// this, a crash can revive the old file after WriteFile returned.
+	if err := syncDir(dir); err != nil {
+		return fmt.Errorf("fsatomic: syncing %s: %w", dir, err)
+	}
+	return nil
+}
+
+// fire runs the test hook for one stage (no-op in production).
+func fire(stage string) error {
+	if testHook != nil {
+		return testHook(stage)
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so a completed rename inside it survives
+// a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

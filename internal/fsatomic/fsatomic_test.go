@@ -1,0 +1,146 @@
+package fsatomic
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// crash simulates a process dying at the named stage: the hook fires
+// once, the write aborts, and the hook disarms itself so the retry
+// (the "next boot") runs clean.
+func crash(t *testing.T, stage string) {
+	t.Helper()
+	testHook = func(s string) error {
+		if s == stage {
+			testHook = nil
+			return fmt.Errorf("injected crash before %s", s)
+		}
+		return nil
+	}
+	t.Cleanup(func() { testHook = nil })
+}
+
+func readAll(t *testing.T, path string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestCrashConsistency is the satellite bar: a writer killed at any
+// point between opening the temp file and the final directory sync
+// must leave the previously published snapshot complete and intact —
+// a loader never sees a partial or mixed file.
+func TestCrashConsistency(t *testing.T) {
+	old := []byte("snapshot-v1: complete and checksummed\n")
+	next := bytes.Repeat([]byte("snapshot-v2: much larger content block\n"), 100)
+
+	for _, stage := range []string{"write", "sync", "rename"} {
+		t.Run("crash-before-"+stage, func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "state.snap")
+			if err := WriteFile(path, old, 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			crash(t, stage)
+			if err := WriteFile(path, next, 0o644); err == nil {
+				t.Fatal("injected crash did not abort the write")
+			}
+
+			// The loader's view: the old snapshot, byte-identical.
+			if got := readAll(t, path); !bytes.Equal(got, old) {
+				t.Fatalf("published file disturbed by crashed writer:\n got %q\nwant %q", got, old)
+			}
+
+			// The "next boot" write succeeds and fully replaces it.
+			if err := WriteFile(path, next, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if got := readAll(t, path); !bytes.Equal(got, next) {
+				t.Fatalf("retry did not publish the new content")
+			}
+		})
+	}
+}
+
+// A crash after the rename (before the directory sync) must leave the
+// NEW content published — the rename already happened; the directory
+// sync only makes it durable.
+func TestCrashAfterRenameKeepsNewContent(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.snap")
+	if err := WriteFile(path, []byte("v1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	crash(t, "syncdir")
+	if err := WriteFile(path, []byte("v2"), 0o644); err == nil {
+		t.Fatal("injected crash did not abort the write")
+	}
+	if got := readAll(t, path); !bytes.Equal(got, []byte("v2")) {
+		t.Fatalf("got %q after post-rename crash, want the renamed v2", got)
+	}
+}
+
+func TestNoTempLitterOnFailure(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.snap")
+	for _, stage := range []string{"write", "sync", "rename"} {
+		crash(t, stage)
+		if err := WriteFile(path, []byte("data"), 0o644); err == nil {
+			t.Fatalf("stage %s: injected crash did not abort", stage)
+		}
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if strings.Contains(e.Name(), ".tmp-") {
+				t.Fatalf("stage %s: temp file %s left behind", stage, e.Name())
+			}
+		}
+	}
+}
+
+func TestWriteFileModeAndContent(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "artifact.bin")
+	data := []byte{0, 1, 2, 0xFF, 0x80}
+	if err := WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := readAll(t, path); !bytes.Equal(got, data) {
+		t.Fatalf("content mismatch: %v != %v", got, data)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Mode().Perm() != 0o644 {
+		t.Fatalf("mode %v, want 0644 (CreateTemp's 0600 leaked through)", st.Mode().Perm())
+	}
+	// Overwrite publishes whole.
+	if err := WriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := readAll(t, path); !bytes.Equal(got, []byte("x")) {
+		t.Fatalf("overwrite left %q", got)
+	}
+}
+
+func TestWriteFileMissingDir(t *testing.T) {
+	err := WriteFile(filepath.Join(t.TempDir(), "no-such-dir", "f"), []byte("x"), 0o644)
+	if err == nil {
+		t.Fatal("write into a missing directory succeeded")
+	}
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("unexpected error class: %v", err)
+	}
+}

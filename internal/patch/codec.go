@@ -1,0 +1,283 @@
+package patch
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Binary artifact format, modeled on the warm-state snapshot codec:
+// little-endian, length-prefixed, versioned by a magic string, sealed
+// by a SHA-256 trailer over everything before it, and decoded
+// defensively — every count is bounds-checked before an allocation
+// depends on it, and any malformed input (truncation, stale version,
+// bit rot, hostile length fields) rejects the whole artifact with an
+// error wrapping ErrFormat, never a panic or a silently wrong patch.
+
+const (
+	patchMagic = "CPPATCH1"
+
+	// Decode guards: upper bounds a well-formed artifact never
+	// exceeds, applied before any length-driven allocation.
+	maxStrLen    = 1 << 16
+	maxChecks    = 1 << 12
+	maxInputs    = 1 << 12
+	maxInputLen  = 1 << 24
+	maxHunks     = 1 << 20
+	maxHunkLen   = 1 << 26
+	maxImageLen  = 1 << 30
+	trailerBytes = sha256.Size
+)
+
+// ErrFormat is wrapped by every artifact decode failure.
+var ErrFormat = errors.New("patch: invalid artifact")
+
+func formatErr(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrFormat, fmt.Sprintf(format, args...))
+}
+
+type encoder struct{ buf []byte }
+
+func (e *encoder) u8(v uint8)   { e.buf = append(e.buf, v) }
+func (e *encoder) u32(v uint32) { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+func (e *encoder) u64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+func (e *encoder) raw(b []byte) { e.buf = append(e.buf, b...) }
+func (e *encoder) str(s string) { e.u32(uint32(len(s))); e.raw([]byte(s)) }
+func (e *encoder) blob(b []byte) {
+	e.u32(uint32(len(b)))
+	e.raw(b)
+}
+
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = formatErr(format, args...)
+	}
+}
+
+func (d *decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.off+n > len(d.buf) {
+		d.fail("truncated at offset %d (need %d bytes)", d.off, n)
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *decoder) u8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *decoder) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *decoder) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// count reads a u32 element count, rejecting hostile values before
+// the caller allocates anything proportional to it.
+func (d *decoder) count(what string, max int) int {
+	n := int(d.u32())
+	if d.err == nil && n > max {
+		d.fail("%s count %d exceeds limit %d", what, n, max)
+	}
+	if d.err != nil {
+		return 0
+	}
+	return n
+}
+
+func (d *decoder) str(what string) string {
+	n := d.count(what, maxStrLen)
+	b := d.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+func (d *decoder) blob(what string, max int) []byte {
+	n := d.count(what, max)
+	b := d.take(n)
+	if b == nil {
+		return nil
+	}
+	return append([]byte(nil), b...)
+}
+
+// Encode serializes the artifact. The encoding is canonical: the same
+// artifact always produces the same bytes, which is what makes Key a
+// stable content address.
+func (a *Artifact) Encode() []byte {
+	e := &encoder{}
+	e.raw([]byte(patchMagic))
+	e.str(a.Recipient)
+	e.str(a.Target)
+	e.str(a.Donor)
+	e.str(a.Format)
+	e.str(a.Mode)
+	e.str(a.Fingerprint)
+
+	e.u32(uint32(len(a.Checks)))
+	for _, c := range a.Checks {
+		e.str(c.Excised)
+		e.str(c.Translated)
+		e.str(c.InsertFn)
+		e.u32(uint32(c.InsertLine))
+	}
+
+	e.u32(uint32(len(a.ErrorInputs)))
+	for _, in := range a.ErrorInputs {
+		e.blob(in)
+	}
+	e.u32(uint32(len(a.Benign)))
+	for _, in := range a.Benign {
+		e.blob(in)
+	}
+
+	e.u64(a.OriginalLen)
+	e.raw(a.OriginalSum[:])
+	e.u64(a.PatchedLen)
+	e.raw(a.PatchedSum[:])
+
+	e.u32(uint32(len(a.Hunks)))
+	for _, h := range a.Hunks {
+		e.u64(h.Offset)
+		e.blob(h.Old)
+		e.blob(h.New)
+	}
+
+	sum := sha256.Sum256(e.buf)
+	e.raw(sum[:])
+	return e.buf
+}
+
+// Decode parses an encoded artifact, verifying the magic, the
+// trailer checksum, and every structural invariant the apply path
+// relies on (sorted non-overlapping hunks, only the last hunk
+// length-changing, consistent endpoint lengths).
+func Decode(data []byte) (*Artifact, error) {
+	if len(data) < len(patchMagic)+trailerBytes {
+		return nil, formatErr("short input (%d bytes)", len(data))
+	}
+	if string(data[:len(patchMagic)]) != patchMagic {
+		return nil, formatErr("bad magic %q", data[:len(patchMagic)])
+	}
+	body, trailer := data[:len(data)-trailerBytes], data[len(data)-trailerBytes:]
+	sum := sha256.Sum256(body)
+	if !bytes.Equal(sum[:], trailer) {
+		return nil, formatErr("checksum mismatch")
+	}
+
+	d := &decoder{buf: body, off: len(patchMagic)}
+	a := &Artifact{
+		Recipient:   d.str("recipient"),
+		Target:      d.str("target"),
+		Donor:       d.str("donor"),
+		Format:      d.str("format"),
+		Mode:        d.str("mode"),
+		Fingerprint: d.str("fingerprint"),
+	}
+
+	nChecks := d.count("check", maxChecks)
+	for i := 0; i < nChecks && d.err == nil; i++ {
+		a.Checks = append(a.Checks, Check{
+			Excised:    d.str("excised"),
+			Translated: d.str("translated"),
+			InsertFn:   d.str("insert fn"),
+			InsertLine: int32(d.u32()),
+		})
+	}
+
+	nErr := d.count("error input", maxInputs)
+	for i := 0; i < nErr && d.err == nil; i++ {
+		a.ErrorInputs = append(a.ErrorInputs, d.blob("error input", maxInputLen))
+	}
+	nBen := d.count("benign input", maxInputs)
+	for i := 0; i < nBen && d.err == nil; i++ {
+		a.Benign = append(a.Benign, d.blob("benign input", maxInputLen))
+	}
+
+	a.OriginalLen = d.u64()
+	copy(a.OriginalSum[:], d.take(sha256.Size))
+	a.PatchedLen = d.u64()
+	copy(a.PatchedSum[:], d.take(sha256.Size))
+
+	nHunks := d.count("hunk", maxHunks)
+	for i := 0; i < nHunks && d.err == nil; i++ {
+		a.Hunks = append(a.Hunks, Hunk{
+			Offset: d.u64(),
+			Old:    d.blob("hunk old", maxHunkLen),
+			New:    d.blob("hunk new", maxHunkLen),
+		})
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(body) {
+		return nil, formatErr("%d trailing bytes", len(body)-d.off)
+	}
+	if err := a.validate(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// validate enforces the structural invariants the apply/rollback
+// machinery assumes. It runs on every decode so a hostile or corrupt
+// artifact is rejected at the boundary, and on Apply so a
+// hand-constructed artifact gets the same scrutiny.
+func (a *Artifact) validate() error {
+	if a.OriginalLen > maxImageLen || a.PatchedLen > maxImageLen {
+		return formatErr("image length exceeds limit")
+	}
+	var delta int64
+	prevEnd := int64(-1)
+	for i, h := range a.Hunks {
+		if len(h.Old) == 0 && len(h.New) == 0 {
+			return formatErr("hunk %d is empty", i)
+		}
+		if int64(h.Offset) < prevEnd {
+			return formatErr("hunk %d overlaps or is out of order", i)
+		}
+		end := int64(h.Offset) + int64(len(h.Old))
+		if end > int64(a.OriginalLen) {
+			return formatErr("hunk %d exceeds the original image (%d > %d)", i, end, a.OriginalLen)
+		}
+		if len(h.Old) != len(h.New) && i != len(a.Hunks)-1 {
+			return formatErr("hunk %d changes length but is not the final hunk", i)
+		}
+		delta += int64(len(h.New)) - int64(len(h.Old))
+		prevEnd = end
+	}
+	if int64(a.OriginalLen)+delta != int64(a.PatchedLen) {
+		return formatErr("hunk deltas (%+d) do not bridge the image lengths (%d -> %d)",
+			delta, a.OriginalLen, a.PatchedLen)
+	}
+	return nil
+}

@@ -1,0 +1,149 @@
+package patch
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"codephage/internal/fsatomic"
+)
+
+// Store is a content-addressed artifact directory: every artifact is
+// persisted as <key>.patch where key is the hex SHA-256 of the
+// encoded bytes, written through the crash-safe atomic writer. A
+// store survives daemon restarts — keys are self-authenticating, so
+// anything that decodes and matches its filename is trustworthy.
+type Store struct{ dir string }
+
+const fileExt = ".patch"
+
+// NewStore opens (creating if needed) an artifact directory.
+func NewStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Put persists the artifact under its content key and returns the
+// key. Re-putting an identical artifact is a no-op rewrite of the
+// same bytes to the same name.
+func (s *Store) Put(a *Artifact) (string, error) {
+	data := a.Encode()
+	key := a.Key()
+	if err := fsatomic.WriteFile(s.path(key), data, 0o644); err != nil {
+		return "", err
+	}
+	return key, nil
+}
+
+// Bytes returns the encoded artifact for key, verified against the
+// key before it is returned (a store directory is just files; bit rot
+// or tampering must not survive a fetch).
+func (s *Store) Bytes(key string) ([]byte, error) {
+	if err := checkKey(key); err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(s.path(key))
+	if err != nil {
+		return nil, err
+	}
+	a, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("patch: store entry %s: %w", key, err)
+	}
+	if got := a.Key(); got != key {
+		return nil, fmt.Errorf("patch: store entry %s has content key %s", key, got)
+	}
+	return data, nil
+}
+
+// Get decodes the artifact for key.
+func (s *Store) Get(key string) (*Artifact, error) {
+	data, err := s.Bytes(key)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(data)
+}
+
+// Has reports whether key is present (without decoding it).
+func (s *Store) Has(key string) bool {
+	if checkKey(key) != nil {
+		return false
+	}
+	_, err := os.Stat(s.path(key))
+	return err == nil
+}
+
+// Keys lists the stored artifact keys in sorted order. Files that are
+// not well-formed store entries are skipped, not errors: the
+// directory may be shared with other state.
+func (s *Store) Keys() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var keys []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, fileExt) {
+			continue
+		}
+		key := strings.TrimSuffix(name, fileExt)
+		if checkKey(key) != nil {
+			continue
+		}
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, key+fileExt)
+}
+
+// checkKey rejects anything that is not a lowercase hex SHA-256,
+// which doubles as path-traversal protection for keys that arrive
+// over HTTP.
+func checkKey(key string) error {
+	if len(key) != 64 {
+		return fmt.Errorf("patch: malformed key %q", key)
+	}
+	for _, c := range key {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return fmt.Errorf("patch: malformed key %q", key)
+		}
+	}
+	return nil
+}
+
+// WriteFile writes an encoded artifact to an arbitrary path through
+// the atomic writer (the CLI's `patch build -o` path).
+func WriteFile(path string, a *Artifact) error {
+	return fsatomic.WriteFile(path, a.Encode(), 0o644)
+}
+
+// ReadFile loads and decodes an artifact from an arbitrary path.
+func ReadFile(path string) (*Artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	a, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("patch: %s: %w", path, err)
+	}
+	return a, nil
+}

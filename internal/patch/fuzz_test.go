@@ -1,0 +1,52 @@
+package patch
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode drives arbitrary bytes through the artifact decoder. The
+// decoder's contract: never panic, never allocate proportionally to a
+// hostile length field, and — when it does accept — produce an
+// artifact whose canonical re-encoding decodes to the same value
+// (round-trip stability is what content addressing stands on).
+func FuzzDecode(f *testing.F) {
+	// Seeds: a well-formed artifact, structural near-misses, and the
+	// checked-in corpus under testdata/fuzz/FuzzDecode.
+	valid := (&Artifact{
+		Recipient:   "vuln",
+		Donor:       "guard-donor",
+		Format:      "raw",
+		Mode:        "exit",
+		Checks:      []Check{{Excised: "n <= 4", InsertFn: "main", InsertLine: 3}},
+		ErrorInputs: [][]byte{{200}},
+		Benign:      [][]byte{{1}},
+		OriginalLen: 4,
+		OriginalSum: [32]byte{1},
+		PatchedLen:  4,
+		PatchedSum:  [32]byte{2},
+		Hunks:       []Hunk{{Offset: 0, Old: []byte("ab"), New: []byte("xy")}},
+	}).Encode()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte(patchMagic))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := Decode(data)
+		if err != nil {
+			return
+		}
+		re := a.Encode()
+		b, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-encoding of an accepted artifact does not decode: %v", err)
+		}
+		if !bytes.Equal(b.Encode(), re) {
+			t.Fatal("re-encoding is not a fixed point")
+		}
+		if a.Key() != b.Key() {
+			t.Fatal("content key unstable across a round trip")
+		}
+	})
+}

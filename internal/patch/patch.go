@@ -1,0 +1,190 @@
+// Package patch defines the verifiable patch artifact: a versioned,
+// checksummed, content-addressed record of one successful code
+// transfer that is sufficient on its own to apply the patch to a
+// recipient module image, to prove it applied exactly (byte-identical
+// to the image the pipeline produced), to re-validate it against the
+// transfer's own conformance oracle, and to roll it back to the
+// byte-identical original.
+//
+// An artifact pins both endpoints of the transformation — length and
+// SHA-256 of the original and the patched module image — and carries
+// the delta between them as offset-ranged hunks over the original
+// image. Alongside the delta it embeds provenance (donor, recipient,
+// target, the excised and translated check conditions, the insertion
+// point, and a fingerprint of the engine options that affect
+// verdicts) and the oracle inputs themselves (the eliminated error
+// inputs and the benign suite), so apply-time verification needs no
+// access to the pipeline that produced it.
+//
+// Artifacts are content-addressed: Key is the SHA-256 of the encoded
+// bytes, so two pipelines that produce the same patch produce the
+// same key, and a fetched artifact can be authenticated against its
+// own name.
+package patch
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// Check records the provenance of one transferred check: what was
+// excised from the donor, what it was translated into, and where it
+// landed in the recipient.
+type Check struct {
+	Excised    string // donor-side field-level condition
+	Translated string // recipient-side translated condition
+	InsertFn   string // recipient function receiving the guard
+	InsertLine int32  // 1-based source line of the insertion
+}
+
+// Hunk is one contiguous byte-range replacement over the original
+// module image. Offset indexes the ORIGINAL image; Old is the exact
+// byte run being replaced and New its replacement. All hunks except
+// the last must preserve length (len(Old) == len(New)) so that every
+// offset is valid in both images and rollback is the literal mirror
+// of apply.
+type Hunk struct {
+	Offset uint64
+	Old    []byte
+	New    []byte
+}
+
+// Artifact is the complete verifiable patch record.
+type Artifact struct {
+	// Provenance.
+	Recipient   string // recipient application name
+	Target      string // registry target ID ("" when unknown)
+	Donor       string // donor that supplied the checks
+	Format      string // input dissector name
+	Mode        string // patch firing behaviour ("exit" or "return0")
+	Fingerprint string // hex hash of the verdict-affecting engine options
+	Checks      []Check
+
+	// Embedded oracle inputs: the error inputs the transfer
+	// eliminated and the benign suite the patched module must remain
+	// trace-identical on.
+	ErrorInputs [][]byte
+	Benign      [][]byte
+
+	// Image endpoints.
+	OriginalLen uint64
+	OriginalSum [sha256.Size]byte
+	PatchedLen  uint64
+	PatchedSum  [sha256.Size]byte
+
+	// The delta, in strictly increasing non-overlapping offsets.
+	Hunks []Hunk
+}
+
+// Key returns the artifact's content address: the hex SHA-256 of its
+// canonical encoding. Identical transfers — same provenance, same
+// inputs, same images — yield identical keys regardless of where the
+// artifact was built.
+func (a *Artifact) Key() string {
+	sum := sha256.Sum256(a.Encode())
+	return hex.EncodeToString(sum[:])
+}
+
+// Clone returns a deep copy safe to retain across concurrent readers.
+func (a *Artifact) Clone() *Artifact {
+	if a == nil {
+		return nil
+	}
+	c := *a
+	c.Checks = append([]Check(nil), a.Checks...)
+	c.ErrorInputs = cloneByteSlices(a.ErrorInputs)
+	c.Benign = cloneByteSlices(a.Benign)
+	c.Hunks = make([]Hunk, len(a.Hunks))
+	for i, h := range a.Hunks {
+		c.Hunks[i] = Hunk{
+			Offset: h.Offset,
+			Old:    append([]byte(nil), h.Old...),
+			New:    append([]byte(nil), h.New...),
+		}
+	}
+	return &c
+}
+
+func cloneByteSlices(in [][]byte) [][]byte {
+	if in == nil {
+		return nil
+	}
+	out := make([][]byte, len(in))
+	for i, b := range in {
+		out[i] = append([]byte(nil), b...)
+	}
+	return out
+}
+
+// Diff computes the hunk set transforming orig into patched and fills
+// in both image endpoints. Equal-length regions are split into
+// minimal changed byte runs; a length difference is confined to a
+// single final hunk covering the unmatched middle, so the "only the
+// tail hunk changes length" apply/rollback invariant holds by
+// construction.
+func Diff(orig, patched []byte) ([]Hunk, error) {
+	if bytes.Equal(orig, patched) {
+		return nil, fmt.Errorf("patch: original and patched images are identical")
+	}
+	// Strip the common prefix and suffix; the interesting bytes are in
+	// the middle.
+	p := 0
+	for p < len(orig) && p < len(patched) && orig[p] == patched[p] {
+		p++
+	}
+	s := 0
+	for s < len(orig)-p && s < len(patched)-p && orig[len(orig)-1-s] == patched[len(patched)-1-s] {
+		s++
+	}
+	midO := orig[p : len(orig)-s]
+	midP := patched[p : len(patched)-s]
+
+	if len(midO) != len(midP) {
+		// One length-changing hunk; it is also the last hunk.
+		return []Hunk{{
+			Offset: uint64(p),
+			Old:    append([]byte(nil), midO...),
+			New:    append([]byte(nil), midP...),
+		}}, nil
+	}
+
+	// Same length: emit one hunk per maximal changed run.
+	var hunks []Hunk
+	for i := 0; i < len(midO); {
+		if midO[i] == midP[i] {
+			i++
+			continue
+		}
+		j := i
+		for j < len(midO) && midO[j] != midP[j] {
+			j++
+		}
+		hunks = append(hunks, Hunk{
+			Offset: uint64(p + i),
+			Old:    append([]byte(nil), midO[i:j]...),
+			New:    append([]byte(nil), midP[i:j]...),
+		})
+		i = j
+	}
+	return hunks, nil
+}
+
+// New builds an artifact from the two module images and provenance,
+// computing the hunks and both checksummed endpoints. The returned
+// artifact round-trips: ApplyBytes(orig) == patched and
+// RollbackBytes(patched) == orig, byte for byte.
+func New(orig, patched []byte) (*Artifact, error) {
+	hunks, err := Diff(orig, patched)
+	if err != nil {
+		return nil, err
+	}
+	return &Artifact{
+		OriginalLen: uint64(len(orig)),
+		OriginalSum: sha256.Sum256(orig),
+		PatchedLen:  uint64(len(patched)),
+		PatchedSum:  sha256.Sum256(patched),
+		Hunks:       hunks,
+	}, nil
+}

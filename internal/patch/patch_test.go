@@ -1,0 +1,385 @@
+package patch
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"codephage/internal/compile"
+)
+
+// vulnSrc reads a length byte and writes that many bytes into a
+// 4-byte buffer: inputs over 4 trap out of bounds.
+const vulnSrc = `
+void main() {
+	u32 n = (u32)in_u8();
+	u8* buf = alloc(4);
+	u32 i = 0;
+	while (i < n) {
+		buf[i] = (u8)i;
+		i = i + 1;
+	}
+	out((u64)n);
+	exit(0);
+}
+`
+
+// guardedSrc is vulnSrc with the transferred guard: the error input
+// is rejected before the overflowing loop, benign inputs are
+// trace-identical (the guard adds no observable events).
+const guardedSrc = `
+void main() {
+	u32 n = (u32)in_u8();
+	if (n > 4) { exit(-1); }
+	u8* buf = alloc(4);
+	u32 i = 0;
+	while (i < n) {
+		buf[i] = (u8)i;
+		i = i + 1;
+	}
+	out((u64)n);
+	exit(0);
+}
+`
+
+// images compiles the pair and returns both module images.
+func images(t *testing.T) (orig, patched []byte) {
+	t.Helper()
+	origMod, err := compile.CompileSource("vuln", vulnSrc)
+	if err != nil {
+		t.Fatalf("compiling original: %v", err)
+	}
+	patchedMod, err := compile.CompileSource("vuln", guardedSrc)
+	if err != nil {
+		t.Fatalf("compiling patched: %v", err)
+	}
+	orig, err = origMod.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	patched, err = patchedMod.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return orig, patched
+}
+
+// testArtifact builds a fully populated artifact over the compiled
+// pair, with the oracle inputs the Verify tests rely on.
+func testArtifact(t *testing.T) (*Artifact, []byte, []byte) {
+	t.Helper()
+	orig, patched := images(t)
+	a, err := New(orig, patched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Recipient = "vuln"
+	a.Target = "vuln-overflow"
+	a.Donor = "guard-donor"
+	a.Format = "raw"
+	a.Mode = "exit"
+	a.Fingerprint = "cafebabe"
+	a.Checks = []Check{{Excised: "n <= 4", Translated: "n <= 4", InsertFn: "main", InsertLine: 3}}
+	a.ErrorInputs = [][]byte{{200}}
+	a.Benign = [][]byte{{0}, {3}, {4}}
+	return a, orig, patched
+}
+
+func TestApplyRollbackRoundTrip(t *testing.T) {
+	a, orig, patched := testArtifact(t)
+	got, err := a.ApplyBytes(orig)
+	if err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	if !bytes.Equal(got, patched) {
+		t.Fatal("applied image differs from the pipeline's patched image")
+	}
+	back, err := a.RollbackBytes(got)
+	if err != nil {
+		t.Fatalf("rollback: %v", err)
+	}
+	if !bytes.Equal(back, orig) {
+		t.Fatal("rollback is not byte-identical to the original")
+	}
+}
+
+func TestApplyRejectsWrongInput(t *testing.T) {
+	a, orig, patched := testArtifact(t)
+	// Tampered original: checksum mismatch.
+	bad := append([]byte(nil), orig...)
+	bad[len(bad)/2] ^= 0xFF
+	if _, err := a.ApplyBytes(bad); err == nil {
+		t.Fatal("apply accepted a tampered original")
+	}
+	// Applying to the already-patched image must fail too.
+	if _, err := a.ApplyBytes(patched); err == nil {
+		t.Fatal("apply accepted the patched image as the original")
+	}
+	// Truncated input: length mismatch.
+	if _, err := a.ApplyBytes(orig[:len(orig)-1]); err == nil {
+		t.Fatal("apply accepted a truncated original")
+	}
+}
+
+func TestDiffShapes(t *testing.T) {
+	cases := []struct {
+		name          string
+		orig, patched []byte
+	}{
+		{"same-length-one-run", []byte("aaaabbbbcccc"), []byte("aaaaXXXXcccc")},
+		{"same-length-two-runs", []byte("aaaabbbbcccc"), []byte("aXaabbbbccXc")},
+		{"longer", []byte("aaaacccc"), []byte("aaaabbbbcccc")},
+		{"shorter", []byte("aaaabbbbcccc"), []byte("aaaacccc")},
+		{"prefix-only", []byte("aaaa"), []byte("aaaabbbb")},
+		{"disjoint", []byte("abcd"), []byte("wxyz")},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			a, err := New(c.orig, c.patched)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := a.ApplyBytes(c.orig)
+			if err != nil {
+				t.Fatalf("apply: %v", err)
+			}
+			if !bytes.Equal(got, c.patched) {
+				t.Fatalf("apply = %q, want %q", got, c.patched)
+			}
+			back, err := a.RollbackBytes(got)
+			if err != nil {
+				t.Fatalf("rollback: %v", err)
+			}
+			if !bytes.Equal(back, c.orig) {
+				t.Fatalf("rollback = %q, want %q", back, c.orig)
+			}
+		})
+	}
+	if _, err := New([]byte("same"), []byte("same")); err == nil {
+		t.Fatal("New accepted identical images")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	a, _, _ := testArtifact(t)
+	data := a.Encode()
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(a, got) {
+		t.Fatal("decoded artifact differs from the original")
+	}
+	// Canonical encoding: re-encoding the decoded artifact reproduces
+	// the bytes, so the content key is stable across a round trip.
+	if !bytes.Equal(got.Encode(), data) {
+		t.Fatal("re-encoding is not canonical")
+	}
+	if got.Key() != a.Key() {
+		t.Fatal("content key changed across a round trip")
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	a, _, _ := testArtifact(t)
+	data := a.Encode()
+
+	if _, err := Decode(nil); err == nil {
+		t.Fatal("decoded empty input")
+	}
+	if _, err := Decode([]byte("NOTMAGIC" + strings.Repeat("x", 64))); err == nil {
+		t.Fatal("decoded bad magic")
+	}
+	for _, n := range []int{1, len(data) / 2, len(data) - 1} {
+		if _, err := Decode(data[:n]); err == nil {
+			t.Fatalf("decoded truncation to %d bytes", n)
+		}
+	}
+	// Every single-byte flip must be caught by the trailer checksum.
+	for _, off := range []int{8, len(data) / 3, len(data) - 1} {
+		bad := append([]byte(nil), data...)
+		bad[off] ^= 0x01
+		if _, err := Decode(bad); err == nil {
+			t.Fatalf("decoded artifact with byte %d flipped", off)
+		}
+	}
+}
+
+// reseal recomputes the trailer so structural corruption reaches the
+// validator instead of being caught by the checksum first.
+func reseal(data []byte) []byte {
+	body := data[:len(data)-sha256.Size]
+	sum := sha256.Sum256(body)
+	return append(append([]byte(nil), body...), sum[:]...)
+}
+
+func TestValidateInvariants(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Artifact)
+	}{
+		{"mid-hunk-length-change", func(a *Artifact) {
+			a.Hunks = []Hunk{
+				{Offset: 0, Old: []byte("ab"), New: []byte("a")},
+				{Offset: 4, Old: []byte("cd"), New: []byte("ce")},
+			}
+			a.OriginalLen, a.PatchedLen = 8, 7
+		}},
+		{"overlapping-hunks", func(a *Artifact) {
+			a.Hunks = []Hunk{
+				{Offset: 0, Old: []byte("abcd"), New: []byte("wxyz")},
+				{Offset: 2, Old: []byte("cd"), New: []byte("ef")},
+			}
+			a.OriginalLen, a.PatchedLen = 8, 8
+		}},
+		{"hunk-past-end", func(a *Artifact) {
+			a.Hunks = []Hunk{{Offset: 6, Old: []byte("abcd"), New: []byte("wxyz")}}
+			a.OriginalLen, a.PatchedLen = 8, 8
+		}},
+		{"delta-mismatch", func(a *Artifact) {
+			a.Hunks = []Hunk{{Offset: 0, Old: []byte("ab"), New: []byte("a")}}
+			a.OriginalLen, a.PatchedLen = 8, 8
+		}},
+		{"empty-hunk", func(a *Artifact) {
+			a.Hunks = []Hunk{{Offset: 0}}
+			a.OriginalLen, a.PatchedLen = 8, 8
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			a := &Artifact{}
+			c.mutate(a)
+			if err := a.validate(); err == nil {
+				t.Fatal("validate accepted a malformed artifact")
+			}
+			// The same corruption must be unreachable through Decode.
+			if _, err := Decode(reseal(a.Encode())); err == nil {
+				t.Fatal("Decode accepted a malformed artifact")
+			}
+		})
+	}
+}
+
+func TestVerifyOracle(t *testing.T) {
+	a, orig, patched := testArtifact(t)
+	if err := a.Verify(orig, patched); err != nil {
+		t.Fatalf("oracle rejected the genuine patch: %v", err)
+	}
+
+	// A patch that does not eliminate the error (guard threshold too
+	// high) must be rejected on the error input.
+	lenient := strings.Replace(guardedSrc, "n > 4", "n > 250", 1)
+	if err := a.Verify(orig, compileImage(t, lenient)); err == nil {
+		t.Fatal("oracle accepted a patch that still traps on the error input")
+	}
+
+	// A patch that rejects benign inputs (guard threshold too low)
+	// must be rejected by the trace comparison.
+	strict := strings.Replace(guardedSrc, "n > 4", "n > 2", 1)
+	if err := a.Verify(orig, compileImage(t, strict)); err == nil {
+		t.Fatal("oracle accepted a patch that changes benign behaviour")
+	}
+
+	// Non-module bytes must fail cleanly.
+	if err := a.Verify([]byte("junk"), patched); err == nil {
+		t.Fatal("oracle accepted a non-module original")
+	}
+	_ = patched
+}
+
+func compileImage(t *testing.T, src string) []byte {
+	t.Helper()
+	mod, err := compile.CompileSource("vuln", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := mod.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestApplyRollbackFiles(t *testing.T) {
+	a, orig, patched := testArtifact(t)
+	path := filepath.Join(t.TempDir(), "vuln.mvx")
+	if err := os.WriteFile(path, orig, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Apply(a, path); err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	got, _ := os.ReadFile(path)
+	if !bytes.Equal(got, patched) {
+		t.Fatal("applied file differs from the pipeline's patched image")
+	}
+	// Re-applying must fail (the file is no longer the original) and
+	// leave the file untouched.
+	if err := Apply(a, path); err == nil {
+		t.Fatal("apply succeeded twice")
+	}
+	got, _ = os.ReadFile(path)
+	if !bytes.Equal(got, patched) {
+		t.Fatal("failed apply modified the file")
+	}
+	if err := Rollback(a, path); err != nil {
+		t.Fatalf("rollback: %v", err)
+	}
+	got, _ = os.ReadFile(path)
+	if !bytes.Equal(got, orig) {
+		t.Fatal("rollback is not byte-identical to the original")
+	}
+}
+
+func TestStore(t *testing.T) {
+	a, _, _ := testArtifact(t)
+	st, err := NewStore(filepath.Join(t.TempDir(), "patches"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := st.Put(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != a.Key() {
+		t.Fatalf("Put key %s, artifact key %s", key, a.Key())
+	}
+	got, err := st.Get(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, got) {
+		t.Fatal("stored artifact differs")
+	}
+	keys, err := st.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 1 || keys[0] != key {
+		t.Fatalf("Keys = %v, want [%s]", keys, key)
+	}
+	if !st.Has(key) {
+		t.Fatal("Has missed a stored key")
+	}
+
+	// Tampered entries must not survive a fetch.
+	path := filepath.Join(st.Dir(), key+fileExt)
+	data, _ := os.ReadFile(path)
+	data[len(data)/2] ^= 0xFF
+	os.WriteFile(path, data, 0o644)
+	if _, err := st.Get(key); err == nil {
+		t.Fatal("Get returned a tampered artifact")
+	}
+
+	// Keys that are not hex sha256 (including traversal attempts) are
+	// rejected before touching the filesystem.
+	for _, bad := range []string{"", "short", "../../etc/passwd", strings.Repeat("Z", 64)} {
+		if _, err := st.Bytes(bad); err == nil {
+			t.Fatalf("Bytes accepted malformed key %q", bad)
+		}
+	}
+}

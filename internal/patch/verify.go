@@ -1,0 +1,174 @@
+package patch
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"os"
+
+	"codephage/internal/fsatomic"
+	"codephage/internal/ir"
+	"codephage/internal/vm"
+)
+
+// ErrVerify wraps every apply-time verification failure: checksum
+// mismatches, hunk context mismatches, and oracle rejections. A
+// failed Apply leaves the target byte-identical to what it found.
+var ErrVerify = fmt.Errorf("patch: verification failed")
+
+func verifyErr(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrVerify, fmt.Sprintf(format, args...))
+}
+
+// ApplyBytes transforms the original module image into the patched
+// one: it verifies the original's length and checksum, verifies every
+// hunk's Old bytes in place before substituting New, and verifies the
+// result against the patched length and checksum. The returned bytes
+// are exactly the image the producing pipeline validated — any
+// deviation, anywhere, is an error rather than a best-effort patch.
+func (a *Artifact) ApplyBytes(orig []byte) ([]byte, error) {
+	if err := a.validate(); err != nil {
+		return nil, err
+	}
+	return transform(orig, a.Hunks, a.OriginalLen, a.OriginalSum, a.PatchedLen, a.PatchedSum, false)
+}
+
+// RollbackBytes is the exact inverse of ApplyBytes: patched image in,
+// byte-identical original out, with the same end-to-end verification.
+func (a *Artifact) RollbackBytes(patched []byte) ([]byte, error) {
+	if err := a.validate(); err != nil {
+		return nil, err
+	}
+	return transform(patched, a.Hunks, a.PatchedLen, a.PatchedSum, a.OriginalLen, a.OriginalSum, true)
+}
+
+// transform applies the hunks in one direction. Hunk offsets index
+// the original image; because every non-final hunk preserves length,
+// those offsets are equally valid in the patched image, which is what
+// lets rollback reuse them with Old and New swapped.
+func transform(in []byte, hunks []Hunk, inLen uint64, inSum [sha256.Size]byte,
+	outLen uint64, outSum [sha256.Size]byte, reverse bool) ([]byte, error) {
+	if uint64(len(in)) != inLen {
+		return nil, verifyErr("input image is %d bytes, artifact expects %d", len(in), inLen)
+	}
+	if got := sha256.Sum256(in); got != inSum {
+		return nil, verifyErr("input image checksum mismatch")
+	}
+	out := make([]byte, 0, outLen)
+	pos := 0
+	for i, h := range hunks {
+		from, to := h.Old, h.New
+		if reverse {
+			from, to = to, from
+		}
+		off := int(h.Offset)
+		if off < pos || off+len(from) > len(in) {
+			return nil, verifyErr("hunk %d out of range", i)
+		}
+		if !bytes.Equal(in[off:off+len(from)], from) {
+			return nil, verifyErr("hunk %d context mismatch at offset %d", i, off)
+		}
+		out = append(out, in[pos:off]...)
+		out = append(out, to...)
+		pos = off + len(from)
+	}
+	out = append(out, in[pos:]...)
+	if uint64(len(out)) != outLen {
+		return nil, verifyErr("output image is %d bytes, artifact expects %d", len(out), outLen)
+	}
+	if got := sha256.Sum256(out); got != outSum {
+		return nil, verifyErr("output image checksum mismatch")
+	}
+	return out, nil
+}
+
+// Verify re-runs the transfer's conformance oracle on the two images,
+// using the inputs embedded in the artifact:
+//
+//  1. the patched module must run every recorded error input to
+//     completion — the transferred guard eliminated the error, so a
+//     trap means the patch does not do what its provenance claims
+//     (the exit code is mode-dependent — exit(-1) vs return 0 — so
+//     only trap-freedom is required);
+//  2. on every benign input the patched module's observable trace
+//     (input reads, allocations, frees, outputs, exit) must be
+//     identical to the original's, so the patch cannot have bought
+//     safety by changing behaviour benign inputs rely on.
+//
+// Both images must decode as module images; everything else about
+// them has already been pinned by the checksums.
+func (a *Artifact) Verify(orig, patched []byte) error {
+	origMod, err := ir.FromBytes(orig)
+	if err != nil {
+		return verifyErr("original image does not decode: %v", err)
+	}
+	patchedMod, err := ir.FromBytes(patched)
+	if err != nil {
+		return verifyErr("patched image does not decode: %v", err)
+	}
+	for i, in := range a.ErrorInputs {
+		if res := vm.NewRunner(patchedMod).Run(in); !res.OK() {
+			return verifyErr("patched module still traps on error input %d: %v", i, res.Trap)
+		}
+	}
+	for i, in := range a.Benign {
+		want, wantRes := runTrace(origMod, in)
+		got, gotRes := runTrace(patchedMod, in)
+		if !wantRes.OK() {
+			return verifyErr("original module traps on benign input %d: %v", i, wantRes.Trap)
+		}
+		if !gotRes.OK() {
+			return verifyErr("patched module traps on benign input %d: %v", i, gotRes.Trap)
+		}
+		// Exit codes need no separate comparison: exit is itself a
+		// recorded trace event, so TraceEqual covers it.
+		if eq, at := vm.TraceEqual(want, got); !eq {
+			return verifyErr("benign input %d diverges at trace event %d (%d vs %d events)",
+				i, at, len(want), len(got))
+		}
+	}
+	return nil
+}
+
+func runTrace(mod *ir.Module, input []byte) ([]vm.TraceEvent, *vm.Result) {
+	rec := &vm.TraceRecorder{}
+	r := vm.NewRunner(mod)
+	r.Tracer = rec
+	res := r.Run(input)
+	return rec.Events, res
+}
+
+// Apply patches the module image file at path in place: verify the
+// original, apply the hunks, verify the patched image, re-run the
+// conformance oracle, and only then commit — atomically and durably,
+// through the same crash-safe writer the daemon's warm state uses. On
+// any failure the file is untouched.
+func Apply(a *Artifact, path string) error {
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	patched, err := a.ApplyBytes(orig)
+	if err != nil {
+		return err
+	}
+	if err := a.Verify(orig, patched); err != nil {
+		return err
+	}
+	return fsatomic.WriteFile(path, patched, 0o644)
+}
+
+// Rollback restores the byte-identical original module image at path,
+// verifying both endpoints the same way Apply does (the oracle needs
+// no re-run: the original is the behaviour baseline by definition).
+func Rollback(a *Artifact, path string) error {
+	patched, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	orig, err := a.RollbackBytes(patched)
+	if err != nil {
+		return err
+	}
+	return fsatomic.WriteFile(path, orig, 0o644)
+}

@@ -1,0 +1,100 @@
+package pipeline
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+
+	"codephage/internal/ir"
+	"codephage/internal/patch"
+)
+
+// String names the mode for patch artifacts and diagnostics.
+func (m ExitMode) String() string {
+	if m == ReturnZero {
+		return "return0"
+	}
+	return "exit"
+}
+
+// fingerprintVersion bumps whenever the set of fingerprinted fields
+// or their encoding changes, so artifacts from older engines never
+// alias newer configurations.
+const fingerprintVersion = 1
+
+// Fingerprint hashes the option fields that affect transfer verdicts
+// — the exit mode, the search budgets, the simplifier and rescan
+// toggles, and the rescan seed. Execution-shape knobs (Workers, the
+// service override) are deliberately excluded: they change how fast a
+// verdict arrives, never which verdict, and the engine's
+// rank-then-reduce merge guarantees parallel runs are byte-identical
+// to sequential ones. Two artifacts with equal fingerprints were
+// produced under interchangeable configurations.
+func (o *Options) Fingerprint() string {
+	var b []byte
+	u64 := func(v uint64) { b = binary.LittleEndian.AppendUint64(b, v) }
+	flag := func(v bool) {
+		if v {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+	}
+	u64(fingerprintVersion)
+	u64(uint64(o.ExitMode))
+	u64(uint64(o.MaxChecks))
+	u64(uint64(o.MaxRounds))
+	u64(uint64(o.MaxSteps))
+	flag(o.NoSimplify)
+	flag(o.DisableDiodeRescan)
+	u64(uint64(o.DiodeRandSeed))
+	u64(uint64(o.ProofConflicts))
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:16])
+}
+
+// buildArtifact packages a successful transfer as a verifiable patch
+// artifact: the byte delta between the original and the validated
+// patched module image, both endpoints checksummed, with the
+// transfer's provenance and its oracle inputs embedded. The artifact
+// is a pure function of the transfer and its result — no wall-clock
+// data — so the same transfer yields the same content key wherever it
+// runs.
+func buildArtifact(t *Transfer, orig *ir.Module, res *Result) (*patch.Artifact, error) {
+	origBytes, err := orig.Bytes()
+	if err != nil {
+		return nil, fmt.Errorf("encoding original module: %w", err)
+	}
+	patchedBytes, err := res.FinalModule.Bytes()
+	if err != nil {
+		return nil, fmt.Errorf("encoding patched module: %w", err)
+	}
+	a, err := patch.New(origBytes, patchedBytes)
+	if err != nil {
+		return nil, err
+	}
+	a.Recipient = t.RecipientName
+	a.Target = t.TargetID
+	a.Donor = res.Donor
+	a.Format = t.Format
+	a.Mode = t.Opts.ExitMode.String()
+	a.Fingerprint = t.Opts.Fingerprint()
+	for i := range res.Rounds {
+		pr := &res.Rounds[i]
+		a.Checks = append(a.Checks, patch.Check{
+			Excised:    pr.ExcisedCheck,
+			Translated: pr.TranslatedCheck,
+			InsertFn:   pr.InsertFn,
+			InsertLine: pr.InsertLine,
+		})
+		a.ErrorInputs = append(a.ErrorInputs, append([]byte(nil), pr.ErrorInput...))
+	}
+	if t.Seed != nil {
+		a.Benign = append(a.Benign, append([]byte(nil), t.Seed...))
+	}
+	for _, in := range t.Regression {
+		a.Benign = append(a.Benign, append([]byte(nil), in...))
+	}
+	return a, nil
+}

@@ -1,0 +1,105 @@
+package pipeline
+
+import (
+	"bytes"
+	"testing"
+
+	"codephage/internal/apps"
+	"codephage/internal/compile"
+)
+
+// TestResultPatchArtifact pins the cross-layer invariant the patch
+// subsystem rests on: the artifact a successful transfer produces,
+// applied to the original module image, is byte-identical to the
+// patched module image the pipeline itself validated — and rolls back
+// to the byte-identical original. It also re-runs the artifact's
+// embedded conformance oracle, which must accept the genuine patch.
+func TestResultPatchArtifact(t *testing.T) {
+	tgt, err := apps.TargetByID("jasper", "jpc_dec.c@492")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := buildTransfer(t, tgt, "openjpeg")
+	tr.TargetID = tgt.ID
+	res, err := NewEngine().Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) == 0 {
+		t.Fatal("transfer produced no rounds")
+	}
+	a := res.Patch
+	if a == nil {
+		t.Fatal("successful transfer produced no patch artifact")
+	}
+
+	// Provenance is populated from the transfer.
+	if a.Recipient != tr.RecipientName || a.Target != tgt.ID || a.Donor != res.Donor {
+		t.Fatalf("provenance = %s/%s/%s, want %s/%s/%s",
+			a.Recipient, a.Target, a.Donor, tr.RecipientName, tgt.ID, res.Donor)
+	}
+	if len(a.Checks) != len(res.Rounds) || len(a.ErrorInputs) != len(res.Rounds) {
+		t.Fatalf("artifact carries %d checks / %d error inputs for %d rounds",
+			len(a.Checks), len(a.ErrorInputs), len(res.Rounds))
+	}
+	if a.Fingerprint != tr.Opts.Fingerprint() {
+		t.Fatal("artifact fingerprint does not match the transfer options")
+	}
+
+	orig, err := compile.Cached(tr.RecipientName, tr.RecipientSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origBytes, err := orig.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	finalBytes, err := res.FinalModule.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The invariant: apply == the pipeline's own patched image.
+	applied, err := a.ApplyBytes(origBytes)
+	if err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	if !bytes.Equal(applied, finalBytes) {
+		t.Fatal("applied artifact differs from the pipeline's patched module image")
+	}
+	back, err := a.RollbackBytes(applied)
+	if err != nil {
+		t.Fatalf("rollback: %v", err)
+	}
+	if !bytes.Equal(back, origBytes) {
+		t.Fatal("rollback is not byte-identical to the original image")
+	}
+	if err := a.Verify(origBytes, applied); err != nil {
+		t.Fatalf("conformance oracle rejected the genuine artifact: %v", err)
+	}
+
+	// Content addressing is deterministic: an independent engine run
+	// of the same transfer yields the same key.
+	res2, err := NewEngine().Run(buildTransferLike(t, tgt, "openjpeg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Patch == nil || res2.Patch.Key() != a.Key() {
+		t.Fatal("identical transfers produced different artifact keys")
+	}
+
+	// The snapshot carries a private deep copy.
+	snap := res.Snapshot()
+	if snap.Patch == a {
+		t.Fatal("snapshot aliases the result's artifact")
+	}
+	if snap.Patch.Key() != a.Key() {
+		t.Fatal("snapshot artifact diverged from the result's")
+	}
+}
+
+func buildTransferLike(t *testing.T, tgt *apps.Target, donor string) *Transfer {
+	tr := buildTransfer(t, tgt, donor)
+	tr.TargetID = tgt.ID
+	return tr
+}

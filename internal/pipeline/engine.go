@@ -39,6 +39,7 @@ import (
 	"codephage/internal/diode"
 	"codephage/internal/hachoir"
 	"codephage/internal/ir"
+	"codephage/internal/patch"
 	"codephage/internal/smt"
 	"codephage/internal/vm"
 )
@@ -97,14 +98,17 @@ func (o *Options) proofConflicts() int64 {
 type Transfer struct {
 	RecipientName string
 	RecipientSrc  string
-	Donor         *ir.Module // stripped donor binary (nil = select automatically)
-	DonorName     string
-	Format        string // dissector name
-	Seed          []byte
-	Error         []byte   // initial error-triggering input
-	Regression    [][]byte // inputs the recipient is known to process
-	VulnFn        string   // DIODE rescan target function ("" = none)
-	Opts          Options
+	// TargetID names the registry target this transfer addresses; it
+	// is provenance recorded in the patch artifact ("" = ad hoc).
+	TargetID   string
+	Donor      *ir.Module // stripped donor binary (nil = select automatically)
+	DonorName  string
+	Format     string // dissector name
+	Seed       []byte
+	Error      []byte   // initial error-triggering input
+	Regression [][]byte // inputs the recipient is known to process
+	VulnFn     string   // DIODE rescan target function ("" = none)
+	Opts       Options
 }
 
 // Run executes the transfer on the default engine. It is the
@@ -150,6 +154,12 @@ type Result struct {
 	// (nil: solver budget exhausted, verdict unknown).
 	OverflowFreeProven *bool
 	SolverStats        smt.Stats
+	// Patch is the verifiable artifact for the transfer: the
+	// checksummed byte delta from the original to FinalModule's image,
+	// with provenance and the oracle inputs embedded (nil when no
+	// check was transferred). Applying it to the original image
+	// reproduces FinalModule's bytes exactly.
+	Patch *patch.Artifact
 }
 
 // UsedChecks returns the number of transferred checks (Figure 8).
@@ -296,6 +306,7 @@ func (e *Engine) runResolved(t *Transfer) (*Result, error) {
 	}
 
 	res := &Result{Donor: t.DonorName, FinalSource: t.RecipientSrc, FinalModule: ctx.Recipient}
+	origMod := ctx.Recipient     // pre-patch build, the artifact's baseline
 	var guards []*bitvec.Expr    // transferred checks (field-level)
 	var sizeExprs []*bitvec.Expr // overflowing size expressions seen
 
@@ -323,6 +334,17 @@ func (e *Engine) runResolved(t *Transfer) (*Result, error) {
 		}
 		sizeExprs = append(sizeExprs, finding.SizeExpr)
 		ctx.ErrIn = finding.Input
+	}
+
+	// Package the transfer as a verifiable artifact. Building it last
+	// means the artifact always describes the fully validated final
+	// module, including every residual-error round.
+	if len(res.Rounds) > 0 && res.FinalModule != origMod {
+		a, err := buildArtifact(t, origMod, res)
+		if err != nil {
+			return nil, fmt.Errorf("phage: patch artifact: %w", err)
+		}
+		res.Patch = a
 	}
 
 	res.GenTime = time.Since(start)

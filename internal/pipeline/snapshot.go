@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"codephage/internal/compile"
+	"codephage/internal/patch"
 	"codephage/internal/smt"
 )
 
@@ -24,6 +25,9 @@ type Snapshot struct {
 	// (nil: unknown).
 	OverflowFreeProven *bool
 	SolverStats        smt.Stats
+	// Patch is a private deep copy of the verifiable patch artifact
+	// (nil when no check was transferred).
+	Patch *patch.Artifact
 }
 
 // Snapshot returns an immutable deep copy of the result for sharing.
@@ -38,6 +42,7 @@ func (r *Result) Snapshot() *Snapshot {
 		v := *r.OverflowFreeProven
 		s.OverflowFreeProven = &v
 	}
+	s.Patch = r.Patch.Clone()
 	s.Rounds = make([]PatchRound, len(r.Rounds))
 	for i, pr := range r.Rounds {
 		pr.ErrorInput = append([]byte(nil), pr.ErrorInput...)

@@ -8,6 +8,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
+	"sync"
 	"syscall"
 	"time"
 )
@@ -21,6 +23,9 @@ import (
 func ListenAndServe(addr string, cfg Config, drain time.Duration, logf func(string, ...any)) error {
 	if logf == nil {
 		logf = func(string, ...any) {}
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = logf
 	}
 	srv := New(cfg)
 	ln, err := net.Listen("tcp", addr)
@@ -40,23 +45,7 @@ func ListenAndServe(addr string, cfg Config, drain time.Duration, logf func(stri
 
 	// Periodic warm-state snapshots while serving; the drain path below
 	// writes the final one.
-	stopSaver := make(chan struct{})
-	if cfg.MemoPath != "" {
-		go func() {
-			t := time.NewTicker(cfg.memoSaveInterval())
-			defer t.Stop()
-			for {
-				select {
-				case <-t.C:
-					if err := srv.SaveMemo(); err != nil {
-						logf("phaged: memo snapshot: %v", err)
-					}
-				case <-stopSaver:
-					return
-				}
-			}
-		}()
-	}
+	stopSaver := startMemoSaver(srv, logf)
 
 	var serveErr error
 	select {
@@ -69,7 +58,11 @@ func ListenAndServe(addr string, cfg Config, drain time.Duration, logf func(stri
 		}
 	}
 
-	close(stopSaver)
+	// Join the saver BEFORE the drain writes the final snapshot: a
+	// closed stop channel alone would let an in-flight ticker save
+	// finish its rename after the drain-time save and publish stale
+	// warm state as the daemon's last word.
+	stopSaver()
 	ctx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
@@ -82,4 +75,72 @@ func ListenAndServe(addr string, cfg Config, drain time.Duration, logf func(stri
 	// A listener that died on its own is a failure even though the
 	// drain was clean — supervisors must see a non-zero exit.
 	return serveErr
+}
+
+// startMemoSaver launches the periodic warm-state snapshot goroutine
+// and returns a stop function that signals it AND joins it: once stop
+// returns, no snapshot write is in flight and none will start, so a
+// later save (the drain path's final one) can never be overwritten by
+// a stale ticker save that was mid-rename when the stop signal landed.
+// When snapshotting is not configured (no MemoPath, or the interval is
+// disabled) the returned stop is a no-op.
+func startMemoSaver(srv *Server, logf func(string, ...any)) (stop func()) {
+	interval := srv.cfg.memoSaveInterval()
+	if srv.cfg.MemoPath == "" || interval <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				if err := srv.SaveMemo(); err != nil {
+					logf("phaged: memo snapshot: %v", err)
+				}
+			case <-done:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			wg.Wait()
+		})
+	}
+}
+
+// MemoIntervalOff is the parsed value of `-memo-interval off`:
+// periodic warm-state snapshots disabled (boot load and the final
+// drain-time save still happen when a memo path is configured).
+const MemoIntervalOff = -1 * time.Second
+
+// ParseMemoInterval parses the -memo-interval flag spelling shared by
+// the daemons: "" or "0" means the default cadence (5 minutes), "off"
+// (or any negative duration) disables periodic snapshots explicitly,
+// and anything else must be a positive Go duration. The historical
+// surprise — 0 silently meaning "5m" with no way to say "never" — is
+// resolved by giving disablement its own spelling instead of
+// repurposing zero.
+func ParseMemoInterval(s string) (time.Duration, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "0":
+		return 0, nil // default cadence
+	case "off":
+		return MemoIntervalOff, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("memo-interval: %q is neither a duration, 0, nor off", s)
+	}
+	if d < 0 {
+		return MemoIntervalOff, nil
+	}
+	return d, nil
 }

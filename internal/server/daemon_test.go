@@ -1,0 +1,137 @@
+package server
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestMemoSaverStopJoinsInFlightSave pins the shutdown-ordering fix:
+// stop() must not return while a ticker-triggered SaveMemo is still
+// running, because the drain path writes the daemon's final snapshot
+// immediately after and a straggling ticker save would overwrite it
+// with stale warm state. The test holds a save in flight via the
+// server's test hook and asserts stop() blocks until it completes.
+func TestMemoSaverStopJoinsInFlightSave(t *testing.T) {
+	dir := t.TempDir()
+	srv := New(Config{
+		MemoPath:         filepath.Join(dir, "memo.snap"),
+		MemoSaveInterval: 5 * time.Millisecond,
+	})
+	srv.Start()
+	defer shutdown(t, srv)
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once bool
+	srv.memoSaveHook = func() {
+		// Hold exactly one save open; later ticks run unimpeded.
+		if !once {
+			once = true
+			close(entered)
+			<-release
+		}
+	}
+
+	stop := startMemoSaver(srv, t.Logf)
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("ticker save never started")
+	}
+
+	stopped := make(chan struct{})
+	go func() {
+		stop()
+		close(stopped)
+	}()
+	select {
+	case <-stopped:
+		t.Fatal("stop() returned while a save was still in flight")
+	case <-time.After(50 * time.Millisecond):
+		// Still joined on the in-flight save: the fix is holding.
+	}
+	close(release)
+	select {
+	case <-stopped:
+	case <-time.After(5 * time.Second):
+		t.Fatal("stop() did not return after the in-flight save finished")
+	}
+
+	// After stop returns, no further ticker save may fire: remove the
+	// snapshot and verify several intervals pass without it reappearing.
+	if err := os.Remove(srv.cfg.MemoPath); err != nil {
+		t.Fatalf("removing snapshot: %v", err)
+	}
+	time.Sleep(20 * srv.cfg.memoSaveInterval())
+	if _, err := os.Stat(srv.cfg.MemoPath); !os.IsNotExist(err) {
+		t.Fatalf("snapshot recreated after stop (stat err=%v)", err)
+	}
+}
+
+// TestMemoSaverDisabled verifies that the saver is a no-op both when
+// no memo path is configured and when the interval is explicitly off.
+func TestMemoSaverDisabled(t *testing.T) {
+	for _, cfg := range []Config{
+		{},
+		{MemoPath: filepath.Join(t.TempDir(), "memo.snap"), MemoSaveInterval: MemoIntervalOff},
+	} {
+		srv := New(cfg)
+		srv.Start()
+		stop := startMemoSaver(srv, t.Logf)
+		stop()
+		stop() // idempotent
+		if cfg.MemoPath != "" {
+			if _, err := os.Stat(cfg.MemoPath); !os.IsNotExist(err) {
+				t.Fatalf("disabled saver wrote a snapshot (stat err=%v)", err)
+			}
+		}
+		shutdown(t, srv)
+	}
+}
+
+func shutdown(t *testing.T, srv *Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+func TestParseMemoInterval(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    time.Duration
+		wantErr bool
+	}{
+		{"", 0, false},
+		{"0", 0, false},
+		{" 0 ", 0, false},
+		{"off", MemoIntervalOff, false},
+		{"OFF", MemoIntervalOff, false},
+		{"-10s", MemoIntervalOff, false},
+		{"5m", 5 * time.Minute, false},
+		{"750ms", 750 * time.Millisecond, false},
+		{"never", 0, true},
+		{"5", 0, true}, // bare numbers other than 0 are ambiguous
+	}
+	for _, c := range cases {
+		got, err := ParseMemoInterval(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("ParseMemoInterval(%q): want error, got %v", c.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseMemoInterval(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseMemoInterval(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}

@@ -27,6 +27,8 @@ func boolMetric(b bool) int {
 //	GET  /v1/targets           the transferable error catalogue
 //	GET  /corpus               the donor knowledge-base index
 //	                           (built on first access)
+//	GET  /patches              the patch artifact listing
+//	GET  /patches/{key}        one encoded artifact by content key
 //	GET  /metrics              Prometheus-style server and engine stats
 //	GET  /healthz              liveness probe
 func (s *Server) Handler() http.Handler {
@@ -35,22 +37,32 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/targets", s.handleTargets)
 	mux.HandleFunc("GET /corpus", s.handleCorpus)
+	mux.HandleFunc("GET /patches", s.handlePatches)
+	mux.HandleFunc("GET /patches/{key}", s.handlePatch)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	return mux
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
+// writeJSON writes a JSON response body. Encode failures — a client
+// that hung up mid-body, a broken pipe — cannot be reported to that
+// client anymore, but they must not vanish either: each one is
+// counted (phaged_response_encode_failures_total) and logged, so a
+// spike of half-written responses is visible on /metrics instead of
+// silently dropped on the floor.
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.counter.encodeFailures.Add(1)
+		s.logf("phaged: encoding response: %v", err)
+	}
 }
 
-func writeError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+func (s *Server) writeError(w http.ResponseWriter, code int, err error) {
+	s.writeJSON(w, code, map[string]string{"error": err.Error()})
 }
 
 func (s *Server) handleTransfer(w http.ResponseWriter, r *http.Request) {
@@ -59,7 +71,7 @@ func (s *Server) handleTransfer(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, 1<<16)
 	var req Request
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
 	job, dedup, err := s.Submit(&req)
@@ -68,7 +80,7 @@ func (s *Server) handleTransfer(w http.ResponseWriter, r *http.Request) {
 		if errors.Is(err, ErrShuttingDown) || errors.Is(err, ErrQueueFull) {
 			code = http.StatusServiceUnavailable
 		}
-		writeError(w, code, err)
+		s.writeError(w, code, err)
 		return
 	}
 	q := r.URL.Query()
@@ -76,11 +88,11 @@ func (s *Server) handleTransfer(w http.ResponseWriter, r *http.Request) {
 	case q.Get("stream") != "":
 		s.streamJob(w, r, job, dedup)
 	case q.Get("async") != "":
-		writeJSON(w, http.StatusAccepted, job.Envelope(dedup))
+		s.writeJSON(w, http.StatusAccepted, job.Envelope(dedup))
 	default:
 		select {
 		case <-job.Done():
-			writeJSON(w, http.StatusOK, job.Envelope(dedup))
+			s.writeJSON(w, http.StatusOK, job.Envelope(dedup))
 		case <-r.Context().Done():
 			// The client went away; the job keeps running and stays
 			// addressable by ID and dedupable by key.
@@ -95,14 +107,20 @@ func (s *Server) streamJob(w http.ResponseWriter, r *http.Request, job *Job, ded
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
+	emit := func(v any) {
+		if err := enc.Encode(v); err != nil {
+			s.counter.encodeFailures.Add(1)
+			s.logf("phaged: encoding stream event: %v", err)
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
 	for st := range job.Watch() {
 		if st.Terminal() {
 			break
 		}
-		enc.Encode(map[string]any{"id": job.ID, "status": st})
-		if flusher != nil {
-			flusher.Flush()
-		}
+		emit(map[string]any{"id": job.ID, "status": st})
 		select {
 		case <-r.Context().Done():
 			return
@@ -111,10 +129,7 @@ func (s *Server) streamJob(w http.ResponseWriter, r *http.Request, job *Job, ded
 	}
 	select {
 	case <-job.Done():
-		enc.Encode(job.Envelope(dedup))
-		if flusher != nil {
-			flusher.Flush()
-		}
+		emit(job.Envelope(dedup))
 	case <-r.Context().Done():
 	}
 }
@@ -122,10 +137,10 @@ func (s *Server) streamJob(w http.ResponseWriter, r *http.Request, job *Job, ded
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.Job(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("no such job %q", r.PathValue("id")))
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("no such job %q", r.PathValue("id")))
 		return
 	}
-	writeJSON(w, http.StatusOK, job.Envelope(false))
+	s.writeJSON(w, http.StatusOK, job.Envelope(false))
 }
 
 // TargetInfo is one catalogue entry of the /v1/targets listing.
@@ -148,7 +163,7 @@ func (s *Server) handleTargets(w http.ResponseWriter, _ *http.Request) {
 			Donors:    t.Donors,
 		})
 	}
-	writeJSON(w, http.StatusOK, out)
+	s.writeJSON(w, http.StatusOK, out)
 }
 
 // CorpusInfo is the /corpus payload: the warm index plus the
@@ -164,10 +179,10 @@ type CorpusInfo struct {
 func (s *Server) handleCorpus(w http.ResponseWriter, _ *http.Request) {
 	ix, err := s.corpus.Index()
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		s.writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, CorpusInfo{Stats: s.corpus.Stats(), Index: ix})
+	s.writeJSON(w, http.StatusOK, CorpusInfo{Stats: s.corpus.Stats(), Index: ix})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -181,6 +196,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	p("phaged_engine_runs_total %d\n", st.EngineRuns)
 	p("phaged_jobs_completed_total %d\n", st.Completed)
 	p("phaged_jobs_failed_total %d\n", st.Failed)
+	p("phaged_response_encode_failures_total %d\n", st.EncodeFailures)
+	p("phaged_patch_artifacts %d\n", st.PatchArtifacts)
+	p("phaged_patch_store_puts_total %d\n", st.PatchPuts)
+	p("phaged_patch_fetches_total %d\n", st.PatchFetches)
 	p("phaged_jobs_queued %d\n", st.Queued)
 	p("phaged_compile_cache_hits_total %d\n", st.Compile.Hits)
 	p("phaged_compile_cache_misses_total %d\n", st.Compile.Misses)

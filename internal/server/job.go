@@ -237,4 +237,11 @@ type counters struct {
 	autoTransfers atomic.Int64
 	completed     atomic.Int64
 	failed        atomic.Int64
+	// encodeFailures counts JSON response bodies the server could not
+	// fully write (typically a client that hung up mid-response).
+	encodeFailures atomic.Int64
+	// patchPuts counts fresh artifact registrations; patchFetches
+	// counts GET /patches/{key} hits.
+	patchPuts    atomic.Int64
+	patchFetches atomic.Int64
 }

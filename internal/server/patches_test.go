@@ -1,0 +1,216 @@
+package server
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"codephage/internal/apps"
+	"codephage/internal/compile"
+	"codephage/internal/patch"
+)
+
+// TestPatchArtifactEndToEnd drives the full artifact path over HTTP:
+// a transfer runs, its report names a patch key, the artifact is
+// fetched from the content-addressed registry, applied to an
+// independently compiled original module image, verified against the
+// embedded oracle, and rolled back — with the applied image required
+// to be byte-identical to the patched source's own build.
+func TestPatchArtifactEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	srv, ts := newTestServer(t, Config{Shards: 1, PatchDir: filepath.Join(dir, "patches")})
+	client := &Client{BaseURL: ts.URL}
+
+	tgt, err := apps.TargetByID("jasper", "jpc_dec.c@492")
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := client.Transfer(&Request{Recipient: tgt.Recipient, Target: tgt.ID, Donor: tgt.Donors[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Status != StatusDone || env.Report == nil {
+		t.Fatalf("transfer did not complete: %+v", env)
+	}
+	key := env.Report.PatchKey
+	if key == "" {
+		t.Fatal("report carries no patch key")
+	}
+
+	// The listing names it.
+	infos, err := client.Patches()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, pi := range infos {
+		if pi.Key == key {
+			found = true
+			if pi.Recipient != tgt.Recipient || pi.Target != tgt.ID {
+				t.Fatalf("listing provenance = %+v", pi)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("key %s missing from /patches listing %v", key, infos)
+	}
+
+	// Fetch and authenticate: the body's hash is the key.
+	data, err := client.PatchBytes(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum := sha256.Sum256(data); hex.EncodeToString(sum[:]) != key {
+		t.Fatal("fetched artifact does not hash to its key")
+	}
+	a, err := patch.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Apply to an independently built original; the result must be
+	// byte-identical to the build of the report's patched source —
+	// the cross-layer invariant, checked across the network boundary.
+	recipient, err := apps.ByName(tgt.Recipient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origMod, err := compile.CompileSource(tgt.Recipient, recipient.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origBytes, err := origMod.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	applied, err := a.ApplyBytes(origBytes)
+	if err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	patchedMod, err := compile.CompileSource(tgt.Recipient, env.Report.PatchedSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	patchedBytes, err := patchedMod.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(applied, patchedBytes) {
+		t.Fatal("applied artifact differs from the patched source's own build")
+	}
+	if err := a.Verify(origBytes, applied); err != nil {
+		t.Fatalf("conformance oracle: %v", err)
+	}
+	back, err := a.RollbackBytes(applied)
+	if err != nil {
+		t.Fatalf("rollback: %v", err)
+	}
+	if !bytes.Equal(back, origBytes) {
+		t.Fatal("rollback is not byte-identical to the original")
+	}
+
+	// Unknown and malformed keys 404 cleanly.
+	if _, err := client.PatchBytes("0000000000000000000000000000000000000000000000000000000000000000"); err == nil {
+		t.Fatal("fetched a nonexistent key")
+	}
+	if _, err := client.PatchBytes("not-a-key"); err == nil {
+		t.Fatal("fetched a malformed key")
+	}
+
+	// Metrics reflect the registry.
+	st := srv.Stats()
+	if st.PatchArtifacts < 1 || st.PatchPuts < 1 || st.PatchFetches < 1 {
+		t.Fatalf("patch stats = %d artifacts, %d puts, %d fetches",
+			st.PatchArtifacts, st.PatchPuts, st.PatchFetches)
+	}
+}
+
+// TestPatchStoreSurvivesRestart: artifacts persisted under PatchDir
+// are served by a fresh server instance over the same directory.
+func TestPatchStoreSurvivesRestart(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "patches")
+	tgt, err := apps.TargetByID("jasper", "jpc_dec.c@492")
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := &Request{Recipient: tgt.Recipient, Target: tgt.ID, Donor: tgt.Donors[0]}
+
+	_, ts := newTestServer(t, Config{Shards: 1, PatchDir: dir})
+	env, err := (&Client{BaseURL: ts.URL}).Transfer(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := env.Report.PatchKey
+	if key == "" {
+		t.Fatal("no patch key")
+	}
+
+	// A second server over the same directory serves the artifact
+	// without re-running the transfer.
+	_, ts2 := newTestServer(t, Config{Shards: 1, PatchDir: dir})
+	data, err := (&Client{BaseURL: ts2.URL}).PatchBytes(key)
+	if err != nil {
+		t.Fatalf("restarted server does not serve the artifact: %v", err)
+	}
+	if sum := sha256.Sum256(data); hex.EncodeToString(sum[:]) != key {
+		t.Fatal("restarted server served different bytes")
+	}
+
+	// A corrupted entry is skipped at boot, not served and not fatal.
+	path := filepath.Join(dir, key+".patch")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, ts3 := newTestServer(t, Config{Shards: 1, PatchDir: dir})
+	if _, err := (&Client{BaseURL: ts3.URL}).PatchBytes(key); err == nil {
+		t.Fatal("server served a corrupted artifact")
+	}
+}
+
+// TestPatchKeyDeterministicAcrossServers: the same request on two
+// independent servers yields the same artifact key and the same
+// artifact bytes — content addressing holds across process-like
+// boundaries, which is what the CI round-trip step asserts with real
+// processes.
+func TestPatchKeyDeterministicAcrossServers(t *testing.T) {
+	tgt, err := apps.TargetByID("gif2tiff", "gif2tiff.c@355")
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := &Request{Recipient: tgt.Recipient, Target: tgt.ID, Donor: tgt.Donors[0]}
+
+	var keys []string
+	var bodies [][]byte
+	for i := 0; i < 2; i++ {
+		_, ts := newTestServer(t, Config{Shards: 1})
+		env, err := (&Client{BaseURL: ts.URL}).Transfer(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if env.Report == nil || env.Report.PatchKey == "" {
+			rep, _ := json.Marshal(env.Report)
+			t.Fatalf("run %d: no patch key (report %s)", i, rep)
+		}
+		data, err := (&Client{BaseURL: ts.URL}).PatchBytes(env.Report.PatchKey)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, env.Report.PatchKey)
+		bodies = append(bodies, data)
+	}
+	if keys[0] != keys[1] {
+		t.Fatalf("keys diverge: %s vs %s", keys[0], keys[1])
+	}
+	if !bytes.Equal(bodies[0], bodies[1]) {
+		t.Fatal("artifact bytes diverge across servers")
+	}
+}

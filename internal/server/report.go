@@ -34,6 +34,11 @@ type Report struct {
 	Rounds             []RoundReport `json:"rounds"`
 	PatchedSource      string        `json:"patched_source"`
 	OverflowFreeProven *bool         `json:"overflow_free_proven,omitempty"`
+	// PatchKey is the content address of the transfer's verifiable
+	// patch artifact (GET /patches/{key}); empty when no check was
+	// transferred. It is a pure function of the artifact bytes, so it
+	// is as deterministic as every other report field.
+	PatchKey string `json:"patch_key,omitempty"`
 }
 
 // RoundReport is one transferred patch.
@@ -59,6 +64,9 @@ func BuildReport(recipient, target, donor string, snap *pipeline.Snapshot) *Repo
 		UsedChecks:         snap.UsedChecks(),
 		PatchedSource:      snap.FinalSource,
 		OverflowFreeProven: snap.OverflowFreeProven,
+	}
+	if snap.Patch != nil {
+		rep.PatchKey = snap.Patch.Key()
 	}
 	for i := range snap.Rounds {
 		pr := &snap.Rounds[i]

@@ -67,8 +67,20 @@ type Config struct {
 	// were recorded under the identical resolution procedure).
 	MemoPath string
 	// MemoSaveInterval is the periodic snapshot cadence when MemoPath
-	// is set (0 = 5 minutes).
+	// is set: 0 means the default of 5 minutes, and a negative value
+	// (ParseMemoInterval's "off" spelling) disables periodic snapshots
+	// entirely — the boot-time load and the final drain-time save still
+	// happen.
 	MemoSaveInterval time.Duration
+	// PatchDir persists every successful transfer's verifiable patch
+	// artifact here, content-addressed by key ("" = in-memory only).
+	// Artifacts written by a previous daemon are reloaded at boot.
+	PatchDir string
+	// Logf receives server-side operational complaints — response
+	// encode failures, persistence errors — that have no client to
+	// report to (nil = silent). The daemon loop wires its own logger
+	// through here.
+	Logf func(string, ...any)
 }
 
 func (c Config) shards() int {
@@ -103,11 +115,24 @@ func (c Config) maxCachedJobs() int {
 	return 1024
 }
 
+// memoSaveInterval resolves the periodic snapshot cadence: the
+// configured positive interval, 5 minutes for the zero value, and 0
+// (disabled) when the config is negative.
 func (c Config) memoSaveInterval() time.Duration {
-	if c.MemoSaveInterval > 0 {
+	switch {
+	case c.MemoSaveInterval > 0:
 		return c.MemoSaveInterval
+	case c.MemoSaveInterval < 0:
+		return 0
 	}
 	return 5 * time.Minute
+}
+
+// logf forwards to the configured operational logger, if any.
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
 }
 
 // Submission errors.
@@ -142,6 +167,12 @@ type Server struct {
 
 	wg      sync.WaitGroup // shard workers
 	counter counters
+	patches *patchRegistry
+
+	// memoSaveHook, when non-nil, runs inside every SaveMemo before the
+	// snapshot write; the daemon saver-ordering regression test uses it
+	// to hold a save in flight while stop is called.
+	memoSaveHook func()
 }
 
 // New assembles a server; call Start before submitting jobs.
@@ -160,6 +191,14 @@ func New(cfg Config) *Server {
 	s.corpus.Service = s.solver
 	s.corpus.Donors = cfg.CorpusDonors
 	s.corpus.Loader = cfg.CorpusLoader
+	reg, err := newPatchRegistry(cfg.PatchDir, s.logf)
+	if err != nil {
+		// An unusable artifact directory degrades to in-memory serving
+		// rather than refusing to boot: the registry is derived state.
+		s.logf("phaged: patch store: %v (serving artifacts from memory)", err)
+		reg, _ = newPatchRegistry("", s.logf)
+	}
+	s.patches = reg
 	if cfg.MemoPath != "" {
 		// Best effort: the snapshot is a cache, and every decode
 		// failure (missing file, stale version, corruption) means
@@ -246,6 +285,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 func (s *Server) SaveMemo() error {
 	if s.cfg.MemoPath == "" {
 		return nil
+	}
+	if s.memoSaveHook != nil {
+		s.memoSaveHook()
 	}
 	return s.solver.SaveMemo(s.cfg.MemoPath)
 }
@@ -380,6 +422,18 @@ func (s *Server) execute(sh *shard, req *Request) (*Report, error) {
 		donor = snap.Donor
 		s.counter.autoTransfers.Add(1)
 	}
+	if snap.Patch != nil {
+		if _, fresh, err := s.patches.add(snap.Patch); err != nil {
+			// Registration is best effort: the transfer succeeded and the
+			// report must not fail because the artifact directory did not
+			// cooperate. The key still appears in the report (it is a pure
+			// function of the artifact), so the client can tell what failed
+			// to persist.
+			s.logf("phaged: storing patch artifact: %v", err)
+		} else if fresh {
+			s.counter.patchPuts.Add(1)
+		}
+	}
 	rep := BuildReport(req.Recipient, req.Target, donor, snap)
 	rep.AutoSelected = auto
 	return rep, nil
@@ -417,8 +471,16 @@ type Stats struct {
 	AutoTransfers int64
 	Completed     int64
 	Failed        int64
-	Queued        int // jobs accepted but not yet running
-	Compile       compile.CacheStats
+	// EncodeFailures counts JSON response bodies that could not be
+	// fully written to the client (broken pipe mid-encode).
+	EncodeFailures int64
+	// PatchArtifacts is the number of stored patch artifacts;
+	// PatchPuts/PatchFetches count registrations and key fetches.
+	PatchArtifacts int
+	PatchPuts      int64
+	PatchFetches   int64
+	Queued         int // jobs accepted but not yet running
+	Compile        compile.CacheStats
 	// Corpus is the donor knowledge-base state (zero until the first
 	// auto-donor request or /corpus query builds the index).
 	Corpus corpus.SelectorStats
@@ -434,18 +496,22 @@ type Stats struct {
 // Stats snapshots the server counters and per-shard engine state.
 func (s *Server) Stats() Stats {
 	st := Stats{
-		Requests:      s.counter.requests.Load(),
-		Accepted:      s.counter.accepted.Load(),
-		Rejected:      s.counter.rejected.Load(),
-		DedupHits:     s.counter.dedupHits.Load(),
-		EngineRuns:    s.counter.engineRuns.Load(),
-		AutoTransfers: s.counter.autoTransfers.Load(),
-		Completed:     s.counter.completed.Load(),
-		Failed:        s.counter.failed.Load(),
-		Compile:       s.compiler.Stats(),
-		Corpus:        s.corpus.Stats(),
-		Solver:        s.solver.Stats(),
-		Intern:        bitvec.Interned(),
+		Requests:       s.counter.requests.Load(),
+		Accepted:       s.counter.accepted.Load(),
+		Rejected:       s.counter.rejected.Load(),
+		DedupHits:      s.counter.dedupHits.Load(),
+		EngineRuns:     s.counter.engineRuns.Load(),
+		AutoTransfers:  s.counter.autoTransfers.Load(),
+		Completed:      s.counter.completed.Load(),
+		Failed:         s.counter.failed.Load(),
+		EncodeFailures: s.counter.encodeFailures.Load(),
+		PatchArtifacts: s.patches.len(),
+		PatchPuts:      s.counter.patchPuts.Load(),
+		PatchFetches:   s.counter.patchFetches.Load(),
+		Compile:        s.compiler.Stats(),
+		Corpus:         s.corpus.Stats(),
+		Solver:         s.solver.Stats(),
+		Intern:         bitvec.Interned(),
 	}
 	for _, sh := range s.shards {
 		st.Queued += len(sh.queue)

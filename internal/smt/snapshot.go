@@ -6,9 +6,9 @@ import (
 	"errors"
 	"fmt"
 	"os"
-	"path/filepath"
 	"sort"
 
+	"codephage/internal/fsatomic"
 	"codephage/internal/sat"
 )
 
@@ -520,28 +520,13 @@ func rebuildCore(c *snapCore) (*sat.Solver, *blaster, bool) {
 	return solver, bl, true
 }
 
-// SaveMemo atomically writes the service's warm state to path
-// (temp file + rename, so readers never observe a partial snapshot).
+// SaveMemo atomically and durably writes the service's warm state to
+// path: the snapshot is synced to disk before the rename publishes it
+// and the directory entry is synced after, so a crash at any instant
+// leaves a loader the complete old snapshot or the complete new one,
+// never a truncation and never a silently revived stale file.
 func (s *Service) SaveMemo(path string) error {
-	data := s.EncodeMemo()
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".memo-*.tmp")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name())
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Chmod(0o644); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
+	if err := fsatomic.WriteFile(path, s.EncodeMemo(), 0o644); err != nil {
 		return err
 	}
 	s.snapSaves.Add(1)
