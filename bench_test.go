@@ -29,6 +29,7 @@ import (
 	"codephage/internal/server"
 	"codephage/internal/smt"
 	"codephage/internal/taint"
+	"codephage/internal/telemetry"
 	"codephage/internal/vm"
 )
 
@@ -577,10 +578,14 @@ func TestFigure8MemoOnOffByteIdentical(t *testing.T) {
 // solver-counter fields by construction — byte equality means verdict
 // equality).
 func batchReports(t *testing.T, svc *smt.Service) map[string][]byte {
+	return batchReportsOpts(t, svc, phage.Options{})
+}
+
+func batchReportsOpts(t *testing.T, svc *smt.Service, opts phage.Options) map[string][]byte {
 	t.Helper()
 	eng := pipeline.NewEngine()
 	eng.Service = svc
-	rows, _ := figure8.BatchRows(phage.Options{}, &pipeline.Batch{Engine: eng})
+	rows, _ := figure8.BatchRows(opts, &pipeline.Batch{Engine: eng})
 	out := map[string][]byte{}
 	for _, r := range rows {
 		key := r.Recipient + "/" + r.Target + "<-" + r.Donor
@@ -606,6 +611,49 @@ func diffReports(t *testing.T, label string, a, b map[string][]byte) {
 		if string(ra) != string(b[key]) {
 			t.Errorf("%s: %s: report bytes differ:\n  a: %s\n  b: %s", label, key, ra, b[key])
 		}
+	}
+}
+
+// TestFigure8TraceOnOffByteIdentical is the determinism bar for the
+// telemetry layer: the complete Figure-8 batch must produce
+// byte-identical reports (which include the patched sources and patch
+// artifact keys) with span capture enabled and disabled. Tracing is an
+// observer — timing and span trees travel beside the canonical
+// outputs, never inside them.
+func TestFigure8TraceOnOffByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full Figure-8 batches; runs in the full (non-short) suite")
+	}
+	off := batchReportsOpts(t, smt.NewService(smt.Config{}), phage.Options{})
+	on := batchReportsOpts(t, smt.NewService(smt.Config{}), phage.Options{Trace: true})
+	diffReports(t, "trace off vs on", off, on)
+}
+
+// TestPipelineStageLatencyBreakdown prints the per-stage latency
+// summary recorded in BENCH_pipeline.json: the full Figure-8 batch on
+// a cold engine, then the identical batch rerun on the same — now warm
+// — engine (compile cache, baselines, proofs and the solver memo all
+// hot). Regenerate the JSON from this test's -v output.
+func TestPipelineStageLatencyBreakdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full Figure-8 batches; runs in the full (non-short) suite")
+	}
+	eng := pipeline.NewEngine()
+	eng.Compiler = compile.NewCache(0)
+	for _, label := range []string{"cold", "warm"} {
+		rows, _ := figure8.BatchRows(phage.Options{Trace: true}, &pipeline.Batch{Engine: eng})
+		var traces []*telemetry.Span
+		for _, r := range rows {
+			if r.Err != nil {
+				t.Fatalf("%s/%s <- %s failed: %v", r.Recipient, r.Target, r.Donor, r.Err)
+			}
+			if r.Result.Trace == nil {
+				t.Fatalf("%s/%s <- %s: no trace", r.Recipient, r.Target, r.Donor)
+			}
+			traces = append(traces, r.Result.Trace)
+		}
+		t.Logf("%s batch per-stage latency over %d transfers:\n%s",
+			label, len(traces), telemetry.FormatStageTable(telemetry.SummarizeStages(traces, telemetry.Stages)))
 	}
 }
 

@@ -15,6 +15,7 @@
 //	codephage corpus build [-index corpus.json]
 //	codephage corpus show [-index corpus.json] [-format mjpg] [-v]
 //	codephage patch build|show|apply|rollback (verifiable patch artifacts)
+//	codephage trace show [-remote URL -job ID | -f trace.json]
 package main
 
 import (
@@ -30,6 +31,7 @@ import (
 	"codephage/internal/pipeline"
 	"codephage/internal/server"
 	"codephage/internal/smt"
+	"codephage/internal/telemetry"
 )
 
 func main() {
@@ -45,6 +47,10 @@ func main() {
 		runPatch(os.Args[2:])
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "trace" {
+		runTrace(os.Args[2:])
+		return
+	}
 	recipient := flag.String("recipient", "", "recipient application name")
 	target := flag.String("target", "", "error identifier (e.g. png.c@203)")
 	donor := flag.String("donor", "", "donor application, or auto for corpus selection (default: every catalogued donor)")
@@ -55,6 +61,7 @@ func main() {
 	report := flag.Bool("report", false, "print the full transfer report and patch diff")
 	workers := flag.Int("workers", 0, "candidate-validation fan-out (0 = GOMAXPROCS)")
 	remote := flag.String("remote", "", "phaged base URL: run the transfer on a daemon instead of in-process")
+	trace := flag.Bool("trace", false, "print each transfer's span tree with self/total times")
 	memo := flag.String("memo", "", "solver warm-state snapshot for local batch runs: loaded before the transfers, saved after")
 	serve := flag.String("serve", "", "run as a phaged daemon on this address instead of transferring")
 	listDonors := flag.Bool("list-donors", false, "print the application registry and exit")
@@ -83,7 +90,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opts := phage.Options{Workers: *workers}
+	opts := phage.Options{Workers: *workers, Trace: *trace}
 	switch *mode {
 	case "exit":
 	case "return0":
@@ -112,7 +119,7 @@ func main() {
 	for _, dn := range donors {
 		var ok bool
 		if *remote != "" {
-			ok = runRemote(*remote, tgt, dn, *mode, *workers, *verbose, *report, *out, dn == donors[len(donors)-1])
+			ok = runRemote(*remote, tgt, dn, *mode, *workers, *verbose, *report, *trace, *out, dn == donors[len(donors)-1])
 		} else {
 			ok = runLocal(tgt, dn, opts, *verbose, *report, *out, dn == donors[len(donors)-1])
 		}
@@ -184,6 +191,10 @@ func runLocal(tgt *apps.Target, dn string, opts phage.Options, verbose, report b
 		})
 	}
 	printRowBody(row, patches, verbose)
+	if row.Result.Trace != nil {
+		fmt.Println("  trace:")
+		row.Result.Trace.Render(os.Stdout)
+	}
 	if report {
 		printReportAndDiff(tgt.Recipient, row.Result.Report(tgt.Recipient, dn), row.Result.FinalSource)
 	}
@@ -193,7 +204,7 @@ func runLocal(tgt *apps.Target, dn string, opts phage.Options, verbose, report b
 // runRemote sends the transfer to a phaged daemon and prints the same
 // Row-style report local mode does (column formatting reused via
 // figure8.Row, whose fields the service report mirrors).
-func runRemote(base string, tgt *apps.Target, dn, mode string, workers int, verbose, report bool, out string, last bool) bool {
+func runRemote(base string, tgt *apps.Target, dn, mode string, workers int, verbose, report, trace bool, out string, last bool) bool {
 	cli := &server.Client{BaseURL: base}
 	env, err := cli.Transfer(&server.Request{
 		Recipient: tgt.Recipient,
@@ -235,6 +246,16 @@ func runRemote(base string, tgt *apps.Target, dn, mode string, workers int, verb
 		})
 	}
 	printRowBody(row, patches, verbose)
+	if trace {
+		// The daemon traces every job; the span tree lives on its own
+		// endpoint beside the report.
+		if sp, err := cli.Trace(env.ID); err != nil {
+			fmt.Fprintf(os.Stderr, "codephage: fetching trace: %v\n", err)
+		} else {
+			fmt.Println("  trace:")
+			sp.Render(os.Stdout)
+		}
+	}
 	if report {
 		printReportAndDiff(tgt.Recipient, rep.Text(), rep.PatchedSource)
 	}
@@ -330,6 +351,44 @@ func runCorpus(args []string) {
 			}
 		}
 	}
+}
+
+// runTrace is the trace subcommand: show renders a span tree — from a
+// running daemon's job or a JSON file — with per-span self/total times.
+func runTrace(args []string) {
+	if len(args) == 0 || args[0] != "show" {
+		fmt.Fprintln(os.Stderr, "usage: codephage trace show -remote URL -job job-000001")
+		fmt.Fprintln(os.Stderr, "       codephage trace show -f trace.json")
+		os.Exit(2)
+	}
+	fs := flag.NewFlagSet("trace show", flag.ExitOnError)
+	remote := fs.String("remote", "", "phaged base URL to fetch the trace from")
+	job := fs.String("job", "", "job ID on the daemon")
+	file := fs.String("f", "", "read the span tree from this JSON file instead")
+	fs.Parse(args[1:])
+
+	var sp *telemetry.Span
+	switch {
+	case *file != "":
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			fatal(err)
+		}
+		sp, err = telemetry.Unmarshal(data)
+		if err != nil {
+			fatal(fmt.Errorf("decoding %s: %w", *file, err))
+		}
+	case *remote != "" && *job != "":
+		cli := &server.Client{BaseURL: *remote}
+		var err error
+		sp, err = cli.Trace(*job)
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("trace show needs either -f trace.json or both -remote and -job"))
+	}
+	sp.Render(os.Stdout)
 }
 
 func fatal(err error) {

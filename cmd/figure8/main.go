@@ -7,6 +7,7 @@
 // Usage:
 //
 //	figure8 [-patches] [-workers N] [-stats] [-memo memo.snap] [-notimes]
+//	        [-trace]
 //	figure8 -autocheck [-index corpus.json]
 //
 // The results table goes to stdout; with -notimes the wall-time column
@@ -27,6 +28,7 @@ import (
 	"codephage/internal/phage"
 	"codephage/internal/pipeline"
 	"codephage/internal/smt"
+	"codephage/internal/telemetry"
 )
 
 func main() {
@@ -37,6 +39,7 @@ func main() {
 	index := flag.String("index", "", "corpus index path for -autocheck (default: in-memory)")
 	memo := flag.String("memo", "", "solver warm-state snapshot: loaded before the batch, saved after")
 	notimes := flag.Bool("notimes", false, "blank the wall-time column so the stdout table is byte-identical across runs")
+	trace := flag.Bool("trace", false, "print a per-stage latency summary of the batch to stderr")
 	flag.Parse()
 
 	if *autocheck {
@@ -50,7 +53,7 @@ func main() {
 		}
 	}
 	batch := &pipeline.Batch{Engine: pipeline.NewEngine(), Workers: *workers}
-	rows, bstats := figure8.BatchRows(phage.Options{}, batch)
+	rows, bstats := figure8.BatchRows(phage.Options{Trace: *trace}, batch)
 	if *notimes {
 		fmt.Print(figure8.FormatTableNoTimes(rows))
 	} else {
@@ -72,6 +75,18 @@ func main() {
 		if err := smt.Default().SaveMemo(*memo); err != nil {
 			fmt.Fprintf(os.Stderr, "figure8: memo save: %v\n", err)
 		}
+	}
+	if *trace {
+		// The summary goes to stderr like -stats: stdout stays the
+		// deterministic results table.
+		var traces []*telemetry.Span
+		for _, r := range rows {
+			if r.Err == nil && r.Result != nil && r.Result.Trace != nil {
+				traces = append(traces, r.Result.Trace)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "\nper-stage latency over %d traced transfer(s):\n", len(traces))
+		fmt.Fprint(os.Stderr, telemetry.FormatStageTable(telemetry.SummarizeStages(traces, telemetry.Stages)))
 	}
 	if *stats {
 		fmt.Fprintf(os.Stderr, "\nbatch: %d transfers, %d failed, wall %s\n",

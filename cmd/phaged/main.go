@@ -9,7 +9,8 @@
 //	phaged [-addr 127.0.0.1:8347] [-shards N] [-workers N]
 //	       [-queue N] [-corpus corpus.json] [-drain 30s]
 //	       [-memo-path memo.snap] [-memo-interval 5m|off]
-//	       [-patch-dir patches/]
+//	       [-patch-dir patches/] [-log-format text|json]
+//	       [-debug-addr 127.0.0.1:8348]
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener closes,
 // queued and running jobs drain (bounded by -drain), then the process
@@ -18,12 +19,29 @@ package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
+	"log/slog"
 	"os"
 	"time"
 
 	"codephage/internal/server"
 )
+
+// buildLogger maps -log-format to a structured logger on stderr:
+// "" disables request-scoped records (operational lines still go
+// through the plain logger), "text" and "json" select the handler.
+func buildLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "":
+		return nil, nil
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	}
+	return nil, fmt.Errorf("log-format: %q is neither text nor json", format)
+}
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8347", "listen address")
@@ -34,10 +52,17 @@ func main() {
 	memoPath := flag.String("memo-path", "", "persist the solver's warm state (verdict memo + CNF core) here (default: none)")
 	patchDir := flag.String("patch-dir", "", "persist verifiable patch artifacts here, content-addressed (default: in-memory)")
 	memoInterval := flag.String("memo-interval", "", "periodic warm-state snapshot cadence with -memo-path (0 or empty = 5m default, off = disabled)")
+	logFormat := flag.String("log-format", "", "request-scoped structured log format: text or json (default: off)")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this second listener (default: off)")
 	drain := flag.Duration("drain", 30*time.Second, "shutdown drain budget for in-flight jobs")
 	flag.Parse()
 
 	interval, err := server.ParseMemoInterval(*memoInterval)
+	if err != nil {
+		log.Printf("phaged: %v", err)
+		os.Exit(2)
+	}
+	logger, err := buildLogger(*logFormat)
 	if err != nil {
 		log.Printf("phaged: %v", err)
 		os.Exit(2)
@@ -50,6 +75,8 @@ func main() {
 		MemoPath:         *memoPath,
 		MemoSaveInterval: interval,
 		PatchDir:         *patchDir,
+		Log:              logger,
+		DebugAddr:        *debugAddr,
 	}
 	if err := server.ListenAndServe(*addr, cfg, *drain, log.Printf); err != nil {
 		log.Printf("phaged: %v", err)

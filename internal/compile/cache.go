@@ -88,6 +88,16 @@ func cacheKey(name, src string) [sha256.Size]byte {
 // once per distinct (name, source) content. The result is shared:
 // callers must not mutate it.
 func (c *Cache) Compile(name, src string) (*ir.Module, error) {
+	mod, _, err := c.CompileHit(name, src)
+	return mod, err
+}
+
+// CompileHit is Compile plus per-call cache attribution: hit reports
+// whether the result was served from the cache without compiling on
+// this call. The trace layer records it on compile spans; it is
+// volatile (warm caches flip it), so it must never influence canonical
+// outputs.
+func (c *Cache) CompileHit(name, src string) (mod *ir.Module, hit bool, err error) {
 	key := cacheKey(name, src)
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
@@ -95,12 +105,12 @@ func (c *Cache) Compile(name, src string) (*ir.Module, error) {
 		c.lru.MoveToFront(el)
 		e := el.Value.(*cacheEntry)
 		c.mu.Unlock()
-		return e.mod, e.err
+		return e.mod, true, e.err
 	}
 	c.stats.Misses++
 	c.mu.Unlock()
 
-	mod, err := CompileSource(name, src)
+	mod, err = CompileSource(name, src)
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -108,7 +118,7 @@ func (c *Cache) Compile(name, src string) (*ir.Module, error) {
 		// A concurrent compile won the race; keep the first entry so
 		// every caller observes one canonical module pointer.
 		e := el.Value.(*cacheEntry)
-		return e.mod, e.err
+		return e.mod, false, e.err
 	}
 	for len(c.entries) >= c.max {
 		oldest := c.lru.Back()
@@ -120,7 +130,7 @@ func (c *Cache) Compile(name, src string) (*ir.Module, error) {
 		c.stats.Evictions++
 	}
 	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, mod: mod, err: err})
-	return mod, err
+	return mod, false, err
 }
 
 // Stats returns a snapshot of the cache counters, with Entries set to

@@ -41,6 +41,7 @@ import (
 	"codephage/internal/ir"
 	"codephage/internal/patch"
 	"codephage/internal/smt"
+	"codephage/internal/telemetry"
 	"codephage/internal/vm"
 )
 
@@ -75,6 +76,12 @@ type Options struct {
 	// retried by every seeded replica at this bound, so raising it
 	// scales each replica's search, not one monolithic solve.
 	ProofConflicts int64
+	// Trace captures a telemetry span tree for the transfer into
+	// Result.Trace. Tracing rides beside the canonical outputs: a
+	// traced run produces byte-identical reports and patch artifacts
+	// to an untraced one. Engines with a Telemetry sink trace every
+	// transfer regardless of this flag.
+	Trace bool
 }
 
 func (o *Options) maxRounds() int {
@@ -160,6 +167,12 @@ type Result struct {
 	// check was transferred). Applying it to the original image
 	// reproduces FinalModule's bytes exactly.
 	Patch *patch.Artifact
+	// Trace is the span tree of the run (nil unless Options.Trace is
+	// set or the engine has a Telemetry sink). Its structure — span
+	// names and fields — is a pure function of the transfer inputs;
+	// only durations and attributes marked as metrics vary between
+	// runs.
+	Trace *telemetry.Span
 }
 
 // UsedChecks returns the number of transferred checks (Figure 8).
@@ -185,6 +198,11 @@ type Engine struct {
 	// proofs, and the DIODE rescans all route through it (nil = the
 	// process-wide smt.Default()).
 	Service *smt.Service
+	// Telemetry, when set, receives every transfer's span tree and
+	// solver query timings for histogram aggregation (phaged shares
+	// one sink across all engine shards). Setting it also enables
+	// trace capture on every transfer the engine runs.
+	Telemetry *telemetry.Sink
 
 	mu        sync.Mutex
 	stats     smt.Stats
@@ -250,6 +268,11 @@ type TransferContext struct {
 	Solver   *smt.Session // private session on the shared service
 	Compiler *compile.Cache
 
+	// trace is the run's root span (nil when tracing is off). Stages
+	// attach their spans here; telemetry.Span methods are nil-safe, so
+	// stages never guard on it.
+	trace *telemetry.Span
+
 	// Round state.
 	Round     int
 	Src       string // current recipient source (patched so far)
@@ -290,10 +313,25 @@ func checkStages() []Stage {
 // When the task names no donor (nil Transfer.Donor), the Select stage
 // resolves one through the engine's DonorSelector first.
 func (e *Engine) Run(t *Transfer) (*Result, error) {
+	var res *Result
+	var err error
 	if t.Donor == nil {
-		return e.runAuto(t)
+		res, err = e.runAuto(t)
+	} else {
+		res, err = e.runResolved(t)
 	}
-	return e.runResolved(t)
+	if err == nil {
+		// One observation point for the finished trace (runAuto grafts
+		// the Select span in first), so the sink's histogram counts
+		// track exactly the spans a caller sees on Result.Trace.
+		e.Telemetry.ObserveTrace(res.Trace)
+	}
+	return res, err
+}
+
+// tracing reports whether this transfer captures a span tree.
+func (e *Engine) tracing(t *Transfer) bool {
+	return t.Opts.Trace || e.Telemetry != nil
 }
 
 // runResolved executes the pipeline for a transfer whose donor is
@@ -303,6 +341,13 @@ func (e *Engine) runResolved(t *Transfer) (*Result, error) {
 	ctx, err := e.newContext(t)
 	if err != nil {
 		return nil, err
+	}
+	if e.tracing(t) {
+		ctx.trace = telemetry.New("Transfer").
+			Field("recipient", t.RecipientName).
+			Field("target", t.TargetID).
+			Field("donor", t.DonorName).
+			Field("format", t.Format)
 	}
 
 	res := &Result{Donor: t.DonorName, FinalSource: t.RecipientSrc, FinalModule: ctx.Recipient}
@@ -325,7 +370,20 @@ func (e *Engine) runResolved(t *Transfer) (*Result, error) {
 			guards = append(guards, pr.excised)
 		}
 
+		rsp := ctx.trace.Child(telemetry.StageRescan).Fieldf("round", "%d", round)
+		rescanStart := time.Now()
 		finding, stop, err := stageRescan{}.scan(ctx)
+		rsp.SetDuration(time.Since(rescanStart))
+		switch {
+		case err != nil:
+			rsp.Field("outcome", "error")
+		case t.VulnFn == "" || t.Opts.DisableDiodeRescan:
+			rsp.Field("outcome", "disabled")
+		case stop:
+			rsp.Field("outcome", "clean")
+		default:
+			rsp.Field("outcome", "residual")
+		}
 		if err != nil {
 			return nil, fmt.Errorf("phage: residual scan: %w", err)
 		}
@@ -357,6 +415,19 @@ func (e *Engine) runResolved(t *Transfer) (*Result, error) {
 	e.mu.Lock()
 	e.stats.Merge(ctx.Solver.Stats)
 	e.mu.Unlock()
+	if ctx.trace != nil {
+		root := ctx.trace
+		root.SetDuration(res.GenTime)
+		root.Fieldf("rounds", "%d", len(res.Rounds))
+		// Solver activity is volatile: memo warmth decides how many
+		// queries reach the SAT solver.
+		st := res.SolverStats
+		root.Metricf("solver_queries", "%d", st.Queries)
+		root.Metricf("solver_cache_hits", "%d", st.CacheHits)
+		root.Metricf("solver_sat_calls", "%d", st.SATCalls)
+		root.Metricf("solver_sat_time", "%s", st.SATTime)
+		res.Trace = root
+	}
 	return res, nil
 }
 
@@ -373,6 +444,12 @@ func (e *Engine) newContext(t *Transfer) (*TransferContext, error) {
 		svc = e.service()
 	}
 	solver := svc.Session()
+	if sink := e.Telemetry; sink != nil {
+		// Per-query-class latency lands in the sink's solver
+		// histograms; the session stays single-goroutine, the sink is
+		// concurrency-safe.
+		solver.Observer = sink.ObserveSolver
+	}
 	dissector, ok := hachoir.ByName(t.Format)
 	if !ok {
 		return nil, fmt.Errorf("phage: unknown input format %q", t.Format)
@@ -464,18 +541,39 @@ func (stageDiscover) Name() string { return "Discover" }
 
 func (stageDiscover) Run(ctx *TransferContext) error {
 	t := ctx.Transfer
+	sp := ctx.trace.Child(telemetry.StageDiscover).Fieldf("round", "%d", ctx.Round)
+	start := time.Now()
+	defer func() { sp.SetDuration(time.Since(start)) }()
 	ctx.Relevant = ctx.Dis.DiffFields(t.Seed, ctx.ErrIn)
 	disc, err := DiscoverChecks(t.Donor, t.Seed, ctx.ErrIn, ctx.Dis, ctx.Relevant, t.Opts.NoSimplify)
 	if err != nil {
+		sp.Field("outcome", "error")
 		return err
 	}
 	ctx.Discovery = disc
-	mod, err := ctx.Compiler.Compile(t.RecipientName, ctx.Src)
+	sp.Fieldf("checks", "%d", len(disc.Checks)).
+		Fieldf("relevant", "%d", disc.RelevantSites).
+		Fieldf("flipped", "%d", disc.FlippedSites)
+	csp := sp.Child("Compile").Field("unit", "recipient")
+	compileStart := time.Now()
+	mod, hit, err := ctx.Compiler.CompileHit(t.RecipientName, ctx.Src)
+	csp.SetDuration(time.Since(compileStart))
+	csp.Metric("cache", cacheLabel(hit))
 	if err != nil {
 		return fmt.Errorf("recipient does not compile: %w", err)
 	}
 	ctx.Recipient = mod
 	return nil
+}
+
+// cacheLabel renders a compile-cache outcome for span metrics. Cache
+// hits depend on what ran before, so the label is volatile by
+// definition and always attached with Metric, never Field.
+func cacheLabel(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
 }
 
 // stageAnalyzePoints finds the candidate insertion points for the
@@ -485,15 +583,27 @@ type stageAnalyzePoints struct{}
 func (stageAnalyzePoints) Name() string { return "AnalyzePoints" }
 
 func (stageAnalyzePoints) Run(ctx *TransferContext) error {
+	sp := ctx.trace.Child(telemetry.StageAnalyzePoints).
+		Fieldf("round", "%d", ctx.Round).
+		Fieldf("check", "%d", ctx.CheckIndex)
+	start := time.Now()
+	defer func() { sp.SetDuration(time.Since(start)) }()
 	fields := ctx.Check.Cond.Fields()
 	if len(fields) == 0 {
+		sp.Field("outcome", "no-fields")
 		return fmt.Errorf("check at %v has no input fields", ctx.Check.Site)
 	}
+	sp.Fieldf("fields", "%d", len(fields))
 	analysis, err := AnalyzeInsertionPoints(ctx.Recipient, ctx.Transfer.Seed, ctx.Dis, fields, ctx.Relevant)
 	if err != nil {
+		sp.Field("outcome", "error")
 		return err
 	}
 	ctx.Analysis = analysis
+	total, unstable, stable := analysis.Candidates()
+	sp.Fieldf("points", "%d", total).
+		Fieldf("stable", "%d", len(stable)).
+		Fieldf("unstable", "%d", unstable)
 	return nil
 }
 
@@ -514,6 +624,22 @@ type stageTranslate struct{}
 func (stageTranslate) Name() string { return "Translate" }
 
 func (stageTranslate) Run(ctx *TransferContext) error {
+	sp := ctx.trace.Child(telemetry.StageTranslate).
+		Fieldf("round", "%d", ctx.Round).
+		Fieldf("check", "%d", ctx.CheckIndex)
+	start := time.Now()
+	statsBefore := ctx.Solver.Stats
+	defer func() {
+		sp.SetDuration(time.Since(start))
+		if sp != nil {
+			// The translation solver-stats delta: volatile, since the
+			// shared memo decides which queries are answered for free.
+			d := ctx.Solver.Stats
+			sp.Metricf("solver_queries", "%d", d.Queries-statsBefore.Queries)
+			sp.Metricf("solver_cache_hits", "%d", d.CacheHits-statsBefore.CacheHits)
+			sp.Metricf("solver_sat_calls", "%d", d.SATCalls-statsBefore.SATCalls)
+		}
+	}()
 	check := ctx.Check
 	total, unstable, stable := ctx.Analysis.Candidates()
 
@@ -549,6 +675,8 @@ func (stageTranslate) Run(ctx *TransferContext) error {
 		ExcisedCheck:    check.Cond.String(),
 		excised:         check.Cond,
 	}
+	sp.Fieldf("viable", "%d", len(candidates)).
+		Fieldf("untranslatable", "%d", untranslatable)
 	if len(candidates) == 0 {
 		return fmt.Errorf("check translates at no stable insertion point")
 	}
@@ -577,6 +705,12 @@ type candidateOutcome struct {
 	patchedSrc string
 	val        *Validation
 	insertErr  error
+	// insertSpan/validateSpan are built privately by the validating
+	// goroutine and adopted into the trace afterwards — in rank order,
+	// and only for the deterministic prefix of candidates (see
+	// stageInsertValidate.Run).
+	insertSpan   *telemetry.Span
+	validateSpan *telemetry.Span
 }
 
 func (o *candidateOutcome) ok() bool { return o.insertErr == nil && o.val != nil && o.val.OK() }
@@ -607,7 +741,7 @@ func (s stageInsertValidate) Run(ctx *TransferContext) error {
 
 	if workers <= 1 {
 		for i := range cands {
-			s.validateOne(ctx, &cands[i], &outcomes[i])
+			s.validateOne(ctx, i, &cands[i], &outcomes[i])
 			if outcomes[i].ok() {
 				break
 			}
@@ -628,7 +762,7 @@ func (s stageInsertValidate) Run(ctx *TransferContext) error {
 					if i >= int64(len(cands)) || i > best.Load() {
 						return
 					}
-					s.validateOne(ctx, &cands[i], &outcomes[i])
+					s.validateOne(ctx, int(i), &cands[i], &outcomes[i])
 					if outcomes[i].ok() {
 						for {
 							b := best.Load()
@@ -643,37 +777,98 @@ func (s stageInsertValidate) Run(ctx *TransferContext) error {
 		wg.Wait()
 	}
 
-	lastReason := ""
+	// Rank-then-reduce guarantees every candidate up to and including
+	// the first-ranked success ran to completion; candidates beyond the
+	// winner may or may not have started, depending on scheduling. The
+	// trace therefore adopts spans only for that deterministic prefix
+	// (all candidates when none validates — those always all run), in
+	// rank order, keeping the span-tree shape a pure function of the
+	// inputs.
+	winner := -1
 	for i := range outcomes {
+		if outcomes[i].done && outcomes[i].ok() {
+			winner = i
+			break
+		}
+	}
+	limit := len(outcomes)
+	if winner >= 0 {
+		limit = winner + 1
+	}
+	lastReason := ""
+	for i := 0; i < limit; i++ {
 		if !outcomes[i].done {
 			continue
 		}
-		if outcomes[i].ok() {
-			cand := &cands[i]
-			ctx.Draft.TranslatedOps = cand.translated.OpCount()
-			ctx.Draft.TranslatedCheck = cand.translated.String()
-			ctx.Draft.PatchText = cand.text
-			ctx.Draft.InsertFn = cand.point.FnName
-			ctx.Draft.InsertLine = cand.point.Line
-			ctx.PatchedSrc = outcomes[i].patchedSrc
-			ctx.PatchedMod = outcomes[i].val.Module
-			return nil
+		ctx.trace.Adopt(outcomes[i].insertSpan)
+		ctx.trace.Adopt(outcomes[i].validateSpan)
+		if !outcomes[i].ok() {
+			lastReason = outcomes[i].reason()
 		}
-		lastReason = outcomes[i].reason()
 	}
-	return fmt.Errorf("no insertion point validates (last: %s)", lastReason)
+	if winner < 0 {
+		return fmt.Errorf("no insertion point validates (last: %s)", lastReason)
+	}
+	cand := &cands[winner]
+	ctx.Draft.TranslatedOps = cand.translated.OpCount()
+	ctx.Draft.TranslatedCheck = cand.translated.String()
+	ctx.Draft.PatchText = cand.text
+	ctx.Draft.InsertFn = cand.point.FnName
+	ctx.Draft.InsertLine = cand.point.Line
+	ctx.PatchedSrc = outcomes[winner].patchedSrc
+	ctx.PatchedMod = outcomes[winner].val.Module
+	return nil
 }
 
-func (stageInsertValidate) validateOne(ctx *TransferContext, cand *patchCandidate, out *candidateOutcome) {
+func (stageInsertValidate) validateOne(ctx *TransferContext, idx int, cand *patchCandidate, out *candidateOutcome) {
 	out.done = true
+	tracing := ctx.trace != nil
+	var start time.Time
+	if tracing {
+		out.insertSpan = telemetry.New(telemetry.StageInsert).
+			Fieldf("round", "%d", ctx.Round).
+			Fieldf("check", "%d", ctx.CheckIndex).
+			Fieldf("candidate", "%d", idx).
+			Field("fn", cand.point.FnName).
+			Fieldf("line", "%d", cand.point.Line)
+		start = time.Now()
+	}
 	patchedSrc, perr := InsertBeforeLine(ctx.Src, cand.point.Line, cand.text)
+	if tracing {
+		out.insertSpan.SetDuration(time.Since(start))
+		out.insertSpan.Field("outcome", insertOutcome(perr))
+	}
 	if perr != nil {
 		out.insertErr = perr
 		return
 	}
 	t := ctx.Transfer
 	out.patchedSrc = patchedSrc
-	out.val = validatePatch(ctx.Compiler, t.RecipientName, patchedSrc, ctx.ErrIn, t.Regression, ctx.Baseline, t.Opts.MaxSteps)
+	var vsp *telemetry.Span
+	if tracing {
+		vsp = telemetry.New(telemetry.StageValidate).
+			Fieldf("round", "%d", ctx.Round).
+			Fieldf("check", "%d", ctx.CheckIndex).
+			Fieldf("candidate", "%d", idx)
+		start = time.Now()
+	}
+	out.val = validatePatch(ctx.Compiler, t.RecipientName, patchedSrc, ctx.ErrIn, t.Regression, ctx.Baseline, t.Opts.MaxSteps, vsp)
+	if tracing {
+		vsp.SetDuration(time.Since(start))
+		if out.val.OK() {
+			vsp.Field("verdict", "ok")
+		} else {
+			vsp.Field("verdict", out.val.FailReason)
+		}
+		out.validateSpan = vsp
+	}
+}
+
+func insertOutcome(err error) string {
+	if err != nil {
+		return "error"
+	}
+	return "ok"
 }
 
 // stageRescan reruns DIODE on the patched build for residual errors

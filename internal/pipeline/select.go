@@ -12,6 +12,9 @@ package pipeline
 import (
 	"fmt"
 	"strings"
+	"time"
+
+	"codephage/internal/telemetry"
 )
 
 // AutoDonor is the reserved donor name that requests automatic donor
@@ -61,13 +64,34 @@ func (stageSelect) Run(ctx *TransferContext) error {
 // base instead of a hardcoded donor table).
 func (e *Engine) runAuto(t *Transfer) (*Result, error) {
 	ctx := &TransferContext{Engine: e, Transfer: t}
-	if err := (stageSelect{}).Run(ctx); err != nil {
+	var selSpan *telemetry.Span
+	if e.tracing(t) {
+		selSpan = telemetry.New(telemetry.StageSelect).Field("format", t.Format)
+	}
+	start := time.Now()
+	err := (stageSelect{}).Run(ctx)
+	selSpan.SetDuration(time.Since(start))
+	if err != nil {
 		return nil, err
 	}
-	res, _, errs := tryDonorList(e.runResolved, t, ctx.DonorRank)
+	selSpan.Fieldf("donors", "%d", len(ctx.DonorRank))
+	res, winner, errs := tryDonorList(e.runResolved, t, ctx.DonorRank)
 	if res == nil {
 		return nil, fmt.Errorf("phage: no selected donor yields a validated transfer:\n  %s",
 			strings.Join(errs, "\n  "))
+	}
+	if res.Trace != nil && selSpan != nil {
+		// The donor rank and which donors fail are deterministic, so the
+		// attempt count is a structural field. The Select span is
+		// grafted ahead of the winning run's stages; failed donor
+		// attempts' traces are discarded with their Results.
+		for i, d := range ctx.DonorRank {
+			if d.Name == winner {
+				selSpan.Fieldf("attempts", "%d", i+1)
+				break
+			}
+		}
+		res.Trace.Children = append([]*telemetry.Span{selSpan}, res.Trace.Children...)
 	}
 	return res, nil
 }

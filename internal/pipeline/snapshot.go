@@ -6,6 +6,7 @@ import (
 	"codephage/internal/compile"
 	"codephage/internal/patch"
 	"codephage/internal/smt"
+	"codephage/internal/telemetry"
 )
 
 // Snapshot is a self-contained copy of a Result that is safe to retain
@@ -28,6 +29,11 @@ type Snapshot struct {
 	// Patch is a private deep copy of the verifiable patch artifact
 	// (nil when no check was transferred).
 	Patch *patch.Artifact
+	// Trace is a private deep copy of the run's span tree (nil when
+	// tracing was off). It is observability data beside the report
+	// surface: serving layers expose it on its own endpoint, never
+	// inside the canonical report.
+	Trace *telemetry.Span
 }
 
 // Snapshot returns an immutable deep copy of the result for sharing.
@@ -43,6 +49,7 @@ func (r *Result) Snapshot() *Snapshot {
 		s.OverflowFreeProven = &v
 	}
 	s.Patch = r.Patch.Clone()
+	s.Trace = r.Trace.Clone()
 	s.Rounds = make([]PatchRound, len(r.Rounds))
 	for i, pr := range r.Rounds {
 		pr.ErrorInput = append([]byte(nil), pr.ErrorInput...)

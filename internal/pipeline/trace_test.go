@@ -1,0 +1,175 @@
+package pipeline
+
+import (
+	"strings"
+	"testing"
+
+	"codephage/internal/apps"
+	"codephage/internal/compile"
+	"codephage/internal/telemetry"
+)
+
+// TestTraceDeterministicStructure pins the telemetry contract: two
+// runs of the same transfer — across fresh vs warm engines and
+// sequential vs parallel candidate validation — yield identical span
+// trees modulo timing. Span names and structural fields must be a pure
+// function of the inputs; everything scheduling- or cache-dependent
+// must live in span metrics, which Structure() excludes.
+func TestTraceDeterministicStructure(t *testing.T) {
+	for _, tc := range determinismRows {
+		tc := tc
+		t.Run(tc.recipient, func(t *testing.T) {
+			tgt, err := apps.TargetByID(tc.recipient, tc.target)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr := buildTransfer(t, tgt, tc.donor)
+			tr.Opts.Trace = true
+
+			type runCfg struct {
+				label   string
+				workers int
+			}
+			cfgs := []runCfg{{"sequential-cold", 1}, {"parallel-cold", 8}, {"parallel-warm", 8}}
+			var structures []string
+			warmEng := &Engine{Workers: 8, Compiler: compile.NewCache(0)}
+			for _, cfg := range cfgs {
+				eng := warmEng
+				if strings.HasSuffix(cfg.label, "-cold") {
+					eng = &Engine{Workers: cfg.workers, Compiler: compile.NewCache(0)}
+				}
+				trCopy := *tr
+				res, err := eng.Run(&trCopy)
+				if err != nil {
+					t.Fatalf("%s: %v", cfg.label, err)
+				}
+				if res.Trace == nil {
+					t.Fatalf("%s: Options.Trace set but Result.Trace is nil", cfg.label)
+				}
+				if res.Trace.Name != "Transfer" {
+					t.Fatalf("%s: root span %q, want Transfer", cfg.label, res.Trace.Name)
+				}
+				structures = append(structures, res.Trace.Structure())
+			}
+			// Warm the warm engine with one more run and compare: cache
+			// hits must not leak into the structure.
+			trWarm := *tr
+			resWarm, err := warmEng.Run(&trWarm)
+			if err != nil {
+				t.Fatalf("warm rerun: %v", err)
+			}
+			structures = append(structures, resWarm.Trace.Structure())
+
+			for i := 1; i < len(structures); i++ {
+				if structures[i] != structures[0] {
+					t.Errorf("span structure diverges between run 0 and run %d:\n--- run 0:\n%s\n--- run %d:\n%s",
+						i, structures[0], i, structures[i])
+				}
+			}
+			// The tree must contain the per-round pipeline stages.
+			for _, stage := range []string{"Discover", "AnalyzePoints", "Translate", "Insert", "Validate", "Rescan"} {
+				if !strings.Contains(structures[0], stage) {
+					t.Errorf("trace lacks stage %s:\n%s", stage, structures[0])
+				}
+			}
+		})
+	}
+}
+
+// TestTraceOffByDefault pins that without Options.Trace and without an
+// engine sink, no trace is captured.
+func TestTraceOffByDefault(t *testing.T) {
+	tgt, err := apps.TargetByID(determinismRows[0].recipient, determinismRows[0].target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := buildTransfer(t, tgt, determinismRows[0].donor)
+	eng := &Engine{Compiler: compile.NewCache(0)}
+	res, err := eng.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace != nil {
+		t.Fatal("trace captured without Options.Trace or a telemetry sink")
+	}
+}
+
+// TestTelemetrySinkObservesStages pins that an engine with a sink (the
+// phaged configuration) traces every transfer, feeds the per-stage
+// histograms, and that histogram counts are deterministic: two engines
+// running the same transfer record identical observation counts per
+// stage, because counts derive from the deterministic span-tree shape.
+func TestTelemetrySinkObservesStages(t *testing.T) {
+	tgt, err := apps.TargetByID(determinismRows[0].recipient, determinismRows[0].target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := buildTransfer(t, tgt, determinismRows[0].donor)
+
+	counts := make([]map[string]uint64, 2)
+	for run := 0; run < 2; run++ {
+		sink := telemetry.NewSink()
+		eng := &Engine{Compiler: compile.NewCache(0), Telemetry: sink}
+		trCopy := *tr
+		res, err := eng.Run(&trCopy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Trace == nil {
+			t.Fatal("engine has a sink but captured no trace")
+		}
+		counts[run] = map[string]uint64{}
+		for _, stage := range telemetry.Stages {
+			counts[run][stage] = sink.Stage.With(stage).Count()
+		}
+		if run == 0 {
+			for _, stage := range []string{telemetry.StageDiscover, telemetry.StageTranslate, telemetry.StageValidate, telemetry.StageRescan} {
+				if counts[0][stage] == 0 {
+					t.Errorf("stage %s recorded no observations", stage)
+				}
+			}
+			// The solver histograms see the transfer's query traffic.
+			var total uint64
+			for _, class := range []string{"equiv.memo", "equiv.prefilter", "equiv.syntactic", "equiv.probe", "equiv.solve", "equiv.trivial", "sat.memo", "sat.probe", "sat.solve", "sat.trivial"} {
+				total += sink.Solver.With(class).Count()
+			}
+			if total == 0 {
+				t.Error("solver histograms recorded no queries")
+			}
+		}
+	}
+	for stage, c0 := range counts[0] {
+		if c1 := counts[1][stage]; c1 != c0 {
+			t.Errorf("stage %s: observation count %d vs %d across identical runs", stage, c0, c1)
+		}
+	}
+}
+
+// TestSnapshotClonesTrace pins that snapshots deep-copy the span tree.
+func TestSnapshotClonesTrace(t *testing.T) {
+	tgt, err := apps.TargetByID(determinismRows[0].recipient, determinismRows[0].target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := buildTransfer(t, tgt, determinismRows[0].donor)
+	tr.Opts.Trace = true
+	eng := &Engine{Compiler: compile.NewCache(0)}
+	res, err := eng.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := res.Snapshot()
+	if snap.Trace == nil {
+		t.Fatal("snapshot dropped the trace")
+	}
+	if snap.Trace == res.Trace {
+		t.Fatal("snapshot shares the trace pointer with the result")
+	}
+	if snap.Trace.Structure() != res.Trace.Structure() {
+		t.Fatal("snapshot trace structure differs from the result's")
+	}
+	snap.Trace.Name = "mutated"
+	if res.Trace.Name != "Transfer" {
+		t.Fatal("mutating the snapshot trace reached the result trace")
+	}
+}

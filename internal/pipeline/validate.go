@@ -2,9 +2,11 @@ package pipeline
 
 import (
 	"fmt"
+	"time"
 
 	"codephage/internal/compile"
 	"codephage/internal/ir"
+	"codephage/internal/telemetry"
 	"codephage/internal/vm"
 )
 
@@ -88,38 +90,58 @@ func (v *Validation) OK() bool {
 // longer trap (the run stays under memcheck — the VM always checks),
 // and the regression suite must behave exactly as the original.
 func ValidatePatch(name, patchedSrc string, errIn []byte, regression [][]byte, baseline []behaviour, maxSteps int64) *Validation {
-	return validatePatch(compile.Default(), name, patchedSrc, errIn, regression, baseline, maxSteps)
+	return validatePatch(compile.Default(), name, patchedSrc, errIn, regression, baseline, maxSteps, nil)
 }
 
 // validatePatch is ValidatePatch over an explicit compile cache; the
 // engine routes every candidate recompile through here. The returned
 // Module is shared with the cache and must be treated as immutable.
-func validatePatch(cc *compile.Cache, name, patchedSrc string, errIn []byte, regression [][]byte, baseline []behaviour, maxSteps int64) *Validation {
+// A non-nil sp collects child spans for the compile and the VM
+// replays; their structure is a pure function of the inputs (the VM
+// is deterministic), only durations and cache attribution vary.
+func validatePatch(cc *compile.Cache, name, patchedSrc string, errIn []byte, regression [][]byte, baseline []behaviour, maxSteps int64, sp *telemetry.Span) *Validation {
 	val := &Validation{}
-	mod, err := cc.Compile(name, patchedSrc)
+	csp := sp.Child("Compile").Field("unit", "candidate")
+	start := time.Now()
+	mod, hit, err := cc.CompileHit(name, patchedSrc)
+	csp.SetDuration(time.Since(start))
+	csp.Metric("cache", cacheLabel(hit))
 	if err != nil {
+		csp.Field("outcome", "error")
 		val.FailReason = fmt.Sprintf("compile: %v", err)
 		return val
 	}
+	csp.Field("outcome", "ok")
 	val.CompileOK = true
 
 	runner := vm.NewRunner(mod)
 	runner.MaxSteps = maxSteps
+	esp := sp.Child("ReplayError")
+	start = time.Now()
 	r := runner.Run(errIn)
+	esp.SetDuration(time.Since(start))
 	if !r.OK() {
+		esp.Field("outcome", "traps")
 		val.FailReason = fmt.Sprintf("error input still traps: %v", r.Trap)
 		return val
 	}
+	esp.Field("outcome", "ok")
 	val.ErrorEliminated = true
 
+	gsp := sp.Child("ReplayRegression").Fieldf("inputs", "%d", len(regression))
+	start = time.Now()
 	for i, input := range regression {
 		got := toBehaviour(runner.Run(input))
 		if !got.Equal(baseline[i]) {
+			gsp.SetDuration(time.Since(start))
+			gsp.Fieldf("outcome", "diverges:%d", i)
 			val.FailReason = fmt.Sprintf("regression input %d diverges: exit %d/%d trap %v/%v out %v/%v",
 				i, got.exit, baseline[i].exit, got.trap, baseline[i].trap, got.output, baseline[i].output)
 			return val
 		}
 	}
+	gsp.SetDuration(time.Since(start))
+	gsp.Field("outcome", "ok")
 	val.RegressionOK = true
 	val.Module = mod
 	return val

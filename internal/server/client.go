@@ -8,6 +8,8 @@ import (
 	"net/http"
 	"strings"
 	"time"
+
+	"codephage/internal/telemetry"
 )
 
 // Client is a thin phaged API client, used by the codephage CLI's
@@ -175,6 +177,31 @@ func (c *Client) Corpus() (*CorpusInfo, error) {
 		return nil, err
 	}
 	return decodeBody[CorpusInfo](resp)
+}
+
+// Trace fetches a completed job's span tree.
+func (c *Client) Trace(id string) (*telemetry.Span, error) {
+	resp, err := c.http().Get(c.url("/v1/jobs/" + id + "/trace"))
+	if err != nil {
+		return nil, err
+	}
+	return decodeBody[telemetry.Span](resp)
+}
+
+// Ready probes the daemon's readiness endpoint, returning the
+// component breakdown regardless of the response code (a 503 body is
+// still a well-formed Readiness).
+func (c *Client) Ready() (*Readiness, error) {
+	resp, err := c.http().Get(c.url("/readyz"))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var r Readiness
+	if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+		return nil, fmt.Errorf("phaged: decoding readiness: %w", err)
+	}
+	return &r, nil
 }
 
 // Health probes the daemon's liveness endpoint.

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -38,6 +39,25 @@ func ListenAndServe(addr string, cfg Config, drain time.Duration, logf func(stri
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
 	logf("phaged: listening on %s", ln.Addr())
+
+	if cfg.DebugAddr != "" {
+		// pprof rides its own listener so profiling endpoints are never
+		// reachable through the public API port. Failure to bind is a
+		// degraded boot, not a fatal one.
+		debugMux := http.NewServeMux()
+		debugMux.HandleFunc("/debug/pprof/", pprof.Index)
+		debugMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		debugMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		debugMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		debugMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		if dln, err := net.Listen("tcp", cfg.DebugAddr); err != nil {
+			logf("phaged: debug listener: %v", err)
+		} else {
+			defer dln.Close()
+			go func() { _ = http.Serve(dln, debugMux) }()
+			logf("phaged: pprof on %s", dln.Addr())
+		}
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -27,14 +27,18 @@ func boolMetric(b bool) int {
 //	GET  /v1/targets           the transferable error catalogue
 //	GET  /corpus               the donor knowledge-base index
 //	                           (built on first access)
+//	GET  /v1/jobs/{id}/trace   the job's span tree (done jobs only)
 //	GET  /patches              the patch artifact listing
 //	GET  /patches/{key}        one encoded artifact by content key
 //	GET  /metrics              Prometheus-style server and engine stats
 //	GET  /healthz              liveness probe
+//	GET  /readyz               readiness probe (503 until every
+//	                           component is ready)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/transfer", s.handleTransfer)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	mux.HandleFunc("GET /v1/targets", s.handleTargets)
 	mux.HandleFunc("GET /corpus", s.handleCorpus)
 	mux.HandleFunc("GET /patches", s.handlePatches)
@@ -43,7 +47,21 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	return mux
+}
+
+// handleReady serves the readiness probe: 200 with the component
+// breakdown once everything is up, 503 with the same breakdown until
+// then. Probing builds the corpus index, so a fresh node becomes ready
+// (and warm) by being probed.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	r := s.Readiness()
+	code := http.StatusOK
+	if !r.Ready {
+		code = http.StatusServiceUnavailable
+	}
+	s.writeJSON(w, code, r)
 }
 
 // writeJSON writes a JSON response body. Encode failures — a client
@@ -129,9 +147,32 @@ func (s *Server) streamJob(w http.ResponseWriter, r *http.Request, job *Job, ded
 	}
 	select {
 	case <-job.Done():
+		// The trace record precedes the terminal envelope so consumers
+		// that keep only the last line (the client's Stream helper)
+		// still end on the envelope.
+		if tr := job.Trace(); tr != nil {
+			emit(map[string]any{"id": job.ID, "trace": tr})
+		}
 		emit(job.Envelope(dedup))
 	case <-r.Context().Done():
 	}
+}
+
+// handleJobTrace serves a completed job's span tree. Traces are
+// observability data beside the report surface: they live on their own
+// endpoint so the report stays byte-identical with tracing on or off.
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("no such job %q", r.PathValue("id")))
+		return
+	}
+	tr := job.Trace()
+	if tr == nil {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("job %q has no trace (status %s)", job.ID, job.Status()))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, tr)
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
@@ -249,4 +290,5 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		p("phaged_shard_baseline_cache_entries{shard=\"%d\"} %d\n", i, es.Baselines)
 		p("phaged_shard_proof_cache_entries{shard=\"%d\"} %d\n", i, es.Proofs)
 	}
+	s.telemetry.WriteMetrics(w)
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"codephage/internal/phage"
+	"codephage/internal/telemetry"
 )
 
 // Request is one transfer submission. Recipient, Target and Donor name
@@ -90,6 +91,7 @@ type Job struct {
 	mu         sync.Mutex
 	status     Status
 	report     *Report
+	trace      *telemetry.Span
 	errMsg     string
 	startedAt  time.Time
 	finishedAt time.Time
@@ -162,9 +164,10 @@ func (j *Job) setStatus(st Status) {
 	}
 }
 
-func (j *Job) finish(rep *Report) {
+func (j *Job) finish(rep *Report, trace *telemetry.Span) {
 	j.mu.Lock()
 	j.report = rep
+	j.trace = trace
 	j.mu.Unlock()
 	j.setStatus(StatusDone)
 }
@@ -181,6 +184,14 @@ func (j *Job) Report() *Report {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.report
+}
+
+// Trace returns the job's span tree (nil until done). The tree is an
+// immutable snapshot copy: callers may render it without locking.
+func (j *Job) Trace() *telemetry.Span {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.trace
 }
 
 // Err returns the failure message ("" unless status is failed).

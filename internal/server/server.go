@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"log/slog"
 	"runtime"
 	"sync"
 	"time"
@@ -28,6 +29,7 @@ import (
 	"codephage/internal/figure8"
 	"codephage/internal/pipeline"
 	"codephage/internal/smt"
+	"codephage/internal/telemetry"
 )
 
 // Config tunes a Server.
@@ -81,6 +83,15 @@ type Config struct {
 	// report to (nil = silent). The daemon loop wires its own logger
 	// through here.
 	Logf func(string, ...any)
+	// Log receives request-scoped structured records (one per job
+	// start and finish, carrying job ID, content key, catalogue
+	// coordinates, status and duration). nil = structured logging off.
+	// cmd/phaged builds this from -log-format text|json.
+	Log *slog.Logger
+	// DebugAddr, when non-empty, makes the daemon loop serve
+	// net/http/pprof on a second listener at this address, so
+	// profiling never rides the public API port.
+	DebugAddr string
 }
 
 func (c Config) shards() int {
@@ -156,6 +167,14 @@ type Server struct {
 	corpus   *corpus.Selector
 	solver   *smt.Service
 	shards   []*shard
+	// telemetry is the one sink every shard engine feeds: per-stage
+	// and per-solver-query-class latency histograms, exported on
+	// /metrics beside the counter lines.
+	telemetry *telemetry.Sink
+	// memoReady records that the boot-time warm-state load attempt
+	// finished (true even on a cold start — the snapshot is a cache);
+	// /readyz reports it.
+	memoReady bool
 
 	mu        sync.Mutex
 	accepting bool
@@ -178,12 +197,13 @@ type Server struct {
 // New assembles a server; call Start before submitting jobs.
 func New(cfg Config) *Server {
 	s := &Server{
-		cfg:      cfg,
-		compiler: compile.NewCache(0),
-		corpus:   corpus.NewSelector(cfg.CorpusPath),
-		solver:   smt.NewService(smt.Config{}),
-		jobs:     map[string]*Job{},
-		byKey:    map[string]*Job{},
+		cfg:       cfg,
+		compiler:  compile.NewCache(0),
+		corpus:    corpus.NewSelector(cfg.CorpusPath),
+		solver:    smt.NewService(smt.Config{}),
+		telemetry: telemetry.NewSink(),
+		jobs:      map[string]*Job{},
+		byKey:     map[string]*Job{},
 	}
 	// Corpus signature building canonicalizes through the same service
 	// the shard engines query, so its verdicts (and counters) live in
@@ -205,6 +225,7 @@ func New(cfg Config) *Server {
 		// exactly what an absent snapshot means — start cold.
 		_ = s.solver.LoadMemo(cfg.MemoPath)
 	}
+	s.memoReady = true
 	for i := 0; i < cfg.shards(); i++ {
 		eng := pipeline.NewEngine()
 		eng.Compiler = s.compiler
@@ -214,6 +235,9 @@ func New(cfg Config) *Server {
 		// request is a memo hit for every later request on any shard.
 		eng.Selector = s.corpus
 		eng.Service = s.solver
+		// One sink across every shard: the sink also turns on trace
+		// capture, so every job's span tree is retrievable afterwards.
+		eng.Telemetry = s.telemetry
 		s.shards = append(s.shards, &shard{
 			id:     i,
 			engine: eng,
@@ -365,28 +389,51 @@ func (s *Server) Job(id string) (*Job, bool) {
 // become failed jobs.
 func (s *Server) runJob(sh *shard, job *Job) {
 	job.setStatus(StatusRunning)
+	log := s.cfg.Log
+	if log != nil {
+		log = log.With(
+			slog.String("job", job.ID),
+			slog.String("key", job.Key),
+			slog.String("recipient", job.Req.Recipient),
+			slog.String("target", job.Req.Target),
+			slog.String("donor", job.Req.Donor),
+			slog.Int("shard", sh.id))
+		log.Info("job started")
+	}
+	start := time.Now()
 
-	report, err := s.execute(sh, job.Req)
+	report, trace, err := s.execute(sh, job.Req)
 	if err != nil {
 		job.fail(err)
 		s.counter.failed.Add(1)
+		if log != nil {
+			log.Error("job failed", slog.Duration("elapsed", time.Since(start)), slog.String("error", err.Error()))
+		}
 	} else {
-		job.finish(report)
+		job.finish(report, trace)
 		s.counter.completed.Add(1)
+		if log != nil {
+			log.Info("job done",
+				slog.Duration("elapsed", time.Since(start)),
+				slog.String("donor_resolved", report.Donor),
+				slog.Int("used_checks", report.UsedChecks))
+		}
 	}
 	s.retireKey(job.Key)
 }
 
 // execute resolves the catalogue entry and runs the transfer on the
-// shard engine, returning the deterministic report.
-func (s *Server) execute(sh *shard, req *Request) (*Report, error) {
+// shard engine, returning the deterministic report plus the run's span
+// tree. The trace travels beside the report, never inside it: report
+// bytes stay identical whether or not anyone looks at the trace.
+func (s *Server) execute(sh *shard, req *Request) (*Report, *telemetry.Span, error) {
 	tgt, err := apps.TargetByID(req.Recipient, req.Target)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	opts, err := req.options()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	// Route the whole request — error-input discovery inside
 	// NewTransfer included — through the server's shared constraint
@@ -406,14 +453,14 @@ func (s *Server) execute(sh *shard, req *Request) (*Report, error) {
 	}
 	tr, err := figure8.NewTransfer(tgt, req.Donor, opts)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	// Counted here, after catalogue/option resolution: requests that
 	// fail before reaching the engine are not engine runs.
 	s.counter.engineRuns.Add(1)
 	res, err := sh.engine.Run(tr)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	snap := res.Snapshot()
 	donor := req.Donor
@@ -436,7 +483,7 @@ func (s *Server) execute(sh *shard, req *Request) (*Report, error) {
 	}
 	rep := BuildReport(req.Recipient, req.Target, donor, snap)
 	rep.AutoSelected = auto
-	return rep, nil
+	return rep, snap.Trace, nil
 }
 
 // retireKey records a completed key for FIFO eviction and trims the
@@ -522,6 +569,36 @@ func (s *Server) Stats() Stats {
 		st.ShardStats = append(st.ShardStats, es)
 	}
 	return st
+}
+
+// Readiness is the /readyz payload: the server is ready exactly when
+// every component is.
+type Readiness struct {
+	Ready bool `json:"ready"`
+	// CorpusReady reports that the donor knowledge-base index is built.
+	// The index is lazily established, so the first readiness probe
+	// triggers the build — a fresh node becomes ready by being probed,
+	// which also warms it for its first auto-donor request.
+	CorpusReady bool `json:"corpus_ready"`
+	// MemoReady reports that the boot-time warm-state load attempt
+	// finished (cold starts count: the snapshot is a cache).
+	MemoReady bool `json:"memo_ready"`
+	// Accepting reports that the shard queues accept submissions.
+	Accepting bool `json:"accepting"`
+}
+
+// Readiness probes every startup-gated component. Building the corpus
+// index can take a moment on the first call; later calls are cheap.
+func (s *Server) Readiness() Readiness {
+	r := Readiness{MemoReady: s.memoReady}
+	if _, err := s.corpus.Index(); err == nil {
+		r.CorpusReady = true
+	}
+	s.mu.Lock()
+	r.Accepting = s.accepting
+	s.mu.Unlock()
+	r.Ready = r.CorpusReady && r.MemoReady && r.Accepting
+	return r
 }
 
 // nowMs converts a duration to whole milliseconds for JSON envelopes.

@@ -1,0 +1,367 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"codephage/internal/telemetry"
+)
+
+// documentedMetrics is the golden list of every metric family phaged
+// exports on /metrics. The exposition test below asserts each one
+// appears, and that README.md documents each one — adding a metric
+// means extending this list and the README table together.
+var documentedMetrics = []string{
+	"phaged_requests_total",
+	"phaged_jobs_accepted_total",
+	"phaged_jobs_rejected_total",
+	"phaged_dedup_hits_total",
+	"phaged_engine_runs_total",
+	"phaged_jobs_completed_total",
+	"phaged_jobs_failed_total",
+	"phaged_response_encode_failures_total",
+	"phaged_patch_artifacts",
+	"phaged_patch_store_puts_total",
+	"phaged_patch_fetches_total",
+	"phaged_jobs_queued",
+	"phaged_compile_cache_hits_total",
+	"phaged_compile_cache_misses_total",
+	"phaged_compile_cache_evictions_total",
+	"phaged_compile_cache_entries",
+	"phaged_auto_transfers_total",
+	"phaged_corpus_built",
+	"phaged_corpus_entries",
+	"phaged_corpus_signatures_rebuilt",
+	"phaged_corpus_selections_total",
+	"phaged_corpus_candidates_total",
+	"phaged_corpus_survivors_total",
+	"phaged_solver_sessions_total",
+	"phaged_solver_queries_total",
+	"phaged_solver_memo_hits_total",
+	"phaged_solver_memo_misses_total",
+	"phaged_solver_memo_evictions_total",
+	"phaged_solver_memo_entries",
+	"phaged_solver_sat_calls_total",
+	"phaged_solver_sat_time_seconds",
+	"phaged_solver_cnf_memo_hits_total",
+	"phaged_solver_cnf_memo_misses_total",
+	"phaged_solver_core_resets_total",
+	"phaged_solver_core_vars",
+	"phaged_solver_core_clauses",
+	"phaged_solver_sat_conflicts_total",
+	"phaged_solver_sat_decisions_total",
+	"phaged_solver_sat_propagations_total",
+	"phaged_solver_sat_restarts_total",
+	"phaged_solver_portfolio_races_total",
+	"phaged_solver_portfolio_wins_total",
+	"phaged_solver_portfolio_losses_total",
+	"phaged_solver_imported_clauses_total",
+	"phaged_solver_memo_loaded_entries",
+	"phaged_solver_memo_loaded_hits_total",
+	"phaged_solver_memo_snapshot_saves_total",
+	"phaged_interned_terms",
+	"phaged_interned_hits_total",
+	"phaged_interned_misses_total",
+	"phaged_interned_overflow_total",
+	"phaged_interned_simplify_hits_total",
+	"phaged_interned_simplify_misses_total",
+	// Labeled families.
+	"phaged_shard_solver_queries_total",
+	"phaged_shard_solver_cache_hits_total",
+	"phaged_shard_solver_sat_calls_total",
+	"phaged_shard_baseline_cache_entries",
+	"phaged_shard_proof_cache_entries",
+	"phaged_stage_duration_seconds",
+	"phaged_solver_query_duration_seconds",
+}
+
+// metricLine matches one Prometheus text-exposition sample:
+// `name value` or `name{labels} value`.
+var metricLine = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})? (\S+)$`)
+
+func fetchMetrics(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: %s", resp.Status)
+	}
+	return string(body)
+}
+
+// TestMetricsExposition is the /metrics contract: every line parses as
+// a sample, no sample is emitted twice, every documented metric
+// appears, the per-stage latency histograms cover all seven pipeline
+// stages after a batch that includes an auto-donor transfer, and the
+// README documents every exported family.
+func TestMetricsExposition(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	// Three explicit-donor transfers plus one auto-donor transfer: the
+	// Select stage only runs (and is only observed) when the corpus
+	// resolves the donor.
+	reqs := []*Request{
+		{Recipient: "jasper", Target: "jpc_dec.c@492", Donor: "openjpeg"},
+		{Recipient: "gif2tiff", Target: "gif2tiff.c@355", Donor: "magick9"},
+		{Recipient: "wireshark14", Target: "packet-dcp-etsi.c@258", Donor: "wireshark18"},
+		{Recipient: "dillo", Target: "png.c@203", Donor: "auto"},
+	}
+	for _, req := range reqs {
+		env := postTransfer(t, ts.URL, req, "")
+		if env.Status != StatusDone {
+			t.Fatalf("%s/%s <- %s: %s (%s)", req.Recipient, req.Target, req.Donor, env.Status, env.Error)
+		}
+	}
+
+	metrics := fetchMetrics(t, ts.URL)
+	seen := map[string]bool{}
+	families := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimRight(metrics, "\n"), "\n") {
+		m := metricLine.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("unparseable /metrics line: %q", line)
+		}
+		if _, err := strconv.ParseFloat(m[3], 64); err != nil {
+			t.Errorf("%s: value %q is not a number", m[1], m[3])
+		}
+		sample := m[1] + m[2]
+		if seen[sample] {
+			t.Errorf("duplicate sample %q", sample)
+		}
+		seen[sample] = true
+		name := m[1]
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			name = strings.TrimSuffix(name, suffix)
+		}
+		families[name] = true
+	}
+	for _, want := range documentedMetrics {
+		if !families[want] {
+			t.Errorf("/metrics lacks documented metric %s", want)
+		}
+	}
+	for fam := range families {
+		if !documented(fam) {
+			t.Errorf("undocumented metric %s on /metrics — add it to documentedMetrics and the README table", fam)
+		}
+	}
+
+	// All seven pipeline stages must have histogram observations.
+	for _, stage := range telemetry.Stages {
+		count := fmt.Sprintf("phaged_stage_duration_seconds_count{stage=%q}", stage)
+		if !seen[count] {
+			t.Errorf("/metrics lacks %s", count)
+			continue
+		}
+		re := regexp.MustCompile(regexp.QuoteMeta(count) + ` (\d+)`)
+		m := re.FindStringSubmatch(metrics)
+		if m == nil || m[1] == "0" {
+			t.Errorf("stage %s recorded no observations: %v", stage, m)
+		}
+	}
+	// The solver query-class histograms see the batch's query traffic.
+	if !strings.Contains(metrics, `phaged_solver_query_duration_seconds_count{class=`) {
+		t.Error("/metrics lacks solver query-class histograms")
+	}
+
+	// The README's observability section must document every family.
+	readme, err := os.ReadFile("../../README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range documentedMetrics {
+		if !bytes.Contains(readme, []byte(want)) {
+			t.Errorf("README.md does not document %s", want)
+		}
+	}
+}
+
+func documented(family string) bool {
+	for _, d := range documentedMetrics {
+		if d == family {
+			return true
+		}
+	}
+	return false
+}
+
+// TestReadyzLifecycle pins the readiness contract: 503 with the
+// component breakdown before Start, 200 with every component true
+// after — and probing builds the corpus index as a side effect.
+func TestReadyzLifecycle(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	cli := &Client{BaseURL: ts.URL}
+
+	r, err := cli.Ready()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Ready || r.Accepting {
+		t.Fatalf("server reports ready before Start: %+v", r)
+	}
+	if !r.MemoReady {
+		t.Errorf("memo not ready after construction: %+v", r)
+	}
+	if !r.CorpusReady {
+		t.Errorf("readiness probe did not build the corpus index: %+v", r)
+	}
+
+	// The raw status code must be 503 while not ready.
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("/readyz before Start: %s, want 503", resp.Status)
+	}
+
+	srv.Start()
+	defer func() {
+		if err := srv.Shutdown(t.Context()); err != nil {
+			t.Error(err)
+		}
+	}()
+	r, err = cli.Ready()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Ready || !r.Accepting || !r.CorpusReady || !r.MemoReady {
+		t.Fatalf("server not ready after Start: %+v", r)
+	}
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/readyz after Start: %s, want 200", resp.Status)
+	}
+
+	if err := cli.Health(); err != nil {
+		t.Errorf("healthz: %v", err)
+	}
+}
+
+// TestJobTraceEndpoint: every job the daemon runs has a retrievable
+// span tree on /v1/jobs/{id}/trace, rooted at Transfer with the
+// pipeline stages as children; unknown jobs 404.
+func TestJobTraceEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cli := &Client{BaseURL: ts.URL}
+
+	env, err := cli.Transfer(&Request{Recipient: "gif2tiff", Target: "gif2tiff.c@355", Donor: "magick9"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Status != StatusDone {
+		t.Fatalf("transfer: %s (%s)", env.Status, env.Error)
+	}
+	sp, err := cli.Trace(env.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Name != "Transfer" {
+		t.Fatalf("trace root %q, want Transfer", sp.Name)
+	}
+	structure := sp.Structure()
+	for _, stage := range []string{"Discover", "AnalyzePoints", "Translate", "Insert", "Validate", "Rescan"} {
+		if !strings.Contains(structure, stage) {
+			t.Errorf("trace lacks stage %s:\n%s", stage, structure)
+		}
+	}
+	// The report surface must not embed the trace: the envelope's
+	// report bytes carry no trace field.
+	if env.Report == nil {
+		t.Fatal("no report on the envelope")
+	}
+	repBytes, err := json.Marshal(env.Report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(repBytes, []byte(`"trace"`)) {
+		t.Error("report embeds the trace — it must live beside the report, not inside it")
+	}
+
+	if _, err := cli.Trace("job-999999"); err == nil {
+		t.Error("trace of an unknown job did not fail")
+	}
+}
+
+// TestStreamEmitsTraceRecord: the NDJSON stream carries a trace record
+// immediately before the terminal envelope, and the Client.Stream
+// helper (which keeps only the final line) still returns the envelope.
+func TestStreamEmitsTraceRecord(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := &Request{Recipient: "jasper", Target: "jpc_dec.c@492", Donor: "openjpeg"}
+
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/transfer?stream=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 64<<20)
+	var lines [][]byte
+	for sc.Scan() {
+		if line := bytes.TrimSpace(sc.Bytes()); len(line) > 0 {
+			lines = append(lines, append([]byte(nil), line...))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) < 2 {
+		t.Fatalf("stream produced %d lines, want at least a trace record and the envelope", len(lines))
+	}
+	var traceRec struct {
+		ID    string          `json:"id"`
+		Trace *telemetry.Span `json:"trace"`
+	}
+	if err := json.Unmarshal(lines[len(lines)-2], &traceRec); err != nil {
+		t.Fatalf("decoding trace record: %v", err)
+	}
+	if traceRec.Trace == nil || traceRec.Trace.Name != "Transfer" {
+		t.Fatalf("penultimate stream line is not a trace record: %s", lines[len(lines)-2])
+	}
+	var env Envelope
+	if err := json.Unmarshal(lines[len(lines)-1], &env); err != nil {
+		t.Fatal(err)
+	}
+	if !env.Status.Terminal() {
+		t.Fatalf("final stream line is not a terminal envelope: %s", lines[len(lines)-1])
+	}
+
+	// The client helper still lands on the envelope (dedup path).
+	cli := &Client{BaseURL: ts.URL}
+	env2, err := cli.Stream(req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env2.Status != StatusDone {
+		t.Fatalf("client stream: %s (%s)", env2.Status, env2.Error)
+	}
+}

@@ -56,9 +56,22 @@ type Session struct {
 	// engine's overflow-freedom proofs run on a small budget this way.
 	MaxConflicts int64
 
+	// Observer, when set, receives one callback per Equiv/Sat query
+	// with a class label describing how the query resolved
+	// (e.g. "equiv.memo", "sat.solve") and its wall-clock duration.
+	// The telemetry layer feeds per-class latency histograms from
+	// this. The callback runs on the session's goroutine and must not
+	// re-enter the session.
+	Observer func(class string, d time.Duration)
+
 	Stats Stats
 
 	svc *Service
+
+	// lastClass records how the most recent query resolved, for the
+	// Observer wrappers. Plain constant-string stores, so the cost
+	// without an observer is negligible.
+	lastClass string
 }
 
 // Session returns a new query session on the service.
@@ -107,9 +120,20 @@ func (ss *Session) Service() *Service { return ss.svc }
 // assignment of their input fields (SolverEquiv of Figure 7).
 // Expressions of different widths are never equivalent.
 func (ss *Session) Equiv(a, b *bitvec.Expr) (bool, error) {
+	if ss.Observer == nil {
+		return ss.equiv(a, b)
+	}
+	start := time.Now()
+	res, err := ss.equiv(a, b)
+	ss.Observer(ss.lastClass, time.Since(start))
+	return res, err
+}
+
+func (ss *Session) equiv(a, b *bitvec.Expr) (bool, error) {
 	ss.Stats.Queries++
 	ss.svc.queries.Add(1)
 	if a.W != b.W {
+		ss.lastClass = "equiv.trivial"
 		return false, nil
 	}
 
@@ -117,6 +141,7 @@ func (ss *Session) Equiv(a, b *bitvec.Expr) (bool, error) {
 	// input bytes are not considered equivalent; skip the solver.
 	if !ss.svc.cfg.DisablePrefilter && !sameInts(a.ByteDeps(), b.ByteDeps()) {
 		ss.Stats.Prefiltered++
+		ss.lastClass = "equiv.prefilter"
 		return false, nil
 	}
 
@@ -138,6 +163,7 @@ func (ss *Session) Equiv(a, b *bitvec.Expr) (bool, error) {
 		key = "E|" + ka + "|" + kb
 		if e, ok := ss.svc.memoGet(key, budget); ok {
 			ss.Stats.CacheHits++
+			ss.lastClass = "equiv.memo"
 			if e.exhausted {
 				return false, ErrBudget
 			}
@@ -169,6 +195,7 @@ func (ss *Session) equivUncached(a, b *bitvec.Expr) (bool, error) {
 	sa, sb := bitvec.Simplify(a), bitvec.Simplify(b)
 	if bitvec.Equal(sa, sb) {
 		ss.Stats.Syntactic++
+		ss.lastClass = "equiv.syntactic"
 		return true, nil
 	}
 
@@ -185,6 +212,7 @@ func (ss *Session) equivUncached(a, b *bitvec.Expr) (bool, error) {
 		}
 		if va != vb {
 			ss.Stats.Refuted++
+			ss.lastClass = "equiv.probe"
 			return false, nil
 		}
 	}
@@ -192,6 +220,7 @@ func (ss *Session) equivUncached(a, b *bitvec.Expr) (bool, error) {
 	// Full proof on the shared incremental solver: SAT(a != b) must be
 	// unsatisfiable.
 	ss.Stats.SATCalls++
+	ss.lastClass = "equiv.solve"
 	start := time.Now()
 	defer func() { ss.Stats.SATTime += time.Since(start) }()
 	neSat, err := ss.svc.solveNe(sa, sb, ss.MaxConflicts)
@@ -215,9 +244,20 @@ func (m Model) clone() Model {
 // Sat reports whether cond (any width; satisfied when nonzero) has a
 // satisfying assignment, and returns one if so.
 func (ss *Session) Sat(cond *bitvec.Expr) (bool, Model, error) {
+	if ss.Observer == nil {
+		return ss.sat(cond)
+	}
+	start := time.Now()
+	ok, m, err := ss.sat(cond)
+	ss.Observer(ss.lastClass, time.Since(start))
+	return ok, m, err
+}
+
+func (ss *Session) sat(cond *bitvec.Expr) (bool, Model, error) {
 	ss.svc.queries.Add(1)
 	sc := bitvec.Simplify(cond)
 	if sc.Op == bitvec.OpConst {
+		ss.lastClass = "sat.trivial"
 		if sc.Val != 0 {
 			return true, Model{}, nil
 		}
@@ -229,6 +269,7 @@ func (ss *Session) Sat(cond *bitvec.Expr) (bool, Model, error) {
 		key = "S|" + sc.StableKey()
 		if e, ok := ss.svc.memoGet(key, budget); ok {
 			ss.Stats.CacheHits++
+			ss.lastClass = "sat.memo"
 			if e.exhausted {
 				return false, nil, ErrBudget
 			}
@@ -242,9 +283,11 @@ func (ss *Session) Sat(cond *bitvec.Expr) (bool, Model, error) {
 	// hit is verified by concrete evaluation, so this is sound.
 	if m, ok := probeModel(sc); ok {
 		ss.svc.memoPut(&memoEntry{key: key, verdict: true, model: m.clone()})
+		ss.lastClass = "sat.probe"
 		return true, m, nil
 	}
 	ss.Stats.SATCalls++
+	ss.lastClass = "sat.solve"
 	start := time.Now()
 	ok, m, err := ss.svc.solveSat(sc, ss.MaxConflicts)
 	ss.Stats.SATTime += time.Since(start)

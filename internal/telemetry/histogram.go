@@ -1,0 +1,137 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultBuckets are the fixed histogram boundaries, in seconds, used
+// for every latency histogram in the system. They are log-spaced from
+// 1µs to 10s. The boundaries are frozen: exposition stability (and the
+// BENCH_pipeline trajectory) depends on them never changing, so treat
+// any edit as a breaking change to the /metrics contract.
+var DefaultBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6,
+	1e-5, 2.5e-5, 5e-5,
+	1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3,
+	1e-2, 2.5e-2, 5e-2,
+	0.1, 0.25, 0.5,
+	1, 2.5, 5, 10,
+}
+
+// bucketLabels are the precomputed `le` label values for
+// DefaultBuckets. strconv.FormatFloat with 'g' and precision -1 is the
+// shortest exact rendering, which keeps the text exposition stable
+// across Go versions and platforms.
+var bucketLabels = func() []string {
+	out := make([]string, len(DefaultBuckets))
+	for i, b := range DefaultBuckets {
+		out[i] = strconv.FormatFloat(b, 'g', -1, 64)
+	}
+	return out
+}()
+
+const numBuckets = 22 // len(DefaultBuckets); checked by TestBucketLabelsGolden
+
+// Histogram is a lock-free latency histogram over DefaultBuckets.
+type Histogram struct {
+	counts [numBuckets + 1]atomic.Uint64 // +1 for +Inf
+	sumNs  atomic.Int64
+	total  atomic.Uint64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	secs := d.Seconds()
+	idx := sort.SearchFloat64s(DefaultBuckets, secs)
+	h.counts[idx].Add(1)
+	h.sumNs.Add(d.Nanoseconds())
+	h.total.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.total.Load() }
+
+// Sum returns the sum of all observed durations.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sumNs.Load()) }
+
+// write emits the histogram in Prometheus text exposition format.
+// labels is either empty or a pre-rendered `key="value"` fragment.
+func (h *Histogram) write(w io.Writer, name, labels string) {
+	cum := uint64(0)
+	for i := range DefaultBuckets {
+		cum += h.counts[i].Load()
+		if labels == "" {
+			fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", name, bucketLabels[i], cum)
+		} else {
+			fmt.Fprintf(w, "%s_bucket{%s,le=\"%s\"} %d\n", name, labels, bucketLabels[i], cum)
+		}
+	}
+	cum += h.counts[len(DefaultBuckets)].Load()
+	if labels == "" {
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+		fmt.Fprintf(w, "%s_sum %g\n", name, float64(h.sumNs.Load())/1e9)
+		fmt.Fprintf(w, "%s_count %d\n", name, cum)
+	} else {
+		fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d\n", name, labels, cum)
+		fmt.Fprintf(w, "%s_sum{%s} %g\n", name, labels, float64(h.sumNs.Load())/1e9)
+		fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, cum)
+	}
+}
+
+// HistogramVec is a set of Histograms partitioned by one label.
+type HistogramVec struct {
+	name  string
+	label string
+
+	mu   sync.Mutex
+	vals map[string]*Histogram
+}
+
+// NewHistogramVec returns a histogram family exported under the given
+// metric name, partitioned by the given label key.
+func NewHistogramVec(name, label string) *HistogramVec {
+	return &HistogramVec{name: name, label: label, vals: make(map[string]*Histogram)}
+}
+
+// With returns the histogram for one label value, creating it on first
+// use.
+func (v *HistogramVec) With(value string) *Histogram {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	h := v.vals[value]
+	if h == nil {
+		h = &Histogram{}
+		v.vals[value] = h
+	}
+	return h
+}
+
+// Observe records one duration under the given label value.
+func (v *HistogramVec) Observe(value string, d time.Duration) {
+	v.With(value).Observe(d)
+}
+
+// Write emits every member histogram in label-value order.
+func (v *HistogramVec) Write(w io.Writer) {
+	v.mu.Lock()
+	keys := make([]string, 0, len(v.vals))
+	for k := range v.vals {
+		keys = append(keys, k)
+	}
+	hs := make([]*Histogram, 0, len(keys))
+	sort.Strings(keys)
+	for _, k := range keys {
+		hs = append(hs, v.vals[k])
+	}
+	v.mu.Unlock()
+	for i, k := range keys {
+		hs[i].write(w, v.name, fmt.Sprintf("%s=%q", v.label, k))
+	}
+}

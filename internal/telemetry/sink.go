@@ -1,0 +1,94 @@
+package telemetry
+
+import (
+	"io"
+	"time"
+)
+
+// Canonical pipeline stage names. These are the span names produced by
+// the pipeline engine and the `stage` label values on
+// phaged_stage_duration_seconds.
+const (
+	StageSelect        = "Select"
+	StageDiscover      = "Discover"
+	StageAnalyzePoints = "AnalyzePoints"
+	StageTranslate     = "Translate"
+	StageInsert        = "Insert"
+	StageValidate      = "Validate"
+	StageRescan        = "Rescan"
+)
+
+// Stages lists the seven pipeline stages in execution order.
+var Stages = []string{
+	StageSelect,
+	StageDiscover,
+	StageAnalyzePoints,
+	StageTranslate,
+	StageInsert,
+	StageValidate,
+	StageRescan,
+}
+
+var stageSet = func() map[string]bool {
+	m := make(map[string]bool, len(Stages))
+	for _, s := range Stages {
+		m[s] = true
+	}
+	return m
+}()
+
+// Sink aggregates spans and solver query timings into the latency
+// histograms exported on /metrics. A single Sink is shared by every
+// engine shard in a phaged process; all methods are safe for
+// concurrent use. A nil *Sink is a valid no-op sink.
+type Sink struct {
+	// Stage holds per-pipeline-stage latency, exported as
+	// phaged_stage_duration_seconds{stage=...}.
+	Stage *HistogramVec
+	// Solver holds per-query-class solver latency, exported as
+	// phaged_solver_query_duration_seconds{class=...}.
+	Solver *HistogramVec
+}
+
+// NewSink returns an empty sink.
+func NewSink() *Sink {
+	return &Sink{
+		Stage:  NewHistogramVec("phaged_stage_duration_seconds", "stage"),
+		Solver: NewHistogramVec("phaged_solver_query_duration_seconds", "class"),
+	}
+}
+
+// ObserveTrace folds one finished span tree into the stage histograms.
+// Every span named after a pipeline stage contributes one observation,
+// so because the span-tree *shape* is deterministic for a given
+// transfer, histogram counts are deterministic too (only bucket
+// placement varies with actual timing).
+func (s *Sink) ObserveTrace(root *Span) {
+	if s == nil || root == nil {
+		return
+	}
+	root.Walk(func(sp *Span) {
+		if stageSet[sp.Name] {
+			s.Stage.Observe(sp.Name, sp.Duration())
+		}
+	})
+}
+
+// ObserveSolver records one solver query of the given class
+// (e.g. "equiv.memo", "sat.solve").
+func (s *Sink) ObserveSolver(class string, d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.Solver.Observe(class, d)
+}
+
+// WriteMetrics emits all histogram families in Prometheus text
+// exposition format.
+func (s *Sink) WriteMetrics(w io.Writer) {
+	if s == nil {
+		return
+	}
+	s.Stage.Write(w)
+	s.Solver.Write(w)
+}

@@ -1,0 +1,311 @@
+// Package telemetry is the observability layer for the transfer
+// pipeline: span trees that describe where a transfer spent its time,
+// and fixed-boundary latency histograms that aggregate those spans for
+// /metrics exposition.
+//
+// The repo's core invariant is that canonical outputs (reports, patch
+// artifacts) are byte-identical across scheduling, caching, and
+// network boundaries. Telemetry therefore separates every span into
+// two halves:
+//
+//   - Fields: structural attributes that are a pure function of the
+//     inputs (stage names, donor identity, candidate counts, verdict
+//     strings). Two runs of the same transfer produce identical
+//     fields.
+//   - Metrics: volatile attributes (durations, cache hits, solver
+//     stats deltas) that vary run to run.
+//
+// Span.Structure renders only the structural half, so tests can pin
+// "identical span trees modulo timing" with a string comparison.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Attr is one key/value pair attached to a span.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Span is one node of a trace tree. DurationNs covers the span and all
+// of its children; self time is derived as duration minus the sum of
+// child durations.
+type Span struct {
+	Name       string  `json:"name"`
+	Fields     []Attr  `json:"fields,omitempty"`
+	Metrics    []Attr  `json:"metrics,omitempty"`
+	DurationNs int64   `json:"duration_ns"`
+	Children   []*Span `json:"children,omitempty"`
+}
+
+// New returns a root span with the given name.
+func New(name string) *Span { return &Span{Name: name} }
+
+// Field appends a structural attribute. Structural attributes must be
+// a pure function of the transfer inputs; anything timing- or
+// scheduling-dependent belongs in Metric.
+func (s *Span) Field(key, value string) *Span {
+	if s == nil {
+		return s
+	}
+	s.Fields = append(s.Fields, Attr{Key: key, Value: value})
+	return s
+}
+
+// Fieldf is Field with fmt.Sprintf formatting of the value.
+func (s *Span) Fieldf(key, format string, args ...any) *Span {
+	if s == nil {
+		return s
+	}
+	return s.Field(key, fmt.Sprintf(format, args...))
+}
+
+// Metric appends a volatile attribute (durations, cache deltas, solver
+// stats). Metrics are excluded from Structure.
+func (s *Span) Metric(key, value string) *Span {
+	if s == nil {
+		return s
+	}
+	s.Metrics = append(s.Metrics, Attr{Key: key, Value: value})
+	return s
+}
+
+// Metricf is Metric with fmt.Sprintf formatting of the value.
+func (s *Span) Metricf(key, format string, args ...any) *Span {
+	if s == nil {
+		return s
+	}
+	return s.Metric(key, fmt.Sprintf(format, args...))
+}
+
+// Child appends and returns a new child span. On a nil receiver it
+// returns nil, so call sites can thread an optional span without
+// guarding every touch.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{Name: name}
+	s.Children = append(s.Children, c)
+	return c
+}
+
+// Adopt appends an already-built child span (used when children are
+// constructed off-tree, e.g. post-hoc in rank order after a parallel
+// validation race).
+func (s *Span) Adopt(c *Span) {
+	if s == nil || c == nil {
+		return
+	}
+	s.Children = append(s.Children, c)
+}
+
+// SetDuration records the span's wall-clock duration.
+func (s *Span) SetDuration(d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.DurationNs = d.Nanoseconds()
+}
+
+// Duration returns the span's recorded duration.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return time.Duration(s.DurationNs)
+}
+
+// Self returns the span's duration minus the sum of its children's
+// durations, floored at zero.
+func (s *Span) Self() time.Duration {
+	if s == nil {
+		return 0
+	}
+	self := s.DurationNs
+	for _, c := range s.Children {
+		self -= c.DurationNs
+	}
+	if self < 0 {
+		self = 0
+	}
+	return time.Duration(self)
+}
+
+// Clone returns a deep copy of the span tree.
+func (s *Span) Clone() *Span {
+	if s == nil {
+		return nil
+	}
+	out := &Span{Name: s.Name, DurationNs: s.DurationNs}
+	if len(s.Fields) > 0 {
+		out.Fields = append([]Attr(nil), s.Fields...)
+	}
+	if len(s.Metrics) > 0 {
+		out.Metrics = append([]Attr(nil), s.Metrics...)
+	}
+	for _, c := range s.Children {
+		out.Children = append(out.Children, c.Clone())
+	}
+	return out
+}
+
+// Walk visits the span and every descendant in depth-first order.
+func (s *Span) Walk(fn func(*Span)) {
+	if s == nil {
+		return
+	}
+	fn(s)
+	for _, c := range s.Children {
+		c.Walk(fn)
+	}
+}
+
+// Structure renders the structural skeleton of the tree — names and
+// fields only, no metrics or durations — as a stable multi-line
+// string. Two runs of the same transfer must produce identical
+// Structure output; tests pin this.
+func (s *Span) Structure() string {
+	var b strings.Builder
+	s.structure(&b, 0)
+	return b.String()
+}
+
+func (s *Span) structure(b *strings.Builder, depth int) {
+	if s == nil {
+		return
+	}
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+	b.WriteString(s.Name)
+	for _, f := range s.Fields {
+		fmt.Fprintf(b, " %s=%s", f.Key, f.Value)
+	}
+	b.WriteByte('\n')
+	for _, c := range s.Children {
+		c.structure(b, depth+1)
+	}
+}
+
+// Marshal renders the span tree as indented JSON, the wire format for
+// GET /v1/jobs/{id}/trace and `codephage trace show`.
+func (s *Span) Marshal() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// Unmarshal parses a span tree previously rendered by Marshal.
+func Unmarshal(data []byte) (*Span, error) {
+	var s Span
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Render pretty-prints the span tree with total and self times plus
+// attributes, for `codephage trace show` and figure8 -trace.
+func (s *Span) Render(w io.Writer) {
+	s.render(w, "", true, true)
+}
+
+func (s *Span) render(w io.Writer, prefix string, last, root bool) {
+	if s == nil {
+		return
+	}
+	connector, childPrefix := "", ""
+	if !root {
+		if last {
+			connector, childPrefix = prefix+"└─ ", prefix+"   "
+		} else {
+			connector, childPrefix = prefix+"├─ ", prefix+"│  "
+		}
+	}
+	var attrs []string
+	for _, f := range s.Fields {
+		attrs = append(attrs, f.Key+"="+f.Value)
+	}
+	for _, m := range s.Metrics {
+		attrs = append(attrs, m.Key+"="+m.Value)
+	}
+	line := connector + s.Name
+	if len(attrs) > 0 {
+		line += " [" + strings.Join(attrs, " ") + "]"
+	}
+	fmt.Fprintf(w, "%s  (total %s, self %s)\n", line,
+		formatDuration(s.Duration()), formatDuration(s.Self()))
+	for i, c := range s.Children {
+		c.render(w, childPrefix, i == len(s.Children)-1, false)
+	}
+}
+
+func formatDuration(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.3fms", float64(d.Nanoseconds())/1e6)
+	case d >= time.Microsecond:
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1e3)
+	default:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	}
+}
+
+// StageSummary is one row of a per-stage aggregate over one or more
+// traces (figure8 -trace, BENCH_pipeline).
+type StageSummary struct {
+	Stage  string
+	Count  int
+	Total  time.Duration
+	Median time.Duration
+}
+
+// SummarizeStages aggregates the durations of every span named in
+// stages across the given traces, returning one row per stage in the
+// given order (stages with no observations are skipped).
+func SummarizeStages(traces []*Span, stages []string) []StageSummary {
+	byStage := make(map[string][]time.Duration)
+	for _, tr := range traces {
+		tr.Walk(func(s *Span) {
+			byStage[s.Name] = append(byStage[s.Name], s.Duration())
+		})
+	}
+	var out []StageSummary
+	for _, name := range stages {
+		ds := byStage[name]
+		if len(ds) == 0 {
+			continue
+		}
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		var total time.Duration
+		for _, d := range ds {
+			total += d
+		}
+		out = append(out, StageSummary{
+			Stage:  name,
+			Count:  len(ds),
+			Total:  total,
+			Median: ds[len(ds)/2],
+		})
+	}
+	return out
+}
+
+// FormatStageTable renders stage summaries as an aligned text table.
+func FormatStageTable(rows []StageSummary) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %7s %12s %12s\n", "stage", "count", "total", "median")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %7d %12s %12s\n",
+			r.Stage, r.Count, formatDuration(r.Total), formatDuration(r.Median))
+	}
+	return b.String()
+}

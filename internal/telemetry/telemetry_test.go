@@ -1,0 +1,216 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func buildSample(durA, durB time.Duration) *Span {
+	root := New("Transfer").Field("recipient", "jasper").Field("target", "492")
+	root.SetDuration(durA + durB)
+	sel := root.Child("Select").Field("donors", "3")
+	sel.SetDuration(durA)
+	sel.Metricf("queries", "%d", int(durA)) // volatile, must not affect Structure
+	disc := root.Child("Discover")
+	disc.SetDuration(durB)
+	disc.Child("Compile").Field("unit", "donor").SetDuration(durB / 2)
+	return root
+}
+
+func TestStructureIgnoresTiming(t *testing.T) {
+	a := buildSample(time.Millisecond, 2*time.Millisecond)
+	b := buildSample(7*time.Second, 13*time.Microsecond)
+	if a.Structure() != b.Structure() {
+		t.Fatalf("structure differs across timings:\n%s\nvs\n%s", a.Structure(), b.Structure())
+	}
+	want := "Transfer recipient=jasper target=492\n" +
+		"  Select donors=3\n" +
+		"  Discover\n" +
+		"    Compile unit=donor\n"
+	if got := a.Structure(); got != want {
+		t.Fatalf("structure:\n%q\nwant\n%q", got, want)
+	}
+}
+
+func TestSpanJSONRoundTrip(t *testing.T) {
+	a := buildSample(time.Millisecond, 2*time.Millisecond)
+	data, err := a.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Structure() != a.Structure() {
+		t.Fatalf("structure changed over JSON round trip")
+	}
+	if back.Duration() != a.Duration() {
+		t.Fatalf("duration changed over JSON round trip: %v vs %v", back.Duration(), a.Duration())
+	}
+}
+
+func TestSelfTime(t *testing.T) {
+	root := New("Transfer")
+	root.SetDuration(10 * time.Millisecond)
+	root.Child("Select").SetDuration(3 * time.Millisecond)
+	root.Child("Discover").SetDuration(4 * time.Millisecond)
+	if got, want := root.Self(), 3*time.Millisecond; got != want {
+		t.Fatalf("self = %v, want %v", got, want)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	a := buildSample(time.Millisecond, 2*time.Millisecond)
+	b := a.Clone()
+	b.Children[0].Name = "mutated"
+	b.Children[0].Fields[0].Value = "mutated"
+	if a.Children[0].Name != "Select" || a.Children[0].Fields[0].Value != "3" {
+		t.Fatal("clone shares state with original")
+	}
+}
+
+func TestNilSpanIsSafe(t *testing.T) {
+	var s *Span
+	s.Field("k", "v").Metric("k", "v")
+	if c := s.Child("x"); c != nil {
+		t.Fatal("nil span produced non-nil child")
+	}
+	s.SetDuration(time.Second)
+	s.Walk(func(*Span) { t.Fatal("walk visited nil span") })
+	var sink *Sink
+	sink.ObserveTrace(buildSample(1, 2))
+	sink.ObserveSolver("equiv.memo", time.Millisecond)
+	sink.WriteMetrics(&strings.Builder{})
+}
+
+// TestBucketLabelsGolden freezes the histogram boundary rendering: the
+// /metrics exposition (and the BENCH_pipeline trajectory) depends on
+// these exact `le` strings.
+func TestBucketLabelsGolden(t *testing.T) {
+	want := []string{
+		"1e-06", "2.5e-06", "5e-06",
+		"1e-05", "2.5e-05", "5e-05",
+		"0.0001", "0.00025", "0.0005",
+		"0.001", "0.0025", "0.005",
+		"0.01", "0.025", "0.05",
+		"0.1", "0.25", "0.5",
+		"1", "2.5", "5", "10",
+	}
+	if len(bucketLabels) != len(want) {
+		t.Fatalf("bucket count = %d, want %d", len(bucketLabels), len(want))
+	}
+	for i, w := range want {
+		if bucketLabels[i] != w {
+			t.Fatalf("bucket %d label = %q, want %q", i, bucketLabels[i], w)
+		}
+	}
+}
+
+func TestHistogramObserveAndExposition(t *testing.T) {
+	var h Histogram
+	h.Observe(2 * time.Microsecond) // ≤ 2.5e-06
+	h.Observe(3 * time.Millisecond) // ≤ 0.005
+	h.Observe(20 * time.Second)     // +Inf only
+	if h.Count() != 3 {
+		t.Fatalf("count = %d, want 3", h.Count())
+	}
+	var b strings.Builder
+	h.write(&b, "m", "")
+	out := b.String()
+	for _, line := range []string{
+		`m_bucket{le="1e-06"} 0`,
+		`m_bucket{le="2.5e-06"} 1`,
+		`m_bucket{le="0.0025"} 1`,
+		`m_bucket{le="0.005"} 2`,
+		`m_bucket{le="10"} 2`,
+		`m_bucket{le="+Inf"} 3`,
+		`m_count 3`,
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Fatalf("exposition missing %q:\n%s", line, out)
+		}
+	}
+	// An observation exactly on a boundary lands in that bucket.
+	var hb Histogram
+	hb.Observe(time.Millisecond)
+	var bb strings.Builder
+	hb.write(&bb, "m", "")
+	if !strings.Contains(bb.String(), `m_bucket{le="0.001"} 1`+"\n") {
+		t.Fatalf("boundary observation not in its bucket:\n%s", bb.String())
+	}
+}
+
+func TestHistogramVecSortedExposition(t *testing.T) {
+	v := NewHistogramVec("phaged_test_seconds", "stage")
+	v.Observe("zeta", time.Millisecond)
+	v.Observe("alpha", time.Millisecond)
+	var b strings.Builder
+	v.Write(&b)
+	out := b.String()
+	ia := strings.Index(out, `stage="alpha"`)
+	iz := strings.Index(out, `stage="zeta"`)
+	if ia < 0 || iz < 0 || ia > iz {
+		t.Fatalf("label values not sorted in exposition:\n%s", out)
+	}
+	if !strings.Contains(out, `phaged_test_seconds_count{stage="alpha"} 1`+"\n") {
+		t.Fatalf("missing labeled count:\n%s", out)
+	}
+}
+
+func TestSinkObserveTrace(t *testing.T) {
+	s := NewSink()
+	tr := buildSample(time.Millisecond, 2*time.Millisecond)
+	tr.Child("Rescan").SetDuration(time.Millisecond)
+	s.ObserveTrace(tr)
+	// Transfer and Compile are not stage names; Select, Discover,
+	// Rescan are.
+	if got := s.Stage.With(StageSelect).Count(); got != 1 {
+		t.Fatalf("Select count = %d, want 1", got)
+	}
+	if got := s.Stage.With(StageDiscover).Count(); got != 1 {
+		t.Fatalf("Discover count = %d, want 1", got)
+	}
+	if got := s.Stage.With(StageRescan).Count(); got != 1 {
+		t.Fatalf("Rescan count = %d, want 1", got)
+	}
+	var b strings.Builder
+	s.WriteMetrics(&b)
+	if !strings.Contains(b.String(), `phaged_stage_duration_seconds_bucket{stage="Select",le="+Inf"} 1`) {
+		t.Fatalf("sink exposition missing stage histogram:\n%s", b.String())
+	}
+}
+
+func TestRenderShowsSelfAndTotal(t *testing.T) {
+	var b strings.Builder
+	buildSample(time.Millisecond, 2*time.Millisecond).Render(&b)
+	out := b.String()
+	if !strings.Contains(out, "Transfer") || !strings.Contains(out, "total") || !strings.Contains(out, "self") {
+		t.Fatalf("render output missing expected parts:\n%s", out)
+	}
+	if !strings.Contains(out, "└─ Discover") {
+		t.Fatalf("render output missing tree connectors:\n%s", out)
+	}
+}
+
+func TestSummarizeStages(t *testing.T) {
+	t1 := New("Transfer")
+	t1.Child("Select").SetDuration(2 * time.Millisecond)
+	t1.Child("Select").SetDuration(4 * time.Millisecond)
+	t1.Child("Rescan").SetDuration(time.Millisecond)
+	rows := SummarizeStages([]*Span{t1}, Stages)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (Select, Rescan)", len(rows))
+	}
+	if rows[0].Stage != StageSelect || rows[0].Count != 2 || rows[0].Median != 4*time.Millisecond {
+		t.Fatalf("select row = %+v", rows[0])
+	}
+	if rows[1].Stage != StageRescan || rows[1].Count != 1 {
+		t.Fatalf("rescan row = %+v", rows[1])
+	}
+	table := FormatStageTable(rows)
+	if !strings.Contains(table, "Select") || !strings.Contains(table, "median") {
+		t.Fatalf("table:\n%s", table)
+	}
+}
