@@ -22,6 +22,7 @@ import (
 	"codephage/internal/apps"
 	"codephage/internal/bitvec"
 	"codephage/internal/compile"
+	"codephage/internal/corpus"
 	"codephage/internal/figure8"
 	"codephage/internal/hachoir"
 	"codephage/internal/phage"
@@ -672,6 +673,56 @@ func TestFigure8PortfolioOnOffByteIdentical(t *testing.T) {
 	single := batchReports(t, smt.NewService(smt.Config{PortfolioReplicas: 1}))
 	diffReports(t, "racing vs sequential", racing, sequential)
 	diffReports(t, "racing vs single-replica", racing, single)
+}
+
+// TestFigure8PrefilterOnOffByteIdentical is the determinism bar for
+// the corpus fingerprint pre-filter: every Figure-8 target resolved
+// auto-donor — the Select stage picking the donor from the real
+// registry corpus — must produce a byte-identical report (selected
+// donor included) with the pre-filter enabled and disabled. The
+// pre-filter may only shrink the scored candidate set, never change
+// what selection returns.
+func TestFigure8PrefilterOnOffByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full auto-donor Figure-8 batches; runs in the full (non-short) suite")
+	}
+	run := func(noPrefilter bool) map[string][]byte {
+		eng := pipeline.NewEngine()
+		sel := &corpus.Selector{NoPrefilter: noPrefilter}
+		eng.Selector = sel
+		var tasks []pipeline.BatchTask
+		for _, tgt := range apps.Targets() {
+			tr, err := figure8.NewTransfer(tgt, pipeline.AutoDonor, phage.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tasks = append(tasks, pipeline.BatchTask{ID: tgt.Recipient + "/" + tgt.ID, Transfer: tr})
+		}
+		results, _ := (&pipeline.Batch{Engine: eng}).Run(tasks)
+		out := map[string][]byte{}
+		for _, r := range results {
+			if r.Err != nil {
+				t.Fatalf("%s failed: %v", r.ID, r.Err)
+			}
+			snap := r.Result.Snapshot()
+			rep := server.BuildReport(r.ID, "", snap.Donor, snap)
+			bs, err := rep.Marshal()
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[r.ID] = bs
+		}
+		st := sel.Stats()
+		if noPrefilter && st.PrefilterQueries != 0 {
+			t.Fatalf("disabled pre-filter still answered %d queries", st.PrefilterQueries)
+		}
+		if !noPrefilter && st.PrefilterQueries == 0 {
+			t.Fatal("enabled pre-filter answered no queries")
+		}
+		return out
+	}
+
+	diffReports(t, "prefilter on vs off", run(false), run(true))
 }
 
 // TestFigure8PersistedMemoByteIdentical is the determinism bar for

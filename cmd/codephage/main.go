@@ -14,6 +14,7 @@
 //	codephage -serve 127.0.0.1:8347
 //	codephage corpus build [-index corpus.json]
 //	codephage corpus show [-index corpus.json] [-format mjpg] [-v]
+//	codephage corpus fingerprints [-index corpus.json] [-format mjpg] [-v]
 //	codephage patch build|show|apply|rollback (verifiable patch artifacts)
 //	codephage trace show [-remote URL -job ID | -f trace.json]
 package main
@@ -79,7 +80,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: codephage -recipient <app> -target <id> [-donor <app>|auto] [-mode exit|return0] [-o patched.mc] [-remote URL]")
 		fmt.Fprintln(os.Stderr, "       codephage -list-donors")
 		fmt.Fprintln(os.Stderr, "       codephage -serve <addr>")
-		fmt.Fprintln(os.Stderr, "       codephage corpus build|show [-index corpus.json]")
+		fmt.Fprintln(os.Stderr, "       codephage corpus build|show|fingerprints [-index corpus.json]")
 		fmt.Fprintln(os.Stderr, "\navailable targets:")
 		for _, t := range apps.Targets() {
 			fmt.Fprintf(os.Stderr, "  -recipient %-12s -target %-24s donors: %v\n", t.Recipient, t.ID, t.Donors)
@@ -297,11 +298,13 @@ func printRegistry() {
 }
 
 // runCorpus is the corpus subcommand: build (re)establishes the
-// on-disk index, show prints the indexed signatures.
+// on-disk index, show prints the indexed signatures, fingerprints
+// builds/refreshes the winnowing pre-filter sidecar and summarizes it.
 func runCorpus(args []string) {
-	if len(args) == 0 || (args[0] != "build" && args[0] != "show") {
+	if len(args) == 0 || (args[0] != "build" && args[0] != "show" && args[0] != "fingerprints") {
 		fmt.Fprintln(os.Stderr, "usage: codephage corpus build [-index corpus.json]")
 		fmt.Fprintln(os.Stderr, "       codephage corpus show [-index corpus.json] [-format <name>] [-v]")
+		fmt.Fprintln(os.Stderr, "       codephage corpus fingerprints [-index corpus.json] [-format <name>] [-v]")
 		os.Exit(2)
 	}
 	verb := args[0]
@@ -347,6 +350,29 @@ func runCorpus(args []string) {
 			if *verbose {
 				for _, c := range sig.Checks {
 					fmt.Printf("             check: %s\n", c.Cond)
+				}
+			}
+		}
+	case "fingerprints":
+		ix, _, err := corpus.LoadOrBuild(*index, corpus.RegistryDonors())
+		if err != nil {
+			fatal(err)
+		}
+		side := corpus.FingerprintSidecar(*index)
+		fp, rebuilt, err := corpus.LoadOrBuildFingerprints(side, ix)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("fingerprint sidecar %s: k=%d window=%d, %d entries (%d rewinnowed, %d reused)\n",
+			side, fp.K, fp.Window, len(fp.Entries), rebuilt, len(fp.Entries)-rebuilt)
+		for _, e := range fp.Entries {
+			if *format != "" && e.Format != *format {
+				continue
+			}
+			fmt.Printf("%-12s %-8s %-34s %d prints\n", e.Donor, e.Format, e.SigKey, len(e.Prints))
+			if *verbose {
+				for _, p := range e.Prints {
+					fmt.Printf("             %016x\n", p)
 				}
 			}
 		}

@@ -95,6 +95,11 @@ type Signature struct {
 type Index struct {
 	Version    int          `json:"version"`
 	Signatures []*Signature `json:"signatures"`
+
+	// fp is the attached winnowing pre-filter (nil = exhaustive
+	// selection). Runtime-only: derived by AttachFingerprints, never
+	// serialized.
+	fp *fpRuntime
 }
 
 // ContentKey returns the identity of a donor's source text.

@@ -1,0 +1,422 @@
+// Winnowing fingerprints: the similarity pre-filter in front of exact
+// signature ranking. Every signature's dissector field paths and
+// canonicalized check conditions are reduced to a small set of k-gram
+// winnowing fingerprints (the Dolos/MOSS technique: hash every k-gram,
+// then keep each window's minimum), and the per-format fingerprints
+// are inverted into sharded postings (fingerprint -> signature
+// ordinals). A Select query fingerprints only the perturbed field
+// paths and intersects them with the postings, so the exact scorer
+// touches a candidate subset instead of every format-matching donor.
+//
+// The pre-filter is sound, not heuristic: a signature's entry contains
+// every fingerprint of every path in Signature.Fields, and a query
+// fingerprints whole relevant paths, so any donor with positive
+// FieldOverlap — and therefore any donor with positive CheckHits,
+// since Fields is the union of the checks' fields — carries the
+// complete fingerprint set of at least one relevant path and survives
+// the conjunctive postings intersection. Donors outside the candidate
+// set can only score zero, and zero-score donors order purely by
+// (FlippedSites desc, Donor asc), which is precomputed per format. The
+// prefiltered ranking is therefore byte-identical to the exhaustive
+// one.
+package corpus
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+)
+
+const (
+	// FingerprintVersion is the sidecar schema version; sidecars
+	// written by other versions (or other k/window parameters) are
+	// rebuilt wholesale.
+	FingerprintVersion = 1
+	// FingerprintK is the k-gram length fingerprints hash.
+	FingerprintK = 8
+	// FingerprintWindow is the winnowing window: one fingerprint is
+	// guaranteed per FingerprintWindow consecutive k-grams.
+	FingerprintWindow = 4
+	// fpShardCount shards the in-memory postings by fingerprint low
+	// bits, bounding any single map and keeping shard assembly
+	// parallelizable without cross-shard coordination.
+	fpShardCount = 16
+)
+
+// FingerprintEntry is one signature's persisted fingerprint set, keyed
+// for entry-level invalidation exactly like the signature index.
+type FingerprintEntry struct {
+	Donor  string `json:"donor"`
+	Format string `json:"format"`
+	// SigKey identifies the signature content the prints were computed
+	// from (content key, probe key, checks, flip count); any signature
+	// change invalidates exactly this entry.
+	SigKey string `json:"sig_key"`
+	// Prints is the sorted, deduplicated winnowing fingerprint set.
+	Prints []uint64 `json:"prints"`
+}
+
+// FingerprintIndex is the persisted pre-filter: one entry per indexed
+// signature, in signature-index order. The inverted postings are
+// runtime state derived on attach, never serialized.
+type FingerprintIndex struct {
+	Version int                 `json:"version"`
+	K       int                 `json:"k"`
+	Window  int                 `json:"window"`
+	Entries []*FingerprintEntry `json:"entries"`
+}
+
+// fpFormat is the attached runtime pre-filter for one format: the
+// format's signatures in index order, sharded inverted postings over
+// their fingerprints, and the precomputed zero-score tail order.
+type fpFormat struct {
+	sigs []*Signature
+	// shards maps fingerprint -> ordinals into sigs, sharded by
+	// fingerprint low bits. Posting lists are sorted ascending.
+	shards [fpShardCount]map[uint64][]int32
+	// zero holds sig ordinals reordered the way the exact ranker
+	// orders zero-score candidates: FlippedSites desc, then donor name
+	// asc.
+	zero []int32
+	// Interned scoring state: when the format's signatures span at
+	// most 64 distinct field paths (masksOK), each path gets a bit and
+	// candidates score with mask intersections instead of string-map
+	// lookups. fieldsMask and checkMasks are per ordinal.
+	masksOK    bool
+	fieldID    map[string]int
+	fieldsMask []uint64
+	checkMasks [][]uint64
+}
+
+// buildMasks interns the format's field paths into bit positions. A
+// format with more than 64 distinct paths keeps masksOK false and
+// scores through scoreRel instead; results are identical either way.
+func (ff *fpFormat) buildMasks() {
+	ids := map[string]int{}
+	intern := func(f string) {
+		if _, ok := ids[f]; !ok {
+			ids[f] = len(ids)
+		}
+	}
+	for _, sig := range ff.sigs {
+		for _, f := range sig.Fields {
+			intern(f)
+		}
+		for _, c := range sig.Checks {
+			for _, f := range c.Fields {
+				intern(f)
+			}
+		}
+	}
+	if len(ids) > 64 {
+		return
+	}
+	ff.fieldID = ids
+	ff.fieldsMask = make([]uint64, len(ff.sigs))
+	ff.checkMasks = make([][]uint64, len(ff.sigs))
+	for i, sig := range ff.sigs {
+		var m uint64
+		for _, f := range sig.Fields {
+			m |= 1 << ids[f]
+		}
+		ff.fieldsMask[i] = m
+		cm := make([]uint64, len(sig.Checks))
+		for j, c := range sig.Checks {
+			var x uint64
+			for _, f := range c.Fields {
+				x |= 1 << ids[f]
+			}
+			cm[j] = x
+		}
+		ff.checkMasks[i] = cm
+	}
+	ff.masksOK = true
+}
+
+// Fingerprints returns the winnowing fingerprint set of one string:
+// hash every k-gram (k = FingerprintK) with a rolling polynomial hash,
+// slide a window of FingerprintWindow consecutive k-gram hashes, and
+// keep each window's minimum (rightmost on ties, per the winnowing
+// paper). Strings shorter than k hash wholly as a single fingerprint.
+// The result is sorted and deduplicated; it is empty only for the
+// empty string.
+func Fingerprints(s string) []uint64 {
+	if len(s) == 0 {
+		return nil
+	}
+	if len(s) < FingerprintK {
+		return []uint64{gramHash(s)}
+	}
+	n := len(s) - FingerprintK + 1
+	hashes := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		hashes[i] = gramHash(s[i : i+FingerprintK])
+	}
+	seen := map[uint64]bool{}
+	var out []uint64
+	keep := func(h uint64) {
+		if !seen[h] {
+			seen[h] = true
+			out = append(out, h)
+		}
+	}
+	if n <= FingerprintWindow {
+		// Fewer k-grams than one window: keep the single minimum.
+		min := hashes[0]
+		for _, h := range hashes[1:] {
+			if h <= min {
+				min = h
+			}
+		}
+		keep(min)
+	} else {
+		prev := -1
+		for i := 0; i+FingerprintWindow <= n; i++ {
+			m := i
+			for j := i + 1; j < i+FingerprintWindow; j++ {
+				if hashes[j] <= hashes[m] {
+					m = j // rightmost minimum
+				}
+			}
+			if m != prev {
+				prev = m
+				keep(hashes[m])
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// gramHash is FNV-1a over one k-gram (or a whole short string).
+func gramHash(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// sigKey hashes everything a signature's fingerprints depend on. It
+// subsumes ContentKey and ProbeKey (so the sidecar inherits the
+// signature index's invalidation triggers) and adds the check bodies
+// themselves, so an index schema change that alters canonicalization
+// also invalidates the derived prints.
+func sigKey(sig *Signature) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%s\x00%d\x00", sig.ContentKey, sig.ProbeKey, sig.FlippedSites)
+	for _, f := range sig.Fields {
+		fmt.Fprintf(h, "f%s\x00", f)
+	}
+	for _, c := range sig.Checks {
+		fmt.Fprintf(h, "c%s\x00%v\x00", c.Cond, c.Fields)
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// entryPrints computes one signature's fingerprint set: the union of
+// the winnowed field paths and check conditions, sorted and
+// deduplicated. Field paths are what queries intersect on (the
+// soundness carrier); check-condition grams add similarity signal for
+// inspection tooling without affecting soundness.
+func entryPrints(sig *Signature) []uint64 {
+	seen := map[uint64]bool{}
+	var out []uint64
+	add := func(prints []uint64) {
+		for _, p := range prints {
+			if !seen[p] {
+				seen[p] = true
+				out = append(out, p)
+			}
+		}
+	}
+	for _, f := range sig.Fields {
+		add(Fingerprints(f))
+	}
+	for _, c := range sig.Checks {
+		add(Fingerprints(c.Cond))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// buildEntry fingerprints one signature.
+func buildEntry(sig *Signature) *FingerprintEntry {
+	return &FingerprintEntry{
+		Donor:  sig.Donor,
+		Format: sig.Format,
+		SigKey: sigKey(sig),
+		Prints: entryPrints(sig),
+	}
+}
+
+// AttachFingerprints derives the runtime inverted postings from the
+// sidecar and installs them on the index, enabling the prefiltered
+// select path. Entries must cover the index exactly (same
+// donor/format pairs, current sig keys); a format with any missing or
+// stale entry is left unattached and falls back to the exhaustive
+// scan, so a half-refreshed sidecar can never change selection
+// results. Attach before publishing the index to other goroutines.
+func (ix *Index) AttachFingerprints(fp *FingerprintIndex) error {
+	if fp == nil {
+		ix.fp = nil
+		return nil
+	}
+	if fp.Version != FingerprintVersion || fp.K != FingerprintK || fp.Window != FingerprintWindow {
+		return fmt.Errorf("corpus: fingerprint index parameters v%d/k%d/w%d, want v%d/k%d/w%d",
+			fp.Version, fp.K, fp.Window, FingerprintVersion, FingerprintK, FingerprintWindow)
+	}
+	byKey := map[string]*FingerprintEntry{}
+	for _, e := range fp.Entries {
+		if e == nil {
+			return fmt.Errorf("corpus: null fingerprint entry")
+		}
+		byKey[e.Donor+"\x00"+e.Format] = e
+	}
+	byFormat := map[string]*fpFormat{}
+	stale := map[string]bool{}
+	for _, sig := range ix.Signatures {
+		e, ok := byKey[sig.Donor+"\x00"+sig.Format]
+		if !ok || e.SigKey != sigKey(sig) {
+			stale[sig.Format] = true
+			continue
+		}
+		ff := byFormat[sig.Format]
+		if ff == nil {
+			ff = &fpFormat{}
+			for i := range ff.shards {
+				ff.shards[i] = map[uint64][]int32{}
+			}
+			byFormat[sig.Format] = ff
+		}
+		ord := int32(len(ff.sigs))
+		ff.sigs = append(ff.sigs, sig)
+		for _, p := range e.Prints {
+			sh := ff.shards[p%fpShardCount]
+			sh[p] = append(sh[p], ord)
+		}
+	}
+	for format := range stale {
+		delete(byFormat, format)
+	}
+	for _, ff := range byFormat {
+		ff.buildMasks()
+		ff.zero = make([]int32, len(ff.sigs))
+		for i := range ff.zero {
+			ff.zero[i] = int32(i)
+		}
+		sort.Slice(ff.zero, func(i, j int) bool {
+			a, b := ff.sigs[ff.zero[i]], ff.sigs[ff.zero[j]]
+			if a.FlippedSites != b.FlippedSites {
+				return a.FlippedSites > b.FlippedSites
+			}
+			return a.Donor < b.Donor
+		})
+	}
+	ix.fp = &fpRuntime{index: fp, byFormat: byFormat}
+	return nil
+}
+
+// Fingerprints returns the attached sidecar, nil when the index runs
+// exhaustively.
+func (ix *Index) Fingerprints() *FingerprintIndex {
+	if ix.fp == nil {
+		return nil
+	}
+	return ix.fp.index
+}
+
+// fpRuntime pairs the persisted sidecar with its derived postings.
+type fpRuntime struct {
+	index    *FingerprintIndex
+	byFormat map[string]*fpFormat
+}
+
+// candidates returns the ordinals of signatures whose entry carries
+// the complete fingerprint set of at least one relevant field path,
+// sorted and deduplicated. Requiring every print of a path — a
+// conjunctive intersection of its posting lists — loses no positive
+// (a donor sharing the whole path carries all of its prints) while
+// rejecting donors whose fields merely share a hierarchical prefix
+// with the perturbed one.
+func (ff *fpFormat) candidates(relevant []string) []int32 {
+	var out []int32
+	for _, f := range relevant {
+		prints := Fingerprints(f)
+		if len(prints) == 0 {
+			continue
+		}
+		lists := make([][]int32, 0, len(prints))
+		for _, p := range prints {
+			l := ff.shards[p%fpShardCount][p]
+			if len(l) == 0 {
+				lists = nil
+				break
+			}
+			lists = append(lists, l)
+		}
+		if lists == nil {
+			continue
+		}
+		// Intersect smallest-first so the working set shrinks fastest.
+		sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
+		cur := lists[0]
+		for _, l := range lists[1:] {
+			if cur = intersectOrds(cur, l); len(cur) == 0 {
+				break
+			}
+		}
+		out = unionOrds(out, cur)
+	}
+	return out
+}
+
+// intersectOrds merges two sorted ordinal lists into their
+// intersection.
+func intersectOrds(a, b []int32) []int32 {
+	out := make([]int32, 0, len(a))
+	for i, j := 0, 0; i < len(a) && j < len(b); {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// unionOrds merges two sorted ordinal lists into their deduplicated
+// union.
+func unionOrds(a, b []int32) []int32 {
+	if len(a) == 0 {
+		return append([]int32(nil), b...)
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]int32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}

@@ -1,0 +1,230 @@
+package corpus
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func fpTestSig(donor, format string, fields ...string) *Signature {
+	sig := &Signature{
+		Donor: donor, Paper: "t", Format: format,
+		ContentKey: "ck-" + donor, ProbeKey: "pk-" + format,
+		Fields: fields, FlippedSites: 1,
+	}
+	for _, f := range fields {
+		sig.Checks = append(sig.Checks, CheckSig{Cond: "Ule(" + f + ", 4096)", Fields: []string{f}})
+	}
+	return sig
+}
+
+func TestFingerprintsDeterministicAndSorted(t *testing.T) {
+	cases := []string{
+		"/start_frame/content/width",
+		"/ihdr/width",
+		"/eth/pro", // exactly k bytes
+		"/short",   // below k: whole-string hash
+		"Ule(/screen/width, 16384) && Ule(/screen/height, 16384)",
+	}
+	for _, s := range cases {
+		a, b := Fingerprints(s), Fingerprints(s)
+		if len(a) == 0 {
+			t.Errorf("Fingerprints(%q) is empty", s)
+		}
+		if string(mustJSON(t, a)) != string(mustJSON(t, b)) {
+			t.Errorf("Fingerprints(%q) not deterministic", s)
+		}
+		for i := 1; i < len(a); i++ {
+			if a[i] <= a[i-1] {
+				t.Errorf("Fingerprints(%q) not strictly increasing at %d", s, i)
+			}
+		}
+	}
+	if got := Fingerprints(""); got != nil {
+		t.Errorf("Fingerprints(\"\") = %v, want nil", got)
+	}
+	if a, b := Fingerprints("/ihdr/width"), Fingerprints("/ihdr/height"); string(mustJSON(t, a)) == string(mustJSON(t, b)) {
+		t.Error("distinct paths produced identical fingerprint sets")
+	}
+}
+
+// TestEntryPrintsCoverFields pins the soundness carrier: a
+// signature's entry contains every fingerprint of every path in
+// Signature.Fields, so a query that fingerprints a shared whole path
+// always intersects the entry's posting set.
+func TestEntryPrintsCoverFields(t *testing.T) {
+	sig := fpTestSig("d1", "mjpg", "/start_frame/content/width", "/start_frame/content/height", "/version")
+	in := map[uint64]bool{}
+	for _, p := range entryPrints(sig) {
+		in[p] = true
+	}
+	for _, f := range sig.Fields {
+		for _, p := range Fingerprints(f) {
+			if !in[p] {
+				t.Fatalf("entry prints miss fingerprint %d of field %s", p, f)
+			}
+		}
+	}
+}
+
+func mustJSON(t testing.TB, v any) []byte {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestSigKeySensitivity(t *testing.T) {
+	base := fpTestSig("d1", "mgif", "/screen/width")
+	key := sigKey(base)
+	mutations := []func(*Signature){
+		func(s *Signature) { s.ContentKey = "other" },
+		func(s *Signature) { s.ProbeKey = "other" },
+		func(s *Signature) { s.FlippedSites++ },
+		func(s *Signature) { s.Fields = append(s.Fields, "/screen/height") },
+		func(s *Signature) { s.Checks[0].Cond = "Ule(/screen/width, 8192)" },
+	}
+	for i, mut := range mutations {
+		sig := fpTestSig("d1", "mgif", "/screen/width")
+		mut(sig)
+		if sigKey(sig) == key {
+			t.Errorf("mutation %d did not change the sig key", i)
+		}
+	}
+	if sigKey(fpTestSig("d1", "mgif", "/screen/width")) != key {
+		t.Error("sig key not deterministic")
+	}
+}
+
+func TestRefreshFingerprintsReusesWarmEntries(t *testing.T) {
+	ix := &Index{Version: Version, Signatures: []*Signature{
+		fpTestSig("d1", "mgif", "/screen/width"),
+		fpTestSig("d2", "mgif", "/image/height"),
+		fpTestSig("d2", "mpng", "/ihdr/width"),
+	}}
+	fp, rebuilt := RefreshFingerprints(nil, ix)
+	if rebuilt != 3 || len(fp.Entries) != 3 {
+		t.Fatalf("cold build: rebuilt %d, entries %d", rebuilt, len(fp.Entries))
+	}
+	for i, e := range fp.Entries {
+		if e.Donor != ix.Signatures[i].Donor || e.Format != ix.Signatures[i].Format {
+			t.Fatalf("entry %d out of index order: %s/%s", i, e.Donor, e.Format)
+		}
+		if len(e.Prints) == 0 {
+			t.Fatalf("entry %d has no prints", i)
+		}
+	}
+
+	// Warm refresh: everything reused.
+	warm, rebuilt := RefreshFingerprints(fp, ix)
+	if rebuilt != 0 {
+		t.Errorf("warm refresh rebuilt %d entries", rebuilt)
+	}
+	for i := range warm.Entries {
+		if warm.Entries[i] != fp.Entries[i] {
+			t.Errorf("warm entry %d not reused", i)
+		}
+	}
+
+	// One signature changes: exactly its entry is re-winnowed.
+	ix.Signatures[1] = fpTestSig("d2", "mgif", "/image/width")
+	part, rebuilt := RefreshFingerprints(fp, ix)
+	if rebuilt != 1 {
+		t.Errorf("partial refresh rebuilt %d entries, want 1", rebuilt)
+	}
+	if part.Entries[0] != fp.Entries[0] || part.Entries[2] != fp.Entries[2] {
+		t.Error("unchanged entries not reused")
+	}
+	if part.Entries[1] == fp.Entries[1] {
+		t.Error("stale entry reused")
+	}
+}
+
+func TestDecodeFingerprintsRejectsHostileInput(t *testing.T) {
+	good := BuildFingerprints(&Index{Version: Version, Signatures: []*Signature{
+		fpTestSig("d1", "mgif", "/screen/width"),
+	}})
+	data, err := json.Marshal(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeFingerprints(data); err != nil {
+		t.Fatalf("canonical sidecar rejected: %v", err)
+	}
+	bad := map[string]string{
+		"empty object":    `{}`,
+		"wrong version":   `{"version":99,"k":8,"window":4,"entries":[]}`,
+		"wrong k":         `{"version":1,"k":5,"window":4,"entries":[]}`,
+		"wrong window":    `{"version":1,"k":8,"window":9,"entries":[]}`,
+		"null entry":      `{"version":1,"k":8,"window":4,"entries":[null]}`,
+		"anonymous entry": `{"version":1,"k":8,"window":4,"entries":[{"donor":"","format":"mgif","sig_key":"x","prints":[1]}]}`,
+		"duplicate entry": `{"version":1,"k":8,"window":4,"entries":[{"donor":"d","format":"f","sig_key":"x","prints":[1]},{"donor":"d","format":"f","sig_key":"y","prints":[2]}]}`,
+		"unsorted prints": `{"version":1,"k":8,"window":4,"entries":[{"donor":"d","format":"f","sig_key":"x","prints":[2,1]}]}`,
+		"dup prints":      `{"version":1,"k":8,"window":4,"entries":[{"donor":"d","format":"f","sig_key":"x","prints":[1,1]}]}`,
+		"truncated":       string(data[:len(data)/2]),
+		"not json":        "prints!",
+	}
+	for name, in := range bad {
+		if _, err := DecodeFingerprints([]byte(in)); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+func TestAttachFingerprintsFallsBackPerFormat(t *testing.T) {
+	ix := &Index{Version: Version, Signatures: []*Signature{
+		fpTestSig("d1", "mgif", "/screen/width"),
+		fpTestSig("d2", "mpng", "/ihdr/width"),
+	}}
+	fp := BuildFingerprints(ix)
+	// Corrupt mgif's entry key: that format must fall back, mpng stays
+	// prefiltered.
+	fp.Entries[0].SigKey = "stale"
+	if err := ix.AttachFingerprints(fp); err != nil {
+		t.Fatal(err)
+	}
+	if ix.fp.byFormat["mgif"] != nil {
+		t.Error("stale mgif entry still attached")
+	}
+	if ix.fp.byFormat["mpng"] == nil {
+		t.Error("fresh mpng entry not attached")
+	}
+}
+
+func TestFingerprintSidecarPersists(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ix.json")
+	ix := &Index{Version: Version, Signatures: []*Signature{
+		fpTestSig("d1", "mgif", "/screen/width"),
+	}}
+	side := FingerprintSidecar(path)
+	if !strings.HasSuffix(side, ".fp") {
+		t.Fatalf("sidecar path %q", side)
+	}
+	if FingerprintSidecar("") != "" {
+		t.Fatal("in-memory index mapped to an on-disk sidecar")
+	}
+	if _, rebuilt, err := LoadOrBuildFingerprints(side, ix); err != nil || rebuilt != 1 {
+		t.Fatalf("cold sidecar build: rebuilt %d, err %v", rebuilt, err)
+	}
+	if _, err := os.Stat(side); err != nil {
+		t.Fatalf("sidecar not written: %v", err)
+	}
+	if _, rebuilt, err := LoadOrBuildFingerprints(side, ix); err != nil || rebuilt != 0 {
+		t.Fatalf("warm sidecar load: rebuilt %d, err %v", rebuilt, err)
+	}
+	// Corrupt the sidecar: the next load rebuilds and rewrites it.
+	if err := os.WriteFile(side, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, rebuilt, err := LoadOrBuildFingerprints(side, ix); err != nil || rebuilt != 1 {
+		t.Fatalf("corrupt sidecar reload: rebuilt %d, err %v", rebuilt, err)
+	}
+	if fp, err := LoadFingerprints(side); err != nil || len(fp.Entries) != 1 {
+		t.Fatalf("rewritten sidecar unreadable: %v", err)
+	}
+}

@@ -1,0 +1,179 @@
+// Persistence and incremental refresh for the fingerprint sidecar.
+// The sidecar lives beside the signature index (path + ".fp"), is
+// written atomically, and is reconciled entry-by-entry: an entry whose
+// SigKey still matches its signature is reused verbatim, everything
+// else is re-winnowed concurrently with a deterministic merge in
+// signature-index order.
+package corpus
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"runtime"
+	"sync"
+
+	"codephage/internal/fsatomic"
+)
+
+// FingerprintSidecar returns the sidecar path for an index path
+// ("" stays "" — an in-memory index keeps its prints in memory too).
+func FingerprintSidecar(indexPath string) string {
+	if indexPath == "" {
+		return ""
+	}
+	return indexPath + ".fp"
+}
+
+// Save writes the fingerprint index atomically and durably, like the
+// signature index it shadows.
+func (fp *FingerprintIndex) Save(path string) error {
+	data, err := json.MarshalIndent(fp, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return fsatomic.WriteFile(path, data, 0o644)
+}
+
+// DecodeFingerprints parses serialized sidecar bytes. Malformed,
+// truncated, version- or parameter-mismatched input returns an error —
+// never a panic — which the load path treats as "rebuild". Accepted
+// input is canonical: entries non-null with non-empty donor/format,
+// one entry per donor/format pair, prints strictly increasing.
+func DecodeFingerprints(data []byte) (*FingerprintIndex, error) {
+	var fp FingerprintIndex
+	if err := json.Unmarshal(data, &fp); err != nil {
+		return nil, err
+	}
+	if fp.Version != FingerprintVersion {
+		return nil, fmt.Errorf("fingerprint version %d, want %d", fp.Version, FingerprintVersion)
+	}
+	if fp.K != FingerprintK || fp.Window != FingerprintWindow {
+		return nil, fmt.Errorf("fingerprint parameters k=%d w=%d, want k=%d w=%d",
+			fp.K, fp.Window, FingerprintK, FingerprintWindow)
+	}
+	seen := map[string]bool{}
+	for i, e := range fp.Entries {
+		if e == nil {
+			return nil, fmt.Errorf("null fingerprint entry %d", i)
+		}
+		if e.Donor == "" || e.Format == "" {
+			return nil, fmt.Errorf("fingerprint entry %d names no donor/format", i)
+		}
+		key := e.Donor + "\x00" + e.Format
+		if seen[key] {
+			return nil, fmt.Errorf("duplicate fingerprint entry for %s/%s", e.Donor, e.Format)
+		}
+		seen[key] = true
+		for j := 1; j < len(e.Prints); j++ {
+			if e.Prints[j] <= e.Prints[j-1] {
+				return nil, fmt.Errorf("fingerprint entry %d prints not strictly increasing", i)
+			}
+		}
+	}
+	return &fp, nil
+}
+
+// LoadFingerprints reads a sidecar from disk.
+func LoadFingerprints(path string) (*FingerprintIndex, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	fp, err := DecodeFingerprints(data)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: %s: %w", path, err)
+	}
+	return fp, nil
+}
+
+// BuildFingerprints winnows every signature of an index from scratch.
+func BuildFingerprints(ix *Index) *FingerprintIndex {
+	fp, _ := RefreshFingerprints(nil, ix)
+	return fp
+}
+
+// RefreshFingerprints reconciles a sidecar against the current index:
+// entries whose SigKey still matches are reused, stale or missing ones
+// are re-winnowed by a worker pool, and the merge is deterministic —
+// entries come out in signature-index order regardless of worker
+// scheduling. Returns the reconciled sidecar and the number of entries
+// rebuilt.
+func RefreshFingerprints(old *FingerprintIndex, ix *Index) (*FingerprintIndex, int) {
+	reuse := map[string]*FingerprintEntry{}
+	if old != nil && old.Version == FingerprintVersion && old.K == FingerprintK && old.Window == FingerprintWindow {
+		for _, e := range old.Entries {
+			if e != nil {
+				reuse[e.Donor+"\x00"+e.Format] = e
+			}
+		}
+	}
+	out := make([]*FingerprintEntry, len(ix.Signatures))
+	var todo []int
+	for i, sig := range ix.Signatures {
+		if e, ok := reuse[sig.Donor+"\x00"+sig.Format]; ok && e.SigKey == sigKey(sig) {
+			out[i] = e
+			continue
+		}
+		todo = append(todo, i)
+	}
+	if len(todo) > 0 {
+		workers := runtime.GOMAXPROCS(0)
+		if workers > len(todo) {
+			workers = len(todo)
+		}
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					out[i] = buildEntry(ix.Signatures[i])
+				}
+			}()
+		}
+		for _, i := range todo {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+	return &FingerprintIndex{
+		Version: FingerprintVersion,
+		K:       FingerprintK,
+		Window:  FingerprintWindow,
+		Entries: out,
+	}, len(todo)
+}
+
+// LoadOrBuildFingerprints returns a warm sidecar for the index: it
+// loads path if present, reconciles every entry against the current
+// signatures, rebuilds from scratch when the file is missing,
+// unreadable or parameter-mismatched, and persists the result whenever
+// anything changed. path == "" keeps the sidecar in memory only. The
+// returned count is the number of entries re-winnowed.
+func LoadOrBuildFingerprints(path string, ix *Index) (*FingerprintIndex, int, error) {
+	var old *FingerprintIndex
+	if path != "" {
+		fp, err := LoadFingerprints(path)
+		switch {
+		case err == nil:
+			old = fp
+		case errors.Is(err, fs.ErrNotExist):
+			// First build.
+		default:
+			// Unreadable or mismatched sidecar: rebuild it.
+		}
+	}
+	fp, rebuilt := RefreshFingerprints(old, ix)
+	if path != "" && (old == nil || rebuilt > 0 || len(fp.Entries) != len(old.Entries)) {
+		if err := fp.Save(path); err != nil {
+			return nil, rebuilt, err
+		}
+	}
+	return fp, rebuilt, nil
+}

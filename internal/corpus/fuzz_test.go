@@ -56,3 +56,60 @@ func FuzzIndexLoad(f *testing.F) {
 		}
 	})
 }
+
+// FuzzFingerprintLoad hammers the fingerprint-sidecar decoder the same
+// way: hostile bytes must produce a fingerprint index or an error,
+// never a panic, and an accepted sidecar must round-trip through the
+// encoder and attach cleanly to an empty index (attaching is the first
+// thing a warm phaged start does with it).
+func FuzzFingerprintLoad(f *testing.F) {
+	good, err := json.Marshal(BuildFingerprints(&Index{Version: Version, Signatures: []*Signature{{
+		Donor: "feh", Paper: "FEH 2.9.3", Format: "mjpg",
+		ContentKey: "abc", ProbeKey: "def",
+		Fields: []string{"/start_frame/content/width"},
+		Checks: []CheckSig{{Cond: "Ule(w, 16384)", Fields: []string{"/start_frame/content/width"}}},
+	}}}))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"version":1,"k":8,"window":4,"entries":[]}`))
+	f.Add([]byte(`{"version":1,"k":8,"window":4,"entries":[null]}`))
+	f.Add([]byte(`{"version":1,"k":8,"window":4,"entries":[{"donor":"d","format":"f","sig_key":"x","prints":[2,1]}]}`))
+	f.Add(good[:len(good)/2])
+	f.Add([]byte(`[]`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fp, err := DecodeFingerprints(data)
+		if err != nil {
+			return
+		}
+		if fp.Version != FingerprintVersion || fp.K != FingerprintK || fp.Window != FingerprintWindow {
+			t.Fatalf("accepted sidecar with parameters v%d/k%d/w%d", fp.Version, fp.K, fp.Window)
+		}
+		out, err := json.Marshal(fp)
+		if err != nil {
+			t.Fatalf("accepted sidecar does not re-encode: %v", err)
+		}
+		if _, err := DecodeFingerprints(out); err != nil {
+			t.Fatalf("re-encoded sidecar does not decode: %v", err)
+		}
+		for _, e := range fp.Entries {
+			if e == nil {
+				t.Fatal("DecodeFingerprints accepted a null entry")
+			}
+			for i := 1; i < len(e.Prints); i++ {
+				if e.Prints[i] <= e.Prints[i-1] {
+					t.Fatalf("accepted unsorted prints in %s/%s", e.Donor, e.Format)
+				}
+			}
+		}
+		// Stale entries must never attach; an empty index accepts only
+		// an empty cover, so any non-empty accepted sidecar attaches as
+		// all-stale and leaves every format exhaustive.
+		if err := (&Index{Version: Version}).AttachFingerprints(fp); err != nil {
+			t.Fatalf("accepted sidecar does not attach: %v", err)
+		}
+	})
+}

@@ -5,7 +5,6 @@
 package corpus
 
 import (
-	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -15,7 +14,6 @@ import (
 	"codephage/internal/ir"
 	"codephage/internal/pipeline"
 	"codephage/internal/smt"
-	"codephage/internal/vm"
 )
 
 // Candidate is one donor considered during selection, with its
@@ -74,6 +72,12 @@ func score(sig *Signature, relevant []string) (checkHits, fieldOverlap int) {
 	for _, f := range relevant {
 		rel[f] = true
 	}
+	return scoreRel(sig, rel)
+}
+
+// scoreRel is score over a prebuilt relevance set, so a caller scoring
+// many signatures against one query builds the set once.
+func scoreRel(sig *Signature, rel map[string]bool) (checkHits, fieldOverlap int) {
 	for _, f := range sig.Fields {
 		if rel[f] {
 			fieldOverlap++
@@ -102,8 +106,22 @@ func rank(sigs []*Signature, relevant []string) []Candidate {
 			CheckHits: hits, FieldOverlap: overlap, Flipped: sig.FlippedSites,
 		})
 	}
-	sort.Slice(cands, func(i, j int) bool {
-		a, b := cands[i], cands[j]
+	sortCandidates(cands)
+	return cands
+}
+
+// sortCandidates applies the rank comparator in place.
+func sortCandidates(cands []Candidate) {
+	// Sort an index permutation rather than the candidates themselves:
+	// swapping ints beats shuffling the wide Candidate struct, and the
+	// comparator is a total order (donor names are unique per format),
+	// so the result is identical either way.
+	idx := make([]int, len(cands))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool {
+		a, b := &cands[idx[i]], &cands[idx[j]]
 		if a.CheckHits != b.CheckHits {
 			return a.CheckHits > b.CheckHits
 		}
@@ -115,7 +133,11 @@ func rank(sigs []*Signature, relevant []string) []Candidate {
 		}
 		return a.Donor < b.Donor
 	})
-	return cands
+	sorted := make([]Candidate, len(cands))
+	for i, j := range idx {
+		sorted[i] = cands[j]
+	}
+	copy(cands, sorted)
 }
 
 // ModuleLoader resolves a donor name to its stripped binary module.
@@ -133,45 +155,26 @@ func RegistryLoader(donor string) (*ir.Module, error) {
 }
 
 // Select triages the index for a recipient error: format match first,
-// then the VM survival probe (the donor must process both the seed
-// and the error input safely, §3.1), then signature ranking. The
-// loader supplies donor binaries for the survival probe.
+// then signature ranking (through the fingerprint pre-filter when one
+// is attached), then the VM survival probe down the full ranked order
+// (the donor must process both the seed and the error input safely,
+// §3.1). It is the fully-drained form of SelectStream, so its
+// Selection is identical with and without the pre-filter. The loader
+// supplies donor binaries for the survival probe.
 func (ix *Index) Select(format string, seed, errIn []byte, load ModuleLoader) (*Selection, error) {
-	dissector, ok := hachoir.ByName(format)
-	if !ok {
-		return nil, fmt.Errorf("corpus: unknown input format %q", format)
-	}
-	dis, err := dissector.Dissect(seed)
+	st, err := ix.SelectStream(format, seed, errIn, load)
 	if err != nil {
 		return nil, err
 	}
-	sel := &Selection{
-		Format:         format,
-		RelevantFields: RelevantFields(dis, seed, errIn),
+	for {
+		cand, err := st.Next()
+		if err != nil {
+			return nil, err
+		}
+		if cand == nil {
+			return st.Selection(), nil
+		}
 	}
-	for _, cand := range rank(ix.ForFormat(format), sel.RelevantFields) {
-		mod, lerr := load(cand.Donor)
-		if lerr != nil {
-			cand.Reason = lerr.Error()
-			sel.Rejected = append(sel.Rejected, cand)
-			continue
-		}
-		runner := vm.NewRunner(mod)
-		if r := runner.Run(seed); !r.OK() {
-			cand.Reason = fmt.Sprintf("crashes on seed: %v", r.Trap)
-			sel.Rejected = append(sel.Rejected, cand)
-			continue
-		}
-		if r := runner.Run(errIn); !r.OK() {
-			cand.Reason = fmt.Sprintf("crashes on error input: %v", r.Trap)
-			sel.Rejected = append(sel.Rejected, cand)
-			continue
-		}
-		cand.Survived = true
-		cand.mod = mod
-		sel.Ranked = append(sel.Ranked, cand)
-	}
-	return sel, nil
 }
 
 // SelectorStats counts selector activity for metrics endpoints.
@@ -190,6 +193,19 @@ type SelectorStats struct {
 	Candidates int64
 	// Survivors counts candidates that survived the VM probe.
 	Survivors int64
+	// PrefilterQueries counts selections the fingerprint postings
+	// answered.
+	PrefilterQueries int64
+	// PrefilterCandidates counts signatures the postings admitted for
+	// exact scoring across prefiltered selections.
+	PrefilterCandidates int64
+	// PrefilterSkipped counts signatures the pre-filter excluded from
+	// exact scoring.
+	PrefilterSkipped int64
+	// PrefilterFallbacks counts selections served by the exhaustive-
+	// equivalent order: the pre-filter was cold/disabled, or it
+	// admitted no candidate.
+	PrefilterFallbacks int64
 }
 
 // Selector is the concurrency-safe selection front end: it lazily
@@ -209,6 +225,13 @@ type Selector struct {
 	// at the service its shard engines share, so corpus queries warm —
 	// and are counted by — the same memo the transfers use.
 	Service *smt.Service
+	// NoPrefilter disables the fingerprint pre-filter: the sidecar is
+	// still built and persisted alongside the index (so toggling the
+	// flag never changes what is on disk), but queries take the
+	// exhaustive scoring path. Selection results are byte-identical
+	// either way; the flag exists for benchmarks and the on/off
+	// determinism checks.
+	NoPrefilter bool
 
 	buildMu sync.Mutex // serializes index establishment
 	mu      sync.Mutex // guards the published fields below; never held across a build
@@ -219,6 +242,11 @@ type Selector struct {
 	selections atomic.Int64
 	candidates atomic.Int64
 	survivors  atomic.Int64
+
+	prefilterQueries    atomic.Int64
+	prefilterCandidates atomic.Int64
+	prefilterSkipped    atomic.Int64
+	prefilterFallbacks  atomic.Int64
 }
 
 // NewSelector returns a selector over the registry donors, persisting
@@ -246,6 +274,18 @@ func (s *Selector) Index() (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The fingerprint sidecar is always built and persisted with the
+	// index — the warm state on disk is the same whether or not the
+	// pre-filter answers queries — but only attached when enabled.
+	fp, _, err := LoadOrBuildFingerprints(FingerprintSidecar(s.Path), ix)
+	if err != nil {
+		return nil, err
+	}
+	if !s.NoPrefilter {
+		if err := ix.AttachFingerprints(fp); err != nil {
+			return nil, err
+		}
+	}
 	s.mu.Lock()
 	s.built, s.ix, s.rebuilt = true, ix, rebuilt
 	s.mu.Unlock()
@@ -265,26 +305,59 @@ func (s *Selector) loader() ModuleLoader {
 	return RegistryLoader
 }
 
-// Select triages donors for one recipient error through the warm
-// index.
-func (s *Selector) Select(format string, seed, errIn []byte) (*Selection, error) {
+// stream starts a lazy selection over the warm index, wiring the
+// selector counters into it.
+func (s *Selector) stream(format string, seed, errIn []byte) (*DonorStream, error) {
 	ix, err := s.Index()
 	if err != nil {
 		return nil, err
 	}
-	sel, err := ix.Select(format, seed, errIn, s.loader())
+	st, err := ix.SelectStream(format, seed, errIn, s.loader())
 	if err != nil {
 		return nil, err
 	}
+	stats := st.Stats()
 	s.selections.Add(1)
-	s.candidates.Add(int64(len(sel.Ranked) + len(sel.Rejected)))
-	s.survivors.Add(int64(len(sel.Ranked)))
-	return sel, nil
+	s.candidates.Add(int64(stats.Donors))
+	if stats.Prefiltered {
+		s.prefilterQueries.Add(1)
+		s.prefilterCandidates.Add(int64(stats.Candidates))
+		s.prefilterSkipped.Add(int64(stats.Skipped))
+	}
+	if stats.Fallback {
+		s.prefilterFallbacks.Add(1)
+	}
+	st.onProbe = func(survived bool) {
+		if survived {
+			s.survivors.Add(1)
+		}
+	}
+	return st, nil
+}
+
+// Select triages donors for one recipient error through the warm
+// index, probing the full ranked order.
+func (s *Selector) Select(format string, seed, errIn []byte) (*Selection, error) {
+	st, err := s.stream(format, seed, errIn)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		cand, err := st.Next()
+		if err != nil {
+			return nil, err
+		}
+		if cand == nil {
+			return st.Selection(), nil
+		}
+	}
 }
 
 // SelectDonors implements pipeline.DonorSelector: the ranked
 // surviving candidates, each carrying the binary its survival probe
-// already loaded.
+// already loaded. The engine prefers StreamDonors when both are
+// implemented; this eager form stays for API compatibility and the
+// /corpus inspection endpoints.
 func (s *Selector) SelectDonors(format string, seed, errIn []byte) ([]pipeline.DonorCandidate, error) {
 	sel, err := s.Select(format, seed, errIn)
 	if err != nil {
@@ -297,12 +370,49 @@ func (s *Selector) SelectDonors(format string, seed, errIn []byte) ([]pipeline.D
 	return out, nil
 }
 
+// donorStream adapts a corpus DonorStream to the pipeline interface.
+type donorStream struct{ st *DonorStream }
+
+func (d donorStream) Next() (*pipeline.DonorCandidate, error) {
+	cand, err := d.st.Next()
+	if err != nil || cand == nil {
+		return nil, err
+	}
+	return &pipeline.DonorCandidate{Name: cand.Donor, Module: cand.mod}, nil
+}
+
+func (d donorStream) Stats() pipeline.SelectStats {
+	stats := d.st.Stats()
+	return pipeline.SelectStats{
+		Donors:      stats.Donors,
+		Prefiltered: stats.Prefiltered,
+		Candidates:  stats.Candidates,
+		Skipped:     stats.Skipped,
+		Fallback:    stats.Fallback,
+	}
+}
+
+// StreamDonors implements pipeline.DonorStreamer: ranked donor
+// candidates yielded lazily, so donors past the one the pipeline
+// validates are never loaded or probed.
+func (s *Selector) StreamDonors(format string, seed, errIn []byte) (pipeline.DonorStream, error) {
+	st, err := s.stream(format, seed, errIn)
+	if err != nil {
+		return nil, err
+	}
+	return donorStream{st}, nil
+}
+
 // Stats snapshots the selector counters.
 func (s *Selector) Stats() SelectorStats {
 	st := SelectorStats{
-		Selections: s.selections.Load(),
-		Candidates: s.candidates.Load(),
-		Survivors:  s.survivors.Load(),
+		Selections:          s.selections.Load(),
+		Candidates:          s.candidates.Load(),
+		Survivors:           s.survivors.Load(),
+		PrefilterQueries:    s.prefilterQueries.Load(),
+		PrefilterCandidates: s.prefilterCandidates.Load(),
+		PrefilterSkipped:    s.prefilterSkipped.Load(),
+		PrefilterFallbacks:  s.prefilterFallbacks.Load(),
 	}
 	// Peek at the published index without forcing — or waiting on — a
 	// build: an in-progress build holds buildMu, not mu, so metrics

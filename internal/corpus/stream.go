@@ -1,0 +1,329 @@
+// Lazy, prefiltered selection: SelectStream ranks once, then probes
+// donors one at a time as the consumer asks for them, so survival-
+// probe cost scales with how far down the ranking the pipeline
+// actually walks — retries, not corpus size.
+package corpus
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"codephage/internal/hachoir"
+	"codephage/internal/vm"
+)
+
+// dissectCache memoizes seed dissections per (format, seed bytes).
+// A dissection is a pure function of its inputs and is only read by
+// the selection path (DiffFields/FieldAt), so sharing one across
+// selections — phaged answers many queries over the same per-format
+// registry seed — is sound. Bounded defensively: selection seeds are
+// few, but a pathological caller cannot grow the cache without limit.
+var dissectCache sync.Map // format + "\x00" + seed -> *hachoir.Dissection
+var dissectCacheLen atomic.Int64
+
+const dissectCacheMax = 1024
+
+func dissectSeed(format string, seed []byte) (*hachoir.Dissection, error) {
+	key := format + "\x00" + string(seed)
+	if dis, ok := dissectCache.Load(key); ok {
+		return dis.(*hachoir.Dissection), nil
+	}
+	dissector, ok := hachoir.ByName(format)
+	if !ok {
+		return nil, fmt.Errorf("corpus: unknown input format %q", format)
+	}
+	dis, err := dissector.Dissect(seed)
+	if err != nil {
+		return nil, err
+	}
+	if dissectCacheLen.Add(1) <= dissectCacheMax {
+		dissectCache.Store(key, dis)
+	} else {
+		dissectCacheLen.Add(-1)
+	}
+	return dis, nil
+}
+
+// StreamStats describes how a stream's ranked order was produced and
+// how far it has been consumed.
+type StreamStats struct {
+	// Donors is the number of format-matching signatures in the ranked
+	// order (prefiltered or not, every indexed donor appears).
+	Donors int
+	// Prefiltered reports whether the fingerprint postings answered
+	// the query.
+	Prefiltered bool
+	// Candidates is the number of signatures the postings admitted for
+	// exact scoring (equals Donors on the exhaustive path).
+	Candidates int
+	// Skipped is the number of signatures never scored — they take
+	// their precomputed zero-score order without a scorer pass.
+	Skipped int
+	// Fallback reports that the exhaustive-equivalent order was used:
+	// the pre-filter was cold/unattached, or it admitted no candidate
+	// (an empty candidate set proves every donor scores zero, so the
+	// precomputed zero order is served — still counted as a fallback).
+	Fallback bool
+	// Probed counts donors the survival probe has loaded and run so
+	// far.
+	Probed int
+}
+
+// DonorStream walks one selection's ranked order lazily. Next loads
+// and VM-probes donors in rank order and returns the next survivor;
+// donors past the consumed prefix are never loaded. Not safe for
+// concurrent use.
+type DonorStream struct {
+	seed, errIn []byte
+	load        ModuleLoader
+	// Exactly one head form is populated: head holds pre-ranked
+	// candidates on the exhaustive-fallback path; headSc holds the
+	// prefiltered path's scored positives as packed (score key,
+	// ordinal) pairs — Candidates are only materialized as the stream
+	// serves them, so ranking cost stays off the allocator. sigs and
+	// tailOrds carry the zero-score remainder: ordinals (in the
+	// precomputed zero-score order, a shared per-format slice) into the
+	// format's signature list, with inHead masking ordinals already
+	// ranked in headSc.
+	head     []Candidate
+	headSc   []scoredOrd
+	sigs     []*Signature
+	tailOrds []int32
+	inHead   []bool
+	hi, ti   int
+	sel      *Selection
+	stats  StreamStats
+	// onProbe, when set, observes every probe outcome (the Selector
+	// hooks its survivor counters here).
+	onProbe func(survived bool)
+}
+
+// SelectStream starts a lazy selection: the ranked order is computed
+// immediately (through the fingerprint pre-filter when attached), but
+// no donor is loaded or probed until Next is called.
+func (ix *Index) SelectStream(format string, seed, errIn []byte, load ModuleLoader) (*DonorStream, error) {
+	dis, err := dissectSeed(format, seed)
+	if err != nil {
+		return nil, err
+	}
+	st := &DonorStream{
+		seed:  seed,
+		errIn: errIn,
+		load:  load,
+		sel: &Selection{
+			Format:         format,
+			RelevantFields: RelevantFields(dis, seed, errIn),
+		},
+	}
+	var ff *fpFormat
+	if ix.fp != nil {
+		ff = ix.fp.byFormat[format]
+	}
+	if ff == nil {
+		// Pre-filter cold or the format not fully covered: exhaustive
+		// scoring of every format-matching signature.
+		st.head = rank(ix.ForFormat(format), st.sel.RelevantFields)
+		st.stats = StreamStats{
+			Donors:     len(st.head),
+			Candidates: len(st.head),
+			Fallback:   true,
+		}
+		return st, nil
+	}
+	ords := ff.candidates(st.sel.RelevantFields)
+	st.stats = StreamStats{
+		Donors:      len(ff.sigs),
+		Prefiltered: true,
+		Candidates:  len(ords),
+		Skipped:     len(ff.sigs) - len(ords),
+	}
+	st.sigs = ff.sigs
+	st.tailOrds = ff.zero
+	if len(ords) == 0 {
+		// No donor shares the fingerprints of a perturbed field, so
+		// every donor scores zero and the precomputed zero order is the
+		// exhaustive ranking.
+		st.stats.Fallback = true
+		return st, nil
+	}
+	// Score only the admitted candidates, against one shared relevance
+	// set — interned field masks when the format supports them, the
+	// string relevance map otherwise. Candidates that score positive
+	// form the head of the ranking (any positive score sorts before
+	// every zero score); zero-scoring candidates fall through to their
+	// slot in the zero-order tail.
+	var relMask uint64
+	var rel map[string]bool
+	if ff.masksOK {
+		for _, f := range st.sel.RelevantFields {
+			if id, ok := ff.fieldID[f]; ok {
+				relMask |= 1 << id
+			}
+		}
+	} else {
+		rel = make(map[string]bool, len(st.sel.RelevantFields))
+		for _, f := range st.sel.RelevantFields {
+			rel[f] = true
+		}
+	}
+	st.headSc = make([]scoredOrd, 0, len(ords))
+	st.inHead = make([]bool, len(ff.sigs))
+	for _, ord := range ords {
+		sig := ff.sigs[ord]
+		var hits, overlap int
+		if ff.masksOK {
+			overlap = bits.OnesCount64(ff.fieldsMask[ord] & relMask)
+			for _, cm := range ff.checkMasks[ord] {
+				if cm&relMask != 0 {
+					hits++
+				}
+			}
+		} else {
+			hits, overlap = scoreRel(sig, rel)
+		}
+		if hits == 0 && overlap == 0 {
+			continue
+		}
+		st.headSc = append(st.headSc, scoredOrd{key: packScore(hits, overlap, sig.FlippedSites), ord: ord})
+		st.inHead[ord] = true
+	}
+	sort.Slice(st.headSc, func(i, j int) bool {
+		a, b := st.headSc[i], st.headSc[j]
+		if a.key != b.key {
+			return a.key > b.key
+		}
+		return ff.sigs[a.ord].Donor < ff.sigs[b.ord].Donor
+	})
+	return st, nil
+}
+
+// scoredOrd is one prefiltered positive: its packed rank key and its
+// ordinal in the format's signature list.
+type scoredOrd struct {
+	key uint64
+	ord int32
+}
+
+const (
+	scorePackBits = 21
+	scorePackMask = 1<<scorePackBits - 1
+)
+
+// packScore packs (CheckHits, FieldOverlap, FlippedSites) into one
+// key whose descending numeric order is exactly the rank comparator's
+// score order. Each component is far below 2^21 in practice (check
+// and field counts are per-signature, flip counts per-probe), so the
+// fields cannot carry.
+func packScore(hits, overlap, flipped int) uint64 {
+	return uint64(hits)<<(2*scorePackBits) | uint64(overlap)<<scorePackBits | uint64(flipped)
+}
+
+// candidate materializes one scored positive.
+func (st *DonorStream) candidate(sc scoredOrd) Candidate {
+	sig := st.sigs[sc.ord]
+	return Candidate{
+		Donor: sig.Donor, Format: sig.Format,
+		CheckHits:    int(sc.key >> (2 * scorePackBits)),
+		FieldOverlap: int(sc.key>>scorePackBits) & scorePackMask,
+		Flipped:      sig.FlippedSites,
+	}
+}
+
+// next returns the next candidate in rank order without probing it,
+// or nil when the order is exhausted.
+func (st *DonorStream) next() *Candidate {
+	if st.hi < len(st.head) {
+		c := st.head[st.hi]
+		st.hi++
+		return &c
+	}
+	if st.hi < len(st.headSc) {
+		c := st.candidate(st.headSc[st.hi])
+		st.hi++
+		return &c
+	}
+	for st.ti < len(st.tailOrds) {
+		ord := st.tailOrds[st.ti]
+		st.ti++
+		if st.inHead != nil && st.inHead[ord] {
+			continue
+		}
+		sig := st.sigs[ord]
+		return &Candidate{
+			Donor: sig.Donor, Format: sig.Format, Flipped: sig.FlippedSites,
+		}
+	}
+	return nil
+}
+
+// Next loads and probes candidates down the ranked order until one
+// survives both the seed and the error input, recording rejections on
+// the way, and returns that survivor (nil when the order is
+// exhausted). The returned candidate carries the probed module.
+func (st *DonorStream) Next() (*Candidate, error) {
+	for {
+		cand := st.next()
+		if cand == nil {
+			return nil, nil
+		}
+		st.stats.Probed++
+		mod, lerr := st.load(cand.Donor)
+		if lerr != nil {
+			cand.Reason = lerr.Error()
+		} else {
+			runner := vm.NewRunner(mod)
+			if r := runner.Run(st.seed); !r.OK() {
+				cand.Reason = fmt.Sprintf("crashes on seed: %v", r.Trap)
+			} else if r := runner.Run(st.errIn); !r.OK() {
+				cand.Reason = fmt.Sprintf("crashes on error input: %v", r.Trap)
+			}
+		}
+		if cand.Reason != "" {
+			if st.onProbe != nil {
+				st.onProbe(false)
+			}
+			st.sel.Rejected = append(st.sel.Rejected, *cand)
+			continue
+		}
+		cand.Survived = true
+		cand.mod = mod
+		if st.onProbe != nil {
+			st.onProbe(true)
+		}
+		st.sel.Ranked = append(st.sel.Ranked, *cand)
+		return cand, nil
+	}
+}
+
+// Selection returns the triage accumulated so far: Ranked holds the
+// survivors Next returned, Rejected the probed-and-rejected prefix.
+// Draining the stream first yields the same Selection the exhaustive
+// Select produces.
+func (st *DonorStream) Selection() *Selection { return st.sel }
+
+// Stats reports how the ranked order was produced and how much of it
+// has been probed.
+func (st *DonorStream) Stats() StreamStats { return st.stats }
+
+// Order materializes the full ranked candidate order without loading
+// or probing anything — the probe-free view differential tests and
+// inspection tooling compare. It does not advance the stream.
+func (st *DonorStream) Order() []Candidate {
+	out := append([]Candidate(nil), st.head...)
+	for _, sc := range st.headSc {
+		out = append(out, st.candidate(sc))
+	}
+	for _, ord := range st.tailOrds {
+		if st.inHead != nil && st.inHead[ord] {
+			continue
+		}
+		sig := st.sigs[ord]
+		out = append(out, Candidate{
+			Donor: sig.Donor, Format: sig.Format, Flipped: sig.FlippedSites,
+		})
+	}
+	return out
+}

@@ -33,6 +33,42 @@ type DonorSelector interface {
 	SelectDonors(format string, seed, errIn []byte) ([]DonorCandidate, error)
 }
 
+// SelectStats describes how a donor stream produced its ranked order.
+// Every field is a deterministic function of the transfer inputs and
+// the donor corpus, so the values are structural trace fields.
+type SelectStats struct {
+	// Donors is the number of format-matching donors in the ranked
+	// order.
+	Donors int
+	// Prefiltered reports that a similarity pre-filter answered the
+	// query; Candidates/Skipped split Donors into exactly-scored and
+	// pre-filtered-out donors.
+	Prefiltered bool
+	Candidates  int
+	Skipped     int
+	// Fallback reports the exhaustive-equivalent order was used (cold
+	// or empty pre-filter).
+	Fallback bool
+}
+
+// DonorStream yields ranked donor candidates lazily: Next returns the
+// next candidate that survives the selector's screening (nil when
+// exhausted), performing per-candidate work — module loading, the VM
+// survival probe — only as the engine consumes the order.
+type DonorStream interface {
+	Next() (*DonorCandidate, error)
+	Stats() SelectStats
+}
+
+// DonorStreamer is the lazy form of DonorSelector. When the engine's
+// Selector implements it, the retry loop pulls candidates one at a
+// time, so selection cost scales with failed attempts instead of
+// corpus size. The stream order must match what SelectDonors would
+// return, keeping the transfer outcome byte-identical on both paths.
+type DonorStreamer interface {
+	StreamDonors(format string, seed, errIn []byte) (DonorStream, error)
+}
+
 // stageSelect resolves a nil Transfer.Donor through the engine's
 // Selector, populating ctx.DonorRank with the deterministic ranked
 // candidate list. It runs ahead of Discover: Discover analyses one
@@ -63,6 +99,9 @@ func (stageSelect) Run(ctx *TransferContext) error {
 // result (the §1.1 outermost retry loop, now fed by the knowledge
 // base instead of a hardcoded donor table).
 func (e *Engine) runAuto(t *Transfer) (*Result, error) {
+	if streamer, ok := e.Selector.(DonorStreamer); ok {
+		return e.runAutoStream(t, streamer)
+	}
 	ctx := &TransferContext{Engine: e, Transfer: t}
 	var selSpan *telemetry.Span
 	if e.tracing(t) {
@@ -94,4 +133,73 @@ func (e *Engine) runAuto(t *Transfer) (*Result, error) {
 		res.Trace.Children = append([]*telemetry.Span{selSpan}, res.Trace.Children...)
 	}
 	return res, nil
+}
+
+// runAutoStream is runAuto over a lazy donor stream: candidates are
+// pulled — and therefore loaded and survival-probed — one at a time,
+// each tried through the full pipeline, first validated result wins.
+// Donors past the winning attempt are never touched, so selection cost
+// scales with retries, not corpus size.
+func (e *Engine) runAutoStream(t *Transfer, streamer DonorStreamer) (*Result, error) {
+	var selSpan *telemetry.Span
+	if e.tracing(t) {
+		selSpan = telemetry.New(telemetry.StageSelect).Field("format", t.Format)
+	}
+	var selTime time.Duration
+	start := time.Now()
+	stream, err := streamer.StreamDonors(t.Format, t.Seed, t.Error)
+	selTime += time.Since(start)
+	if err != nil {
+		selSpan.SetDuration(selTime)
+		return nil, fmt.Errorf("phage: donor selection: %w", err)
+	}
+	var errs []string
+	attempts := 0
+	for {
+		start = time.Now()
+		cand, nerr := stream.Next()
+		selTime += time.Since(start)
+		if nerr != nil {
+			selSpan.SetDuration(selTime)
+			return nil, fmt.Errorf("phage: donor selection: %w", nerr)
+		}
+		if cand == nil {
+			break
+		}
+		attempts++
+		tr := *t
+		tr.Donor = cand.Module
+		tr.DonorName = cand.Name
+		res, rerr := e.runResolved(&tr)
+		if rerr != nil {
+			errs = append(errs, fmt.Sprintf("%s: %v", cand.Name, rerr))
+			continue
+		}
+		if res.Trace != nil && selSpan != nil {
+			// The ranked order, the pre-filter split and which donors
+			// fail are all deterministic, so these are structural
+			// fields, like the eager path's donors/attempts.
+			stats := stream.Stats()
+			selSpan.SetDuration(selTime)
+			selSpan.Fieldf("donors", "%d", stats.Donors)
+			selSpan.Fieldf("attempts", "%d", attempts)
+			if stats.Prefiltered {
+				selSpan.Field("prefilter", "on")
+				selSpan.Fieldf("candidates", "%d", stats.Candidates)
+				selSpan.Fieldf("skipped", "%d", stats.Skipped)
+			} else {
+				selSpan.Field("prefilter", "off")
+			}
+			if stats.Fallback {
+				selSpan.Field("fallback", "exhaustive")
+			}
+			res.Trace.Children = append([]*telemetry.Span{selSpan}, res.Trace.Children...)
+		}
+		return res, nil
+	}
+	if attempts == 0 {
+		return nil, fmt.Errorf("phage: donor selection: no candidate donor survives the error input for format %q", t.Format)
+	}
+	return nil, fmt.Errorf("phage: no selected donor yields a validated transfer:\n  %s",
+		strings.Join(errs, "\n  "))
 }

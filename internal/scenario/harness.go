@@ -37,6 +37,10 @@ type Options struct {
 	HTTP bool
 	// Workers bounds suite concurrency (0 = the batch/server default).
 	Workers int
+	// NoPrefilter disables the corpus fingerprint pre-filter for the
+	// local run; the suite outcome must be byte-identical either way
+	// (the on/off determinism check drives this).
+	NoPrefilter bool
 	// Only, when nonzero, replays a single pair (by its pair seed)
 	// inside the full suite: every pair is still generated and every
 	// donor still indexed — selection sees the same knowledge base the
@@ -244,7 +248,7 @@ func finishOutcome(p *Pair, out *Outcome, patchedSrc string, opts *Options, logf
 func runLocal(pairs []*Pair, rep *Report, opts *Options, logf func(string, ...any)) error {
 	donors, loader := suiteDonors(pairs)
 	eng := pipeline.NewEngine()
-	eng.Selector = &corpus.Selector{Donors: donors, Loader: loader}
+	eng.Selector = &corpus.Selector{Donors: donors, Loader: loader, NoPrefilter: opts.NoPrefilter}
 
 	var tasks []pipeline.BatchTask
 	var taskPair []int

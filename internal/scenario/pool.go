@@ -1,0 +1,177 @@
+// Bulk donor-pool generation: a deterministic synthetic corpus of
+// standalone donor applications with fabricated index signatures,
+// sized for thousand-donor selection benchmarks and the prefilter
+// differential tests. Unlike GeneratePair, no recipient is generated
+// and no self-check or check discovery runs — the generator already
+// knows exactly which fields each donor's guard constrains, so the
+// signature is fabricated from that ground truth and corpus building
+// cost stays out of selection measurements.
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"codephage/internal/compile"
+	"codephage/internal/corpus"
+	"codephage/internal/ir"
+)
+
+// poolName returns the deterministic name of pool donor i for a pool
+// seed.
+func poolName(seed int64, i int) string {
+	return fmt.Sprintf("pool%08x-%05d", uint32(uint64(seed)), i)
+}
+
+// poolDonor generates one standalone donor and fabricates its index
+// signature. Every second donor is a naive decoy (format reader, no
+// guard): its empty check set lands it in the zero-score order, so
+// generated pools exercise both sides of the pre-filter split — and
+// model the mega-corpus reality that most applications in a large
+// database carry no check on the fields a given error perturbs.
+func poolDonor(seed int64, i int) (corpus.Donor, *corpus.Signature) {
+	dseed := seed + int64(i)
+	g := &gen{rng: rand.New(rand.NewSource(dseed)), seed: dseed}
+	g.fmt = &formatSpecs[i%len(formatSpecs)]
+	choices := []defect{defOverflow, defDivZero, defOffByOne}
+	if len(g.byteFields()) > 0 {
+		choices = append(choices, defShift)
+	}
+	g.def = choices[g.rng.Intn(len(choices))]
+	g.structN = pick(g.rng, structWords)
+	g.readFn = pick(g.rng, readWords)
+	g.vulnFn = pick(g.rng, vulnWords)
+	if err := g.chooseTemplate(); err != nil {
+		// Unreachable: every format satisfies every offered template's
+		// field requirements (the same choice logic GeneratePair uses).
+		panic(fmt.Sprintf("scenario: pool donor %d: %v", i, err))
+	}
+
+	name := poolName(seed, i)
+	naive := i%2 == 1
+	var source string
+	if naive {
+		source = g.naiveSource()
+	} else {
+		source = g.donorSource()
+	}
+	d := corpus.Donor{
+		Name:    name,
+		Paper:   "generated pool donor",
+		Source:  source,
+		Formats: []string{g.fmt.name},
+	}
+
+	sig := &corpus.Signature{
+		Donor:      name,
+		Paper:      d.Paper,
+		Format:     g.fmt.name,
+		ContentKey: d.ContentKey(),
+		ProbeKey:   "pool", // fabricated entries are never reconciled
+	}
+	if !naive {
+		var fields []string
+		for f := range g.culpritPaths() {
+			fields = append(fields, f)
+		}
+		sort.Strings(fields)
+		// The signature mirrors what discovery would find: exactly the
+		// guard's culprit fields, no more — in a large pool, a donor is
+		// relevant to a query only when the query perturbs the specific
+		// fields its guard constrains.
+		sig.Checks = []corpus.CheckSig{{Cond: poolCond(g, fields), Fields: fields}}
+		sig.Fields = fields
+		sig.FlippedSites = 1 + g.rng.Intn(4)
+		sig.RelevantSites = sig.FlippedSites + g.rng.Intn(3)
+	} else {
+		// Naive donors carry no checks; a small flipped count varies the
+		// zero-score tie-break order.
+		sig.FlippedSites = g.rng.Intn(2)
+	}
+	return d, sig
+}
+
+// poolCond fabricates the guard's canonical condition text over its
+// field paths.
+func poolCond(g *gen, fields []string) string {
+	switch g.def {
+	case defOverflow:
+		if len(fields) == 2 {
+			return fmt.Sprintf("(bvule (bvmul (field %s) (field %s)) %d)", fields[0], fields[1], g.prod64+g.boundA)
+		}
+		return fmt.Sprintf("(bvule (field %s) %d)", fields[0], g.boundA)
+	case defDivZero:
+		return fmt.Sprintf("(distinct (field %s) 0)", fields[0])
+	case defOffByOne:
+		return fmt.Sprintf("(bvult (field %s) %d)", fields[0], g.tableN)
+	default:
+		return fmt.Sprintf("(bvule (field %s) %d)", fields[0], shiftBound)
+	}
+}
+
+// PoolQuery derives a deterministic selection query against the
+// format of pool donor i: a benign seed input and an error input
+// perturbing the query template's culprit fields. It is generation
+// only — no application is built and nothing runs — so differential
+// tests can sweep many (corpus, query) combinations cheaply.
+func PoolQuery(seed int64, i int) (format string, seedIn, errIn []byte, err error) {
+	qseed := seed + int64(i)
+	g := &gen{rng: rand.New(rand.NewSource(qseed ^ 0x71e57)), seed: qseed}
+	g.fmt = &formatSpecs[i%len(formatSpecs)]
+	choices := []defect{defOverflow, defDivZero, defOffByOne}
+	if len(g.byteFields()) > 0 {
+		choices = append(choices, defShift)
+	}
+	g.def = choices[g.rng.Intn(len(choices))]
+	if err := g.chooseTemplate(); err != nil {
+		return "", nil, nil, fmt.Errorf("scenario: pool query %d: %w", i, err)
+	}
+	g.seedVals = g.benignVals()
+	if err := g.solveErrorValues(); err != nil {
+		return "", nil, nil, fmt.Errorf("scenario: pool query %d: %w", i, err)
+	}
+	payload := make([]byte, g.rng.Intn(6))
+	for i := range payload {
+		payload[i] = byte(g.rng.Intn(256))
+	}
+	return g.fmt.name, g.fmt.encode(g.seedVals, payload), g.fmt.encode(g.errVals, payload), nil
+}
+
+// SyntheticCorpus generates a count-donor pool from a seed and returns
+// its warm signature index plus a compile-on-demand module loader.
+// Generation is a pure function of (seed, count): donor sources,
+// signatures and index order all reproduce, so selection over the pool
+// is deterministic. The index is returned without an attached
+// fingerprint pre-filter; callers attach one (or not) per experiment
+// arm.
+func SyntheticCorpus(seed int64, count int) (*corpus.Index, corpus.ModuleLoader) {
+	sources := make(map[string]string, count)
+	ix := &corpus.Index{Version: corpus.Version}
+	for i := 0; i < count; i++ {
+		d, sig := poolDonor(seed, i)
+		sources[d.Name] = d.Source
+		ix.Signatures = append(ix.Signatures, sig)
+	}
+	sort.Slice(ix.Signatures, func(i, j int) bool {
+		a, b := ix.Signatures[i], ix.Signatures[j]
+		if a.Donor != b.Donor {
+			return a.Donor < b.Donor
+		}
+		return a.Format < b.Format
+	})
+	loader := func(name string) (*ir.Module, error) {
+		src, ok := sources[name]
+		if !ok {
+			return nil, fmt.Errorf("scenario: unknown pool donor %q", name)
+		}
+		m, err := compile.Cached(name, src)
+		if err != nil {
+			return nil, err
+		}
+		m = m.Clone()
+		m.Strip()
+		return m, nil
+	}
+	return ix, loader
+}

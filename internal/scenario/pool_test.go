@@ -1,0 +1,125 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestSyntheticCorpusDeterministic pins that pool generation is a
+// pure function of (seed, count): signatures, index order and donor
+// sources all reproduce.
+func TestSyntheticCorpusDeterministic(t *testing.T) {
+	a, loadA := SyntheticCorpus(4242, 30)
+	b, loadB := SyntheticCorpus(4242, 30)
+	ja, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ja, jb) {
+		t.Error("pool signatures differ across identical generations")
+	}
+	for _, sig := range a.Signatures {
+		ma, err := loadA(sig.Donor)
+		if err != nil {
+			t.Fatalf("donor %s does not compile: %v", sig.Donor, err)
+		}
+		mb, err := loadB(sig.Donor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ma == nil || mb == nil {
+			t.Fatalf("donor %s loaded nil module", sig.Donor)
+		}
+	}
+	if _, err := loadA("no-such-donor"); err == nil {
+		t.Error("unknown donor loaded without error")
+	}
+}
+
+// TestSyntheticCorpusShape checks the generated pool exercises both
+// sides of the pre-filter split: guarded donors carry culprit-field
+// checks, naive decoys carry none, and every format appears.
+func TestSyntheticCorpusShape(t *testing.T) {
+	ix, _ := SyntheticCorpus(7, 28)
+	if len(ix.Signatures) != 28 {
+		t.Fatalf("pool has %d signatures, want 28", len(ix.Signatures))
+	}
+	guarded, naive := 0, 0
+	formats := map[string]bool{}
+	for _, sig := range ix.Signatures {
+		formats[sig.Format] = true
+		if len(sig.Checks) > 0 {
+			guarded++
+			if len(sig.Fields) == 0 {
+				t.Fatalf("guarded donor %s has no fields", sig.Donor)
+			}
+		} else {
+			naive++
+		}
+	}
+	if guarded == 0 || naive == 0 {
+		t.Fatalf("pool split %d guarded / %d naive, want both nonzero", guarded, naive)
+	}
+	if len(formats) != len(formatSpecs) {
+		t.Fatalf("pool covers %d formats, want %d", len(formats), len(formatSpecs))
+	}
+}
+
+// TestPoolQueryDeterministic pins query generation: same seed, same
+// bytes, and the error input actually perturbs the seed input.
+func TestPoolQueryDeterministic(t *testing.T) {
+	for i := 0; i < len(formatSpecs); i++ {
+		f1, s1, e1, err := PoolQuery(9001, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f2, s2, e2, err := PoolQuery(9001, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f1 != f2 || !bytes.Equal(s1, s2) || !bytes.Equal(e1, e2) {
+			t.Fatalf("query %d not deterministic", i)
+		}
+		if f1 != formatSpecs[i%len(formatSpecs)].name {
+			t.Fatalf("query %d format %s, want %s", i, f1, formatSpecs[i%len(formatSpecs)].name)
+		}
+		if bytes.Equal(s1, e1) {
+			t.Fatalf("query %d error input does not perturb the seed", i)
+		}
+	}
+}
+
+// TestScenarioPrefilterOnOffByteIdentical runs the fixed-seed suite
+// with the fingerprint pre-filter enabled and disabled: every outcome
+// — selection, transfer, oracle — must be byte-identical, proving the
+// pre-filter is pure optimization all the way through the pipeline.
+func TestScenarioPrefilterOnOffByteIdentical(t *testing.T) {
+	count := 8
+	if !testing.Short() {
+		count = 100
+	}
+	on, err := Run(Options{Seed: 6000, Count: count, Mutant: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := Run(Options{Seed: 6000, Count: count, Mutant: true, NoPrefilter: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jon, err := json.Marshal(on.Outcomes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joff, err := json.Marshal(off.Outcomes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(jon, joff) {
+		t.Error("suite outcomes differ between prefiltered and exhaustive selection")
+	}
+}

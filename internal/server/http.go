@@ -253,6 +253,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	p("phaged_corpus_selections_total %d\n", st.Corpus.Selections)
 	p("phaged_corpus_candidates_total %d\n", st.Corpus.Candidates)
 	p("phaged_corpus_survivors_total %d\n", st.Corpus.Survivors)
+	p("phaged_corpus_prefilter_queries_total %d\n", st.Corpus.PrefilterQueries)
+	p("phaged_corpus_prefilter_candidates_total %d\n", st.Corpus.PrefilterCandidates)
+	p("phaged_corpus_prefilter_skipped_total %d\n", st.Corpus.PrefilterSkipped)
+	p("phaged_corpus_prefilter_fallbacks_total %d\n", st.Corpus.PrefilterFallbacks)
 	p("phaged_solver_sessions_total %d\n", st.Solver.Sessions)
 	p("phaged_solver_queries_total %d\n", st.Solver.Queries)
 	p("phaged_solver_memo_hits_total %d\n", st.Solver.MemoHits)

@@ -45,6 +45,10 @@ var documentedMetrics = []string{
 	"phaged_corpus_selections_total",
 	"phaged_corpus_candidates_total",
 	"phaged_corpus_survivors_total",
+	"phaged_corpus_prefilter_queries_total",
+	"phaged_corpus_prefilter_candidates_total",
+	"phaged_corpus_prefilter_skipped_total",
+	"phaged_corpus_prefilter_fallbacks_total",
 	"phaged_solver_sessions_total",
 	"phaged_solver_queries_total",
 	"phaged_solver_memo_hits_total",
