@@ -871,7 +871,7 @@ func BenchmarkServerThroughput(b *testing.B) {
 	cli := &server.Client{BaseURL: ts.URL}
 	reqs := serviceRequests()
 	for _, req := range reqs { // warm the engines and the dedup index
-		env, err := cli.Transfer(req)
+		env, err := cli.Transfer(context.Background(), req)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -881,7 +881,7 @@ func BenchmarkServerThroughput(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		env, err := cli.Transfer(reqs[i%len(reqs)])
+		env, err := cli.Transfer(context.Background(), reqs[i%len(reqs)])
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -905,11 +905,11 @@ func TestServerShutdownRestoresGoroutineBaseline(t *testing.T) {
 	cli := &server.Client{BaseURL: ts.URL}
 	req := &server.Request{Recipient: "gif2tiff", Target: "gif2tiff.c@355", Donor: "magick9"}
 	for i := 0; i < 3; i++ { // exercise run, dedup and streaming paths
-		if _, err := cli.Transfer(req); err != nil {
+		if _, err := cli.Transfer(context.Background(), req); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, err := cli.Stream(req, nil); err != nil {
+	if _, err := cli.Stream(context.Background(), req, nil); err != nil {
 		t.Fatal(err)
 	}
 

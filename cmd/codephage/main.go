@@ -20,6 +20,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -207,7 +208,7 @@ func runLocal(tgt *apps.Target, dn string, opts phage.Options, verbose, report b
 // figure8.Row, whose fields the service report mirrors).
 func runRemote(base string, tgt *apps.Target, dn, mode string, workers int, verbose, report, trace bool, out string, last bool) bool {
 	cli := &server.Client{BaseURL: base}
-	env, err := cli.Transfer(&server.Request{
+	env, err := cli.Transfer(context.Background(), &server.Request{
 		Recipient: tgt.Recipient,
 		Target:    tgt.ID,
 		Donor:     dn,
@@ -217,6 +218,11 @@ func runRemote(base string, tgt *apps.Target, dn, mode string, workers int, verb
 	if err != nil {
 		fmt.Printf("%s/%s <- %s: FAILED: %v\n", tgt.Recipient, tgt.ID, dn, err)
 		return false
+	}
+	if env.Node != "" {
+		// A cluster node forwarded the request to the ring owner; the
+		// job (and its trace) live there, so follow-up lookups must too.
+		cli = cli.For(env.Node)
 	}
 	if env.Status != server.StatusDone {
 		fmt.Printf("%s/%s <- %s: FAILED: %s\n", tgt.Recipient, tgt.ID, dn, env.Error)
@@ -250,7 +256,7 @@ func runRemote(base string, tgt *apps.Target, dn, mode string, workers int, verb
 	if trace {
 		// The daemon traces every job; the span tree lives on its own
 		// endpoint beside the report.
-		if sp, err := cli.Trace(env.ID); err != nil {
+		if sp, err := cli.Trace(context.Background(), env.ID); err != nil {
 			fmt.Fprintf(os.Stderr, "codephage: fetching trace: %v\n", err)
 		} else {
 			fmt.Println("  trace:")
@@ -407,7 +413,7 @@ func runTrace(args []string) {
 	case *remote != "" && *job != "":
 		cli := &server.Client{BaseURL: *remote}
 		var err error
-		sp, err = cli.Trace(*job)
+		sp, err = cli.Trace(context.Background(), *job)
 		if err != nil {
 			fatal(err)
 		}

@@ -11,10 +11,13 @@
 //	       [-memo-path memo.snap] [-memo-interval 5m|off]
 //	       [-patch-dir patches/] [-log-format text|json]
 //	       [-debug-addr 127.0.0.1:8348]
+//	       [-cluster http://HOST:PORT -peers URL,URL,...]
+//	       [-steal-interval 2s]
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener closes,
 // queued and running jobs drain (bounded by -drain), then the process
-// exits.
+// exits. In cluster mode the drain first hands the node's ring slice
+// and queued jobs off to its peers.
 package main
 
 import (
@@ -23,8 +26,10 @@ import (
 	"log"
 	"log/slog"
 	"os"
+	"strings"
 	"time"
 
+	"codephage/internal/cluster"
 	"codephage/internal/server"
 )
 
@@ -55,6 +60,9 @@ func main() {
 	logFormat := flag.String("log-format", "", "request-scoped structured log format: text or json (default: off)")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this second listener (default: off)")
 	drain := flag.Duration("drain", 30*time.Second, "shutdown drain budget for in-flight jobs")
+	clusterSelf := flag.String("cluster", "", "cluster mode: this node's advertised base URL, e.g. http://10.0.0.1:8347")
+	peers := flag.String("peers", "", "comma-separated peer base URLs (cluster mode)")
+	stealInterval := flag.Duration("steal-interval", 0, "poll cadence for stealing queued work from busier peers (0 = off; cluster mode)")
 	flag.Parse()
 
 	interval, err := server.ParseMemoInterval(*memoInterval)
@@ -77,6 +85,30 @@ func main() {
 		PatchDir:         *patchDir,
 		Log:              logger,
 		DebugAddr:        *debugAddr,
+	}
+	if *clusterSelf != "" {
+		var peerList []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, strings.TrimRight(p, "/"))
+			}
+		}
+		node := cluster.New(cluster.Config{
+			Self:          strings.TrimRight(*clusterSelf, "/"),
+			Peers:         peerList,
+			Server:        cfg,
+			StealInterval: *stealInterval,
+			Logf:          log.Printf,
+		})
+		if err := cluster.ListenAndServe(*addr, node, *drain, log.Printf); err != nil {
+			log.Printf("phaged: %v", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *peers != "" || *stealInterval != 0 {
+		log.Printf("phaged: -peers/-steal-interval require -cluster")
+		os.Exit(2)
 	}
 	if err := server.ListenAndServe(*addr, cfg, *drain, log.Printf); err != nil {
 		log.Printf("phaged: %v", err)

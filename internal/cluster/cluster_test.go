@@ -1,0 +1,755 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"codephage/internal/apps"
+	"codephage/internal/pipeline"
+	"codephage/internal/scenario"
+	"codephage/internal/server"
+)
+
+// testCluster is an in-process cluster: each node's Handler on its
+// own loopback listener, topologies established after binding.
+type testCluster struct {
+	nodes []*Node
+	urls  []string
+}
+
+// startCluster boots count nodes sharing one server config. Aux loops
+// (boot artifact pull, steal poller) are NOT started — tests drive
+// PullArtifact and StealOnce explicitly to stay deterministic.
+func startCluster(t *testing.T, count int, scfg server.Config) *testCluster {
+	t.Helper()
+	nodes := make([]*Node, count)
+	servers := make([]*httptest.Server, count)
+	urls := make([]string, count)
+	for i := range nodes {
+		nodes[i] = New(Config{Server: scfg, ControlTimeout: 30 * time.Second})
+		servers[i] = httptest.NewServer(nodes[i].Handler())
+		urls[i] = servers[i].URL
+	}
+	for i, n := range nodes {
+		var peers []string
+		for j, u := range urls {
+			if j != i {
+				peers = append(peers, u)
+			}
+		}
+		n.SetTopology(urls[i], peers)
+		n.Server().Start()
+	}
+	t.Cleanup(func() {
+		// Generous: a slow Figure 8 target under the race detector can
+		// hold a worker for minutes.
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+		defer cancel()
+		for i := range nodes {
+			nodes[i].StopAux()
+			if err := nodes[i].Server().Shutdown(ctx); err != nil {
+				t.Errorf("node %d shutdown: %v", i, err)
+			}
+			servers[i].Close()
+		}
+	})
+	return &testCluster{nodes: nodes, urls: urls}
+}
+
+// clusterEnv keeps the report's raw bytes so tests compare exactly
+// what crossed the network, plus the forward header.
+type clusterEnv struct {
+	ID     string          `json:"id"`
+	Status server.Status   `json:"status"`
+	Dedup  bool            `json:"dedup"`
+	Error  string          `json:"error"`
+	Report json.RawMessage `json:"report"`
+	Node   string          `json:"-"`
+}
+
+// post submits req to base+"/v1/transfer"+query; hop marks the
+// request as already forwarded, pinning it to the receiving node.
+func post(t *testing.T, base string, req *server.Request, query string, hop bool) *clusterEnv {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq, err := http.NewRequest(http.MethodPost, base+"/v1/transfer"+query, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	if hop {
+		hreq.Header.Set(forwardedHeader, "test")
+	}
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var env clusterEnv
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatalf("decoding envelope: %v (status %s)", err, resp.Status)
+	}
+	env.Node = resp.Header.Get(server.NodeHeader)
+	return &env
+}
+
+// figure8Requests is one request per catalogued Figure 8 target.
+func figure8Requests() []*server.Request {
+	var reqs []*server.Request
+	for _, tgt := range apps.Targets() {
+		reqs = append(reqs, &server.Request{
+			Recipient: tgt.Recipient,
+			Target:    tgt.ID,
+			Donor:     tgt.Donors[0],
+		})
+	}
+	return reqs
+}
+
+// fastRequests returns Figure 8 targets whose transfers complete in
+// well under a second even with the race detector on. The tests that
+// pin queue mechanics (dedup gates, drain handoff, stealing) use
+// these so their timing gates never ride on engine speed; the full
+// batch (including the slow targets) is covered by
+// TestClusterByteIdenticalFigure8.
+func fastRequests(t *testing.T) []*server.Request {
+	t.Helper()
+	fast := map[string]bool{
+		"jpc_dec.c@492":         true, // jasper
+		"gif2tiff.c@355":        true, // gif2tiff
+		"packet-dcp-etsi.c@258": true, // wireshark14
+		"xwindow.c@5619":        true, // display
+	}
+	var reqs []*server.Request
+	for _, req := range figure8Requests() {
+		if fast[req.Target] {
+			reqs = append(reqs, req)
+		}
+	}
+	if len(reqs) != len(fast) {
+		t.Fatalf("catalogue lacks fast targets: found %d of %d", len(reqs), len(fast))
+	}
+	return reqs
+}
+
+// singleNodeReports runs reqs against a plain (cluster-free) server
+// and returns each report's exact bytes, keyed by content key.
+func singleNodeReports(t *testing.T, scfg server.Config, reqs []*server.Request) map[string][]byte {
+	t.Helper()
+	srv := server.New(scfg)
+	srv.Start()
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("baseline shutdown: %v", err)
+		}
+	}()
+	out := map[string][]byte{}
+	for _, req := range reqs {
+		env := post(t, ts.URL, req, "", false)
+		if env.Status != server.StatusDone {
+			t.Fatalf("baseline %s/%s <- %s: %s (%s)", req.Recipient, req.Target, req.Donor, env.Status, env.Error)
+		}
+		out[server.ContentKey(req)] = env.Report
+	}
+	return out
+}
+
+func totalStat(tc *testCluster, f func(server.Stats) int64) int64 {
+	var sum int64
+	for _, n := range tc.nodes {
+		sum += f(n.Server().Stats())
+	}
+	return sum
+}
+
+// TestClusterByteIdenticalFigure8 pins the cross-node invariant on
+// the full Figure 8 batch: every request, submitted through every
+// node of a 3-node cluster, returns report bytes identical to a
+// single-node daemon's, and forwarded responses name a consistent
+// owner in the X-Phaged-Node header.
+func TestClusterByteIdenticalFigure8(t *testing.T) {
+	reqs := figure8Requests()
+	if testing.Short() {
+		// The full batch includes targets that run for minutes under
+		// the race detector; -short keeps the routing smoke on the
+		// fast subset and CI's dedicated cluster step runs the batch.
+		reqs = fastRequests(t)
+	}
+	baseline := singleNodeReports(t, server.Config{}, reqs)
+	tc := startCluster(t, 3, server.Config{})
+
+	type result struct {
+		req *server.Request
+		via int
+		env *clusterEnv
+	}
+	results := make(chan result, len(reqs)*len(tc.nodes))
+	var wg sync.WaitGroup
+	for _, req := range reqs {
+		for i := range tc.nodes {
+			wg.Add(1)
+			go func(req *server.Request, i int) {
+				defer wg.Done()
+				results <- result{req, i, post(t, tc.urls[i], req, "", false)}
+			}(req, i)
+		}
+	}
+	wg.Wait()
+	close(results)
+
+	owners := map[string]map[string]bool{} // key -> set of header nodes
+	for res := range results {
+		key := server.ContentKey(res.req)
+		if res.env.Status != server.StatusDone {
+			t.Fatalf("via node %d, %s/%s: %s (%s)", res.via, res.req.Recipient, res.req.Target, res.env.Status, res.env.Error)
+		}
+		if !bytes.Equal(res.env.Report, baseline[key]) {
+			t.Errorf("via node %d, %s/%s: report bytes differ from single-node daemon", res.via, res.req.Recipient, res.req.Target)
+		}
+		if res.env.Node != "" {
+			if owners[key] == nil {
+				owners[key] = map[string]bool{}
+			}
+			owners[key][res.env.Node] = true
+		}
+	}
+	for key, set := range owners {
+		if len(set) > 1 {
+			t.Errorf("key %s was attributed to multiple owners: %v", key, set)
+		}
+	}
+	var forwards int64
+	for _, n := range tc.nodes {
+		forwards += n.forwards.Load()
+	}
+	if forwards == 0 {
+		t.Error("no request was ever forwarded: ring routing is not engaged")
+	}
+	if failures := totalStat(tc, func(s server.Stats) int64 { return s.Failed }); failures != 0 {
+		t.Errorf("cluster reported %d failed jobs", failures)
+	}
+}
+
+// TestClusterCrossNodeDedup pins cluster-wide dedup: the same request
+// submitted through two different non-owner nodes while in flight
+// must produce exactly one engine run — the ring maps both onto the
+// owner's dedup entry.
+func TestClusterCrossNodeDedup(t *testing.T) {
+	req := fastRequests(t)[0]
+	key := server.ContentKey(req)
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var releaseOnce sync.Once
+	var gateHit atomic.Int64
+	scfg := server.Config{
+		BeforeRun: func(job *server.Job) {
+			if job.Key != key {
+				return
+			}
+			if gateHit.Add(1) == 1 {
+				close(entered)
+			}
+			<-release
+		},
+	}
+	tc := startCluster(t, 3, scfg)
+	t.Cleanup(func() { releaseOnce.Do(func() { close(release) }) })
+
+	owner := tc.nodes[0].ownerFor(key)
+	var senders []int
+	for i, u := range tc.urls {
+		if u != owner {
+			senders = append(senders, i)
+		}
+	}
+	if len(senders) != 2 {
+		t.Fatalf("expected 2 non-owner nodes, got %d (owner %s)", len(senders), owner)
+	}
+
+	envs := make([]*clusterEnv, 2)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		envs[0] = post(t, tc.urls[senders[0]], req, "", false)
+	}()
+	select {
+	case <-entered:
+	case <-time.After(30 * time.Second):
+		t.Fatal("first submission never reached the engine")
+	}
+	// The job is now provably in flight on the owner; the second
+	// submission must join it instead of running again.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		envs[1] = post(t, tc.urls[senders[1]], req, "", false)
+	}()
+	waitForDedup := time.After(30 * time.Second)
+	for tc.nodes[0].Server().Stats().DedupHits+tc.nodes[1].Server().Stats().DedupHits+tc.nodes[2].Server().Stats().DedupHits == 0 {
+		select {
+		case <-waitForDedup:
+			t.Fatal("second submission never hit the dedup index")
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	releaseOnce.Do(func() { close(release) })
+	wg.Wait()
+
+	for i, env := range envs {
+		if env.Status != server.StatusDone {
+			t.Fatalf("submission %d: %s (%s)", i, env.Status, env.Error)
+		}
+	}
+	if !bytes.Equal(envs[0].Report, envs[1].Report) {
+		t.Error("deduped submissions returned different report bytes")
+	}
+	if envs[0].ID != envs[1].ID {
+		t.Errorf("deduped submissions got different job IDs: %s vs %s", envs[0].ID, envs[1].ID)
+	}
+	if runs := gateHit.Load(); runs != 1 {
+		t.Errorf("engine ran %d times for one logical request, want 1", runs)
+	}
+	if runs := totalStat(tc, func(s server.Stats) int64 { return s.EngineRuns }); runs != 1 {
+		t.Errorf("cluster-wide engine runs = %d, want 1", runs)
+	}
+}
+
+// TestClusterDrainHandoff drains a node holding queued jobs: the
+// queued work must be forwarded to the surviving owners and complete
+// on the draining node with byte-identical reports, while the
+// survivors drop the drained node from their rings.
+func TestClusterDrainHandoff(t *testing.T) {
+	reqs := fastRequests(t)
+	blocker, queued := reqs[3], reqs[0:3]
+	blockKey := server.ContentKey(blocker)
+	baseline := singleNodeReports(t, server.Config{}, queued)
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var releaseOnce sync.Once
+	var enteredOnce sync.Once
+	scfg := server.Config{
+		Shards:          1,
+		WorkersPerShard: 1,
+		QueueDepth:      16,
+		BeforeRun: func(job *server.Job) {
+			if job.Key != blockKey {
+				return
+			}
+			enteredOnce.Do(func() { close(entered) })
+			<-release
+		},
+	}
+	tc := startCluster(t, 3, scfg)
+	t.Cleanup(func() { releaseOnce.Do(func() { close(release) }) })
+	victim := tc.nodes[2]
+
+	// Pin the blocker onto the victim's only worker, then stack queued
+	// jobs behind it (hop header: serve locally, never route away).
+	post(t, tc.urls[2], blocker, "?async=1", true)
+	select {
+	case <-entered:
+	case <-time.After(30 * time.Second):
+		t.Fatal("blocker never started running on the victim")
+	}
+	ids := make([]string, len(queued))
+	for i, req := range queued {
+		env := post(t, tc.urls[2], req, "?async=1", true)
+		ids[i] = env.ID
+	}
+	if q := victim.Server().Stats().Queued; q != len(queued) {
+		t.Fatalf("victim queue depth = %d, want %d", q, len(queued))
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	victim.Drain(ctx)
+
+	if got := victim.handoffs.Load(); got != int64(len(queued)) {
+		t.Errorf("handoffs = %d, want %d", got, len(queued))
+	}
+	// The handed-off jobs are complete on the victim — clients polling
+	// it still get their (byte-identical) answers.
+	for i, id := range ids {
+		resp, err := http.Get(tc.urls[2] + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var env clusterEnv
+		if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if env.Status != server.StatusDone {
+			t.Fatalf("handed-off job %s: %s (%s)", id, env.Status, env.Error)
+		}
+		if !bytes.Equal(env.Report, baseline[server.ContentKey(queued[i])]) {
+			t.Errorf("handed-off job %s: report bytes differ from single-node daemon", id)
+		}
+	}
+	// Survivors dropped the victim from their rings.
+	for i := 0; i < 2; i++ {
+		var view StatusView
+		if err := tc.nodes[i].getControl(ctx, tc.urls[i], "/v1/cluster/status", &view); err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range view.Members {
+			if m.Node == tc.urls[2] {
+				t.Errorf("node %d still lists the drained node in its ring", i)
+			}
+		}
+	}
+	// Release the blocker so the victim's running job can finish and
+	// shutdown drains cleanly.
+	releaseOnce.Do(func() { close(release) })
+}
+
+// TestClusterSteal exercises the steal protocol: an idle thief takes
+// queued jobs from the deepest peer, runs them locally, and posts the
+// results back, completing the victim's jobs byte-identically.
+func TestClusterSteal(t *testing.T) {
+	reqs := fastRequests(t)
+	blocker, queued := reqs[3], reqs[0:2]
+	blockKey := server.ContentKey(blocker)
+	baseline := singleNodeReports(t, server.Config{}, queued)
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var releaseOnce, enteredOnce sync.Once
+	scfg := server.Config{
+		Shards:          1,
+		WorkersPerShard: 1,
+		QueueDepth:      16,
+		BeforeRun: func(job *server.Job) {
+			if job.Key != blockKey {
+				return
+			}
+			enteredOnce.Do(func() { close(entered) })
+			<-release
+		},
+	}
+	tc := startCluster(t, 3, scfg)
+	t.Cleanup(func() { releaseOnce.Do(func() { close(release) }) })
+	victim, thief := tc.nodes[1], tc.nodes[0]
+
+	post(t, tc.urls[1], blocker, "?async=1", true)
+	select {
+	case <-entered:
+	case <-time.After(30 * time.Second):
+		t.Fatal("blocker never started running on the victim")
+	}
+	ids := make([]string, len(queued))
+	for i, req := range queued {
+		env := post(t, tc.urls[1], req, "?async=1", true)
+		ids[i] = env.ID
+	}
+	if q := victim.Server().Stats().Queued; q != len(queued) {
+		t.Fatalf("victim queue depth = %d, want %d", q, len(queued))
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	stolen, err := thief.StealOnce(ctx)
+	if err != nil {
+		t.Fatalf("StealOnce: %v", err)
+	}
+	if stolen != len(queued) {
+		t.Fatalf("stole %d jobs, want %d", stolen, len(queued))
+	}
+	if got := thief.steals.Load(); got != int64(len(queued)) {
+		t.Errorf("thief steals counter = %d, want %d", got, len(queued))
+	}
+	for i, id := range ids {
+		resp, err := http.Get(tc.urls[1] + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var env clusterEnv
+		if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if env.Status != server.StatusDone {
+			t.Fatalf("stolen job %s: %s (%s)", id, env.Status, env.Error)
+		}
+		if !bytes.Equal(env.Report, baseline[server.ContentKey(queued[i])]) {
+			t.Errorf("stolen job %s: report bytes differ from single-node daemon", id)
+		}
+	}
+	releaseOnce.Do(func() { close(release) })
+}
+
+// TestClusterArtifactReplication pins corpus replication: a follower
+// pulls the leader's content-addressed bundle, verifies the digest,
+// hot-swaps it, and afterwards serves the identical digest itself.
+func TestClusterArtifactReplication(t *testing.T) {
+	tc := startCluster(t, 3, server.Config{})
+
+	leaderURL := tc.nodes[0].ownerFor(artifactKey)
+	var follower *Node
+	var followerURL string
+	for i, u := range tc.urls {
+		if u != leaderURL {
+			follower, followerURL = tc.nodes[i], u
+			break
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	digest, err := follower.PullArtifact(ctx)
+	if err != nil {
+		t.Fatalf("PullArtifact: %v", err)
+	}
+	if digest == "" {
+		t.Fatal("PullArtifact returned an empty digest")
+	}
+	if got := follower.artifactPulls.Load(); got != 1 {
+		t.Errorf("artifact pulls = %d, want 1", got)
+	}
+
+	fetch := func(base string) artifactBundle {
+		t.Helper()
+		var b artifactBundle
+		resp, err := http.Get(base + "/v1/cluster/artifact")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if err := json.NewDecoder(resp.Body).Decode(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	leaderBundle := fetch(leaderURL)
+	if leaderBundle.Digest != digest {
+		t.Errorf("leader digest %s, follower installed %s", leaderBundle.Digest, digest)
+	}
+	followerBundle := fetch(followerURL)
+	if followerBundle.Digest != digest {
+		t.Errorf("follower serves digest %s after installing %s", followerBundle.Digest, digest)
+	}
+	if got := bundleDigest(leaderBundle.Index, leaderBundle.Fingerprints); got != leaderBundle.Digest {
+		t.Errorf("leader bundle digest %s does not cover its payload (%s)", leaderBundle.Digest, got)
+	}
+}
+
+// TestClusterStatusAndMetrics covers the topology view and the
+// metric fan-in: fractions sum to one, every member reports up, and
+// the aggregated exposition carries the cluster families.
+func TestClusterStatusAndMetrics(t *testing.T) {
+	tc := startCluster(t, 3, server.Config{})
+	req := fastRequests(t)[0]
+	env := post(t, tc.urls[0], req, "", false)
+	if env.Status != server.StatusDone {
+		t.Fatalf("transfer: %s (%s)", env.Status, env.Error)
+	}
+
+	var view StatusView
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := tc.nodes[0].getControl(ctx, tc.urls[0], "/v1/cluster/status", &view); err != nil {
+		t.Fatal(err)
+	}
+	if view.Self != tc.urls[0] || view.Draining {
+		t.Errorf("status self=%q draining=%v", view.Self, view.Draining)
+	}
+	if len(view.Members) != 3 {
+		t.Fatalf("status members = %d, want 3", len(view.Members))
+	}
+	var sum float64
+	selfRows := 0
+	for _, m := range view.Members {
+		sum += m.Fraction
+		if m.Self {
+			selfRows++
+			if m.Node != tc.urls[0] {
+				t.Errorf("self row names %q", m.Node)
+			}
+		}
+	}
+	if selfRows != 1 {
+		t.Errorf("status has %d self rows, want 1", selfRows)
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("member fractions sum to %f, want 1", sum)
+	}
+
+	resp, err := http.Get(tc.urls[1] + "/v1/cluster/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, u := range tc.urls {
+		row := fmt.Sprintf("phaged_cluster_node_up{node=%q} 1", u)
+		if !strings.Contains(text, row) {
+			t.Errorf("aggregated metrics lack %s", row)
+		}
+	}
+	for _, fam := range []string{
+		"phaged_cluster_forwards_total", "phaged_cluster_peers",
+		"phaged_engine_runs_total", "phaged_jobs_completed_total",
+	} {
+		if !strings.Contains(text, fam) {
+			t.Errorf("aggregated metrics lack family %s", fam)
+		}
+	}
+}
+
+// TestClusterScenarioSuite runs the fixed-seed conformance suite
+// through a 3-node cluster — pair i submitted via node i%3, auto donor
+// selection against a shared suite-scoped corpus — and requires every
+// report byte-identical to a single-node daemon's, with one node
+// draining while the suite is still in flight.
+func TestClusterScenarioSuite(t *testing.T) {
+	seed, count := int64(424242), 100
+	if testing.Short() {
+		count = 12
+	}
+	pairs := make([]*scenario.Pair, count)
+	var registered []*apps.App
+	var targets []*apps.Target
+	for i := range pairs {
+		p, err := scenario.GeneratePair(seed + int64(i))
+		if err != nil {
+			t.Fatalf("generating pair %d: %v", i, err)
+		}
+		pairs[i] = p
+		registered = append(registered, p.Recipient, p.Donor, p.Naive)
+		targets = append(targets, p.Target)
+	}
+	if err := apps.Register(registered...); err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, a := range registered {
+		names[a.Name] = true
+	}
+	t.Cleanup(func() { apps.Unregister(func(name string) bool { return names[name] }) })
+	if err := apps.RegisterTargets(targets...); err != nil {
+		t.Fatal(err)
+	}
+
+	donors, loader := scenario.SuiteDonors(pairs)
+	scfg := server.Config{CorpusDonors: donors, CorpusLoader: loader}
+	reqs := make([]*server.Request, count)
+	for i, p := range pairs {
+		reqs[i] = &server.Request{
+			Recipient: p.Recipient.Name,
+			Target:    p.Target.ID,
+			Donor:     pipeline.AutoDonor,
+		}
+	}
+	baseline := singleNodeReports(t, scfg, reqs)
+	tc := startCluster(t, 3, scfg)
+
+	// Drain node 2 once a third of the suite has completed; the rest of
+	// the suite keeps flowing — including submissions addressed to the
+	// draining node, which must forward them to the survivors.
+	var done atomic.Int64
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for done.Load() < int64(count/3) {
+			time.Sleep(5 * time.Millisecond)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+		defer cancel()
+		tc.nodes[2].Drain(ctx)
+	}()
+
+	envs := make([]*clusterEnv, count)
+	sem := make(chan struct{}, 8)
+	var wg sync.WaitGroup
+	for i := range reqs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			envs[i] = post(t, tc.urls[i%3], reqs[i], "", false)
+			done.Add(1)
+		}(i)
+	}
+	wg.Wait()
+	<-drained
+
+	for i, env := range envs {
+		if env.Status != server.StatusDone {
+			t.Fatalf("pair %d (%s via node %d): %s (%s)", i, reqs[i].Target, i%3, env.Status, env.Error)
+		}
+		if !bytes.Equal(env.Report, baseline[server.ContentKey(reqs[i])]) {
+			t.Errorf("pair %d (%s via node %d): report bytes differ from single-node daemon", i, reqs[i].Target, i%3)
+		}
+	}
+	// The drained node left the survivors' rings mid-run, yet nothing
+	// was lost or re-answered differently.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	for i := 0; i < 2; i++ {
+		var view StatusView
+		if err := tc.nodes[i].getControl(ctx, tc.urls[i], "/v1/cluster/status", &view); err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range view.Members {
+			if m.Node == tc.urls[2] {
+				t.Errorf("node %d still lists the drained node in its ring", i)
+			}
+		}
+	}
+	if failures := totalStat(tc, func(s server.Stats) int64 { return s.Failed }); failures != 0 {
+		t.Errorf("cluster reported %d failed jobs", failures)
+	}
+}
+
+// TestClusterBodyLimits pins the bound on the cluster front door and
+// control endpoints: oversize is 413, malformed is 400.
+func TestClusterBodyLimits(t *testing.T) {
+	tc := startCluster(t, 1, server.Config{})
+	big := `{"recipient":"` + strings.Repeat("a", server.MaxJSONBody) + `"}`
+	cases := []struct {
+		name, path, body string
+		want             int
+	}{
+		{"transfer oversize", "/v1/transfer", big, http.StatusRequestEntityTooLarge},
+		{"transfer malformed", "/v1/transfer", "{nope", http.StatusBadRequest},
+		{"steal oversize", "/v1/cluster/steal", big, http.StatusRequestEntityTooLarge},
+		{"leave malformed", "/v1/cluster/leave", "{nope", http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			resp, err := http.Post(tc.urls[0]+c.path, "application/json", strings.NewReader(c.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != c.want {
+				t.Fatalf("POST %s: status %d, want %d", c.path, resp.StatusCode, c.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,18 @@
+package cluster
+
+import (
+	"time"
+
+	"codephage/internal/server"
+)
+
+// ListenAndServe runs a cluster node as a daemon: the shared phaged
+// serve/drain loop with the node's routing handler in front of the
+// server and the cluster drain (ring handoff) spliced into the
+// shutdown sequence before the listener stops accepting — peers and
+// polling clients keep getting answers while queued work moves.
+func ListenAndServe(addr string, n *Node, drain time.Duration, logf func(string, ...any)) error {
+	n.Start()
+	defer n.StopAux()
+	return server.ServeLoop(addr, n.Server(), n.Handler(), drain, logf, n.Drain)
+}

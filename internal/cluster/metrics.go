@@ -1,0 +1,100 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Cluster-wide metric aggregation: /v1/cluster/metrics fans into
+// every member's /metrics, sums samples with identical name+labels,
+// and emits one exposition — counters add, histogram bucket counts
+// add, and per-node reachability comes along as
+// phaged_cluster_node_up{node="..."} rows. Gauges add too (a summed
+// gauge like phaged_jobs_queued reads as the cluster total, which is
+// what a dashboard wants for queue depth).
+
+func (n *Node) handleClusterMetrics(w http.ResponseWriter, r *http.Request) {
+	n.mu.Lock()
+	members := n.ring.Members()
+	self := n.self
+	draining := n.draining
+	n.mu.Unlock()
+	if draining || len(members) == 0 {
+		// A draining node left the ring but must still answer: report
+		// over itself plus its last-known peers.
+		members = append([]string{self}, n.peers()...)
+		sort.Strings(members)
+	}
+
+	agg := map[string]float64{}
+	up := map[string]bool{}
+	for _, m := range members {
+		text, err := n.fetchMetrics(r.Context(), m)
+		if err != nil {
+			n.logf("cluster: metrics from %s: %v", m, err)
+			continue
+		}
+		up[m] = true
+		for _, line := range strings.Split(text, "\n") {
+			line = strings.TrimSpace(line)
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			cut := strings.LastIndexByte(line, ' ')
+			if cut <= 0 {
+				continue
+			}
+			val, err := strconv.ParseFloat(line[cut+1:], 64)
+			if err != nil {
+				continue
+			}
+			agg[line[:cut]] += val
+		}
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	for _, m := range members {
+		fmt.Fprintf(w, "phaged_cluster_node_up{node=%q} %d\n", m, boolInt(up[m]))
+	}
+	keys := make([]string, 0, len(agg))
+	for k := range agg {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s %s\n", k, strconv.FormatFloat(agg[k], 'g', -1, 64))
+	}
+}
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// fetchMetrics reads one member's /metrics exposition text.
+func (n *Node) fetchMetrics(ctx context.Context, member string) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, member+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := n.control.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("%s/metrics: %s", member, resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	return string(body), nil
+}

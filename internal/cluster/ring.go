@@ -1,0 +1,142 @@
+// Package cluster turns N phaged processes into one transfer service:
+// a consistent-hash ring over the request content key routes every
+// job to exactly one owner node, so identical requests dedup across
+// the cluster the same way they already dedup within one process.
+// Any node accepts any request — non-owned jobs are forwarded to the
+// owner and the response bytes relayed verbatim, keeping the
+// single-node byte-identical report invariant intact across nodes.
+// The corpus index and its fingerprint sidecar replicate as one
+// content-addressed artifact that followers pull from the ring and
+// hot-swap without restart; draining nodes hand their ring slice and
+// queued jobs off to the survivors, and idle nodes may steal from
+// deep peer queues.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// defaultVNodes is the virtual-node count per member: enough points
+// that each member's share of the key space concentrates near
+// 1/len(members), so add/remove moves only ~1/n of the keys.
+const defaultVNodes = 64
+
+// ringSpan is the size of the 64-bit hash circle as a float, for
+// ownership-fraction arithmetic.
+const ringSpan = float64(1<<63) * 2
+
+type ringPoint struct {
+	h      uint64
+	member string
+}
+
+// Ring is an immutable consistent-hash ring: ownership is a pure
+// function of (key, member set, vnode count). Rebuilding a ring from
+// the same member set always yields the same assignment, so every
+// node that agrees on membership agrees on routing with no
+// coordination.
+type Ring struct {
+	points  []ringPoint
+	members []string
+}
+
+// NewRing builds a ring over the member names (typically advertised
+// base URLs). Duplicates are collapsed; order does not matter.
+// vnodes <= 0 selects the default.
+func NewRing(members []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = defaultVNodes
+	}
+	uniq := make([]string, 0, len(members))
+	seen := map[string]bool{}
+	for _, m := range members {
+		if m == "" || seen[m] {
+			continue
+		}
+		seen[m] = true
+		uniq = append(uniq, m)
+	}
+	sort.Strings(uniq)
+	r := &Ring{members: uniq}
+	for _, m := range uniq {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{h: pointHash(m, i), member: m})
+		}
+	}
+	// Tie-break equal hashes by member name: hash collisions are
+	// astronomically unlikely, but determinism must not depend on that.
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].h != r.points[j].h {
+			return r.points[i].h < r.points[j].h
+		}
+		return r.points[i].member < r.points[j].member
+	})
+	return r
+}
+
+func pointHash(member string, i int) uint64 {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%s\x00vnode\x00%d", member, i)))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+func keyHash(key string) uint64 {
+	sum := sha256.Sum256([]byte(key))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Owner returns the member owning key ("" on an empty ring): the
+// first ring point at or clockwise after the key's hash.
+func (r *Ring) Owner(key string) string {
+	if r == nil || len(r.points) == 0 {
+		return ""
+	}
+	h := keyHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].h >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].member
+}
+
+// Members returns the member set, sorted.
+func (r *Ring) Members() []string {
+	if r == nil {
+		return nil
+	}
+	out := make([]string, len(r.members))
+	copy(out, r.members)
+	return out
+}
+
+// Fraction returns member's share of the key space (the summed arc
+// lengths of its ring points), in [0, 1]. The shares of all members
+// sum to 1.
+func (r *Ring) Fraction(member string) float64 {
+	if r == nil || len(r.points) == 0 {
+		return 0
+	}
+	if len(r.points) == 1 {
+		if r.points[0].member == member {
+			return 1
+		}
+		return 0
+	}
+	var frac float64
+	for i, p := range r.points {
+		if p.member != member {
+			continue
+		}
+		prev := len(r.points) - 1
+		if i > 0 {
+			prev = i - 1
+		}
+		// Unsigned subtraction wraps, which is exactly the arc length
+		// across the zero point.
+		arc := p.h - r.points[prev].h
+		frac += float64(arc) / ringSpan
+	}
+	return frac
+}

@@ -1,0 +1,129 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("content-key-%04d", i)
+	}
+	return keys
+}
+
+// TestRingDeterministic pins that ownership is a pure function of
+// (key, member set): member order at construction is irrelevant, and
+// rebuilding the ring reproduces the identical assignment.
+func TestRingDeterministic(t *testing.T) {
+	members := []string{"http://c:1", "http://a:1", "http://b:1"}
+	permuted := []string{"http://b:1", "http://c:1", "http://a:1", "http://a:1"}
+	a := NewRing(members, 0)
+	b := NewRing(permuted, 0) // different order, one duplicate
+	c := NewRing(members, 0)  // plain rebuild
+	for _, key := range ringKeys(2000) {
+		if a.Owner(key) != b.Owner(key) || a.Owner(key) != c.Owner(key) {
+			t.Fatalf("owner of %q differs across equivalent rings: %q / %q / %q",
+				key, a.Owner(key), b.Owner(key), c.Owner(key))
+		}
+	}
+}
+
+// TestRingBalance checks each member's key-space share: fractions sum
+// to one and every member holds a non-degenerate slice.
+func TestRingBalance(t *testing.T) {
+	members := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r := NewRing(members, 0)
+	var sum float64
+	for _, m := range members {
+		f := r.Fraction(m)
+		if f < 0.05 || f > 0.75 {
+			t.Errorf("Fraction(%s) = %f: degenerate share for 3 members", m, f)
+		}
+		sum += f
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("fractions sum to %f, want 1", sum)
+	}
+	if f := r.Fraction("http://nobody:1"); f != 0 {
+		t.Fatalf("Fraction of a non-member = %f, want 0", f)
+	}
+
+	// Observed ownership over many keys must track the arc fractions.
+	keys := ringKeys(20000)
+	counts := map[string]int{}
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	for _, m := range members {
+		got := float64(counts[m]) / float64(len(keys))
+		if math.Abs(got-r.Fraction(m)) > 0.05 {
+			t.Errorf("%s owns %.3f of sampled keys but %.3f of the ring", m, got, r.Fraction(m))
+		}
+	}
+}
+
+// TestRingRemovalMovesOnlyOwnedKeys pins the consistent-hashing
+// property the drain handoff depends on: removing one member moves
+// exactly the keys it owned — every other key keeps its owner — and
+// the moved fraction is about 1/n.
+func TestRingRemovalMovesOnlyOwnedKeys(t *testing.T) {
+	members := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	before := NewRing(members, 0)
+	after := NewRing(members[:3], 0) // d removed
+	keys := ringKeys(20000)
+	moved := 0
+	for _, k := range keys {
+		was, is := before.Owner(k), after.Owner(k)
+		if was != "http://d:1" {
+			if was != is {
+				t.Fatalf("key %q moved %q -> %q although its owner never left", k, was, is)
+			}
+			continue
+		}
+		if is == "http://d:1" {
+			t.Fatalf("key %q still owned by the removed member", k)
+		}
+		moved++
+	}
+	frac := float64(moved) / float64(len(keys))
+	if math.Abs(frac-before.Fraction("http://d:1")) > 0.05 {
+		t.Fatalf("removal moved %.3f of keys, expected the member's share %.3f",
+			frac, before.Fraction("http://d:1"))
+	}
+}
+
+// TestRingAdditionTakesOnlyItsShare is the join-side mirror: a new
+// member takes keys only for itself, never reshuffling keys between
+// existing members.
+func TestRingAdditionTakesOnlyItsShare(t *testing.T) {
+	before := NewRing([]string{"http://a:1", "http://b:1"}, 0)
+	after := NewRing([]string{"http://a:1", "http://b:1", "http://c:1"}, 0)
+	for _, k := range ringKeys(20000) {
+		was, is := before.Owner(k), after.Owner(k)
+		if is != was && is != "http://c:1" {
+			t.Fatalf("key %q reshuffled %q -> %q by an unrelated join", k, was, is)
+		}
+	}
+}
+
+// TestRingEdgeCases covers the degenerate rings the cluster code must
+// survive: no members, one member.
+func TestRingEdgeCases(t *testing.T) {
+	if owner := NewRing(nil, 0).Owner("k"); owner != "" {
+		t.Fatalf("empty ring owner = %q, want empty", owner)
+	}
+	var nilRing *Ring
+	if owner := nilRing.Owner("k"); owner != "" {
+		t.Fatalf("nil ring owner = %q, want empty", owner)
+	}
+	solo := NewRing([]string{"http://a:1"}, 0)
+	if owner := solo.Owner("k"); owner != "http://a:1" {
+		t.Fatalf("solo ring owner = %q", owner)
+	}
+	if f := solo.Fraction("http://a:1"); math.Abs(f-1) > 1e-9 {
+		t.Fatalf("solo member fraction = %f, want 1", f)
+	}
+}

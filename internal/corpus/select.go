@@ -5,6 +5,7 @@
 package corpus
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -290,6 +291,43 @@ func (s *Selector) Index() (*Index, error) {
 	s.built, s.ix, s.rebuilt = true, ix, rebuilt
 	s.mu.Unlock()
 	return ix, nil
+}
+
+// Install publishes a prebuilt index and fingerprint sidecar as the
+// selector's warm state, replacing whatever was (or would have been)
+// built locally — the cluster's artifact-replication hot-swap. The
+// sidecar is attached unless the pre-filter is disabled, and both are
+// persisted to the selector's Path so a restart reloads the
+// replicated state instead of rebuilding. Queries racing the swap see
+// either the old or the new index, never a mix: Select holds one
+// *Index for its whole run.
+func (s *Selector) Install(ix *Index, fp *FingerprintIndex) error {
+	if ix == nil {
+		return fmt.Errorf("corpus: installing a nil index")
+	}
+	if !s.NoPrefilter && fp != nil {
+		if err := ix.AttachFingerprints(fp); err != nil {
+			return err
+		}
+	}
+	// Serialize with in-flight builds so a concurrent lazy build cannot
+	// publish over the freshly installed index.
+	s.buildMu.Lock()
+	defer s.buildMu.Unlock()
+	if s.Path != "" {
+		if err := ix.Save(s.Path); err != nil {
+			return err
+		}
+		if fp != nil {
+			if err := fp.Save(FingerprintSidecar(s.Path)); err != nil {
+				return err
+			}
+		}
+	}
+	s.mu.Lock()
+	s.built, s.ix, s.rebuilt = true, ix, 0
+	s.mu.Unlock()
+	return nil
 }
 
 func (s *Selector) published() (*Index, bool) {

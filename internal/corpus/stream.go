@@ -95,7 +95,7 @@ type DonorStream struct {
 	inHead   []bool
 	hi, ti   int
 	sel      *Selection
-	stats  StreamStats
+	stats    StreamStats
 	// onProbe, when set, observes every probe outcome (the Selector
 	// hooks its survivor counters here).
 	onProbe func(survived bool)

@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"net"
-	"net/http"
 	"sort"
 	"strings"
 	"sync"
@@ -118,11 +117,12 @@ func repro(pairSeed int64, opts *Options) string {
 	return sb.String()
 }
 
-// suiteDonors collects the corpus donor set and module loader for the
+// SuiteDonors collects the corpus donor set and module loader for the
 // generated pairs: every pair contributes its guarding donor and its
 // naive decoy, so selection ranks within a realistic, format-shared
-// knowledge base.
-func suiteDonors(pairs []*Pair) ([]corpus.Donor, corpus.ModuleLoader) {
+// knowledge base. Exported for the cluster conformance tests, which
+// boot several servers over one generated suite.
+func SuiteDonors(pairs []*Pair) ([]corpus.Donor, corpus.ModuleLoader) {
 	byName := map[string]*apps.App{}
 	var donors []corpus.Donor
 	for _, p := range pairs {
@@ -246,7 +246,7 @@ func finishOutcome(p *Pair, out *Outcome, patchedSrc string, opts *Options, logf
 // corpus indexing over the suite donors, the Select stage, and the
 // batch engine.
 func runLocal(pairs []*Pair, rep *Report, opts *Options, logf func(string, ...any)) error {
-	donors, loader := suiteDonors(pairs)
+	donors, loader := SuiteDonors(pairs)
 	eng := pipeline.NewEngine()
 	eng.Selector = &corpus.Selector{Donors: donors, Loader: loader, NoPrefilter: opts.NoPrefilter}
 
@@ -320,14 +320,14 @@ func runHTTP(pairs []*Pair, rep *Report, opts *Options, logf func(string, ...any
 		return fmt.Errorf("scenario: registering targets: %w", err)
 	}
 
-	donors, loader := suiteDonors(pairs)
+	donors, loader := SuiteDonors(pairs)
 	srv := server.New(server.Config{CorpusDonors: donors, CorpusLoader: loader})
 	srv.Start()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
 	}
-	hs := &http.Server{Handler: srv.Handler()}
+	hs := server.NewHTTPServer(srv.Handler())
 	go hs.Serve(ln)
 	defer func() {
 		hs.Close()
@@ -352,7 +352,7 @@ func runHTTP(pairs []*Pair, rep *Report, opts *Options, logf func(string, ...any
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			env, err := cli.Transfer(&server.Request{
+			env, err := cli.Transfer(context.Background(), &server.Request{
 				Recipient: p.Recipient.Name,
 				Target:    p.Target.ID,
 				Donor:     pipeline.AutoDonor,

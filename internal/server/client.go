@@ -3,8 +3,10 @@ package server
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
 	"time"
@@ -12,21 +14,73 @@ import (
 	"codephage/internal/telemetry"
 )
 
+// DefaultTimeout bounds every non-streaming client call end to end:
+// a hung or half-dead daemon must surface as an error, never hang
+// codephage -remote (or a cluster forward) forever. Transfers
+// legitimately run for minutes, so the bound is generous; callers
+// with tighter needs pass a context deadline or their own HTTP
+// client. Streaming calls are exempt (they are long-lived by design)
+// and rely on context cancellation instead.
+var DefaultTimeout = 10 * time.Minute
+
+// NodeHeader is the response header a cluster node sets when it
+// forwarded the request to the ring owner: its value is the base URL
+// of the node that actually ran the job, so clients can follow the
+// forward for later job/trace lookups. Absent on locally-served
+// responses.
+const NodeHeader = "X-Phaged-Node"
+
 // Client is a thin phaged API client, used by the codephage CLI's
-// -remote mode and by tests.
+// -remote mode, cluster-internal forwards, and tests. Every method
+// takes a context so callers (and cluster forwards) can carry
+// cancellation and deadlines.
 type Client struct {
 	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8347".
 	BaseURL string
-	// HTTP overrides the transport (nil = a client with no timeout;
-	// transfers legitimately run for a while).
+	// HTTP overrides the transport for non-streaming calls
+	// (nil = a shared client bounded by DefaultTimeout).
 	HTTP *http.Client
+	// StreamHTTP overrides the transport for streaming calls
+	// (nil = a shared client with no overall deadline — an NDJSON
+	// stream may legitimately stay open for a long transfer, so only
+	// context cancellation ends it early).
+	StreamHTTP *http.Client
 }
+
+// The two default clients share the process transport: one carries
+// the overall deadline, the streaming one deliberately does not.
+var (
+	defaultClient       = &http.Client{Timeout: DefaultTimeout}
+	defaultStreamClient = &http.Client{}
+)
 
 func (c *Client) http() *http.Client {
 	if c.HTTP != nil {
 		return c.HTTP
 	}
-	return &http.Client{}
+	if defaultClient.Timeout != DefaultTimeout {
+		// DefaultTimeout is a var so tests can shrink it; honor the
+		// current value without racing on the shared client.
+		return &http.Client{Timeout: DefaultTimeout}
+	}
+	return defaultClient
+}
+
+func (c *Client) streamHTTP() *http.Client {
+	if c.StreamHTTP != nil {
+		return c.StreamHTTP
+	}
+	return defaultStreamClient
+}
+
+// For returns a client addressing another node of the same cluster,
+// keeping any transport overrides. Use it with Envelope.Node to
+// follow a forwarded job to the node that owns it.
+func (c *Client) For(baseURL string) *Client {
+	if baseURL == "" || baseURL == c.BaseURL {
+		return c
+	}
+	return &Client{BaseURL: baseURL, HTTP: c.HTTP, StreamHTTP: c.StreamHTTP}
 }
 
 func (c *Client) url(path string) string {
@@ -57,36 +111,66 @@ func decodeBody[T any](resp *http.Response) (*T, error) {
 	return &v, nil
 }
 
-func (c *Client) post(path string, req *Request) (*http.Response, error) {
+func (c *Client) get(ctx context.Context, path string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url(path), nil)
+	if err != nil {
+		return nil, err
+	}
+	return c.http().Do(req)
+}
+
+func (c *Client) post(ctx context.Context, path string, req *Request, stream bool) (*http.Response, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, err
 	}
-	return c.http().Post(c.url(path), "application/json", bytes.NewReader(body))
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url(path), bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	if stream {
+		return c.streamHTTP().Do(hreq)
+	}
+	return c.http().Do(hreq)
+}
+
+// decodeEnvelope decodes an envelope response and stamps the serving
+// node from the forward header, so callers can follow cluster
+// forwards for later job/trace lookups.
+func decodeEnvelope(resp *http.Response) (*Envelope, error) {
+	node := resp.Header.Get(NodeHeader)
+	env, err := decodeBody[Envelope](resp)
+	if err != nil {
+		return nil, err
+	}
+	env.Node = node
+	return env, nil
 }
 
 // Transfer submits a request and waits for the terminal envelope.
-func (c *Client) Transfer(req *Request) (*Envelope, error) {
-	resp, err := c.post("/v1/transfer", req)
+func (c *Client) Transfer(ctx context.Context, req *Request) (*Envelope, error) {
+	resp, err := c.post(ctx, "/v1/transfer", req, false)
 	if err != nil {
 		return nil, err
 	}
-	return decodeBody[Envelope](resp)
+	return decodeEnvelope(resp)
 }
 
 // Submit enqueues a request and returns its envelope immediately.
-func (c *Client) Submit(req *Request) (*Envelope, error) {
-	resp, err := c.post("/v1/transfer?async=1", req)
+func (c *Client) Submit(ctx context.Context, req *Request) (*Envelope, error) {
+	resp, err := c.post(ctx, "/v1/transfer?async=1", req, false)
 	if err != nil {
 		return nil, err
 	}
-	return decodeBody[Envelope](resp)
+	return decodeEnvelope(resp)
 }
 
 // Stream submits a request and streams status transitions to onStatus
-// (which may be nil), returning the terminal envelope.
-func (c *Client) Stream(req *Request, onStatus func(Status)) (*Envelope, error) {
-	resp, err := c.post("/v1/transfer?stream=1", req)
+// (which may be nil), returning the terminal envelope. The call rides
+// the no-deadline streaming client: cancel ctx to abandon the stream.
+func (c *Client) Stream(ctx context.Context, req *Request, onStatus func(Status)) (*Envelope, error) {
+	resp, err := c.post(ctx, "/v1/transfer?stream=1", req, true)
 	if err != nil {
 		return nil, err
 	}
@@ -127,38 +211,43 @@ func (c *Client) Stream(req *Request, onStatus func(Status)) (*Envelope, error) 
 	if !env.Status.Terminal() {
 		return nil, fmt.Errorf("phaged: stream ended without a terminal envelope (last status %q)", env.Status)
 	}
+	env.Node = resp.Header.Get(NodeHeader)
 	return &env, nil
 }
 
 // Job fetches the envelope of a previously submitted job.
-func (c *Client) Job(id string) (*Envelope, error) {
-	resp, err := c.http().Get(c.url("/v1/jobs/" + id))
+func (c *Client) Job(ctx context.Context, id string) (*Envelope, error) {
+	resp, err := c.get(ctx, "/v1/jobs/"+id)
 	if err != nil {
 		return nil, err
 	}
-	return decodeBody[Envelope](resp)
+	return decodeEnvelope(resp)
 }
 
-// Wait polls a job until it reaches a terminal state.
-func (c *Client) Wait(id string, interval time.Duration) (*Envelope, error) {
+// Wait polls a job until it reaches a terminal state or ctx expires.
+func (c *Client) Wait(ctx context.Context, id string, interval time.Duration) (*Envelope, error) {
 	if interval <= 0 {
 		interval = 50 * time.Millisecond
 	}
 	for {
-		env, err := c.Job(id)
+		env, err := c.Job(ctx, id)
 		if err != nil {
 			return nil, err
 		}
 		if env.Status.Terminal() {
 			return env, nil
 		}
-		time.Sleep(interval)
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(interval):
+		}
 	}
 }
 
 // Targets lists the daemon's transferable error catalogue.
-func (c *Client) Targets() ([]TargetInfo, error) {
-	resp, err := c.http().Get(c.url("/v1/targets"))
+func (c *Client) Targets(ctx context.Context) ([]TargetInfo, error) {
+	resp, err := c.get(ctx, "/v1/targets")
 	if err != nil {
 		return nil, err
 	}
@@ -171,8 +260,8 @@ func (c *Client) Targets() ([]TargetInfo, error) {
 
 // Corpus fetches the daemon's donor knowledge base (triggering the
 // index build on first access).
-func (c *Client) Corpus() (*CorpusInfo, error) {
-	resp, err := c.http().Get(c.url("/corpus"))
+func (c *Client) Corpus(ctx context.Context) (*CorpusInfo, error) {
+	resp, err := c.get(ctx, "/corpus")
 	if err != nil {
 		return nil, err
 	}
@@ -180,19 +269,36 @@ func (c *Client) Corpus() (*CorpusInfo, error) {
 }
 
 // Trace fetches a completed job's span tree.
-func (c *Client) Trace(id string) (*telemetry.Span, error) {
-	resp, err := c.http().Get(c.url("/v1/jobs/" + id + "/trace"))
+func (c *Client) Trace(ctx context.Context, id string) (*telemetry.Span, error) {
+	resp, err := c.get(ctx, "/v1/jobs/"+id+"/trace")
 	if err != nil {
 		return nil, err
 	}
 	return decodeBody[telemetry.Span](resp)
 }
 
+// Metrics fetches the raw Prometheus-style exposition text.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	resp, err := c.get(ctx, "/metrics")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", responseError(resp)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	return string(body), nil
+}
+
 // Ready probes the daemon's readiness endpoint, returning the
 // component breakdown regardless of the response code (a 503 body is
 // still a well-formed Readiness).
-func (c *Client) Ready() (*Readiness, error) {
-	resp, err := c.http().Get(c.url("/readyz"))
+func (c *Client) Ready(ctx context.Context) (*Readiness, error) {
+	resp, err := c.get(ctx, "/readyz")
 	if err != nil {
 		return nil, err
 	}
@@ -205,8 +311,8 @@ func (c *Client) Ready() (*Readiness, error) {
 }
 
 // Health probes the daemon's liveness endpoint.
-func (c *Client) Health() error {
-	resp, err := c.http().Get(c.url("/healthz"))
+func (c *Client) Health(ctx context.Context) error {
+	resp, err := c.get(ctx, "/healthz")
 	if err != nil {
 		return err
 	}

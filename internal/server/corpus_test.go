@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -75,7 +76,7 @@ func TestServiceCorpusEndpointAndMetrics(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	cli := &Client{BaseURL: ts.URL}
 
-	info, err := cli.Corpus()
+	info, err := cli.Corpus(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -15,6 +15,73 @@ import (
 	"time"
 )
 
+// HTTP server read-side timeout defaults. They are variables so the
+// slowloris regression test can shrink them; production code treats
+// them as constants. WriteTimeout stays deliberately unset everywhere:
+// NDJSON streams and synchronous transfers hold a response open for as
+// long as the job runs.
+var (
+	// ReadHeaderTimeout bounds how long a connection may dribble its
+	// request headers — the classic slowloris hold-open.
+	ReadHeaderTimeout = 10 * time.Second
+	// ReadTimeout bounds reading the entire request (headers + body).
+	// Request bodies are bounded to a few KiB by MaxBytesReader, so
+	// this is generous even for patch uploads.
+	ReadTimeout = 2 * time.Minute
+	// IdleTimeout reaps keep-alive connections parked between requests.
+	IdleTimeout = 2 * time.Minute
+)
+
+// NewHTTPServer wraps handler in an http.Server hardened against slow
+// clients: explicit read-side timeouts so a dribbling request cannot
+// pin a connection forever, and no write timeout so streaming and
+// long synchronous transfers keep working.
+func NewHTTPServer(handler http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: ReadHeaderTimeout,
+		ReadTimeout:       ReadTimeout,
+		IdleTimeout:       IdleTimeout,
+	}
+}
+
+// startDebugServer binds the pprof sidecar listener and returns its
+// bound address plus a stop function that shuts the listener and its
+// serve goroutine down (falling back to a hard close when the drain
+// context expires, e.g. a 30s CPU profile still streaming). pprof
+// rides its own listener so profiling endpoints are never reachable
+// through the public API port. Failure to bind is a degraded boot,
+// not a fatal one: the address comes back empty and stop is a no-op.
+func startDebugServer(addr string, logf func(string, ...any)) (string, func(context.Context)) {
+	if addr == "" {
+		return "", func(context.Context) {}
+	}
+	debugMux := http.NewServeMux()
+	debugMux.HandleFunc("/debug/pprof/", pprof.Index)
+	debugMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	debugMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	debugMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	debugMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	dln, err := net.Listen("tcp", addr)
+	if err != nil {
+		logf("phaged: debug listener: %v", err)
+		return "", func(context.Context) {}
+	}
+	dsrv := NewHTTPServer(debugMux)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = dsrv.Serve(dln)
+	}()
+	logf("phaged: pprof on %s", dln.Addr())
+	return dln.Addr().String(), func(ctx context.Context) {
+		if err := dsrv.Shutdown(ctx); err != nil {
+			_ = dsrv.Close()
+		}
+		<-done
+	}
+}
+
 // ListenAndServe is the daemon loop shared by cmd/phaged and
 // `codephage -serve`: it binds addr, serves the phaged API until
 // SIGINT/SIGTERM arrives or the listener fails, then drains every
@@ -29,35 +96,33 @@ func ListenAndServe(addr string, cfg Config, drain time.Duration, logf func(stri
 		cfg.Logf = logf
 	}
 	srv := New(cfg)
+	return ServeLoop(addr, srv, srv.Handler(), drain, logf, nil)
+}
+
+// ServeLoop is the shared daemon serve/drain loop behind both the
+// single-node ListenAndServe and the cluster daemon: it binds addr,
+// serves handler (which may wrap srv.Handler with cluster routing)
+// until SIGINT/SIGTERM arrives or the listener fails, then drains.
+// onDrain (nil = none) runs at the start of the drain, while the HTTP
+// listener is still accepting — the cluster uses it to hand its ring
+// slice and queued jobs off to peers, which requires answering their
+// requests until the handoff completes.
+func ServeLoop(addr string, srv *Server, handler http.Handler, drain time.Duration, logf func(string, ...any), onDrain func(context.Context)) error {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
 	srv.Start()
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	httpSrv := NewHTTPServer(handler)
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
 	logf("phaged: listening on %s", ln.Addr())
 
-	if cfg.DebugAddr != "" {
-		// pprof rides its own listener so profiling endpoints are never
-		// reachable through the public API port. Failure to bind is a
-		// degraded boot, not a fatal one.
-		debugMux := http.NewServeMux()
-		debugMux.HandleFunc("/debug/pprof/", pprof.Index)
-		debugMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		debugMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		debugMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		debugMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		if dln, err := net.Listen("tcp", cfg.DebugAddr); err != nil {
-			logf("phaged: debug listener: %v", err)
-		} else {
-			defer dln.Close()
-			go func() { _ = http.Serve(dln, debugMux) }()
-			logf("phaged: pprof on %s", dln.Addr())
-		}
-	}
+	_, stopDebug := startDebugServer(srv.cfg.DebugAddr, logf)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -85,9 +150,15 @@ func ListenAndServe(addr string, cfg Config, drain time.Duration, logf func(stri
 	stopSaver()
 	ctx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
+	// Cluster handoff runs before the listener stops accepting: peers
+	// poll this node for in-flight results while it leaves the ring.
+	if onDrain != nil {
+		onDrain(ctx)
+	}
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		logf("phaged: http shutdown: %v", err)
 	}
+	stopDebug(ctx)
 	if err := srv.Shutdown(ctx); err != nil {
 		return fmt.Errorf("drain incomplete: %w", err)
 	}

@@ -1,0 +1,239 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestClientDefaultTimeout pins the client-side hang fix: the default
+// (non-streaming) client must carry an overall deadline, so a daemon
+// that accepts the connection and then never answers surfaces as an
+// error instead of hanging codephage -remote forever.
+func TestClientDefaultTimeout(t *testing.T) {
+	saved := DefaultTimeout
+	DefaultTimeout = 200 * time.Millisecond
+	defer func() { DefaultTimeout = saved }()
+
+	hung := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done() // never answer
+	}))
+	defer hung.Close()
+
+	cli := &Client{BaseURL: hung.URL}
+	start := time.Now()
+	err := cli.Health(context.Background())
+	if err == nil {
+		t.Fatal("Health against a hung server returned nil error")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Health took %v; the default timeout did not fire", elapsed)
+	}
+}
+
+// TestClientStreamHasNoDeadline pins the other half of the fix: the
+// streaming client must NOT carry an overall deadline — an NDJSON
+// stream legitimately stays open for the whole transfer — and relies
+// on context cancellation instead.
+func TestClientStreamHasNoDeadline(t *testing.T) {
+	cli := &Client{}
+	if d := cli.streamHTTP().Timeout; d != 0 {
+		t.Fatalf("streaming client timeout = %v, want 0 (context-governed)", d)
+	}
+	if d := cli.http().Timeout; d != DefaultTimeout {
+		t.Fatalf("default client timeout = %v, want %v", d, DefaultTimeout)
+	}
+
+	// Cancellation must still end a stream promptly.
+	hung := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		w.(http.Flusher).Flush()
+		<-r.Context().Done()
+	}))
+	defer hung.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	if _, err := cli.For(hung.URL).Stream(ctx, &Request{}, nil); err == nil {
+		t.Fatal("Stream with an expired context returned nil error")
+	}
+}
+
+// TestServerDropsSlowHeaderClient pins the slowloris fix: a connection
+// that dribbles its request headers must be cut off by
+// ReadHeaderTimeout instead of pinning the daemon forever.
+func TestServerDropsSlowHeaderClient(t *testing.T) {
+	savedHdr, savedRead := ReadHeaderTimeout, ReadTimeout
+	ReadHeaderTimeout, ReadTimeout = 200*time.Millisecond, 500*time.Millisecond
+	defer func() { ReadHeaderTimeout, ReadTimeout = savedHdr, savedRead }()
+
+	hs := NewHTTPServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	if hs.ReadHeaderTimeout != ReadHeaderTimeout || hs.ReadTimeout != ReadTimeout ||
+		hs.IdleTimeout != IdleTimeout {
+		t.Fatalf("NewHTTPServer timeouts = %v/%v/%v, want %v/%v/%v",
+			hs.ReadHeaderTimeout, hs.ReadTimeout, hs.IdleTimeout,
+			ReadHeaderTimeout, ReadTimeout, IdleTimeout)
+	}
+	if hs.WriteTimeout != 0 {
+		t.Fatalf("WriteTimeout = %v, want 0 (streams hold responses open)", hs.WriteTimeout)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go hs.Serve(ln)
+	defer hs.Close()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Start a request but never finish the header block.
+	if _, err := io.WriteString(conn, "GET /healthz HTTP/1.1\r\nHost: phaged\r\n"); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	start := time.Now()
+	n, err := conn.Read(make([]byte, 1))
+	if err == nil && n > 0 {
+		// A 408 response body also proves the server gave up on us.
+		t.Logf("server answered the half-sent request (likely 408)")
+	} else if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		t.Fatalf("server kept the half-sent connection open for %v", time.Since(start))
+	}
+	// EOF / reset before our deadline: the slow client was dropped.
+}
+
+// TestServerStreamsOutliveReadTimeouts proves the hardening did not
+// break streaming: a response that takes far longer than every
+// read-side timeout still reaches the client whole, because
+// WriteTimeout is deliberately unset.
+func TestServerStreamsOutliveReadTimeouts(t *testing.T) {
+	savedHdr, savedRead, savedIdle := ReadHeaderTimeout, ReadTimeout, IdleTimeout
+	ReadHeaderTimeout, ReadTimeout, IdleTimeout =
+		50*time.Millisecond, 100*time.Millisecond, 100*time.Millisecond
+	defer func() {
+		ReadHeaderTimeout, ReadTimeout, IdleTimeout = savedHdr, savedRead, savedIdle
+	}()
+
+	const chunks = 5
+	hs := NewHTTPServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		fl := w.(http.Flusher)
+		for i := 0; i < chunks; i++ {
+			fmt.Fprintf(w, "chunk %d\n", i)
+			fl.Flush()
+			time.Sleep(100 * time.Millisecond) // each gap > ReadHeaderTimeout
+		}
+	}))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go hs.Serve(ln)
+	defer hs.Close()
+
+	resp, err := http.Get("http://" + ln.Addr().String() + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading streamed body: %v", err)
+	}
+	if got := strings.Count(string(body), "chunk"); got != chunks {
+		t.Fatalf("streamed %d chunks, want %d; body %q", got, chunks, body)
+	}
+}
+
+// TestDebugServerShutdown pins the pprof-sidecar leak fix: the debug
+// listener must be owned by a real http.Server that the daemon shuts
+// down during drain — the port frees up and its serve goroutine exits.
+func TestDebugServerShutdown(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	addr, stop := startDebugServer("127.0.0.1:0", t.Logf)
+	if addr == "" {
+		t.Fatal("startDebugServer returned an empty address")
+	}
+	resp, err := http.Get("http://" + addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatalf("pprof index: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index: %s", resp.Status)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	stop(ctx)
+
+	// The freed port proves the listener really closed.
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("rebinding %s after stop: %v", addr, err)
+	}
+	ln.Close()
+
+	// And the serve goroutine must be gone, not merely idle.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > baseline+2 {
+		t.Fatalf("goroutines after stop = %d, baseline %d: debug server leaked", n, baseline)
+	}
+
+	// Disabled sidecar: empty address, no-op stop.
+	addr2, stop2 := startDebugServer("", t.Logf)
+	if addr2 != "" {
+		t.Fatalf("disabled debug server returned addr %q", addr2)
+	}
+	stop2(ctx)
+}
+
+// TestBodyLimits drives every body-reading endpoint with an oversized
+// and a malformed body: oversize must come back as 413 (the bound
+// worked) and malformed as 400, never a generic 400 for both.
+func TestBodyLimits(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	bigJSON := `{"recipient":"` + strings.Repeat("a", MaxJSONBody) + `"}`
+	bigPatch := strings.Repeat("x", MaxPatchBody+1)
+	cases := []struct {
+		name string
+		path string
+		body string
+		want int
+	}{
+		{"transfer oversize", "/v1/transfer", bigJSON, http.StatusRequestEntityTooLarge},
+		{"transfer malformed", "/v1/transfer", "{not json", http.StatusBadRequest},
+		{"patch oversize", "/patches", bigPatch, http.StatusRequestEntityTooLarge},
+		{"patch malformed", "/patches", "not a patch artifact", http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+c.path, "application/octet-stream", strings.NewReader(c.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != c.want {
+				t.Fatalf("POST %s: status %d, want %d", c.path, resp.StatusCode, c.want)
+			}
+		})
+	}
+}

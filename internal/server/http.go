@@ -42,6 +42,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/targets", s.handleTargets)
 	mux.HandleFunc("GET /corpus", s.handleCorpus)
 	mux.HandleFunc("GET /patches", s.handlePatches)
+	mux.HandleFunc("POST /patches", s.handlePatchPut)
 	mux.HandleFunc("GET /patches/{key}", s.handlePatch)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -83,13 +84,39 @@ func (s *Server) writeError(w http.ResponseWriter, code int, err error) {
 	s.writeJSON(w, code, map[string]string{"error": err.Error()})
 }
 
+// MaxJSONBody bounds every JSON request body the daemon accepts:
+// requests are a few names and small ints, so one client must never
+// be able to buffer the daemon into OOM. Patch uploads carry whole
+// artifacts and get the larger MaxPatchBody.
+const MaxJSONBody = 1 << 16
+
+// MaxPatchBody bounds POST /patches upload bodies; a patch artifact
+// carries both module images, so the bound is much larger than for
+// plain JSON requests.
+const MaxPatchBody = 16 << 20
+
+// DecodeJSONBody decodes a size-bounded JSON request body into v,
+// distinguishing an oversized body (413, the bound worked) from a
+// malformed one (400). On error it returns the HTTP status to write;
+// on success the status is 0. Exported so the cluster front door
+// applies the identical bound before routing.
+func DecodeJSONBody(w http.ResponseWriter, r *http.Request, limit int64, v any) (int, error) {
+	r.Body = http.MaxBytesReader(w, r.Body, limit)
+	err := json.NewDecoder(r.Body).Decode(v)
+	if err == nil {
+		return 0, nil
+	}
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge, fmt.Errorf("request body exceeds %d bytes", mbe.Limit)
+	}
+	return http.StatusBadRequest, fmt.Errorf("decoding request: %w", err)
+}
+
 func (s *Server) handleTransfer(w http.ResponseWriter, r *http.Request) {
-	// Requests are a few names and small ints; bound the body so one
-	// client cannot buffer the daemon into OOM.
-	r.Body = http.MaxBytesReader(w, r.Body, 1<<16)
 	var req Request
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+	if code, err := DecodeJSONBody(w, r, MaxJSONBody, &req); err != nil {
+		s.writeError(w, code, err)
 		return
 	}
 	job, dedup, err := s.Submit(&req)
@@ -294,5 +321,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		p("phaged_shard_baseline_cache_entries{shard=\"%d\"} %d\n", i, es.Baselines)
 		p("phaged_shard_proof_cache_entries{shard=\"%d\"} %d\n", i, es.Proofs)
 	}
+	// Cluster families are always present (zero-valued on a standalone
+	// node) so dashboards never see a family appear out of nowhere when
+	// a node joins a ring.
+	cs := s.clusterStats()
+	p("phaged_cluster_peers %d\n", cs.Peers)
+	p("phaged_cluster_draining %d\n", boolMetric(cs.Draining))
+	p("phaged_cluster_forwards_total %d\n", cs.Forwards)
+	p("phaged_cluster_forward_failures_total %d\n", cs.ForwardFailures)
+	p("phaged_cluster_steals_total %d\n", cs.Steals)
+	p("phaged_cluster_handoffs_total %d\n", cs.Handoffs)
+	p("phaged_cluster_artifact_pulls_total %d\n", cs.ArtifactPulls)
 	s.telemetry.WriteMetrics(w)
 }

@@ -215,6 +215,12 @@ type Envelope struct {
 	// running (0 until the respective phase completes).
 	QueueMs int64 `json:"queue_ms"`
 	RunMs   int64 `json:"run_ms"`
+	// Node is the base URL of the cluster node that actually served
+	// the request, stamped client-side from the forward header. Empty
+	// for locally-served (non-forwarded) responses. Never part of the
+	// wire body: response bytes stay identical whether or not a
+	// forward happened.
+	Node string `json:"-"`
 }
 
 // Envelope snapshots the job as a response envelope.

@@ -1,6 +1,9 @@
 package server
 
 import (
+	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -145,6 +148,44 @@ func (s *Server) handlePatches(w http.ResponseWriter, _ *http.Request) {
 	s.writeJSON(w, http.StatusOK, s.patches.list())
 }
 
+// handlePatchPut accepts an uploaded encoded artifact, bounded like
+// every other body-reading endpoint (an oversized upload is a 413,
+// not a buffer-the-daemon-into-OOM). The artifact authenticates
+// itself: its key is its content hash, so the registry accepts any
+// well-formed body and dedups re-uploads.
+func (s *Server) handlePatchPut(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, MaxPatchBody)
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", mbe.Limit))
+			return
+		}
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("reading request: %w", err))
+		return
+	}
+	a, err := patch.Decode(data)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("decoding artifact: %w", err))
+		return
+	}
+	key, fresh, err := s.patches.add(a)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if fresh {
+		s.counter.patchPuts.Add(1)
+	}
+	code := http.StatusOK
+	if fresh {
+		code = http.StatusCreated
+	}
+	s.writeJSON(w, code, map[string]any{"key": key, "fresh": fresh})
+}
+
 // handlePatch serves one encoded artifact by content key. The bytes
 // are the canonical encoding — the client can (and should) verify
 // sha256(body) == key.
@@ -165,8 +206,8 @@ func (s *Server) handlePatch(w http.ResponseWriter, r *http.Request) {
 }
 
 // Patches lists the daemon's stored patch artifacts.
-func (c *Client) Patches() ([]PatchInfo, error) {
-	resp, err := c.http().Get(c.url("/patches"))
+func (c *Client) Patches(ctx context.Context) ([]PatchInfo, error) {
+	resp, err := c.get(ctx, "/patches")
 	if err != nil {
 		return nil, err
 	}
@@ -177,12 +218,34 @@ func (c *Client) Patches() ([]PatchInfo, error) {
 	return *out, nil
 }
 
+// PushPatch uploads an encoded artifact, returning its content key
+// and whether the daemon had not seen it before.
+func (c *Client) PushPatch(ctx context.Context, data []byte) (string, bool, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url("/patches"), bytes.NewReader(data))
+	if err != nil {
+		return "", false, err
+	}
+	hreq.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.http().Do(hreq)
+	if err != nil {
+		return "", false, err
+	}
+	out, err := decodeBody[struct {
+		Key   string `json:"key"`
+		Fresh bool   `json:"fresh"`
+	}](resp)
+	if err != nil {
+		return "", false, err
+	}
+	return out.Key, out.Fresh, nil
+}
+
 // PatchBytes fetches one encoded artifact by content key and verifies
 // it against the key before returning it — a fetched artifact is
 // authenticated by its own name, so a corrupt or tampered body never
 // reaches the caller.
-func (c *Client) PatchBytes(key string) ([]byte, error) {
-	resp, err := c.http().Get(c.url("/patches/" + key))
+func (c *Client) PatchBytes(ctx context.Context, key string) ([]byte, error) {
+	resp, err := c.get(ctx, "/patches/"+key)
 	if err != nil {
 		return nil, err
 	}
@@ -205,8 +268,8 @@ func (c *Client) PatchBytes(key string) ([]byte, error) {
 }
 
 // Patch fetches and decodes one artifact.
-func (c *Client) Patch(key string) (*patch.Artifact, error) {
-	data, err := c.PatchBytes(key)
+func (c *Client) Patch(ctx context.Context, key string) (*patch.Artifact, error) {
+	data, err := c.PatchBytes(ctx, key)
 	if err != nil {
 		return nil, err
 	}

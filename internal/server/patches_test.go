@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -29,7 +30,7 @@ func TestPatchArtifactEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	env, err := client.Transfer(&Request{Recipient: tgt.Recipient, Target: tgt.ID, Donor: tgt.Donors[0]})
+	env, err := client.Transfer(context.Background(), &Request{Recipient: tgt.Recipient, Target: tgt.ID, Donor: tgt.Donors[0]})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +43,7 @@ func TestPatchArtifactEndToEnd(t *testing.T) {
 	}
 
 	// The listing names it.
-	infos, err := client.Patches()
+	infos, err := client.Patches(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func TestPatchArtifactEndToEnd(t *testing.T) {
 	}
 
 	// Fetch and authenticate: the body's hash is the key.
-	data, err := client.PatchBytes(key)
+	data, err := client.PatchBytes(context.Background(), key)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,10 +115,10 @@ func TestPatchArtifactEndToEnd(t *testing.T) {
 	}
 
 	// Unknown and malformed keys 404 cleanly.
-	if _, err := client.PatchBytes("0000000000000000000000000000000000000000000000000000000000000000"); err == nil {
+	if _, err := client.PatchBytes(context.Background(), "0000000000000000000000000000000000000000000000000000000000000000"); err == nil {
 		t.Fatal("fetched a nonexistent key")
 	}
-	if _, err := client.PatchBytes("not-a-key"); err == nil {
+	if _, err := client.PatchBytes(context.Background(), "not-a-key"); err == nil {
 		t.Fatal("fetched a malformed key")
 	}
 
@@ -140,7 +141,7 @@ func TestPatchStoreSurvivesRestart(t *testing.T) {
 	req := &Request{Recipient: tgt.Recipient, Target: tgt.ID, Donor: tgt.Donors[0]}
 
 	_, ts := newTestServer(t, Config{Shards: 1, PatchDir: dir})
-	env, err := (&Client{BaseURL: ts.URL}).Transfer(req)
+	env, err := (&Client{BaseURL: ts.URL}).Transfer(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +153,7 @@ func TestPatchStoreSurvivesRestart(t *testing.T) {
 	// A second server over the same directory serves the artifact
 	// without re-running the transfer.
 	_, ts2 := newTestServer(t, Config{Shards: 1, PatchDir: dir})
-	data, err := (&Client{BaseURL: ts2.URL}).PatchBytes(key)
+	data, err := (&Client{BaseURL: ts2.URL}).PatchBytes(context.Background(), key)
 	if err != nil {
 		t.Fatalf("restarted server does not serve the artifact: %v", err)
 	}
@@ -171,7 +172,7 @@ func TestPatchStoreSurvivesRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	_, ts3 := newTestServer(t, Config{Shards: 1, PatchDir: dir})
-	if _, err := (&Client{BaseURL: ts3.URL}).PatchBytes(key); err == nil {
+	if _, err := (&Client{BaseURL: ts3.URL}).PatchBytes(context.Background(), key); err == nil {
 		t.Fatal("server served a corrupted artifact")
 	}
 }
@@ -192,7 +193,7 @@ func TestPatchKeyDeterministicAcrossServers(t *testing.T) {
 	var bodies [][]byte
 	for i := 0; i < 2; i++ {
 		_, ts := newTestServer(t, Config{Shards: 1})
-		env, err := (&Client{BaseURL: ts.URL}).Transfer(req)
+		env, err := (&Client{BaseURL: ts.URL}).Transfer(context.Background(), req)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -200,7 +201,7 @@ func TestPatchKeyDeterministicAcrossServers(t *testing.T) {
 			rep, _ := json.Marshal(env.Report)
 			t.Fatalf("run %d: no patch key (report %s)", i, rep)
 		}
-		data, err := (&Client{BaseURL: ts.URL}).PatchBytes(env.Report.PatchKey)
+		data, err := (&Client{BaseURL: ts.URL}).PatchBytes(context.Background(), env.Report.PatchKey)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -92,6 +92,12 @@ type Config struct {
 	// net/http/pprof on a second listener at this address, so
 	// profiling never rides the public API port.
 	DebugAddr string
+	// BeforeRun, when set, runs at the start of every job execution on
+	// the worker goroutine, after the job transitions to running and
+	// before the engine is invoked. It exists for the cluster
+	// drain/steal/dedup tests, which need a job deterministically held
+	// in the running state; production configs leave it nil.
+	BeforeRun func(*Job)
 }
 
 func (c Config) shards() int {
@@ -192,6 +198,11 @@ type Server struct {
 	// snapshot write; the daemon saver-ordering regression test uses it
 	// to hold a save in flight while stop is called.
 	memoSaveHook func()
+
+	// clusterMetrics, when set via SetClusterMetrics, supplies the
+	// phaged_cluster_* families for /metrics. nil = standalone node,
+	// every family reads zero.
+	clusterMetrics func() ClusterStats
 }
 
 // New assembles a server; call Start before submitting jobs.
@@ -327,6 +338,12 @@ func contentKey(req *Request) string {
 	return hex.EncodeToString(sum[:16])
 }
 
+// ContentKey is the exported spelling of a request's dedup identity,
+// used by the cluster router: the ring is keyed on exactly the hash
+// the dedup index uses, so "forward to the owner" and "dedup
+// identical requests" agree by construction.
+func ContentKey(req *Request) string { return contentKey(req) }
+
 // shardFor routes a content key to its home shard.
 func (s *Server) shardFor(key string) *shard {
 	h := fnv.New32a()
@@ -384,11 +401,128 @@ func (s *Server) Job(id string) (*Job, bool) {
 	return j, ok
 }
 
+// TakeQueued removes up to max queued-but-not-yet-running jobs from
+// the shard queues (max <= 0 = all currently queued) and returns
+// them. The jobs stay in the job table and dedup index; the caller
+// owns their completion and must finish each one via FinishRemote,
+// FailRemote, or Requeue. The cluster uses this for drain handoff
+// (forward my queue to the new owners) and work stealing (hand jobs
+// to an idle peer).
+func (s *Server) TakeQueued(max int) []*Job {
+	var out []*Job
+	for _, sh := range s.shards {
+	drain:
+		for max <= 0 || len(out) < max {
+			select {
+			case job, ok := <-sh.queue:
+				if !ok {
+					// Queue already closed by Shutdown; nothing to take.
+					break drain
+				}
+				out = append(out, job)
+			default:
+				break drain
+			}
+		}
+	}
+	return out
+}
+
+// Requeue returns a job previously removed by TakeQueued to its home
+// shard queue, e.g. when a drain-time handoff found no peer to take
+// it. Fails with ErrShuttingDown once the queues are closed and
+// ErrQueueFull when the shard is saturated.
+func (s *Server) Requeue(job *Job) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped {
+		return ErrShuttingDown
+	}
+	sh := s.shardFor(job.Key)
+	select {
+	case sh.queue <- job:
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// FinishRemote completes a job whose report was produced by another
+// cluster node (drain handoff or a stolen job's result). The job
+// passes through running first so its envelope timing fields stay
+// well-formed, then publishes the peer's report exactly as a local
+// engine run would.
+func (s *Server) FinishRemote(job *Job, rep *Report, trace *telemetry.Span) {
+	job.setStatus(StatusRunning)
+	job.finish(rep, trace)
+	s.counter.completed.Add(1)
+	s.retireKey(job.Key)
+}
+
+// FailRemote fails a job on behalf of another cluster node, the error
+// analogue of FinishRemote.
+func (s *Server) FailRemote(job *Job, err error) {
+	job.setStatus(StatusRunning)
+	job.fail(err)
+	s.counter.failed.Add(1)
+	s.retireKey(job.Key)
+}
+
+// Corpus returns the server's donor selector. The cluster artifact
+// replication path installs replicated indexes through it.
+func (s *Server) Corpus() *corpus.Selector { return s.corpus }
+
+// ClusterStats is the cluster layer's contribution to /metrics. A
+// standalone server reports the zero value, so the phaged_cluster_*
+// families exist (at zero) whether or not the node is in a ring.
+type ClusterStats struct {
+	// Peers is the current member count, this node included.
+	Peers int
+	// Draining reports that this node has left the ring and is
+	// handing off its work.
+	Draining bool
+	// Forwards counts requests this node routed to their ring owner;
+	// ForwardFailures counts forwards that failed and fell back to
+	// local execution.
+	Forwards        int64
+	ForwardFailures int64
+	// Steals counts jobs this node stole from a deeper peer queue and
+	// ran locally.
+	Steals int64
+	// Handoffs counts queued jobs this node forwarded to peers while
+	// draining.
+	Handoffs int64
+	// ArtifactPulls counts corpus artifacts pulled from the ring
+	// leader and hot-swapped in.
+	ArtifactPulls int64
+}
+
+// SetClusterMetrics registers the provider of the phaged_cluster_*
+// metric families; the cluster node installs itself here.
+func (s *Server) SetClusterMetrics(fn func() ClusterStats) {
+	s.mu.Lock()
+	s.clusterMetrics = fn
+	s.mu.Unlock()
+}
+
+func (s *Server) clusterStats() ClusterStats {
+	s.mu.Lock()
+	fn := s.clusterMetrics
+	s.mu.Unlock()
+	if fn == nil {
+		return ClusterStats{}
+	}
+	return fn()
+}
+
 // runJob executes one job on its shard's engine and publishes the
 // result. Jobs never panic the worker: catalogue and engine errors
 // become failed jobs.
 func (s *Server) runJob(sh *shard, job *Job) {
 	job.setStatus(StatusRunning)
+	if s.cfg.BeforeRun != nil {
+		s.cfg.BeforeRun(job)
+	}
 	log := s.cfg.Log
 	if log != nil {
 		log = log.With(

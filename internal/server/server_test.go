@@ -288,7 +288,7 @@ func TestServiceStreamAndJobEndpoints(t *testing.T) {
 
 	// The same job must be retrievable by ID.
 	cli := &Client{BaseURL: ts.URL}
-	env, err := cli.Job(final.ID)
+	env, err := cli.Job(context.Background(), final.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -374,10 +374,10 @@ func TestServiceShutdownDrainsInFlight(t *testing.T) {
 func TestServiceMetricsAndTargets(t *testing.T) {
 	_, ts := newTestServer(t, Config{Shards: 2})
 	cli := &Client{BaseURL: ts.URL}
-	if err := cli.Health(); err != nil {
+	if err := cli.Health(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	targets, err := cli.Targets()
+	targets, err := cli.Targets(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -385,7 +385,7 @@ func TestServiceMetricsAndTargets(t *testing.T) {
 		t.Errorf("targets = %d, want %d", len(targets), len(apps.Targets()))
 	}
 
-	if _, err := cli.Transfer(&Request{Recipient: "gif2tiff", Target: "gif2tiff.c@355", Donor: "magick9"}); err != nil {
+	if _, err := cli.Transfer(context.Background(), &Request{Recipient: "gif2tiff", Target: "gif2tiff.c@355", Donor: "magick9"}); err != nil {
 		t.Fatal(err)
 	}
 	resp, err := http.Get(ts.URL + "/metrics")
@@ -445,7 +445,7 @@ func TestClientStream(t *testing.T) {
 	_, ts := newTestServer(t, Config{Shards: 1})
 	cli := &Client{BaseURL: ts.URL}
 	var seen []Status
-	env, err := cli.Stream(&Request{Recipient: "gif2tiff", Target: "gif2tiff.c@355", Donor: "magick9"},
+	env, err := cli.Stream(context.Background(), &Request{Recipient: "gif2tiff", Target: "gif2tiff.c@355", Donor: "magick9"},
 		func(st Status) { seen = append(seen, st) })
 	if err != nil {
 		t.Fatal(err)

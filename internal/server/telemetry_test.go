@@ -3,6 +3,7 @@ package server
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -34,6 +35,13 @@ var documentedMetrics = []string{
 	"phaged_patch_store_puts_total",
 	"phaged_patch_fetches_total",
 	"phaged_jobs_queued",
+	"phaged_cluster_peers",
+	"phaged_cluster_draining",
+	"phaged_cluster_forwards_total",
+	"phaged_cluster_forward_failures_total",
+	"phaged_cluster_steals_total",
+	"phaged_cluster_handoffs_total",
+	"phaged_cluster_artifact_pulls_total",
 	"phaged_compile_cache_hits_total",
 	"phaged_compile_cache_misses_total",
 	"phaged_compile_cache_evictions_total",
@@ -215,7 +223,7 @@ func TestReadyzLifecycle(t *testing.T) {
 	defer ts.Close()
 	cli := &Client{BaseURL: ts.URL}
 
-	r, err := cli.Ready()
+	r, err := cli.Ready(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,7 +253,7 @@ func TestReadyzLifecycle(t *testing.T) {
 			t.Error(err)
 		}
 	}()
-	r, err = cli.Ready()
+	r, err = cli.Ready(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,7 +269,7 @@ func TestReadyzLifecycle(t *testing.T) {
 		t.Errorf("/readyz after Start: %s, want 200", resp.Status)
 	}
 
-	if err := cli.Health(); err != nil {
+	if err := cli.Health(context.Background()); err != nil {
 		t.Errorf("healthz: %v", err)
 	}
 }
@@ -273,14 +281,14 @@ func TestJobTraceEndpoint(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	cli := &Client{BaseURL: ts.URL}
 
-	env, err := cli.Transfer(&Request{Recipient: "gif2tiff", Target: "gif2tiff.c@355", Donor: "magick9"})
+	env, err := cli.Transfer(context.Background(), &Request{Recipient: "gif2tiff", Target: "gif2tiff.c@355", Donor: "magick9"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if env.Status != StatusDone {
 		t.Fatalf("transfer: %s (%s)", env.Status, env.Error)
 	}
-	sp, err := cli.Trace(env.ID)
+	sp, err := cli.Trace(context.Background(), env.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -306,7 +314,7 @@ func TestJobTraceEndpoint(t *testing.T) {
 		t.Error("report embeds the trace — it must live beside the report, not inside it")
 	}
 
-	if _, err := cli.Trace("job-999999"); err == nil {
+	if _, err := cli.Trace(context.Background(), "job-999999"); err == nil {
 		t.Error("trace of an unknown job did not fail")
 	}
 }
@@ -361,7 +369,7 @@ func TestStreamEmitsTraceRecord(t *testing.T) {
 
 	// The client helper still lands on the envelope (dedup path).
 	cli := &Client{BaseURL: ts.URL}
-	env2, err := cli.Stream(req, nil)
+	env2, err := cli.Stream(context.Background(), req, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
